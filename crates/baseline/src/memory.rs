@@ -1,0 +1,113 @@
+//! Memory accounting for the single-machine baseline.
+
+use crate::{BaselineError, Result};
+
+/// Tracks the estimated working set of the baseline against a budget.
+///
+/// `charge` adds an allocation, `release` removes one (for transient
+/// working sets), and the peak is retained for reporting. With no budget
+/// (`None`) the meter only observes.
+#[derive(Debug, Clone)]
+pub struct MemoryMeter {
+    budget: Option<usize>,
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryMeter {
+    /// Meter with an optional budget in bytes.
+    pub fn new(budget: Option<usize>) -> Self {
+        MemoryMeter { budget, current: 0, peak: 0 }
+    }
+
+    /// Charge `bytes` for `what`; fails with [`BaselineError::Oom`] when the
+    /// budget would be exceeded.
+    pub fn charge(&mut self, bytes: usize, what: &str) -> Result<()> {
+        let next = self.current.saturating_add(bytes);
+        if let Some(budget) = self.budget {
+            if next > budget {
+                return Err(BaselineError::Oom {
+                    needed_bytes: next,
+                    budget_bytes: budget,
+                    what: what.to_string(),
+                });
+            }
+        }
+        self.current = next;
+        self.peak = self.peak.max(next);
+        Ok(())
+    }
+
+    /// Release a previously charged allocation.
+    pub fn release(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Current working set estimate.
+    pub fn current_bytes(&self) -> usize {
+        self.current
+    }
+
+    /// Peak working set estimate.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Bytes for an `n`-entry COO tensor, with the ~2× bookkeeping factor of a
+/// Matlab `sptensor` (subs matrix of doubles + vals).
+pub fn coo_bytes(nnz: usize) -> usize {
+    nnz * 32 * 2
+}
+
+/// Bytes for a dense `rows × cols` double matrix.
+pub fn mat_bytes(rows: usize, cols: usize) -> usize {
+    rows * cols * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_within_budget() {
+        let mut m = MemoryMeter::new(Some(100));
+        m.charge(60, "a").unwrap();
+        m.charge(40, "b").unwrap();
+        assert_eq!(m.current_bytes(), 100);
+        assert_eq!(m.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn charge_over_budget_fails() {
+        let mut m = MemoryMeter::new(Some(100));
+        m.charge(60, "a").unwrap();
+        let err = m.charge(50, "b").unwrap_err();
+        assert!(matches!(err, BaselineError::Oom { needed_bytes: 110, budget_bytes: 100, .. }));
+        // Failed charge does not change state.
+        assert_eq!(m.current_bytes(), 60);
+    }
+
+    #[test]
+    fn release_frees_but_keeps_peak() {
+        let mut m = MemoryMeter::new(Some(100));
+        m.charge(80, "a").unwrap();
+        m.release(50);
+        assert_eq!(m.current_bytes(), 30);
+        assert_eq!(m.peak_bytes(), 80);
+        m.charge(60, "b").unwrap();
+    }
+
+    #[test]
+    fn unbudgeted_meter_observes() {
+        let mut m = MemoryMeter::new(None);
+        m.charge(usize::MAX / 2, "huge").unwrap();
+        assert!(m.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn size_helpers() {
+        assert_eq!(coo_bytes(10), 640);
+        assert_eq!(mat_bytes(3, 4), 96);
+    }
+}

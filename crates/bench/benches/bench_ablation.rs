@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * combiner on/off in Collapse jobs (is DNN's win the decoupling or the
+//!   map-side aggregation?),
+//! * DRN vs DRI with identical math (isolates the job-integration effect),
+//! * subspace iteration vs Gram-eigen SVD for the Tucker factor update.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use haten2_core::records::tensor_records;
+use haten2_core::tucker::{project, ProjectOptions};
+use haten2_core::Variant;
+use haten2_data::random::{random_tensor, RandomTensorConfig};
+use haten2_linalg::{
+    leading_left_singular_vectors, sym_eigen, Mat, SubspaceOptions,
+};
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use haten2_tensor::ops::ttm;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+}
+
+/// Combiner ablation: the Collapse job of DNN with and without map-side
+/// aggregation.
+fn ablation_combiner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_collapse_combiner");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let x = random_tensor(&RandomTensorConfig::cubic(60, 600, 41));
+    let records = tensor_records(&x);
+    // Expand to a 4-way-tagged load so the collapse has real work.
+    let expanded: Vec<_> = (0..4u64)
+        .flat_map(|q| records.iter().map(move |&((i, j, k, _), v)| ((i, j, k, q), v * (q + 1) as f64)))
+        .collect();
+    for (label, use_combiner) in [("no_combiner", false), ("with_combiner", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                haten2_core::ops::collapse_job(&cluster(), "ablate", &expanded, 1, use_combiner)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Job-integration ablation: DRN (separate Hadamard jobs) vs DRI (fused
+/// IMHP) computing the identical projection.
+fn ablation_job_integration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_drn_vs_dri");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 60u64;
+    let x = random_tensor(&RandomTensorConfig::cubic(i, 600, 42));
+    let mut rng = StdRng::seed_from_u64(42);
+    let u1 = Mat::random(6, i as usize, &mut rng);
+    let u2 = Mat::random(6, i as usize, &mut rng);
+    for v in [Variant::Drn, Variant::Dri] {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// SVD-step ablation: leading left singular vectors of the matricized
+/// projection via blocked subspace iteration vs via the dense Gram
+/// eigendecomposition.
+fn ablation_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_svd_step");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 400u64;
+    let x = random_tensor(&RandomTensorConfig::cubic(i, 4000, 43));
+    let mut rng = StdRng::seed_from_u64(43);
+    let u1 = Mat::random(6, i as usize, &mut rng);
+    let u2 = Mat::random(6, i as usize, &mut rng);
+    // Build the projected tensor once (this is about the SVD step only).
+    let y = ttm(&ttm(&x, 1, &u1).unwrap(), 2, &u2).unwrap();
+    let y_mat = y.matricize(0).unwrap();
+    let p = 6usize;
+
+    g.bench_function("subspace_iteration", |b| {
+        b.iter(|| {
+            leading_left_singular_vectors(&y_mat, p, &SubspaceOptions::default()).unwrap()
+        })
+    });
+    g.bench_function("gram_eigen", |b| {
+        b.iter(|| {
+            // Dense route: G = YᵀY (36×36), eigendecompose, U = Y V Λ^{-1/2}.
+            let gram = y_mat.gram_dense().unwrap();
+            let e = sym_eigen(&gram).unwrap();
+            let mut v_top = Mat::zeros(gram.rows(), p);
+            for c in 0..p {
+                for r in 0..gram.rows() {
+                    v_top.set(r, c, e.vectors.get(r, c));
+                }
+            }
+            use haten2_linalg::LinOp;
+            y_mat.apply(&v_top).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablation_combiner, ablation_job_integration, ablation_svd);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the beyond-the-paper extensions: missing-value
+//! EM-ALS, nonnegative multiplicative updates, compression-accelerated
+//! PARAFAC, and the N-way kernels.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haten2_core::nway::{nway_mttkrp, nway_parafac_als};
+use haten2_core::{
+    nonneg_parafac, parafac_als, parafac_missing, parafac_via_compression, AlsOptions, Variant,
+};
+use haten2_data::random::{random_tensor, RandomTensorConfig};
+use haten2_linalg::Mat;
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use haten2_tensor::DynTensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::Duration;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+}
+
+fn opts(iters: usize) -> AlsOptions {
+    AlsOptions { max_iters: iters, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) }
+}
+
+/// All PARAFAC flavors on the same input: the extension overhead is visible
+/// as the ratio against plain ALS.
+fn parafac_flavors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions_parafac_flavors");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let x = random_tensor(&RandomTensorConfig::cubic(60, 600, 61));
+    g.bench_function("plain_als", |b| {
+        b.iter(|| parafac_als(&cluster(), &x, 3, &opts(2)).unwrap())
+    });
+    g.bench_function("missing_em_als", |b| {
+        b.iter(|| parafac_missing(&cluster(), &x, 3, &opts(2)).unwrap())
+    });
+    g.bench_function("nonneg_multiplicative", |b| {
+        b.iter(|| nonneg_parafac(&cluster(), &x, 3, &opts(2)).unwrap())
+    });
+    g.bench_function("via_compression", |b| {
+        b.iter(|| parafac_via_compression(&cluster(), &x, 3, [4, 4, 4], &opts(2)).unwrap())
+    });
+    g.finish();
+}
+
+/// N-way MTTKRP cost as order grows (3-, 4-, 5-way) at fixed nnz.
+fn nway_order_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions_nway_order");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let mut rng = StdRng::seed_from_u64(62);
+    for order in [3usize, 4, 5] {
+        let dims: Vec<u64> = vec![30; order];
+        let mut t = DynTensor::new(dims.clone());
+        for _ in 0..400 {
+            let idx: Vec<u64> = dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+            t.push(&idx, rng.gen_range(0.5..1.5)).unwrap();
+        }
+        let t = t.coalesce();
+        let factors: Vec<Mat> =
+            dims.iter().map(|&d| Mat::random(d as usize, 3, &mut rng)).collect();
+        let refs: Vec<&Mat> = factors.iter().collect();
+        g.bench_with_input(BenchmarkId::new("mttkrp_mode0", order), &order, |b, _| {
+            b.iter(|| nway_mttkrp(&cluster(), &t, 0, &refs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Full 4-way decomposition throughput.
+fn nway_full_decomposition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions_nway_parafac");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let mut rng = StdRng::seed_from_u64(63);
+    let dims = vec![25u64, 25, 25, 10];
+    let mut t = DynTensor::new(dims.clone());
+    for _ in 0..500 {
+        let idx: Vec<u64> = dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+        t.push(&idx, rng.gen_range(0.5..1.5)).unwrap();
+    }
+    let t = t.coalesce();
+    g.bench_function("4way_rank3_2sweeps", |b| {
+        b.iter(|| nway_parafac_als(&cluster(), &t, 3, 2, 0.0, 7).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parafac_flavors, nway_order_sweep, nway_full_decomposition);
+criterion_main!(benches);

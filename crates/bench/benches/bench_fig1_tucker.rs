@@ -1,0 +1,96 @@
+//! Criterion bench for Figure 1: the Tucker projection kernel
+//! `Y ← X ×₂ Bᵀ ×₃ Cᵀ` per HaTen2 variant, across the three sweep axes
+//! (dimensionality, density, core size).
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haten2_core::tucker::{project, ProjectOptions};
+use haten2_core::Variant;
+use haten2_data::random::{random_tensor, RandomTensorConfig};
+use haten2_linalg::Mat;
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+}
+
+fn factors(q: usize, r: usize, j: usize, k: usize) -> (Mat, Mat) {
+    let mut rng = StdRng::seed_from_u64(1);
+    (Mat::random(q, j, &mut rng), Mat::random(r, k, &mut rng))
+}
+
+fn fig1a_dims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1a_tucker_dims");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for &i in &[30u64, 60, 120] {
+        let x = random_tensor(&RandomTensorConfig::cubic(i, (i * 10) as usize, 2));
+        let (u1, u2) = factors(4, 4, i as usize, i as usize);
+        // Naive only at the smallest point (it broadcasts IJK records).
+        let variants: &[Variant] = if i <= 30 {
+            &Variant::ALL
+        } else {
+            &[Variant::Dnn, Variant::Drn, Variant::Dri]
+        };
+        for &v in variants {
+            g.bench_with_input(BenchmarkId::new(v.name(), i), &i, |b, _| {
+                b.iter(|| {
+                    project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig1b_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1b_tucker_density");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 50u64;
+    for &density in &[1e-3f64, 4e-3, 1.6e-2] {
+        let x = random_tensor(&RandomTensorConfig::cubic_density(i, density, 3));
+        let (u1, u2) = factors(4, 4, i as usize, i as usize);
+        for v in [Variant::Dnn, Variant::Drn, Variant::Dri] {
+            g.bench_with_input(
+                BenchmarkId::new(v.name(), format!("{density:.0e}")),
+                &density,
+                |b, _| {
+                    b.iter(|| {
+                        project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default())
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig1c_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1c_tucker_core");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 60u64;
+    let x = random_tensor(&RandomTensorConfig::cubic(i, (i * 10) as usize, 4));
+    for &core in &[2usize, 4, 8] {
+        let (u1, u2) = factors(core, core, i as usize, i as usize);
+        for v in [Variant::Dnn, Variant::Drn, Variant::Dri] {
+            g.bench_with_input(BenchmarkId::new(v.name(), core), &core, |b, _| {
+                b.iter(|| {
+                    project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig1a_dims, fig1b_density, fig1c_core);
+criterion_main!(benches);

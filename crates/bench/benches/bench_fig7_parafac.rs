@@ -1,0 +1,85 @@
+//! Criterion bench for Figure 7: the PARAFAC MTTKRP kernel
+//! `Y ← X₍₁₎ (C ⊙ B)` per HaTen2 variant, across the three sweep axes.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haten2_core::parafac::mttkrp;
+use haten2_core::Variant;
+use haten2_data::random::{random_tensor, RandomTensorConfig};
+use haten2_linalg::Mat;
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+}
+
+fn factors(j: usize, k: usize, r: usize) -> (Mat, Mat) {
+    let mut rng = StdRng::seed_from_u64(11);
+    (Mat::random(j, r, &mut rng), Mat::random(k, r, &mut rng))
+}
+
+fn fig7a_dims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_parafac_dims");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for &i in &[30u64, 60, 120] {
+        let x = random_tensor(&RandomTensorConfig::cubic(i, (i * 10) as usize, 12));
+        let (f1, f2) = factors(i as usize, i as usize, 4);
+        let variants: &[Variant] = if i <= 30 {
+            &Variant::ALL
+        } else {
+            &[Variant::Dnn, Variant::Drn, Variant::Dri]
+        };
+        for &v in variants {
+            g.bench_with_input(BenchmarkId::new(v.name(), i), &i, |b, _| {
+                b.iter(|| mttkrp(&cluster(), v, &x, 0, &f1, &f2).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig7b_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7b_parafac_density");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 50u64;
+    for &density in &[1e-3f64, 4e-3, 1.6e-2] {
+        let x = random_tensor(&RandomTensorConfig::cubic_density(i, density, 13));
+        let (f1, f2) = factors(i as usize, i as usize, 4);
+        for v in [Variant::Dnn, Variant::Drn, Variant::Dri] {
+            g.bench_with_input(
+                BenchmarkId::new(v.name(), format!("{density:.0e}")),
+                &density,
+                |b, _| b.iter(|| mttkrp(&cluster(), v, &x, 0, &f1, &f2).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn fig7c_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7c_parafac_rank");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 60u64;
+    let x = random_tensor(&RandomTensorConfig::cubic(i, (i * 10) as usize, 14));
+    for &r in &[2usize, 4, 8] {
+        let (f1, f2) = factors(i as usize, i as usize, r);
+        for v in [Variant::Dnn, Variant::Drn, Variant::Dri] {
+            g.bench_with_input(BenchmarkId::new(v.name(), r), &r, |b, _| {
+                b.iter(|| mttkrp(&cluster(), v, &x, 0, &f1, &f2).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7a_dims, fig7b_density, fig7c_rank);
+criterion_main!(benches);

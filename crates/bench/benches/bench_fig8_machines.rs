@@ -1,0 +1,68 @@
+//! Criterion bench for Figure 8: one full HaTen2-DRI decomposition sweep on
+//! the NELL stand-in at varying (simulated) machine counts. Criterion
+//! measures the engine's real wall time; the simulated scale-up series is
+//! printed once at the end for the figure itself.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haten2_core::{parafac_als, tucker_als, AlsOptions, Variant};
+use haten2_data::kb::KnowledgeBase;
+use haten2_data::preprocess::{preprocess, PreprocessConfig};
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use std::time::Duration;
+
+/// Scaled cluster model matching the fig8 experiment: per-job overhead and
+/// throughput shrunk with the data so the overhead/data mix reproduces the
+/// paper's regime (see `experiments::machines`).
+fn fig8_cluster(machines: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines,
+        per_job_overhead_s: 2.0,
+        map_bytes_per_s: 100.0e3,
+        shuffle_bytes_per_s: 50.0e3,
+        reduce_bytes_per_s: 100.0e3,
+        ..ClusterConfig::default()
+    })
+}
+
+fn fig8(c: &mut Criterion) {
+    let kb = KnowledgeBase::nell(1, 0xf18);
+    let (x, _) = preprocess(&kb, &PreprocessConfig::default());
+    let opts =
+        AlsOptions { max_iters: 1, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let core = 4usize;
+
+    let mut g = c.benchmark_group("fig8_machine_scalability");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let mut sim_times = Vec::new();
+    for &m in &[10usize, 20, 40] {
+        g.bench_with_input(BenchmarkId::new("tucker_dri", m), &m, |b, &m| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::with_machines(m));
+                tucker_als(&cluster, &x, [core, core, core], &opts).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("parafac_dri", m), &m, |b, &m| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig::with_machines(m));
+                parafac_als(&cluster, &x, core, &opts).unwrap()
+            })
+        });
+        let cluster = fig8_cluster(m);
+        tucker_als(&cluster, &x, [core, core, core], &opts).unwrap();
+        sim_times.push((m, cluster.metrics().total_sim_time_s()));
+    }
+    g.finish();
+
+    let t10 = sim_times[0].1;
+    println!("\nFig 8 series (simulated scale-up T10/TM):");
+    for (m, t) in sim_times {
+        println!("  machines={m:>2}  T10/TM={:.2}  sim_s={t:.1}", t10 / t);
+    }
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion benches for the cost tables (III, IV), the dataset pipeline
+//! (Table V), the discovery pipeline (Tables VI–VIII), and Lemma 3.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haten2_core::parafac::mttkrp;
+use haten2_core::tucker::{project, ProjectOptions};
+use haten2_core::{parafac_als, AlsOptions, Variant};
+use haten2_data::discovery::parafac_concepts;
+use haten2_data::kb::KnowledgeBase;
+use haten2_data::preprocess::{preprocess, PreprocessConfig};
+use haten2_data::random::{random_tensor, RandomTensorConfig};
+use haten2_linalg::Mat;
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use haten2_tensor::ops::ttm;
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Duration;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+}
+
+/// Table III: the Tucker projection per variant at a fixed operating point,
+/// so the per-variant job-count/intermediate-data trade-off is visible as
+/// wall time.
+fn table3_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_tucker_kernel");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 40u64;
+    let x = random_tensor(&RandomTensorConfig::cubic(i, 400, 31));
+    let mut rng = StdRng::seed_from_u64(31);
+    let u1 = Mat::random(4, i as usize, &mut rng);
+    let u2 = Mat::random(4, i as usize, &mut rng);
+    for v in Variant::ALL {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Table IV: the PARAFAC MTTKRP per variant.
+fn table4_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_parafac_kernel");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let i = 40u64;
+    let x = random_tensor(&RandomTensorConfig::cubic(i, 400, 32));
+    let mut rng = StdRng::seed_from_u64(32);
+    let f1 = Mat::random(i as usize, 4, &mut rng);
+    let f2 = Mat::random(i as usize, 4, &mut rng);
+    for v in Variant::ALL {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| mttkrp(&cluster(), v, &x, 0, &f1, &f2).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Table V: generation + preprocessing throughput of the dataset pipeline.
+fn table5_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_dataset_pipeline");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for &scale in &[1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("freebase_music", scale), &scale, |b, &s| {
+            b.iter(|| {
+                let kb = KnowledgeBase::freebase_music(s, 33);
+                preprocess(&kb, &PreprocessConfig::default())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("nell", scale), &scale, |b, &s| {
+            b.iter(|| {
+                let kb = KnowledgeBase::nell(s, 33);
+                preprocess(&kb, &PreprocessConfig::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Tables VI–VIII: the end-to-end discovery pipeline (decompose + extract).
+fn discovery_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_8_discovery");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let kb = KnowledgeBase::freebase_music(1, 34);
+    let (x, _) = preprocess(&kb, &PreprocessConfig::default());
+    g.bench_function("parafac_concepts_end_to_end", |b| {
+        b.iter(|| {
+            let cl = cluster();
+            let opts =
+                AlsOptions { max_iters: 3, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+            let res = parafac_als(&cl, &x, 4, &opts).unwrap();
+            parafac_concepts(&res.factors, &res.lambda, 3, &kb.subjects, &kb.objects, &kb.predicates)
+        })
+    });
+    g.finish();
+}
+
+/// Lemma 3: sparse ttm whose output size the lemma estimates.
+fn lemma3_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lemma3_ttm");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let mut rng = StdRng::seed_from_u64(35);
+    for &nnz in &[500usize, 2000] {
+        let x = random_tensor(&RandomTensorConfig::cubic(100, nnz, 35));
+        let b = Mat::random(8, 100, &mut rng);
+        g.bench_with_input(BenchmarkId::new("ttm_mode1", nnz), &nnz, |bch, _| {
+            bch.iter(|| ttm(&x, 1, &b).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table3_kernels,
+    table4_kernels,
+    table5_pipeline,
+    discovery_pipeline,
+    lemma3_kernel
+);
+criterion_main!(benches);

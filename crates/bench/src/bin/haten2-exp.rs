@@ -1,0 +1,135 @@
+//! `haten2-exp` — regenerate any table or figure of the HaTen2 paper.
+//!
+//! ```text
+//! haten2-exp <experiment> [--tiny]
+//!
+//! experiments:
+//!   fig1a fig1b fig1c        Tucker data scalability (Fig. 1)
+//!   fig7a fig7b fig7c        PARAFAC data scalability (Fig. 7)
+//!   fig8                     machine scalability (Fig. 8)
+//!   table2                   method/idea matrix (Table II)
+//!   table3 table4            cost summaries, measured vs analytic
+//!   table5                   dataset registry (Table V)
+//!   table6 table7 table8     concept discovery on the KB stand-in
+//!   nell                     supplementary NELL concept discovery
+//!   lemma3                   nnz(X ×₂ B) estimate check
+//!   ablation                 combiner & job-integration ablations
+//!   skew                     uniform vs power-law reduce-side skew
+//!   fig5                     per-job dataflow trace per variant (Figs. 5/6)
+//!   all                      everything above, in order
+//! ```
+//!
+//! `--tiny` shrinks the sweeps to seconds (useful for smoke tests); the
+//! default sizes are the laptop-scale analogues documented in
+//! EXPERIMENTS.md.
+
+use haten2_bench::experiments::{self, SweepScale};
+use haten2_bench::ExpTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let scale = if tiny { SweepScale::Tiny } else { SweepScale::Default };
+    // Optional: --csv DIR writes each table as a CSV next to printing it.
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let which = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).is_none_or(|prev| prev != "--csv")
+        })
+        .map(|(_, a)| a.as_str())
+        .next()
+        .unwrap_or("all");
+
+    let emit = |t: ExpTable| {
+        println!("{t}");
+        if let Some(dir) = &csv_dir {
+            match t.save_csv(dir) {
+                Ok(path) => println!("  (csv: {})", path.display()),
+                Err(e) => eprintln!("  csv write failed: {e}"),
+            }
+        }
+    };
+
+    let known = [
+        "fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8", "table2", "table3",
+        "table4", "table5", "table6", "table7", "table8", "nell", "lemma3", "ablation",
+        "skew", "fig5", "all",
+    ];
+    if !known.contains(&which) {
+        eprintln!("unknown experiment '{which}'; expected one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+
+    let run = |name: &str| which == "all" || which == name;
+    let (kb_scale, dims_mid, rank) = if tiny { (1, 12u64, 3usize) } else { (2, 40, 5) };
+
+    if run("table2") {
+        emit(experiments::table2_methods());
+    }
+    if run("table5") {
+        emit(experiments::table5_datasets(kb_scale));
+    }
+    if run("table3") {
+        emit(experiments::table3_tucker_costs(dims_mid, (dims_mid * 10) as usize, rank, rank));
+    }
+    if run("table4") {
+        emit(experiments::table4_parafac_costs(dims_mid, (dims_mid * 10) as usize, rank));
+    }
+    if run("lemma3") {
+        let base = (dims_mid * 5) as usize;
+        println!(
+            "{}",
+            experiments::lemma3_nnz_estimate(dims_mid * 5, rank, &[base, base * 3, base * 10])
+        );
+    }
+    if run("ablation") {
+        emit(experiments::ablation(dims_mid * 2, (dims_mid * 20) as usize, rank, rank));
+    }
+    if run("fig5") {
+        emit(experiments::fig5_dataflow_trace(dims_mid, (dims_mid * 10) as usize, rank, rank));
+    }
+    if run("skew") {
+        emit(experiments::skew_ablation(dims_mid * 8, (dims_mid * 80) as usize, rank));
+    }
+    if run("fig1a") {
+        emit(experiments::fig1a_tucker_dims(scale));
+    }
+    if run("fig1b") {
+        emit(experiments::fig1b_tucker_density(scale));
+    }
+    if run("fig1c") {
+        emit(experiments::fig1c_tucker_core(scale));
+    }
+    if run("fig7a") {
+        emit(experiments::fig7a_parafac_dims(scale));
+    }
+    if run("fig7b") {
+        emit(experiments::fig7b_parafac_density(scale));
+    }
+    if run("fig7c") {
+        emit(experiments::fig7c_parafac_rank(scale));
+    }
+    if run("fig8") {
+        let machines: &[usize] = &[10, 20, 30, 40];
+        emit(experiments::fig8_machine_scalability(kb_scale, machines));
+    }
+    if run("table6") {
+        emit(experiments::table6_parafac_concepts(kb_scale, 10.min(rank * 2), 3));
+    }
+    if run("nell") {
+        emit(experiments::table_nell_concepts(kb_scale, 10.min(rank * 2), 3));
+    }
+    if run("table7") {
+        emit(experiments::table7_tucker_groups(kb_scale, rank, 4));
+    }
+    if run("table8") {
+        emit(experiments::table8_tucker_concepts(kb_scale, rank, 3));
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment implementations, one per paper table/figure.
+
+pub mod costs;
+pub mod discovery;
+pub mod machines;
+pub mod scalability;
+
+pub use costs::{
+    ablation, fig5_dataflow_trace, lemma3_nnz_estimate, skew_ablation, table2_methods,
+    table3_tucker_costs, table4_parafac_costs,
+};
+pub use discovery::{
+    table5_datasets, table6_parafac_concepts, table7_tucker_groups, table8_tucker_concepts,
+    table_nell_concepts,
+};
+pub use machines::fig8_machine_scalability;
+pub use scalability::{
+    fig1a_tucker_dims, fig1b_tucker_density, fig1c_tucker_core, fig7a_parafac_dims,
+    fig7b_parafac_density, fig7c_parafac_rank, SweepScale,
+};
+
+use haten2_mapreduce::{Cluster, ClusterConfig};
+
+/// Outcome of one experiment point.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Completed: simulated cluster seconds and actual wall seconds.
+    Time {
+        /// Simulated time on the configured cluster.
+        sim_s: f64,
+        /// Wall-clock seconds in this process.
+        wall_s: f64,
+    },
+    /// Failed with (simulated) resource exhaustion — "o.o.m." in the paper.
+    Oom(String),
+    /// Not run (e.g. the paper omits the method at this point).
+    Skipped,
+}
+
+impl Outcome {
+    /// Render for a table cell: simulated seconds, `o.o.m.`, or `-`.
+    pub fn cell(&self) -> String {
+        match self {
+            Outcome::Time { sim_s, .. } if *sim_s < 1.0 => format!("{sim_s:.3}"),
+            Outcome::Time { sim_s, .. } => format!("{sim_s:.1}"),
+            Outcome::Oom(_) => "o.o.m.".to_string(),
+            Outcome::Skipped => "-".to_string(),
+        }
+    }
+
+    /// Simulated seconds when completed.
+    pub fn sim_s(&self) -> Option<f64> {
+        match self {
+            Outcome::Time { sim_s, .. } => Some(*sim_s),
+            _ => None,
+        }
+    }
+
+    /// True when the point hit the resource limit.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Outcome::Oom(_))
+    }
+}
+
+/// Cluster configured like the experiments' scaled testbed: `machines`
+/// machines and an aggregate intermediate-data capacity standing in for the
+/// cluster's spill space.
+pub fn experiment_cluster(machines: usize, capacity_bytes: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        machines,
+        cluster_capacity_bytes: Some(capacity_bytes),
+        // Scaled-down cluster: with tensors ~10⁴× smaller than the paper's,
+        // per-machine throughput shrinks by the same factor so the
+        // data-dependent part of the running time stays visible next to the
+        // fixed per-job overhead (the paper's Hadoop jobs moved GBs per job;
+        // ours move MBs).
+        map_bytes_per_s: 200.0e3,
+        shuffle_bytes_per_s: 100.0e3,
+        reduce_bytes_per_s: 200.0e3,
+        ..ClusterConfig::default()
+    })
+}

@@ -1,0 +1,597 @@
+//! Alternating-least-squares drivers: PARAFAC-ALS (Algorithm 1) and
+//! Tucker-ALS (Algorithm 2) on top of the distributed HaTen2 kernels.
+//!
+//! The distributed work — MTTKRP for PARAFAC, the two-sided projection for
+//! Tucker — goes through [`crate::parafac::mttkrp`] / [`crate::tucker::project`]
+//! with the configured [`Variant`]. The small dense driver-side steps
+//! (pseudoinverse of the `R×R` Hadamard Gram matrix, leading singular
+//! vectors of the `Iₙ×QR` matricized projection, column normalization) use
+//! `haten2-linalg`, mirroring how the Hadoop implementation kept these on
+//! the master.
+
+use crate::tucker::ProjectOptions;
+use crate::{parafac, tucker, CoreError, Result, Variant};
+use haten2_linalg::{
+    leading_left_singular_vectors, pinv, thin_qr, Mat, SubspaceOptions,
+};
+use haten2_mapreduce::{Cluster, RunMetrics};
+use haten2_tensor::{CooTensor3, DenseTensor3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Options shared by both ALS drivers.
+#[derive(Debug, Clone)]
+pub struct AlsOptions {
+    /// Which HaTen2 variant performs the distributed kernels.
+    pub variant: Variant,
+    /// Maximum outer (sweep) iterations `T`.
+    pub max_iters: usize,
+    /// Convergence tolerance: stop when the fit (PARAFAC) or `‖G‖`
+    /// (Tucker) changes by less than this between sweeps.
+    pub tol: f64,
+    /// Seed for factor initialization.
+    pub seed: u64,
+    /// Use a map-side combiner in Collapse jobs (ablation knob).
+    pub use_combiner: bool,
+    /// Evaluate the PARAFAC fit's inner product `⟨X, X̂⟩` as a MapReduce
+    /// job (as the Hadoop implementation does) instead of on the driver.
+    /// Adds one job per sweep; results are identical.
+    pub distributed_fit: bool,
+}
+
+impl Default for AlsOptions {
+    fn default() -> Self {
+        AlsOptions {
+            variant: Variant::Dri,
+            max_iters: 20,
+            tol: 1e-4,
+            seed: 0x5eed,
+            use_combiner: false,
+            distributed_fit: false,
+        }
+    }
+}
+
+impl AlsOptions {
+    /// Options running a specific variant with defaults otherwise.
+    pub fn with_variant(variant: Variant) -> Self {
+        AlsOptions { variant, ..Default::default() }
+    }
+}
+
+/// Result of [`parafac_als`].
+#[derive(Debug, Clone)]
+pub struct ParafacResult {
+    /// Column norms `λ ∈ ℝ^R` (Algorithm 1's normalization weights).
+    pub lambda: Vec<f64>,
+    /// Factor matrices `A ∈ ℝ^{I×R}`, `B ∈ ℝ^{J×R}`, `C ∈ ℝ^{K×R}` with
+    /// unit-norm columns.
+    pub factors: [Mat; 3],
+    /// Fit `1 − ‖X − X̂‖/‖X‖` after each sweep.
+    pub fits: Vec<f64>,
+    /// Sweeps executed.
+    pub iterations: usize,
+    /// MapReduce metrics for the whole decomposition.
+    pub metrics: RunMetrics,
+}
+
+impl ParafacResult {
+    /// Final fit (0 when no sweep ran).
+    pub fn fit(&self) -> f64 {
+        self.fits.last().copied().unwrap_or(0.0)
+    }
+
+    /// Model value `X̂(i,j,k) = Σ_r λ_r A(i,r) B(j,r) C(k,r)`.
+    pub fn predict(&self, i: u64, j: u64, k: u64) -> f64 {
+        let [a, b, c] = &self.factors;
+        (0..self.lambda.len())
+            .map(|r| {
+                self.lambda[r] * a.get(i as usize, r) * b.get(j as usize, r) * c.get(k as usize, r)
+            })
+            .sum()
+    }
+}
+
+/// 3-way PARAFAC-ALS (paper Algorithm 1).
+///
+/// Each sweep updates the three factors in turn:
+/// `A ← X₍₁₎(C ⊙ B)(CᵀC * BᵀB)†` (and cyclically), with the MTTKRP
+/// executed distributedly by the configured variant, then normalizes
+/// columns into `λ`.
+///
+/// ```
+/// use haten2_core::{parafac_als, AlsOptions, Variant};
+/// use haten2_mapreduce::{Cluster, ClusterConfig};
+/// use haten2_tensor::{CooTensor3, Entry3};
+///
+/// // A rank-1 tensor: X(i,j,k) = a_i b_j c_k.
+/// let mut entries = Vec::new();
+/// for i in 0..4u64 {
+///     for j in 0..3u64 {
+///         for k in 0..2u64 {
+///             let v = (i + 1) as f64 * (j + 1) as f64 * (k + 1) as f64;
+///             entries.push(Entry3::new(i, j, k, v));
+///         }
+///     }
+/// }
+/// let x = CooTensor3::from_entries([4, 3, 2], entries).unwrap();
+///
+/// let cluster = Cluster::new(ClusterConfig::with_machines(4));
+/// let opts = AlsOptions { max_iters: 10, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+/// let res = parafac_als(&cluster, &x, 1, &opts).unwrap();
+/// assert!(res.fit() > 0.9999);
+/// assert!((res.predict(3, 2, 1) - 24.0).abs() < 1e-6);
+/// ```
+pub fn parafac_als(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    rank: usize,
+    opts: &AlsOptions,
+) -> Result<ParafacResult> {
+    parafac_als_with_init(cluster, x, rank, opts, None)
+}
+
+/// [`parafac_als`] with an optional warm start: when `init` is given, the
+/// sweeps continue from those factors instead of a random initialization
+/// (checkpoint/resume, or refining a compressed solution).
+pub fn parafac_als_with_init(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    rank: usize,
+    opts: &AlsOptions,
+    init: Option<[Mat; 3]>,
+) -> Result<ParafacResult> {
+    if rank == 0 {
+        return Err(CoreError::InvalidArgument("rank must be positive".into()));
+    }
+    let dims = x.dims();
+    if let Some(init) = &init {
+        for (n, f) in init.iter().enumerate() {
+            if f.rows() != dims[n] as usize || f.cols() != rank {
+                return Err(CoreError::InvalidArgument(format!(
+                    "init factor {n} is {}x{}, expected {}x{rank}",
+                    f.rows(),
+                    f.cols(),
+                    dims[n]
+                )));
+            }
+        }
+    }
+    let mark = cluster.jobs_run();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut factors = init.unwrap_or_else(|| {
+        [
+            Mat::random(dims[0] as usize, rank, &mut rng),
+            Mat::random(dims[1] as usize, rank, &mut rng),
+            Mat::random(dims[2] as usize, rank, &mut rng),
+        ]
+    });
+    let mut lambda = vec![1.0; rank];
+    let norm_x_sq = x.fro_norm_sq();
+    let norm_x = norm_x_sq.sqrt();
+
+    let mut fits: Vec<f64> = Vec::new();
+    let mut iterations = 0;
+    for _sweep in 0..opts.max_iters {
+        iterations += 1;
+        let mut last_mttkrp: Option<Mat> = None;
+        for mode in 0..3 {
+            let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+            let m = parafac::mttkrp(
+                cluster,
+                opts.variant,
+                x,
+                mode,
+                &factors[others[0]],
+                &factors[others[1]],
+            )?;
+            // (F₁ᵀF₁ * F₂ᵀF₂)†
+            let g = factors[others[0]]
+                .gram()
+                .hadamard(&factors[others[1]].gram())
+                .map_err(CoreError::Linalg)?;
+            let updated = m.matmul(&pinv(&g)?).map_err(CoreError::Linalg)?;
+            factors[mode] = updated;
+            lambda = factors[mode].normalize_columns();
+            if mode == 2 {
+                last_mttkrp = Some(m);
+            }
+        }
+
+        // Fit: ⟨X, X̂⟩ either from the last MTTKRP (driver-side, free) or
+        // recomputed as a MapReduce job when configured.
+        let inner = if opts.distributed_fit {
+            let x_records = crate::records::tensor_records(x);
+            crate::ops::model_inner_product_job(
+                cluster,
+                "parafac-fit",
+                &x_records,
+                [&factors[0], &factors[1], &factors[2]],
+                &lambda,
+            )?
+        } else {
+            let m = last_mttkrp.as_ref().expect("three modes were swept");
+            let c = &factors[2];
+            let mut inner = 0.0;
+            for k in 0..c.rows() {
+                for (r, &l) in lambda.iter().enumerate() {
+                    inner += m.get(k, r) * c.get(k, r) * l;
+                }
+            }
+            inner
+        };
+        // ‖X̂‖² = λᵀ (AᵀA * BᵀB * CᵀC) λ.
+        let g_all = factors[0]
+            .gram()
+            .hadamard(&factors[1].gram())
+            .and_then(|g| g.hadamard(&factors[2].gram()))
+            .map_err(CoreError::Linalg)?;
+        let mut norm_model_sq = 0.0;
+        for r in 0..rank {
+            for s in 0..rank {
+                norm_model_sq += lambda[r] * lambda[s] * g_all.get(r, s);
+            }
+        }
+        let err_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
+        let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+        let prev = fits.last().copied();
+        fits.push(fit);
+        if let Some(p) = prev {
+            if (fit - p).abs() < opts.tol {
+                break;
+            }
+        }
+    }
+
+    Ok(ParafacResult {
+        lambda,
+        factors,
+        fits,
+        iterations,
+        metrics: cluster.metrics_since(mark),
+    })
+}
+
+/// Result of [`tucker_als`].
+#[derive(Debug, Clone)]
+pub struct TuckerResult {
+    /// Core tensor `G ∈ ℝ^{P×Q×R}`.
+    pub core: DenseTensor3,
+    /// Orthonormal factor matrices `A ∈ ℝ^{I×P}`, `B ∈ ℝ^{J×Q}`,
+    /// `C ∈ ℝ^{K×R}`.
+    pub factors: [Mat; 3],
+    /// `‖G‖` after each sweep (Algorithm 2's convergence quantity).
+    pub core_norms: Vec<f64>,
+    /// Sweeps executed.
+    pub iterations: usize,
+    /// Fit `1 − ‖X − X̂‖/‖X‖` (uses `‖X̂‖ = ‖G‖`, valid for orthonormal
+    /// factors).
+    pub fit: f64,
+    /// MapReduce metrics for the whole decomposition.
+    pub metrics: RunMetrics,
+}
+
+/// 3-way Tucker-ALS (paper Algorithm 2), HOOI-style.
+///
+/// Each sweep recomputes, for every mode, the projection of `X` onto the
+/// other two factors (distributed, per the configured variant) and takes
+/// the leading left singular vectors of its matricization (driver-side
+/// subspace iteration over the sparse matricized operator — never
+/// densified). Terminates when `‖G‖` stops increasing.
+pub fn tucker_als(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    core_dims: [usize; 3],
+    opts: &AlsOptions,
+) -> Result<TuckerResult> {
+    tucker_als_with_init(cluster, x, core_dims, opts, None)
+}
+
+/// [`tucker_als`] with an optional warm start for the mode-1/mode-2
+/// factors `[B, C]` (mode-0 is recomputed first in every sweep, so only
+/// the trailing factors seed the iteration).
+pub fn tucker_als_with_init(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    core_dims: [usize; 3],
+    opts: &AlsOptions,
+    init_bc: Option<[Mat; 2]>,
+) -> Result<TuckerResult> {
+    let dims = x.dims();
+    let [p_dim, q_dim, r_dim] = core_dims;
+    for (n, (&cd, &d)) in core_dims.iter().zip(dims.iter()).enumerate() {
+        if cd == 0 || cd as u64 > d {
+            return Err(CoreError::InvalidArgument(format!(
+                "core dim {cd} invalid for mode {n} of size {d}"
+            )));
+        }
+    }
+    // Leading-left-singular-vector extraction needs core_dims[n] ≤ product
+    // of the other two core dims (columns of the matricized projection).
+    let products = [q_dim * r_dim, p_dim * r_dim, p_dim * q_dim];
+    for n in 0..3 {
+        if core_dims[n] > products[n] {
+            return Err(CoreError::InvalidArgument(format!(
+                "core dim {} for mode {n} exceeds the {} columns of the matricized projection",
+                core_dims[n], products[n]
+            )));
+        }
+    }
+
+    if let Some(init) = &init_bc {
+        let expect = [(dims[1] as usize, q_dim), (dims[2] as usize, r_dim)];
+        for (n, (f, &(rows, cols))) in init.iter().zip(expect.iter()).enumerate() {
+            if f.rows() != rows || f.cols() != cols {
+                return Err(CoreError::InvalidArgument(format!(
+                    "init factor {} is {}x{}, expected {rows}x{cols}",
+                    n + 1,
+                    f.rows(),
+                    f.cols()
+                )));
+            }
+        }
+    }
+    let mark = cluster.jobs_run();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // Initialize B and C with orthonormal columns (A is computed first).
+    let mut factors = match init_bc {
+        Some([b, c]) => [Mat::zeros(dims[0] as usize, p_dim), b, c],
+        None => [
+            Mat::zeros(dims[0] as usize, p_dim),
+            thin_qr(&Mat::random(dims[1] as usize, q_dim, &mut rng))?,
+            thin_qr(&Mat::random(dims[2] as usize, r_dim, &mut rng))?,
+        ],
+    };
+    let norm_x_sq = x.fro_norm_sq();
+    let norm_x = norm_x_sq.sqrt();
+    let project_opts = ProjectOptions { use_combiner: opts.use_combiner };
+
+    let mut core_norms: Vec<f64> = Vec::new();
+    let mut core = DenseTensor3::zeros(core_dims);
+    let mut iterations = 0;
+
+    for sweep in 0..opts.max_iters {
+        iterations += 1;
+        let mut last_y: Option<CooTensor3> = None;
+        for mode in 0..3 {
+            let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+            let u1 = factors[others[0]].transpose();
+            let u2 = factors[others[1]].transpose();
+            let y = tucker::project(cluster, opts.variant, x, mode, &u1, &u2, &project_opts)?;
+            // Leading left singular vectors of Y₍₁₎ (canonical mode 0).
+            let y_mat = y.matricize(0)?;
+            let sub_opts = SubspaceOptions {
+                seed: opts.seed ^ ((sweep as u64) << 8 | mode as u64),
+                ..Default::default()
+            };
+            factors[mode] = leading_left_singular_vectors(&y_mat, core_dims[mode], &sub_opts)?;
+            if mode == 2 {
+                last_y = Some(y);
+            }
+        }
+
+        // Core: G(p,q,r) = Σ_k Y(k,p,q)·C(k,r), from the final projection
+        // Y = X ×₁ Aᵀ ×₂ Bᵀ in canonical (k, p, q) orientation.
+        let y = last_y.expect("three modes were swept");
+        let c = &factors[2];
+        core = DenseTensor3::zeros(core_dims);
+        for e in y.entries() {
+            let (k, p, q) = (e.i as usize, e.j as usize, e.k as usize);
+            for r in 0..r_dim {
+                core.add_at(p, q, r, e.v * c.get(k, r));
+            }
+        }
+
+        let norm_g = core.fro_norm();
+        let prev = core_norms.last().copied();
+        core_norms.push(norm_g);
+        if let Some(p) = prev {
+            if (norm_g - p).abs() < opts.tol * norm_x.max(1.0) {
+                break;
+            }
+        }
+    }
+
+    let norm_g = core_norms.last().copied().unwrap_or(0.0);
+    let err_sq = (norm_x_sq - norm_g * norm_g).max(0.0);
+    let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+
+    Ok(TuckerResult {
+        core,
+        factors,
+        core_norms,
+        iterations,
+        fit,
+        metrics: cluster.metrics_since(mark),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haten2_mapreduce::ClusterConfig;
+    use haten2_tensor::Entry3;
+    use rand::Rng;
+
+    /// A low-rank tensor: X = Σ_r a_r ∘ b_r ∘ c_r with known rank.
+    fn low_rank_tensor(dims: [u64; 3], rank: usize, seed: u64) -> CooTensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::random(dims[0] as usize, rank, &mut rng);
+        let b = Mat::random(dims[1] as usize, rank, &mut rng);
+        let c = Mat::random(dims[2] as usize, rank, &mut rng);
+        let mut entries = Vec::new();
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                for k in 0..dims[2] {
+                    let v: f64 = (0..rank)
+                        .map(|r| {
+                            a.get(i as usize, r) * b.get(j as usize, r) * c.get(k as usize, r)
+                        })
+                        .sum();
+                    entries.push(Entry3::new(i, j, k, v));
+                }
+            }
+        }
+        CooTensor3::from_entries(dims, entries).unwrap()
+    }
+
+    fn sparse_random(dims: [u64; 3], nnz: usize, seed: u64) -> CooTensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..nnz)
+            .map(|_| {
+                Entry3::new(
+                    rng.gen_range(0..dims[0]),
+                    rng.gen_range(0..dims[1]),
+                    rng.gen_range(0..dims[2]),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect();
+        CooTensor3::from_entries(dims, entries).unwrap()
+    }
+
+    #[test]
+    fn parafac_recovers_low_rank_tensor() {
+        let x = low_rank_tensor([6, 5, 4], 2, 31);
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        let opts = AlsOptions { max_iters: 60, tol: 1e-9, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
+        assert!(res.fit() > 0.999, "fit = {}", res.fit());
+        // Model reproduces entries.
+        for e in x.entries().iter().take(10) {
+            assert!((res.predict(e.i, e.j, e.k) - e.v).abs() < 0.05 * e.v.abs().max(0.1));
+        }
+    }
+
+    #[test]
+    fn parafac_fit_nondecreasing_mostly() {
+        let x = sparse_random([8, 8, 8], 60, 33);
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        let opts = AlsOptions { max_iters: 10, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = parafac_als(&cluster, &x, 3, &opts).unwrap();
+        // ALS fit is monotone up to tiny numerical noise.
+        for w in res.fits.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "fits decreased: {:?}", res.fits);
+        }
+    }
+
+    #[test]
+    fn parafac_variants_agree() {
+        let x = sparse_random([5, 4, 4], 25, 35);
+        let mut results = Vec::new();
+        for variant in Variant::ALL {
+            let cluster = Cluster::new(ClusterConfig::with_machines(3));
+            let opts = AlsOptions {
+                max_iters: 4,
+                tol: 0.0,
+                ..AlsOptions::with_variant(variant)
+            };
+            let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
+            results.push((variant, res));
+        }
+        // Same seed + exact same math => identical trajectories.
+        let reference = &results[0].1;
+        for (variant, res) in &results[1..] {
+            for (f1, f2) in reference.fits.iter().zip(&res.fits) {
+                assert!(
+                    (f1 - f2).abs() < 1e-8,
+                    "{variant} fit trajectory diverged: {f1} vs {f2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tucker_exact_on_low_multilinear_rank() {
+        let x = low_rank_tensor([6, 5, 4], 2, 37);
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        let opts = AlsOptions { max_iters: 30, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
+        assert!(res.fit > 0.999, "fit = {}", res.fit);
+        // Factors orthonormal.
+        for f in &res.factors {
+            let g = f.gram();
+            assert!(g.approx_eq(&Mat::identity(g.rows()), 1e-8));
+        }
+        // Reconstruction matches.
+        let recon =
+            DenseTensor3::tucker_reconstruct(&res.core, &res.factors[0], &res.factors[1], &res.factors[2])
+                .unwrap();
+        let dense = DenseTensor3::from_coo(&x).unwrap();
+        assert!(recon.approx_eq(&dense, 1e-6 * x.fro_norm()));
+    }
+
+    #[test]
+    fn tucker_core_norm_nondecreasing() {
+        let x = sparse_random([8, 7, 6], 50, 39);
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        let opts = AlsOptions { max_iters: 8, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
+        for w in res.core_norms.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "core norms decreased: {:?}", res.core_norms);
+        }
+        assert!(res.fit <= 1.0 && res.fit >= 0.0);
+    }
+
+    #[test]
+    fn tucker_variants_agree() {
+        let x = sparse_random([5, 5, 5], 30, 41);
+        let mut norms = Vec::new();
+        for variant in [Variant::Dnn, Variant::Drn, Variant::Dri] {
+            let cluster = Cluster::new(ClusterConfig::with_machines(3));
+            let opts = AlsOptions { max_iters: 3, tol: 0.0, ..AlsOptions::with_variant(variant) };
+            let res = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
+            norms.push((variant, res.core_norms));
+        }
+        let reference = norms[0].1.clone();
+        for (variant, ns) in &norms[1..] {
+            for (a, b) in reference.iter().zip(ns) {
+                assert!((a - b).abs() < 1e-8, "{variant}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_arguments_rejected() {
+        let x = sparse_random([4, 4, 4], 10, 43);
+        let cluster = Cluster::with_defaults();
+        assert!(parafac_als(&cluster, &x, 0, &AlsOptions::default()).is_err());
+        assert!(tucker_als(&cluster, &x, [0, 2, 2], &AlsOptions::default()).is_err());
+        assert!(tucker_als(&cluster, &x, [5, 2, 2], &AlsOptions::default()).is_err());
+    }
+
+    #[test]
+    fn distributed_fit_matches_driver_fit() {
+        let x = sparse_random([6, 5, 5], 30, 47);
+        let run = |distributed: bool| {
+            let cluster = Cluster::new(ClusterConfig::with_machines(3));
+            let opts = AlsOptions {
+                max_iters: 3,
+                tol: 0.0,
+                distributed_fit: distributed,
+                ..AlsOptions::with_variant(Variant::Dri)
+            };
+            parafac_als(&cluster, &x, 2, &opts).unwrap()
+        };
+        let driver = run(false);
+        let dist = run(true);
+        for (a, b) in driver.fits.iter().zip(&dist.fits) {
+            assert!((a - b).abs() < 1e-10, "driver {a} vs distributed {b}");
+        }
+        // One extra job per sweep for the fit computation.
+        assert_eq!(
+            dist.metrics.total_jobs(),
+            driver.metrics.total_jobs() + dist.iterations
+        );
+    }
+
+    #[test]
+    fn metrics_attributed_to_decomposition() {
+        let x = sparse_random([4, 4, 4], 10, 45);
+        let cluster = Cluster::new(ClusterConfig::with_machines(2));
+        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
+        // DRI: 2 jobs per MTTKRP × 3 modes × 2 sweeps.
+        assert_eq!(res.metrics.total_jobs(), 12);
+    }
+}

@@ -1,0 +1,271 @@
+//! Checkpointing: persist decomposition results to disk and resume ALS
+//! from them.
+//!
+//! Long Hadoop decompositions checkpoint their factor matrices to HDFS
+//! between sweeps so a lost job does not restart from scratch; this module
+//! provides the same workflow against the local filesystem, in the text
+//! formats the CLI uses (`<prefix>.A.mat`, …, `<prefix>.lambda.txt`,
+//! `<prefix>.core.tns`).
+
+use crate::als::{
+    parafac_als_with_init, tucker_als_with_init, AlsOptions, ParafacResult, TuckerResult,
+};
+use crate::{CoreError, Result};
+use haten2_linalg::{load_mat, save_mat, Mat};
+use haten2_mapreduce::Cluster;
+use haten2_tensor::{CooTensor3, DenseTensor3};
+use std::path::Path;
+
+const FACTOR_NAMES: [&str; 3] = ["A", "B", "C"];
+
+fn io_err(e: impl std::fmt::Display) -> CoreError {
+    CoreError::InvalidArgument(format!("checkpoint I/O: {e}"))
+}
+
+fn ensure_parent(prefix: &str) -> Result<()> {
+    if let Some(parent) = Path::new(prefix).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a PARAFAC result: `<prefix>.{A,B,C}.mat` + `<prefix>.lambda.txt`.
+pub fn save_parafac(res: &ParafacResult, prefix: &str) -> Result<()> {
+    ensure_parent(prefix)?;
+    for (f, name) in res.factors.iter().zip(FACTOR_NAMES) {
+        save_mat(f, format!("{prefix}.{name}.mat")).map_err(io_err)?;
+    }
+    let lambda =
+        res.lambda.iter().map(f64::to_string).collect::<Vec<_>>().join("\n") + "\n";
+    std::fs::write(format!("{prefix}.lambda.txt"), lambda).map_err(io_err)?;
+    Ok(())
+}
+
+/// Read a PARAFAC checkpoint back: `(λ, [A, B, C])`.
+pub fn load_parafac(prefix: &str) -> Result<(Vec<f64>, [Mat; 3])> {
+    let mut factors = Vec::with_capacity(3);
+    for name in FACTOR_NAMES {
+        factors.push(load_mat(format!("{prefix}.{name}.mat")).map_err(io_err)?);
+    }
+    let lambda_text =
+        std::fs::read_to_string(format!("{prefix}.lambda.txt")).map_err(io_err)?;
+    let lambda: Vec<f64> = lambda_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.trim().parse().map_err(io_err))
+        .collect::<Result<_>>()?;
+    let [a, b, c]: [Mat; 3] =
+        factors.try_into().expect("exactly three factors were read");
+    if lambda.len() != a.cols() {
+        return Err(CoreError::InvalidArgument(format!(
+            "checkpoint rank mismatch: {} lambdas for {} columns",
+            lambda.len(),
+            a.cols()
+        )));
+    }
+    Ok((lambda, [a, b, c]))
+}
+
+/// Resume PARAFAC-ALS from a checkpoint: loads `<prefix>` and continues
+/// sweeping on `x`. The stored λ is folded back into the factors before
+/// resuming (ALS re-normalizes each sweep).
+pub fn resume_parafac(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    prefix: &str,
+    opts: &AlsOptions,
+) -> Result<ParafacResult> {
+    let (lambda, mut factors) = load_parafac(prefix)?;
+    // Fold λ into the first factor so the model is unchanged.
+    let a = &mut factors[0];
+    for (r, &l) in lambda.iter().enumerate() {
+        for i in 0..a.rows() {
+            let v = a.get(i, r) * l;
+            a.set(i, r, v);
+        }
+    }
+    let rank = factors[0].cols();
+    parafac_als_with_init(cluster, x, rank, opts, Some(factors))
+}
+
+/// Resume Tucker-ALS from a checkpoint: seeds the mode-1/mode-2 factors
+/// from `<prefix>` and continues sweeping on `x` (mode-0 is recomputed
+/// first, per Algorithm 2).
+pub fn resume_tucker(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    prefix: &str,
+    opts: &AlsOptions,
+) -> Result<TuckerResult> {
+    let (core, [a, b, c]) = load_tucker(prefix)?;
+    let core_dims = core.dims();
+    let _ = a;
+    tucker_als_with_init(cluster, x, core_dims, opts, Some([b, c]))
+}
+
+/// Write a Tucker result: `<prefix>.{A,B,C}.mat` + `<prefix>.core.tns`.
+pub fn save_tucker(res: &TuckerResult, prefix: &str) -> Result<()> {
+    ensure_parent(prefix)?;
+    for (f, name) in res.factors.iter().zip(FACTOR_NAMES) {
+        save_mat(f, format!("{prefix}.{name}.mat")).map_err(io_err)?;
+    }
+    haten2_tensor::io::save_coo3(&res.core.to_coo(), format!("{prefix}.core.tns"))
+        .map_err(io_err)?;
+    Ok(())
+}
+
+/// Read a Tucker checkpoint back: `(core, [A, B, C])`. The core's dense
+/// dimensions are taken from the factor column counts (trailing all-zero
+/// core slices are preserved).
+pub fn load_tucker(prefix: &str) -> Result<(DenseTensor3, [Mat; 3])> {
+    let mut factors = Vec::with_capacity(3);
+    for name in FACTOR_NAMES {
+        factors.push(load_mat(format!("{prefix}.{name}.mat")).map_err(io_err)?);
+    }
+    let [a, b, c]: [Mat; 3] =
+        factors.try_into().expect("exactly three factors were read");
+    let dims = [a.cols(), b.cols(), c.cols()];
+    let sparse_core = haten2_tensor::io::load_coo3(format!("{prefix}.core.tns"))
+        .map_err(io_err)?;
+    let mut core = DenseTensor3::zeros(dims);
+    for e in sparse_core.entries() {
+        if e.i as usize >= dims[0] || e.j as usize >= dims[1] || e.k as usize >= dims[2] {
+            return Err(CoreError::InvalidArgument(format!(
+                "core entry ({}, {}, {}) outside factor ranks {dims:?}",
+                e.i, e.j, e.k
+            )));
+        }
+        core.set(e.i as usize, e.j as usize, e.k as usize, e.v);
+    }
+    Ok((core, [a, b, c]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::{parafac_als, tucker_als};
+    use crate::Variant;
+    use haten2_mapreduce::ClusterConfig;
+    use haten2_tensor::Entry3;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sparse_random(dims: [u64; 3], nnz: usize, seed: u64) -> CooTensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..nnz)
+            .map(|_| {
+                Entry3::new(
+                    rng.gen_range(0..dims[0]),
+                    rng.gen_range(0..dims[1]),
+                    rng.gen_range(0..dims[2]),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect();
+        CooTensor3::from_entries(dims, entries).unwrap()
+    }
+
+    fn tmp_prefix(name: &str) -> String {
+        let dir = std::env::temp_dir().join("haten2_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).display().to_string()
+    }
+
+    #[test]
+    fn parafac_checkpoint_roundtrip() {
+        let x = sparse_random([7, 6, 5], 35, 201);
+        let cluster = Cluster::new(ClusterConfig::with_machines(3));
+        let opts = AlsOptions { max_iters: 3, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
+        let prefix = tmp_prefix("cp");
+        save_parafac(&res, &prefix).unwrap();
+        let (lambda, factors) = load_parafac(&prefix).unwrap();
+        assert_eq!(lambda.len(), 2);
+        for (orig, loaded) in res.factors.iter().zip(&factors) {
+            assert!(orig.approx_eq(loaded, 1e-12));
+        }
+    }
+
+    #[test]
+    fn resume_continues_improving() {
+        let x = sparse_random([8, 7, 6], 60, 202);
+        let cluster = Cluster::new(ClusterConfig::with_machines(3));
+        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let first = parafac_als(&cluster, &x, 3, &opts).unwrap();
+        let prefix = tmp_prefix("resume");
+        save_parafac(&first, &prefix).unwrap();
+
+        let more = AlsOptions { max_iters: 4, tol: 0.0, ..opts.clone() };
+        let resumed = resume_parafac(&cluster, &x, &prefix, &more).unwrap();
+        // The resumed run starts from the checkpoint, so its first-sweep fit
+        // is already at (or above) the checkpoint's final fit.
+        assert!(
+            resumed.fits[0] >= first.fit() - 1e-9,
+            "resumed first fit {} below checkpoint fit {}",
+            resumed.fits[0],
+            first.fit()
+        );
+        // And keeps being monotone.
+        for w in resumed.fits.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn tucker_checkpoint_roundtrip() {
+        let x = sparse_random([7, 6, 5], 35, 203);
+        let cluster = Cluster::new(ClusterConfig::with_machines(3));
+        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let res = tucker_als(&cluster, &x, [2, 3, 2], &opts).unwrap();
+        let prefix = tmp_prefix("tk");
+        save_tucker(&res, &prefix).unwrap();
+        let (core, factors) = load_tucker(&prefix).unwrap();
+        assert_eq!(core.dims(), [2, 3, 2]);
+        assert!(core.approx_eq(&res.core, 1e-12));
+        for (orig, loaded) in res.factors.iter().zip(&factors) {
+            assert!(orig.approx_eq(loaded, 1e-12));
+        }
+    }
+
+    #[test]
+    fn resume_tucker_continues_from_checkpoint() {
+        let x = sparse_random([8, 7, 6], 50, 205);
+        let cluster = Cluster::new(ClusterConfig::with_machines(3));
+        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let first = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
+        let prefix = tmp_prefix("tk_resume");
+        save_tucker(&first, &prefix).unwrap();
+        let resumed = resume_tucker(&cluster, &x, &prefix, &opts).unwrap();
+        // Warm start: the first resumed core norm is at least the
+        // checkpoint's final one (ALS is monotone in ‖G‖).
+        assert!(
+            resumed.core_norms[0] >= first.core_norms.last().unwrap() - 1e-9,
+            "resumed {} vs checkpoint {}",
+            resumed.core_norms[0],
+            first.core_norms.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn load_missing_checkpoint_fails_cleanly() {
+        assert!(load_parafac("/nonexistent/prefix").is_err());
+        assert!(load_tucker("/nonexistent/prefix").is_err());
+    }
+
+    #[test]
+    fn init_shape_validation() {
+        let x = sparse_random([5, 5, 5], 10, 204);
+        let cluster = Cluster::with_defaults();
+        let bad = [Mat::zeros(4, 2), Mat::zeros(5, 2), Mat::zeros(5, 2)];
+        let err = crate::als::parafac_als_with_init(
+            &cluster,
+            &x,
+            2,
+            &AlsOptions::default(),
+            Some(bad),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)));
+    }
+}

@@ -1,0 +1,337 @@
+//! HaTen2-PARAFAC: distributed MTTKRP `Y ← X₍ₙ₎ (⊙ of the other factors)`
+//! (Algorithms 4, 6, 8, 10 of the paper), the bottleneck of PARAFAC-ALS.
+//!
+//! For target mode 0 this is `Y = X₍₁₎ (C ⊙ B) ∈ ℝ^{I×R}` — lines 3/5/7 of
+//! PARAFAC-ALS (Algorithm 1). Costs per variant (Table IV):
+//!
+//! | Variant | Max intermediate | Jobs   |
+//! |---------|------------------|--------|
+//! | Naive   | `nnz + IJK`      | `2R`   |
+//! | DNN     | `nnz + J`        | `4R`   |
+//! | DRN     | `2·nnz·R`        | `2R+1` |
+//! | DRI     | `2·nnz·R`        | `2`    |
+
+use crate::canon::canonicalize;
+use crate::ops::{collapse_job, hadamard_vec_job, imhp_job, naive_ttv_job, pairwise_merge_job};
+use crate::records::{tensor_records, Ix4};
+use crate::{CoreError, Result, Variant};
+use haten2_linalg::Mat;
+use haten2_mapreduce::Cluster;
+use haten2_tensor::CooTensor3;
+
+/// Compute the MTTKRP `M ← X₍ₙ₎ (F₂ ⊙ F₁)` for target mode `n` using the
+/// given HaTen2 `variant`.
+///
+/// `f1 ∈ ℝ^{dims[m₁]×R}` and `f2 ∈ ℝ^{dims[m₂]×R}` are the factor matrices
+/// of the two non-target modes `m₁ < m₂` (for `n = 0`: `B` and `C`).
+/// Returns `M ∈ ℝ^{dims[n]×R}` dense.
+///
+/// ```
+/// use haten2_core::{parafac, Variant};
+/// use haten2_linalg::Mat;
+/// use haten2_mapreduce::{Cluster, ClusterConfig};
+/// use haten2_tensor::{CooTensor3, Entry3};
+///
+/// let x = CooTensor3::from_entries(
+///     [2, 2, 2],
+///     vec![Entry3::new(0, 1, 0, 3.0), Entry3::new(1, 0, 1, 2.0)],
+/// )
+/// .unwrap();
+/// let b = Mat::from_rows(&[vec![1.0], vec![2.0]]).unwrap(); // J x R
+/// let c = Mat::from_rows(&[vec![5.0], vec![7.0]]).unwrap(); // K x R
+/// let cluster = Cluster::new(ClusterConfig::with_machines(2));
+///
+/// // M(i, r) = sum_{j,k} X(i,j,k) B(j,r) C(k,r)
+/// let m = parafac::mttkrp(&cluster, Variant::Dri, &x, 0, &b, &c).unwrap();
+/// assert_eq!(m.get(0, 0), 3.0 * 2.0 * 5.0);
+/// assert_eq!(m.get(1, 0), 2.0 * 1.0 * 7.0);
+/// // DRI: exactly 2 MapReduce jobs (Table IV).
+/// assert_eq!(cluster.metrics().total_jobs(), 2);
+/// ```
+pub fn mttkrp(
+    cluster: &Cluster,
+    variant: Variant,
+    x: &CooTensor3,
+    mode: usize,
+    f1: &Mat,
+    f2: &Mat,
+) -> Result<Mat> {
+    if mode > 2 {
+        return Err(CoreError::InvalidArgument(format!("mode {mode} out of range")));
+    }
+    if f1.cols() != f2.cols() {
+        return Err(CoreError::InvalidArgument(format!(
+            "mttkrp: rank mismatch {} vs {}",
+            f1.cols(),
+            f2.cols()
+        )));
+    }
+    let (xc, _perm) = canonicalize(x, mode);
+    let d = xc.dims();
+    let (d0, d1, d2) = (d[0], d[1], d[2]);
+    if f1.rows() != d1 as usize || f2.rows() != d2 as usize {
+        return Err(CoreError::InvalidArgument(format!(
+            "mttkrp: factors are {}x{} and {}x{} for canonical dims {d:?}",
+            f1.rows(),
+            f1.cols(),
+            f2.rows(),
+            f2.cols()
+        )));
+    }
+    let r_dim = f1.cols();
+    let x_records = tensor_records(&xc);
+    let mut m = Mat::zeros(d0 as usize, r_dim);
+
+    match variant {
+        Variant::Naive => {
+            // Algorithm 4: T_r = X ×̄₂ b_r, then Y_r = T_r ×̄₃ c_r.
+            let dims4 = [d0, d1, d2, 1];
+            for r in 0..r_dim {
+                let b_col = f1.col(r);
+                let c_col = f2.col(r);
+                let t_r = naive_ttv_job(
+                    cluster,
+                    &format!("parafac-naive-xb{r}"),
+                    &x_records,
+                    dims4,
+                    1,
+                    &b_col,
+                )?;
+                let y_r = naive_ttv_job(
+                    cluster,
+                    &format!("parafac-naive-tc{r}"),
+                    &t_r,
+                    [d0, 1, d2, 1],
+                    2,
+                    &c_col,
+                )?;
+                accumulate_column(&mut m, &y_r, r);
+            }
+        }
+        Variant::Dnn => {
+            // Algorithm 6: per rank, Hadamard + Collapse twice.
+            for r in 0..r_dim {
+                let b_col = f1.col(r);
+                let c_col = f2.col(r);
+                let h1 = hadamard_vec_job(
+                    cluster,
+                    &format!("parafac-dnn-had-b{r}"),
+                    &x_records,
+                    1,
+                    &b_col,
+                    None,
+                )?;
+                let t_r = collapse_job(cluster, &format!("parafac-dnn-col-j{r}"), &h1, 1, false)?;
+                let h2 = hadamard_vec_job(
+                    cluster,
+                    &format!("parafac-dnn-had-c{r}"),
+                    &t_r,
+                    2,
+                    &c_col,
+                    None,
+                )?;
+                let y_r = collapse_job(cluster, &format!("parafac-dnn-col-k{r}"), &h2, 2, false)?;
+                accumulate_column(&mut m, &y_r, r);
+            }
+        }
+        Variant::Drn => {
+            // Algorithm 8: R Hadamard expansions per side, one PairwiseMerge.
+            let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
+            for r in 0..r_dim {
+                t_prime.extend(hadamard_vec_job(
+                    cluster,
+                    &format!("parafac-drn-had-b{r}"),
+                    &x_records,
+                    1,
+                    &f1.col(r),
+                    Some(r as u64),
+                )?);
+            }
+            let bin_records = tensor_records(&xc.bin());
+            let mut t_dprime: Vec<(Ix4, f64)> = Vec::new();
+            for r in 0..r_dim {
+                t_dprime.extend(hadamard_vec_job(
+                    cluster,
+                    &format!("parafac-drn-had-c{r}"),
+                    &bin_records,
+                    2,
+                    &f2.col(r),
+                    Some(r as u64),
+                )?);
+            }
+            let y = pairwise_merge_job(cluster, "parafac-drn-pairwisemerge", &t_prime, &t_dprime)?;
+            accumulate_pairs(&mut m, &y);
+        }
+        Variant::Dri => {
+            // Algorithm 10: IMHP + PairwiseMerge (Q = R in PARAFAC).
+            let (t_prime, t_dprime) = imhp_job(
+                cluster,
+                "parafac-dri-imhp",
+                &x_records,
+                &f1.transpose(),
+                &f2.transpose(),
+            )?;
+            let y = pairwise_merge_job(cluster, "parafac-dri-pairwisemerge", &t_prime, &t_dprime)?;
+            accumulate_pairs(&mut m, &y);
+        }
+    }
+    Ok(m)
+}
+
+/// Scatter records `((x0, 0, 0, 0), v)` into column `r` of `m`.
+fn accumulate_column(m: &mut Mat, records: &[(Ix4, f64)], r: usize) {
+    for &(ix, v) in records {
+        m.add_at(ix.0 as usize, r, v);
+    }
+}
+
+/// Scatter PairwiseMerge records `((x0, r, 0, 0), v)` into `m`.
+fn accumulate_pairs(m: &mut Mat, records: &[(Ix4, f64)]) {
+    for &(ix, v) in records {
+        m.add_at(ix.0 as usize, ix.1 as usize, v);
+    }
+}
+
+/// Number of MapReduce jobs [`mttkrp`] submits — the "Total Jobs" column of
+/// Table IV.
+pub fn expected_jobs(variant: Variant, r: usize) -> usize {
+    match variant {
+        Variant::Naive => 2 * r,
+        Variant::Dnn => 4 * r,
+        Variant::Drn => 2 * r + 1,
+        Variant::Dri => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haten2_mapreduce::ClusterConfig;
+    use haten2_tensor::ops::mttkrp_dense;
+    use haten2_tensor::Entry3;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_coo(dims: [u64; 3], nnz: usize, seed: u64) -> CooTensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..nnz)
+            .map(|_| {
+                Entry3::new(
+                    rng.gen_range(0..dims[0]),
+                    rng.gen_range(0..dims[1]),
+                    rng.gen_range(0..dims[2]),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect();
+        CooTensor3::from_entries(dims, entries).unwrap()
+    }
+
+    fn check_variant(variant: Variant) {
+        let x = random_coo([4, 5, 3], 20, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let r_dim = 3;
+        let a = Mat::random(4, r_dim, &mut rng);
+        let b = Mat::random(5, r_dim, &mut rng);
+        let c = Mat::random(3, r_dim, &mut rng);
+        let factors = [&a, &b, &c];
+        for mode in 0..3 {
+            let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+            let cluster = Cluster::new(ClusterConfig::with_machines(4));
+            let m = mttkrp(
+                &cluster,
+                variant,
+                &x,
+                mode,
+                factors[others[0]],
+                factors[others[1]],
+            )
+            .unwrap();
+            let want = mttkrp_dense(&x, mode, [&a, &b, &c]).unwrap();
+            assert!(
+                m.approx_eq(&want, 1e-9),
+                "{variant} mode {mode}:\ngot\n{m}\nwant\n{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        check_variant(Variant::Naive);
+    }
+
+    #[test]
+    fn dnn_matches_reference() {
+        check_variant(Variant::Dnn);
+    }
+
+    #[test]
+    fn drn_matches_reference() {
+        check_variant(Variant::Drn);
+    }
+
+    #[test]
+    fn dri_matches_reference() {
+        check_variant(Variant::Dri);
+    }
+
+    #[test]
+    fn job_counts_match_table4() {
+        let x = random_coo([4, 4, 4], 15, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let r_dim = 3;
+        let b = Mat::random(4, r_dim, &mut rng);
+        let c = Mat::random(4, r_dim, &mut rng);
+        for variant in Variant::ALL {
+            let cluster = Cluster::new(ClusterConfig::with_machines(2));
+            mttkrp(&cluster, variant, &x, 0, &b, &c).unwrap();
+            assert_eq!(
+                cluster.metrics().total_jobs(),
+                expected_jobs(variant, r_dim),
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_fails_on_capacity_dri_survives() {
+        let x = random_coo([40, 40, 40], 25, 25);
+        let mut rng = StdRng::seed_from_u64(26);
+        let b = Mat::random(40, 2, &mut rng);
+        let c = Mat::random(40, 2, &mut rng);
+        let cfg = || ClusterConfig {
+            cluster_capacity_bytes: Some(80_000),
+            ..ClusterConfig::with_machines(4)
+        };
+        let err = mttkrp(&Cluster::new(cfg()), Variant::Naive, &x, 0, &b, &c).unwrap_err();
+        assert!(err.is_oom());
+        mttkrp(&Cluster::new(cfg()), Variant::Dri, &x, 0, &b, &c).unwrap();
+    }
+
+    #[test]
+    fn dnn_has_smallest_intermediate_dri_fewest_jobs() {
+        // Table IV structure: DNN minimizes intermediate data, DRI jobs.
+        let x = random_coo([6, 6, 6], 40, 27);
+        let mut rng = StdRng::seed_from_u64(28);
+        let b = Mat::random(6, 4, &mut rng);
+        let c = Mat::random(6, 4, &mut rng);
+        let mut inter = std::collections::HashMap::new();
+        let mut jobs = std::collections::HashMap::new();
+        for variant in [Variant::Dnn, Variant::Drn, Variant::Dri] {
+            let cluster = Cluster::new(ClusterConfig::with_machines(2));
+            mttkrp(&cluster, variant, &x, 0, &b, &c).unwrap();
+            inter.insert(variant, cluster.metrics().max_intermediate_records());
+            jobs.insert(variant, cluster.metrics().total_jobs());
+        }
+        assert!(inter[&Variant::Dnn] <= inter[&Variant::Drn]);
+        assert!(jobs[&Variant::Dri] < jobs[&Variant::Drn]);
+        assert!(jobs[&Variant::Drn] < jobs[&Variant::Dnn]);
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let x = random_coo([3, 3, 3], 5, 29);
+        let b = Mat::zeros(3, 2);
+        let c = Mat::zeros(3, 3);
+        assert!(mttkrp(&Cluster::with_defaults(), Variant::Dri, &x, 0, &b, &c).is_err());
+    }
+}

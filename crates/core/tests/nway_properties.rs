@@ -1,0 +1,111 @@
+//! Property-based tests: the N-way kernels specialize exactly to the 3-way
+//! kernels and to the dense references on arbitrary sparse tensors.
+
+use haten2_core::nway::{nway_mttkrp, nway_tucker_project};
+use haten2_core::tucker::{project, ProjectOptions};
+use haten2_core::Variant;
+use haten2_linalg::Mat;
+use haten2_mapreduce::{Cluster, ClusterConfig};
+use haten2_tensor::ops::mttkrp_dense;
+use haten2_tensor::{CooTensor3, DynTensor, Entry3};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn coo_strategy() -> impl Strategy<Value = CooTensor3> {
+    (2u64..6, 2u64..6, 2u64..6, 1usize..16, any::<u64>()).prop_map(|(i, j, k, n, seed)| {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..n)
+            .map(|_| {
+                Entry3::new(
+                    rng.gen_range(0..i),
+                    rng.gen_range(0..j),
+                    rng.gen_range(0..k),
+                    rng.gen_range(-2.0..2.0f64),
+                )
+            })
+            .collect();
+        CooTensor3::from_entries([i, j, k], entries).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn nway_mttkrp_specializes_to_dense_reference(
+        t in coo_strategy(),
+        mode in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = 2usize;
+        let a = Mat::random(t.dims()[0] as usize, r, &mut rng);
+        let b = Mat::random(t.dims()[1] as usize, r, &mut rng);
+        let c = Mat::random(t.dims()[2] as usize, r, &mut rng);
+        let x = DynTensor::from_coo3(&t);
+        let cluster = Cluster::new(ClusterConfig::with_machines(3));
+        let got = nway_mttkrp(&cluster, &x, mode, &[&a, &b, &c]).unwrap();
+        let want = mttkrp_dense(&t, mode, [&a, &b, &c]).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-8), "mode {mode}");
+        prop_assert_eq!(cluster.metrics().total_jobs(), 2);
+    }
+
+    #[test]
+    fn nway_tucker_project_specializes_to_3way_dri(
+        t in coo_strategy(),
+        mode in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+        let dims = t.dims();
+        let factors: Vec<Mat> = (0..3)
+            .map(|m| Mat::random(dims[m] as usize, 2, &mut rng))
+            .collect();
+        let refs: Vec<&Mat> = factors.iter().collect();
+        let x = DynTensor::from_coo3(&t);
+
+        let cluster = Cluster::new(ClusterConfig::with_machines(3));
+        let got = nway_tucker_project(&cluster, &x, mode, &refs).unwrap();
+
+        let cluster2 = Cluster::new(ClusterConfig::with_machines(3));
+        let want = project(
+            &cluster2,
+            Variant::Dri,
+            &t,
+            mode,
+            &factors[others[0]].transpose(),
+            &factors[others[1]].transpose(),
+            &ProjectOptions::default(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(got.nnz(), want.nnz());
+        for (idx, v) in got.iter() {
+            prop_assert!((want.get(idx[0], idx[1], idx[2]) - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn nway_mttkrp_linear_in_tensor_values(t in coo_strategy(), seed in any::<u64>()) {
+        // M(2·X) = 2·M(X): the kernel is linear in the tensor.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = 2usize;
+        let a = Mat::random(t.dims()[0] as usize, r, &mut rng);
+        let b = Mat::random(t.dims()[1] as usize, r, &mut rng);
+        let c = Mat::random(t.dims()[2] as usize, r, &mut rng);
+        let x1 = DynTensor::from_coo3(&t);
+        let mut t2 = t.clone();
+        t2.scale(2.0);
+        let x2 = DynTensor::from_coo3(&t2);
+        let cluster = Cluster::new(ClusterConfig::with_machines(2));
+        let m1 = nway_mttkrp(&cluster, &x1, 0, &[&a, &b, &c]).unwrap();
+        let m2 = nway_mttkrp(&cluster, &x2, 0, &[&a, &b, &c]).unwrap();
+        for i in 0..m1.rows() {
+            for rr in 0..r {
+                prop_assert!((2.0 * m1.get(i, rr) - m2.get(i, rr)).abs() < 1e-8);
+            }
+        }
+    }
+}

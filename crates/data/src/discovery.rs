@@ -1,0 +1,231 @@
+//! Concept discovery from decomposition factors (§IV-C).
+//!
+//! > "For each element in an output factor matrix, we normalize the value
+//! > by dividing it with the sum of all the values of the same element in
+//! > the same factor matrix, to further mitigate the effects of dominant
+//! > terms. Then, we choose top-k highest valued elements from each column
+//! > of the factors."
+//!
+//! PARAFAC concepts (Table VI) pair the r-th column of every factor; Tucker
+//! first yields per-mode groups (Table VII) and then combines groups into
+//! concepts through the largest core-tensor entries (Table VIII).
+
+use haten2_linalg::Mat;
+use haten2_tensor::DenseTensor3;
+
+/// One labelled, scored entity group (a column of one factor).
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Column index in the factor.
+    pub column: usize,
+    /// `(entity name, normalized score)`, descending by score.
+    pub members: Vec<(String, f64)>,
+}
+
+/// A PARAFAC concept: the r-th group of each of the three modes.
+#[derive(Debug, Clone)]
+pub struct ParafacConcept {
+    /// Rank index.
+    pub r: usize,
+    /// Concept weight `λ_r`.
+    pub weight: f64,
+    /// Top subjects.
+    pub subjects: Vec<(String, f64)>,
+    /// Top objects.
+    pub objects: Vec<(String, f64)>,
+    /// Top relations.
+    pub relations: Vec<(String, f64)>,
+}
+
+/// A Tucker concept: a (subject-group, object-group, relation-group) triple
+/// selected by core-tensor magnitude.
+#[derive(Debug, Clone)]
+pub struct TuckerConcept {
+    /// Group indices `(p, q, r)` into the three factors.
+    pub groups: (usize, usize, usize),
+    /// Core value `G(p,q,r)` (signed).
+    pub core_value: f64,
+    /// Top subjects of group p.
+    pub subjects: Vec<(String, f64)>,
+    /// Top objects of group q.
+    pub objects: Vec<(String, f64)>,
+    /// Top relations of group r.
+    pub relations: Vec<(String, f64)>,
+}
+
+/// Row-normalize a factor: divide each element by the sum of |values| in
+/// its row (the paper's dominant-term mitigation). Zero rows stay zero.
+pub fn normalize_factor(f: &Mat) -> Mat {
+    let mut out = f.clone();
+    for i in 0..out.rows() {
+        let row_sum: f64 = out.row(i).iter().map(|v| v.abs()).sum();
+        if row_sum > 0.0 {
+            for v in out.row_mut(i) {
+                *v /= row_sum;
+            }
+        }
+    }
+    out
+}
+
+/// Top-`k` highest-scoring rows of column `col`, with names attached.
+pub fn top_k(f: &Mat, col: usize, k: usize, names: &[String]) -> Vec<(String, f64)> {
+    let mut scored: Vec<(usize, f64)> = (0..f.rows()).map(|i| (i, f.get(i, col))).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(i, s)| {
+            let name =
+                names.get(i).cloned().unwrap_or_else(|| format!("entity-{i}"));
+            (name, s)
+        })
+        .collect()
+}
+
+/// Extract the groups of a single (normalized) factor — one per column.
+pub fn factor_groups(f: &Mat, k: usize, names: &[String]) -> Vec<Group> {
+    let norm = normalize_factor(f);
+    (0..norm.cols())
+        .map(|c| Group { column: c, members: top_k(&norm, c, k, names) })
+        .collect()
+}
+
+/// Build PARAFAC concepts (Table VI): one per rank, combining the top-k of
+/// each mode's r-th column, sorted by `λ_r` descending.
+pub fn parafac_concepts(
+    factors: &[Mat; 3],
+    lambda: &[f64],
+    k: usize,
+    subject_names: &[String],
+    object_names: &[String],
+    relation_names: &[String],
+) -> Vec<ParafacConcept> {
+    let a = normalize_factor(&factors[0]);
+    let b = normalize_factor(&factors[1]);
+    let c = normalize_factor(&factors[2]);
+    let mut order: Vec<usize> = (0..lambda.len()).collect();
+    order.sort_by(|&x, &y| lambda[y].partial_cmp(&lambda[x]).expect("finite lambda"));
+    order
+        .into_iter()
+        .map(|r| ParafacConcept {
+            r,
+            weight: lambda[r],
+            subjects: top_k(&a, r, k, subject_names),
+            objects: top_k(&b, r, k, object_names),
+            relations: top_k(&c, r, k, relation_names),
+        })
+        .collect()
+}
+
+/// Build Tucker concepts (Table VIII): the `n_concepts` largest-magnitude
+/// core entries, each mapped to its (subject, object, relation) groups.
+pub fn tucker_concepts(
+    core: &DenseTensor3,
+    factors: &[Mat; 3],
+    k: usize,
+    n_concepts: usize,
+    subject_names: &[String],
+    object_names: &[String],
+    relation_names: &[String],
+) -> Vec<TuckerConcept> {
+    let a = normalize_factor(&factors[0]);
+    let b = normalize_factor(&factors[1]);
+    let c = normalize_factor(&factors[2]);
+    let [p_d, q_d, r_d] = core.dims();
+    let mut cells: Vec<(usize, usize, usize, f64)> = Vec::with_capacity(p_d * q_d * r_d);
+    for p in 0..p_d {
+        for q in 0..q_d {
+            for r in 0..r_d {
+                cells.push((p, q, r, core.get(p, q, r)));
+            }
+        }
+    }
+    cells.sort_by(|x, y| y.3.abs().partial_cmp(&x.3.abs()).expect("finite core"));
+    cells
+        .into_iter()
+        .take(n_concepts)
+        .map(|(p, q, r, v)| TuckerConcept {
+            groups: (p, q, r),
+            core_value: v,
+            subjects: top_k(&a, p, k, subject_names),
+            objects: top_k(&b, q, k, object_names),
+            relations: top_k(&c, r, k, relation_names),
+        })
+        .collect()
+}
+
+/// Score how well a discovered group recovers a planted id set:
+/// |top-k ∩ planted| / k.
+pub fn recovery_precision(top: &[(String, f64)], planted_names: &[String]) -> f64 {
+    if top.is_empty() {
+        return 0.0;
+    }
+    let hits = top
+        .iter()
+        .filter(|(name, _)| planted_names.iter().any(|p| p == name))
+        .count();
+    hits as f64 / top.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize, prefix: &str) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn normalize_factor_rows_sum_to_one() {
+        let f = Mat::from_rows(&[vec![1.0, 3.0], vec![0.0, 0.0], vec![2.0, 2.0]]).unwrap();
+        let n = normalize_factor(&f);
+        assert!((n.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((n.get(0, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(n.get(1, 0), 0.0); // zero row untouched
+        assert!((n.row(2).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_orders_and_names() {
+        let f = Mat::from_rows(&[vec![0.1], vec![0.9], vec![0.5]]).unwrap();
+        let t = top_k(&f, 0, 2, &names(3, "e"));
+        assert_eq!(t[0].0, "e1");
+        assert_eq!(t[1].0, "e2");
+    }
+
+    #[test]
+    fn parafac_concepts_sorted_by_lambda() {
+        let a = Mat::identity(3);
+        let factors = [a.clone(), a.clone(), a.clone()];
+        let lambda = vec![1.0, 5.0, 3.0];
+        let cs = parafac_concepts(&factors, &lambda, 1, &names(3, "s"), &names(3, "o"), &names(3, "p"));
+        assert_eq!(cs[0].r, 1);
+        assert_eq!(cs[1].r, 2);
+        assert_eq!(cs[2].r, 0);
+        // Identity factors: concept r's top subject is s_r.
+        assert_eq!(cs[0].subjects[0].0, "s1");
+    }
+
+    #[test]
+    fn tucker_concepts_pick_largest_core_cells() {
+        let mut core = DenseTensor3::zeros([2, 2, 2]);
+        core.set(0, 1, 0, 5.0);
+        core.set(1, 0, 1, -7.0);
+        let f = Mat::identity(2);
+        let factors = [f.clone(), f.clone(), f.clone()];
+        let cs = tucker_concepts(&core, &factors, 1, 2, &names(2, "s"), &names(2, "o"), &names(2, "p"));
+        assert_eq!(cs[0].groups, (1, 0, 1)); // |-7| largest
+        assert_eq!(cs[0].core_value, -7.0);
+        assert_eq!(cs[1].groups, (0, 1, 0));
+        assert_eq!(cs[1].subjects[0].0, "s0");
+    }
+
+    #[test]
+    fn recovery_precision_counts_hits() {
+        let top = vec![("a".to_string(), 1.0), ("b".to_string(), 0.5)];
+        let planted = vec!["b".to_string(), "c".to_string()];
+        assert!((recovery_precision(&top, &planted) - 0.5).abs() < 1e-12);
+        assert_eq!(recovery_precision(&[], &planted), 0.0);
+    }
+}

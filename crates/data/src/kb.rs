@@ -1,0 +1,503 @@
+//! Synthetic knowledge bases with planted latent concepts.
+//!
+//! The paper's discovery experiments (Tables VI–VIII) run on the
+//! Freebase-music RDF slice and on NELL — neither of which is available
+//! here. What those experiments exercise is: (subject, object, predicate)
+//! triples whose co-occurrence structure contains latent concepts, plus the
+//! noise the preprocessing pipeline must remove. This generator produces
+//! exactly that, with ground truth: each planted concept is a block of
+//! subjects × objects × predicates that co-occur densely, noise triples are
+//! sampled with power-law-ish entity popularity, and a configurable
+//! fraction of literal `name` triples imitates the RDF definitional triples
+//! the paper filters out.
+
+use haten2_tensor::{CooTensor3, Entry3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A planted ground-truth concept: a dense block of co-occurring entities.
+#[derive(Debug, Clone)]
+pub struct PlantedConcept {
+    /// Human-readable theme, e.g. "Classic Album".
+    pub name: String,
+    /// Subject ids in the block.
+    pub subjects: Vec<u64>,
+    /// Object ids in the block.
+    pub objects: Vec<u64>,
+    /// Predicate ids in the block.
+    pub predicates: Vec<u64>,
+}
+
+/// Configuration for [`KnowledgeBase::generate`].
+#[derive(Debug, Clone)]
+pub struct KbConfig {
+    /// Number of subject entities.
+    pub n_subjects: u64,
+    /// Number of object entities.
+    pub n_objects: u64,
+    /// Number of predicates (relations).
+    pub n_predicates: u64,
+    /// Number of planted concepts.
+    pub n_concepts: usize,
+    /// Entities per concept block (subjects and objects each).
+    pub concept_entities: usize,
+    /// Predicates per concept block.
+    pub concept_predicates: usize,
+    /// Triples sampled inside each concept block.
+    pub triples_per_concept: usize,
+    /// Uniform background noise triples.
+    pub noise_triples: usize,
+    /// Literal/name triples (to be removed by preprocessing).
+    pub literal_triples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Naming theme for vocabularies.
+    pub theme: Theme,
+}
+
+/// Vocabulary naming theme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Theme {
+    /// Freebase-music-like names (artists, works, `ns:music.*` predicates).
+    Music,
+    /// NELL-like names (noun phrases and contexts).
+    Nell,
+}
+
+impl Default for KbConfig {
+    fn default() -> Self {
+        KbConfig {
+            n_subjects: 600,
+            n_objects: 600,
+            n_predicates: 60,
+            n_concepts: 5,
+            concept_entities: 25,
+            concept_predicates: 4,
+            triples_per_concept: 600,
+            noise_triples: 400,
+            literal_triples: 150,
+            seed: 0x6b62, // "kb"
+            theme: Theme::Music,
+        }
+    }
+}
+
+/// A generated knowledge base: named vocabularies, raw triples, and the
+/// planted ground truth.
+///
+/// ```
+/// use haten2_data::kb::KnowledgeBase;
+/// use haten2_data::preprocess::{preprocess, PreprocessConfig};
+///
+/// let kb = KnowledgeBase::freebase_music(1, 42);
+/// assert!(!kb.concepts.is_empty());           // planted ground truth
+/// assert!(!kb.literal_predicates.is_empty()); // noise to be filtered
+///
+/// let (tensor, report) = preprocess(&kb, &PreprocessConfig::default());
+/// assert!(report.literals_removed > 0);
+/// // Reweighted values are 1 + log(α/links(z)) ≥ 1.
+/// assert!(tensor.entries().iter().all(|e| e.v >= 1.0 - 1e-12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    /// Subject entity names (index = id).
+    pub subjects: Vec<String>,
+    /// Object entity names.
+    pub objects: Vec<String>,
+    /// Predicate names.
+    pub predicates: Vec<String>,
+    /// Raw `(subject, object, predicate)` triples (duplicates possible —
+    /// preprocessing counts them).
+    pub triples: Vec<(u64, u64, u64)>,
+    /// Planted ground-truth concepts.
+    pub concepts: Vec<PlantedConcept>,
+    /// Ids of the literal "name" predicates (ground truth for the literal
+    /// filter).
+    pub literal_predicates: Vec<u64>,
+}
+
+const MUSIC_CONCEPTS: &[&str] = &[
+    "Classic Album",
+    "Pop/Rock Music",
+    "Instrumentalist",
+    "Record Labels",
+    "Concert Music",
+    "Jazz Ensembles",
+    "Film Scores",
+    "Opera",
+];
+
+const NELL_CONCEPTS: &[&str] = &[
+    "Athletes and Teams",
+    "Cities and Countries",
+    "Companies and Products",
+    "Scientists and Fields",
+    "Foods and Cuisines",
+    "Books and Authors",
+];
+
+impl KnowledgeBase {
+    /// Generate a knowledge base per `cfg`.
+    pub fn generate(cfg: &KbConfig) -> KnowledgeBase {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let themes: &[&str] = match cfg.theme {
+            Theme::Music => MUSIC_CONCEPTS,
+            Theme::Nell => NELL_CONCEPTS,
+        };
+
+        let subjects = name_entities(cfg.theme, "subject", cfg.n_subjects);
+        let objects = name_entities(cfg.theme, "object", cfg.n_objects);
+        let mut predicates = name_predicates(cfg.theme, cfg.n_predicates);
+
+        // The last predicate ids become literal/name predicates.
+        let n_literal_preds = 2.min(cfg.n_predicates as usize);
+        let literal_predicates: Vec<u64> = (0..n_literal_preds)
+            .map(|t| cfg.n_predicates - 1 - t as u64)
+            .collect();
+        for (t, &p) in literal_predicates.iter().enumerate() {
+            predicates[p as usize] = if t == 0 {
+                "ns:type.object.name".to_string()
+            } else {
+                "ns:common.topic.alias".to_string()
+            };
+        }
+
+        // Plant concepts on disjoint id blocks.
+        let mut concepts = Vec::new();
+        let mut triples = Vec::new();
+        for c in 0..cfg.n_concepts {
+            let s0 = (c * cfg.concept_entities) as u64 % cfg.n_subjects.max(1);
+            let o0 = (c * cfg.concept_entities) as u64 % cfg.n_objects.max(1);
+            let p0 = (c * cfg.concept_predicates) as u64
+                % cfg.n_predicates.saturating_sub(n_literal_preds as u64).max(1);
+            let subj_block: Vec<u64> = (0..cfg.concept_entities as u64)
+                .map(|d| (s0 + d) % cfg.n_subjects)
+                .collect();
+            let obj_block: Vec<u64> = (0..cfg.concept_entities as u64)
+                .map(|d| (o0 + d) % cfg.n_objects)
+                .collect();
+            let pred_block: Vec<u64> = (0..cfg.concept_predicates as u64)
+                .map(|d| (p0 + d) % cfg.n_predicates.saturating_sub(n_literal_preds as u64).max(1))
+                .collect();
+            for _ in 0..cfg.triples_per_concept {
+                let s = subj_block[rng.gen_range(0..subj_block.len())];
+                let o = obj_block[rng.gen_range(0..obj_block.len())];
+                let p = pred_block[rng.gen_range(0..pred_block.len())];
+                triples.push((s, o, p));
+            }
+            concepts.push(PlantedConcept {
+                name: themes[c % themes.len()].to_string(),
+                subjects: subj_block,
+                objects: obj_block,
+                predicates: pred_block,
+            });
+        }
+
+        // Power-law-ish noise: popularity ∝ 1/(1+id).
+        let non_literal_preds = cfg.n_predicates.saturating_sub(n_literal_preds as u64).max(1);
+        for _ in 0..cfg.noise_triples {
+            let s = powerlaw_index(&mut rng, cfg.n_subjects);
+            let o = powerlaw_index(&mut rng, cfg.n_objects);
+            let p = powerlaw_index(&mut rng, non_literal_preds);
+            triples.push((s, o, p));
+        }
+
+        // Literal/name triples on the literal predicates.
+        for _ in 0..cfg.literal_triples {
+            let s = rng.gen_range(0..cfg.n_subjects);
+            let o = rng.gen_range(0..cfg.n_objects);
+            let p = literal_predicates[rng.gen_range(0..literal_predicates.len().max(1))];
+            triples.push((s, o, p));
+        }
+
+        KnowledgeBase { subjects, objects, predicates, triples, concepts, literal_predicates }
+    }
+
+    /// Preset imitating the Freebase-music slice at a configurable scale.
+    pub fn freebase_music(scale: usize, seed: u64) -> KnowledgeBase {
+        let cfg = KbConfig {
+            n_subjects: (200 * scale) as u64,
+            n_objects: (200 * scale) as u64,
+            n_predicates: (20 * scale.min(8)) as u64,
+            n_concepts: 5.min(2 + scale),
+            concept_entities: 10 * scale.max(1),
+            concept_predicates: 3,
+            triples_per_concept: 300 * scale,
+            noise_triples: 150 * scale,
+            literal_triples: 80 * scale,
+            seed,
+            theme: Theme::Music,
+        };
+        KnowledgeBase::generate(&cfg)
+    }
+
+    /// Preset imitating NELL at a configurable scale.
+    pub fn nell(scale: usize, seed: u64) -> KnowledgeBase {
+        let cfg = KbConfig {
+            n_subjects: (300 * scale) as u64,
+            n_objects: (300 * scale) as u64,
+            n_predicates: (30 * scale.min(6)) as u64,
+            n_concepts: 4.min(2 + scale),
+            concept_entities: 12 * scale.max(1),
+            concept_predicates: 4,
+            triples_per_concept: 350 * scale,
+            noise_triples: 200 * scale,
+            literal_triples: 60 * scale,
+            seed,
+            theme: Theme::Nell,
+        };
+        KnowledgeBase::generate(&cfg)
+    }
+
+    /// Raw triples as a binary `(subject × object × predicate)` tensor with
+    /// duplicate triples collapsed to a single 1 (pre-reweighting).
+    pub fn to_binary_tensor(&self) -> CooTensor3 {
+        let dims = [
+            self.subjects.len() as u64,
+            self.objects.len() as u64,
+            self.predicates.len() as u64,
+        ];
+        let mut seen: HashSet<(u64, u64, u64)> = HashSet::with_capacity(self.triples.len());
+        let mut entries = Vec::new();
+        for &(s, o, p) in &self.triples {
+            if seen.insert((s, o, p)) {
+                entries.push(Entry3::new(s, o, p, 1.0));
+            }
+        }
+        CooTensor3::from_entries(dims, entries).expect("generated ids are in range")
+    }
+}
+
+fn powerlaw_index(rng: &mut StdRng, n: u64) -> u64 {
+    // Inverse-CDF sampling of p(i) ∝ 1/(1+i) over [0, n).
+    let u: f64 = rng.gen();
+    let hmax = ((n as f64) + 1.0).ln();
+    let idx = (u * hmax).exp() - 1.0;
+    (idx as u64).min(n.saturating_sub(1))
+}
+
+fn name_entities(theme: Theme, role: &str, n: u64) -> Vec<String> {
+    let (first, second): (&[&str], &[&str]) = match theme {
+        Theme::Music => (
+            &[
+                "London Symphony Orchestra",
+                "Wolfgang Amadeus Mozart",
+                "Ludwig van Beethoven",
+                "New York Philharmonic",
+                "Guitar",
+                "Keyboard",
+                "Drums",
+                "Bass guitar",
+                "EMI",
+                "Atlantic Records",
+                "Universal Music Group",
+                "Warner Bros. Records",
+                "Rock music",
+                "Pop music",
+                "Alternative rock",
+                "Cor anglais",
+                "Flute",
+                "Columbia",
+            ],
+            &[
+                "Faust: Soldatenchor",
+                "Main Theme",
+                "Love Is Like Oxygen",
+                "Honeysuckle Love",
+                "True Love",
+                "Jungle",
+                "Sikidim",
+                "Terrifying Tales",
+                "Rose of Tralee",
+                "Luftbahn",
+                "Piano Concerto in A minor",
+                "Symphony No. 7 in E minor",
+                "13 Preludes, Op. 32",
+                "Our Album!",
+                "Plastic Parachute",
+                "Since the Accident",
+            ],
+        ),
+        Theme::Nell => (
+            &[
+                "George Harrison",
+                "Michael Jordan",
+                "Pittsburgh",
+                "Carnegie Mellon",
+                "Apple",
+                "Marie Curie",
+                "Toyota",
+                "Amazon River",
+                "Mount Everest",
+                "Shakespeare",
+            ],
+            &[
+                "guitars",
+                "basketball",
+                "steel city",
+                "computer science",
+                "smartphones",
+                "radioactivity",
+                "automobiles",
+                "rainforest",
+                "mountains",
+                "plays",
+            ],
+        ),
+    };
+    let pool = if role == "subject" { first } else { second };
+    (0..n)
+        .map(|i| {
+            let base = pool[(i as usize) % pool.len()];
+            if (i as usize) < pool.len() {
+                base.to_string()
+            } else {
+                format!("{base} #{}", i as usize / pool.len())
+            }
+        })
+        .collect()
+}
+
+fn name_predicates(theme: Theme, n: u64) -> Vec<String> {
+    let pool: &[&str] = match theme {
+        Theme::Music => &[
+            "ns:music.album-release-type.albums",
+            "ns:music.artist.track",
+            "ns:music.performance-role.track-performances",
+            "ns:music.genre.albums",
+            "ns:music.voice.singers",
+            "ns:music.performance-role.regular-performances",
+            "ns:music.instrument.instrumentalists",
+            "ns:music.genre.artists",
+            "ns:music.concert.concert-video",
+            "ns:music.concert-tour.concert-films-or-videos",
+            "ns:music.live-album.concert",
+            "ns:music.concert-film.concert",
+            "ns:music.instrument.variation",
+            "ns:music.instrument.family",
+            "ns:music.guitar.guitarists",
+            "ns:music.release.region",
+            "ns:music.record-label.artist",
+            "ns:music.album.artist",
+            "ns:music.release.album",
+        ],
+        Theme::Nell => &[
+            "plays",
+            "locatedIn",
+            "worksFor",
+            "headquarteredIn",
+            "discovered",
+            "manufactures",
+            "flowsThrough",
+            "climbedBy",
+            "wrote",
+            "teammateOf",
+        ],
+    };
+    (0..n)
+        .map(|i| {
+            let base = pool[(i as usize) % pool.len()];
+            if (i as usize) < pool.len() {
+                base.to_string()
+            } else {
+                format!("{base}.{}", i as usize / pool.len())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> KbConfig {
+        KbConfig {
+            n_subjects: 100,
+            n_objects: 100,
+            n_predicates: 12,
+            n_concepts: 3,
+            concept_entities: 10,
+            concept_predicates: 2,
+            triples_per_concept: 200,
+            noise_triples: 100,
+            literal_triples: 50,
+            seed: 11,
+            theme: Theme::Music,
+        }
+    }
+
+    #[test]
+    fn generates_expected_counts() {
+        let kb = KnowledgeBase::generate(&small_cfg());
+        assert_eq!(kb.subjects.len(), 100);
+        assert_eq!(kb.objects.len(), 100);
+        assert_eq!(kb.predicates.len(), 12);
+        assert_eq!(kb.triples.len(), 3 * 200 + 100 + 50);
+        assert_eq!(kb.concepts.len(), 3);
+        assert_eq!(kb.literal_predicates.len(), 2);
+    }
+
+    #[test]
+    fn literal_predicates_named_as_definitions() {
+        let kb = KnowledgeBase::generate(&small_cfg());
+        for &p in &kb.literal_predicates {
+            let name = &kb.predicates[p as usize];
+            assert!(
+                name.contains("name") || name.contains("alias"),
+                "literal predicate named {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn concepts_use_non_literal_predicates() {
+        let kb = KnowledgeBase::generate(&small_cfg());
+        for c in &kb.concepts {
+            for &p in &c.predicates {
+                assert!(!kb.literal_predicates.contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tensor_dedups() {
+        let kb = KnowledgeBase::generate(&small_cfg());
+        let t = kb.to_binary_tensor();
+        assert!(t.nnz() <= kb.triples.len());
+        assert!(t.entries().iter().all(|e| e.v == 1.0));
+        assert_eq!(t.dims(), [100, 100, 12]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = KnowledgeBase::generate(&small_cfg());
+        let b = KnowledgeBase::generate(&small_cfg());
+        assert_eq!(a.triples, b.triples);
+    }
+
+    #[test]
+    fn presets_scale() {
+        let kb1 = KnowledgeBase::freebase_music(1, 5);
+        let kb2 = KnowledgeBase::freebase_music(2, 5);
+        assert!(kb2.triples.len() > kb1.triples.len());
+        assert!(kb2.subjects.len() > kb1.subjects.len());
+        let nell = KnowledgeBase::nell(1, 5);
+        assert!(nell.predicates.iter().any(|p| p == "plays"));
+    }
+
+    #[test]
+    fn concept_blocks_dense_in_tensor() {
+        // Triples inside a planted block must be far denser than outside.
+        let kb = KnowledgeBase::generate(&small_cfg());
+        let c = &kb.concepts[0];
+        let in_block = kb
+            .triples
+            .iter()
+            .filter(|(s, o, p)| {
+                c.subjects.contains(s) && c.objects.contains(o) && c.predicates.contains(p)
+            })
+            .count();
+        assert!(in_block >= 180, "in-block triples = {in_block}");
+    }
+}

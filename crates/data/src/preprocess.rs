@@ -1,0 +1,246 @@
+//! The paper's §IV-C preprocessing pipeline.
+//!
+//! > "First, we remove the triples containing literal entities … Next, we
+//! > filter unimportant triples in a way similar to the Term
+//! > Frequency/Inverse Document Frequency based filtering: we remove too
+//! > scarce triples whose predicates appear only once in the data, as well
+//! > as too frequent triples. Finally, we reweight the elements of the
+//! > tensor data … we change the element 1 for the triple (x, y, z) to
+//! > `1 + log(α/links(z))` where α is the number of triples for the most
+//! > frequent predicate, and links(z) is the number of triples for the
+//! > predicate z."
+
+use crate::kb::KnowledgeBase;
+use haten2_tensor::{CooTensor3, Entry3};
+use std::collections::{HashMap, HashSet};
+
+/// Knobs for [`preprocess`].
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Remove triples whose predicate is a literal/definition predicate.
+    pub remove_literals: bool,
+    /// Drop predicates appearing at most this many times ("too scarce";
+    /// the paper uses 1).
+    pub min_predicate_count: usize,
+    /// Drop predicates carrying more than this fraction of all triples
+    /// ("too frequent"). 1.0 disables the cap.
+    pub max_predicate_share: f64,
+    /// Apply the `1 + log(α/links(z))` reweighting.
+    pub reweight: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            remove_literals: true,
+            min_predicate_count: 1,
+            max_predicate_share: 0.5,
+            reweight: true,
+        }
+    }
+}
+
+/// What the pipeline did — for reporting and tests.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessReport {
+    /// Triples in the input (with duplicates).
+    pub input_triples: usize,
+    /// Triples dropped as literals.
+    pub literals_removed: usize,
+    /// Triples dropped because their predicate was too scarce.
+    pub scarce_removed: usize,
+    /// Triples dropped because their predicate was too frequent.
+    pub frequent_removed: usize,
+    /// Distinct (s, o, p) cells in the output tensor.
+    pub output_nnz: usize,
+}
+
+/// Run the preprocessing pipeline over a knowledge base, producing the
+/// weighted tensor the decompositions consume plus a report.
+pub fn preprocess(kb: &KnowledgeBase, cfg: &PreprocessConfig) -> (CooTensor3, PreprocessReport) {
+    let mut report = PreprocessReport { input_triples: kb.triples.len(), ..Default::default() };
+    let literal: HashSet<u64> = kb.literal_predicates.iter().copied().collect();
+
+    // Pass 1: literal filter.
+    let mut kept: Vec<(u64, u64, u64)> = Vec::with_capacity(kb.triples.len());
+    for &t in &kb.triples {
+        if cfg.remove_literals && literal.contains(&t.2) {
+            report.literals_removed += 1;
+        } else {
+            kept.push(t);
+        }
+    }
+
+    // Pass 2: predicate frequency filter.
+    let mut links: HashMap<u64, usize> = HashMap::new();
+    for &(_, _, p) in &kept {
+        *links.entry(p).or_insert(0) += 1;
+    }
+    let total = kept.len().max(1);
+    let max_count = (cfg.max_predicate_share * total as f64).floor() as usize;
+    let mut filtered: Vec<(u64, u64, u64)> = Vec::with_capacity(kept.len());
+    for t in kept {
+        let count = links[&t.2];
+        if count <= cfg.min_predicate_count {
+            report.scarce_removed += 1;
+        } else if cfg.max_predicate_share < 1.0 && count > max_count {
+            report.frequent_removed += 1;
+        } else {
+            filtered.push(t);
+        }
+    }
+
+    // Recount links over surviving triples for the reweighting.
+    let mut links: HashMap<u64, usize> = HashMap::new();
+    for &(_, _, p) in &filtered {
+        *links.entry(p).or_insert(0) += 1;
+    }
+    let alpha = links.values().copied().max().unwrap_or(1) as f64;
+
+    // Distinct cells, reweighted.
+    let mut seen: HashSet<(u64, u64, u64)> = HashSet::with_capacity(filtered.len());
+    let mut entries = Vec::new();
+    for &(s, o, p) in &filtered {
+        if seen.insert((s, o, p)) {
+            let w = if cfg.reweight {
+                1.0 + (alpha / links[&p] as f64).ln()
+            } else {
+                1.0
+            };
+            entries.push(Entry3::new(s, o, p, w));
+        }
+    }
+    report.output_nnz = entries.len();
+    let dims = [
+        kb.subjects.len() as u64,
+        kb.objects.len() as u64,
+        kb.predicates.len() as u64,
+    ];
+    let tensor = CooTensor3::from_entries(dims, entries).expect("ids in range");
+    (tensor, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{KbConfig, Theme};
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::generate(&KbConfig {
+            n_subjects: 80,
+            n_objects: 80,
+            n_predicates: 10,
+            n_concepts: 2,
+            concept_entities: 8,
+            concept_predicates: 2,
+            triples_per_concept: 150,
+            noise_triples: 80,
+            literal_triples: 40,
+            seed: 13,
+            theme: Theme::Music,
+        })
+    }
+
+    #[test]
+    fn literals_are_removed() {
+        let kb = kb();
+        let (tensor, report) = preprocess(&kb, &PreprocessConfig::default());
+        assert!(report.literals_removed > 0);
+        // No surviving entry uses a literal predicate.
+        for e in tensor.entries() {
+            assert!(!kb.literal_predicates.contains(&e.k));
+        }
+    }
+
+    #[test]
+    fn literal_removal_can_be_disabled() {
+        let kb = kb();
+        let cfg = PreprocessConfig { remove_literals: false, ..Default::default() };
+        let (_, report) = preprocess(&kb, &cfg);
+        assert_eq!(report.literals_removed, 0);
+    }
+
+    #[test]
+    fn scarce_predicates_removed() {
+        // Hand-build a KB with one singleton predicate.
+        let mut kb = kb();
+        kb.triples.push((0, 0, 7)); // if predicate 7 now appears once more it may not be scarce
+        let mut solo = kb.clone();
+        solo.triples = vec![(0, 0, 1), (1, 1, 2), (2, 2, 2), (3, 3, 2)];
+        solo.literal_predicates = vec![];
+        let (t, report) = preprocess(&solo, &PreprocessConfig {
+            max_predicate_share: 1.0,
+            reweight: false,
+            ..Default::default()
+        });
+        assert_eq!(report.scarce_removed, 1); // predicate 1 appeared once
+        assert_eq!(t.nnz(), 3);
+    }
+
+    #[test]
+    fn frequent_predicates_removed() {
+        let mut solo = kb();
+        // Predicate 3 carries 90% of triples.
+        solo.triples = (0..90u64)
+            .map(|i| (i % 10, i % 10, 3))
+            .chain((0..10u64).map(|i| (i % 10, (i + 1) % 10, 4)))
+            .collect();
+        solo.literal_predicates = vec![];
+        let (_, report) = preprocess(&solo, &PreprocessConfig {
+            min_predicate_count: 0,
+            max_predicate_share: 0.5,
+            reweight: false,
+            ..Default::default()
+        });
+        assert_eq!(report.frequent_removed, 90);
+    }
+
+    #[test]
+    fn reweighting_formula() {
+        let mut solo = kb();
+        // p=1 appears 4 times, p=2 appears 2 times -> α = 4.
+        solo.triples = vec![
+            (0, 0, 1),
+            (1, 1, 1),
+            (2, 2, 1),
+            (3, 3, 1),
+            (0, 1, 2),
+            (1, 2, 2),
+        ];
+        solo.literal_predicates = vec![];
+        let (t, _) = preprocess(&solo, &PreprocessConfig {
+            min_predicate_count: 0,
+            max_predicate_share: 1.0,
+            reweight: true,
+            ..Default::default()
+        });
+        // Most frequent predicate: weight 1 + ln(4/4) = 1.
+        assert!((t.get(0, 0, 1) - 1.0).abs() < 1e-12);
+        // Rarer predicate: 1 + ln(4/2).
+        assert!((t.get(0, 1, 2) - (1.0 + 2.0f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_collapse_to_single_cell() {
+        let mut solo = kb();
+        solo.triples = vec![(0, 0, 1), (0, 0, 1), (0, 0, 1), (1, 1, 1)];
+        solo.literal_predicates = vec![];
+        let (t, report) = preprocess(&solo, &PreprocessConfig {
+            min_predicate_count: 0,
+            max_predicate_share: 1.0,
+            reweight: false,
+            ..Default::default()
+        });
+        assert_eq!(report.output_nnz, 2);
+        assert_eq!(t.get(0, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn report_accounts_for_everything() {
+        let kb = kb();
+        let (_, r) = preprocess(&kb, &PreprocessConfig::default());
+        assert_eq!(r.input_triples, kb.triples.len());
+        assert!(r.literals_removed + r.scarce_removed + r.frequent_removed < r.input_triples);
+        assert!(r.output_nnz > 0);
+    }
+}

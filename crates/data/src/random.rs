@@ -1,0 +1,251 @@
+//! Random sparse tensor generation for the scalability sweeps.
+//!
+//! §IV-A: "synthetic random tensor of size I×I×I. The size I varies from
+//! 10³ to 10⁸, the number of nonzeros varies from 10⁴ to 10¹⁰, and the
+//! density varies from 10⁻¹⁵ ~ 10⁻⁵."
+
+use haten2_tensor::{CooTensor3, Entry3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters for [`random_tensor`].
+#[derive(Debug, Clone)]
+pub struct RandomTensorConfig {
+    /// Dimensions `[I, J, K]`.
+    pub dims: [u64; 3],
+    /// Number of distinct nonzeros to place.
+    pub nnz: usize,
+    /// Value range (uniform).
+    pub value_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomTensorConfig {
+    /// Cubic tensor `I×I×I` with the given nonzero count — the paper's
+    /// sweep shape.
+    pub fn cubic(i: u64, nnz: usize, seed: u64) -> Self {
+        RandomTensorConfig { dims: [i, i, i], nnz, value_range: (0.0, 1.0), seed }
+    }
+
+    /// Cubic tensor of dimensionality `i` with the given density
+    /// (`nnz = density · I³`, saturating).
+    pub fn cubic_density(i: u64, density: f64, seed: u64) -> Self {
+        let total = (i as f64).powi(3);
+        let nnz = (total * density).round().min(usize::MAX as f64).max(0.0) as usize;
+        RandomTensorConfig::cubic(i, nnz, seed)
+    }
+}
+
+/// Generate a random sparse tensor with distinct coordinates.
+///
+/// Coordinates are sampled uniformly; duplicates are rejected so the
+/// resulting tensor has exactly `min(nnz, I·J·K)` nonzeros (the paper's
+/// generator counts distinct cells).
+pub fn random_tensor(cfg: &RandomTensorConfig) -> CooTensor3 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let [i_d, j_d, k_d] = cfg.dims;
+    let capacity = (i_d as u128) * (j_d as u128) * (k_d as u128);
+    let target = (cfg.nnz as u128).min(capacity) as usize;
+    let (lo, hi) = cfg.value_range;
+
+    let mut seen: HashSet<(u64, u64, u64)> = HashSet::with_capacity(target);
+    let mut t = CooTensor3::new(cfg.dims);
+    // Rejection sampling is fine while target ≪ capacity (always true at
+    // the paper's densities); fall back to dense enumeration when the
+    // requested fill is above half the cells.
+    if (target as u128) * 2 > capacity {
+        let mut cells: Vec<(u64, u64, u64)> = Vec::with_capacity(capacity as usize);
+        for i in 0..i_d {
+            for j in 0..j_d {
+                for k in 0..k_d {
+                    cells.push((i, j, k));
+                }
+            }
+        }
+        // Partial Fisher-Yates for the first `target` cells.
+        for n in 0..target {
+            let pick = rng.gen_range(n..cells.len());
+            cells.swap(n, pick);
+            let (i, j, k) = cells[n];
+            t.push_unchecked(Entry3::new(i, j, k, sample_value(&mut rng, lo, hi)));
+        }
+        return t;
+    }
+    while seen.len() < target {
+        let c = (
+            rng.gen_range(0..i_d),
+            rng.gen_range(0..j_d),
+            rng.gen_range(0..k_d),
+        );
+        if seen.insert(c) {
+            t.push_unchecked(Entry3::new(c.0, c.1, c.2, sample_value(&mut rng, lo, hi)));
+        }
+    }
+    t
+}
+
+/// Generate a sparse tensor with power-law (Zipf-like) index popularity —
+/// the skew profile of real knowledge-base and network tensors, where a few
+/// entities participate in most facts. `alpha` controls the skew (0 =
+/// uniform; 1 ≈ Zipf); coordinates are deduplicated like
+/// [`random_tensor`].
+///
+/// The HaTen2 evaluation uses uniform random tensors for its sweeps, but
+/// its headline datasets (Freebase, NELL) are heavily skewed; this
+/// generator lets the reduce-side skew term of the cost model be exercised
+/// under realistic load imbalance.
+pub fn powerlaw_tensor(cfg: &RandomTensorConfig, alpha: f64) -> CooTensor3 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let [i_d, j_d, k_d] = cfg.dims;
+    let capacity = (i_d as u128) * (j_d as u128) * (k_d as u128);
+    let target = (cfg.nnz as u128).min(capacity) as usize;
+    let (lo, hi) = cfg.value_range;
+
+    let mut seen: HashSet<(u64, u64, u64)> = HashSet::with_capacity(target);
+    let mut t = CooTensor3::new(cfg.dims);
+    let mut attempts = 0usize;
+    // Skewed sampling collides often near saturation; cap the attempts and
+    // fall back to uniform for the remainder.
+    let max_attempts = target.saturating_mul(50).max(1000);
+    while seen.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let c = (
+            powerlaw_index(&mut rng, i_d, alpha),
+            powerlaw_index(&mut rng, j_d, alpha),
+            powerlaw_index(&mut rng, k_d, alpha),
+        );
+        if seen.insert(c) {
+            t.push_unchecked(Entry3::new(c.0, c.1, c.2, sample_value(&mut rng, lo, hi)));
+        }
+    }
+    while seen.len() < target {
+        let c = (
+            rng.gen_range(0..i_d),
+            rng.gen_range(0..j_d),
+            rng.gen_range(0..k_d),
+        );
+        if seen.insert(c) {
+            t.push_unchecked(Entry3::new(c.0, c.1, c.2, sample_value(&mut rng, lo, hi)));
+        }
+    }
+    t
+}
+
+/// Sample an index in `[0, n)` with probability `∝ (1+i)^-alpha` via
+/// inverse-CDF on the continuous approximation.
+fn powerlaw_index(rng: &mut StdRng, n: u64, alpha: f64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    let nf = n as f64;
+    let idx = if (alpha - 1.0).abs() < 1e-9 {
+        // CDF ∝ ln(1+x): invert against ln(1+n).
+        ((u * (1.0 + nf).ln()).exp() - 1.0).max(0.0)
+    } else {
+        // CDF ∝ (1+x)^{1-alpha}: invert.
+        let p = 1.0 - alpha;
+        let top = (1.0 + nf).powf(p);
+        ((1.0 + u * (top - 1.0)).powf(1.0 / p) - 1.0).max(0.0)
+    };
+    (idx as u64).min(n - 1)
+}
+
+fn sample_value(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    if lo == hi {
+        return if lo == 0.0 { 1.0 } else { lo };
+    }
+    // Avoid exact zeros (they would vanish from the sparse tensor).
+    loop {
+        let v = rng.gen_range(lo..hi);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz_and_bounds() {
+        let t = random_tensor(&RandomTensorConfig::cubic(50, 400, 1));
+        assert_eq!(t.nnz(), 400);
+        assert_eq!(t.dims(), [50, 50, 50]);
+        for e in t.entries() {
+            assert!(e.i < 50 && e.j < 50 && e.k < 50);
+            assert!(e.v != 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_tensor(&RandomTensorConfig::cubic(20, 100, 7));
+        let b = random_tensor(&RandomTensorConfig::cubic(20, 100, 7));
+        assert_eq!(a, b);
+        let c = random_tensor(&RandomTensorConfig::cubic(20, 100, 8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn density_config() {
+        let cfg = RandomTensorConfig::cubic_density(100, 1e-4, 2);
+        assert_eq!(cfg.nnz, 100); // 1e6 cells * 1e-4
+        let t = random_tensor(&cfg);
+        assert!((t.density() - 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturates_at_capacity() {
+        let t = random_tensor(&RandomTensorConfig::cubic(3, 1000, 3));
+        assert_eq!(t.nnz(), 27);
+    }
+
+    #[test]
+    fn dense_fill_path() {
+        // Above half capacity exercises the Fisher-Yates path.
+        let t = random_tensor(&RandomTensorConfig::cubic(4, 40, 4));
+        assert_eq!(t.nnz(), 40);
+        // Distinctness is implied by nnz (duplicates would have merged).
+    }
+
+    #[test]
+    fn powerlaw_is_skewed_toward_low_indices() {
+        let cfg = RandomTensorConfig::cubic(1000, 3000, 5);
+        let skewed = powerlaw_tensor(&cfg, 1.0);
+        assert_eq!(skewed.nnz(), 3000);
+        let uniform = random_tensor(&cfg);
+        // The heaviest mode-0 slice of the skewed tensor dwarfs uniform's.
+        let s = skewed.heaviest_slice(0).unwrap().unwrap().1;
+        let u = uniform.heaviest_slice(0).unwrap().unwrap().1;
+        assert!(s > 3 * u, "skewed heaviest {s} vs uniform {u}");
+        // And the mass concentrates in the low indices.
+        let low_mass = skewed.entries().iter().filter(|e| e.i < 100).count();
+        assert!(low_mass > skewed.nnz() / 3, "low-index mass {low_mass}");
+    }
+
+    #[test]
+    fn powerlaw_alpha_zero_no_crash_and_exact_nnz() {
+        let cfg = RandomTensorConfig::cubic(50, 400, 6);
+        let t = powerlaw_tensor(&cfg, 0.0);
+        assert_eq!(t.nnz(), 400);
+    }
+
+    #[test]
+    fn powerlaw_saturates_via_uniform_fallback() {
+        // Small tensor, heavy skew: collisions force the uniform fallback,
+        // which must still reach the target.
+        let cfg = RandomTensorConfig::cubic(4, 60, 7);
+        let t = powerlaw_tensor(&cfg, 2.0);
+        assert_eq!(t.nnz(), 60);
+    }
+
+    #[test]
+    fn powerlaw_deterministic() {
+        let cfg = RandomTensorConfig::cubic(100, 500, 8);
+        assert_eq!(powerlaw_tensor(&cfg, 1.5), powerlaw_tensor(&cfg, 1.5));
+    }
+}

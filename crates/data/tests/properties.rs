@@ -1,0 +1,110 @@
+//! Property-based tests for workload generation and preprocessing.
+
+use haten2_data::kb::{KbConfig, KnowledgeBase, Theme};
+use haten2_data::preprocess::{preprocess, PreprocessConfig};
+use haten2_data::random::{random_tensor, RandomTensorConfig};
+use proptest::prelude::*;
+
+fn kb_strategy() -> impl Strategy<Value = KnowledgeBase> {
+    (
+        20u64..120,
+        20u64..120,
+        6u64..20,
+        1usize..4,
+        4usize..12,
+        20usize..150,
+        0usize..80,
+        0usize..60,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(ns, no, np, nc, ce, tpc, noise, lit, seed)| {
+                KnowledgeBase::generate(&KbConfig {
+                    n_subjects: ns,
+                    n_objects: no,
+                    n_predicates: np,
+                    n_concepts: nc,
+                    concept_entities: ce.min(ns as usize).min(no as usize),
+                    concept_predicates: 2,
+                    triples_per_concept: tpc,
+                    noise_triples: noise,
+                    literal_triples: lit,
+                    seed,
+                    theme: if seed % 2 == 0 { Theme::Music } else { Theme::Nell },
+                })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_tensor_exact_nnz(i in 3u64..40, factor in 1u64..12, seed in any::<u64>()) {
+        let nnz = (i * factor) as usize;
+        let t = random_tensor(&RandomTensorConfig::cubic(i, nnz, seed));
+        let capacity = (i * i * i) as usize;
+        prop_assert_eq!(t.nnz(), nnz.min(capacity));
+        // Entries within bounds and nonzero.
+        for e in t.entries() {
+            prop_assert!(e.i < i && e.j < i && e.k < i);
+            prop_assert!(e.v != 0.0);
+        }
+    }
+
+    #[test]
+    fn kb_triples_in_range(kb in kb_strategy()) {
+        let (ns, no, np) =
+            (kb.subjects.len() as u64, kb.objects.len() as u64, kb.predicates.len() as u64);
+        for &(s, o, p) in &kb.triples {
+            prop_assert!(s < ns && o < no && p < np);
+        }
+    }
+
+    #[test]
+    fn preprocess_removes_all_literals(kb in kb_strategy()) {
+        let (tensor, report) = preprocess(&kb, &PreprocessConfig::default());
+        for e in tensor.entries() {
+            prop_assert!(!kb.literal_predicates.contains(&e.k));
+        }
+        prop_assert!(report.output_nnz <= report.input_triples);
+        let accounted = report.literals_removed + report.scarce_removed + report.frequent_removed;
+        prop_assert!(accounted <= report.input_triples);
+    }
+
+    #[test]
+    fn preprocess_weights_at_least_one(kb in kb_strategy()) {
+        let (tensor, _) = preprocess(&kb, &PreprocessConfig::default());
+        // 1 + log(α/links) ≥ 1 since links ≤ α.
+        for e in tensor.entries() {
+            prop_assert!(e.v >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn preprocess_without_reweight_is_binary(kb in kb_strategy()) {
+        let cfg = PreprocessConfig { reweight: false, ..Default::default() };
+        let (tensor, _) = preprocess(&kb, &cfg);
+        for e in tensor.entries() {
+            prop_assert_eq!(e.v, 1.0);
+        }
+    }
+
+    #[test]
+    fn scarcest_predicates_filtered(kb in kb_strategy()) {
+        use std::collections::HashMap;
+        let cfg = PreprocessConfig { max_predicate_share: 1.0, ..Default::default() };
+        let (tensor, _) = preprocess(&kb, &cfg);
+        // Count non-literal triples per predicate in the input.
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &(_, _, p) in &kb.triples {
+            if !kb.literal_predicates.contains(&p) {
+                *counts.entry(p).or_insert(0) += 1;
+            }
+        }
+        // Any predicate surviving in the tensor must have appeared > 1 time.
+        for e in tensor.entries() {
+            prop_assert!(counts[&e.k] > 1, "predicate {} appeared once", e.k);
+        }
+    }
+}

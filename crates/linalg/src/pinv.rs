@@ -1,0 +1,188 @@
+//! Moore–Penrose pseudoinverse and SPD solves.
+//!
+//! PARAFAC-ALS (Algorithm 1 of the paper) updates each factor as
+//! `A ← MTTKRP · (CᵀC * BᵀB)†`. The Hadamard Gram product is a small
+//! symmetric positive semi-definite `R×R` matrix, so the pseudoinverse is
+//! computed from its eigendecomposition with a relative rank cutoff.
+
+use crate::eigen::sym_eigen;
+use crate::svd::svd_small;
+use crate::{LinalgError, Mat, Result};
+
+/// Moore–Penrose pseudoinverse.
+///
+/// For square symmetric matrices uses the symmetric eigendecomposition;
+/// otherwise falls back to the small SVD. Singular values below
+/// `1e-12 · σ_max` are treated as zero.
+pub fn pinv(a: &Mat) -> Result<Mat> {
+    const RTOL: f64 = 1e-12;
+    let (m, n) = a.shape();
+    if m == n && is_symmetric(a, 1e-10) {
+        let e = sym_eigen(a)?;
+        let lmax = e.values.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()));
+        let mut d = Mat::zeros(n, n);
+        for i in 0..n {
+            let l = e.values[i];
+            if l.abs() > RTOL * lmax && lmax > 0.0 {
+                d.set(i, i, 1.0 / l);
+            }
+        }
+        return e.vectors.matmul(&d)?.matmul(&e.vectors.transpose());
+    }
+    let svd = svd_small(a)?;
+    let smax = svd.s.first().copied().unwrap_or(0.0);
+    let k = svd.s.len();
+    // A† = V Σ† Uᵀ
+    let mut vs = svd.v.clone();
+    for j in 0..k {
+        let inv = if smax > 0.0 && svd.s[j] > RTOL * smax {
+            1.0 / svd.s[j]
+        } else {
+            0.0
+        };
+        for i in 0..vs.rows() {
+            let v = vs.get(i, j) * inv;
+            vs.set(i, j, v);
+        }
+    }
+    vs.matmul(&svd.u.transpose())
+}
+
+/// Solve `a x = b` for symmetric positive-definite `a` via Cholesky.
+///
+/// Returns [`LinalgError::Singular`] when a pivot collapses (matrix not
+/// positive definite to working precision).
+pub fn solve_spd(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "solve_spd: matrix is {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "solve_spd: rhs has length {} for n={n}",
+            b.len()
+        )));
+    }
+    // Cholesky: a = L Lᵀ (lower triangular L, row-major).
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LinalgError::Singular);
+                }
+                l[i * n + j] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * y[k];
+        }
+        y[i] = s / l[i * n + i];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[k * n + i] * x[k];
+        }
+        x[i] = s / l[i * n + i];
+    }
+    Ok(x)
+}
+
+fn is_symmetric(a: &Mat, tol: f64) -> bool {
+    let n = a.rows();
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a.get(i, j) - a.get(j, i)).abs() > tol * scale {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Mat::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        let prod = a.matmul(&p).unwrap();
+        assert!(prod.approx_eq(&Mat::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn pinv_penrose_conditions_rank_deficient() {
+        // Rank-1 symmetric PSD matrix.
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        // A A† A = A
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-9));
+        // A† A A† = A†
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.approx_eq(&p, 1e-9));
+    }
+
+    #[test]
+    fn pinv_rectangular() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Mat::random(6, 3, &mut rng);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (3, 6));
+        // A† A ≈ I (full column rank, so left inverse).
+        let pa = p.matmul(&a).unwrap();
+        assert!(pa.approx_eq(&Mat::identity(3), 1e-8));
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        let a = Mat::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        // x = [1, 2] -> b = [6, 7]
+        let x = solve_spd(&a, &[6.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(matches!(solve_spd(&a, &[1.0, 1.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn solve_spd_dim_checks() {
+        let a = Mat::zeros(2, 3);
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_err());
+        let a = Mat::identity(2);
+        assert!(solve_spd(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn pinv_zero_matrix_is_zero() {
+        let a = Mat::zeros(3, 3);
+        let p = pinv(&a).unwrap();
+        assert!(p.approx_eq(&Mat::zeros(3, 3), 1e-15));
+    }
+}

@@ -1,0 +1,192 @@
+//! Leading left singular vectors via blocked subspace (orthogonal) iteration.
+//!
+//! Tucker-ALS (Algorithm 2 of the paper) needs the `P` leading left singular
+//! vectors of a tall matricized tensor `Y₍₁₎ ∈ ℝ^{I×QR}` where `I` can be in
+//! the millions but `P`, `Q`, `R` are small. Forming `Y Yᵀ` (I×I) is the
+//! intermediate-data explosion this paper is about avoiding, so we extract
+//! the subspace by iterating `U ← orth(Y (Yᵀ U))`, which only ever touches
+//! the operator through tall-matrix products. The operator is abstracted as
+//! [`LinOp`] so callers can plug in sparse matricized tensors without
+//! densifying them.
+
+use crate::qr::thin_qr;
+use crate::vecops::max_abs_diff;
+use crate::{LinalgError, Mat, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An abstract `m × n` linear operator supporting products with blocks of
+/// vectors. Implemented by dense [`Mat`] here and by sparse matricized
+/// tensors in `haten2-tensor`.
+pub trait LinOp {
+    /// Row count `m`.
+    fn nrows(&self) -> usize;
+    /// Column count `n`.
+    fn ncols(&self) -> usize;
+    /// `self * x` for a block `x ∈ ℝ^{n×k}` → `ℝ^{m×k}`.
+    fn apply(&self, x: &Mat) -> Result<Mat>;
+    /// `selfᵀ * x` for a block `x ∈ ℝ^{m×k}` → `ℝ^{n×k}`.
+    fn apply_transpose(&self, x: &Mat) -> Result<Mat>;
+}
+
+impl LinOp for Mat {
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+    fn apply(&self, x: &Mat) -> Result<Mat> {
+        self.matmul(x)
+    }
+    fn apply_transpose(&self, x: &Mat) -> Result<Mat> {
+        // (AᵀX) computed without materializing Aᵀ: (XᵀA)ᵀ.
+        Ok(x.transpose().matmul(self)?.transpose())
+    }
+}
+
+/// Options for [`leading_left_singular_vectors`].
+#[derive(Debug, Clone)]
+pub struct SubspaceOptions {
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the change of the projected subspace
+    /// (max-abs difference of `|UᵀU_prev|` from identity).
+    pub tol: f64,
+    /// RNG seed for the random start block.
+    pub seed: u64,
+}
+
+impl Default for SubspaceOptions {
+    fn default() -> Self {
+        SubspaceOptions { max_iter: 200, tol: 1e-10, seed: 0x5eed }
+    }
+}
+
+/// Compute the `p` leading left singular vectors of an operator `a` as an
+/// `m × p` matrix with orthonormal columns.
+///
+/// Subspace iteration: start from a random orthonormal block `U₀`, repeat
+/// `U ← orth(A (Aᵀ U))` until the subspace stabilizes. Convergence is
+/// geometric in `(σ_{p+1}/σ_p)²`; clusters at the cutoff converge slowly but
+/// the returned block still spans an invariant subspace to within `tol` of
+/// the best one, which is all ALS needs.
+pub fn leading_left_singular_vectors<O: LinOp + ?Sized>(
+    a: &O,
+    p: usize,
+    opts: &SubspaceOptions,
+) -> Result<Mat> {
+    let (m, n) = (a.nrows(), a.ncols());
+    if p == 0 {
+        return Ok(Mat::zeros(m, 0));
+    }
+    if p > m || p > n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "requested {p} singular vectors of a {m}x{n} operator"
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut u = thin_qr(&Mat::random(m, p, &mut rng))?;
+
+    let mut last_proj: Option<Vec<f64>> = None;
+    for iter in 0..opts.max_iter {
+        let w = a.apply_transpose(&u)?; // n×p
+        let au = a.apply(&w)?; // m×p : A Aᵀ U
+        let next = thin_qr(&au)?;
+
+        // Convergence test: |UᵀU_next| should converge to a fixed rotation;
+        // track the diagonal magnitudes of the cross-projection.
+        let cross = u.transpose().matmul(&next)?;
+        let proj: Vec<f64> = (0..p).map(|j| cross.get(j, j).abs()).collect();
+        u = next;
+        if let Some(prev) = &last_proj {
+            let delta = max_abs_diff(prev, &proj);
+            let near_identity = proj.iter().all(|&d| (d - 1.0).abs() < opts.tol.max(1e-12));
+            if near_identity || (delta < opts.tol && iter > 2) {
+                return Ok(u);
+            }
+        }
+        last_proj = Some(proj);
+    }
+    // Subspace iteration always returns its best iterate: ALS is tolerant to
+    // slightly-unconverged subspaces (it re-solves every sweep), so a hard
+    // error here would be worse than the approximation.
+    Ok(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::svd_small;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Subspace angle check: columns of `u` span the same space as `v`.
+    fn same_subspace(u: &Mat, v: &Mat, tol: f64) -> bool {
+        // ‖UᵀV‖ singular values all ≈ 1.
+        let c = u.transpose().matmul(v).unwrap();
+        let svd = svd_small(&c).unwrap();
+        svd.s.iter().all(|&s| (s - 1.0).abs() < tol)
+    }
+
+    #[test]
+    fn recovers_leading_subspace_of_random_tall_matrix() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // Build a matrix with a strong rank-3 signal plus noise.
+        let u_true = thin_qr(&Mat::random(50, 3, &mut rng)).unwrap();
+        let v_true = thin_qr(&Mat::random(8, 3, &mut rng)).unwrap();
+        let mut a = Mat::zeros(50, 8);
+        let sig = [100.0, 50.0, 25.0];
+        for (k, &s) in sig.iter().enumerate() {
+            for i in 0..50 {
+                for j in 0..8 {
+                    a.add_at(i, j, s * u_true.get(i, k) * v_true.get(j, k));
+                }
+            }
+        }
+        // Small noise.
+        for i in 0..50 {
+            for j in 0..8 {
+                a.add_at(i, j, 0.01 * rng.gen::<f64>());
+            }
+        }
+        let u = leading_left_singular_vectors(&a, 3, &SubspaceOptions::default()).unwrap();
+        assert!(same_subspace(&u, &u_true, 1e-3));
+    }
+
+    #[test]
+    fn matches_svd_small_on_dense() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Mat::random(20, 6, &mut rng);
+        let svd = svd_small(&a).unwrap();
+        let mut u_ref = Mat::zeros(20, 2);
+        for j in 0..2 {
+            for i in 0..20 {
+                u_ref.set(i, j, svd.u.get(i, j));
+            }
+        }
+        let u = leading_left_singular_vectors(&a, 2, &SubspaceOptions::default()).unwrap();
+        assert!(same_subspace(&u, &u_ref, 1e-6));
+    }
+
+    #[test]
+    fn orthonormal_output() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Mat::random(30, 10, &mut rng);
+        let u = leading_left_singular_vectors(&a, 4, &SubspaceOptions::default()).unwrap();
+        assert!(u.gram().approx_eq(&Mat::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn p_zero_is_empty() {
+        let a = Mat::identity(4);
+        let u = leading_left_singular_vectors(&a, 0, &SubspaceOptions::default()).unwrap();
+        assert_eq!(u.shape(), (4, 0));
+    }
+
+    #[test]
+    fn rejects_oversized_p() {
+        let a = Mat::identity(3);
+        assert!(leading_left_singular_vectors(&a, 4, &SubspaceOptions::default()).is_err());
+    }
+}

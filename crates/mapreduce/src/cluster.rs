@@ -1,0 +1,201 @@
+//! Cluster configuration, cost model, and the [`Cluster`] handle.
+
+use crate::metrics::{JobMetrics, RunMetrics};
+use parking_lot::Mutex;
+
+/// Static description of the simulated cluster.
+///
+/// The defaults are calibrated to the paper's testbed: 40 machines, quad-core
+/// Xeon E3, 32 GB RAM — scaled so that experiments complete at laptop scale
+/// while preserving the *ratios* the figures depend on (per-job overhead vs.
+/// per-byte work).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated machines (the paper sweeps 10–40).
+    pub machines: usize,
+    /// Reduce partitions per job; `None` means one per machine.
+    pub reducers: Option<usize>,
+    /// Fixed per-job overhead in simulated seconds (JVM start, scheduling,
+    /// synchronization). Hadoop-era jobs paid ~10–20 s; this constant is what
+    /// makes job *count* dominate run time and machine scalability flatten.
+    pub per_job_overhead_s: f64,
+    /// Map-side processing throughput, bytes/second/machine.
+    pub map_bytes_per_s: f64,
+    /// Shuffle (network) throughput, bytes/second/machine.
+    pub shuffle_bytes_per_s: f64,
+    /// Reduce-side processing throughput, bytes/second/machine.
+    pub reduce_bytes_per_s: f64,
+    /// Per-reducer memory budget in bytes; a reduce-side key group larger
+    /// than this aborts the job with [`crate::MrError::ReducerOom`].
+    pub reducer_memory_bytes: Option<usize>,
+    /// Aggregate cluster spill capacity in bytes; a job whose intermediate
+    /// data exceeds it aborts with
+    /// [`crate::MrError::ClusterCapacityExceeded`].
+    pub cluster_capacity_bytes: Option<usize>,
+    /// Real worker threads used to execute tasks (not a semantic knob).
+    pub threads: usize,
+    /// Deterministic failure injection: every `n`-th map task fails once and
+    /// is retried. `None` disables injection.
+    pub fail_every_nth_task: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        ClusterConfig {
+            machines: 40,
+            reducers: None,
+            per_job_overhead_s: 10.0,
+            map_bytes_per_s: 50.0e6,
+            shuffle_bytes_per_s: 25.0e6,
+            reduce_bytes_per_s: 50.0e6,
+            reducer_memory_bytes: None,
+            cluster_capacity_bytes: None,
+            threads,
+            fail_every_nth_task: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Config with `machines` machines and everything else default.
+    pub fn with_machines(machines: usize) -> Self {
+        ClusterConfig { machines, ..Default::default() }
+    }
+
+    /// Number of reduce partitions for a job.
+    pub fn num_reducers(&self) -> usize {
+        self.reducers.unwrap_or(self.machines).max(1)
+    }
+}
+
+/// Converts measured per-job counters into simulated wall-clock seconds.
+///
+/// The model is the standard bulk-synchronous decomposition of a MapReduce
+/// job:
+///
+/// ```text
+/// T = overhead + map_bytes/(M·map_bw) + shuffle_bytes/(M·net_bw)
+///              + reduce_bytes/(M·red_bw) + skew·T_work
+/// ```
+///
+/// `overhead` does not shrink with `M`, which is exactly why the paper's
+/// Figure 8 flattens and why reducing job count (DRN → DRI) matters.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Simulated seconds for one job under `cfg`, given its counters.
+    pub fn job_time_s(cfg: &ClusterConfig, m: &JobMetrics) -> f64 {
+        let machines = cfg.machines.max(1) as f64;
+        let map_t = m.map_input_bytes as f64 / (machines * cfg.map_bytes_per_s);
+        let shuffle_t = m.shuffle_bytes as f64 / (machines * cfg.shuffle_bytes_per_s);
+        let reduce_t =
+            (m.shuffle_bytes + m.reduce_output_bytes) as f64 / (machines * cfg.reduce_bytes_per_s);
+        // Mild skew term: the largest reduce group serializes on one machine.
+        let skew_t = m.max_group_bytes as f64 / cfg.reduce_bytes_per_s;
+        cfg.per_job_overhead_s + map_t + shuffle_t + reduce_t + skew_t
+    }
+}
+
+/// A handle to the simulated cluster: configuration plus accumulated
+/// metrics. Jobs are submitted through [`crate::job::run_job`].
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    metrics: Mutex<RunMetrics>,
+}
+
+impl Cluster {
+    /// Create a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster { config, metrics: Mutex::new(RunMetrics::default()) }
+    }
+
+    /// Cluster with default (paper-testbed-like) configuration.
+    pub fn with_defaults() -> Self {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Record a finished job's metrics.
+    pub(crate) fn record(&self, job: JobMetrics) {
+        self.metrics.lock().push(job);
+    }
+
+    /// Snapshot of all metrics so far.
+    pub fn metrics(&self) -> RunMetrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Clear accumulated metrics (e.g. between experiment repetitions).
+    pub fn reset_metrics(&self) {
+        *self.metrics.lock() = RunMetrics::default();
+    }
+
+    /// Metrics accumulated since `mark` jobs had run; used to attribute jobs
+    /// to a phase of an algorithm.
+    pub fn metrics_since(&self, mark: usize) -> RunMetrics {
+        let all = self.metrics.lock();
+        RunMetrics { jobs: all.jobs[mark.min(all.jobs.len())..].to_vec() }
+    }
+
+    /// Number of jobs run so far (for use with [`Cluster::metrics_since`]).
+    pub fn jobs_run(&self) -> usize {
+        self.metrics.lock().total_jobs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_sane() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.machines, 40);
+        assert!(c.per_job_overhead_s > 0.0);
+        assert!(c.num_reducers() >= 1);
+    }
+
+    #[test]
+    fn cost_model_overhead_floor() {
+        let cfg = ClusterConfig::default();
+        let m = JobMetrics::default();
+        let t = CostModel::job_time_s(&cfg, &m);
+        assert!((t - cfg.per_job_overhead_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_scales_with_machines() {
+        let m = JobMetrics {
+            map_input_bytes: 1_000_000_000,
+            shuffle_bytes: 1_000_000_000,
+            ..Default::default()
+        };
+        let t10 = CostModel::job_time_s(&ClusterConfig::with_machines(10), &m);
+        let t40 = CostModel::job_time_s(&ClusterConfig::with_machines(40), &m);
+        assert!(t40 < t10);
+        // Sub-linear speedup because of the fixed overhead.
+        let speedup = t10 / t40;
+        assert!(speedup > 1.0 && speedup < 4.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn metrics_accumulate_and_reset() {
+        let c = Cluster::with_defaults();
+        assert_eq!(c.jobs_run(), 0);
+        c.record(JobMetrics { name: "x".into(), ..Default::default() });
+        c.record(JobMetrics { name: "y".into(), ..Default::default() });
+        assert_eq!(c.jobs_run(), 2);
+        let since = c.metrics_since(1);
+        assert_eq!(since.total_jobs(), 1);
+        assert_eq!(since.jobs[0].name, "y");
+        c.reset_metrics();
+        assert_eq!(c.jobs_run(), 0);
+    }
+}

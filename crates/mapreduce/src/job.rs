@@ -1,0 +1,329 @@
+//! The MapReduce job executor.
+//!
+//! [`run_job`] executes one job with real thread parallelism and full
+//! dataflow semantics: map tasks over input splits, an optional map-side
+//! combiner, hash partitioning, a sort-based reduce-side group-by, and
+//! reduce tasks per partition. Every mapper emission is counted and sized —
+//! the "intermediate data" of the paper's cost analysis.
+
+use crate::cluster::{Cluster, CostModel};
+use crate::metrics::JobMetrics;
+use crate::size::EstimateSize;
+use crate::MrError;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-record framing overhead (key length + value length prefixes), bytes.
+const FRAMING_BYTES: usize = 8;
+
+/// A map-side combiner: receives one key's values from a single map task
+/// and returns the (smaller) combined value list.
+pub type Combiner<'a, KM, VM> = &'a (dyn Fn(&KM, Vec<VM>) -> Vec<VM> + Sync);
+
+/// Declarative description of one job.
+pub struct JobSpec<'a, KM, VM> {
+    /// Job name for metrics.
+    pub name: String,
+    /// Optional map-side combiner: receives one key's values from a single
+    /// map task and returns the (smaller) combined value list.
+    pub combiner: Option<Combiner<'a, KM, VM>>,
+}
+
+impl<'a, KM, VM> JobSpec<'a, KM, VM> {
+    /// A job with no combiner.
+    pub fn named(name: impl Into<String>) -> Self {
+        JobSpec { name: name.into(), combiner: None }
+    }
+
+    /// Attach a combiner.
+    pub fn with_combiner(mut self, combiner: Combiner<'a, KM, VM>) -> Self {
+        self.combiner = Some(combiner);
+        self
+    }
+}
+
+struct MapTaskResult<KM, VM> {
+    buckets: Vec<Vec<(KM, VM)>>,
+    input_records: usize,
+    input_bytes: usize,
+    output_records: usize,
+    output_bytes: usize,
+    retried: bool,
+}
+
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % partitions
+}
+
+/// Execute one MapReduce job on `cluster`.
+///
+/// * `input` — the input split, as `(key, value)` records.
+/// * `mapper` — called per input record with an `emit(key, value)` sink.
+/// * `reducer` — called per intermediate key with all its values (combined
+///   across map tasks) and an `emit(key, value)` sink.
+///
+/// Returns the reduce output. Metrics (including simulated cluster time) are
+/// recorded on the `cluster` and also derivable from the returned metrics
+/// snapshot.
+///
+/// ```
+/// use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec};
+///
+/// let cluster = Cluster::new(ClusterConfig::with_machines(4));
+/// let docs = vec![(0u64, "a b a".to_string()), (1, "b c".to_string())];
+/// let mut counts = run_job(
+///     &cluster,
+///     JobSpec::named("word-count"),
+///     &docs,
+///     |_, text: &String, emit| {
+///         for w in text.split_whitespace() {
+///             emit(w.to_string(), 1u64);
+///         }
+///     },
+///     |word, ones, emit| emit(word.clone(), ones.iter().sum::<u64>()),
+/// )
+/// .unwrap();
+/// counts.sort();
+/// assert_eq!(counts, vec![
+///     ("a".to_string(), 2),
+///     ("b".to_string(), 2),
+///     ("c".to_string(), 1),
+/// ]);
+/// // The paper's "intermediate data" is the mapper output, counted exactly:
+/// assert_eq!(cluster.metrics().jobs[0].map_output_records, 5);
+/// ```
+pub fn run_job<KI, VI, KM, VM, KO, VO, M, R>(
+    cluster: &Cluster,
+    spec: JobSpec<'_, KM, VM>,
+    input: &[(KI, VI)],
+    mapper: M,
+    reducer: R,
+) -> crate::Result<Vec<(KO, VO)>>
+where
+    KI: Sync + EstimateSize,
+    VI: Sync + EstimateSize,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Send + EstimateSize,
+    VO: Send + EstimateSize,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    let started = Instant::now();
+    let cfg = cluster.config();
+    let num_reducers = cfg.num_reducers();
+    let num_map_tasks = cfg.machines.max(1);
+    let threads = cfg.threads.max(1);
+
+    // ---- Map phase -------------------------------------------------------
+    let split_len = input.len().div_ceil(num_map_tasks).max(1);
+    let splits: Vec<&[(KI, VI)]> = input.chunks(split_len).collect();
+    let actual_tasks = splits.len();
+
+    let task_counter = AtomicUsize::new(0);
+    let map_results: Mutex<Vec<MapTaskResult<KM, VM>>> = Mutex::new(Vec::new());
+
+    let run_map_task = |task_id: usize| -> MapTaskResult<KM, VM> {
+        let split = splits[task_id];
+        let mut buckets: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut output_records = 0usize;
+        let mut output_bytes = 0usize;
+        let mut input_bytes = 0usize;
+        {
+            let mut emit = |k: KM, v: VM| {
+                output_records += 1;
+                output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                buckets[partition_of(&k, num_reducers)].push((k, v));
+            };
+            for (k, v) in split {
+                input_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                mapper(k, v, &mut emit);
+            }
+        }
+        // Map-side combine: group this task's buckets by key and combine.
+        if let Some(combiner) = spec.combiner {
+            for bucket in &mut buckets {
+                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                let drained = std::mem::take(bucket);
+                let mut it = drained.into_iter().peekable();
+                while let Some((key, first)) = it.next() {
+                    let mut vals = vec![first];
+                    while it.peek().is_some_and(|(k, _)| *k == key) {
+                        vals.push(it.next().expect("peeked").1);
+                    }
+                    for v in combiner(&key, vals) {
+                        bucket.push((key.clone(), v));
+                    }
+                }
+            }
+        }
+        MapTaskResult {
+            buckets,
+            input_records: split.len(),
+            input_bytes,
+            output_records,
+            output_bytes,
+            retried: false,
+        }
+    };
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(actual_tasks) {
+            s.spawn(|_| loop {
+                let t = task_counter.fetch_add(1, Ordering::Relaxed);
+                if t >= actual_tasks {
+                    break;
+                }
+                // Deterministic failure injection: the chosen tasks "fail"
+                // on their first attempt (output discarded) and are retried.
+                let mut retried = false;
+                if let Some(n) = cfg.fail_every_nth_task {
+                    if n > 0 && (t + 1).is_multiple_of(n) {
+                        let wasted = run_map_task(t);
+                        drop(wasted);
+                        retried = true;
+                    }
+                }
+                let mut result = run_map_task(t);
+                result.retried = retried;
+                map_results.lock().push(result);
+            });
+        }
+    })
+    .expect("map worker panicked");
+
+    // ---- Shuffle ---------------------------------------------------------
+    let mut metrics = JobMetrics { name: spec.name.clone(), ..Default::default() };
+    let mut partitions: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    {
+        let results = map_results.into_inner();
+        for r in results {
+            metrics.map_input_records += r.input_records;
+            metrics.map_input_bytes += r.input_bytes;
+            metrics.map_output_records += r.output_records;
+            metrics.map_output_bytes += r.output_bytes;
+            metrics.task_retries += r.retried as usize;
+            for (p, bucket) in r.buckets.into_iter().enumerate() {
+                for (k, v) in bucket {
+                    metrics.shuffle_records += 1;
+                    metrics.shuffle_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                    partitions[p].push((k, v));
+                }
+            }
+        }
+    }
+
+    if let Some(cap) = cfg.cluster_capacity_bytes {
+        if metrics.map_output_bytes > cap {
+            return Err(MrError::ClusterCapacityExceeded {
+                job: spec.name,
+                intermediate_bytes: metrics.map_output_bytes,
+                capacity_bytes: cap,
+            });
+        }
+    }
+
+    // ---- Reduce phase ----------------------------------------------------
+    struct ReduceTaskResult<KO, VO> {
+        output: Vec<(KO, VO)>,
+        groups: usize,
+        output_records: usize,
+        output_bytes: usize,
+        max_group_bytes: usize,
+    }
+
+    // Each partition is consumed by exactly one reduce task; hand ownership
+    // through per-partition mutex cells so workers can take them without
+    // cloning.
+    type PartitionCell<K, V> = Mutex<Option<Vec<(K, V)>>>;
+    let partition_cells: Vec<PartitionCell<KM, VM>> =
+        partitions.into_iter().map(|p| Mutex::new(Some(p))).collect();
+
+    let part_counter = AtomicUsize::new(0);
+    let reduce_results: Mutex<Vec<ReduceTaskResult<KO, VO>>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<MrError>> = Mutex::new(None);
+    let failed = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(num_reducers) {
+            s.spawn(|_| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let p = part_counter.fetch_add(1, Ordering::Relaxed);
+                if p >= num_reducers {
+                    break;
+                }
+                let mut records =
+                    partition_cells[p].lock().take().expect("partition visited once");
+                records.sort_by(|a, b| a.0.cmp(&b.0));
+
+                let mut out: Vec<(KO, VO)> = Vec::new();
+                let mut groups = 0usize;
+                let mut output_records = 0usize;
+                let mut output_bytes = 0usize;
+                let mut max_group_bytes = 0usize;
+
+                let mut it = records.into_iter().peekable();
+                while let Some((key, first)) = it.next() {
+                    let mut group_bytes = key.est_bytes() + first.est_bytes() + FRAMING_BYTES;
+                    let mut vals = vec![first];
+                    while it.peek().is_some_and(|(k, _)| *k == key) {
+                        let (_, v) = it.next().expect("peeked");
+                        group_bytes += v.est_bytes() + FRAMING_BYTES;
+                        vals.push(v);
+                    }
+                    if let Some(budget) = cfg.reducer_memory_bytes {
+                        if group_bytes > budget {
+                            *failure.lock() = Some(MrError::ReducerOom {
+                                job: spec.name.clone(),
+                                group_bytes,
+                                budget_bytes: budget,
+                            });
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    max_group_bytes = max_group_bytes.max(group_bytes);
+                    groups += 1;
+                    let mut emit = |k: KO, v: VO| {
+                        output_records += 1;
+                        output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                        out.push((k, v));
+                    };
+                    reducer(&key, vals, &mut emit);
+                }
+                reduce_results.lock().push(ReduceTaskResult {
+                    output: out,
+                    groups,
+                    output_records,
+                    output_bytes,
+                    max_group_bytes,
+                });
+            });
+        }
+    })
+    .expect("reduce worker panicked");
+
+    if let Some(err) = failure.into_inner() {
+        return Err(err);
+    }
+
+    let mut output = Vec::new();
+    for r in reduce_results.into_inner() {
+        metrics.reduce_groups += r.groups;
+        metrics.reduce_output_records += r.output_records;
+        metrics.reduce_output_bytes += r.output_bytes;
+        metrics.max_group_bytes = metrics.max_group_bytes.max(r.max_group_bytes);
+        output.extend(r.output);
+    }
+
+    metrics.wall_time_s = started.elapsed().as_secs_f64();
+    metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
+    cluster.record(metrics);
+    Ok(output)
+}

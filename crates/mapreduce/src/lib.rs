@@ -1,0 +1,107 @@
+//! A hand-rolled, cluster-simulated MapReduce engine.
+//!
+//! HaTen2 runs on Hadoop; no Hadoop cluster is available here, so this crate
+//! reproduces the *behaviourally relevant* parts of that substrate:
+//!
+//! * **Real dataflow semantics** — map → (combine) → partition → shuffle →
+//!   sort/group → reduce, executed with genuine thread parallelism
+//!   (crossbeam scoped threads stand in for cluster nodes).
+//! * **Exact intermediate-data accounting** — every record a mapper emits is
+//!   counted and sized. "Max intermediate data" is the quantity the paper's
+//!   Tables III and IV bound per HaTen2 variant, so it must be measured, not
+//!   modelled.
+//! * **Job counting** — the second column of those tables.
+//! * **A calibrated cluster cost model** — converts measured per-job work
+//!   into simulated wall-clock for an `M`-machine cluster with per-job fixed
+//!   overhead (JVM start, synchronization). This produces the paper's
+//!   machine-scalability flattening (Fig. 8) and the job-count-dominated
+//!   running-time differences between variants (Figs. 1 and 7).
+//! * **Memory budgets** — a per-reducer budget makes broadcast-style jobs
+//!   (HaTen2-Naive copies a whole factor column to every reducer) fail with
+//!   an explicit [`MrError::ReducerOom`], reproducing the paper's "o.o.m."
+//!   data points at scaled-down thresholds.
+//! * **An in-memory DFS** ([`dfs::Dfs`]) with read/write metering, so the
+//!   disk-access saving of HaTen2-DRI (the input tensor is read once, not
+//!   twice) is observable.
+//! * **Failure injection** — deterministic task failures with retry, to test
+//!   that job results are failure-transparent.
+
+pub mod cluster;
+pub mod dfs;
+pub mod job;
+pub mod metrics;
+pub mod pipeline;
+pub mod size;
+
+pub use cluster::{Cluster, ClusterConfig, CostModel};
+pub use dfs::Dfs;
+pub use job::{run_job, Combiner, JobSpec};
+pub use pipeline::run_job_dfs;
+pub use metrics::{JobMetrics, RunMetrics};
+pub use size::EstimateSize;
+
+/// Errors surfaced by the MapReduce engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrError {
+    /// A reduce-side key group exceeded the configured per-reducer memory
+    /// budget — the distributed analogue of an out-of-memory crash.
+    ReducerOom {
+        /// Job that failed.
+        job: String,
+        /// Bytes the offending key group required.
+        group_bytes: usize,
+        /// Configured budget.
+        budget_bytes: usize,
+    },
+    /// Total intermediate (shuffle) data exceeded the cluster's aggregate
+    /// capacity (sum of per-machine spill space).
+    ClusterCapacityExceeded {
+        /// Job that failed.
+        job: String,
+        /// Bytes of intermediate data produced.
+        intermediate_bytes: usize,
+        /// Configured aggregate capacity.
+        capacity_bytes: usize,
+    },
+    /// A task failed more times than the retry budget allows.
+    TaskFailed {
+        /// Job that failed.
+        job: String,
+        /// Task index within the job.
+        task: usize,
+    },
+    /// A pipeline stage referenced a DFS dataset that does not exist (or
+    /// holds records of a different type).
+    DatasetMissing {
+        /// Job that failed.
+        job: String,
+        /// The dataset name.
+        dataset: String,
+    },
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::ReducerOom { job, group_bytes, budget_bytes } => write!(
+                f,
+                "job '{job}': reducer out of memory (key group needs {group_bytes} B, budget {budget_bytes} B)"
+            ),
+            MrError::ClusterCapacityExceeded { job, intermediate_bytes, capacity_bytes } => write!(
+                f,
+                "job '{job}': intermediate data {intermediate_bytes} B exceeds cluster capacity {capacity_bytes} B"
+            ),
+            MrError::TaskFailed { job, task } => {
+                write!(f, "job '{job}': task {task} exhausted retries")
+            }
+            MrError::DatasetMissing { job, dataset } => {
+                write!(f, "job '{job}': DFS dataset '{dataset}' missing or wrong type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, MrError>;

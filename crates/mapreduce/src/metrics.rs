@@ -1,0 +1,144 @@
+//! Per-job and per-run metrics.
+//!
+//! These counters are the experiment's primary observables: Tables III/IV of
+//! the paper are bounds on `map_output_records` (max intermediate data) and
+//! on the number of jobs; Figures 1/7/8 plot (simulated) running time.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one MapReduce job.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name (used for grouping in reports).
+    pub name: String,
+    /// Records read by all map tasks.
+    pub map_input_records: usize,
+    /// Bytes read by all map tasks.
+    pub map_input_bytes: usize,
+    /// Records emitted by all map tasks **before** the combiner. This is the
+    /// paper's "intermediate data" quantity.
+    pub map_output_records: usize,
+    /// Bytes emitted by all map tasks before the combiner.
+    pub map_output_bytes: usize,
+    /// Records crossing the network after the (optional) combiner.
+    pub shuffle_records: usize,
+    /// Bytes crossing the network after the (optional) combiner.
+    pub shuffle_bytes: usize,
+    /// Distinct reduce-side key groups.
+    pub reduce_groups: usize,
+    /// Records emitted by all reduce tasks.
+    pub reduce_output_records: usize,
+    /// Bytes emitted by all reduce tasks.
+    pub reduce_output_bytes: usize,
+    /// Largest single reduce-side key group in bytes (memory-pressure proxy;
+    /// compared against the per-reducer budget).
+    pub max_group_bytes: usize,
+    /// Map tasks that were retried due to injected failures.
+    pub task_retries: usize,
+    /// Simulated wall-clock for the configured cluster (seconds).
+    pub sim_time_s: f64,
+    /// Actual wall-clock spent executing the job in this process (seconds).
+    pub wall_time_s: f64,
+}
+
+/// Metrics for a sequence of jobs (one decomposition, one experiment, …).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-job metrics in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl RunMetrics {
+    /// Number of jobs executed.
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Maximum intermediate data (records) over all jobs — the quantity the
+    /// paper's Tables III/IV report per variant.
+    pub fn max_intermediate_records(&self) -> usize {
+        self.jobs.iter().map(|j| j.map_output_records).max().unwrap_or(0)
+    }
+
+    /// Maximum intermediate data in bytes over all jobs.
+    pub fn max_intermediate_bytes(&self) -> usize {
+        self.jobs.iter().map(|j| j.map_output_bytes).max().unwrap_or(0)
+    }
+
+    /// Total intermediate records across all jobs.
+    pub fn total_intermediate_records(&self) -> usize {
+        self.jobs.iter().map(|j| j.map_output_records).sum()
+    }
+
+    /// Total simulated time, including per-job overheads.
+    pub fn total_sim_time_s(&self) -> f64 {
+        self.jobs.iter().map(|j| j.sim_time_s).sum()
+    }
+
+    /// Total actual wall time.
+    pub fn total_wall_time_s(&self) -> f64 {
+        self.jobs.iter().map(|j| j.wall_time_s).sum()
+    }
+
+    /// Total bytes read by map tasks (disk-access proxy: HaTen2-DRI reads
+    /// the input tensor once, earlier variants read it per job).
+    pub fn total_map_input_bytes(&self) -> usize {
+        self.jobs.iter().map(|j| j.map_input_bytes).sum()
+    }
+
+    /// Append another run's jobs.
+    pub fn extend(&mut self, other: RunMetrics) {
+        self.jobs.extend(other.jobs);
+    }
+
+    /// Push one job.
+    pub fn push(&mut self, job: JobMetrics) {
+        self.jobs.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, inter: usize, t: f64) -> JobMetrics {
+        JobMetrics {
+            name: name.into(),
+            map_output_records: inter,
+            map_output_bytes: inter * 24,
+            sim_time_s: t,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let mut run = RunMetrics::default();
+        run.push(job("a", 10, 1.0));
+        run.push(job("b", 30, 2.0));
+        run.push(job("c", 20, 0.5));
+        assert_eq!(run.total_jobs(), 3);
+        assert_eq!(run.max_intermediate_records(), 30);
+        assert_eq!(run.max_intermediate_bytes(), 720);
+        assert_eq!(run.total_intermediate_records(), 60);
+        assert!((run.total_sim_time_s() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = RunMetrics::default();
+        assert_eq!(run.total_jobs(), 0);
+        assert_eq!(run.max_intermediate_records(), 0);
+        assert_eq!(run.total_sim_time_s(), 0.0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = RunMetrics::default();
+        a.push(job("a", 1, 0.1));
+        let mut b = RunMetrics::default();
+        b.push(job("b", 2, 0.2));
+        a.extend(b);
+        assert_eq!(a.total_jobs(), 2);
+    }
+}

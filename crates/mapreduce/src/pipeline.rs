@@ -1,0 +1,129 @@
+//! DFS-chained job pipelines.
+//!
+//! Hadoop jobs communicate through HDFS: each job reads named datasets and
+//! writes named datasets, and the number of times the big input is re-read
+//! is a first-order cost (HaTen2-DRI's point in §III-B4). [`run_job_dfs`]
+//! runs one job against the metered [`Dfs`], so multi-job algorithms
+//! expressed as pipelines get their disk traffic accounted automatically.
+
+use crate::dfs::Dfs;
+use crate::job::{run_job, JobSpec};
+use crate::size::EstimateSize;
+use crate::{Cluster, MrError};
+use std::hash::Hash;
+
+/// Run one job whose input is the DFS dataset `input` and whose output is
+/// written to the DFS dataset `output`. Returns the number of output
+/// records.
+///
+/// Fails with [`MrError::DatasetMissing`] when `input` does not exist or
+/// holds records of a different type.
+pub fn run_job_dfs<KI, VI, KM, VM, KO, VO, M, R>(
+    cluster: &Cluster,
+    dfs: &Dfs,
+    spec: JobSpec<'_, KM, VM>,
+    input: &str,
+    output: &str,
+    mapper: M,
+    reducer: R,
+) -> crate::Result<usize>
+where
+    KI: Clone + Send + Sync + EstimateSize + 'static,
+    VI: Clone + Send + Sync + EstimateSize + 'static,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Clone + Send + Sync + EstimateSize + 'static,
+    VO: Clone + Send + Sync + EstimateSize + 'static,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    let job_name = spec.name.clone();
+    let records = dfs
+        .get::<(KI, VI)>(input)
+        .ok_or_else(|| MrError::DatasetMissing { job: job_name, dataset: input.to_string() })?;
+    let out = run_job(cluster, spec, &records, mapper, reducer)?;
+    let n = out.len();
+    dfs.put(output, out);
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+
+    #[test]
+    fn two_stage_pipeline_with_metered_reads() {
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        let dfs = Dfs::new();
+        dfs.put("logs", vec![(0u64, 3u64), (1, 3), (2, 5), (3, 5), (4, 5)]);
+
+        // Stage 1: count values.
+        let n = run_job_dfs(
+            &cluster,
+            &dfs,
+            JobSpec::named("count"),
+            "logs",
+            "counts",
+            |_: &u64, v: &u64, emit| emit(*v, 1u64),
+            |k, vals, emit| emit(*k, vals.len() as u64),
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+
+        // Stage 2: find the max count (single key).
+        run_job_dfs(
+            &cluster,
+            &dfs,
+            JobSpec::named("max"),
+            "counts",
+            "max",
+            |_: &u64, c: &u64, emit| emit(0u8, *c),
+            |_, vals, emit| emit(0u8, vals.into_iter().max().unwrap_or(0)),
+        )
+        .unwrap();
+
+        let result = dfs.get::<(u8, u64)>("max").unwrap();
+        assert_eq!(result[0], (0, 3));
+
+        // Metering: "logs" read once, "counts" written then read once.
+        assert_eq!(dfs.reads_of("logs"), Some(1));
+        assert_eq!(dfs.reads_of("counts"), Some(1));
+        assert_eq!(cluster.metrics().total_jobs(), 2);
+    }
+
+    #[test]
+    fn missing_dataset_fails_cleanly() {
+        let cluster = Cluster::with_defaults();
+        let dfs = Dfs::new();
+        let err = run_job_dfs(
+            &cluster,
+            &dfs,
+            JobSpec::named("orphan"),
+            "nope",
+            "out",
+            |k: &u64, v: &u64, emit| emit(*k, *v),
+            |k, vals, emit| emit(*k, vals.len() as u64),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MrError::DatasetMissing { .. }));
+    }
+
+    #[test]
+    fn type_mismatch_is_missing() {
+        let cluster = Cluster::with_defaults();
+        let dfs = Dfs::new();
+        dfs.put("x", vec![1u64, 2, 3]); // not (K, V) pairs
+        let err = run_job_dfs(
+            &cluster,
+            &dfs,
+            JobSpec::named("typed"),
+            "x",
+            "out",
+            |k: &u64, v: &u64, emit| emit(*k, *v),
+            |k, vals, emit| emit(*k, vals.len() as u64),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MrError::DatasetMissing { .. }));
+    }
+}

@@ -1,0 +1,101 @@
+//! Record size estimation.
+//!
+//! The paper's cost analysis (Tables III/IV) is stated in records and bytes
+//! of intermediate data. Rather than serializing every record (pure
+//! overhead in a simulation), each record type reports an estimated wire
+//! size through [`EstimateSize`]. Estimates follow Hadoop's writable
+//! encodings: 8 bytes per long/double, length-prefixed byte strings.
+
+/// Estimated serialized size of a record component, in bytes.
+pub trait EstimateSize {
+    /// Estimated wire size in bytes.
+    fn est_bytes(&self) -> usize;
+}
+
+macro_rules! fixed_size {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl EstimateSize for $t {
+            #[inline]
+            fn est_bytes(&self) -> usize { $n }
+        })*
+    };
+}
+
+fixed_size! {
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    usize => 8, isize => 8,
+    bool => 1,
+    () => 0,
+}
+
+impl EstimateSize for String {
+    #[inline]
+    fn est_bytes(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: EstimateSize> EstimateSize for Option<T> {
+    #[inline]
+    fn est_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, EstimateSize::est_bytes)
+    }
+}
+
+impl<T: EstimateSize> EstimateSize for Vec<T> {
+    #[inline]
+    fn est_bytes(&self) -> usize {
+        4 + self.iter().map(EstimateSize::est_bytes).sum::<usize>()
+    }
+}
+
+macro_rules! tuple_size {
+    ($($name:ident),+) => {
+        impl<$($name: EstimateSize),+> EstimateSize for ($($name,)+) {
+            #[inline]
+            #[allow(non_snake_case)]
+            fn est_bytes(&self) -> usize {
+                let ($($name,)+) = self;
+                0 $(+ $name.est_bytes())+
+            }
+        }
+    };
+}
+
+tuple_size!(A);
+tuple_size!(A, B);
+tuple_size!(A, B, C);
+tuple_size!(A, B, C, D);
+tuple_size!(A, B, C, D, E);
+tuple_size!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(5u64.est_bytes(), 8);
+        assert_eq!(1.5f64.est_bytes(), 8);
+        assert_eq!(3u32.est_bytes(), 4);
+        assert_eq!(true.est_bytes(), 1);
+        assert_eq!(().est_bytes(), 0);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1u64, 2u64, 3.0f64).est_bytes(), 24);
+        assert_eq!(((1u64, 2u64), 3.0f64).est_bytes(), 24);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u64, 2u64].est_bytes(), 4 + 16);
+        assert_eq!("abc".to_string().est_bytes(), 7);
+        assert_eq!(Some(1u64).est_bytes(), 9);
+        assert_eq!(Option::<u64>::None.est_bytes(), 1);
+    }
+}

@@ -1,0 +1,508 @@
+//! Three-way sparse tensors in coordinate (COO) format.
+
+use crate::{Result, SparseMat, TensorError};
+use std::collections::HashMap;
+
+/// One nonzero of a 3-way tensor: `X(i, j, k) = v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry3 {
+    /// Mode-1 index.
+    pub i: u64,
+    /// Mode-2 index.
+    pub j: u64,
+    /// Mode-3 index.
+    pub k: u64,
+    /// Value.
+    pub v: f64,
+}
+
+impl Entry3 {
+    /// Construct an entry.
+    pub fn new(i: u64, j: u64, k: u64, v: f64) -> Self {
+        Entry3 { i, j, k, v }
+    }
+
+    /// Index along `mode` (0, 1 or 2).
+    #[inline]
+    pub fn index(&self, mode: usize) -> u64 {
+        match mode {
+            0 => self.i,
+            1 => self.j,
+            2 => self.k,
+            _ => panic!("mode {mode} out of range for 3-way entry"),
+        }
+    }
+}
+
+/// A 3-way sparse tensor `X ∈ ℝ^{I×J×K}` stored as a coordinate list.
+///
+/// Invariants: every stored entry is within bounds and has a nonzero value;
+/// duplicate coordinates are merged by [`CooTensor3::from_entries`].
+///
+/// ```
+/// use haten2_tensor::{CooTensor3, Entry3};
+///
+/// let x = CooTensor3::from_entries(
+///     [3, 3, 3],
+///     vec![Entry3::new(0, 1, 2, 2.0), Entry3::new(2, 0, 1, -1.0)],
+/// )
+/// .unwrap();
+/// assert_eq!(x.nnz(), 2);
+/// assert_eq!(x.get(0, 1, 2), 2.0);
+/// assert!((x.fro_norm() - 5.0f64.sqrt()).abs() < 1e-12);
+/// // bin(X) (paper Table I): all nonzeros become 1.
+/// assert_eq!(x.bin().get(2, 0, 1), 1.0);
+/// // Mode-0 matricization X(1) is I x (J*K).
+/// let m = x.matricize(0).unwrap();
+/// assert_eq!((m.rows(), m.cols()), (3, 9));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor3 {
+    dims: [u64; 3],
+    entries: Vec<Entry3>,
+}
+
+impl CooTensor3 {
+    /// An empty tensor of the given dimensions.
+    pub fn new(dims: [u64; 3]) -> Self {
+        CooTensor3 { dims, entries: Vec::new() }
+    }
+
+    /// Build from a list of entries. Out-of-bounds entries are rejected,
+    /// exact-zero values are dropped, and duplicate coordinates are summed.
+    pub fn from_entries(dims: [u64; 3], entries: Vec<Entry3>) -> Result<Self> {
+        let mut map: HashMap<(u64, u64, u64), f64> = HashMap::with_capacity(entries.len());
+        for e in &entries {
+            if e.i >= dims[0] || e.j >= dims[1] || e.k >= dims[2] {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: format!("({}, {}, {})", e.i, e.j, e.k),
+                    dims: format!("{dims:?}"),
+                });
+            }
+            *map.entry((e.i, e.j, e.k)).or_insert(0.0) += e.v;
+        }
+        let mut merged: Vec<Entry3> = map
+            .into_iter()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|((i, j, k), v)| Entry3 { i, j, k, v })
+            .collect();
+        merged.sort_by_key(|e| (e.i, e.j, e.k));
+        Ok(CooTensor3 { dims, entries: merged })
+    }
+
+    /// Push a single entry without deduplication. The caller promises the
+    /// coordinate is fresh; used by generators that sample distinct indices.
+    pub fn push_unchecked(&mut self, e: Entry3) {
+        debug_assert!(e.i < self.dims[0] && e.j < self.dims[1] && e.k < self.dims[2]);
+        if e.v != 0.0 {
+            self.entries.push(e);
+        }
+    }
+
+    /// Tensor dimensions `[I, J, K]`.
+    #[inline]
+    pub fn dims(&self) -> [u64; 3] {
+        self.dims
+    }
+
+    /// `nnz(X)` — number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Density `nnz / (I·J·K)`.
+    pub fn density(&self) -> f64 {
+        let total = self.dims[0] as f64 * self.dims[1] as f64 * self.dims[2] as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total
+        }
+    }
+
+    /// Stored entries, sorted by `(i, j, k)` when constructed through
+    /// [`CooTensor3::from_entries`].
+    #[inline]
+    pub fn entries(&self) -> &[Entry3] {
+        &self.entries
+    }
+
+    /// `bin(X)`: every nonzero becomes 1 (paper Table I).
+    pub fn bin(&self) -> CooTensor3 {
+        CooTensor3 {
+            dims: self.dims,
+            entries: self.entries.iter().map(|e| Entry3 { v: 1.0, ..*e }).collect(),
+        }
+    }
+
+    /// Point lookup; O(nnz) scan — use only in tests/small tensors.
+    pub fn get(&self, i: u64, j: u64, k: u64) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.i == i && e.j == j && e.k == k)
+            .map_or(0.0, |e| e.v)
+    }
+
+    /// Frobenius norm `‖X‖`.
+    pub fn fro_norm(&self) -> f64 {
+        self.entries.iter().map(|e| e.v * e.v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.entries.iter().map(|e| e.v * e.v).sum::<f64>()
+    }
+
+    /// Mode-`n` matricization `X₍ₙ₎` as a sparse matrix.
+    ///
+    /// Follows Kolda's convention: for mode 0 the result is
+    /// `I × (J·K)` with column index `j + k·J`; cyclically for the other
+    /// modes.
+    pub fn matricize(&self, mode: usize) -> Result<SparseMat> {
+        if mode > 2 {
+            return Err(TensorError::InvalidMode { mode, order: 3 });
+        }
+        let [i_d, j_d, k_d] = self.dims;
+        let cols = match mode {
+            0 => j_d.checked_mul(k_d),
+            1 => i_d.checked_mul(k_d),
+            _ => i_d.checked_mul(j_d),
+        }
+        .ok_or_else(|| {
+            TensorError::ShapeMismatch(format!(
+                "matricize mode {mode}: column count overflows u64 for dims {:?}",
+                self.dims
+            ))
+        })?;
+        let rows = match mode {
+            0 => i_d,
+            1 => j_d,
+            _ => k_d,
+        };
+        let mut triples = Vec::with_capacity(self.nnz());
+        for e in &self.entries {
+            let (r, c) = match mode {
+                0 => (e.i, e.j + e.k * j_d),
+                1 => (e.j, e.i + e.k * i_d),
+                _ => (e.k, e.i + e.j * i_d),
+            };
+            triples.push((r, c, e.v));
+        }
+        SparseMat::from_triples(rows, cols, triples)
+    }
+
+    /// Iterate over nonzero index triples — `idx(X)` in the paper.
+    pub fn idx(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.entries.iter().map(|e| (e.i, e.j, e.k))
+    }
+
+    /// Number of distinct indices appearing along `mode`.
+    pub fn distinct_along(&self, mode: usize) -> usize {
+        let mut seen: Vec<u64> = self.entries.iter().map(|e| e.index(mode)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Scale every value by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for e in &mut self.entries {
+            e.v *= s;
+        }
+    }
+
+    /// Inner product `⟨X, Y⟩` of two same-shaped sparse tensors.
+    pub fn inner(&self, other: &CooTensor3) -> Result<f64> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch(format!(
+                "inner: {:?} vs {:?}",
+                self.dims, other.dims
+            )));
+        }
+        // Hash the smaller side.
+        let (small, large) = if self.nnz() <= other.nnz() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let map: HashMap<(u64, u64, u64), f64> =
+            small.entries.iter().map(|e| ((e.i, e.j, e.k), e.v)).collect();
+        Ok(large
+            .entries
+            .iter()
+            .filter_map(|e| map.get(&(e.i, e.j, e.k)).map(|v| v * e.v))
+            .sum())
+    }
+
+    /// Approximate in-memory footprint in bytes (for memory-budget
+    /// accounting in the baseline and the MapReduce cost model).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Entry3>()
+    }
+
+    /// Permute modes: output mode `p` takes input mode `perm[p]`.
+    /// `perm` must be a permutation of `{0, 1, 2}`.
+    pub fn permute(&self, perm: [usize; 3]) -> Result<CooTensor3> {
+        let mut seen = [false; 3];
+        for &p in &perm {
+            if p > 2 || seen[p] {
+                return Err(TensorError::ShapeMismatch(format!(
+                    "permute: {perm:?} is not a permutation of modes"
+                )));
+            }
+            seen[p] = true;
+        }
+        let d = self.dims;
+        let dims = [d[perm[0]], d[perm[1]], d[perm[2]]];
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| Entry3::new(e.index(perm[0]), e.index(perm[1]), e.index(perm[2]), e.v))
+            .collect();
+        CooTensor3::from_entries(dims, entries)
+    }
+
+    /// Elementwise sum of two same-shaped sparse tensors.
+    pub fn add(&self, other: &CooTensor3) -> Result<CooTensor3> {
+        if self.dims != other.dims {
+            return Err(TensorError::ShapeMismatch(format!(
+                "add: {:?} vs {:?}",
+                self.dims, other.dims
+            )));
+        }
+        let mut entries = self.entries.clone();
+        entries.extend_from_slice(&other.entries);
+        CooTensor3::from_entries(self.dims, entries)
+    }
+
+    /// Elementwise difference `self − other`.
+    pub fn sub(&self, other: &CooTensor3) -> Result<CooTensor3> {
+        let mut neg = other.clone();
+        neg.scale(-1.0);
+        self.add(&neg)
+    }
+
+    /// Number of nonzeros in each mode-`n` slice, as `(index, count)` pairs
+    /// sorted by index — `nnz(X_{i::})` in the paper's notation for
+    /// `mode = 0`.
+    pub fn slice_nnz(&self, mode: usize) -> Result<Vec<(u64, usize)>> {
+        if mode > 2 {
+            return Err(TensorError::InvalidMode { mode, order: 3 });
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for e in &self.entries {
+            *counts.entry(e.index(mode)).or_insert(0) += 1;
+        }
+        let mut out: Vec<(u64, usize)> = counts.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The heaviest mode-`n` slice: `(index, nonzero count)`; `None` on an
+    /// empty tensor. A proxy for reduce-side skew in the merge jobs.
+    pub fn heaviest_slice(&self, mode: usize) -> Result<Option<(u64, usize)>> {
+        Ok(self
+            .slice_nnz(mode)?
+            .into_iter()
+            .max_by_key(|&(_, c)| c))
+    }
+
+    /// Group the entries by their mode-`n` index: returns
+    /// `(index, entries-of-that-slice)` pairs sorted by index. This is the
+    /// access pattern of MET (slice-at-a-time Tucker) and of the merge
+    /// reducers (one target-mode slice per key group).
+    pub fn slices(&self, mode: usize) -> Result<Vec<(u64, Vec<Entry3>)>> {
+        if mode > 2 {
+            return Err(TensorError::InvalidMode { mode, order: 3 });
+        }
+        let mut sorted: Vec<Entry3> = self.entries.clone();
+        sorted.sort_by_key(|e| e.index(mode));
+        let mut out: Vec<(u64, Vec<Entry3>)> = Vec::new();
+        for e in sorted {
+            let idx = e.index(mode);
+            match out.last_mut() {
+                Some((last_idx, group)) if *last_idx == idx => group.push(e),
+                _ => out.push((idx, vec![e])),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CooTensor3 {
+        CooTensor3::from_entries(
+            [2, 3, 2],
+            vec![
+                Entry3::new(0, 0, 0, 1.0),
+                Entry3::new(0, 2, 1, 2.0),
+                Entry3::new(1, 1, 0, -3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_entries_dedups_and_sorts() {
+        let t = CooTensor3::from_entries(
+            [2, 2, 2],
+            vec![
+                Entry3::new(1, 1, 1, 2.0),
+                Entry3::new(0, 0, 0, 1.0),
+                Entry3::new(1, 1, 1, 3.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.entries()[0].v, 1.0);
+        assert_eq!(t.get(1, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn from_entries_drops_cancelled() {
+        let t = CooTensor3::from_entries(
+            [1, 1, 1],
+            vec![Entry3::new(0, 0, 0, 1.0), Entry3::new(0, 0, 0, -1.0)],
+        )
+        .unwrap();
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn from_entries_bounds_check() {
+        let r = CooTensor3::from_entries([2, 2, 2], vec![Entry3::new(2, 0, 0, 1.0)]);
+        assert!(matches!(r, Err(TensorError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn bin_converts_to_ones() {
+        let t = small();
+        let b = t.bin();
+        assert!(b.entries().iter().all(|e| e.v == 1.0));
+        assert_eq!(b.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn density_and_norms() {
+        let t = small();
+        assert!((t.density() - 3.0 / 12.0).abs() < 1e-15);
+        assert!((t.fro_norm() - (1.0f64 + 4.0 + 9.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matricize_mode0_layout() {
+        let t = small();
+        let m = t.matricize(0).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 6);
+        // (0,2,1) -> row 0, col 2 + 1*3 = 5
+        assert!(m.triples().contains(&(0, 5, 2.0)));
+        // (1,1,0) -> row 1, col 1
+        assert!(m.triples().contains(&(1, 1, -3.0)));
+    }
+
+    #[test]
+    fn matricize_all_modes_preserve_nnz() {
+        let t = small();
+        for mode in 0..3 {
+            assert_eq!(t.matricize(mode).unwrap().triples().len(), t.nnz());
+        }
+        assert!(t.matricize(3).is_err());
+    }
+
+    #[test]
+    fn inner_product() {
+        let t = small();
+        assert!((t.inner(&t).unwrap() - t.fro_norm_sq()).abs() < 1e-12);
+        let b = t.bin();
+        // <X, bin(X)> = sum of values
+        let s: f64 = t.entries().iter().map(|e| e.v).sum();
+        assert!((t.inner(&b).unwrap() - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_shape_mismatch() {
+        let t = small();
+        let u = CooTensor3::new([1, 1, 1]);
+        assert!(t.inner(&u).is_err());
+    }
+
+    #[test]
+    fn distinct_along_modes() {
+        let t = small();
+        assert_eq!(t.distinct_along(0), 2);
+        assert_eq!(t.distinct_along(1), 3);
+        assert_eq!(t.distinct_along(2), 2);
+    }
+
+    #[test]
+    fn scale_applies() {
+        let mut t = small();
+        t.scale(2.0);
+        assert_eq!(t.get(0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn permute_roundtrip_and_validation() {
+        let t = small();
+        let p = t.permute([2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), [2, 2, 3]);
+        assert_eq!(p.get(1, 0, 2), 2.0); // (0,2,1) -> (k,i,j) = (1,0,2)
+        // Inverse permutation restores.
+        let back = p.permute([1, 2, 0]).unwrap();
+        assert_eq!(back, t);
+        assert!(t.permute([0, 0, 1]).is_err());
+        assert!(t.permute([0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn add_and_sub() {
+        let t = small();
+        let sum = t.add(&t).unwrap();
+        assert_eq!(sum.get(0, 0, 0), 2.0);
+        assert_eq!(sum.nnz(), t.nnz());
+        let zero = t.sub(&t).unwrap();
+        assert_eq!(zero.nnz(), 0);
+        let other = CooTensor3::new([9, 9, 9]);
+        assert!(t.add(&other).is_err());
+    }
+
+    #[test]
+    fn slices_group_and_cover() {
+        let t = small();
+        let s0 = t.slices(0).unwrap();
+        assert_eq!(s0.len(), 2);
+        assert_eq!(s0[0].0, 0);
+        assert_eq!(s0[0].1.len(), 2);
+        assert_eq!(s0[1].0, 1);
+        // Every entry appears in exactly one slice group.
+        let total: usize = s0.iter().map(|(_, g)| g.len()).sum();
+        assert_eq!(total, t.nnz());
+        assert!(t.slices(5).is_err());
+    }
+
+    #[test]
+    fn slice_nnz_counts() {
+        let t = small();
+        // entries: (0,0,0), (0,2,1), (1,1,0)
+        let s0 = t.slice_nnz(0).unwrap();
+        assert_eq!(s0, vec![(0, 2), (1, 1)]);
+        assert_eq!(t.heaviest_slice(0).unwrap(), Some((0, 2)));
+        assert_eq!(t.heaviest_slice(1).unwrap().unwrap().1, 1);
+        assert!(t.slice_nnz(3).is_err());
+        assert_eq!(CooTensor3::new([1, 1, 1]).heaviest_slice(0).unwrap(), None);
+    }
+
+    #[test]
+    fn push_unchecked_skips_zero() {
+        let mut t = CooTensor3::new([2, 2, 2]);
+        t.push_unchecked(Entry3::new(0, 0, 0, 0.0));
+        assert_eq!(t.nnz(), 0);
+        t.push_unchecked(Entry3::new(0, 0, 0, 1.5));
+        assert_eq!(t.nnz(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Small dense 3-way tensors.
+//!
+//! Used for the Tucker core tensor `G ∈ ℝ^{P×Q×R}` (always tiny) and as the
+//! output type of reference computations in tests.
+
+use crate::{CooTensor3, Entry3, Result, TensorError};
+use haten2_linalg::Mat;
+
+/// Dense 3-way tensor with row-major-like layout: index `(i, j, k)` maps to
+/// `i * (J*K) + j * K + k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor3 {
+    dims: [usize; 3],
+    data: Vec<f64>,
+}
+
+impl DenseTensor3 {
+    /// Zero tensor of the given dimensions.
+    pub fn zeros(dims: [usize; 3]) -> Self {
+        DenseTensor3 { dims, data: vec![0.0; dims[0] * dims[1] * dims[2]] }
+    }
+
+    /// Dimensions `[I, J, K]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        i * self.dims[1] * self.dims[2] + j * self.dims[2] + k
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.offset(i, j, k)]
+    }
+
+    /// Set element.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let o = self.offset(i, j, k);
+        self.data[o] = v;
+    }
+
+    /// Add to element.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let o = self.offset(i, j, k);
+        self.data[o] += v;
+    }
+
+    /// Backing data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Convert from a sparse tensor (dims must fit in usize; intended for
+    /// small reference tensors).
+    pub fn from_coo(t: &CooTensor3) -> Result<Self> {
+        let dims = t.dims();
+        let d = [dims[0] as usize, dims[1] as usize, dims[2] as usize];
+        let mut out = DenseTensor3::zeros(d);
+        for e in t.entries() {
+            out.add_at(e.i as usize, e.j as usize, e.k as usize, e.v);
+        }
+        Ok(out)
+    }
+
+    /// Convert to sparse COO form, dropping exact zeros.
+    pub fn to_coo(&self) -> CooTensor3 {
+        let mut entries = Vec::new();
+        for i in 0..self.dims[0] {
+            for j in 0..self.dims[1] {
+                for k in 0..self.dims[2] {
+                    let v = self.get(i, j, k);
+                    if v != 0.0 {
+                        entries.push(Entry3::new(i as u64, j as u64, k as u64, v));
+                    }
+                }
+            }
+        }
+        CooTensor3::from_entries(
+            [self.dims[0] as u64, self.dims[1] as u64, self.dims[2] as u64],
+            entries,
+        )
+        .expect("indices are in range by construction")
+    }
+
+    /// Mode-`n` matricization as a dense matrix (Kolda convention, matching
+    /// [`CooTensor3::matricize`]).
+    pub fn matricize(&self, mode: usize) -> Result<Mat> {
+        let [i_d, j_d, k_d] = self.dims;
+        let (rows, cols) = match mode {
+            0 => (i_d, j_d * k_d),
+            1 => (j_d, i_d * k_d),
+            2 => (k_d, i_d * j_d),
+            _ => return Err(TensorError::InvalidMode { mode, order: 3 }),
+        };
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..i_d {
+            for j in 0..j_d {
+                for k in 0..k_d {
+                    let v = self.get(i, j, k);
+                    match mode {
+                        0 => m.set(i, j + k * j_d, v),
+                        1 => m.set(j, i + k * i_d, v),
+                        _ => m.set(k, i + j * i_d, v),
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// n-mode matrix product `self ×ₙ U` with dense `U ∈ ℝ^{new×old}`:
+    /// replaces dimension `n` (`old`) with `new`.
+    pub fn ttm(&self, mode: usize, u: &Mat) -> Result<DenseTensor3> {
+        if mode > 2 {
+            return Err(TensorError::InvalidMode { mode, order: 3 });
+        }
+        let old = self.dims[mode];
+        if u.cols() != old {
+            return Err(TensorError::ShapeMismatch(format!(
+                "ttm: matrix is {}x{}, mode-{mode} dim is {old}",
+                u.rows(),
+                u.cols()
+            )));
+        }
+        let mut dims = self.dims;
+        dims[mode] = u.rows();
+        let mut out = DenseTensor3::zeros(dims);
+        for i in 0..self.dims[0] {
+            for j in 0..self.dims[1] {
+                for k in 0..self.dims[2] {
+                    let v = self.get(i, j, k);
+                    if v == 0.0 {
+                        continue;
+                    }
+                    match mode {
+                        0 => {
+                            for p in 0..u.rows() {
+                                out.add_at(p, j, k, v * u.get(p, i));
+                            }
+                        }
+                        1 => {
+                            for p in 0..u.rows() {
+                                out.add_at(i, p, k, v * u.get(p, j));
+                            }
+                        }
+                        _ => {
+                            for p in 0..u.rows() {
+                                out.add_at(i, j, p, v * u.get(p, k));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstruct a dense tensor from a Tucker decomposition
+    /// `G ×₁ A ×₂ B ×₃ C` where `A ∈ ℝ^{I×P}` etc.
+    pub fn tucker_reconstruct(core: &DenseTensor3, a: &Mat, b: &Mat, c: &Mat) -> Result<DenseTensor3> {
+        // ttm expects `new×old`, and A maps P -> I, i.e. A itself is I×P = new×old.
+        core.ttm(0, a)?.ttm(1, b)?.ttm(2, c)
+    }
+
+    /// True when every element differs by at most `tol`.
+    pub fn approx_eq(&self, other: &DenseTensor3, tol: f64) -> bool {
+        self.dims == other.dims
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseTensor3 {
+        let mut t = DenseTensor3::zeros([2, 2, 2]);
+        let mut v = 1.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    t.set(i, j, k, v);
+                    v += 1.0;
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_coo() {
+        let t = sample();
+        let coo = t.to_coo();
+        assert_eq!(coo.nnz(), 8);
+        let back = DenseTensor3::from_coo(&coo).unwrap();
+        assert!(back.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn matricize_matches_sparse_matricize() {
+        let t = sample();
+        let coo = t.to_coo();
+        for mode in 0..3 {
+            let dm = t.matricize(mode).unwrap();
+            let sm = coo.matricize(mode).unwrap().to_dense().unwrap();
+            assert!(dm.approx_eq(&sm, 0.0), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn ttm_identity_is_noop() {
+        let t = sample();
+        let id = Mat::identity(2);
+        for mode in 0..3 {
+            assert!(t.ttm(mode, &id).unwrap().approx_eq(&t, 0.0));
+        }
+    }
+
+    #[test]
+    fn ttm_mode0_known() {
+        // X ×₀ u with u = [1 1] (1x2) sums the two mode-0 slices.
+        let t = sample();
+        let u = Mat::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let y = t.ttm(0, &u).unwrap();
+        assert_eq!(y.dims(), [1, 2, 2]);
+        assert_eq!(y.get(0, 0, 0), t.get(0, 0, 0) + t.get(1, 0, 0));
+        assert_eq!(y.get(0, 1, 1), t.get(0, 1, 1) + t.get(1, 1, 1));
+    }
+
+    #[test]
+    fn ttm_shape_mismatch() {
+        let t = sample();
+        let u = Mat::zeros(1, 3);
+        assert!(t.ttm(0, &u).is_err());
+        assert!(t.ttm(5, &Mat::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn ttm_commutes_across_distinct_modes() {
+        let t = sample();
+        let u = Mat::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let w = Mat::from_rows(&[vec![3.0, -1.0]]).unwrap();
+        let a = t.ttm(1, &u).unwrap().ttm(2, &w).unwrap();
+        let b = t.ttm(2, &w).unwrap().ttm(1, &u).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn matricize_ttm_consistency() {
+        // (X ×₁ U)₍₁₎ = U X₍₁₎ in Kolda convention (mode-0 here).
+        let t = sample();
+        let u = Mat::from_rows(&[vec![1.0, 2.0], vec![0.5, -1.0], vec![2.0, 0.0]]).unwrap();
+        let lhs = t.ttm(0, &u).unwrap().matricize(0).unwrap();
+        let rhs = u.matmul(&t.matricize(0).unwrap()).unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+}

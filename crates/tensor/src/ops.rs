@@ -1,0 +1,451 @@
+//! Reference (single-machine) implementations of every operation the paper
+//! defines.
+//!
+//! These are the semantic ground truth for the distributed kernels in
+//! `haten2-core`: each MapReduce job is tested for exact agreement with the
+//! corresponding function here. They are written for clarity, not scale.
+
+use crate::{CooTensor3, DynTensor, Entry3, Result, TensorError};
+use haten2_linalg::Mat;
+use std::collections::HashMap;
+
+/// n-mode vector product `X ×̄ₙ v`: contract mode `n` against `v`.
+/// The contracted mode keeps size 1 (index 0), so the output remains 3-way —
+/// matching how HaTen2's intermediate tensors `T_q` keep their shape.
+pub fn ttv(t: &CooTensor3, mode: usize, v: &[f64]) -> Result<CooTensor3> {
+    if mode > 2 {
+        return Err(TensorError::InvalidMode { mode, order: 3 });
+    }
+    let dims = t.dims();
+    if v.len() != dims[mode] as usize {
+        return Err(TensorError::ShapeMismatch(format!(
+            "ttv: vector length {} vs mode-{mode} dim {}",
+            v.len(),
+            dims[mode]
+        )));
+    }
+    let mut acc: HashMap<(u64, u64, u64), f64> = HashMap::new();
+    for e in t.entries() {
+        let coef = v[e.index(mode) as usize];
+        if coef == 0.0 {
+            continue;
+        }
+        let mut idx = [e.i, e.j, e.k];
+        idx[mode] = 0;
+        *acc.entry((idx[0], idx[1], idx[2])).or_insert(0.0) += e.v * coef;
+    }
+    let mut out_dims = dims;
+    out_dims[mode] = 1;
+    CooTensor3::from_entries(
+        out_dims,
+        acc.into_iter()
+            .map(|((i, j, k), v)| Entry3::new(i, j, k, v))
+            .collect(),
+    )
+}
+
+/// n-mode matrix product `X ×ₙ U` with `U ∈ ℝ^{Q×Iₙ}`: mode `n`'s dimension
+/// becomes `Q`. This is the operation whose nonzero count Lemma 3 estimates
+/// as `nnz(X)·Q`.
+pub fn ttm(t: &CooTensor3, mode: usize, u: &Mat) -> Result<CooTensor3> {
+    if mode > 2 {
+        return Err(TensorError::InvalidMode { mode, order: 3 });
+    }
+    let dims = t.dims();
+    if u.cols() != dims[mode] as usize {
+        return Err(TensorError::ShapeMismatch(format!(
+            "ttm: matrix is {}x{}, mode-{mode} dim {}",
+            u.rows(),
+            u.cols(),
+            dims[mode]
+        )));
+    }
+    let q_dim = u.rows();
+    let mut acc: HashMap<(u64, u64, u64), f64> = HashMap::new();
+    for e in t.entries() {
+        let src = e.index(mode) as usize;
+        for q in 0..q_dim {
+            let coef = u.get(q, src);
+            if coef == 0.0 {
+                continue;
+            }
+            let mut idx = [e.i, e.j, e.k];
+            idx[mode] = q as u64;
+            *acc.entry((idx[0], idx[1], idx[2])).or_insert(0.0) += e.v * coef;
+        }
+    }
+    let mut out_dims = dims;
+    out_dims[mode] = q_dim as u64;
+    CooTensor3::from_entries(
+        out_dims,
+        acc.into_iter()
+            .map(|((i, j, k), v)| Entry3::new(i, j, k, v))
+            .collect(),
+    )
+}
+
+/// n-mode vector Hadamard product `X *̄ₙ v` (Definition 1): elementwise
+/// multiply along mode `n`, shape unchanged.
+pub fn mode_hadamard_vec(t: &CooTensor3, mode: usize, v: &[f64]) -> Result<CooTensor3> {
+    if mode > 2 {
+        return Err(TensorError::InvalidMode { mode, order: 3 });
+    }
+    let dims = t.dims();
+    if v.len() != dims[mode] as usize {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode_hadamard_vec: vector length {} vs mode-{mode} dim {}",
+            v.len(),
+            dims[mode]
+        )));
+    }
+    let entries = t
+        .entries()
+        .iter()
+        .filter_map(|e| {
+            let nv = e.v * v[e.index(mode) as usize];
+            (nv != 0.0).then_some(Entry3 { v: nv, ..*e })
+        })
+        .collect();
+    CooTensor3::from_entries(dims, entries)
+}
+
+/// `Collapse(X)ₙ` (Definition 2) specialised to 3-way tensors: sum out mode
+/// `n`, keeping it as a size-1 mode so downstream code can stay 3-way.
+pub fn collapse(t: &CooTensor3, mode: usize) -> Result<CooTensor3> {
+    if mode > 2 {
+        return Err(TensorError::InvalidMode { mode, order: 3 });
+    }
+    let mut acc: HashMap<(u64, u64, u64), f64> = HashMap::new();
+    for e in t.entries() {
+        let mut idx = [e.i, e.j, e.k];
+        idx[mode] = 0;
+        *acc.entry((idx[0], idx[1], idx[2])).or_insert(0.0) += e.v;
+    }
+    let mut dims = t.dims();
+    dims[mode] = 1;
+    CooTensor3::from_entries(
+        dims,
+        acc.into_iter()
+            .map(|((i, j, k), v)| Entry3::new(i, j, k, v))
+            .collect(),
+    )
+}
+
+/// n-mode matrix Hadamard product `X *ₙ U` (Definition 5) with
+/// `U ∈ ℝ^{Q×Iₙ}` given as a dense matrix. The result is 4-way:
+/// `I×J×K×Q` with `(X *ₙ U)[i,j,k,q] = X[i,j,k]·U[q, idxₙ]`.
+pub fn mode_hadamard_mat(t: &CooTensor3, mode: usize, u: &Mat) -> Result<DynTensor> {
+    if mode > 2 {
+        return Err(TensorError::InvalidMode { mode, order: 3 });
+    }
+    let dims = t.dims();
+    if u.cols() != dims[mode] as usize {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode_hadamard_mat: matrix is {}x{}, mode-{mode} dim {}",
+            u.rows(),
+            u.cols(),
+            dims[mode]
+        )));
+    }
+    let rows: Vec<Vec<f64>> = (0..u.rows()).map(|q| u.row(q).to_vec()).collect();
+    DynTensor::from_coo3(t).mode_hadamard_mat(mode, &rows)
+}
+
+/// `CrossMerge(T', T'')₍₀₎` (Definition 3, specialised to the 3-way Tucker
+/// use in Lemma 1): given 4-way `T' ∈ ℝ^{I×J×K×Q}` and `T'' ∈ ℝ^{I×J×K×R}`,
+/// produce `Y ∈ ℝ^{I×Q×R}` with
+/// `Y(i,q,r) = Σ_{j,k} T'(i,j,k,q) · T''(i,j,k,r)`.
+pub fn cross_merge(tq: &DynTensor, tr: &DynTensor) -> Result<DynTensor> {
+    if tq.order() != 4 || tr.order() != 4 {
+        return Err(TensorError::ShapeMismatch(format!(
+            "cross_merge expects 4-way tensors, got orders {} and {}",
+            tq.order(),
+            tr.order()
+        )));
+    }
+    if tq.dims()[..3] != tr.dims()[..3] {
+        return Err(TensorError::ShapeMismatch(format!(
+            "cross_merge base dims differ: {:?} vs {:?}",
+            &tq.dims()[..3],
+            &tr.dims()[..3]
+        )));
+    }
+    let q_dim = tq.dims()[3];
+    let r_dim = tr.dims()[3];
+    let i_dim = tq.dims()[0];
+
+    // Group T'' by base coordinate (i,j,k) -> [(r, v)].
+    let mut by_base: HashMap<(u64, u64, u64), Vec<(u64, f64)>> = HashMap::new();
+    for (idx, v) in tr.iter() {
+        by_base
+            .entry((idx[0], idx[1], idx[2]))
+            .or_default()
+            .push((idx[3], v));
+    }
+
+    let mut out = DynTensor::new(vec![i_dim, q_dim, r_dim]);
+    let mut acc: HashMap<(u64, u64, u64), f64> = HashMap::new();
+    for (idx, v) in tq.iter() {
+        if let Some(rs) = by_base.get(&(idx[0], idx[1], idx[2])) {
+            for &(r, w) in rs {
+                *acc.entry((idx[0], idx[3], r)).or_insert(0.0) += v * w;
+            }
+        }
+    }
+    for ((i, q, r), v) in acc {
+        out.push(&[i, q, r], v)?;
+    }
+    Ok(out.coalesce())
+}
+
+/// `PairwiseMerge(T', T'')₍₀₎` (Definition 4, specialised to the 3-way
+/// PARAFAC use in Lemma 2): given 4-way `T', T'' ∈ ℝ^{I×J×K×R}`, produce
+/// `Y ∈ ℝ^{I×R}` with `Y(i,r) = Σ_{j,k} T'(i,j,k,r) · T''(i,j,k,r)`.
+pub fn pairwise_merge(ta: &DynTensor, tb: &DynTensor) -> Result<DynTensor> {
+    if ta.order() != 4 || tb.order() != 4 {
+        return Err(TensorError::ShapeMismatch(format!(
+            "pairwise_merge expects 4-way tensors, got orders {} and {}",
+            ta.order(),
+            tb.order()
+        )));
+    }
+    if ta.dims() != tb.dims() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "pairwise_merge dims differ: {:?} vs {:?}",
+            ta.dims(),
+            tb.dims()
+        )));
+    }
+    let i_dim = ta.dims()[0];
+    let r_dim = ta.dims()[3];
+
+    let mut by_full: HashMap<(u64, u64, u64, u64), f64> = HashMap::new();
+    for (idx, v) in tb.iter() {
+        *by_full.entry((idx[0], idx[1], idx[2], idx[3])).or_insert(0.0) += v;
+    }
+    let mut acc: HashMap<(u64, u64), f64> = HashMap::new();
+    for (idx, v) in ta.iter() {
+        if let Some(&w) = by_full.get(&(idx[0], idx[1], idx[2], idx[3])) {
+            *acc.entry((idx[0], idx[3])).or_insert(0.0) += v * w;
+        }
+    }
+    let mut out = DynTensor::new(vec![i_dim, r_dim]);
+    for ((i, r), v) in acc {
+        out.push(&[i, r], v)?;
+    }
+    Ok(out.coalesce())
+}
+
+/// Dense MTTKRP reference: `X₍ₘₒ𝒹ₑ₎ · (⊙ of the other factors)`, i.e. for
+/// mode 0: `M(i, r) = Σ_{j,k} X(i,j,k)·B(j,r)·C(k,r)`.
+///
+/// `factors` supplies the factor matrix of **every** mode (the one at
+/// `mode` is ignored), each with `R` columns.
+pub fn mttkrp_dense(t: &CooTensor3, mode: usize, factors: [&Mat; 3]) -> Result<Mat> {
+    if mode > 2 {
+        return Err(TensorError::InvalidMode { mode, order: 3 });
+    }
+    let dims = t.dims();
+    let r_dim = factors[(mode + 1) % 3].cols();
+    for (m, f) in factors.iter().enumerate() {
+        if m == mode {
+            continue;
+        }
+        if f.rows() != dims[m] as usize || f.cols() != r_dim {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mttkrp: factor {m} is {}x{}, expected {}x{r_dim}",
+                f.rows(),
+                f.cols(),
+                dims[m]
+            )));
+        }
+    }
+    let mut out = Mat::zeros(dims[mode] as usize, r_dim);
+    let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+    for e in t.entries() {
+        let row = e.index(mode) as usize;
+        let f0 = factors[others[0]].row(e.index(others[0]) as usize);
+        let f1 = factors[others[1]].row(e.index(others[1]) as usize);
+        let dst = out.row_mut(row);
+        for r in 0..r_dim {
+            dst[r] += e.v * f0[r] * f1[r];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseTensor3;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_coo(dims: [u64; 3], nnz: usize, seed: u64) -> CooTensor3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..nnz)
+            .map(|_| {
+                Entry3::new(
+                    rng.gen_range(0..dims[0]),
+                    rng.gen_range(0..dims[1]),
+                    rng.gen_range(0..dims[2]),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect();
+        CooTensor3::from_entries(dims, entries).unwrap()
+    }
+
+    #[test]
+    fn ttv_matches_dense() {
+        let t = random_coo([4, 5, 3], 20, 1);
+        let v: Vec<f64> = (0..5).map(|x| x as f64 - 2.0).collect();
+        let y = ttv(&t, 1, &v).unwrap();
+        let dense = DenseTensor3::from_coo(&t).unwrap();
+        for i in 0..4u64 {
+            for k in 0..3u64 {
+                let expect: f64 = (0..5)
+                    .map(|j| dense.get(i as usize, j, k as usize) * v[j])
+                    .sum();
+                assert!((y.get(i, 0, k) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ttm_matches_dense_ttm() {
+        let t = random_coo([4, 5, 3], 25, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Mat::random(2, 5, &mut rng); // Q=2 over mode 1
+        let y = ttm(&t, 1, &u).unwrap();
+        let dense = DenseTensor3::from_coo(&t).unwrap();
+        let expect = dense.ttm(1, &u).unwrap();
+        let y_dense = DenseTensor3::from_coo(&y).unwrap();
+        assert!(y_dense.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn ttm_is_q_stacked_ttvs() {
+        // HaTen2-Naive computes X ×ₙ Bᵀ as Q separate X ×̄ₙ b_q products.
+        let t = random_coo([3, 4, 3], 15, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = Mat::random(3, 4, &mut rng);
+        let y = ttm(&t, 1, &u).unwrap();
+        for q in 0..3usize {
+            let row: Vec<f64> = u.row(q).to_vec();
+            let tq = ttv(&t, 1, &row).unwrap();
+            for e in tq.entries() {
+                assert!((y.get(e.i, q as u64, e.k) - e.v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn decoupling_identity_hadamard_then_collapse_equals_ttv() {
+        // The DNN idea: X ×̄ₙ v = Collapse(X *̄ₙ v)ₙ.
+        let t = random_coo([4, 6, 5], 30, 6);
+        let v: Vec<f64> = (0..6).map(|x| (x as f64).sin() + 1.5).collect();
+        let lhs = ttv(&t, 1, &v).unwrap();
+        let rhs = collapse(&mode_hadamard_vec(&t, 1, &v).unwrap(), 1).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn lemma1_cross_merge_equals_sequential_ttm() {
+        // Lemma 1: X ×₂ Bᵀ ×₃ Cᵀ == CrossMerge(X *₂ Bᵀ, bin(X) *₃ Cᵀ)₍₁₎.
+        let t = random_coo([3, 4, 5], 25, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let q_dim = 2;
+        let r_dim = 3;
+        let b = Mat::random(q_dim, 4, &mut rng); // Bᵀ: Q×J
+        let c = Mat::random(r_dim, 5, &mut rng); // Cᵀ: R×K
+
+        // Left side: sequential n-mode products.
+        let lhs = ttm(&ttm(&t, 1, &b).unwrap(), 2, &c).unwrap();
+
+        // Right side: CrossMerge of the two Hadamard expansions.
+        let tq = mode_hadamard_mat(&t, 1, &b).unwrap();
+        let tr = mode_hadamard_mat(&t.bin(), 2, &c).unwrap();
+        let merged = cross_merge(&tq, &tr).unwrap();
+
+        for (idx, v) in merged.iter() {
+            let (i, q, r) = (idx[0], idx[1], idx[2]);
+            assert!(
+                (lhs.get(i, q, r) - v).abs() < 1e-10,
+                "mismatch at ({i},{q},{r}): {} vs {v}",
+                lhs.get(i, q, r)
+            );
+        }
+        // And the nonzero supports agree.
+        assert_eq!(merged.nnz(), lhs.nnz());
+    }
+
+    #[test]
+    fn lemma2_pairwise_merge_equals_mttkrp() {
+        // Lemma 2: X₍₁₎(C ⊙ B) == PairwiseMerge(X *₂ Bᵀ, bin(X) *₃ Cᵀ)₍₁₎.
+        let t = random_coo([4, 3, 5], 20, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let r_dim = 3;
+        let b = Mat::random(3, r_dim, &mut rng); // B: J×R
+        let c = Mat::random(5, r_dim, &mut rng); // C: K×R
+
+        let lhs = mttkrp_dense(&t, 0, [&b, &b, &c]).unwrap();
+
+        let ta = mode_hadamard_mat(&t, 1, &b.transpose()).unwrap();
+        let tb = mode_hadamard_mat(&t.bin(), 2, &c.transpose()).unwrap();
+        let merged = pairwise_merge(&ta, &tb).unwrap();
+
+        for (idx, v) in merged.iter() {
+            let (i, r) = (idx[0] as usize, idx[1] as usize);
+            assert!((lhs.get(i, r) - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mttkrp_matches_matricized_khatri_rao() {
+        // M = X₍₁₎ (C ⊙ B) computed via the explicit dense Khatri-Rao.
+        let t = random_coo([3, 4, 2], 12, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let b = Mat::random(4, 2, &mut rng);
+        let c = Mat::random(2, 2, &mut rng);
+        let fast = mttkrp_dense(&t, 0, [&b, &b, &c]).unwrap();
+        // X₍₁₎ is I×(J·K) with col j + k·J; (C ⊙ B) is (K·J ordered k-major).
+        let x1 = t.matricize(0).unwrap().to_dense().unwrap();
+        let kr = c.khatri_rao(&b).unwrap(); // rows ordered k*J + j
+        let slow = x1.matmul(&kr).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-10));
+    }
+
+    #[test]
+    fn lemma3_nnz_estimate_holds_for_sparse_tensors() {
+        // nnz(X ×₂ B) ≈ nnz(X)·Q for sparse X and dense B (first-order
+        // Taylor estimate; exact when no two nonzeros share an (i,k) fiber).
+        let dims = [200, 200, 200];
+        let t = random_coo(dims, 300, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let q_dim = 5;
+        let b = Mat::random(q_dim, 200, &mut rng);
+        let y = ttm(&t, 1, &b).unwrap();
+        let estimate = t.nnz() * q_dim;
+        let actual = y.nnz();
+        // Collisions only reduce the count, and at this density they are rare.
+        assert!(actual <= estimate);
+        assert!(actual as f64 > 0.9 * estimate as f64, "actual={actual} estimate={estimate}");
+    }
+
+    #[test]
+    fn shape_errors() {
+        let t = random_coo([2, 2, 2], 4, 15);
+        assert!(ttv(&t, 0, &[1.0]).is_err());
+        assert!(ttm(&t, 3, &Mat::zeros(1, 2)).is_err());
+        assert!(mode_hadamard_vec(&t, 1, &[1.0, 2.0, 3.0]).is_err());
+        assert!(mttkrp_dense(&t, 0, [&Mat::zeros(2, 2), &Mat::zeros(3, 2), &Mat::zeros(2, 2)]).is_err());
+    }
+
+    #[test]
+    fn merges_reject_wrong_orders() {
+        let t3 = DynTensor::new(vec![2, 2, 2]);
+        let t4 = DynTensor::new(vec![2, 2, 2, 2]);
+        assert!(cross_merge(&t3, &t4).is_err());
+        assert!(pairwise_merge(&t4, &t3).is_err());
+    }
+}

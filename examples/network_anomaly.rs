@@ -1,0 +1,93 @@
+//! Network-intrusion anomaly detection — the paper's motivating example:
+//! model connection logs as a (source-ip × target-ip × port) tensor,
+//! decompose with PARAFAC, and read the dominant latent factors as traffic
+//! patterns. A planted port-scan (one source hitting many ports on many
+//! targets) surfaces as its own high-weight concept.
+//!
+//! Run with: `cargo run --release --example network_anomaly`
+
+use haten2::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_SRC: u64 = 150;
+const N_DST: u64 = 150;
+const N_PORT: u64 = 64;
+const SCANNER: u64 = 77;
+
+fn synth_logs(seed: u64) -> CooTensor3 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::new();
+
+    // Normal traffic: each source talks to a few targets on 1–3 well-known
+    // ports (web, mail, dns).
+    let common_ports = [80u64, 443, 25, 53];
+    for src in 0..N_SRC {
+        for _ in 0..rng.gen_range(3..8) {
+            let dst = rng.gen_range(0..N_DST);
+            let port = common_ports[rng.gen_range(0..common_ports.len())] % N_PORT;
+            entries.push(Entry3::new(src, dst, port, rng.gen_range(1.0..5.0)));
+        }
+    }
+
+    // The anomaly: source SCANNER probes most targets across many ports.
+    for dst in 0..N_DST {
+        if dst % 2 == 0 {
+            for port in 0..N_PORT {
+                if port % 3 == 0 {
+                    entries.push(Entry3::new(SCANNER, dst, port, 1.0));
+                }
+            }
+        }
+    }
+
+    CooTensor3::from_entries([N_SRC, N_DST, N_PORT], entries).expect("indices in range")
+}
+
+fn main() {
+    let x = synth_logs(7);
+    println!(
+        "connection-log tensor: {:?}, nnz = {} (scan injected from source ip #{SCANNER})\n",
+        x.dims(),
+        x.nnz()
+    );
+
+    let cluster = Cluster::new(ClusterConfig::with_machines(8));
+    let opts = AlsOptions { max_iters: 25, tol: 1e-6, ..AlsOptions::with_variant(Variant::Dri) };
+    let rank = 4;
+    let res = parafac_als(&cluster, &x, rank, &opts).expect("decomposition failed");
+    println!("PARAFAC rank-{rank}: fit = {:.3}, {} sweeps\n", res.fit(), res.iterations);
+
+    // Rank concepts by λ and show the top source ips of each.
+    let mut order: Vec<usize> = (0..rank).collect();
+    order.sort_by(|&a, &b| res.lambda[b].partial_cmp(&res.lambda[a]).unwrap());
+
+    let mut scanner_flagged = false;
+    for (c, &r) in order.iter().enumerate() {
+        let a = &res.factors[0]; // source-ip factor
+        let mut scores: Vec<(u64, f64)> =
+            (0..N_SRC).map(|i| (i, a.get(i as usize, r).abs())).collect();
+        scores.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+        let top: Vec<String> =
+            scores.iter().take(3).map(|(i, s)| format!("ip{i} ({s:.2})")).collect();
+
+        // Dominance of the top source over the runner-up: a normal traffic
+        // pattern is spread over many sources; a scan is one machine.
+        let dominance = scores[0].1 / scores[1].1.max(1e-12);
+        println!(
+            "concept {} (λ = {:>7.2}): top sources = [{}]  dominance = {:.1}x",
+            c + 1,
+            res.lambda[r],
+            top.join(", "),
+            dominance
+        );
+        if scores[0].0 == SCANNER && dominance > 5.0 {
+            println!("  -> ANOMALY: single-source pattern dominated by ip{SCANNER} (the port scan)");
+            scanner_flagged = true;
+        }
+    }
+
+    assert!(scanner_flagged, "the planted scanner must dominate one concept");
+    println!("\nThe scan shows up as a concept owned almost entirely by one source ip —");
+    println!("exactly the kind of structure the paper mines from intrusion logs.");
+}

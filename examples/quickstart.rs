@@ -1,0 +1,61 @@
+//! Quickstart: decompose a small sparse tensor with both PARAFAC and
+//! Tucker on a simulated cluster, and inspect the MapReduce metrics that
+//! the paper's cost analysis (Tables III/IV) is about.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use haten2::prelude::*;
+
+fn main() {
+    // A random sparse 200x200x200 tensor with 2000 nonzeros — the shape of
+    // the paper's scalability workloads, scaled to a laptop.
+    let x = random_tensor(&RandomTensorConfig::cubic(200, 2000, 42));
+    println!(
+        "input tensor: {:?}, nnz = {}, density = {:.2e}\n",
+        x.dims(),
+        x.nnz(),
+        x.density()
+    );
+
+    // A simulated 16-machine cluster (the paper uses 40 Hadoop nodes).
+    let cluster = Cluster::new(ClusterConfig::with_machines(16));
+
+    // ---- PARAFAC (rank 5) with HaTen2-DRI --------------------------------
+    let opts = AlsOptions { max_iters: 10, ..AlsOptions::with_variant(Variant::Dri) };
+    let cp = parafac_als(&cluster, &x, 5, &opts).expect("PARAFAC failed");
+    println!("PARAFAC-DRI: fit = {:.4} after {} sweeps", cp.fit(), cp.iterations);
+    println!("  lambda = {:?}", cp.lambda.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "  MapReduce: {} jobs, max intermediate {} records, {:.1} simulated s\n",
+        cp.metrics.total_jobs(),
+        cp.metrics.max_intermediate_records(),
+        cp.metrics.total_sim_time_s()
+    );
+
+    // ---- Tucker (core 5x5x5) with HaTen2-DRI -----------------------------
+    let tk = tucker_als(&cluster, &x, [5, 5, 5], &opts).expect("Tucker failed");
+    println!("Tucker-DRI: fit = {:.4} after {} sweeps", tk.fit, tk.iterations);
+    println!("  core norm trajectory = {:?}", tk.core_norms.iter().map(|n| (n * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "  MapReduce: {} jobs, max intermediate {} records\n",
+        tk.metrics.total_jobs(),
+        tk.metrics.max_intermediate_records()
+    );
+
+    // ---- Why DRI? Compare the variants' job counts on one MTTKRP ---------
+    println!("one MTTKRP (rank 5) per variant:");
+    for variant in Variant::ALL {
+        let c = Cluster::new(ClusterConfig::with_machines(16));
+        let f1 = Mat::random(200, 5, &mut rand::rngs::mock::StepRng::new(1, 7));
+        let f2 = Mat::random(200, 5, &mut rand::rngs::mock::StepRng::new(2, 11));
+        match haten2::core::parafac::mttkrp(&c, variant, &x, 0, &f1, &f2) {
+            Ok(_) => println!(
+                "  {:<14} {:>3} jobs, max intermediate {:>8} records",
+                variant.name(),
+                c.metrics().total_jobs(),
+                c.metrics().max_intermediate_records()
+            ),
+            Err(e) => println!("  {:<14} failed: {e}", variant.name()),
+        }
+    }
+}

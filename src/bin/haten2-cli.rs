@@ -1,0 +1,307 @@
+//! `haten2` command-line interface: generate workloads, decompose tensors,
+//! complete missing values, and inspect tensor files — the operations a
+//! downstream user of the library needs without writing Rust.
+//!
+//! ```text
+//! haten2-cli generate random --dims 1000,1000,1000 --nnz 10000 --out x.tns
+//! haten2-cli generate kb --preset freebase-music --scale 2 --out kb.tns
+//! haten2-cli convert --triples dump.tsv --order spo --out kb.tns
+//! haten2-cli stats --input x.tns
+//! haten2-cli decompose parafac --input x.tns --rank 10 --out-prefix out/cp
+//! haten2-cli decompose tucker  --input x.tns --core 5,5,5 --out-prefix out/tk
+//! haten2-cli complete --input observed.tns --rank 5 --out-prefix out/em
+//! ```
+//!
+//! Tensor files are `i j k value` text (0-based); factor matrices are
+//! written as `<prefix>.A.mat`, `<prefix>.B.mat`, `<prefix>.C.mat` (plus
+//! `<prefix>.lambda.txt` for PARAFAC and `<prefix>.core.tns` for Tucker).
+
+use haten2::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  haten2-cli generate random --dims I,J,K --nnz N [--seed S] --out FILE
+  haten2-cli generate kb --preset freebase-music|nell [--scale N] [--seed S] [--raw] --out FILE
+  haten2-cli convert --triples FILE [--order spo|sop] [--raw] --out FILE
+  haten2-cli stats --input FILE
+  haten2-cli decompose parafac --input FILE --rank R [--variant naive|dnn|drn|dri]
+             [--iters T] [--machines M] [--nonneg] --out-prefix PREFIX
+  haten2-cli decompose tucker --input FILE --core P,Q,R [--variant ...]
+             [--iters T] [--machines M] --out-prefix PREFIX
+  haten2-cli complete --input FILE --rank R [--iters T] [--machines M] --out-prefix PREFIX";
+
+/// Parse `--key value` flags after the positional arguments.
+fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, String>), String> {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            // Boolean flags have no value; peek to decide.
+            match key {
+                "raw" | "nonneg" => {
+                    flags.insert(key, "true".to_string());
+                }
+                _ => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    flags.insert(key, v.clone());
+                }
+            }
+        } else {
+            pos.push(a.as_str());
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn req<'a>(flags: &'a HashMap<&str, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("bad {what} '{s}': {e}"))
+}
+
+fn parse_triple(s: &str, what: &str) -> Result<[u64; 3], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("{what} must be three comma-separated numbers, got '{s}'"));
+    }
+    Ok([
+        parse_u64(parts[0], what)?,
+        parse_u64(parts[1], what)?,
+        parse_u64(parts[2], what)?,
+    ])
+}
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "naive" => Ok(Variant::Naive),
+        "dnn" => Ok(Variant::Dnn),
+        "drn" => Ok(Variant::Drn),
+        "dri" => Ok(Variant::Dri),
+        other => Err(format!("unknown variant '{other}' (naive|dnn|drn|dri)")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    match pos.as_slice() {
+        ["generate", "random"] => generate_random(&flags),
+        ["generate", "kb"] => generate_kb(&flags),
+        ["convert"] => convert_triples(&flags),
+        ["stats"] => stats(&flags),
+        ["decompose", "parafac"] => decompose_parafac(&flags),
+        ["decompose", "tucker"] => decompose_tucker(&flags),
+        ["complete"] => complete(&flags),
+        [] => Err("no command given".into()),
+        other => Err(format!("unknown command: {}", other.join(" "))),
+    }
+}
+
+fn generate_random(flags: &HashMap<&str, String>) -> Result<(), String> {
+    let dims = parse_triple(req(flags, "dims")?, "--dims")?;
+    let nnz = parse_u64(req(flags, "nnz")?, "--nnz")? as usize;
+    let seed = flags.get("seed").map_or(Ok(42), |s| parse_u64(s, "--seed"))?;
+    let out = req(flags, "out")?;
+    let cfg = RandomTensorConfig { dims, nnz, value_range: (0.0, 1.0), seed };
+    let t = random_tensor(&cfg);
+    haten2::tensor::io::save_coo3(&t, out).map_err(|e| e.to_string())?;
+    println!("wrote {} nonzeros ({:?}) to {out}", t.nnz(), t.dims());
+    Ok(())
+}
+
+fn generate_kb(flags: &HashMap<&str, String>) -> Result<(), String> {
+    let preset = req(flags, "preset")?;
+    let scale = flags.get("scale").map_or(Ok(1), |s| parse_u64(s, "--scale"))? as usize;
+    let seed = flags.get("seed").map_or(Ok(42), |s| parse_u64(s, "--seed"))?;
+    let raw = flags.contains_key("raw");
+    let out = req(flags, "out")?;
+    let kb = match preset {
+        "freebase-music" => KnowledgeBase::freebase_music(scale, seed),
+        "nell" => KnowledgeBase::nell(scale, seed),
+        other => return Err(format!("unknown preset '{other}' (freebase-music|nell)")),
+    };
+    let t = if raw {
+        kb.to_binary_tensor()
+    } else {
+        let (t, report) = preprocess(&kb, &PreprocessConfig::default());
+        println!(
+            "preprocessed: {} literals, {} scarce, {} frequent removed",
+            report.literals_removed, report.scarce_removed, report.frequent_removed
+        );
+        t
+    };
+    haten2::tensor::io::save_coo3(&t, out).map_err(|e| e.to_string())?;
+    println!("wrote {} nonzeros ({:?}) to {out}", t.nnz(), t.dims());
+    Ok(())
+}
+
+fn convert_triples(flags: &HashMap<&str, String>) -> Result<(), String> {
+    use haten2::data::triples::{load_triples, TripleOrder};
+    let path = req(flags, "triples")?;
+    let order = match flags.get("order").map(String::as_str).unwrap_or("spo") {
+        "spo" => TripleOrder::Spo,
+        "sop" => TripleOrder::Sop,
+        other => return Err(format!("unknown --order '{other}' (spo|sop)")),
+    };
+    let out = req(flags, "out")?;
+    let kb = load_triples(path, order).map_err(|e| e.to_string())?;
+    println!(
+        "parsed {} triples: {} subjects, {} objects, {} predicates ({} literal)",
+        kb.triples.len(),
+        kb.subjects.len(),
+        kb.objects.len(),
+        kb.predicates.len(),
+        kb.literal_predicates.len()
+    );
+    let t = if flags.contains_key("raw") {
+        kb.to_binary_tensor()
+    } else {
+        let (t, report) = preprocess(&kb, &PreprocessConfig::default());
+        println!(
+            "preprocessed: {} literals, {} scarce, {} frequent removed",
+            report.literals_removed, report.scarce_removed, report.frequent_removed
+        );
+        t
+    };
+    haten2::tensor::io::save_coo3(&t, out).map_err(|e| e.to_string())?;
+    println!("wrote {} nonzeros ({:?}) to {out}", t.nnz(), t.dims());
+    Ok(())
+}
+
+fn stats(flags: &HashMap<&str, String>) -> Result<(), String> {
+    let input = req(flags, "input")?;
+    let t = haten2::tensor::io::load_coo3(input).map_err(|e| e.to_string())?;
+    println!("file:      {input}");
+    println!("dims:      {:?}", t.dims());
+    println!("nnz:       {}", t.nnz());
+    println!("density:   {:.3e}", t.density());
+    println!("fro norm:  {:.6}", t.fro_norm());
+    for mode in 0..3 {
+        if let Ok(Some((idx, count))) = t.heaviest_slice(mode) {
+            println!("mode {mode}: {} distinct indices, heaviest slice {idx} ({count} nnz)",
+                t.distinct_along(mode));
+        }
+    }
+    Ok(())
+}
+
+fn cluster_from(flags: &HashMap<&str, String>) -> Result<Cluster, String> {
+    let machines =
+        flags.get("machines").map_or(Ok(16), |s| parse_u64(s, "--machines"))? as usize;
+    Ok(Cluster::new(ClusterConfig::with_machines(machines.max(1))))
+}
+
+fn als_opts(flags: &HashMap<&str, String>) -> Result<AlsOptions, String> {
+    let variant = flags.get("variant").map_or(Ok(Variant::Dri), |s| parse_variant(s))?;
+    let iters = flags.get("iters").map_or(Ok(20), |s| parse_u64(s, "--iters"))? as usize;
+    let seed = flags.get("seed").map_or(Ok(0x5eed), |s| parse_u64(s, "--seed"))?;
+    Ok(AlsOptions { variant, max_iters: iters, seed, ..AlsOptions::default() })
+}
+
+fn write_factors(prefix: &str, factors: &[Mat], names: &[&str]) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(prefix).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    for (f, name) in factors.iter().zip(names) {
+        let path = format!("{prefix}.{name}.mat");
+        haten2::linalg::save_mat(f, &path).map_err(|e| e.to_string())?;
+        println!("wrote {path} ({}x{})", f.rows(), f.cols());
+    }
+    Ok(())
+}
+
+fn print_metrics(m: &haten2::mapreduce::RunMetrics) {
+    println!(
+        "mapreduce: {} jobs, max intermediate {} records, {:.1} simulated s, {:.2} wall s",
+        m.total_jobs(),
+        m.max_intermediate_records(),
+        m.total_sim_time_s(),
+        m.total_wall_time_s()
+    );
+}
+
+fn decompose_parafac(flags: &HashMap<&str, String>) -> Result<(), String> {
+    let input = req(flags, "input")?;
+    let rank = parse_u64(req(flags, "rank")?, "--rank")? as usize;
+    let prefix = req(flags, "out-prefix")?;
+    let t = haten2::tensor::io::load_coo3(input).map_err(|e| e.to_string())?;
+    let cluster = cluster_from(flags)?;
+    let opts = als_opts(flags)?;
+
+    if flags.contains_key("nonneg") {
+        let res = nonneg_parafac(&cluster, &t, rank, &opts).map_err(|e| e.to_string())?;
+        println!("nonnegative PARAFAC rank {rank}: fit {:.4} after {} sweeps", res.fit(), res.iterations);
+        write_factors(prefix, &res.factors, &["A", "B", "C"])?;
+        print_metrics(&res.metrics);
+        return Ok(());
+    }
+
+    let res = parafac_als(&cluster, &t, rank, &opts).map_err(|e| e.to_string())?;
+    println!("PARAFAC rank {rank} ({}): fit {:.4} after {} sweeps", opts.variant, res.fit(), res.iterations);
+    write_factors(prefix, &res.factors, &["A", "B", "C"])?;
+    let lpath = format!("{prefix}.lambda.txt");
+    std::fs::write(
+        &lpath,
+        res.lambda.iter().map(f64::to_string).collect::<Vec<_>>().join("\n") + "\n",
+    )
+    .map_err(|e| e.to_string())?;
+    println!("wrote {lpath}");
+    print_metrics(&res.metrics);
+    Ok(())
+}
+
+fn decompose_tucker(flags: &HashMap<&str, String>) -> Result<(), String> {
+    let input = req(flags, "input")?;
+    let core = parse_triple(req(flags, "core")?, "--core")?;
+    let core = [core[0] as usize, core[1] as usize, core[2] as usize];
+    let prefix = req(flags, "out-prefix")?;
+    let t = haten2::tensor::io::load_coo3(input).map_err(|e| e.to_string())?;
+    let cluster = cluster_from(flags)?;
+    let opts = als_opts(flags)?;
+    let res = tucker_als(&cluster, &t, core, &opts).map_err(|e| e.to_string())?;
+    println!("Tucker core {core:?} ({}): fit {:.4} after {} sweeps", opts.variant, res.fit, res.iterations);
+    write_factors(prefix, &res.factors, &["A", "B", "C"])?;
+    let cpath = format!("{prefix}.core.tns");
+    haten2::tensor::io::save_coo3(&res.core.to_coo(), &cpath).map_err(|e| e.to_string())?;
+    println!("wrote {cpath}");
+    print_metrics(&res.metrics);
+    Ok(())
+}
+
+fn complete(flags: &HashMap<&str, String>) -> Result<(), String> {
+    let input = req(flags, "input")?;
+    let rank = parse_u64(req(flags, "rank")?, "--rank")? as usize;
+    let prefix = req(flags, "out-prefix")?;
+    let t = haten2::tensor::io::load_coo3(input).map_err(|e| e.to_string())?;
+    let cluster = cluster_from(flags)?;
+    let opts = als_opts(flags)?;
+    let res = parafac_missing(&cluster, &t, rank, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "EM-ALS completion rank {rank}: observed fit {:.4} after {} sweeps",
+        res.fit(),
+        res.iterations
+    );
+    write_factors(prefix, &res.factors, &["A", "B", "C"])?;
+    print_metrics(&res.metrics);
+    Ok(())
+}
