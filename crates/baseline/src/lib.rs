@@ -53,7 +53,11 @@ pub enum BaselineError {
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BaselineError::Oom { needed_bytes, budget_bytes, what } => write!(
+            BaselineError::Oom {
+                needed_bytes,
+                budget_bytes,
+                what,
+            } => write!(
                 f,
                 "out of memory allocating {what}: needs {needed_bytes} B, budget {budget_bytes} B"
             ),

@@ -17,7 +17,11 @@ pub struct MemoryMeter {
 impl MemoryMeter {
     /// Meter with an optional budget in bytes.
     pub fn new(budget: Option<usize>) -> Self {
-        MemoryMeter { budget, current: 0, peak: 0 }
+        MemoryMeter {
+            budget,
+            current: 0,
+            peak: 0,
+        }
     }
 
     /// Charge `bytes` for `what`; fails with [`BaselineError::Oom`] when the
@@ -83,7 +87,14 @@ mod tests {
         let mut m = MemoryMeter::new(Some(100));
         m.charge(60, "a").unwrap();
         let err = m.charge(50, "b").unwrap_err();
-        assert!(matches!(err, BaselineError::Oom { needed_bytes: 110, budget_bytes: 100, .. }));
+        assert!(matches!(
+            err,
+            BaselineError::Oom {
+                needed_bytes: 110,
+                budget_bytes: 100,
+                ..
+            }
+        ));
         // Failed charge does not change state.
         assert_eq!(m.current_bytes(), 60);
     }

@@ -40,7 +40,9 @@ pub fn parafac_als_baseline(
     memory_budget: Option<usize>,
 ) -> Result<BaselineParafac> {
     if rank == 0 {
-        return Err(BaselineError::InvalidArgument("rank must be positive".into()));
+        return Err(BaselineError::InvalidArgument(
+            "rank must be positive".into(),
+        ));
     }
     let started = std::time::Instant::now();
     let dims = x.dims();
@@ -51,8 +53,8 @@ pub fn parafac_als_baseline(
     }
     // MTTKRP working set: accumulator (Iₙ×R) plus the expanded per-nonzero
     // slice products (nnz×R) a sparse cp_als materializes per mode.
-    let mttkrp_ws = mat_bytes(dims.iter().map(|&d| d as usize).max().unwrap_or(0), rank)
-        + x.nnz() * rank * 8;
+    let mttkrp_ws =
+        mat_bytes(dims.iter().map(|&d| d as usize).max().unwrap_or(0), rank) + x.nnz() * rank * 8;
     meter.charge(mttkrp_ws, "MTTKRP working set")?;
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -73,7 +75,9 @@ pub fn parafac_als_baseline(
         for mode in 0..3 {
             let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
             let m = mttkrp_dense(x, mode, [&factors[0], &factors[1], &factors[2]])?;
-            let g = factors[others[0]].gram().hadamard(&factors[others[1]].gram())?;
+            let g = factors[others[0]]
+                .gram()
+                .hadamard(&factors[others[1]].gram())?;
             factors[mode] = m.matmul(&pinv(&g)?)?;
             lambda = factors[mode].normalize_columns();
             if mode == 2 {
@@ -99,7 +103,11 @@ pub fn parafac_als_baseline(
             }
         }
         let err_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
-        let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+        let fit = if norm_x > 0.0 {
+            1.0 - err_sq.sqrt() / norm_x
+        } else {
+            1.0
+        };
         let prev = fits.last().copied();
         fits.push(fit);
         if let Some(p) = prev {
@@ -164,9 +172,8 @@ mod tests {
         // so their fit trajectories must agree.
         let x = sparse_random([6, 5, 4], 25, 63);
         let base = parafac_als_baseline(&x, 2, 5, 0.0, 99, None).unwrap();
-        let cluster = haten2_mapreduce::Cluster::new(
-            haten2_mapreduce::ClusterConfig::with_machines(2),
-        );
+        let cluster =
+            haten2_mapreduce::Cluster::new(haten2_mapreduce::ClusterConfig::with_machines(2));
         let opts = haten2_core::AlsOptions {
             variant: haten2_core::Variant::Dri,
             max_iters: 5,

@@ -57,7 +57,15 @@ pub fn tucker_als_baseline(
     seed: u64,
     memory_budget: Option<usize>,
 ) -> Result<BaselineTucker> {
-    tucker_als_baseline_met(x, core_dims, max_iters, tol, seed, memory_budget, MetMode::Full)
+    tucker_als_baseline_met(
+        x,
+        core_dims,
+        max_iters,
+        tol,
+        seed,
+        memory_budget,
+        MetMode::Full,
+    )
 }
 
 /// [`tucker_als_baseline`] with an explicit [`MetMode`].
@@ -83,7 +91,10 @@ pub fn tucker_als_baseline_met(
     let mut meter = MemoryMeter::new(memory_budget);
     meter.charge(coo_bytes(x.nnz()), "input tensor")?;
     for (n, &d) in dims.iter().enumerate() {
-        meter.charge(mat_bytes(d as usize, core_dims[n]), &format!("factor matrix {n}"))?;
+        meter.charge(
+            mat_bytes(d as usize, core_dims[n]),
+            &format!("factor matrix {n}"),
+        )?;
     }
     // Projected tensor working set per Lemma 3: nnz·max(Q,R) entries in
     // Full mode; in MET SliceWise mode only the heaviest target-mode
@@ -164,7 +175,11 @@ pub fn tucker_als_baseline_met(
 
     let norm_g = core_norms.last().copied().unwrap_or(0.0);
     let err_sq = (norm_x_sq - norm_g * norm_g).max(0.0);
-    let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+    let fit = if norm_x > 0.0 {
+        1.0 - err_sq.sqrt() / norm_x
+    } else {
+        1.0
+    };
     Ok(BaselineTucker {
         core,
         factors,
@@ -228,9 +243,8 @@ mod tests {
     fn matches_distributed_same_seed() {
         let x = sparse_random([6, 5, 5], 30, 72);
         let base = tucker_als_baseline(&x, [2, 2, 2], 4, 0.0, 5, None).unwrap();
-        let cluster = haten2_mapreduce::Cluster::new(
-            haten2_mapreduce::ClusterConfig::with_machines(2),
-        );
+        let cluster =
+            haten2_mapreduce::Cluster::new(haten2_mapreduce::ClusterConfig::with_machines(2));
         let opts = haten2_core::AlsOptions {
             variant: haten2_core::Variant::Dri,
             max_iters: 4,
@@ -253,22 +267,21 @@ mod tests {
         let q = 5;
         let full_needs = crate::memory::coo_bytes(x.nnz() * q);
         let budget = full_needs / 2 + crate::memory::coo_bytes(x.nnz());
-        let full = tucker_als_baseline_met(
-            &x, [q, q, q], 2, 0.0, 1, Some(budget), MetMode::Full,
+        let full = tucker_als_baseline_met(&x, [q, q, q], 2, 0.0, 1, Some(budget), MetMode::Full);
+        assert!(
+            matches!(full, Err(BaselineError::Oom { .. })),
+            "Full should o.o.m."
         );
-        assert!(matches!(full, Err(BaselineError::Oom { .. })), "Full should o.o.m.");
-        let met = tucker_als_baseline_met(
-            &x, [q, q, q], 2, 0.0, 1, Some(budget), MetMode::SliceWise,
-        )
-        .unwrap();
+        let met =
+            tucker_als_baseline_met(&x, [q, q, q], 2, 0.0, 1, Some(budget), MetMode::SliceWise)
+                .unwrap();
         assert!(met.fit.is_finite());
     }
 
     #[test]
     fn met_modes_compute_identical_results() {
         let x = sparse_random([8, 7, 6], 40, 76);
-        let full =
-            tucker_als_baseline_met(&x, [2, 2, 2], 3, 0.0, 9, None, MetMode::Full).unwrap();
+        let full = tucker_als_baseline_met(&x, [2, 2, 2], 3, 0.0, 9, None, MetMode::Full).unwrap();
         let met =
             tucker_als_baseline_met(&x, [2, 2, 2], 3, 0.0, 9, None, MetMode::SliceWise).unwrap();
         for (a, b) in full.core_norms.iter().zip(&met.core_norms) {

@@ -12,16 +12,17 @@ use haten2_core::records::tensor_records;
 use haten2_core::tucker::{project, ProjectOptions};
 use haten2_core::Variant;
 use haten2_data::random::{random_tensor, RandomTensorConfig};
-use haten2_linalg::{
-    leading_left_singular_vectors, sym_eigen, Mat, SubspaceOptions,
-};
+use haten2_linalg::{leading_left_singular_vectors, sym_eigen, Mat, SubspaceOptions};
 use haten2_mapreduce::{Cluster, ClusterConfig};
 use haten2_tensor::ops::ttm;
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
 
 fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        ..Default::default()
+    })
 }
 
 /// Combiner ablation: the Collapse job of DNN with and without map-side
@@ -35,7 +36,11 @@ fn ablation_combiner(c: &mut Criterion) {
     let records = tensor_records(&x);
     // Expand to a 4-way-tagged load so the collapse has real work.
     let expanded: Vec<_> = (0..4u64)
-        .flat_map(|q| records.iter().map(move |&((i, j, k, _), v)| ((i, j, k, q), v * (q + 1) as f64)))
+        .flat_map(|q| {
+            records
+                .iter()
+                .map(move |&((i, j, k, _), v)| ((i, j, k, q), v * (q + 1) as f64))
+        })
         .collect();
     for (label, use_combiner) in [("no_combiner", false), ("with_combiner", true)] {
         g.bench_function(label, |b| {
@@ -87,9 +92,7 @@ fn ablation_svd(c: &mut Criterion) {
     let p = 6usize;
 
     g.bench_function("subspace_iteration", |b| {
-        b.iter(|| {
-            leading_left_singular_vectors(&y_mat, p, &SubspaceOptions::default()).unwrap()
-        })
+        b.iter(|| leading_left_singular_vectors(&y_mat, p, &SubspaceOptions::default()).unwrap())
     });
     g.bench_function("gram_eigen", |b| {
         b.iter(|| {
@@ -109,5 +112,10 @@ fn ablation_svd(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_combiner, ablation_job_integration, ablation_svd);
+criterion_group!(
+    benches,
+    ablation_combiner,
+    ablation_job_integration,
+    ablation_svd
+);
 criterion_main!(benches);

@@ -17,11 +17,18 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::Duration;
 
 fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        ..Default::default()
+    })
 }
 
 fn opts(iters: usize) -> AlsOptions {
-    AlsOptions { max_iters: iters, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) }
+    AlsOptions {
+        max_iters: iters,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    }
 }
 
 /// All PARAFAC flavors on the same input: the extension overhead is visible
@@ -62,8 +69,10 @@ fn nway_order_sweep(c: &mut Criterion) {
             t.push(&idx, rng.gen_range(0.5..1.5)).unwrap();
         }
         let t = t.coalesce();
-        let factors: Vec<Mat> =
-            dims.iter().map(|&d| Mat::random(d as usize, 3, &mut rng)).collect();
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| Mat::random(d as usize, 3, &mut rng))
+            .collect();
         let refs: Vec<&Mat> = factors.iter().collect();
         g.bench_with_input(BenchmarkId::new("mttkrp_mode0", order), &order, |b, _| {
             b.iter(|| nway_mttkrp(&cluster(), &t, 0, &refs).unwrap())
@@ -92,5 +101,10 @@ fn nway_full_decomposition(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, parafac_flavors, nway_order_sweep, nway_full_decomposition);
+criterion_group!(
+    benches,
+    parafac_flavors,
+    nway_order_sweep,
+    nway_full_decomposition
+);
 criterion_main!(benches);

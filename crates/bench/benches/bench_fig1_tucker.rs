@@ -14,7 +14,10 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
 
 fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        ..Default::default()
+    })
 }
 
 fn factors(q: usize, r: usize, j: usize, k: usize) -> (Mat, Mat) {
@@ -62,8 +65,7 @@ fn fig1b_density(c: &mut Criterion) {
                 &density,
                 |b, _| {
                     b.iter(|| {
-                        project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default())
-                            .unwrap()
+                        project(&cluster(), v, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap()
                     })
                 },
             );

@@ -13,7 +13,10 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
 
 fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        ..Default::default()
+    })
 }
 
 fn factors(j: usize, k: usize, r: usize) -> (Mat, Mat) {

@@ -29,8 +29,11 @@ fn fig8_cluster(machines: usize) -> Cluster {
 fn fig8(c: &mut Criterion) {
     let kb = KnowledgeBase::nell(1, 0xf18);
     let (x, _) = preprocess(&kb, &PreprocessConfig::default());
-    let opts =
-        AlsOptions { max_iters: 1, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 1,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let core = 4usize;
 
     let mut g = c.benchmark_group("fig8_machine_scalability");

@@ -18,7 +18,10 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::time::Duration;
 
 fn cluster() -> Cluster {
-    Cluster::new(ClusterConfig { machines: 8, ..Default::default() })
+    Cluster::new(ClusterConfig {
+        machines: 8,
+        ..Default::default()
+    })
 }
 
 /// Table III: the Tucker projection per variant at a fixed operating point,
@@ -68,12 +71,16 @@ fn table5_pipeline(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));
     for &scale in &[1usize, 2] {
-        g.bench_with_input(BenchmarkId::new("freebase_music", scale), &scale, |b, &s| {
-            b.iter(|| {
-                let kb = KnowledgeBase::freebase_music(s, 33);
-                preprocess(&kb, &PreprocessConfig::default())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("freebase_music", scale),
+            &scale,
+            |b, &s| {
+                b.iter(|| {
+                    let kb = KnowledgeBase::freebase_music(s, 33);
+                    preprocess(&kb, &PreprocessConfig::default())
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("nell", scale), &scale, |b, &s| {
             b.iter(|| {
                 let kb = KnowledgeBase::nell(s, 33);
@@ -95,10 +102,20 @@ fn discovery_pipeline(c: &mut Criterion) {
     g.bench_function("parafac_concepts_end_to_end", |b| {
         b.iter(|| {
             let cl = cluster();
-            let opts =
-                AlsOptions { max_iters: 3, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+            let opts = AlsOptions {
+                max_iters: 3,
+                tol: 0.0,
+                ..AlsOptions::with_variant(Variant::Dri)
+            };
             let res = parafac_als(&cl, &x, 4, &opts).unwrap();
-            parafac_concepts(&res.factors, &res.lambda, 3, &kb.subjects, &kb.objects, &kb.predicates)
+            parafac_concepts(
+                &res.factors,
+                &res.lambda,
+                3,
+                &kb.subjects,
+                &kb.objects,
+                &kb.predicates,
+            )
         })
     });
     g.finish();

@@ -29,7 +29,11 @@ use haten2_bench::ExpTable;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
-    let scale = if tiny { SweepScale::Tiny } else { SweepScale::Default };
+    let scale = if tiny {
+        SweepScale::Tiny
+    } else {
+        SweepScale::Default
+    };
     // Optional: --csv DIR writes each table as a CSV next to printing it.
     let csv_dir: Option<std::path::PathBuf> = args
         .iter()
@@ -41,7 +45,9 @@ fn main() {
         .enumerate()
         .filter(|&(i, a)| {
             !a.starts_with("--")
-                && args.get(i.wrapping_sub(1)).is_none_or(|prev| prev != "--csv")
+                && args
+                    .get(i.wrapping_sub(1))
+                    .is_none_or(|prev| prev != "--csv")
         })
         .map(|(_, a)| a.as_str())
         .next()
@@ -58,12 +64,15 @@ fn main() {
     };
 
     let known = [
-        "fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8", "table2", "table3",
-        "table4", "table5", "table6", "table7", "table8", "nell", "lemma3", "ablation",
-        "skew", "fig5", "all",
+        "fig1a", "fig1b", "fig1c", "fig7a", "fig7b", "fig7c", "fig8", "table2", "table3", "table4",
+        "table5", "table6", "table7", "table8", "nell", "lemma3", "ablation", "skew", "fig5",
+        "all",
     ];
     if !known.contains(&which) {
-        eprintln!("unknown experiment '{which}'; expected one of: {}", known.join(", "));
+        eprintln!(
+            "unknown experiment '{which}'; expected one of: {}",
+            known.join(", ")
+        );
         std::process::exit(2);
     }
 
@@ -77,10 +86,19 @@ fn main() {
         emit(experiments::table5_datasets(kb_scale));
     }
     if run("table3") {
-        emit(experiments::table3_tucker_costs(dims_mid, (dims_mid * 10) as usize, rank, rank));
+        emit(experiments::table3_tucker_costs(
+            dims_mid,
+            (dims_mid * 10) as usize,
+            rank,
+            rank,
+        ));
     }
     if run("table4") {
-        emit(experiments::table4_parafac_costs(dims_mid, (dims_mid * 10) as usize, rank));
+        emit(experiments::table4_parafac_costs(
+            dims_mid,
+            (dims_mid * 10) as usize,
+            rank,
+        ));
     }
     if run("lemma3") {
         let base = (dims_mid * 5) as usize;
@@ -90,13 +108,27 @@ fn main() {
         );
     }
     if run("ablation") {
-        emit(experiments::ablation(dims_mid * 2, (dims_mid * 20) as usize, rank, rank));
+        emit(experiments::ablation(
+            dims_mid * 2,
+            (dims_mid * 20) as usize,
+            rank,
+            rank,
+        ));
     }
     if run("fig5") {
-        emit(experiments::fig5_dataflow_trace(dims_mid, (dims_mid * 10) as usize, rank, rank));
+        emit(experiments::fig5_dataflow_trace(
+            dims_mid,
+            (dims_mid * 10) as usize,
+            rank,
+            rank,
+        ));
     }
     if run("skew") {
-        emit(experiments::skew_ablation(dims_mid * 8, (dims_mid * 80) as usize, rank));
+        emit(experiments::skew_ablation(
+            dims_mid * 8,
+            (dims_mid * 80) as usize,
+            rank,
+        ));
     }
     if run("fig1a") {
         emit(experiments::fig1a_tucker_dims(scale));
@@ -121,10 +153,18 @@ fn main() {
         emit(experiments::fig8_machine_scalability(kb_scale, machines));
     }
     if run("table6") {
-        emit(experiments::table6_parafac_concepts(kb_scale, 10.min(rank * 2), 3));
+        emit(experiments::table6_parafac_concepts(
+            kb_scale,
+            10.min(rank * 2),
+            3,
+        ));
     }
     if run("nell") {
-        emit(experiments::table_nell_concepts(kb_scale, 10.min(rank * 2), 3));
+        emit(experiments::table_nell_concepts(
+            kb_scale,
+            10.min(rank * 2),
+            3,
+        ));
     }
     if run("table7") {
         emit(experiments::table7_tucker_groups(kb_scale, rank, 4));

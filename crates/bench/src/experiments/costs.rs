@@ -17,13 +17,37 @@ use rand::SeedableRng;
 pub fn table2_methods() -> ExpTable {
     let mut t = ExpTable::new(
         "Table II: comparison of all methods",
-        &["Method", "Distributed?", "Decoupling (D)", "Remove deps (R)", "Integrate jobs (I)"],
+        &[
+            "Method",
+            "Distributed?",
+            "Decoupling (D)",
+            "Remove deps (R)",
+            "Integrate jobs (I)",
+        ],
     );
-    t.push_row(vec!["Tensor Toolbox".into(), "No".into(), "No".into(), "No".into(), "No".into()]);
+    t.push_row(vec![
+        "Tensor Toolbox".into(),
+        "No".into(),
+        "No".into(),
+        "No".into(),
+        "No".into(),
+    ]);
     for v in Variant::ALL {
         let (d, r, i) = v.ideas();
-        let yn = |b: bool| if b { "Yes".to_string() } else { "No".to_string() };
-        t.push_row(vec![v.name().to_string(), "Yes".into(), yn(d), yn(r), yn(i)]);
+        let yn = |b: bool| {
+            if b {
+                "Yes".to_string()
+            } else {
+                "No".to_string()
+            }
+        };
+        t.push_row(vec![
+            v.name().to_string(),
+            "Yes".into(),
+            yn(d),
+            yn(r),
+            yn(i),
+        ]);
     }
     t
 }
@@ -49,7 +73,13 @@ pub fn table3_tucker_costs(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTab
 
     let mut t = ExpTable::new(
         format!("Table III: Tucker costs for X x2 Bt x3 Ct (nnz={n}, I={i_dim}, Q={q}, R={r})"),
-        &["Method", "measured max inter.", "analytic max inter.", "measured jobs", "analytic jobs"],
+        &[
+            "Method",
+            "measured max inter.",
+            "analytic max inter.",
+            "measured jobs",
+            "analytic jobs",
+        ],
     );
     for v in Variant::ALL {
         let cluster = experiment_cluster(4, usize::MAX >> 1);
@@ -64,7 +94,10 @@ pub fn table3_tucker_costs(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTab
         );
         let m = cluster.metrics();
         let (inter, jobs) = match outcome {
-            Ok(_) => (m.max_intermediate_records().to_string(), m.total_jobs().to_string()),
+            Ok(_) => (
+                m.max_intermediate_records().to_string(),
+                m.total_jobs().to_string(),
+            ),
             Err(e) => (format!("o.o.m. ({e})"), "-".into()),
         };
         t.push_row(vec![
@@ -98,14 +131,23 @@ pub fn table4_parafac_costs(i_dim: u64, nnz: usize, r: usize) -> ExpTable {
 
     let mut t = ExpTable::new(
         format!("Table IV: PARAFAC costs for X(1) (C kr B) (nnz={n}, I={i_dim}, R={r})"),
-        &["Method", "measured max inter.", "analytic max inter.", "measured jobs", "analytic jobs"],
+        &[
+            "Method",
+            "measured max inter.",
+            "analytic max inter.",
+            "measured jobs",
+            "analytic jobs",
+        ],
     );
     for v in Variant::ALL {
         let cluster = experiment_cluster(4, usize::MAX >> 1);
         let outcome = parafac::mttkrp(&cluster, v, &x, 0, &f1, &f2);
         let m = cluster.metrics();
         let (inter, jobs) = match outcome {
-            Ok(_) => (m.max_intermediate_records().to_string(), m.total_jobs().to_string()),
+            Ok(_) => (
+                m.max_intermediate_records().to_string(),
+                m.total_jobs().to_string(),
+            ),
             Err(e) => (format!("o.o.m. ({e})"), "-".into()),
         };
         t.push_row(vec![
@@ -124,7 +166,12 @@ pub fn table4_parafac_costs(i_dim: u64, nnz: usize, r: usize) -> ExpTable {
 pub fn lemma3_nnz_estimate(i_dim: u64, q: usize, nnz_values: &[usize]) -> ExpTable {
     let mut t = ExpTable::new(
         format!("Lemma 3: nnz(X x2 B) vs nnz(X)*Q (I={i_dim}, Q={q})"),
-        &["nnz(X)", "measured nnz(X x2 B)", "estimate nnz(X)*Q", "ratio"],
+        &[
+            "nnz(X)",
+            "measured nnz(X x2 B)",
+            "estimate nnz(X)*Q",
+            "ratio",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(0x1e3);
     let b = Mat::random(q, i_dim as usize, &mut rng);
@@ -155,16 +202,23 @@ pub fn ablation(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTable {
     let x = random_tensor(&RandomTensorConfig::cubic(i_dim, nnz, 0xab1));
     let mut t = ExpTable::new(
         format!("Ablation (nnz={}, I={i_dim}, Q={q}, R={r})", x.nnz()),
-        &["configuration", "jobs", "shuffle records", "map input bytes", "sim s"],
+        &[
+            "configuration",
+            "jobs",
+            "shuffle records",
+            "map input bytes",
+            "sim s",
+        ],
     );
 
     // Combiner on/off for a full Tucker-DNN projection.
     let mut rng = StdRng::seed_from_u64(0xab1);
     let u1 = Mat::random(q, i_dim as usize, &mut rng);
     let u2 = Mat::random(r, i_dim as usize, &mut rng);
-    for (label, use_combiner) in
-        [("Tucker-DNN, no combiner", false), ("Tucker-DNN, with combiner", true)]
-    {
+    for (label, use_combiner) in [
+        ("Tucker-DNN, no combiner", false),
+        ("Tucker-DNN, with combiner", true),
+    ] {
         let cluster = experiment_cluster(8, usize::MAX >> 1);
         tucker::project(
             &cluster,
@@ -180,7 +234,11 @@ pub fn ablation(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTable {
         t.push_row(vec![
             label.to_string(),
             m.total_jobs().to_string(),
-            m.jobs.iter().map(|j| j.shuffle_records).sum::<usize>().to_string(),
+            m.jobs
+                .iter()
+                .map(|j| j.shuffle_records)
+                .sum::<usize>()
+                .to_string(),
             m.total_map_input_bytes().to_string(),
             format!("{:.1}", m.total_sim_time_s()),
         ]);
@@ -202,7 +260,11 @@ pub fn ablation(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTable {
         t.push_row(vec![
             format!("PARAFAC sweep, {}", variant.name()),
             m.total_jobs().to_string(),
-            m.jobs.iter().map(|j| j.shuffle_records).sum::<usize>().to_string(),
+            m.jobs
+                .iter()
+                .map(|j| j.shuffle_records)
+                .sum::<usize>()
+                .to_string(),
             m.total_map_input_bytes().to_string(),
             format!("{:.1}", m.total_sim_time_s()),
         ]);
@@ -227,14 +289,18 @@ pub fn skew_ablation(i_dim: u64, nnz: usize, r: usize) -> ExpTable {
 
     let mut t = ExpTable::new(
         format!("Skew ablation: uniform vs power-law (I={i_dim}, nnz={nnz}, R={r})"),
-        &["workload", "heaviest slice nnz", "max reduce group bytes", "sim s"],
+        &[
+            "workload",
+            "heaviest slice nnz",
+            "max reduce group bytes",
+            "sim s",
+        ],
     );
     for (label, x) in [("uniform", &uniform), ("power-law (α=1)", &skewed)] {
         let cluster = experiment_cluster(8, usize::MAX >> 1);
         parafac::mttkrp(&cluster, Variant::Dri, x, 0, &f1, &f2).expect("mttkrp");
         let m = cluster.metrics();
-        let max_group =
-            m.jobs.iter().map(|j| j.max_group_bytes).max().unwrap_or(0);
+        let max_group = m.jobs.iter().map(|j| j.max_group_bytes).max().unwrap_or(0);
         let heaviest = x.heaviest_slice(0).expect("mode ok").map_or(0, |(_, c)| c);
         t.push_row(vec![
             label.to_string(),
@@ -262,14 +328,34 @@ pub fn fig5_dataflow_trace(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTab
             "Fig 5/6 analogue: per-job dataflow of X x2 Bt x3 Ct (nnz={}, Q={q}, R={r})",
             x.nnz()
         ),
-        &["variant", "job", "map-out records", "shuffle records", "reduce groups"],
+        &[
+            "variant",
+            "job",
+            "map-out records",
+            "shuffle records",
+            "reduce groups",
+        ],
     );
     for v in Variant::ALL {
         let cluster = experiment_cluster(4, usize::MAX >> 1);
-        if tucker::project(&cluster, v, &x, 0, &u1, &u2, &tucker::ProjectOptions::default())
-            .is_err()
+        if tucker::project(
+            &cluster,
+            v,
+            &x,
+            0,
+            &u1,
+            &u2,
+            &tucker::ProjectOptions::default(),
+        )
+        .is_err()
         {
-            t.push_row(vec![v.name().into(), "o.o.m.".into(), "-".into(), "-".into(), "-".into()]);
+            t.push_row(vec![
+                v.name().into(),
+                "o.o.m.".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let m = cluster.metrics();
@@ -279,7 +365,11 @@ pub fn fig5_dataflow_trace(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTab
             let base = j
                 .name
                 .rfind(|c: char| c.is_ascii_digit())
-                .map(|_| j.name.trim_end_matches(|c: char| c.is_ascii_digit()).to_string())
+                .map(|_| {
+                    j.name
+                        .trim_end_matches(|c: char| c.is_ascii_digit())
+                        .to_string()
+                })
                 .unwrap_or_else(|| j.name.clone());
             match grouped.last_mut() {
                 Some(g) if g.0 == base => {
@@ -300,7 +390,11 @@ pub fn fig5_dataflow_trace(i_dim: u64, nnz: usize, q: usize, r: usize) -> ExpTab
             }
         }
         for (base, count, rec, shuf, groups) in grouped {
-            let job = if count > 1 { format!("{base}* x{count}") } else { base };
+            let job = if count > 1 {
+                format!("{base}* x{count}")
+            } else {
+                base
+            };
             t.push_row(vec![
                 v.name().to_string(),
                 job,
@@ -322,14 +416,16 @@ mod tests {
     fn fig5_trace_structure() {
         let t = fig5_dataflow_trace(12, 50, 2, 2);
         // DRI contributes exactly two rows (IMHP + CrossMerge).
-        let dri_rows: Vec<_> =
-            t.rows.iter().filter(|row| row[0] == "HaTen2-DRI").collect();
+        let dri_rows: Vec<_> = t.rows.iter().filter(|row| row[0] == "HaTen2-DRI").collect();
         assert_eq!(dri_rows.len(), 2);
         assert!(dri_rows[0][1].contains("imhp"));
         assert!(dri_rows[1][1].contains("crossmerge"));
         // Naive folds its per-column jobs.
-        let naive_rows: Vec<_> =
-            t.rows.iter().filter(|row| row[0] == "HaTen2-Naive").collect();
+        let naive_rows: Vec<_> = t
+            .rows
+            .iter()
+            .filter(|row| row[0] == "HaTen2-Naive")
+            .collect();
         assert!(naive_rows.iter().any(|row| row[1].contains("x")));
     }
 
@@ -341,7 +437,10 @@ mod tests {
         assert!(skw > uni, "skewed group {skw} should exceed uniform {uni}");
         let uni_t: f64 = t.rows[0][3].parse().unwrap();
         let skw_t: f64 = t.rows[1][3].parse().unwrap();
-        assert!(skw_t >= uni_t, "skew must not be faster: {skw_t} vs {uni_t}");
+        assert!(
+            skw_t >= uni_t,
+            "skew must not be faster: {skw_t} vs {uni_t}"
+        );
     }
 
     #[test]

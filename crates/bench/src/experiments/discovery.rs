@@ -32,7 +32,9 @@ pub fn table5_datasets(scale: usize) -> ExpTable {
             x.nnz().to_string(),
         ]);
     }
-    t.note(format!("generated at scale factor {scale}; see EXPERIMENTS.md for the mapping"));
+    t.note(format!(
+        "generated at scale factor {scale}; see EXPERIMENTS.md for the mapping"
+    ));
     t
 }
 
@@ -40,7 +42,14 @@ fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
     } else {
-        format!("{}…", &s[..s.char_indices().take(n).last().map_or(0, |(i, c)| i + c.len_utf8())])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(n)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
     }
 }
 
@@ -97,7 +106,11 @@ fn kb_parafac_concepts(
     title: String,
 ) -> ExpTable {
     let cluster = experiment_cluster(8, usize::MAX >> 1);
-    let opts = AlsOptions { max_iters: 15, tol: 1e-5, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 15,
+        tol: 1e-5,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = parafac_als(&cluster, &x, rank, &opts).expect("parafac on kb");
     let concepts = parafac_concepts(
         &res.factors,
@@ -110,14 +123,23 @@ fn kb_parafac_concepts(
 
     let mut t = ExpTable::new(
         title,
-        &["Concept", "Subjects", "Objects", "Relations", "best planted match (P@k)"],
+        &[
+            "Concept",
+            "Subjects",
+            "Objects",
+            "Relations",
+            "best planted match (P@k)",
+        ],
     );
     for (n, c) in concepts.iter().take(kb.concepts.len().max(3)).enumerate() {
         // Score against every planted concept; report the best.
         let mut best = ("-".to_string(), 0.0f64);
         for planted in &kb.concepts {
-            let names: Vec<String> =
-                planted.subjects.iter().map(|&s| kb.subjects[s as usize].clone()).collect();
+            let names: Vec<String> = planted
+                .subjects
+                .iter()
+                .map(|&s| kb.subjects[s as usize].clone())
+                .collect();
             let p = recovery_precision(&c.subjects, &names);
             if p > best.1 {
                 best = (planted.name.clone(), p);
@@ -131,7 +153,11 @@ fn kb_parafac_concepts(
             format!("{} ({:.2})", best.0, best.1),
         ]);
     }
-    t.note(format!("fit = {:.3}, planted concepts = {}", res.fit(), kb.concepts.len()));
+    t.note(format!(
+        "fit = {:.3}, planted concepts = {}",
+        res.fit(),
+        kb.concepts.len()
+    ));
     t
 }
 
@@ -140,7 +166,11 @@ pub fn table7_tucker_groups(scale: usize, core: usize, top_k: usize) -> ExpTable
     let (kb, x) = freebase_setup(scale);
     let core_dims = clamp_core(core, &x);
     let cluster = experiment_cluster(8, usize::MAX >> 1);
-    let opts = AlsOptions { max_iters: 10, tol: 1e-5, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 10,
+        tol: 1e-5,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = tucker_als(&cluster, &x, core_dims, &opts).expect("tucker on kb");
 
     let mut t = ExpTable::new(
@@ -172,7 +202,11 @@ pub fn table8_tucker_concepts(scale: usize, core: usize, top_k: usize) -> ExpTab
     let (kb, x) = freebase_setup(scale);
     let core_dims = clamp_core(core, &x);
     let cluster = experiment_cluster(8, usize::MAX >> 1);
-    let opts = AlsOptions { max_iters: 10, tol: 1e-5, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 10,
+        tol: 1e-5,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = tucker_als(&cluster, &x, core_dims, &opts).expect("tucker on kb");
     let concepts = tucker_concepts(
         &res.core,
@@ -186,11 +220,22 @@ pub fn table8_tucker_concepts(scale: usize, core: usize, top_k: usize) -> ExpTab
 
     let mut t = ExpTable::new(
         "Table VIII: HaTen2-Tucker concept discovery (core-driven group triples)",
-        &["Concept (S,O,R)", "core value", "Subjects", "Objects", "Relations"],
+        &[
+            "Concept (S,O,R)",
+            "core value",
+            "Subjects",
+            "Objects",
+            "Relations",
+        ],
     );
     for c in &concepts {
         t.push_row(vec![
-            format!("(S{},O{},R{})", c.groups.0 + 1, c.groups.1 + 1, c.groups.2 + 1),
+            format!(
+                "(S{},O{},R{})",
+                c.groups.0 + 1,
+                c.groups.1 + 1,
+                c.groups.2 + 1
+            ),
             format!("{:.2}", c.core_value),
             join_names(&c.subjects, 3),
             join_names(&c.objects, 3),
@@ -244,8 +289,7 @@ mod tests {
     #[test]
     fn table7_groups_all_modes() {
         let t = table7_tucker_groups(1, 4, 4);
-        let modes: std::collections::HashSet<&str> =
-            t.rows.iter().map(|r| r[0].as_str()).collect();
+        let modes: std::collections::HashSet<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
         assert!(modes.contains("Subject"));
         assert!(modes.contains("Object"));
         assert!(modes.contains("Relation"));

@@ -36,7 +36,13 @@ pub fn fig8_machine_scalability(kb_scale: usize, machines: &[usize]) -> ExpTable
 
     let mut t = ExpTable::new(
         "Fig 8: machine scalability (scale-up T10/TM)",
-        &["machines", "Tucker-DRI T10/TM", "PARAFAC-DRI T10/TM", "Tucker sim s", "PARAFAC sim s"],
+        &[
+            "machines",
+            "Tucker-DRI T10/TM",
+            "PARAFAC-DRI T10/TM",
+            "Tucker sim s",
+            "PARAFAC sim s",
+        ],
     );
 
     let mut tucker_times = Vec::new();
@@ -75,7 +81,9 @@ pub fn fig8_machine_scalability(kb_scale: usize, machines: &[usize]) -> ExpTable
         x.dims(),
         x.nnz()
     ));
-    t.note("near-linear at first, flattening from fixed per-job overhead — the paper's Fig 8 shape");
+    t.note(
+        "near-linear at first, flattening from fixed per-job overhead — the paper's Fig 8 shape",
+    );
     t
 }
 

@@ -184,21 +184,35 @@ fn run_baseline(decomp: Decomp, x: &CooTensor3, core: usize, p: &SweepParams) ->
         }
     };
     match result {
-        Ok(wall) => Outcome::Time { sim_s: wall, wall_s: wall },
+        Ok(wall) => Outcome::Time {
+            sim_s: wall,
+            wall_s: wall,
+        },
         Err(BaselineError::Oom { .. }) => Outcome::Oom("memory budget".into()),
         Err(e) => Outcome::Oom(format!("failed: {e}")),
     }
 }
 
 fn methods_header() -> Vec<&'static str> {
-    vec!["point", "Tensor Toolbox", "HaTen2-Naive", "HaTen2-DNN", "HaTen2-DRN", "HaTen2-DRI"]
+    vec![
+        "point",
+        "Tensor Toolbox",
+        "HaTen2-Naive",
+        "HaTen2-DNN",
+        "HaTen2-DRN",
+        "HaTen2-DRI",
+    ]
 }
 
 fn dims_sweep(decomp: Decomp, scale: SweepScale, title: &str) -> ExpTable {
     let p = SweepParams::dims_sweep(scale);
     let mut t = ExpTable::new(title, &methods_header());
     for &i in &p.dims {
-        let x = random_tensor(&RandomTensorConfig::cubic(i, (i * p.nnz_factor) as usize, p.seed));
+        let x = random_tensor(&RandomTensorConfig::cubic(
+            i,
+            (i * p.nnz_factor) as usize,
+            p.seed,
+        ));
         let mut row = vec![format!("I={i}")];
         row.push(run_baseline(decomp, &x, p.core, &p).cell());
         for variant in Variant::ALL {
@@ -223,7 +237,13 @@ fn density_sweep(decomp: Decomp, scale: SweepScale, title: &str) -> ExpTable {
     // The paper omits Naive here (it cannot process even the smallest point).
     let mut t = ExpTable::new(
         title,
-        &["density", "Tensor Toolbox", "HaTen2-DNN", "HaTen2-DRN", "HaTen2-DRI"],
+        &[
+            "density",
+            "Tensor Toolbox",
+            "HaTen2-DNN",
+            "HaTen2-DRN",
+            "HaTen2-DRI",
+        ],
     );
     for &d in &densities {
         let x = random_tensor(&RandomTensorConfig::cubic_density(i, d, p.seed));
@@ -234,17 +254,29 @@ fn density_sweep(decomp: Decomp, scale: SweepScale, title: &str) -> ExpTable {
         }
         t.push_row(row);
     }
-    t.note(format!("dimensionality fixed at I={i}; HaTen2-Naive omitted as in the paper"));
+    t.note(format!(
+        "dimensionality fixed at I={i}; HaTen2-Naive omitted as in the paper"
+    ));
     t
 }
 
 fn core_sweep(decomp: Decomp, scale: SweepScale, title: &str) -> ExpTable {
     let (p, cores) = SweepParams::core_sweep(scale);
     let i = p.dims[0];
-    let x = random_tensor(&RandomTensorConfig::cubic(i, (i * p.nnz_factor) as usize, p.seed));
+    let x = random_tensor(&RandomTensorConfig::cubic(
+        i,
+        (i * p.nnz_factor) as usize,
+        p.seed,
+    ));
     let mut t = ExpTable::new(
         title,
-        &["core/rank", "Tensor Toolbox", "HaTen2-DNN", "HaTen2-DRN", "HaTen2-DRI"],
+        &[
+            "core/rank",
+            "Tensor Toolbox",
+            "HaTen2-DNN",
+            "HaTen2-DRN",
+            "HaTen2-DRI",
+        ],
     );
     for &c in &cores {
         let mut row = vec![c.to_string()];
@@ -260,32 +292,56 @@ fn core_sweep(decomp: Decomp, scale: SweepScale, title: &str) -> ExpTable {
 
 /// Figure 1(a): Tucker running time vs dimensionality, all methods.
 pub fn fig1a_tucker_dims(scale: SweepScale) -> ExpTable {
-    dims_sweep(Decomp::Tucker, scale, "Fig 1(a): Tucker data scalability - nonzeros & dimensionality")
+    dims_sweep(
+        Decomp::Tucker,
+        scale,
+        "Fig 1(a): Tucker data scalability - nonzeros & dimensionality",
+    )
 }
 
 /// Figure 1(b): Tucker running time vs density.
 pub fn fig1b_tucker_density(scale: SweepScale) -> ExpTable {
-    density_sweep(Decomp::Tucker, scale, "Fig 1(b): Tucker data scalability - density")
+    density_sweep(
+        Decomp::Tucker,
+        scale,
+        "Fig 1(b): Tucker data scalability - density",
+    )
 }
 
 /// Figure 1(c): Tucker running time vs core size.
 pub fn fig1c_tucker_core(scale: SweepScale) -> ExpTable {
-    core_sweep(Decomp::Tucker, scale, "Fig 1(c): Tucker data scalability - core tensor size")
+    core_sweep(
+        Decomp::Tucker,
+        scale,
+        "Fig 1(c): Tucker data scalability - core tensor size",
+    )
 }
 
 /// Figure 7(a): PARAFAC running time vs dimensionality, all methods.
 pub fn fig7a_parafac_dims(scale: SweepScale) -> ExpTable {
-    dims_sweep(Decomp::Parafac, scale, "Fig 7(a): PARAFAC data scalability - nonzeros & dimensionality")
+    dims_sweep(
+        Decomp::Parafac,
+        scale,
+        "Fig 7(a): PARAFAC data scalability - nonzeros & dimensionality",
+    )
 }
 
 /// Figure 7(b): PARAFAC running time vs density.
 pub fn fig7b_parafac_density(scale: SweepScale) -> ExpTable {
-    density_sweep(Decomp::Parafac, scale, "Fig 7(b): PARAFAC data scalability - density")
+    density_sweep(
+        Decomp::Parafac,
+        scale,
+        "Fig 7(b): PARAFAC data scalability - density",
+    )
 }
 
 /// Figure 7(c): PARAFAC running time vs rank.
 pub fn fig7c_parafac_rank(scale: SweepScale) -> ExpTable {
-    core_sweep(Decomp::Parafac, scale, "Fig 7(c): PARAFAC data scalability - rank")
+    core_sweep(
+        Decomp::Parafac,
+        scale,
+        "Fig 7(c): PARAFAC data scalability - rank",
+    )
 }
 
 #[cfg(test)]

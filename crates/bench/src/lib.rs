@@ -26,6 +26,7 @@
 //! | Lemma 3    | [`experiments::lemma3_nnz_estimate`] |
 
 pub mod experiments;
+pub mod seed_engine;
 pub mod table;
 
 pub use table::ExpTable;

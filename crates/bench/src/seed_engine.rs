@@ -1,0 +1,328 @@
+//! A faithful replica of the pre-optimization MapReduce executor, kept as
+//! the baseline for the engine microbenchmark (`haten2-engine-bench`).
+//!
+//! This reproduces the original engine's execution strategy exactly:
+//!
+//! * two batches of scoped threads spawned **per job** (one per phase),
+//! * `DefaultHasher` (SipHash) partitioning per emitted record,
+//! * a per-record serial shuffle loop sizing every record individually,
+//! * a full reduce-side `sort_by` of each partition (no sorted runs),
+//! * completion-order result collection (output order nondeterministic).
+//!
+//! The only mechanical differences from the seed source are dependency
+//! substitutions forced by the offline build: `std::thread::scope` for
+//! `crossbeam::thread::scope` and `std::sync::Mutex` for `parking_lot` —
+//! both are behavior- and cost-equivalent here (the seed paid the same
+//! per-job spawns). It takes a [`ClusterConfig`] and returns the metrics
+//! instead of recording them on a cluster, so benchmarks can compare
+//! counters between engines directly.
+
+use haten2_mapreduce::{ClusterConfig, Combiner, CostModel, EstimateSize, JobMetrics, MrError};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+const FRAMING_BYTES: usize = 8;
+
+struct MapTaskResult<KM, VM> {
+    buckets: Vec<Vec<(KM, VM)>>,
+    input_records: usize,
+    input_bytes: usize,
+    output_records: usize,
+    output_bytes: usize,
+    retried: bool,
+}
+
+fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % partitions
+}
+
+/// Execute one job with the seed engine's strategy. Returns the reduce
+/// output (completion order) and the job's metrics.
+#[allow(clippy::too_many_lines)]
+pub fn run_job_seed<KI, VI, KM, VM, KO, VO, M, R>(
+    cfg: &ClusterConfig,
+    name: &str,
+    combiner: Option<Combiner<'_, KM, VM>>,
+    input: &[(KI, VI)],
+    mapper: M,
+    reducer: R,
+) -> Result<(Vec<(KO, VO)>, JobMetrics), MrError>
+where
+    KI: Sync + EstimateSize,
+    VI: Sync + EstimateSize,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Send + EstimateSize,
+    VO: Send + EstimateSize,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    let started = Instant::now();
+    let num_reducers = cfg.num_reducers();
+    let num_map_tasks = cfg.machines.max(1);
+    let threads = cfg.threads.max(1);
+
+    // ---- Map phase: fresh scoped threads, results in completion order ----
+    let split_len = input.len().div_ceil(num_map_tasks).max(1);
+    let splits: Vec<&[(KI, VI)]> = input.chunks(split_len).collect();
+    let actual_tasks = splits.len();
+
+    let task_counter = AtomicUsize::new(0);
+    let map_results: Mutex<Vec<MapTaskResult<KM, VM>>> = Mutex::new(Vec::new());
+
+    let run_map_task = |task_id: usize| -> MapTaskResult<KM, VM> {
+        let split = splits[task_id];
+        let mut buckets: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut output_records = 0usize;
+        let mut output_bytes = 0usize;
+        let mut input_bytes = 0usize;
+        {
+            // Per-emission sizing and SipHash partitioning.
+            let mut emit = |k: KM, v: VM| {
+                output_records += 1;
+                output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                buckets[partition_of(&k, num_reducers)].push((k, v));
+            };
+            for (k, v) in split {
+                input_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                mapper(k, v, &mut emit);
+            }
+        }
+        if let Some(combiner) = combiner {
+            for bucket in &mut buckets {
+                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                let drained = std::mem::take(bucket);
+                let mut it = drained.into_iter().peekable();
+                while let Some((key, first)) = it.next() {
+                    let mut vals = vec![first];
+                    while it.peek().is_some_and(|(k, _)| *k == key) {
+                        vals.push(it.next().expect("peeked").1);
+                    }
+                    for v in combiner(&key, vals) {
+                        bucket.push((key.clone(), v));
+                    }
+                }
+            }
+        }
+        MapTaskResult {
+            buckets,
+            input_records: split.len(),
+            input_bytes,
+            output_records,
+            output_bytes,
+            retried: false,
+        }
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(actual_tasks) {
+            s.spawn(|| loop {
+                let t = task_counter.fetch_add(1, Ordering::Relaxed);
+                if t >= actual_tasks {
+                    break;
+                }
+                let mut retried = false;
+                if let Some(n) = cfg.fail_every_nth_task {
+                    if n > 0 && (t + 1).is_multiple_of(n) {
+                        let wasted = run_map_task(t);
+                        drop(wasted);
+                        retried = true;
+                    }
+                }
+                let mut result = run_map_task(t);
+                result.retried = retried;
+                map_results
+                    .lock()
+                    .expect("map results poisoned")
+                    .push(result);
+            });
+        }
+    });
+
+    // ---- Shuffle: one record at a time, sized individually ---------------
+    let mut metrics = JobMetrics {
+        name: name.to_string(),
+        ..Default::default()
+    };
+    let mut partitions: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+    for r in map_results.into_inner().expect("map results poisoned") {
+        metrics.map_input_records += r.input_records;
+        metrics.map_input_bytes += r.input_bytes;
+        metrics.map_output_records += r.output_records;
+        metrics.map_output_bytes += r.output_bytes;
+        metrics.task_retries += r.retried as usize;
+        for (p, bucket) in r.buckets.into_iter().enumerate() {
+            for (k, v) in bucket {
+                metrics.shuffle_records += 1;
+                metrics.shuffle_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                partitions[p].push((k, v));
+            }
+        }
+    }
+
+    if let Some(cap) = cfg.cluster_capacity_bytes {
+        if metrics.map_output_bytes > cap {
+            return Err(MrError::ClusterCapacityExceeded {
+                job: name.to_string(),
+                intermediate_bytes: metrics.map_output_bytes,
+                capacity_bytes: cap,
+            });
+        }
+    }
+
+    // ---- Reduce phase: fresh scoped threads, full sort per partition -----
+    struct ReduceTaskResult<KO, VO> {
+        output: Vec<(KO, VO)>,
+        groups: usize,
+        output_records: usize,
+        output_bytes: usize,
+        max_group_bytes: usize,
+    }
+
+    type PartitionCell<K, V> = Mutex<Option<Vec<(K, V)>>>;
+    let partition_cells: Vec<PartitionCell<KM, VM>> = partitions
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
+
+    let part_counter = AtomicUsize::new(0);
+    let reduce_results: Mutex<Vec<ReduceTaskResult<KO, VO>>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<MrError>> = Mutex::new(None);
+    let failed = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(num_reducers) {
+            s.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let p = part_counter.fetch_add(1, Ordering::Relaxed);
+                if p >= num_reducers {
+                    break;
+                }
+                let mut records = partition_cells[p]
+                    .lock()
+                    .expect("partition cell poisoned")
+                    .take()
+                    .expect("partition visited once");
+                records.sort_by(|a, b| a.0.cmp(&b.0));
+
+                let mut out: Vec<(KO, VO)> = Vec::new();
+                let mut groups = 0usize;
+                let mut output_records = 0usize;
+                let mut output_bytes = 0usize;
+                let mut max_group_bytes = 0usize;
+
+                let mut it = records.into_iter().peekable();
+                while let Some((key, first)) = it.next() {
+                    let mut group_bytes = key.est_bytes() + first.est_bytes() + FRAMING_BYTES;
+                    let mut vals = vec![first];
+                    while it.peek().is_some_and(|(k, _)| *k == key) {
+                        let (_, v) = it.next().expect("peeked");
+                        group_bytes += v.est_bytes() + FRAMING_BYTES;
+                        vals.push(v);
+                    }
+                    if let Some(budget) = cfg.reducer_memory_bytes {
+                        if group_bytes > budget {
+                            *failure.lock().expect("failure slot poisoned") =
+                                Some(MrError::ReducerOom {
+                                    job: name.to_string(),
+                                    group_bytes,
+                                    budget_bytes: budget,
+                                });
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    max_group_bytes = max_group_bytes.max(group_bytes);
+                    groups += 1;
+                    let mut emit = |k: KO, v: VO| {
+                        output_records += 1;
+                        output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                        out.push((k, v));
+                    };
+                    reducer(&key, vals, &mut emit);
+                }
+                reduce_results
+                    .lock()
+                    .expect("reduce results poisoned")
+                    .push(ReduceTaskResult {
+                        output: out,
+                        groups,
+                        output_records,
+                        output_bytes,
+                        max_group_bytes,
+                    });
+            });
+        }
+    });
+
+    if let Some(err) = failure.into_inner().expect("failure slot poisoned") {
+        return Err(err);
+    }
+
+    let mut output = Vec::new();
+    for r in reduce_results
+        .into_inner()
+        .expect("reduce results poisoned")
+    {
+        metrics.reduce_groups += r.groups;
+        metrics.reduce_output_records += r.output_records;
+        metrics.reduce_output_bytes += r.output_bytes;
+        metrics.max_group_bytes = metrics.max_group_bytes.max(r.max_group_bytes);
+        output.extend(r.output);
+    }
+
+    metrics.wall_time_s = started.elapsed().as_secs_f64();
+    metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
+    Ok((output, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_engine_word_count_agrees_with_pooled_engine() {
+        let cfg = ClusterConfig::with_machines(4);
+        let docs: Vec<(u64, String)> = (0..20)
+            .map(|i| (i, format!("w{} w{} shared", i % 5, i % 3)))
+            .collect();
+        let mapper = |_: &u64, text: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in text.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        };
+        let reducer = |w: &String, ones: Vec<u64>, emit: &mut dyn FnMut(String, u64)| {
+            emit(w.clone(), ones.iter().sum());
+        };
+        let (mut seed_out, seed_m) =
+            run_job_seed(&cfg, "wc", None, &docs, mapper, reducer).unwrap();
+
+        let cluster = haten2_mapreduce::Cluster::new(cfg);
+        let mut pooled_out = haten2_mapreduce::run_job(
+            &cluster,
+            haten2_mapreduce::JobSpec::named("wc"),
+            &docs,
+            mapper,
+            reducer,
+        )
+        .unwrap();
+        let pooled_m = cluster.metrics().jobs[0].clone();
+
+        seed_out.sort();
+        pooled_out.sort();
+        assert_eq!(seed_out, pooled_out);
+        // Aggregate counters are partitioner-independent.
+        assert_eq!(seed_m.map_output_records, pooled_m.map_output_records);
+        assert_eq!(seed_m.map_output_bytes, pooled_m.map_output_bytes);
+        assert_eq!(seed_m.shuffle_records, pooled_m.shuffle_records);
+        assert_eq!(seed_m.shuffle_bytes, pooled_m.shuffle_bytes);
+        assert_eq!(seed_m.reduce_groups, pooled_m.reduce_groups);
+        assert_eq!(seed_m.max_group_bytes, pooled_m.max_group_bytes);
+    }
+}

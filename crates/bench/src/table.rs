@@ -46,7 +46,10 @@ impl ExpTable {
 
     /// Find a row whose first cell equals `key`.
     pub fn row_by_key(&self, key: &str) -> Option<&[String]> {
-        self.rows.iter().find(|r| r.first().is_some_and(|c| c == key)).map(|r| r.as_slice())
+        self.rows
+            .iter()
+            .find(|r| r.first().is_some_and(|c| c == key))
+            .map(|r| r.as_slice())
     }
 
     /// Render as CSV (RFC-4180 quoting for cells containing commas, quotes
@@ -60,7 +63,14 @@ impl ExpTable {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -78,7 +88,13 @@ impl ExpTable {
     pub fn slug(&self) -> String {
         self.title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())

@@ -19,7 +19,11 @@ fn table2_prints_method_matrix() {
 #[test]
 fn tiny_cost_tables_run_fast_and_match() {
     let out = exp().args(["table3", "--tiny"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("Table III"));
     // Measured and analytic job columns are printed for all variants.
@@ -39,16 +43,15 @@ fn unknown_experiment_is_rejected() {
 fn csv_flag_writes_files() {
     let dir = std::env::temp_dir().join("haten2_exp_cli_csv");
     std::fs::remove_dir_all(&dir).ok();
-    let out = exp()
-        .args(["table2", "--csv"])
-        .arg(&dir)
-        .output()
-        .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = exp().args(["table2", "--csv"]).arg(&dir).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
     assert_eq!(files.len(), 1);
-    let content =
-        std::fs::read_to_string(files[0].as_ref().unwrap().path()).unwrap();
+    let content = std::fs::read_to_string(files[0].as_ref().unwrap().path()).unwrap();
     assert!(content.starts_with("Method,"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -11,9 +11,7 @@
 
 use crate::tucker::ProjectOptions;
 use crate::{parafac, tucker, CoreError, Result, Variant};
-use haten2_linalg::{
-    leading_left_singular_vectors, pinv, thin_qr, Mat, SubspaceOptions,
-};
+use haten2_linalg::{leading_left_singular_vectors, pinv, thin_qr, Mat, SubspaceOptions};
 use haten2_mapreduce::{Cluster, RunMetrics};
 use haten2_tensor::{CooTensor3, DenseTensor3};
 use rand::rngs::StdRng;
@@ -55,7 +53,10 @@ impl Default for AlsOptions {
 impl AlsOptions {
     /// Options running a specific variant with defaults otherwise.
     pub fn with_variant(variant: Variant) -> Self {
-        AlsOptions { variant, ..Default::default() }
+        AlsOptions {
+            variant,
+            ..Default::default()
+        }
     }
 }
 
@@ -233,7 +234,11 @@ pub fn parafac_als_with_init(
             }
         }
         let err_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
-        let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+        let fit = if norm_x > 0.0 {
+            1.0 - err_sq.sqrt() / norm_x
+        } else {
+            1.0
+        };
         let prev = fits.last().copied();
         fits.push(fit);
         if let Some(p) = prev {
@@ -344,7 +349,9 @@ pub fn tucker_als_with_init(
     };
     let norm_x_sq = x.fro_norm_sq();
     let norm_x = norm_x_sq.sqrt();
-    let project_opts = ProjectOptions { use_combiner: opts.use_combiner };
+    let project_opts = ProjectOptions {
+        use_combiner: opts.use_combiner,
+    };
 
     let mut core_norms: Vec<f64> = Vec::new();
     let mut core = DenseTensor3::zeros(core_dims);
@@ -394,7 +401,11 @@ pub fn tucker_als_with_init(
 
     let norm_g = core_norms.last().copied().unwrap_or(0.0);
     let err_sq = (norm_x_sq - norm_g * norm_g).max(0.0);
-    let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+    let fit = if norm_x > 0.0 {
+        1.0 - err_sq.sqrt() / norm_x
+    } else {
+        1.0
+    };
 
     Ok(TuckerResult {
         core,
@@ -424,9 +435,7 @@ mod tests {
             for j in 0..dims[1] {
                 for k in 0..dims[2] {
                     let v: f64 = (0..rank)
-                        .map(|r| {
-                            a.get(i as usize, r) * b.get(j as usize, r) * c.get(k as usize, r)
-                        })
+                        .map(|r| a.get(i as usize, r) * b.get(j as usize, r) * c.get(k as usize, r))
                         .sum();
                     entries.push(Entry3::new(i, j, k, v));
                 }
@@ -454,7 +463,11 @@ mod tests {
     fn parafac_recovers_low_rank_tensor() {
         let x = low_rank_tensor([6, 5, 4], 2, 31);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 60, tol: 1e-9, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 60,
+            tol: 1e-9,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
         assert!(res.fit() > 0.999, "fit = {}", res.fit());
         // Model reproduces entries.
@@ -467,7 +480,11 @@ mod tests {
     fn parafac_fit_nondecreasing_mostly() {
         let x = sparse_random([8, 8, 8], 60, 33);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 10, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 10,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_als(&cluster, &x, 3, &opts).unwrap();
         // ALS fit is monotone up to tiny numerical noise.
         for w in res.fits.windows(2) {
@@ -505,7 +522,11 @@ mod tests {
     fn tucker_exact_on_low_multilinear_rank() {
         let x = low_rank_tensor([6, 5, 4], 2, 37);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 30, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 30,
+            tol: 1e-10,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
         assert!(res.fit > 0.999, "fit = {}", res.fit);
         // Factors orthonormal.
@@ -514,9 +535,13 @@ mod tests {
             assert!(g.approx_eq(&Mat::identity(g.rows()), 1e-8));
         }
         // Reconstruction matches.
-        let recon =
-            DenseTensor3::tucker_reconstruct(&res.core, &res.factors[0], &res.factors[1], &res.factors[2])
-                .unwrap();
+        let recon = DenseTensor3::tucker_reconstruct(
+            &res.core,
+            &res.factors[0],
+            &res.factors[1],
+            &res.factors[2],
+        )
+        .unwrap();
         let dense = DenseTensor3::from_coo(&x).unwrap();
         assert!(recon.approx_eq(&dense, 1e-6 * x.fro_norm()));
     }
@@ -525,10 +550,18 @@ mod tests {
     fn tucker_core_norm_nondecreasing() {
         let x = sparse_random([8, 7, 6], 50, 39);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 8, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 8,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
         for w in res.core_norms.windows(2) {
-            assert!(w[1] >= w[0] - 1e-6, "core norms decreased: {:?}", res.core_norms);
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "core norms decreased: {:?}",
+                res.core_norms
+            );
         }
         assert!(res.fit <= 1.0 && res.fit >= 0.0);
     }
@@ -539,7 +572,11 @@ mod tests {
         let mut norms = Vec::new();
         for variant in [Variant::Dnn, Variant::Drn, Variant::Dri] {
             let cluster = Cluster::new(ClusterConfig::with_machines(3));
-            let opts = AlsOptions { max_iters: 3, tol: 0.0, ..AlsOptions::with_variant(variant) };
+            let opts = AlsOptions {
+                max_iters: 3,
+                tol: 0.0,
+                ..AlsOptions::with_variant(variant)
+            };
             let res = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
             norms.push((variant, res.core_norms));
         }
@@ -589,7 +626,11 @@ mod tests {
     fn metrics_attributed_to_decomposition() {
         let x = sparse_random([4, 4, 4], 10, 45);
         let cluster = Cluster::new(ClusterConfig::with_machines(2));
-        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 2,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
         // DRI: 2 jobs per MTTKRP × 3 modes × 2 sweeps.
         assert_eq!(res.metrics.total_jobs(), 12);

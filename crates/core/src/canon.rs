@@ -27,8 +27,7 @@ pub fn canonicalize(t: &CooTensor3, target: usize) -> (CooTensor3, [usize; 3]) {
         .iter()
         .map(|e| Entry3::new(e.index(perm[0]), e.index(perm[1]), e.index(perm[2]), e.v))
         .collect();
-    let canon = CooTensor3::from_entries(dims, entries)
-        .expect("permutation preserves bounds");
+    let canon = CooTensor3::from_entries(dims, entries).expect("permutation preserves bounds");
     (canon, perm)
 }
 

@@ -37,8 +37,13 @@ pub fn save_parafac(res: &ParafacResult, prefix: &str) -> Result<()> {
     for (f, name) in res.factors.iter().zip(FACTOR_NAMES) {
         save_mat(f, format!("{prefix}.{name}.mat")).map_err(io_err)?;
     }
-    let lambda =
-        res.lambda.iter().map(f64::to_string).collect::<Vec<_>>().join("\n") + "\n";
+    let lambda = res
+        .lambda
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
     std::fs::write(format!("{prefix}.lambda.txt"), lambda).map_err(io_err)?;
     Ok(())
 }
@@ -49,15 +54,13 @@ pub fn load_parafac(prefix: &str) -> Result<(Vec<f64>, [Mat; 3])> {
     for name in FACTOR_NAMES {
         factors.push(load_mat(format!("{prefix}.{name}.mat")).map_err(io_err)?);
     }
-    let lambda_text =
-        std::fs::read_to_string(format!("{prefix}.lambda.txt")).map_err(io_err)?;
+    let lambda_text = std::fs::read_to_string(format!("{prefix}.lambda.txt")).map_err(io_err)?;
     let lambda: Vec<f64> = lambda_text
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(|l| l.trim().parse().map_err(io_err))
         .collect::<Result<_>>()?;
-    let [a, b, c]: [Mat; 3] =
-        factors.try_into().expect("exactly three factors were read");
+    let [a, b, c]: [Mat; 3] = factors.try_into().expect("exactly three factors were read");
     if lambda.len() != a.cols() {
         return Err(CoreError::InvalidArgument(format!(
             "checkpoint rank mismatch: {} lambdas for {} columns",
@@ -124,11 +127,9 @@ pub fn load_tucker(prefix: &str) -> Result<(DenseTensor3, [Mat; 3])> {
     for name in FACTOR_NAMES {
         factors.push(load_mat(format!("{prefix}.{name}.mat")).map_err(io_err)?);
     }
-    let [a, b, c]: [Mat; 3] =
-        factors.try_into().expect("exactly three factors were read");
+    let [a, b, c]: [Mat; 3] = factors.try_into().expect("exactly three factors were read");
     let dims = [a.cols(), b.cols(), c.cols()];
-    let sparse_core = haten2_tensor::io::load_coo3(format!("{prefix}.core.tns"))
-        .map_err(io_err)?;
+    let sparse_core = haten2_tensor::io::load_coo3(format!("{prefix}.core.tns")).map_err(io_err)?;
     let mut core = DenseTensor3::zeros(dims);
     for e in sparse_core.entries() {
         if e.i as usize >= dims[0] || e.j as usize >= dims[1] || e.k as usize >= dims[2] {
@@ -176,7 +177,11 @@ mod tests {
     fn parafac_checkpoint_roundtrip() {
         let x = sparse_random([7, 6, 5], 35, 201);
         let cluster = Cluster::new(ClusterConfig::with_machines(3));
-        let opts = AlsOptions { max_iters: 3, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 3,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_als(&cluster, &x, 2, &opts).unwrap();
         let prefix = tmp_prefix("cp");
         save_parafac(&res, &prefix).unwrap();
@@ -191,12 +196,20 @@ mod tests {
     fn resume_continues_improving() {
         let x = sparse_random([8, 7, 6], 60, 202);
         let cluster = Cluster::new(ClusterConfig::with_machines(3));
-        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 2,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let first = parafac_als(&cluster, &x, 3, &opts).unwrap();
         let prefix = tmp_prefix("resume");
         save_parafac(&first, &prefix).unwrap();
 
-        let more = AlsOptions { max_iters: 4, tol: 0.0, ..opts.clone() };
+        let more = AlsOptions {
+            max_iters: 4,
+            tol: 0.0,
+            ..opts.clone()
+        };
         let resumed = resume_parafac(&cluster, &x, &prefix, &more).unwrap();
         // The resumed run starts from the checkpoint, so its first-sweep fit
         // is already at (or above) the checkpoint's final fit.
@@ -216,7 +229,11 @@ mod tests {
     fn tucker_checkpoint_roundtrip() {
         let x = sparse_random([7, 6, 5], 35, 203);
         let cluster = Cluster::new(ClusterConfig::with_machines(3));
-        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 2,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = tucker_als(&cluster, &x, [2, 3, 2], &opts).unwrap();
         let prefix = tmp_prefix("tk");
         save_tucker(&res, &prefix).unwrap();
@@ -232,7 +249,11 @@ mod tests {
     fn resume_tucker_continues_from_checkpoint() {
         let x = sparse_random([8, 7, 6], 50, 205);
         let cluster = Cluster::new(ClusterConfig::with_machines(3));
-        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 2,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let first = tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
         let prefix = tmp_prefix("tk_resume");
         save_tucker(&first, &prefix).unwrap();
@@ -258,14 +279,9 @@ mod tests {
         let x = sparse_random([5, 5, 5], 10, 204);
         let cluster = Cluster::with_defaults();
         let bad = [Mat::zeros(4, 2), Mat::zeros(5, 2), Mat::zeros(5, 2)];
-        let err = crate::als::parafac_als_with_init(
-            &cluster,
-            &x,
-            2,
-            &AlsOptions::default(),
-            Some(bad),
-        )
-        .unwrap_err();
+        let err =
+            crate::als::parafac_als_with_init(&cluster, &x, 2, &AlsOptions::default(), Some(bad))
+                .unwrap_err();
         assert!(matches!(err, CoreError::InvalidArgument(_)));
     }
 }

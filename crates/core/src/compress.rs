@@ -61,14 +61,23 @@ pub fn parafac_via_compression(
     }
     // The core is tiny, so generous sweep counts cost nothing; ALS on
     // random low-rank cores can need many sweeps to escape swamps.
-    let core_opts = AlsOptions { max_iters: opts.max_iters.max(200), ..opts.clone() };
+    let core_opts = AlsOptions {
+        max_iters: opts.max_iters.max(200),
+        ..opts.clone()
+    };
     let cp = parafac_als(cluster, &core_coo, rank, &core_opts)?;
 
     // Stage 3: decompress — factors = U_n · P_n.
     let factors = [
-        tucker.factors[0].matmul(&cp.factors[0]).map_err(CoreError::Linalg)?,
-        tucker.factors[1].matmul(&cp.factors[1]).map_err(CoreError::Linalg)?,
-        tucker.factors[2].matmul(&cp.factors[2]).map_err(CoreError::Linalg)?,
+        tucker.factors[0]
+            .matmul(&cp.factors[0])
+            .map_err(CoreError::Linalg)?,
+        tucker.factors[1]
+            .matmul(&cp.factors[1])
+            .map_err(CoreError::Linalg)?,
+        tucker.factors[2]
+            .matmul(&cp.factors[2])
+            .map_err(CoreError::Linalg)?,
     ];
     // Orthonormal bases preserve column norms, so λ carries over; the fit
     // against X must be recomputed (cp.fits measured fit against G).
@@ -98,7 +107,11 @@ pub fn parafac_via_compression(
         }
     }
     let err_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
-    let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+    let fit = if norm_x > 0.0 {
+        1.0 - err_sq.sqrt() / norm_x
+    } else {
+        1.0
+    };
 
     Ok(ParafacResult {
         lambda,
@@ -142,7 +155,11 @@ mod tests {
     fn compressed_parafac_recovers_low_rank_tensor() {
         let x = low_rank([8, 7, 6], 2, 101);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 40, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 40,
+            tol: 1e-10,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_via_compression(&cluster, &x, 2, [3, 3, 3], &opts).unwrap();
         assert!(res.fit() > 0.98, "fit = {}", res.fit());
         // Factor shapes live in the original space.
@@ -160,7 +177,11 @@ mod tests {
         // The point of the trick: the full-size tensor is touched only by
         // the Tucker stage; the PARAFAC sweeps run on the tiny core.
         let x = low_rank([10, 9, 8], 2, 102);
-        let opts = AlsOptions { max_iters: 12, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 12,
+            tol: 1e-10,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
 
         let c_direct = Cluster::new(ClusterConfig::with_machines(4));
         parafac_als(&c_direct, &x, 2, &opts).unwrap();
@@ -181,14 +202,8 @@ mod tests {
     fn rejects_core_smaller_than_rank() {
         let x = low_rank([5, 5, 5], 2, 103);
         let cluster = Cluster::with_defaults();
-        let err = parafac_via_compression(
-            &cluster,
-            &x,
-            3,
-            [2, 3, 3],
-            &AlsOptions::default(),
-        )
-        .unwrap_err();
+        let err = parafac_via_compression(&cluster, &x, 3, [2, 3, 3], &AlsOptions::default())
+            .unwrap_err();
         assert!(matches!(err, CoreError::InvalidArgument(_)));
     }
 }

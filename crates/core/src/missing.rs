@@ -121,7 +121,11 @@ pub fn parafac_missing(
             let d = e.v - model;
             err_sq += d * d;
         }
-        let fit = if norm_obs > 0.0 { 1.0 - err_sq.sqrt() / norm_obs } else { 1.0 };
+        let fit = if norm_obs > 0.0 {
+            1.0 - err_sq.sqrt() / norm_obs
+        } else {
+            1.0
+        };
         let prev = fits.last().copied();
         fits.push(fit);
         if let Some(p) = prev {
@@ -131,7 +135,12 @@ pub fn parafac_missing(
         }
     }
 
-    Ok(MissingParafacResult { factors, fits, iterations, metrics: cluster.metrics_since(mark) })
+    Ok(MissingParafacResult {
+        factors,
+        fits,
+        iterations,
+        metrics: cluster.metrics_since(mark),
+    })
 }
 
 /// `(X − X̂)` restricted to the support of `X`.
@@ -196,7 +205,11 @@ mod tests {
     fn completes_held_out_cells_of_low_rank_tensor() {
         let (x, held_out) = completion_setup([7, 6, 5], 2, 0.7, 91);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 60, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 60,
+            tol: 1e-10,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_missing(&cluster, &x, 2, &opts).unwrap();
         assert!(res.fit() > 0.99, "observed fit = {}", res.fit());
 
@@ -210,14 +223,22 @@ mod tests {
             })
             .sum::<f64>()
             .sqrt();
-        assert!(err / norm.max(1e-12) < 0.05, "held-out rel err {}", err / norm);
+        assert!(
+            err / norm.max(1e-12) < 0.05,
+            "held-out rel err {}",
+            err / norm
+        );
     }
 
     #[test]
     fn fit_monotone_on_observed() {
         let (x, _) = completion_setup([6, 6, 6], 2, 0.6, 92);
         let cluster = Cluster::new(ClusterConfig::with_machines(3));
-        let opts = AlsOptions { max_iters: 10, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 10,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_missing(&cluster, &x, 2, &opts).unwrap();
         for w in res.fits.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "fits {:?}", res.fits);
@@ -237,7 +258,11 @@ mod tests {
         // EM should complete the held-out cells strictly better.
         let (x, held_out) = completion_setup([6, 5, 5], 2, 0.55, 93);
         let cluster = Cluster::new(ClusterConfig::with_machines(3));
-        let opts = AlsOptions { max_iters: 40, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 40,
+            tol: 1e-10,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let em = parafac_missing(&cluster, &x, 2, &opts).unwrap();
         let zf = crate::als::parafac_als(&cluster, &x, 2, &opts).unwrap();
 
@@ -264,7 +289,11 @@ mod tests {
         // EM adds no extra distributed jobs: MTTKRP(X̂) is closed-form.
         let (x, _) = completion_setup([5, 5, 5], 2, 0.6, 94);
         let cluster = Cluster::new(ClusterConfig::with_machines(2));
-        let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 2,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = parafac_missing(&cluster, &x, 2, &opts).unwrap();
         assert_eq!(res.metrics.total_jobs(), 12); // 2 jobs x 3 modes x 2 sweeps
     }

@@ -150,10 +150,16 @@ pub fn nonneg_parafac(
             .hadamard(&factors[1].gram())
             .and_then(|g| g.hadamard(&factors[2].gram()))
             .map_err(CoreError::Linalg)?;
-        let norm_model_sq: f64 =
-            (0..rank).flat_map(|r| (0..rank).map(move |s| (r, s))).map(|(r, s)| g_all.get(r, s)).sum();
+        let norm_model_sq: f64 = (0..rank)
+            .flat_map(|r| (0..rank).map(move |s| (r, s)))
+            .map(|(r, s)| g_all.get(r, s))
+            .sum();
         let err_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
-        let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+        let fit = if norm_x > 0.0 {
+            1.0 - err_sq.sqrt() / norm_x
+        } else {
+            1.0
+        };
         let prev = fits.last().copied();
         fits.push(fit);
         if let Some(p) = prev {
@@ -163,7 +169,12 @@ pub fn nonneg_parafac(
         }
     }
 
-    Ok(NonnegParafacResult { factors, fits, iterations, metrics: cluster.metrics_since(mark) })
+    Ok(NonnegParafacResult {
+        factors,
+        fits,
+        iterations,
+        metrics: cluster.metrics_since(mark),
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +223,11 @@ mod tests {
     fn factors_stay_nonnegative() {
         let x = nonneg_random([8, 7, 6], 50, 81);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 5, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 5,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = nonneg_parafac(&cluster, &x, 3, &opts).unwrap();
         for f in &res.factors {
             assert!(f.data().iter().all(|&v| v >= 0.0));
@@ -223,7 +238,11 @@ mod tests {
     fn fit_improves_on_low_rank_nonneg_tensor() {
         let x = nonneg_low_rank([6, 5, 4], 2, 82);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 80, tol: 1e-9, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 80,
+            tol: 1e-9,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = nonneg_parafac(&cluster, &x, 3, &opts).unwrap();
         assert!(res.fit() > 0.95, "fit = {}", res.fit());
         // Predictions track the data.
@@ -237,7 +256,11 @@ mod tests {
     fn fit_monotone_nondecreasing() {
         let x = nonneg_random([7, 7, 7], 60, 83);
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
-        let opts = AlsOptions { max_iters: 12, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+        let opts = AlsOptions {
+            max_iters: 12,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
         let res = nonneg_parafac(&cluster, &x, 3, &opts).unwrap();
         for w in res.fits.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "fits {:?}", res.fits);
@@ -257,7 +280,11 @@ mod tests {
         let mut trajectories = Vec::new();
         for v in [Variant::Dnn, Variant::Dri] {
             let cluster = Cluster::new(ClusterConfig::with_machines(3));
-            let opts = AlsOptions { max_iters: 4, tol: 0.0, ..AlsOptions::with_variant(v) };
+            let opts = AlsOptions {
+                max_iters: 4,
+                tol: 0.0,
+                ..AlsOptions::with_variant(v)
+            };
             let res = nonneg_parafac(&cluster, &x, 2, &opts).unwrap();
             trajectories.push(res.fits);
         }

@@ -96,7 +96,8 @@ fn nway_imhp(
 
     let out = run_job(
         cluster,
-        JobSpec::named(format!("nway-imhp-mode{mode}")),
+        // Each tensor entry emits once per non-target mode.
+        JobSpec::named(format!("nway-imhp-mode{mode}")).with_map_emit_hint(others.len().max(1)),
         &input,
         |_, rec: &NRec, emit| match rec {
             NRec::Ent(ix, v) => {
@@ -138,15 +139,12 @@ fn nway_imhp(
 /// `factors` supplies the factor matrix of every mode (the target one is
 /// ignored); all must share the same column count `R`. Returns
 /// `M ∈ ℝ^{dims[mode]×R}`.
-pub fn nway_mttkrp(
-    cluster: &Cluster,
-    x: &DynTensor,
-    mode: usize,
-    factors: &[&Mat],
-) -> Result<Mat> {
+pub fn nway_mttkrp(cluster: &Cluster, x: &DynTensor, mode: usize, factors: &[&Mat]) -> Result<Mat> {
     let n = x.order();
     if n < 2 {
-        return Err(CoreError::InvalidArgument("tensor order must be ≥ 2".into()));
+        return Err(CoreError::InvalidArgument(
+            "tensor order must be ≥ 2".into(),
+        ));
     }
     if factors.len() != n {
         return Err(CoreError::InvalidArgument(format!(
@@ -155,7 +153,9 @@ pub fn nway_mttkrp(
         )));
     }
     if mode >= n {
-        return Err(CoreError::InvalidArgument(format!("mode {mode} out of range")));
+        return Err(CoreError::InvalidArgument(format!(
+            "mode {mode} out of range"
+        )));
     }
     let others: Vec<usize> = (0..n).filter(|&m| m != mode).collect();
     let rank = factors[others[0]].cols();
@@ -181,7 +181,7 @@ pub fn nway_mttkrp(
         .collect();
     let merged = run_job(
         cluster,
-        JobSpec::named(format!("nway-pairwisemerge-mode{mode}")),
+        JobSpec::named(format!("nway-pairwisemerge-mode{mode}")).with_map_emit_hint(1),
         &merge_input,
         move |_, rec: &NMergeVal, emit| emit(rec.ix[mode], rec.clone()),
         move |i, vals, emit| {
@@ -248,8 +248,11 @@ pub fn nway_parafac_als(
     }
     let mark = cluster.jobs_run();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut factors: Vec<Mat> =
-        x.dims().iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+    let mut factors: Vec<Mat> = x
+        .dims()
+        .iter()
+        .map(|&d| Mat::random(d as usize, rank, &mut rng))
+        .collect();
     let mut lambda = vec![1.0; rank];
     let norm_x_sq: f64 = (0..x.nnz()).map(|e| x.value(e) * x.value(e)).sum();
     let norm_x = norm_x_sq.sqrt();
@@ -263,8 +266,8 @@ pub fn nway_parafac_als(
             let refs: Vec<&Mat> = factors.iter().collect();
             let m = nway_mttkrp(cluster, x, mode, &refs)?;
             // Hadamard product of all other Gram matrices.
-            let mut g = Mat::from_vec(rank, rank, vec![1.0; rank * rank])
-                .expect("square ones matrix");
+            let mut g =
+                Mat::from_vec(rank, rank, vec![1.0; rank * rank]).expect("square ones matrix");
             for (other, f) in factors.iter().enumerate() {
                 if other != mode {
                     g = g.hadamard(&f.gram()).map_err(CoreError::Linalg)?;
@@ -297,7 +300,11 @@ pub fn nway_parafac_als(
             }
         }
         let err_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
-        let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+        let fit = if norm_x > 0.0 {
+            1.0 - err_sq.sqrt() / norm_x
+        } else {
+            1.0
+        };
         let prev = fits.last().copied();
         fits.push(fit);
         if let Some(p) = prev {
@@ -332,7 +339,9 @@ pub fn nway_tucker_project(
 ) -> Result<DynTensor> {
     let n = x.order();
     if mode >= n {
-        return Err(CoreError::InvalidArgument(format!("mode {mode} out of range")));
+        return Err(CoreError::InvalidArgument(format!(
+            "mode {mode} out of range"
+        )));
     }
     if factors.len() != n {
         return Err(CoreError::InvalidArgument(format!(
@@ -362,7 +371,7 @@ pub fn nway_tucker_project(
         .collect();
     let merged = run_job(
         cluster,
-        JobSpec::named(format!("nway-crossmerge-mode{mode}")),
+        JobSpec::named(format!("nway-crossmerge-mode{mode}")).with_map_emit_hint(1),
         &merge_input,
         move |_, rec: &NMergeVal, emit| emit(rec.ix[mode], rec.clone()),
         move |i, vals, emit| {
@@ -496,8 +505,7 @@ pub fn nway_tucker_als(
         .iter()
         .zip(core_dims)
         .map(|(&d, &c)| {
-            haten2_linalg::thin_qr(&Mat::random(d as usize, c, &mut rng))
-                .map_err(CoreError::Linalg)
+            haten2_linalg::thin_qr(&Mat::random(d as usize, c, &mut rng)).map_err(CoreError::Linalg)
         })
         .collect::<Result<_>>()?;
     let norm_x_sq: f64 = (0..x.nnz()).map(|e| x.value(e) * x.value(e)).sum();
@@ -518,12 +526,9 @@ pub fn nway_tucker_als(
                 seed: seed ^ ((sweep as u64) << 8 | mode as u64),
                 ..Default::default()
             };
-            factors[mode] = haten2_linalg::leading_left_singular_vectors(
-                &y_mat,
-                core_dims[mode],
-                &sub_opts,
-            )
-            .map_err(CoreError::Linalg)?;
+            factors[mode] =
+                haten2_linalg::leading_left_singular_vectors(&y_mat, core_dims[mode], &sub_opts)
+                    .map_err(CoreError::Linalg)?;
             if mode == n - 1 {
                 last_y = Some(y);
             }
@@ -563,7 +568,11 @@ pub fn nway_tucker_als(
 
     let norm_g = core_norms.last().copied().unwrap_or(0.0);
     let err_sq = (norm_x_sq - norm_g * norm_g).max(0.0);
-    let fit = if norm_x > 0.0 { 1.0 - err_sq.sqrt() / norm_x } else { 1.0 };
+    let fit = if norm_x > 0.0 {
+        1.0 - err_sq.sqrt() / norm_x
+    } else {
+        1.0
+    };
     Ok(NwayTuckerResult {
         core,
         factors,
@@ -630,8 +639,10 @@ mod tests {
         let x = random_dyn(dims.clone(), 15, 49);
         let mut rng = StdRng::seed_from_u64(50);
         let rank = 2;
-        let factors: Vec<Mat> =
-            dims.iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| Mat::random(d as usize, rank, &mut rng))
+            .collect();
         let refs: Vec<&Mat> = factors.iter().collect();
         for mode in 0..4 {
             let cluster = Cluster::new(ClusterConfig::with_machines(3));
@@ -768,7 +779,8 @@ mod tests {
                                 }
                             }
                         }
-                        x.push(&[i0 as u64, i1 as u64, i2 as u64, i3 as u64], v).unwrap();
+                        x.push(&[i0 as u64, i1 as u64, i2 as u64, i3 as u64], v)
+                            .unwrap();
                     }
                 }
             }

@@ -68,7 +68,7 @@ pub fn hadamard_vec_job(
     let input = crate::records::tv_input(entries, v);
     let out = run_job(
         cluster,
-        JobSpec::named(name.to_string()),
+        JobSpec::named(name.to_string()).with_map_emit_hint(1),
         &input,
         move |_, rec: &TvRec, emit| match rec {
             TvRec::Ent(ix, val) => emit(slot(ix, join_pos), HadVal::Ent(*ix, *val)),
@@ -114,7 +114,8 @@ pub fn collapse_job(
         JobSpec::named(name.to_string()).with_combiner(&combiner)
     } else {
         JobSpec::named(name.to_string())
-    };
+    }
+    .with_map_emit_hint(1);
     let out = run_job(
         cluster,
         spec,
@@ -176,7 +177,9 @@ pub fn naive_ttv_job(
 
     let out = run_job(
         cluster,
-        JobSpec::named(name.to_string()),
+        // Broadcast coefficients emit far more, but entries dominate the
+        // input; 1/record is the right bucket pre-size for the common case.
+        JobSpec::named(name.to_string()).with_map_emit_hint(1),
         &input,
         |_, rec: &TvRec, emit| match rec {
             TvRec::Ent(ix, val) => {
@@ -235,8 +238,10 @@ pub fn imhp_job(
     bt: &Mat,
     ct: &Mat,
 ) -> Result<(TensorRecords, TensorRecords)> {
-    let mut input: Vec<((), ImhpRec)> =
-        entries.iter().map(|&(ix, v)| ((), ImhpRec::Ent(ix, v))).collect();
+    let mut input: Vec<((), ImhpRec)> = entries
+        .iter()
+        .map(|&(ix, v)| ((), ImhpRec::Ent(ix, v)))
+        .collect();
     for j in 0..bt.cols() {
         let col: Vec<f64> = (0..bt.rows()).map(|q| bt.get(q, j)).collect();
         input.push(((), ImhpRec::Row(0, j as u64, col)));
@@ -248,7 +253,7 @@ pub fn imhp_job(
 
     let out = run_job(
         cluster,
-        JobSpec::named(name.to_string()),
+        JobSpec::named(name.to_string()).with_map_emit_hint(2),
         &input,
         |_, rec: &ImhpRec, emit| match rec {
             ImhpRec::Ent(ix, v) => {
@@ -309,7 +314,7 @@ pub fn cross_merge_job(
     let input = merge_input(t_prime, t_dprime);
     let out = run_job(
         cluster,
-        JobSpec::named(name.to_string()),
+        JobSpec::named(name.to_string()).with_map_emit_hint(1),
         &input,
         |_, rec: &MergeVal, emit| emit(rec.i, rec.clone()),
         |i, vals, emit| {
@@ -353,7 +358,7 @@ pub fn pairwise_merge_job(
     let input = merge_input(t_prime, t_dprime);
     let out = run_job(
         cluster,
-        JobSpec::named(name.to_string()),
+        JobSpec::named(name.to_string()).with_map_emit_hint(1),
         &input,
         |_, rec: &MergeVal, emit| emit(rec.i, rec.clone()),
         |i, vals, emit| {
@@ -405,7 +410,7 @@ pub fn model_inner_product_job(
     }
     let out = run_job(
         cluster,
-        JobSpec::named(name.to_string()),
+        JobSpec::named(name.to_string()).with_map_emit_hint(1),
         &input,
         |_, rec: &ImhpRec, emit| match rec {
             ImhpRec::Ent(ix, v) => emit(ix.0, ImhpVal::Ent(*ix, *v)),
@@ -443,10 +448,30 @@ pub fn model_inner_product_job(
 fn merge_input(t_prime: &[(Ix4, f64)], t_dprime: &[(Ix4, f64)]) -> Vec<((), MergeVal)> {
     let mut input = Vec::with_capacity(t_prime.len() + t_dprime.len());
     for &(ix, v) in t_prime {
-        input.push(((), MergeVal { side: 0, i: ix.0, j: ix.1, k: ix.2, d: ix.3, v }));
+        input.push((
+            (),
+            MergeVal {
+                side: 0,
+                i: ix.0,
+                j: ix.1,
+                k: ix.2,
+                d: ix.3,
+                v,
+            },
+        ));
     }
     for &(ix, v) in t_dprime {
-        input.push(((), MergeVal { side: 1, i: ix.0, j: ix.1, k: ix.2, d: ix.3, v }));
+        input.push((
+            (),
+            MergeVal {
+                side: 1,
+                i: ix.0,
+                j: ix.1,
+                k: ix.2,
+                d: ix.3,
+                v,
+            },
+        ));
     }
     input
 }

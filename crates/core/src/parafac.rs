@@ -57,7 +57,9 @@ pub fn mttkrp(
     f2: &Mat,
 ) -> Result<Mat> {
     if mode > 2 {
-        return Err(CoreError::InvalidArgument(format!("mode {mode} out of range")));
+        return Err(CoreError::InvalidArgument(format!(
+            "mode {mode} out of range"
+        )));
     }
     if f1.cols() != f2.cols() {
         return Err(CoreError::InvalidArgument(format!(

@@ -132,13 +132,18 @@ impl EstimateSize for MergeVal {
 
 /// Convert a canonical 3-way tensor into `(Ix4, f64)` records (slot 3 = 0).
 pub fn tensor_records(t: &CooTensor3) -> Vec<(Ix4, f64)> {
-    t.entries().iter().map(|e| ((e.i, e.j, e.k, 0), e.v)).collect()
+    t.entries()
+        .iter()
+        .map(|e| ((e.i, e.j, e.k, 0), e.v))
+        .collect()
 }
 
 /// Wrap tensor records plus one vector as [`TvRec`] job input.
 pub fn tv_input(entries: &[(Ix4, f64)], v: &[f64]) -> Vec<((), TvRec)> {
-    let mut input: Vec<((), TvRec)> =
-        entries.iter().map(|&(ix, val)| ((), TvRec::Ent(ix, val))).collect();
+    let mut input: Vec<((), TvRec)> = entries
+        .iter()
+        .map(|&(ix, val)| ((), TvRec::Ent(ix, val)))
+        .collect();
     input.extend(
         v.iter()
             .enumerate()
@@ -158,7 +163,18 @@ mod tests {
         assert!(TvRec::Ent((0, 0, 0, 0), 1.0).est_bytes() >= 40);
         assert!(TvRec::Coef(0, 1.0).est_bytes() >= 17);
         assert!(ImhpRec::Row(0, 1, vec![1.0; 10]).est_bytes() >= 80);
-        assert_eq!(MergeVal { side: 0, i: 0, j: 0, k: 0, d: 0, v: 0.0 }.est_bytes(), 33);
+        assert_eq!(
+            MergeVal {
+                side: 0,
+                i: 0,
+                j: 0,
+                k: 0,
+                d: 0,
+                v: 0.0
+            }
+            .est_bytes(),
+            33
+        );
     }
 
     #[test]

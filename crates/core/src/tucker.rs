@@ -73,7 +73,9 @@ pub fn project(
     opts: &ProjectOptions,
 ) -> Result<CooTensor3> {
     if mode > 2 {
-        return Err(CoreError::InvalidArgument(format!("mode {mode} out of range")));
+        return Err(CoreError::InvalidArgument(format!(
+            "mode {mode} out of range"
+        )));
     }
     let (xc, perm) = canonicalize(x, mode);
     let d = xc.dims();
@@ -106,8 +108,10 @@ pub fn project(
                     u1.row(q),
                 )?;
                 // Stack the Q results along slot 1.
-                t_records
-                    .extend(out.into_iter().map(|(ix, v)| ((ix.0, q as u64, ix.2, 0), v)));
+                t_records.extend(
+                    out.into_iter()
+                        .map(|(ix, v)| ((ix.0, q as u64, ix.2, 0), v)),
+                );
             }
             let t_dims = [d0, q_dim, d2, 1];
             let mut y = Vec::new();
@@ -120,7 +124,10 @@ pub fn project(
                     2,
                     u2.row(r),
                 )?;
-                y.extend(out.into_iter().map(|(ix, v)| ((ix.0, ix.1, r as u64, 0), v)));
+                y.extend(
+                    out.into_iter()
+                        .map(|(ix, v)| ((ix.0, ix.1, r as u64, 0), v)),
+                );
             }
             y
         }
@@ -137,10 +144,18 @@ pub fn project(
                     Some(q as u64),
                 )?);
             }
-            let t = collapse_job(cluster, "tucker-dnn-collapse-j", &t_prime, 1, opts.use_combiner)?;
+            let t = collapse_job(
+                cluster,
+                "tucker-dnn-collapse-j",
+                &t_prime,
+                1,
+                opts.use_combiner,
+            )?;
             // T(x0, 0, k, q): move q into slot 1 so slot 3 is free for r.
-            let t_repacked: Vec<(Ix4, f64)> =
-                t.into_iter().map(|(ix, v)| ((ix.0, ix.3, ix.2, 0), v)).collect();
+            let t_repacked: Vec<(Ix4, f64)> = t
+                .into_iter()
+                .map(|(ix, v)| ((ix.0, ix.3, ix.2, 0), v))
+                .collect();
             let mut y_prime: Vec<(Ix4, f64)> = Vec::new();
             for r in 0..u2.rows() {
                 y_prime.extend(hadamard_vec_job(
@@ -152,9 +167,17 @@ pub fn project(
                     Some(r as u64),
                 )?);
             }
-            let y = collapse_job(cluster, "tucker-dnn-collapse-k", &y_prime, 2, opts.use_combiner)?;
+            let y = collapse_job(
+                cluster,
+                "tucker-dnn-collapse-k",
+                &y_prime,
+                2,
+                opts.use_combiner,
+            )?;
             // Y(x0, q, 0, r) -> (x0, q, r, 0)
-            y.into_iter().map(|(ix, v)| ((ix.0, ix.1, ix.3, 0), v)).collect()
+            y.into_iter()
+                .map(|(ix, v)| ((ix.0, ix.1, ix.3, 0), v))
+                .collect()
         }
         Variant::Drn => {
             // Algorithm 7: independent Hadamard expansions, then CrossMerge.
@@ -248,8 +271,16 @@ mod tests {
             let u1 = Mat::random(2, x.dims()[others[0]] as usize, &mut rng);
             let u2 = Mat::random(3, x.dims()[others[1]] as usize, &mut rng);
             let cluster = Cluster::new(ClusterConfig::with_machines(4));
-            let y = project(&cluster, variant, &x, mode, &u1, &u2, &ProjectOptions::default())
-                .unwrap();
+            let y = project(
+                &cluster,
+                variant,
+                &x,
+                mode,
+                &u1,
+                &u2,
+                &ProjectOptions::default(),
+            )
+            .unwrap();
             let want = reference(&x, mode, &u1, &u2);
             assert_eq!(y.dims(), want.dims(), "{variant} mode {mode}");
             for e in want.entries() {
@@ -296,7 +327,16 @@ mod tests {
         let u2 = Mat::random(r, 4, &mut rng);
         for variant in Variant::ALL {
             let cluster = Cluster::new(ClusterConfig::with_machines(2));
-            project(&cluster, variant, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap();
+            project(
+                &cluster,
+                variant,
+                &x,
+                0,
+                &u1,
+                &u2,
+                &ProjectOptions::default(),
+            )
+            .unwrap();
             assert_eq!(
                 cluster.metrics().total_jobs(),
                 expected_jobs(variant, q, r),
@@ -317,15 +357,32 @@ mod tests {
             ..ClusterConfig::with_machines(4)
         };
         let cluster = Cluster::new(cfg);
-        let err = project(&cluster, Variant::Naive, &x, 0, &u1, &u2, &ProjectOptions::default())
-            .unwrap_err();
+        let err = project(
+            &cluster,
+            Variant::Naive,
+            &x,
+            0,
+            &u1,
+            &u2,
+            &ProjectOptions::default(),
+        )
+        .unwrap_err();
         assert!(err.is_oom(), "expected o.o.m., got {err}");
         // DRI must succeed under the same budget.
         let cluster2 = Cluster::new(ClusterConfig {
             cluster_capacity_bytes: Some(100_000),
             ..ClusterConfig::with_machines(4)
         });
-        project(&cluster2, Variant::Dri, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap();
+        project(
+            &cluster2,
+            Variant::Dri,
+            &x,
+            0,
+            &u1,
+            &u2,
+            &ProjectOptions::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -339,7 +396,16 @@ mod tests {
         let mut max_inter = std::collections::HashMap::new();
         for variant in [Variant::Dnn, Variant::Drn, Variant::Dri] {
             let cluster = Cluster::new(ClusterConfig::with_machines(2));
-            project(&cluster, variant, &x, 0, &u1, &u2, &ProjectOptions::default()).unwrap();
+            project(
+                &cluster,
+                variant,
+                &x,
+                0,
+                &u1,
+                &u2,
+                &ProjectOptions::default(),
+            )
+            .unwrap();
             max_inter.insert(variant, cluster.metrics().max_intermediate_records());
         }
         assert!(

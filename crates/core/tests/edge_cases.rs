@@ -9,7 +9,10 @@ use haten2_mapreduce::{Cluster, ClusterConfig};
 use haten2_tensor::{CooTensor3, Entry3};
 
 fn single_machine() -> Cluster {
-    Cluster::new(ClusterConfig { reducers: Some(1), ..ClusterConfig::with_machines(1) })
+    Cluster::new(ClusterConfig {
+        reducers: Some(1),
+        ..ClusterConfig::with_machines(1)
+    })
 }
 
 #[test]
@@ -25,7 +28,11 @@ fn empty_tensor_mttkrp_is_zero() {
 #[test]
 fn empty_tensor_decomposition_terminates() {
     let x = CooTensor3::new([3, 3, 3]);
-    let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 2,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = parafac_als(&single_machine(), &x, 2, &opts).unwrap();
     // Zero tensor: fit defined as 1 − ‖X − X̂‖/‖X‖ degenerates; we report 1.
     assert!(res.fits.iter().all(|f| f.is_finite()));
@@ -34,7 +41,11 @@ fn empty_tensor_decomposition_terminates() {
 #[test]
 fn single_entry_tensor_exact_rank_one() {
     let x = CooTensor3::from_entries([5, 4, 3], vec![Entry3::new(2, 1, 0, 7.0)]).unwrap();
-    let opts = AlsOptions { max_iters: 10, tol: 1e-12, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 10,
+        tol: 1e-12,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = parafac_als(&single_machine(), &x, 1, &opts).unwrap();
     assert!(res.fit() > 0.9999, "fit = {}", res.fit());
     assert!((res.predict(2, 1, 0) - 7.0).abs() < 1e-6);
@@ -85,12 +96,19 @@ fn tucker_with_unit_core() {
             .collect(),
     )
     .unwrap();
-    let opts = AlsOptions { max_iters: 5, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 5,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = tucker_als(&single_machine(), &x, [1, 1, 1], &opts).unwrap();
     assert!(res.fit >= 0.0 && res.fit <= 1.0);
     for f in &res.factors {
         assert_eq!(f.cols(), 1);
-        let n: f64 = (0..f.rows()).map(|i| f.get(i, 0).powi(2)).sum::<f64>().sqrt();
+        let n: f64 = (0..f.rows())
+            .map(|i| f.get(i, 0).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!((n - 1.0).abs() < 1e-8);
     }
 }
@@ -104,7 +122,11 @@ fn rank_equal_to_smallest_dim() {
             .collect(),
     )
     .unwrap();
-    let opts = AlsOptions { max_iters: 5, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 5,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     // rank 2 == dim of mode 0.
     let res = parafac_als(&single_machine(), &x, 2, &opts).unwrap();
     assert!(res.fit().is_finite());
@@ -163,7 +185,10 @@ fn one_reducer_geometry_matches_many() {
     .unwrap();
     let b = Mat::identity(6);
     let m1 = mttkrp(&single_machine(), Variant::Dri, &x, 0, &b, &b).unwrap();
-    let big = Cluster::new(ClusterConfig { reducers: Some(17), ..ClusterConfig::with_machines(9) });
+    let big = Cluster::new(ClusterConfig {
+        reducers: Some(17),
+        ..ClusterConfig::with_machines(9)
+    });
     let m2 = mttkrp(&big, Variant::Dri, &x, 0, &b, &b).unwrap();
     assert!(m1.approx_eq(&m2, 1e-12));
 }
@@ -172,11 +197,17 @@ fn one_reducer_geometry_matches_many() {
 fn repeated_decompositions_on_shared_cluster_accumulate_metrics() {
     let x = CooTensor3::from_entries(
         [4, 4, 4],
-        (0..12).map(|t| Entry3::new(t % 4, (t * 3) % 4, (t * 5) % 4, 1.0)).collect(),
+        (0..12)
+            .map(|t| Entry3::new(t % 4, (t * 3) % 4, (t * 5) % 4, 1.0))
+            .collect(),
     )
     .unwrap();
     let cluster = single_machine();
-    let opts = AlsOptions { max_iters: 1, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 1,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let r1 = parafac_als(&cluster, &x, 2, &opts).unwrap();
     let r2 = parafac_als(&cluster, &x, 2, &opts).unwrap();
     // Each result's metrics cover only its own jobs…

@@ -87,11 +87,20 @@ fn naive_ttv_job_matches_reference() {
     let dims4 = [5, 6, 4, 1];
     let out = naive_ttv_job(&cluster(), "t", &tensor_records(&x), dims4, 1, &v).unwrap();
     let want = reference::ttv(&x, 1, &v).unwrap();
-    let got: HashMap<(u64, u64, u64), f64> =
-        out.into_iter().map(|(ix, v)| ((ix.0, ix.1, ix.2), v)).collect();
+    let got: HashMap<(u64, u64, u64), f64> = out
+        .into_iter()
+        .map(|(ix, v)| ((ix.0, ix.1, ix.2), v))
+        .collect();
     for e in want.entries() {
         let g = got.get(&(e.i, e.j, e.k)).copied().unwrap_or(0.0);
-        assert!((g - e.v).abs() < 1e-10, "at ({},{},{}): {g} vs {}", e.i, e.j, e.k, e.v);
+        assert!(
+            (g - e.v).abs() < 1e-10,
+            "at ({},{},{}): {g} vs {}",
+            e.i,
+            e.j,
+            e.k,
+            e.v
+        );
     }
 }
 
@@ -155,8 +164,10 @@ fn pairwise_merge_job_matches_reference() {
         &reference::mode_hadamard_mat(&x.bin(), 2, &ct).unwrap(),
     )
     .unwrap();
-    let got: HashMap<(u64, u64), f64> =
-        merged.into_iter().map(|(ix, v)| ((ix.0, ix.1), v)).collect();
+    let got: HashMap<(u64, u64), f64> = merged
+        .into_iter()
+        .map(|(ix, v)| ((ix.0, ix.1), v))
+        .collect();
     for (idx, v) in want.iter() {
         let g = got.get(&(idx[0], idx[1])).copied().unwrap_or(0.0);
         assert!((g - v).abs() < 1e-10);
@@ -185,11 +196,8 @@ fn model_inner_product_job_matches_driver() {
     let mut want = 0.0;
     for e in x.entries() {
         for (r, &l) in lambda.iter().enumerate() {
-            want += e.v
-                * l
-                * a.get(e.i as usize, r)
-                * b.get(e.j as usize, r)
-                * cm.get(e.k as usize, r);
+            want +=
+                e.v * l * a.get(e.i as usize, r) * b.get(e.j as usize, r) * cm.get(e.k as usize, r);
         }
     }
     assert!((got - want).abs() < 1e-10, "{got} vs {want}");

@@ -26,8 +26,11 @@ pub enum DatasetSpec {
 }
 
 /// All Table V rows.
-pub const TABLE_V: [DatasetSpec; 3] =
-    [DatasetSpec::FreebaseMusic, DatasetSpec::Nell, DatasetSpec::Random];
+pub const TABLE_V: [DatasetSpec; 3] = [
+    DatasetSpec::FreebaseMusic,
+    DatasetSpec::Nell,
+    DatasetSpec::Random,
+];
 
 impl DatasetSpec {
     /// Dataset name as in the paper.

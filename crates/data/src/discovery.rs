@@ -76,8 +76,10 @@ pub fn top_k(f: &Mat, col: usize, k: usize, names: &[String]) -> Vec<(String, f6
         .into_iter()
         .take(k)
         .map(|(i, s)| {
-            let name =
-                names.get(i).cloned().unwrap_or_else(|| format!("entity-{i}"));
+            let name = names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("entity-{i}"));
             (name, s)
         })
         .collect()
@@ -87,7 +89,10 @@ pub fn top_k(f: &Mat, col: usize, k: usize, names: &[String]) -> Vec<(String, f6
 pub fn factor_groups(f: &Mat, k: usize, names: &[String]) -> Vec<Group> {
     let norm = normalize_factor(f);
     (0..norm.cols())
-        .map(|c| Group { column: c, members: top_k(&norm, c, k, names) })
+        .map(|c| Group {
+            column: c,
+            members: top_k(&norm, c, k, names),
+        })
         .collect()
 }
 
@@ -199,7 +204,14 @@ mod tests {
         let a = Mat::identity(3);
         let factors = [a.clone(), a.clone(), a.clone()];
         let lambda = vec![1.0, 5.0, 3.0];
-        let cs = parafac_concepts(&factors, &lambda, 1, &names(3, "s"), &names(3, "o"), &names(3, "p"));
+        let cs = parafac_concepts(
+            &factors,
+            &lambda,
+            1,
+            &names(3, "s"),
+            &names(3, "o"),
+            &names(3, "p"),
+        );
         assert_eq!(cs[0].r, 1);
         assert_eq!(cs[1].r, 2);
         assert_eq!(cs[2].r, 0);
@@ -214,7 +226,15 @@ mod tests {
         core.set(1, 0, 1, -7.0);
         let f = Mat::identity(2);
         let factors = [f.clone(), f.clone(), f.clone()];
-        let cs = tucker_concepts(&core, &factors, 1, 2, &names(2, "s"), &names(2, "o"), &names(2, "p"));
+        let cs = tucker_concepts(
+            &core,
+            &factors,
+            1,
+            2,
+            &names(2, "s"),
+            &names(2, "o"),
+            &names(2, "p"),
+        );
         assert_eq!(cs[0].groups, (1, 0, 1)); // |-7| largest
         assert_eq!(cs[0].core_value, -7.0);
         assert_eq!(cs[1].groups, (0, 1, 0));

@@ -170,7 +170,10 @@ impl KnowledgeBase {
             let s0 = (c * cfg.concept_entities) as u64 % cfg.n_subjects.max(1);
             let o0 = (c * cfg.concept_entities) as u64 % cfg.n_objects.max(1);
             let p0 = (c * cfg.concept_predicates) as u64
-                % cfg.n_predicates.saturating_sub(n_literal_preds as u64).max(1);
+                % cfg
+                    .n_predicates
+                    .saturating_sub(n_literal_preds as u64)
+                    .max(1);
             let subj_block: Vec<u64> = (0..cfg.concept_entities as u64)
                 .map(|d| (s0 + d) % cfg.n_subjects)
                 .collect();
@@ -178,7 +181,13 @@ impl KnowledgeBase {
                 .map(|d| (o0 + d) % cfg.n_objects)
                 .collect();
             let pred_block: Vec<u64> = (0..cfg.concept_predicates as u64)
-                .map(|d| (p0 + d) % cfg.n_predicates.saturating_sub(n_literal_preds as u64).max(1))
+                .map(|d| {
+                    (p0 + d)
+                        % cfg
+                            .n_predicates
+                            .saturating_sub(n_literal_preds as u64)
+                            .max(1)
+                })
                 .collect();
             for _ in 0..cfg.triples_per_concept {
                 let s = subj_block[rng.gen_range(0..subj_block.len())];
@@ -195,7 +204,10 @@ impl KnowledgeBase {
         }
 
         // Power-law-ish noise: popularity ∝ 1/(1+id).
-        let non_literal_preds = cfg.n_predicates.saturating_sub(n_literal_preds as u64).max(1);
+        let non_literal_preds = cfg
+            .n_predicates
+            .saturating_sub(n_literal_preds as u64)
+            .max(1);
         for _ in 0..cfg.noise_triples {
             let s = powerlaw_index(&mut rng, cfg.n_subjects);
             let o = powerlaw_index(&mut rng, cfg.n_objects);
@@ -211,7 +223,14 @@ impl KnowledgeBase {
             triples.push((s, o, p));
         }
 
-        KnowledgeBase { subjects, objects, predicates, triples, concepts, literal_predicates }
+        KnowledgeBase {
+            subjects,
+            objects,
+            predicates,
+            triples,
+            concepts,
+            literal_predicates,
+        }
     }
 
     /// Preset imitating the Freebase-music slice at a configurable scale.

@@ -58,7 +58,10 @@ pub struct PreprocessReport {
 /// Run the preprocessing pipeline over a knowledge base, producing the
 /// weighted tensor the decompositions consume plus a report.
 pub fn preprocess(kb: &KnowledgeBase, cfg: &PreprocessConfig) -> (CooTensor3, PreprocessReport) {
-    let mut report = PreprocessReport { input_triples: kb.triples.len(), ..Default::default() };
+    let mut report = PreprocessReport {
+        input_triples: kb.triples.len(),
+        ..Default::default()
+    };
     let literal: HashSet<u64> = kb.literal_predicates.iter().copied().collect();
 
     // Pass 1: literal filter.
@@ -155,7 +158,10 @@ mod tests {
     #[test]
     fn literal_removal_can_be_disabled() {
         let kb = kb();
-        let cfg = PreprocessConfig { remove_literals: false, ..Default::default() };
+        let cfg = PreprocessConfig {
+            remove_literals: false,
+            ..Default::default()
+        };
         let (_, report) = preprocess(&kb, &cfg);
         assert_eq!(report.literals_removed, 0);
     }
@@ -168,11 +174,14 @@ mod tests {
         let mut solo = kb.clone();
         solo.triples = vec![(0, 0, 1), (1, 1, 2), (2, 2, 2), (3, 3, 2)];
         solo.literal_predicates = vec![];
-        let (t, report) = preprocess(&solo, &PreprocessConfig {
-            max_predicate_share: 1.0,
-            reweight: false,
-            ..Default::default()
-        });
+        let (t, report) = preprocess(
+            &solo,
+            &PreprocessConfig {
+                max_predicate_share: 1.0,
+                reweight: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.scarce_removed, 1); // predicate 1 appeared once
         assert_eq!(t.nnz(), 3);
     }
@@ -186,12 +195,15 @@ mod tests {
             .chain((0..10u64).map(|i| (i % 10, (i + 1) % 10, 4)))
             .collect();
         solo.literal_predicates = vec![];
-        let (_, report) = preprocess(&solo, &PreprocessConfig {
-            min_predicate_count: 0,
-            max_predicate_share: 0.5,
-            reweight: false,
-            ..Default::default()
-        });
+        let (_, report) = preprocess(
+            &solo,
+            &PreprocessConfig {
+                min_predicate_count: 0,
+                max_predicate_share: 0.5,
+                reweight: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.frequent_removed, 90);
     }
 
@@ -208,12 +220,15 @@ mod tests {
             (1, 2, 2),
         ];
         solo.literal_predicates = vec![];
-        let (t, _) = preprocess(&solo, &PreprocessConfig {
-            min_predicate_count: 0,
-            max_predicate_share: 1.0,
-            reweight: true,
-            ..Default::default()
-        });
+        let (t, _) = preprocess(
+            &solo,
+            &PreprocessConfig {
+                min_predicate_count: 0,
+                max_predicate_share: 1.0,
+                reweight: true,
+                ..Default::default()
+            },
+        );
         // Most frequent predicate: weight 1 + ln(4/4) = 1.
         assert!((t.get(0, 0, 1) - 1.0).abs() < 1e-12);
         // Rarer predicate: 1 + ln(4/2).
@@ -225,12 +240,15 @@ mod tests {
         let mut solo = kb();
         solo.triples = vec![(0, 0, 1), (0, 0, 1), (0, 0, 1), (1, 1, 1)];
         solo.literal_predicates = vec![];
-        let (t, report) = preprocess(&solo, &PreprocessConfig {
-            min_predicate_count: 0,
-            max_predicate_share: 1.0,
-            reweight: false,
-            ..Default::default()
-        });
+        let (t, report) = preprocess(
+            &solo,
+            &PreprocessConfig {
+                min_predicate_count: 0,
+                max_predicate_share: 1.0,
+                reweight: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.output_nnz, 2);
         assert_eq!(t.get(0, 0, 1), 1.0);
     }

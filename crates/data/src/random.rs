@@ -26,7 +26,12 @@ impl RandomTensorConfig {
     /// Cubic tensor `I×I×I` with the given nonzero count — the paper's
     /// sweep shape.
     pub fn cubic(i: u64, nnz: usize, seed: u64) -> Self {
-        RandomTensorConfig { dims: [i, i, i], nnz, value_range: (0.0, 1.0), seed }
+        RandomTensorConfig {
+            dims: [i, i, i],
+            nnz,
+            value_range: (0.0, 1.0),
+            seed,
+        }
     }
 
     /// Cubic tensor of dimensionality `i` with the given density

@@ -47,7 +47,10 @@ impl TemporalKb {
         let windows: Vec<TemporalConcept> = (0..base.concepts.len())
             .map(|c| {
                 let start = rng.gen_range(0..n_time.saturating_sub(span).max(1));
-                TemporalConcept { concept: c, window: (start, (start + span).min(n_time)) }
+                TemporalConcept {
+                    concept: c,
+                    window: (start, (start + span).min(n_time)),
+                }
             })
             .collect();
 
@@ -71,7 +74,12 @@ impl TemporalKb {
             })
             .collect();
 
-        TemporalKb { base, n_time, quads, windows }
+        TemporalKb {
+            base,
+            n_time,
+            quads,
+            windows,
+        }
     }
 
     /// The 4-way binary tensor (duplicate quads collapsed).
@@ -83,7 +91,8 @@ impl TemporalKb {
             self.n_time,
         ]);
         for &(s, o, p, time) in &self.quads {
-            t.push(&[s, o, p, time], 1.0).expect("generated ids in range");
+            t.push(&[s, o, p, time], 1.0)
+                .expect("generated ids in range");
         }
         t.coalesce()
     }
@@ -164,19 +173,16 @@ mod tests {
         // column's time profile concentrates inside a planted window.
         let tkb = TemporalKb::generate(&cfg(), 12, 5);
         let x = tkb.to_tensor();
-        let cluster = haten2_mapreduce::Cluster::new(
-            haten2_mapreduce::ClusterConfig::with_machines(4),
-        );
+        let cluster =
+            haten2_mapreduce::Cluster::new(haten2_mapreduce::ClusterConfig::with_machines(4));
         let res = haten2_core::nway::nway_parafac_als(&cluster, &x, 3, 10, 1e-6, 21).unwrap();
         let time_factor = &res.factors[3];
         let mut best_conc = 0.0f64;
         for r in 0..3 {
             for w in &tkb.windows {
                 let (lo, hi) = w.window;
-                let inside: f64 =
-                    (lo..hi).map(|t| time_factor.get(t as usize, r).abs()).sum();
-                let total: f64 =
-                    (0..12).map(|t| time_factor.get(t as usize, r).abs()).sum();
+                let inside: f64 = (lo..hi).map(|t| time_factor.get(t as usize, r).abs()).sum();
+                let total: f64 = (0..12).map(|t| time_factor.get(t as usize, r).abs()).sum();
                 if total > 0.0 {
                     best_conc = best_conc.max(inside / total);
                 }

@@ -92,7 +92,11 @@ pub fn parse_triples<R: Read>(
             trimmed = stripped.trim_end();
         }
         let fields: Vec<&str> = if trimmed.contains('\t') {
-            trimmed.split('\t').map(str::trim).filter(|f| !f.is_empty()).collect()
+            trimmed
+                .split('\t')
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .collect()
         } else {
             trimmed.split_whitespace().collect()
         };
@@ -126,12 +130,12 @@ pub fn parse_triples<R: Read>(
             // wrongly catch `record-label.artist`, so compare the final
             // path segment only.
             let lower = name.to_ascii_lowercase();
-            let last = lower
-                .rsplit(['.', '/', ':', '#'])
-                .next()
-                .unwrap_or("");
+            let last = lower.rsplit(['.', '/', ':', '#']).next().unwrap_or("");
             let by_name = matches!(last, "name" | "alias" | "label");
-            let by_objects = quoted_object_preds.get(&(*pid as u64)).copied().unwrap_or(false)
+            let by_objects = quoted_object_preds
+                .get(&(*pid as u64))
+                .copied()
+                .unwrap_or(false)
                 && triples.iter().any(|&(_, _, p)| p == *pid as u64);
             by_name || by_objects
         })
@@ -242,7 +246,11 @@ John\tns:music.record-label.artist\tApple_Records
         assert_eq!(tensor.nnz(), 4);
         assert_eq!(
             tensor.dims(),
-            [kb.subjects.len() as u64, kb.objects.len() as u64, kb.predicates.len() as u64]
+            [
+                kb.subjects.len() as u64,
+                kb.objects.len() as u64,
+                kb.predicates.len() as u64
+            ]
         );
     }
 

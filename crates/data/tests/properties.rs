@@ -17,23 +17,25 @@ fn kb_strategy() -> impl Strategy<Value = KnowledgeBase> {
         0usize..60,
         any::<u64>(),
     )
-        .prop_map(
-            |(ns, no, np, nc, ce, tpc, noise, lit, seed)| {
-                KnowledgeBase::generate(&KbConfig {
-                    n_subjects: ns,
-                    n_objects: no,
-                    n_predicates: np,
-                    n_concepts: nc,
-                    concept_entities: ce.min(ns as usize).min(no as usize),
-                    concept_predicates: 2,
-                    triples_per_concept: tpc,
-                    noise_triples: noise,
-                    literal_triples: lit,
-                    seed,
-                    theme: if seed % 2 == 0 { Theme::Music } else { Theme::Nell },
-                })
-            },
-        )
+        .prop_map(|(ns, no, np, nc, ce, tpc, noise, lit, seed)| {
+            KnowledgeBase::generate(&KbConfig {
+                n_subjects: ns,
+                n_objects: no,
+                n_predicates: np,
+                n_concepts: nc,
+                concept_entities: ce.min(ns as usize).min(no as usize),
+                concept_predicates: 2,
+                triples_per_concept: tpc,
+                noise_triples: noise,
+                literal_triples: lit,
+                seed,
+                theme: if seed % 2 == 0 {
+                    Theme::Music
+                } else {
+                    Theme::Nell
+                },
+            })
+        })
 }
 
 proptest! {

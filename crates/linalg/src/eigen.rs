@@ -36,7 +36,10 @@ pub fn sym_eigen(a: &Mat) -> Result<SymEigen> {
         )));
     }
     if n == 0 {
-        return Ok(SymEigen { values: vec![], vectors: Mat::zeros(0, 0) });
+        return Ok(SymEigen {
+            values: vec![],
+            vectors: Mat::zeros(0, 0),
+        });
     }
 
     let mut m = a.clone();
@@ -101,7 +104,10 @@ pub fn sym_eigen(a: &Mat) -> Result<SymEigen> {
             }
         }
     }
-    Err(LinalgError::NonConvergence { routine: "sym_eigen", iterations: 64 })
+    Err(LinalgError::NonConvergence {
+        routine: "sym_eigen",
+        iterations: 64,
+    })
 }
 
 fn sorted(m: Mat, v: Mat, n: usize) -> SymEigen {

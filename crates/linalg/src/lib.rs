@@ -62,8 +62,14 @@ impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
-            LinalgError::NonConvergence { routine, iterations } => {
-                write!(f, "{routine} failed to converge after {iterations} iterations")
+            LinalgError::NonConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} failed to converge after {iterations} iterations"
+                )
             }
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),

@@ -18,7 +18,11 @@ pub struct Mat {
 impl Mat {
     /// Create a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -55,7 +59,11 @@ impl Mat {
             }
             data.extend_from_slice(row);
         }
-        Ok(Mat { rows: r, cols: c, data })
+        Ok(Mat {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Matrix with i.i.d. entries drawn uniformly from `(0, 1)`.
@@ -220,8 +228,17 @@ impl Mat {
                 other.shape()
             )));
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Ok(Mat { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Elementwise sum.
@@ -233,8 +250,17 @@ impl Mat {
                 other.shape()
             )));
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Mat { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Elementwise difference `self - other`.
@@ -246,8 +272,17 @@ impl Mat {
                 other.shape()
             )));
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Ok(Mat { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Multiply every element by `s` in place.
@@ -405,7 +440,10 @@ mod tests {
     fn matmul_dimension_mismatch() {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch(_))));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
     }
 
     #[test]

@@ -38,9 +38,8 @@ pub fn read_mat<R: Read>(r: R) -> Result<Mat> {
         }
         let row: std::result::Result<Vec<f64>, _> =
             trimmed.split_whitespace().map(str::parse).collect();
-        let row = row.map_err(|e| {
-            LinalgError::InvalidArgument(format!("line {}: {e}", lineno + 1))
-        })?;
+        let row =
+            row.map_err(|e| LinalgError::InvalidArgument(format!("line {}: {e}", lineno + 1)))?;
         rows.push(row);
     }
     Mat::from_rows(&rows)

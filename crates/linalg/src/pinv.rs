@@ -168,7 +168,10 @@ mod tests {
     #[test]
     fn solve_spd_rejects_indefinite() {
         let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
-        assert!(matches!(solve_spd(&a, &[1.0, 1.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            solve_spd(&a, &[1.0, 1.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

@@ -113,10 +113,7 @@ mod tests {
     fn assert_orthonormal(q: &Mat, tol: f64) {
         let g = q.gram();
         let id = Mat::identity(q.cols());
-        assert!(
-            g.approx_eq(&id, tol),
-            "QᵀQ not identity:\n{g}"
-        );
+        assert!(g.approx_eq(&id, tol), "QᵀQ not identity:\n{g}");
     }
 
     #[test]
@@ -142,12 +139,7 @@ mod tests {
     #[test]
     fn qr_rank_deficient_still_orthonormal_r_reconstructs() {
         // Second column is 2x the first.
-        let a = Mat::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let Qr { q, r } = householder_qr(&a).unwrap();
         let qr = q.matmul(&r).unwrap();
         assert!(qr.approx_eq(&a, 1e-10));

@@ -59,7 +59,11 @@ pub struct SubspaceOptions {
 
 impl Default for SubspaceOptions {
     fn default() -> Self {
-        SubspaceOptions { max_iter: 200, tol: 1e-10, seed: 0x5eed }
+        SubspaceOptions {
+            max_iter: 200,
+            tol: 1e-10,
+            seed: 0x5eed,
+        }
     }
 }
 

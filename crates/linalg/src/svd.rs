@@ -27,7 +27,11 @@ pub fn svd_small(a: &Mat) -> Result<Svd> {
     let (m, n) = a.shape();
     let k = m.min(n);
     if k == 0 {
-        return Ok(Svd { u: Mat::zeros(m, 0), s: vec![], v: Mat::zeros(n, 0) });
+        return Ok(Svd {
+            u: Mat::zeros(m, 0),
+            s: vec![],
+            v: Mat::zeros(n, 0),
+        });
     }
     if n <= m {
         // Eigendecompose AᵀA (n×n).
@@ -35,7 +39,7 @@ pub fn svd_small(a: &Mat) -> Result<Svd> {
         let e = sym_eigen(&g)?;
         let s: Vec<f64> = e.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let v = e.vectors; // n×n
-        // U = A V Σ⁻¹ for nonzero σ; zero columns for null directions.
+                           // U = A V Σ⁻¹ for nonzero σ; zero columns for null directions.
         let av = a.matmul(&v)?;
         let mut u = Mat::zeros(m, n);
         for (j, &sj) in s.iter().enumerate() {
@@ -50,7 +54,11 @@ pub fn svd_small(a: &Mat) -> Result<Svd> {
     } else {
         // m < n: decompose the transpose and swap U and V.
         let t = svd_small(&a.transpose())?;
-        Ok(Svd { u: t.v, s: t.s, v: t.u })
+        Ok(Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        })
     }
 }
 

@@ -2,8 +2,8 @@
 //! repeated eigenvalues, near-singularity, and boundary subspace sizes.
 
 use haten2_linalg::{
-    householder_qr, leading_left_singular_vectors, pinv, solve_spd, svd_small, sym_eigen,
-    thin_qr, Mat, SubspaceOptions,
+    householder_qr, leading_left_singular_vectors, pinv, solve_spd, svd_small, sym_eigen, thin_qr,
+    Mat, SubspaceOptions,
 };
 
 #[test]

@@ -1,7 +1,8 @@
 //! Cluster configuration, cost model, and the [`Cluster`] handle.
 
 use crate::metrics::{JobMetrics, RunMetrics};
-use parking_lot::Mutex;
+use crate::pool::WorkerPool;
+use std::sync::{Mutex, OnceLock};
 
 /// Static description of the simulated cluster.
 ///
@@ -41,7 +42,9 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(16);
         ClusterConfig {
             machines: 40,
             reducers: None,
@@ -60,7 +63,10 @@ impl Default for ClusterConfig {
 impl ClusterConfig {
     /// Config with `machines` machines and everything else default.
     pub fn with_machines(machines: usize) -> Self {
-        ClusterConfig { machines, ..Default::default() }
+        ClusterConfig {
+            machines,
+            ..Default::default()
+        }
     }
 
     /// Number of reduce partitions for a job.
@@ -104,12 +110,17 @@ impl CostModel {
 pub struct Cluster {
     config: ClusterConfig,
     metrics: Mutex<RunMetrics>,
+    pool: OnceLock<WorkerPool>,
 }
 
 impl Cluster {
     /// Create a cluster with the given configuration.
     pub fn new(config: ClusterConfig) -> Self {
-        Cluster { config, metrics: Mutex::new(RunMetrics::default()) }
+        Cluster {
+            config,
+            metrics: Mutex::new(RunMetrics::default()),
+            pool: OnceLock::new(),
+        }
     }
 
     /// Cluster with default (paper-testbed-like) configuration.
@@ -122,31 +133,48 @@ impl Cluster {
         &self.config
     }
 
+    /// The persistent worker pool backing this cluster's jobs, created on
+    /// first use. The pool holds `threads - 1` threads because the thread
+    /// submitting a job always participates as an executor; with
+    /// `threads <= 1` the pool is empty and jobs run inline.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.config.threads.saturating_sub(1)))
+    }
+
     /// Record a finished job's metrics.
     pub(crate) fn record(&self, job: JobMetrics) {
-        self.metrics.lock().push(job);
+        self.metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .push(job);
     }
 
     /// Snapshot of all metrics so far.
     pub fn metrics(&self) -> RunMetrics {
-        self.metrics.lock().clone()
+        self.metrics.lock().expect("metrics lock poisoned").clone()
     }
 
     /// Clear accumulated metrics (e.g. between experiment repetitions).
     pub fn reset_metrics(&self) {
-        *self.metrics.lock() = RunMetrics::default();
+        *self.metrics.lock().expect("metrics lock poisoned") = RunMetrics::default();
     }
 
     /// Metrics accumulated since `mark` jobs had run; used to attribute jobs
     /// to a phase of an algorithm.
     pub fn metrics_since(&self, mark: usize) -> RunMetrics {
-        let all = self.metrics.lock();
-        RunMetrics { jobs: all.jobs[mark.min(all.jobs.len())..].to_vec() }
+        let all = self.metrics.lock().expect("metrics lock poisoned");
+        RunMetrics {
+            jobs: all.jobs[mark.min(all.jobs.len())..].to_vec(),
+        }
     }
 
     /// Number of jobs run so far (for use with [`Cluster::metrics_since`]).
     pub fn jobs_run(&self) -> usize {
-        self.metrics.lock().total_jobs()
+        self.metrics
+            .lock()
+            .expect("metrics lock poisoned")
+            .total_jobs()
     }
 }
 
@@ -189,8 +217,14 @@ mod tests {
     fn metrics_accumulate_and_reset() {
         let c = Cluster::with_defaults();
         assert_eq!(c.jobs_run(), 0);
-        c.record(JobMetrics { name: "x".into(), ..Default::default() });
-        c.record(JobMetrics { name: "y".into(), ..Default::default() });
+        c.record(JobMetrics {
+            name: "x".into(),
+            ..Default::default()
+        });
+        c.record(JobMetrics {
+            name: "y".into(),
+            ..Default::default()
+        });
         assert_eq!(c.jobs_run(), 2);
         let since = c.metrics_since(1);
         assert_eq!(since.total_jobs(), 1);

@@ -7,11 +7,11 @@
 //! writes so that saving is observable.
 
 use crate::size::EstimateSize;
-use parking_lot::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Per-dataset bookkeeping.
 struct Stored {
@@ -53,9 +53,13 @@ impl Dfs {
     {
         let bytes: usize = records.iter().map(EstimateSize::est_bytes).sum();
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
-        self.datasets.write().insert(
+        self.datasets.write().expect("dfs lock poisoned").insert(
             name.to_string(),
-            Stored { data: Arc::new(records), bytes, reads: AtomicUsize::new(0) },
+            Stored {
+                data: Arc::new(records),
+                bytes,
+                reads: AtomicUsize::new(0),
+            },
         );
         bytes
     }
@@ -67,7 +71,7 @@ impl Dfs {
     where
         T: Send + Sync + 'static,
     {
-        let guard = self.datasets.read();
+        let guard = self.datasets.read().expect("dfs lock poisoned");
         let stored = guard.get(name)?;
         let typed = Arc::clone(&stored.data).downcast::<Vec<T>>().ok()?;
         stored.reads.fetch_add(1, Ordering::Relaxed);
@@ -77,27 +81,47 @@ impl Dfs {
 
     /// Remove a dataset; returns true when it existed.
     pub fn delete(&self, name: &str) -> bool {
-        self.datasets.write().remove(name).is_some()
+        self.datasets
+            .write()
+            .expect("dfs lock poisoned")
+            .remove(name)
+            .is_some()
     }
 
     /// Whether a dataset exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.datasets.read().contains_key(name)
+        self.datasets
+            .read()
+            .expect("dfs lock poisoned")
+            .contains_key(name)
     }
 
     /// Names of all stored datasets (unordered).
     pub fn list(&self) -> Vec<String> {
-        self.datasets.read().keys().cloned().collect()
+        self.datasets
+            .read()
+            .expect("dfs lock poisoned")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Estimated stored size of a dataset in bytes.
     pub fn size_of(&self, name: &str) -> Option<usize> {
-        self.datasets.read().get(name).map(|s| s.bytes)
+        self.datasets
+            .read()
+            .expect("dfs lock poisoned")
+            .get(name)
+            .map(|s| s.bytes)
     }
 
     /// Number of times a dataset has been read.
     pub fn reads_of(&self, name: &str) -> Option<usize> {
-        self.datasets.read().get(name).map(|s| s.reads.load(Ordering::Relaxed))
+        self.datasets
+            .read()
+            .expect("dfs lock poisoned")
+            .get(name)
+            .map(|s| s.reads.load(Ordering::Relaxed))
     }
 
     /// Total bytes written since creation.

@@ -2,17 +2,29 @@
 //!
 //! [`run_job`] executes one job with real thread parallelism and full
 //! dataflow semantics: map tasks over input splits, an optional map-side
-//! combiner, hash partitioning, a sort-based reduce-side group-by, and
-//! reduce tasks per partition. Every mapper emission is counted and sized —
-//! the "intermediate data" of the paper's cost analysis.
+//! combiner, hash partitioning, a shuffle of pre-sorted runs, a reduce-side
+//! k-way merge group-by, and reduce tasks per partition. Every mapper
+//! emission is counted and sized — the "intermediate data" of the paper's
+//! cost analysis.
+//!
+//! Execution layout: tasks run on the [`crate::pool::WorkerPool`] owned by
+//! the [`Cluster`] (spawned once, reused by every job). Each map task
+//! writes its output straight into per-partition buckets, sorts each
+//! bucket by key, and hands the buckets to the shuffle as whole
+//! [`SortedRun`]s — the shuffle moves `Vec`s, never records, and its byte
+//! accounting is aggregated per bucket rather than per record. Reducers
+//! merge their partition's sorted runs instead of re-sorting from scratch.
+//! Output is returned in partition order with ties resolved by map-task
+//! index, so results and metrics are bit-identical across runs and thread
+//! counts.
 
 use crate::cluster::{Cluster, CostModel};
 use crate::metrics::JobMetrics;
-use crate::size::EstimateSize;
+use crate::size::{slice_est_bytes, EstimateSize};
 use crate::MrError;
-use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Per-record framing overhead (key length + value length prefixes), bytes.
@@ -29,12 +41,20 @@ pub struct JobSpec<'a, KM, VM> {
     /// Optional map-side combiner: receives one key's values from a single
     /// map task and returns the (smaller) combined value list.
     pub combiner: Option<Combiner<'a, KM, VM>>,
+    /// Expected mapper emissions per input record, when known. Purely a
+    /// performance hint: map tasks pre-size their partition buckets from
+    /// it. Has no effect on results or metrics.
+    pub map_emit_hint: Option<usize>,
 }
 
 impl<'a, KM, VM> JobSpec<'a, KM, VM> {
     /// A job with no combiner.
     pub fn named(name: impl Into<String>) -> Self {
-        JobSpec { name: name.into(), combiner: None }
+        JobSpec {
+            name: name.into(),
+            combiner: None,
+            map_emit_hint: None,
+        }
     }
 
     /// Attach a combiner.
@@ -42,10 +62,25 @@ impl<'a, KM, VM> JobSpec<'a, KM, VM> {
         self.combiner = Some(combiner);
         self
     }
+
+    /// Declare the expected number of mapper emissions per input record
+    /// (e.g. 2 for a mapper that always emits twice), letting map tasks
+    /// allocate their output buckets once.
+    pub fn with_map_emit_hint(mut self, per_record: usize) -> Self {
+        self.map_emit_hint = Some(per_record);
+        self
+    }
+}
+
+/// One map task's output for one partition: records sorted by key, plus
+/// their aggregate wire size. The shuffle moves these wholesale.
+struct SortedRun<KM, VM> {
+    records: Vec<(KM, VM)>,
+    bytes: usize,
 }
 
 struct MapTaskResult<KM, VM> {
-    buckets: Vec<Vec<(KM, VM)>>,
+    runs: Vec<SortedRun<KM, VM>>,
     input_records: usize,
     input_bytes: usize,
     output_records: usize,
@@ -53,10 +88,52 @@ struct MapTaskResult<KM, VM> {
     retried: bool,
 }
 
-fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+/// FNV-1a. The partitioner only needs a stable, well-mixed hash, not a
+/// keyed SipHash — and it runs once per emitted record, which made
+/// `DefaultHasher` construction and finalization a measurable per-record
+/// cost in the seed engine.
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
     key.hash(&mut h);
     (h.finish() as usize) % partitions
+}
+
+/// Sort a map task's bucket by key and apply the combiner to each key
+/// group. Input order within equal keys is preserved into the combiner
+/// (stable sort); output stays key-sorted.
+pub(crate) fn combine_bucket<KM, VM>(bucket: &mut Vec<(KM, VM)>, combiner: Combiner<'_, KM, VM>)
+where
+    KM: Clone + Ord,
+{
+    let drained = std::mem::take(bucket);
+    let mut it = drained.into_iter().peekable();
+    while let Some((key, first)) = it.next() {
+        let mut vals = vec![first];
+        while it.peek().is_some_and(|(k, _)| *k == key) {
+            vals.push(it.next().expect("peeked").1);
+        }
+        for v in combiner(&key, vals) {
+            bucket.push((key.clone(), v));
+        }
+    }
 }
 
 /// Execute one MapReduce job on `cluster`.
@@ -66,9 +143,11 @@ fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
 /// * `reducer` — called per intermediate key with all its values (combined
 ///   across map tasks) and an `emit(key, value)` sink.
 ///
-/// Returns the reduce output. Metrics (including simulated cluster time) are
-/// recorded on the `cluster` and also derivable from the returned metrics
-/// snapshot.
+/// Returns the reduce output, in partition order with each key group's
+/// values ordered by (map task, emission order) — deterministic across
+/// runs and across `threads` settings. Metrics (including simulated
+/// cluster time) are recorded on the `cluster` and also derivable from the
+/// returned metrics snapshot.
 ///
 /// ```
 /// use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec};
@@ -124,19 +203,25 @@ where
     let splits: Vec<&[(KI, VI)]> = input.chunks(split_len).collect();
     let actual_tasks = splits.len();
 
-    let task_counter = AtomicUsize::new(0);
-    let map_results: Mutex<Vec<MapTaskResult<KM, VM>>> = Mutex::new(Vec::new());
-
     let run_map_task = |task_id: usize| -> MapTaskResult<KM, VM> {
         let split = splits[task_id];
-        let mut buckets: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
-        let mut output_records = 0usize;
-        let mut output_bytes = 0usize;
+        let bucket_capacity = spec.map_emit_hint.map_or(0, |per_record| {
+            (split.len() * per_record).div_ceil(num_reducers)
+        });
+        // Pre-sizing only pays off past Vec's first growth steps; for tiny
+        // expected buckets an eager allocation per (task × partition) costs
+        // more than the reallocations it avoids.
+        let bucket_capacity = if bucket_capacity >= 8 {
+            bucket_capacity
+        } else {
+            0
+        };
+        let mut buckets: Vec<Vec<(KM, VM)>> = (0..num_reducers)
+            .map(|_| Vec::with_capacity(bucket_capacity))
+            .collect();
         let mut input_bytes = 0usize;
         {
             let mut emit = |k: KM, v: VM| {
-                output_records += 1;
-                output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
                 buckets[partition_of(&k, num_reducers)].push((k, v));
             };
             for (k, v) in split {
@@ -144,25 +229,32 @@ where
                 mapper(k, v, &mut emit);
             }
         }
-        // Map-side combine: group this task's buckets by key and combine.
-        if let Some(combiner) = spec.combiner {
-            for bucket in &mut buckets {
-                bucket.sort_by(|a, b| a.0.cmp(&b.0));
-                let drained = std::mem::take(bucket);
-                let mut it = drained.into_iter().peekable();
-                while let Some((key, first)) = it.next() {
-                    let mut vals = vec![first];
-                    while it.peek().is_some_and(|(k, _)| *k == key) {
-                        vals.push(it.next().expect("peeked").1);
-                    }
-                    for v in combiner(&key, vals) {
-                        bucket.push((key.clone(), v));
-                    }
+        let mut output_records = 0usize;
+        let mut output_bytes = 0usize;
+        let mut runs = Vec::with_capacity(num_reducers);
+        for mut bucket in buckets {
+            // Pre-combine accounting: the paper's "intermediate data".
+            // Batch-sized: O(1) for fixed-size record types.
+            let pre_bytes = slice_est_bytes(&bucket) + bucket.len() * FRAMING_BYTES;
+            output_records += bucket.len();
+            output_bytes += pre_bytes;
+            // Map-side sort, so reducers merge instead of re-sorting.
+            // Stability preserves emission order within equal keys.
+            bucket.sort_by(|a, b| a.0.cmp(&b.0));
+            let bytes = match spec.combiner {
+                Some(combiner) => {
+                    combine_bucket(&mut bucket, combiner);
+                    slice_est_bytes(&bucket) + bucket.len() * FRAMING_BYTES
                 }
-            }
+                None => pre_bytes,
+            };
+            runs.push(SortedRun {
+                records: bucket,
+                bytes,
+            });
         }
         MapTaskResult {
-            buckets,
+            runs,
             input_records: split.len(),
             input_bytes,
             output_records,
@@ -171,48 +263,60 @@ where
         }
     };
 
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(actual_tasks) {
-            s.spawn(|_| loop {
-                let t = task_counter.fetch_add(1, Ordering::Relaxed);
-                if t >= actual_tasks {
-                    break;
+    // Results land in per-task slots (not a shared push list), so metrics
+    // accumulate in task order and the shuffle sees runs in map-task order
+    // regardless of which worker finished first.
+    let map_slots: Vec<Mutex<Option<MapTaskResult<KM, VM>>>> =
+        (0..actual_tasks).map(|_| Mutex::new(None)).collect();
+    let task_counter = AtomicUsize::new(0);
+
+    cluster
+        .pool()
+        .broadcast(threads.min(actual_tasks), &|_executor| loop {
+            let t = task_counter.fetch_add(1, Ordering::Relaxed);
+            if t >= actual_tasks {
+                break;
+            }
+            // Deterministic failure injection: the chosen tasks "fail" on their
+            // first attempt (output discarded) and are retried.
+            let mut retried = false;
+            if let Some(n) = cfg.fail_every_nth_task {
+                if n > 0 && (t + 1).is_multiple_of(n) {
+                    let wasted = run_map_task(t);
+                    drop(wasted);
+                    retried = true;
                 }
-                // Deterministic failure injection: the chosen tasks "fail"
-                // on their first attempt (output discarded) and are retried.
-                let mut retried = false;
-                if let Some(n) = cfg.fail_every_nth_task {
-                    if n > 0 && (t + 1).is_multiple_of(n) {
-                        let wasted = run_map_task(t);
-                        drop(wasted);
-                        retried = true;
-                    }
-                }
-                let mut result = run_map_task(t);
-                result.retried = retried;
-                map_results.lock().push(result);
-            });
-        }
-    })
-    .expect("map worker panicked");
+            }
+            let mut result = run_map_task(t);
+            result.retried = retried;
+            *map_slots[t].lock().expect("map slot poisoned") = Some(result);
+        });
 
     // ---- Shuffle ---------------------------------------------------------
-    let mut metrics = JobMetrics { name: spec.name.clone(), ..Default::default() };
-    let mut partitions: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
-    {
-        let results = map_results.into_inner();
-        for r in results {
-            metrics.map_input_records += r.input_records;
-            metrics.map_input_bytes += r.input_bytes;
-            metrics.map_output_records += r.output_records;
-            metrics.map_output_bytes += r.output_bytes;
-            metrics.task_retries += r.retried as usize;
-            for (p, bucket) in r.buckets.into_iter().enumerate() {
-                for (k, v) in bucket {
-                    metrics.shuffle_records += 1;
-                    metrics.shuffle_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
-                    partitions[p].push((k, v));
-                }
+    // Zero-copy: each map task's per-partition runs move wholesale to
+    // their reducer; accounting uses the runs' precomputed aggregates.
+    let mut metrics = JobMetrics {
+        name: spec.name.clone(),
+        ..Default::default()
+    };
+    let mut partition_runs: Vec<Vec<SortedRun<KM, VM>>> = (0..num_reducers)
+        .map(|_| Vec::with_capacity(actual_tasks))
+        .collect();
+    for slot in map_slots {
+        let r = slot
+            .into_inner()
+            .expect("map slot poisoned")
+            .expect("every map task ran to completion");
+        metrics.map_input_records += r.input_records;
+        metrics.map_input_bytes += r.input_bytes;
+        metrics.map_output_records += r.output_records;
+        metrics.map_output_bytes += r.output_bytes;
+        metrics.task_retries += r.retried as usize;
+        for (p, run) in r.runs.into_iter().enumerate() {
+            metrics.shuffle_records += run.records.len();
+            metrics.shuffle_bytes += run.bytes;
+            if !run.records.is_empty() {
+                partition_runs[p].push(run);
             }
         }
     }
@@ -236,85 +340,148 @@ where
         max_group_bytes: usize,
     }
 
+    // Group one partition's sorted runs by k-way merge. Equal keys drain
+    // in run (= map task) order, reproducing the record order a stable
+    // full sort of task-ordered input would give. `Err(Some(e))` is this
+    // partition's own failure; `Err(None)` means it aborted because
+    // another partition already failed.
+    let reduce_partition = |runs: Vec<SortedRun<KM, VM>>,
+                            failed: &AtomicBool|
+     -> Result<ReduceTaskResult<KO, VO>, Option<MrError>> {
+        let mut iters: Vec<std::vec::IntoIter<(KM, VM)>> =
+            runs.into_iter().map(|r| r.records.into_iter()).collect();
+        let mut out: Vec<(KO, VO)> = Vec::new();
+        let mut groups = 0usize;
+        let mut output_records = 0usize;
+        let mut output_bytes = 0usize;
+        let mut max_group_bytes = 0usize;
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                return Err(None);
+            }
+            // Smallest key at the head of any run starts the next group.
+            let mut min_run: Option<usize> = None;
+            for (i, it) in iters.iter().enumerate() {
+                if let Some((k, _)) = it.as_slice().first() {
+                    let smaller = match min_run {
+                        None => true,
+                        Some(m) => *k < iters[m].as_slice()[0].0,
+                    };
+                    if smaller {
+                        min_run = Some(i);
+                    }
+                }
+            }
+            let Some(min_run) = min_run else { break };
+            let key = iters[min_run].as_slice()[0].0.clone();
+
+            // Size the group before materializing it: count each run's
+            // matching prefix, O(1)-summing value bytes for fixed-size
+            // value types.
+            let mut n_vals = 0usize;
+            let mut val_bytes = 0usize;
+            for it in &iters {
+                let head = it.as_slice();
+                let cnt = head.iter().take_while(|(k, _)| *k == key).count();
+                n_vals += cnt;
+                val_bytes += match VM::FIXED_BYTES {
+                    Some(b) => b * cnt,
+                    None => head[..cnt].iter().map(|(_, v)| v.est_bytes()).sum(),
+                };
+            }
+            let group_bytes = key.est_bytes() + val_bytes + n_vals * FRAMING_BYTES;
+            if let Some(budget) = cfg.reducer_memory_bytes {
+                if group_bytes > budget {
+                    return Err(Some(MrError::ReducerOom {
+                        job: spec.name.clone(),
+                        group_bytes,
+                        budget_bytes: budget,
+                    }));
+                }
+            }
+            let mut vals = Vec::with_capacity(n_vals);
+            for it in &mut iters {
+                while it.as_slice().first().is_some_and(|(k, _)| *k == key) {
+                    vals.push(it.next().expect("peeked").1);
+                }
+            }
+            max_group_bytes = max_group_bytes.max(group_bytes);
+            groups += 1;
+            let mut emit = |k: KO, v: VO| {
+                output_records += 1;
+                output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                out.push((k, v));
+            };
+            reducer(&key, vals, &mut emit);
+        }
+        Ok(ReduceTaskResult {
+            output: out,
+            groups,
+            output_records,
+            output_bytes,
+            max_group_bytes,
+        })
+    };
+
     // Each partition is consumed by exactly one reduce task; hand ownership
     // through per-partition mutex cells so workers can take them without
-    // cloning.
-    type PartitionCell<K, V> = Mutex<Option<Vec<(K, V)>>>;
-    let partition_cells: Vec<PartitionCell<KM, VM>> =
-        partitions.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    // cloning. Results land in per-partition slots.
+    type PartitionCell<K, V> = Mutex<Option<Vec<SortedRun<K, V>>>>;
+    let partition_cells: Vec<PartitionCell<KM, VM>> = partition_runs
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
+    let reduce_slots: Vec<Mutex<Option<ReduceTaskResult<KO, VO>>>> =
+        (0..num_reducers).map(|_| Mutex::new(None)).collect();
 
     let part_counter = AtomicUsize::new(0);
-    let reduce_results: Mutex<Vec<ReduceTaskResult<KO, VO>>> = Mutex::new(Vec::new());
-    let failure: Mutex<Option<MrError>> = Mutex::new(None);
+    // On concurrent failures the one with the smallest partition index
+    // wins, matching what a sequential executor would report first.
+    let failure: Mutex<Option<(usize, MrError)>> = Mutex::new(None);
     let failed = AtomicBool::new(false);
 
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads.min(num_reducers) {
-            s.spawn(|_| loop {
-                if failed.load(Ordering::Relaxed) {
+    cluster
+        .pool()
+        .broadcast(threads.min(num_reducers), &|_executor| loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let p = part_counter.fetch_add(1, Ordering::Relaxed);
+            if p >= num_reducers {
+                break;
+            }
+            let runs = partition_cells[p]
+                .lock()
+                .expect("partition cell poisoned")
+                .take()
+                .expect("partition visited once");
+            match reduce_partition(runs, &failed) {
+                Ok(result) => {
+                    *reduce_slots[p].lock().expect("reduce slot poisoned") = Some(result);
+                }
+                Err(Some(err)) => {
+                    let mut slot = failure.lock().expect("failure slot poisoned");
+                    if slot.as_ref().is_none_or(|(fp, _)| p < *fp) {
+                        *slot = Some((p, err));
+                    }
+                    failed.store(true, Ordering::Relaxed);
                     break;
                 }
-                let p = part_counter.fetch_add(1, Ordering::Relaxed);
-                if p >= num_reducers {
-                    break;
-                }
-                let mut records =
-                    partition_cells[p].lock().take().expect("partition visited once");
-                records.sort_by(|a, b| a.0.cmp(&b.0));
+                Err(None) => break,
+            }
+        });
 
-                let mut out: Vec<(KO, VO)> = Vec::new();
-                let mut groups = 0usize;
-                let mut output_records = 0usize;
-                let mut output_bytes = 0usize;
-                let mut max_group_bytes = 0usize;
-
-                let mut it = records.into_iter().peekable();
-                while let Some((key, first)) = it.next() {
-                    let mut group_bytes = key.est_bytes() + first.est_bytes() + FRAMING_BYTES;
-                    let mut vals = vec![first];
-                    while it.peek().is_some_and(|(k, _)| *k == key) {
-                        let (_, v) = it.next().expect("peeked");
-                        group_bytes += v.est_bytes() + FRAMING_BYTES;
-                        vals.push(v);
-                    }
-                    if let Some(budget) = cfg.reducer_memory_bytes {
-                        if group_bytes > budget {
-                            *failure.lock() = Some(MrError::ReducerOom {
-                                job: spec.name.clone(),
-                                group_bytes,
-                                budget_bytes: budget,
-                            });
-                            failed.store(true, Ordering::Relaxed);
-                            return;
-                        }
-                    }
-                    max_group_bytes = max_group_bytes.max(group_bytes);
-                    groups += 1;
-                    let mut emit = |k: KO, v: VO| {
-                        output_records += 1;
-                        output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
-                        out.push((k, v));
-                    };
-                    reducer(&key, vals, &mut emit);
-                }
-                reduce_results.lock().push(ReduceTaskResult {
-                    output: out,
-                    groups,
-                    output_records,
-                    output_bytes,
-                    max_group_bytes,
-                });
-            });
-        }
-    })
-    .expect("reduce worker panicked");
-
-    if let Some(err) = failure.into_inner() {
+    if let Some((_, err)) = failure.into_inner().expect("failure slot poisoned") {
         return Err(err);
     }
 
+    // Assemble output and metrics in partition order — deterministic.
     let mut output = Vec::new();
-    for r in reduce_results.into_inner() {
+    for slot in reduce_slots {
+        let r = slot
+            .into_inner()
+            .expect("reduce slot poisoned")
+            .expect("every partition reduced");
         metrics.reduce_groups += r.groups;
         metrics.reduce_output_records += r.output_records;
         metrics.reduce_output_bytes += r.output_bytes;

@@ -4,8 +4,11 @@
 //! reproduces the *behaviourally relevant* parts of that substrate:
 //!
 //! * **Real dataflow semantics** — map → (combine) → partition → shuffle →
-//!   sort/group → reduce, executed with genuine thread parallelism
-//!   (crossbeam scoped threads stand in for cluster nodes).
+//!   sort/group → reduce, executed with genuine thread parallelism on a
+//!   persistent worker pool ([`pool::WorkerPool`]) whose threads stand in
+//!   for cluster nodes. Map tasks emit sorted runs and the shuffle moves
+//!   them zero-copy; reducers k-way merge instead of re-sorting, and
+//!   results are deterministic across runs and thread counts.
 //! * **Exact intermediate-data accounting** — every record a mapper emits is
 //!   counted and sized. "Max intermediate data" is the quantity the paper's
 //!   Tables III and IV bound per HaTen2 variant, so it must be measured, not
@@ -25,19 +28,26 @@
 //!   twice) is observable.
 //! * **Failure injection** — deterministic task failures with retry, to test
 //!   that job results are failure-transparent.
+//! * **A sequential oracle** — [`reference::run_job_reference`] is a
+//!   straight-line, single-threaded executor with the same observable
+//!   semantics; property tests hold the pooled engine to it bit-for-bit.
 
 pub mod cluster;
 pub mod dfs;
 pub mod job;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
+pub mod reference;
 pub mod size;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use dfs::Dfs;
 pub use job::{run_job, Combiner, JobSpec};
-pub use pipeline::run_job_dfs;
 pub use metrics::{JobMetrics, RunMetrics};
+pub use pipeline::run_job_dfs;
+pub use pool::WorkerPool;
+pub use reference::run_job_reference;
 pub use size::EstimateSize;
 
 /// Errors surfaced by the MapReduce engine.

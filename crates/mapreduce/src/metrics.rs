@@ -4,10 +4,8 @@
 //! the paper are bounds on `map_output_records` (max intermediate data) and
 //! on the number of jobs; Figures 1/7/8 plot (simulated) running time.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters for one MapReduce job.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobMetrics {
     /// Job name (used for grouping in reports).
     pub name: String,
@@ -42,7 +40,7 @@ pub struct JobMetrics {
 }
 
 /// Metrics for a sequence of jobs (one decomposition, one experiment, …).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// Per-job metrics in execution order.
     pub jobs: Vec<JobMetrics>,
@@ -57,12 +55,20 @@ impl RunMetrics {
     /// Maximum intermediate data (records) over all jobs — the quantity the
     /// paper's Tables III/IV report per variant.
     pub fn max_intermediate_records(&self) -> usize {
-        self.jobs.iter().map(|j| j.map_output_records).max().unwrap_or(0)
+        self.jobs
+            .iter()
+            .map(|j| j.map_output_records)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum intermediate data in bytes over all jobs.
     pub fn max_intermediate_bytes(&self) -> usize {
-        self.jobs.iter().map(|j| j.map_output_bytes).max().unwrap_or(0)
+        self.jobs
+            .iter()
+            .map(|j| j.map_output_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total intermediate records across all jobs.

@@ -40,7 +40,10 @@ where
     let job_name = spec.name.clone();
     let records = dfs
         .get::<(KI, VI)>(input)
-        .ok_or_else(|| MrError::DatasetMissing { job: job_name, dataset: input.to_string() })?;
+        .ok_or_else(|| MrError::DatasetMissing {
+            job: job_name,
+            dataset: input.to_string(),
+        })?;
     let out = run_job(cluster, spec, &records, mapper, reducer)?;
     let n = out.len();
     dfs.put(output, out);

@@ -1,0 +1,151 @@
+//! A sequential reference executor — the engine's executable
+//! specification.
+//!
+//! [`run_job_reference`] implements the exact observable semantics of
+//! [`crate::job::run_job`] — same splits, same partitioner, same
+//! accounting, same failure rules, same output order — as straight-line
+//! single-threaded code with none of the engine's machinery (no worker
+//! pool, no sorted runs, no merge: just concatenate and stably sort each
+//! partition). Property tests generate random jobs and require the pooled
+//! engine to match it bit-for-bit on both output and [`JobMetrics`]
+//! (`wall_time_s` excepted). When the two disagree, trust this one.
+
+use crate::cluster::{Cluster, CostModel};
+use crate::job::{combine_bucket, partition_of, JobSpec};
+use crate::metrics::JobMetrics;
+use crate::size::EstimateSize;
+use crate::MrError;
+use std::hash::Hash;
+use std::time::Instant;
+
+/// Per-record framing overhead, identical to the engine's.
+const FRAMING_BYTES: usize = 8;
+
+/// Execute one job sequentially with the same observable behavior as
+/// [`crate::job::run_job`]: identical output (contents *and* order),
+/// identical metrics except `wall_time_s`, identical errors.
+pub fn run_job_reference<KI, VI, KM, VM, KO, VO, M, R>(
+    cluster: &Cluster,
+    spec: JobSpec<'_, KM, VM>,
+    input: &[(KI, VI)],
+    mapper: M,
+    reducer: R,
+) -> crate::Result<Vec<(KO, VO)>>
+where
+    KI: Sync + EstimateSize,
+    VI: Sync + EstimateSize,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Send + EstimateSize,
+    VO: Send + EstimateSize,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    let started = Instant::now();
+    let cfg = cluster.config();
+    let num_reducers = cfg.num_reducers();
+    let num_map_tasks = cfg.machines.max(1);
+
+    let mut metrics = JobMetrics {
+        name: spec.name.clone(),
+        ..Default::default()
+    };
+
+    // ---- Map phase: one task per split, in task order --------------------
+    let split_len = input.len().div_ceil(num_map_tasks).max(1);
+    let mut partitions: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+
+    let run_map_task = |split: &[(KI, VI)]| {
+        let mut buckets: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
+        let mut output_records = 0usize;
+        let mut output_bytes = 0usize;
+        let mut input_bytes = 0usize;
+        {
+            let mut emit = |k: KM, v: VM| {
+                output_records += 1;
+                output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                buckets[partition_of(&k, num_reducers)].push((k, v));
+            };
+            for (k, v) in split {
+                input_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                mapper(k, v, &mut emit);
+            }
+        }
+        if let Some(combiner) = spec.combiner {
+            for bucket in &mut buckets {
+                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                combine_bucket(bucket, combiner);
+            }
+        }
+        (buckets, output_records, output_bytes, input_bytes)
+    };
+
+    for (task, split) in input.chunks(split_len).enumerate() {
+        if let Some(n) = cfg.fail_every_nth_task {
+            if n > 0 && (task + 1).is_multiple_of(n) {
+                drop(run_map_task(split));
+                metrics.task_retries += 1;
+            }
+        }
+        let (buckets, output_records, output_bytes, input_bytes) = run_map_task(split);
+        metrics.map_input_records += split.len();
+        metrics.map_input_bytes += input_bytes;
+        metrics.map_output_records += output_records;
+        metrics.map_output_bytes += output_bytes;
+        for (p, bucket) in buckets.into_iter().enumerate() {
+            for (k, v) in bucket {
+                metrics.shuffle_records += 1;
+                metrics.shuffle_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                partitions[p].push((k, v));
+            }
+        }
+    }
+
+    if let Some(cap) = cfg.cluster_capacity_bytes {
+        if metrics.map_output_bytes > cap {
+            return Err(MrError::ClusterCapacityExceeded {
+                job: spec.name,
+                intermediate_bytes: metrics.map_output_bytes,
+                capacity_bytes: cap,
+            });
+        }
+    }
+
+    // ---- Reduce phase: partitions in order, full stable sort -------------
+    let mut output: Vec<(KO, VO)> = Vec::new();
+    for mut records in partitions {
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut it = records.into_iter().peekable();
+        while let Some((key, first)) = it.next() {
+            let mut group_bytes = key.est_bytes() + first.est_bytes() + FRAMING_BYTES;
+            let mut vals = vec![first];
+            while it.peek().is_some_and(|(k, _)| *k == key) {
+                let (_, v) = it.next().expect("peeked");
+                group_bytes += v.est_bytes() + FRAMING_BYTES;
+                vals.push(v);
+            }
+            if let Some(budget) = cfg.reducer_memory_bytes {
+                if group_bytes > budget {
+                    return Err(MrError::ReducerOom {
+                        job: spec.name,
+                        group_bytes,
+                        budget_bytes: budget,
+                    });
+                }
+            }
+            metrics.max_group_bytes = metrics.max_group_bytes.max(group_bytes);
+            metrics.reduce_groups += 1;
+            let mut emit = |k: KO, v: VO| {
+                metrics.reduce_output_records += 1;
+                metrics.reduce_output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
+                output.push((k, v));
+            };
+            reducer(&key, vals, &mut emit);
+        }
+    }
+
+    metrics.wall_time_s = started.elapsed().as_secs_f64();
+    metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
+    cluster.record(metrics);
+    Ok(output)
+}

@@ -5,16 +5,39 @@
 //! overhead in a simulation), each record type reports an estimated wire
 //! size through [`EstimateSize`]. Estimates follow Hadoop's writable
 //! encodings: 8 bytes per long/double, length-prefixed byte strings.
+//!
+//! Types whose wire size does not depend on the value (primitives, tuples
+//! of primitives — the dominant record shapes in this workload) advertise
+//! it through [`EstimateSize::FIXED_BYTES`], which lets the engine size a
+//! whole batch of records in O(1) via [`slice_est_bytes`] instead of
+//! walking every record.
 
 /// Estimated serialized size of a record component, in bytes.
 pub trait EstimateSize {
+    /// `Some(n)` when every value of this type estimates to exactly `n`
+    /// bytes, enabling O(1) batch sizing; `None` when the size is
+    /// value-dependent. Implementations must keep this consistent with
+    /// [`EstimateSize::est_bytes`].
+    const FIXED_BYTES: Option<usize> = None;
+
     /// Estimated wire size in bytes.
     fn est_bytes(&self) -> usize;
+}
+
+/// Sum of `est_bytes` over a slice: O(1) for fixed-size record types,
+/// one pass otherwise.
+#[inline]
+pub fn slice_est_bytes<T: EstimateSize>(items: &[T]) -> usize {
+    match T::FIXED_BYTES {
+        Some(n) => n * items.len(),
+        None => items.iter().map(EstimateSize::est_bytes).sum(),
+    }
 }
 
 macro_rules! fixed_size {
     ($($t:ty => $n:expr),* $(,)?) => {
         $(impl EstimateSize for $t {
+            const FIXED_BYTES: Option<usize> = Some($n);
             #[inline]
             fn est_bytes(&self) -> usize { $n }
         })*
@@ -48,13 +71,26 @@ impl<T: EstimateSize> EstimateSize for Option<T> {
 impl<T: EstimateSize> EstimateSize for Vec<T> {
     #[inline]
     fn est_bytes(&self) -> usize {
-        4 + self.iter().map(EstimateSize::est_bytes).sum::<usize>()
+        4 + slice_est_bytes(self)
+    }
+}
+
+/// `Some(a + b)` when both sides are fixed-size, else `None`.
+const fn sum_fixed(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x + y),
+        _ => None,
     }
 }
 
 macro_rules! tuple_size {
     ($($name:ident),+) => {
         impl<$($name: EstimateSize),+> EstimateSize for ($($name,)+) {
+            const FIXED_BYTES: Option<usize> = {
+                let mut acc = Some(0);
+                $(acc = sum_fixed(acc, $name::FIXED_BYTES);)+
+                acc
+            };
             #[inline]
             #[allow(non_snake_case)]
             fn est_bytes(&self) -> usize {
@@ -97,5 +133,40 @@ mod tests {
         assert_eq!("abc".to_string().est_bytes(), 7);
         assert_eq!(Some(1u64).est_bytes(), 9);
         assert_eq!(Option::<u64>::None.est_bytes(), 1);
+    }
+
+    #[test]
+    fn fixed_bytes_matches_est_bytes() {
+        // Every type advertising FIXED_BYTES must agree with est_bytes —
+        // the engine's batch accounting depends on it.
+        assert_eq!(u64::FIXED_BYTES, Some(8));
+        assert_eq!(<(u64, f64)>::FIXED_BYTES, Some(16));
+        assert_eq!(<((u64, u64), f64)>::FIXED_BYTES, Some(24));
+        assert_eq!(<(u64, u64, u64, f64)>::FIXED_BYTES, Some(32));
+        assert_eq!((7u64, 1.0f64).est_bytes(), 16);
+        assert_eq!(((7u64, 9u64), 1.0f64).est_bytes(), 24);
+    }
+
+    #[test]
+    fn variable_types_have_no_fixed_size() {
+        assert_eq!(String::FIXED_BYTES, None);
+        assert_eq!(Vec::<u64>::FIXED_BYTES, None);
+        assert_eq!(Option::<u64>::FIXED_BYTES, None);
+        assert_eq!(<(u64, String)>::FIXED_BYTES, None);
+    }
+
+    #[test]
+    fn slice_sizing_matches_per_record_sum() {
+        let fixed = vec![(1u64, 2.0f64), (3, 4.0), (5, 6.0)];
+        assert_eq!(
+            slice_est_bytes(&fixed),
+            fixed.iter().map(EstimateSize::est_bytes).sum::<usize>()
+        );
+        let var = vec!["a".to_string(), "bcd".to_string()];
+        assert_eq!(
+            slice_est_bytes(&var),
+            var.iter().map(EstimateSize::est_bytes).sum::<usize>()
+        );
+        assert_eq!(slice_est_bytes::<u64>(&[]), 0);
     }
 }

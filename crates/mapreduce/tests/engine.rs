@@ -63,7 +63,10 @@ fn results_independent_of_machine_count() {
 fn results_independent_of_thread_count() {
     let mut reference: Option<Vec<(String, u64)>> = None;
     for threads in [1, 2, 8] {
-        let cfg = ClusterConfig { threads, ..ClusterConfig::with_machines(6) };
+        let cfg = ClusterConfig {
+            threads,
+            ..ClusterConfig::with_machines(6)
+        };
         let cluster = Cluster::new(cfg);
         let mut out = word_count(&cluster, &docs());
         out.sort();
@@ -138,7 +141,11 @@ fn reducer_oom_triggers() {
         |_, vals, emit| emit(0u64, vals.len() as u64),
     );
     match result {
-        Err(MrError::ReducerOom { job, group_bytes, budget_bytes }) => {
+        Err(MrError::ReducerOom {
+            job,
+            group_bytes,
+            budget_bytes,
+        }) => {
             assert_eq!(job, "broadcast-ish");
             assert!(group_bytes > budget_bytes);
         }
@@ -161,7 +168,10 @@ fn cluster_capacity_exceeded_triggers() {
         |k, v: &u64, emit| emit(*k, *v),
         |k, vals, emit| emit(*k, vals.len() as u64),
     );
-    assert!(matches!(result, Err(MrError::ClusterCapacityExceeded { .. })));
+    assert!(matches!(
+        result,
+        Err(MrError::ClusterCapacityExceeded { .. })
+    ));
 }
 
 #[test]
@@ -183,7 +193,10 @@ fn failure_injection_is_transparent() {
     let total: u64 = out.iter().map(|(_, v)| v).sum();
     assert_eq!(total, 64, "retries must not duplicate or drop records");
     let m = cluster.metrics();
-    assert!(m.jobs[0].task_retries > 0, "injected failures must be recorded");
+    assert!(
+        m.jobs[0].task_retries > 0,
+        "injected failures must be recorded"
+    );
 }
 
 #[test]
@@ -247,10 +260,16 @@ fn sim_time_decreases_with_more_machines_but_flattens() {
         times.push(cluster.metrics().jobs[0].sim_time_s);
     }
     for w in times.windows(2) {
-        assert!(w[1] <= w[0] + 1e-12, "more machines must not be slower: {times:?}");
+        assert!(
+            w[1] <= w[0] + 1e-12,
+            "more machines must not be slower: {times:?}"
+        );
     }
     let speedup_total = times[0] / times[3];
-    assert!(speedup_total < 4.0, "fixed overhead must cap the speedup: {times:?}");
+    assert!(
+        speedup_total < 4.0,
+        "fixed overhead must cap the speedup: {times:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,176 @@
+//! Property tests: the pooled engine is observably identical to the
+//! sequential reference executor.
+//!
+//! For random word-count-style jobs — arbitrary inputs, machine counts,
+//! thread counts, reducer counts, with and without a combiner —
+//! [`run_job`] must return the *same output in the same order* as
+//! [`run_job_reference`], and record the same [`JobMetrics`] (every field
+//! except `wall_time_s`, which measures host time). Failure behavior is
+//! held to the same standard: capacity errors are always bit-identical,
+//! and reducer OOM errors are bit-identical in the deterministic
+//! single-thread case and same-variant under concurrency (an engine worker
+//! may abort a partition the reference would have failed first).
+
+use haten2_mapreduce::{
+    run_job, run_job_reference, Cluster, ClusterConfig, JobMetrics, JobSpec, MrError,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A word-count-shaped corpus: each record is a document (id, word list)
+/// over a small vocabulary, so key collisions across map tasks are common.
+fn corpus() -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    vec((0u64..1000, vec(0u64..25, 0..10)), 0..50)
+}
+
+/// Cluster geometry the ISSUE calls out: machines and threads in 1–16.
+fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=16, 1usize..=16, 1usize..=8)
+}
+
+fn config(machines: usize, threads: usize, reducers: usize) -> ClusterConfig {
+    ClusterConfig {
+        machines,
+        threads,
+        reducers: Some(reducers),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Run the same job on both executors and return their results plus the
+/// metrics each recorded.
+type RunOutcome = (
+    haten2_mapreduce::Result<Vec<(u64, u64)>>,
+    haten2_mapreduce::Result<Vec<(u64, u64)>>,
+    JobMetrics,
+    JobMetrics,
+);
+
+fn run_both(cfg: ClusterConfig, input: &[(u64, Vec<u64>)], with_combiner: bool) -> RunOutcome {
+    let combiner: haten2_mapreduce::Combiner<'_, u64, u64> =
+        &|_k, vals| vec![vals.into_iter().sum()];
+    let spec = |name: &str| {
+        let s = JobSpec::named(name);
+        if with_combiner {
+            s.with_combiner(combiner)
+        } else {
+            s
+        }
+    };
+    let mapper = |_id: &u64, words: &Vec<u64>, emit: &mut dyn FnMut(u64, u64)| {
+        for &w in words {
+            emit(w, 1);
+        }
+    };
+    let reducer = |word: &u64, ones: Vec<u64>, emit: &mut dyn FnMut(u64, u64)| {
+        emit(*word, ones.iter().sum());
+    };
+
+    let engine_cluster = Cluster::new(cfg.clone());
+    let engine = run_job(&engine_cluster, spec("wc"), input, mapper, reducer);
+    let reference_cluster = Cluster::new(cfg);
+    let reference = run_job_reference(&reference_cluster, spec("wc"), input, mapper, reducer);
+
+    let take_metrics = |c: &Cluster| {
+        let mut m = c.metrics().jobs.first().cloned().unwrap_or_default();
+        m.wall_time_s = 0.0; // host time: the one field allowed to differ
+        m
+    };
+    (
+        engine,
+        reference,
+        take_metrics(&engine_cluster),
+        take_metrics(&reference_cluster),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_reference_without_combiner(
+        input in corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let (engine, reference, em, rm) =
+            run_both(config(machines, threads, reducers), &input, false);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(em, rm);
+    }
+
+    #[test]
+    fn engine_matches_reference_with_combiner(
+        input in corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let (engine, reference, em, rm) =
+            run_both(config(machines, threads, reducers), &input, true);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(em, rm);
+    }
+
+    #[test]
+    fn engine_matches_reference_with_failure_injection(
+        input in corpus(),
+        (machines, threads, reducers) in geometry(),
+        every_nth in 1usize..4,
+    ) {
+        let mut cfg = config(machines, threads, reducers);
+        cfg.fail_every_nth_task = Some(every_nth);
+        let (engine, reference, em, rm) = run_both(cfg, &input, false);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(em, rm);
+    }
+
+    #[test]
+    fn reducer_oom_identical_when_single_threaded(
+        input in corpus(),
+        (machines, _, reducers) in geometry(),
+        budget in 1usize..64,
+    ) {
+        let mut cfg = config(machines, 1, reducers);
+        cfg.reducer_memory_bytes = Some(budget);
+        let (engine, reference, _, _) = run_both(cfg, &input, false);
+        // Sequential engine == sequential reference: both scan partitions
+        // in order, so even the error payload (which group overflowed)
+        // must agree.
+        prop_assert_eq!(engine, reference);
+    }
+
+    #[test]
+    fn reducer_oom_same_variant_when_parallel(
+        input in corpus(),
+        (machines, threads, reducers) in geometry(),
+        budget in 1usize..64,
+    ) {
+        let mut cfg = config(machines, threads, reducers);
+        cfg.reducer_memory_bytes = Some(budget);
+        let (engine, reference, _, _) = run_both(cfg, &input, false);
+        match (&engine, &reference) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // Concurrent reducers may surface a different partition's OOM
+            // than the sequential scan, but never a different failure kind
+            // and never success where the reference fails.
+            (Err(MrError::ReducerOom { job: ja, budget_bytes: ba, .. }),
+             Err(MrError::ReducerOom { job: jb, budget_bytes: bb, .. })) => {
+                prop_assert_eq!(ja, jb);
+                prop_assert_eq!(ba, bb);
+            }
+            (a, b) => prop_assert!(false, "engine {a:?} vs reference {b:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_errors_always_identical(
+        input in corpus(),
+        (machines, threads, reducers) in geometry(),
+        capacity in 1usize..512,
+    ) {
+        let mut cfg = config(machines, threads, reducers);
+        cfg.cluster_capacity_bytes = Some(capacity);
+        let (engine, reference, _, _) = run_both(cfg, &input, false);
+        // Capacity is checked on the aggregated map-output total, which is
+        // thread-independent, so the full error payload must match.
+        prop_assert_eq!(engine, reference);
+    }
+}

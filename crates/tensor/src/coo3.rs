@@ -65,7 +65,10 @@ pub struct CooTensor3 {
 impl CooTensor3 {
     /// An empty tensor of the given dimensions.
     pub fn new(dims: [u64; 3]) -> Self {
-        CooTensor3 { dims, entries: Vec::new() }
+        CooTensor3 {
+            dims,
+            entries: Vec::new(),
+        }
     }
 
     /// Build from a list of entries. Out-of-bounds entries are rejected,
@@ -87,7 +90,10 @@ impl CooTensor3 {
             .map(|((i, j, k), v)| Entry3 { i, j, k, v })
             .collect();
         merged.sort_by_key(|e| (e.i, e.j, e.k));
-        Ok(CooTensor3 { dims, entries: merged })
+        Ok(CooTensor3 {
+            dims,
+            entries: merged,
+        })
     }
 
     /// Push a single entry without deduplication. The caller promises the
@@ -132,7 +138,11 @@ impl CooTensor3 {
     pub fn bin(&self) -> CooTensor3 {
         CooTensor3 {
             dims: self.dims,
-            entries: self.entries.iter().map(|e| Entry3 { v: 1.0, ..*e }).collect(),
+            entries: self
+                .entries
+                .iter()
+                .map(|e| Entry3 { v: 1.0, ..*e })
+                .collect(),
         }
     }
 
@@ -226,8 +236,11 @@ impl CooTensor3 {
         } else {
             (other, self)
         };
-        let map: HashMap<(u64, u64, u64), f64> =
-            small.entries.iter().map(|e| ((e.i, e.j, e.k), e.v)).collect();
+        let map: HashMap<(u64, u64, u64), f64> = small
+            .entries
+            .iter()
+            .map(|e| ((e.i, e.j, e.k), e.v))
+            .collect();
         Ok(large
             .entries
             .iter()
@@ -302,10 +315,7 @@ impl CooTensor3 {
     /// The heaviest mode-`n` slice: `(index, nonzero count)`; `None` on an
     /// empty tensor. A proxy for reduce-side skew in the merge jobs.
     pub fn heaviest_slice(&self, mode: usize) -> Result<Option<(u64, usize)>> {
-        Ok(self
-            .slice_nnz(mode)?
-            .into_iter()
-            .max_by_key(|&(_, c)| c))
+        Ok(self.slice_nnz(mode)?.into_iter().max_by_key(|&(_, c)| c))
     }
 
     /// Group the entries by their mode-`n` index: returns
@@ -452,7 +462,7 @@ mod tests {
         let p = t.permute([2, 0, 1]).unwrap();
         assert_eq!(p.dims(), [2, 2, 3]);
         assert_eq!(p.get(1, 0, 2), 2.0); // (0,2,1) -> (k,i,j) = (1,0,2)
-        // Inverse permutation restores.
+                                         // Inverse permutation restores.
         let back = p.permute([1, 2, 0]).unwrap();
         assert_eq!(back, t);
         assert!(t.permute([0, 0, 1]).is_err());

@@ -17,7 +17,10 @@ pub struct DenseTensor3 {
 impl DenseTensor3 {
     /// Zero tensor of the given dimensions.
     pub fn zeros(dims: [usize; 3]) -> Self {
-        DenseTensor3 { dims, data: vec![0.0; dims[0] * dims[1] * dims[2]] }
+        DenseTensor3 {
+            dims,
+            data: vec![0.0; dims[0] * dims[1] * dims[2]],
+        }
     }
 
     /// Dimensions `[I, J, K]`.
@@ -89,7 +92,11 @@ impl DenseTensor3 {
             }
         }
         CooTensor3::from_entries(
-            [self.dims[0] as u64, self.dims[1] as u64, self.dims[2] as u64],
+            [
+                self.dims[0] as u64,
+                self.dims[1] as u64,
+                self.dims[2] as u64,
+            ],
             entries,
         )
         .expect("indices are in range by construction")
@@ -170,7 +177,12 @@ impl DenseTensor3 {
 
     /// Reconstruct a dense tensor from a Tucker decomposition
     /// `G ×₁ A ×₂ B ×₃ C` where `A ∈ ℝ^{I×P}` etc.
-    pub fn tucker_reconstruct(core: &DenseTensor3, a: &Mat, b: &Mat, c: &Mat) -> Result<DenseTensor3> {
+    pub fn tucker_reconstruct(
+        core: &DenseTensor3,
+        a: &Mat,
+        b: &Mat,
+        c: &Mat,
+    ) -> Result<DenseTensor3> {
         // ttm expects `new×old`, and A maps P -> I, i.e. A itself is I×P = new×old.
         core.ttm(0, a)?.ttm(1, b)?.ttm(2, c)
     }

@@ -36,7 +36,11 @@ pub struct DynTensor {
 impl DynTensor {
     /// Empty tensor with the given dimensions (order = `dims.len()`).
     pub fn new(dims: Vec<u64>) -> Self {
-        DynTensor { dims, indices: Vec::new(), values: Vec::new() }
+        DynTensor {
+            dims,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Tensor order (number of modes).
@@ -177,7 +181,10 @@ impl DynTensor {
     /// multiply each entry by `v[iₙ]`. Shape is unchanged.
     pub fn mode_hadamard_vec(&self, mode: usize, v: &[f64]) -> Result<DynTensor> {
         if mode >= self.order() {
-            return Err(TensorError::InvalidMode { mode, order: self.order() });
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
         }
         if v.len() != self.dims[mode] as usize {
             return Err(TensorError::ShapeMismatch(format!(
@@ -202,7 +209,10 @@ impl DynTensor {
     /// order `N-1`.
     pub fn collapse(&self, mode: usize) -> Result<DynTensor> {
         if mode >= self.order() {
-            return Err(TensorError::InvalidMode { mode, order: self.order() });
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
         }
         let new_dims: Vec<u64> = self
             .dims
@@ -232,19 +242,22 @@ impl DynTensor {
     /// [`CooTensor3::matricize`].
     pub fn matricize(&self, mode: usize) -> Result<SparseMat> {
         if mode >= self.order() {
-            return Err(TensorError::InvalidMode { mode, order: self.order() });
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
         }
         let rows = self.dims[mode];
         let other: Vec<usize> = (0..self.order()).filter(|&m| m != mode).collect();
-        let cols: u64 = other.iter().try_fold(1u64, |acc, &m| {
-            acc.checked_mul(self.dims[m].max(1))
-        })
-        .ok_or_else(|| {
-            TensorError::ShapeMismatch(format!(
-                "matricize mode {mode}: column count overflows u64 for dims {:?}",
-                self.dims
-            ))
-        })?;
+        let cols: u64 = other
+            .iter()
+            .try_fold(1u64, |acc, &m| acc.checked_mul(self.dims[m].max(1)))
+            .ok_or_else(|| {
+                TensorError::ShapeMismatch(format!(
+                    "matricize mode {mode}: column count overflows u64 for dims {:?}",
+                    self.dims
+                ))
+            })?;
         let mut triples = Vec::with_capacity(self.nnz());
         for e in 0..self.nnz() {
             let idx = self.index(e);
@@ -265,7 +278,10 @@ impl DynTensor {
     /// `(X *ₙ U)[i₁..i_N, q] = X[i₁..i_N] · U[q, iₙ]`.
     pub fn mode_hadamard_mat(&self, mode: usize, u_rows: &[Vec<f64>]) -> Result<DynTensor> {
         if mode >= self.order() {
-            return Err(TensorError::InvalidMode { mode, order: self.order() });
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
         }
         let q_dim = u_rows.len();
         for row in u_rows {

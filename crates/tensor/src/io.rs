@@ -13,7 +13,8 @@ use std::path::Path;
 pub fn write_coo3<W: Write>(t: &CooTensor3, w: W) -> Result<()> {
     let mut w = BufWriter::new(w);
     for e in t.entries() {
-        writeln!(w, "{} {} {} {}", e.i, e.j, e.k, e.v).map_err(|e| TensorError::Io(e.to_string()))?;
+        writeln!(w, "{} {} {} {}", e.i, e.j, e.k, e.v)
+            .map_err(|e| TensorError::Io(e.to_string()))?;
     }
     w.flush().map_err(|e| TensorError::Io(e.to_string()))
 }
@@ -137,10 +138,7 @@ mod tests {
     fn sample() -> CooTensor3 {
         CooTensor3::from_entries(
             [3, 3, 3],
-            vec![
-                Entry3::new(0, 1, 2, 1.5),
-                Entry3::new(2, 0, 1, -2.0),
-            ],
+            vec![Entry3::new(0, 1, 2, 1.5), Entry3::new(2, 0, 1, -2.0)],
         )
         .unwrap()
     }

@@ -221,7 +221,9 @@ pub fn pairwise_merge(ta: &DynTensor, tb: &DynTensor) -> Result<DynTensor> {
 
     let mut by_full: HashMap<(u64, u64, u64, u64), f64> = HashMap::new();
     for (idx, v) in tb.iter() {
-        *by_full.entry((idx[0], idx[1], idx[2], idx[3])).or_insert(0.0) += v;
+        *by_full
+            .entry((idx[0], idx[1], idx[2], idx[3]))
+            .or_insert(0.0) += v;
     }
     let mut acc: HashMap<(u64, u64), f64> = HashMap::new();
     for (idx, v) in ta.iter() {
@@ -429,7 +431,10 @@ mod tests {
         let actual = y.nnz();
         // Collisions only reduce the count, and at this density they are rare.
         assert!(actual <= estimate);
-        assert!(actual as f64 > 0.9 * estimate as f64, "actual={actual} estimate={estimate}");
+        assert!(
+            actual as f64 > 0.9 * estimate as f64,
+            "actual={actual} estimate={estimate}"
+        );
     }
 
     #[test]
@@ -438,7 +443,12 @@ mod tests {
         assert!(ttv(&t, 0, &[1.0]).is_err());
         assert!(ttm(&t, 3, &Mat::zeros(1, 2)).is_err());
         assert!(mode_hadamard_vec(&t, 1, &[1.0, 2.0, 3.0]).is_err());
-        assert!(mttkrp_dense(&t, 0, [&Mat::zeros(2, 2), &Mat::zeros(3, 2), &Mat::zeros(2, 2)]).is_err());
+        assert!(mttkrp_dense(
+            &t,
+            0,
+            [&Mat::zeros(2, 2), &Mat::zeros(3, 2), &Mat::zeros(2, 2)]
+        )
+        .is_err());
     }
 
     #[test]

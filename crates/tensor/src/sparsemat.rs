@@ -46,7 +46,12 @@ impl SparseMat {
         merged.retain(|&(_, _, v)| v != 0.0);
 
         let row_ptr = build_row_ptr(rows, &merged);
-        Ok(SparseMat { rows, cols, triples: merged, row_ptr })
+        Ok(SparseMat {
+            rows,
+            cols,
+            triples: merged,
+            row_ptr,
+        })
     }
 
     /// Number of rows.
@@ -209,7 +214,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut triples = Vec::new();
         for _ in 0..30 {
-            triples.push((rng.gen_range(0..10u64), rng.gen_range(0..6u64), rng.gen::<f64>()));
+            triples.push((
+                rng.gen_range(0..10u64),
+                rng.gen_range(0..6u64),
+                rng.gen::<f64>(),
+            ));
         }
         let s = SparseMat::from_triples(10, 6, triples).unwrap();
         let d = s.to_dense().unwrap();
@@ -224,7 +233,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut triples = Vec::new();
         for _ in 0..25 {
-            triples.push((rng.gen_range(0..8u64), rng.gen_range(0..5u64), rng.gen::<f64>()));
+            triples.push((
+                rng.gen_range(0..8u64),
+                rng.gen_range(0..5u64),
+                rng.gen::<f64>(),
+            ));
         }
         let s = SparseMat::from_triples(8, 5, triples).unwrap();
         let d = s.to_dense().unwrap();
@@ -239,7 +252,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let mut triples = Vec::new();
         for _ in 0..40 {
-            triples.push((rng.gen_range(0..12u64), rng.gen_range(0..4u64), rng.gen::<f64>()));
+            triples.push((
+                rng.gen_range(0..12u64),
+                rng.gen_range(0..4u64),
+                rng.gen::<f64>(),
+            ));
         }
         let s = SparseMat::from_triples(12, 4, triples).unwrap();
         let g = s.gram_dense().unwrap();

@@ -2,8 +2,8 @@
 
 use haten2_linalg::Mat;
 use haten2_tensor::ops::{
-    collapse, cross_merge, mode_hadamard_mat, mode_hadamard_vec, mttkrp_dense, pairwise_merge,
-    ttm, ttv,
+    collapse, cross_merge, mode_hadamard_mat, mode_hadamard_vec, mttkrp_dense, pairwise_merge, ttm,
+    ttv,
 };
 use haten2_tensor::{CooTensor3, DynTensor, Entry3};
 use proptest::prelude::*;

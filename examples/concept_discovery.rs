@@ -31,11 +31,21 @@ fn main() {
 
     // ---- PARAFAC concepts (paper Table VI) --------------------------------
     let rank = 8;
-    let opts = AlsOptions { max_iters: 20, tol: 1e-5, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 20,
+        tol: 1e-5,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let cp = parafac_als(&cluster, &x, rank, &opts).expect("PARAFAC failed");
     println!("== PARAFAC concepts (rank {rank}, fit {:.3}) ==", cp.fit());
-    let concepts =
-        parafac_concepts(&cp.factors, &cp.lambda, 3, &kb.subjects, &kb.objects, &kb.predicates);
+    let concepts = parafac_concepts(
+        &cp.factors,
+        &cp.lambda,
+        3,
+        &kb.subjects,
+        &kb.objects,
+        &kb.predicates,
+    );
     for (n, c) in concepts.iter().take(5).enumerate() {
         println!("concept {} (λ = {:.2})", n + 1, c.weight);
         println!("  subjects:  {}", names(&c.subjects));
@@ -44,14 +54,20 @@ fn main() {
         // Score against the planted blocks.
         let mut best = ("-", 0.0f64);
         for planted in &kb.concepts {
-            let planted_names: Vec<String> =
-                planted.subjects.iter().map(|&s| kb.subjects[s as usize].clone()).collect();
+            let planted_names: Vec<String> = planted
+                .subjects
+                .iter()
+                .map(|&s| kb.subjects[s as usize].clone())
+                .collect();
             let p = recovery_precision(&c.subjects, &planted_names);
             if p > best.1 {
                 best = (&planted.name, p);
             }
         }
-        println!("  best planted match: {} (precision {:.2})\n", best.0, best.1);
+        println!(
+            "  best planted match: {} (precision {:.2})\n",
+            best.0, best.1
+        );
     }
 
     // ---- Tucker groups and concepts (paper Tables VII/VIII) ---------------
@@ -69,7 +85,15 @@ fn main() {
     }
 
     println!("\n== Tucker concepts (core-driven group triples) ==");
-    let tcs = tucker_concepts(&tk.core, &tk.factors, 3, 3, &kb.subjects, &kb.objects, &kb.predicates);
+    let tcs = tucker_concepts(
+        &tk.core,
+        &tk.factors,
+        3,
+        3,
+        &kb.subjects,
+        &kb.objects,
+        &kb.predicates,
+    );
     for c in &tcs {
         println!(
             "concept (S{},O{},R{}) core={:.2}",
@@ -87,5 +111,9 @@ fn main() {
 }
 
 fn names(items: &[(String, f64)]) -> String {
-    items.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(" | ")
+    items
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect::<Vec<_>>()
+        .join(" | ")
 }

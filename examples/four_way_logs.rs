@@ -24,7 +24,11 @@ fn main() {
         let idx = [
             rng.gen_range(0..N_SRC),
             rng.gen_range(0..N_DST),
-            if rng.gen_bool(0.5) { 80 % N_PORT } else { 443 % N_PORT },
+            if rng.gen_bool(0.5) {
+                80 % N_PORT
+            } else {
+                443 % N_PORT
+            },
             rng.gen_range(8..18),
         ];
         logs.push(&idx, rng.gen_range(1.0..3.0)).unwrap();
@@ -46,7 +50,10 @@ fn main() {
     // ---- N-way PARAFAC --------------------------------------------------
     let rank = 3;
     let cp = nway_parafac_als(&cluster, &logs, rank, 15, 1e-6, 11).expect("nway parafac");
-    println!("N-way PARAFAC rank {rank}: fit = {:.3}", cp.fits.last().unwrap());
+    println!(
+        "N-way PARAFAC rank {rank}: fit = {:.3}",
+        cp.fits.last().unwrap()
+    );
     println!(
         "  {} MapReduce jobs (2 per mode per sweep — the DRI framework generalizes)",
         cp.metrics.total_jobs()
@@ -57,9 +64,15 @@ fn main() {
     let hour_factor = &cp.factors[3];
     for r in 0..rank {
         let night: f64 = (1..4).map(|h| hour_factor.get(h, r).abs()).sum();
-        let total: f64 = (0..N_HOUR as usize).map(|h| hour_factor.get(h, r).abs()).sum();
+        let total: f64 = (0..N_HOUR as usize)
+            .map(|h| hour_factor.get(h, r).abs())
+            .sum();
         let share = night / total.max(1e-12);
-        let label = if share > 0.8 { "  <- the nightly backup job" } else { "" };
+        let label = if share > 0.8 {
+            "  <- the nightly backup job"
+        } else {
+            ""
+        };
         println!("  concept {}: night-hour share {:.2}{label}", r + 1, share);
     }
 
@@ -67,8 +80,10 @@ fn main() {
     let tk = nway_tucker_als(&cluster, &logs, &[3, 3, 3, 3], 6, 1e-6, 12).expect("nway tucker");
     println!("\nN-way Tucker core (3,3,3,3): fit = {:.3}", tk.fit);
     println!("  core nonzeros: {}", tk.core.nnz());
-    println!("  factors orthonormal: {}", tk
-        .factors
-        .iter()
-        .all(|f| f.gram().approx_eq(&Mat::identity(f.cols()), 1e-6)));
+    println!(
+        "  factors orthonormal: {}",
+        tk.factors
+            .iter()
+            .all(|f| f.gram().approx_eq(&Mat::identity(f.cols()), 1e-6))
+    );
 }

@@ -12,7 +12,11 @@ fn main() {
     let (x, _) = preprocess(&kb, &PreprocessConfig::default());
     println!("NELL stand-in: {:?}, nnz = {}\n", x.dims(), x.nnz());
 
-    let opts = AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 2,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let mut t10 = None;
 
     println!("machines  sim time (s)  scale-up T10/TM  ideal");

@@ -53,10 +53,18 @@ fn main() {
     );
 
     let cluster = Cluster::new(ClusterConfig::with_machines(8));
-    let opts = AlsOptions { max_iters: 25, tol: 1e-6, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 25,
+        tol: 1e-6,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let rank = 4;
     let res = parafac_als(&cluster, &x, rank, &opts).expect("decomposition failed");
-    println!("PARAFAC rank-{rank}: fit = {:.3}, {} sweeps\n", res.fit(), res.iterations);
+    println!(
+        "PARAFAC rank-{rank}: fit = {:.3}, {} sweeps\n",
+        res.fit(),
+        res.iterations
+    );
 
     // Rank concepts by λ and show the top source ips of each.
     let mut order: Vec<usize> = (0..rank).collect();
@@ -65,11 +73,15 @@ fn main() {
     let mut scanner_flagged = false;
     for (c, &r) in order.iter().enumerate() {
         let a = &res.factors[0]; // source-ip factor
-        let mut scores: Vec<(u64, f64)> =
-            (0..N_SRC).map(|i| (i, a.get(i as usize, r).abs())).collect();
+        let mut scores: Vec<(u64, f64)> = (0..N_SRC)
+            .map(|i| (i, a.get(i as usize, r).abs()))
+            .collect();
         scores.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
-        let top: Vec<String> =
-            scores.iter().take(3).map(|(i, s)| format!("ip{i} ({s:.2})")).collect();
+        let top: Vec<String> = scores
+            .iter()
+            .take(3)
+            .map(|(i, s)| format!("ip{i} ({s:.2})"))
+            .collect();
 
         // Dominance of the top source over the runner-up: a normal traffic
         // pattern is spread over many sources; a scan is one machine.
@@ -82,12 +94,17 @@ fn main() {
             dominance
         );
         if scores[0].0 == SCANNER && dominance > 5.0 {
-            println!("  -> ANOMALY: single-source pattern dominated by ip{SCANNER} (the port scan)");
+            println!(
+                "  -> ANOMALY: single-source pattern dominated by ip{SCANNER} (the port scan)"
+            );
             scanner_flagged = true;
         }
     }
 
-    assert!(scanner_flagged, "the planted scanner must dominate one concept");
+    assert!(
+        scanner_flagged,
+        "the planted scanner must dominate one concept"
+    );
     println!("\nThe scan shows up as a concept owned almost entirely by one source ip —");
     println!("exactly the kind of structure the paper mines from intrusion logs.");
 }

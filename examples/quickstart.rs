@@ -21,10 +21,23 @@ fn main() {
     let cluster = Cluster::new(ClusterConfig::with_machines(16));
 
     // ---- PARAFAC (rank 5) with HaTen2-DRI --------------------------------
-    let opts = AlsOptions { max_iters: 10, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 10,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let cp = parafac_als(&cluster, &x, 5, &opts).expect("PARAFAC failed");
-    println!("PARAFAC-DRI: fit = {:.4} after {} sweeps", cp.fit(), cp.iterations);
-    println!("  lambda = {:?}", cp.lambda.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "PARAFAC-DRI: fit = {:.4} after {} sweeps",
+        cp.fit(),
+        cp.iterations
+    );
+    println!(
+        "  lambda = {:?}",
+        cp.lambda
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     println!(
         "  MapReduce: {} jobs, max intermediate {} records, {:.1} simulated s\n",
         cp.metrics.total_jobs(),
@@ -34,8 +47,17 @@ fn main() {
 
     // ---- Tucker (core 5x5x5) with HaTen2-DRI -----------------------------
     let tk = tucker_als(&cluster, &x, [5, 5, 5], &opts).expect("Tucker failed");
-    println!("Tucker-DRI: fit = {:.4} after {} sweeps", tk.fit, tk.iterations);
-    println!("  core norm trajectory = {:?}", tk.core_norms.iter().map(|n| (n * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "Tucker-DRI: fit = {:.4} after {} sweeps",
+        tk.fit, tk.iterations
+    );
+    println!(
+        "  core norm trajectory = {:?}",
+        tk.core_norms
+            .iter()
+            .map(|n| (n * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     println!(
         "  MapReduce: {} jobs, max intermediate {} records\n",
         tk.metrics.total_jobs(),

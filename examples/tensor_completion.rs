@@ -52,7 +52,11 @@ fn main() {
     );
 
     let cluster = Cluster::new(ClusterConfig::with_machines(8));
-    let opts = AlsOptions { max_iters: 40, tol: 1e-8, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 40,
+        tol: 1e-8,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
 
     // ---- EM-ALS completion ------------------------------------------------
     let em = parafac_missing(&cluster, &x, rank, &opts).expect("completion failed");
@@ -66,18 +70,30 @@ fn main() {
         err / norm
     };
     println!("EM-ALS completion:  observed fit = {:.4}", em.fit());
-    println!("  held-out relative error = {:.4}", rel_err(&|i, j, k| em.predict(i, j, k)));
+    println!(
+        "  held-out relative error = {:.4}",
+        rel_err(&|i, j, k| em.predict(i, j, k))
+    );
 
     // ---- Zero-filling comparison (what you get without missing-value
     //      support: absent cells treated as zeros) -------------------------
     let zf = parafac_als(&cluster, &x, rank, &opts).expect("plain ALS failed");
     println!("zero-filled ALS:    observed fit = {:.4}", zf.fit());
-    println!("  held-out relative error = {:.4}", rel_err(&|i, j, k| zf.predict(i, j, k)));
+    println!(
+        "  held-out relative error = {:.4}",
+        rel_err(&|i, j, k| zf.predict(i, j, k))
+    );
 
     // ---- Nonnegative factorization ---------------------------------------
     let nn = nonneg_parafac(&cluster, &x, rank, &opts).expect("nonneg failed");
-    let all_nonneg = nn.factors.iter().all(|f| f.data().iter().all(|&v| v >= 0.0));
-    println!("\nnonnegative PARAFAC: fit = {:.4}, factors all >= 0: {all_nonneg}", nn.fit());
+    let all_nonneg = nn
+        .factors
+        .iter()
+        .all(|f| f.data().iter().all(|&v| v >= 0.0));
+    println!(
+        "\nnonnegative PARAFAC: fit = {:.4}, factors all >= 0: {all_nonneg}",
+        nn.fit()
+    );
 
     println!(
         "\nall three ran on the same distributed DRI kernels: {} MapReduce jobs total",

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), range / tuple
+//! / [`collection::vec`] / [`any`] strategies, [`Strategy::prop_map`] and
+//! [`Strategy::prop_flat_map`], and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the seed-derived case index
+//!   and the panic message, not a minimized input.
+//! * **Deterministic cases.** Each test's inputs derive from a fixed seed
+//!   (an FNV hash of the test name) plus the case index, so failures
+//!   reproduce across runs — there is no `PROPTEST_CASES` environment
+//!   handling or persistence file.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, FlatMap, Just, Map, Strategy};
+
+/// Per-`proptest!`-block configuration. Only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// True when the case was rejected (assumption unmet), not failed.
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+/// Result type the bodies of [`proptest!`] tests produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG driving strategy generation.
+pub type TestRng = StdRng;
+
+/// Deterministic per-test, per-case RNG. Public for the macros; not part
+/// of the upstream API.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` random instantiations of its
+/// arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg_pat:pat in $arg_strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rejected = 0u32;
+                let mut case = 0u32;
+                let mut ran = 0u32;
+                // Allow extra iterations to compensate for rejected cases,
+                // like upstream's max_global_rejects.
+                while ran < config.cases && case < config.cases.saturating_mul(16) {
+                    let mut rng = $crate::__case_rng(stringify!($name), case);
+                    case += 1;
+                    $(let $arg_pat =
+                        $crate::Strategy::generate(&($arg_strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject) => rejected += 1,
+                        Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "property '{}' failed at case {}: {}",
+                            stringify!($name),
+                            case - 1,
+                            msg
+                        ),
+                    }
+                }
+                assert!(
+                    ran > 0 || config.cases == 0,
+                    "property '{}': every case was rejected ({} rejections)",
+                    stringify!($name),
+                    rejected
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the case
+/// fails with the formatted message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}

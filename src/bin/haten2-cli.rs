@@ -71,7 +71,10 @@ fn parse_flags(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, String>), St
 }
 
 fn req<'a>(flags: &'a HashMap<&str, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
@@ -81,7 +84,9 @@ fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
 fn parse_triple(s: &str, what: &str) -> Result<[u64; 3], String> {
     let parts: Vec<&str> = s.split(',').collect();
     if parts.len() != 3 {
-        return Err(format!("{what} must be three comma-separated numbers, got '{s}'"));
+        return Err(format!(
+            "{what} must be three comma-separated numbers, got '{s}'"
+        ));
     }
     Ok([
         parse_u64(parts[0], what)?,
@@ -118,9 +123,16 @@ fn run(args: &[String]) -> Result<(), String> {
 fn generate_random(flags: &HashMap<&str, String>) -> Result<(), String> {
     let dims = parse_triple(req(flags, "dims")?, "--dims")?;
     let nnz = parse_u64(req(flags, "nnz")?, "--nnz")? as usize;
-    let seed = flags.get("seed").map_or(Ok(42), |s| parse_u64(s, "--seed"))?;
+    let seed = flags
+        .get("seed")
+        .map_or(Ok(42), |s| parse_u64(s, "--seed"))?;
     let out = req(flags, "out")?;
-    let cfg = RandomTensorConfig { dims, nnz, value_range: (0.0, 1.0), seed };
+    let cfg = RandomTensorConfig {
+        dims,
+        nnz,
+        value_range: (0.0, 1.0),
+        seed,
+    };
     let t = random_tensor(&cfg);
     haten2::tensor::io::save_coo3(&t, out).map_err(|e| e.to_string())?;
     println!("wrote {} nonzeros ({:?}) to {out}", t.nnz(), t.dims());
@@ -129,8 +141,12 @@ fn generate_random(flags: &HashMap<&str, String>) -> Result<(), String> {
 
 fn generate_kb(flags: &HashMap<&str, String>) -> Result<(), String> {
     let preset = req(flags, "preset")?;
-    let scale = flags.get("scale").map_or(Ok(1), |s| parse_u64(s, "--scale"))? as usize;
-    let seed = flags.get("seed").map_or(Ok(42), |s| parse_u64(s, "--seed"))?;
+    let scale = flags
+        .get("scale")
+        .map_or(Ok(1), |s| parse_u64(s, "--scale"))? as usize;
+    let seed = flags
+        .get("seed")
+        .map_or(Ok(42), |s| parse_u64(s, "--seed"))?;
     let raw = flags.contains_key("raw");
     let out = req(flags, "out")?;
     let kb = match preset {
@@ -196,24 +212,38 @@ fn stats(flags: &HashMap<&str, String>) -> Result<(), String> {
     println!("fro norm:  {:.6}", t.fro_norm());
     for mode in 0..3 {
         if let Ok(Some((idx, count))) = t.heaviest_slice(mode) {
-            println!("mode {mode}: {} distinct indices, heaviest slice {idx} ({count} nnz)",
-                t.distinct_along(mode));
+            println!(
+                "mode {mode}: {} distinct indices, heaviest slice {idx} ({count} nnz)",
+                t.distinct_along(mode)
+            );
         }
     }
     Ok(())
 }
 
 fn cluster_from(flags: &HashMap<&str, String>) -> Result<Cluster, String> {
-    let machines =
-        flags.get("machines").map_or(Ok(16), |s| parse_u64(s, "--machines"))? as usize;
+    let machines = flags
+        .get("machines")
+        .map_or(Ok(16), |s| parse_u64(s, "--machines"))? as usize;
     Ok(Cluster::new(ClusterConfig::with_machines(machines.max(1))))
 }
 
 fn als_opts(flags: &HashMap<&str, String>) -> Result<AlsOptions, String> {
-    let variant = flags.get("variant").map_or(Ok(Variant::Dri), |s| parse_variant(s))?;
-    let iters = flags.get("iters").map_or(Ok(20), |s| parse_u64(s, "--iters"))? as usize;
-    let seed = flags.get("seed").map_or(Ok(0x5eed), |s| parse_u64(s, "--seed"))?;
-    Ok(AlsOptions { variant, max_iters: iters, seed, ..AlsOptions::default() })
+    let variant = flags
+        .get("variant")
+        .map_or(Ok(Variant::Dri), |s| parse_variant(s))?;
+    let iters = flags
+        .get("iters")
+        .map_or(Ok(20), |s| parse_u64(s, "--iters"))? as usize;
+    let seed = flags
+        .get("seed")
+        .map_or(Ok(0x5eed), |s| parse_u64(s, "--seed"))?;
+    Ok(AlsOptions {
+        variant,
+        max_iters: iters,
+        seed,
+        ..AlsOptions::default()
+    })
 }
 
 fn write_factors(prefix: &str, factors: &[Mat], names: &[&str]) -> Result<(), String> {
@@ -250,19 +280,33 @@ fn decompose_parafac(flags: &HashMap<&str, String>) -> Result<(), String> {
 
     if flags.contains_key("nonneg") {
         let res = nonneg_parafac(&cluster, &t, rank, &opts).map_err(|e| e.to_string())?;
-        println!("nonnegative PARAFAC rank {rank}: fit {:.4} after {} sweeps", res.fit(), res.iterations);
+        println!(
+            "nonnegative PARAFAC rank {rank}: fit {:.4} after {} sweeps",
+            res.fit(),
+            res.iterations
+        );
         write_factors(prefix, &res.factors, &["A", "B", "C"])?;
         print_metrics(&res.metrics);
         return Ok(());
     }
 
     let res = parafac_als(&cluster, &t, rank, &opts).map_err(|e| e.to_string())?;
-    println!("PARAFAC rank {rank} ({}): fit {:.4} after {} sweeps", opts.variant, res.fit(), res.iterations);
+    println!(
+        "PARAFAC rank {rank} ({}): fit {:.4} after {} sweeps",
+        opts.variant,
+        res.fit(),
+        res.iterations
+    );
     write_factors(prefix, &res.factors, &["A", "B", "C"])?;
     let lpath = format!("{prefix}.lambda.txt");
     std::fs::write(
         &lpath,
-        res.lambda.iter().map(f64::to_string).collect::<Vec<_>>().join("\n") + "\n",
+        res.lambda
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n",
     )
     .map_err(|e| e.to_string())?;
     println!("wrote {lpath}");
@@ -279,7 +323,10 @@ fn decompose_tucker(flags: &HashMap<&str, String>) -> Result<(), String> {
     let cluster = cluster_from(flags)?;
     let opts = als_opts(flags)?;
     let res = tucker_als(&cluster, &t, core, &opts).map_err(|e| e.to_string())?;
-    println!("Tucker core {core:?} ({}): fit {:.4} after {} sweeps", opts.variant, res.fit, res.iterations);
+    println!(
+        "Tucker core {core:?} ({}): fit {:.4} after {} sweeps",
+        opts.variant, res.fit, res.iterations
+    );
     write_factors(prefix, &res.factors, &["A", "B", "C"])?;
     let cpath = format!("{prefix}.core.tns");
     haten2::tensor::io::save_coo3(&res.core.to_coo(), &cpath).map_err(|e| e.to_string())?;

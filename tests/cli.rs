@@ -27,7 +27,11 @@ fn generate_stats_decompose_roundtrip() {
         .arg(&tns)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("300 nonzeros"));
 
     // stats
@@ -42,11 +46,23 @@ fn generate_stats_decompose_roundtrip() {
     let out = cli()
         .args(["decompose", "parafac", "--input"])
         .arg(&tns)
-        .args(["--rank", "3", "--iters", "3", "--machines", "4", "--out-prefix"])
+        .args([
+            "--rank",
+            "3",
+            "--iters",
+            "3",
+            "--machines",
+            "4",
+            "--out-prefix",
+        ])
         .arg(&prefix)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("PARAFAC rank 3"));
     assert!(text.contains("mapreduce:"));
@@ -65,7 +81,9 @@ fn decompose_tucker_writes_core() {
     let dir = tmp_dir("tucker");
     let tns = dir.join("x.tns");
     cli()
-        .args(["generate", "random", "--dims", "20,20,20", "--nnz", "200", "--out"])
+        .args([
+            "generate", "random", "--dims", "20,20,20", "--nnz", "200", "--out",
+        ])
         .arg(&tns)
         .status()
         .unwrap();
@@ -73,17 +91,28 @@ fn decompose_tucker_writes_core() {
     let out = cli()
         .args(["decompose", "tucker", "--input"])
         .arg(&tns)
-        .args(["--core", "2,3,2", "--iters", "2", "--machines", "2", "--out-prefix"])
+        .args([
+            "--core",
+            "2,3,2",
+            "--iters",
+            "2",
+            "--machines",
+            "2",
+            "--out-prefix",
+        ])
         .arg(&prefix)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let a = haten2::linalg::load_mat(format!("{}.A.mat", prefix.display())).unwrap();
     assert_eq!(a.shape(), (20, 2));
     let b = haten2::linalg::load_mat(format!("{}.B.mat", prefix.display())).unwrap();
     assert_eq!(b.shape(), (20, 3));
-    let core =
-        haten2::tensor::io::load_coo3(format!("{}.core.tns", prefix.display())).unwrap();
+    let core = haten2::tensor::io::load_coo3(format!("{}.core.tns", prefix.display())).unwrap();
     assert!(core.nnz() > 0);
     assert!(core.dims()[0] <= 2 && core.dims()[1] <= 3);
 }
@@ -93,22 +122,47 @@ fn generate_kb_and_nonneg_and_complete() {
     let dir = tmp_dir("kb");
     let tns = dir.join("kb.tns");
     let out = cli()
-        .args(["generate", "kb", "--preset", "freebase-music", "--scale", "1", "--out"])
+        .args([
+            "generate",
+            "kb",
+            "--preset",
+            "freebase-music",
+            "--scale",
+            "1",
+            "--out",
+        ])
         .arg(&tns)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("preprocessed"));
 
     let prefix = dir.join("nn");
     let out = cli()
         .args(["decompose", "parafac", "--input"])
         .arg(&tns)
-        .args(["--rank", "2", "--iters", "2", "--machines", "2", "--nonneg", "--out-prefix"])
+        .args([
+            "--rank",
+            "2",
+            "--iters",
+            "2",
+            "--machines",
+            "2",
+            "--nonneg",
+            "--out-prefix",
+        ])
         .arg(&prefix)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("nonnegative PARAFAC"));
     // Nonnegativity of written factors.
     let a = haten2::linalg::load_mat(format!("{}.A.mat", prefix.display())).unwrap();
@@ -118,11 +172,23 @@ fn generate_kb_and_nonneg_and_complete() {
     let out = cli()
         .args(["complete", "--input"])
         .arg(&tns)
-        .args(["--rank", "2", "--iters", "2", "--machines", "2", "--out-prefix"])
+        .args([
+            "--rank",
+            "2",
+            "--iters",
+            "2",
+            "--machines",
+            "2",
+            "--out-prefix",
+        ])
         .arg(&prefix)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("EM-ALS completion"));
 }
 
@@ -145,7 +211,11 @@ fn convert_triples_to_tensor() {
         .arg(&tns)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("parsed 5 triples"), "{text}");
     assert!(text.contains("1 literal"), "{text}");
@@ -174,13 +244,25 @@ fn bad_usage_reports_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     let out = cli()
-        .args(["generate", "random", "--dims", "1,2", "--nnz", "5", "--out", "/dev/null"])
+        .args([
+            "generate",
+            "random",
+            "--dims",
+            "1,2",
+            "--nnz",
+            "5",
+            "--out",
+            "/dev/null",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("three comma-separated"));
 
-    let out = cli().args(["stats", "--input", "/nonexistent/x.tns"]).output().unwrap();
+    let out = cli()
+        .args(["stats", "--input", "/nonexistent/x.tns"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -189,7 +271,9 @@ fn variant_selection_works() {
     let dir = tmp_dir("variant");
     let tns = dir.join("x.tns");
     cli()
-        .args(["generate", "random", "--dims", "15,15,15", "--nnz", "100", "--out"])
+        .args([
+            "generate", "random", "--dims", "15,15,15", "--nnz", "100", "--out",
+        ])
         .arg(&tns)
         .status()
         .unwrap();
@@ -198,7 +282,16 @@ fn variant_selection_works() {
         let out = cli()
             .args(["decompose", "parafac", "--input"])
             .arg(&tns)
-            .args(["--rank", "2", "--iters", "1", "--machines", "2", "--variant", variant])
+            .args([
+                "--rank",
+                "2",
+                "--iters",
+                "1",
+                "--machines",
+                "2",
+                "--variant",
+                variant,
+            ])
             .args(["--out-prefix"])
             .arg(&prefix)
             .output()
@@ -212,7 +305,14 @@ fn variant_selection_works() {
     let out = cli()
         .args(["decompose", "parafac", "--input"])
         .arg(&tns)
-        .args(["--rank", "2", "--variant", "bogus", "--out-prefix", "/tmp/x"])
+        .args([
+            "--rank",
+            "2",
+            "--variant",
+            "bogus",
+            "--out-prefix",
+            "/tmp/x",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -15,19 +15,35 @@ fn kb_pipeline_recovers_planted_concepts() {
     // stand-in plants ground-truth concepts.
     let kb = KnowledgeBase::freebase_music(1, 2024);
     let (x, report) = preprocess(&kb, &PreprocessConfig::default());
-    assert!(report.literals_removed > 0, "preprocessing must strip literals");
+    assert!(
+        report.literals_removed > 0,
+        "preprocessing must strip literals"
+    );
 
-    let opts = AlsOptions { max_iters: 15, tol: 1e-5, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 15,
+        tol: 1e-5,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = parafac_als(&cluster(8), &x, 6, &opts).unwrap();
-    let concepts =
-        parafac_concepts(&res.factors, &res.lambda, 5, &kb.subjects, &kb.objects, &kb.predicates);
+    let concepts = parafac_concepts(
+        &res.factors,
+        &res.lambda,
+        5,
+        &kb.subjects,
+        &kb.objects,
+        &kb.predicates,
+    );
 
     // At least one discovered concept matches a planted block well.
     let mut best = 0.0f64;
     for c in &concepts {
         for planted in &kb.concepts {
-            let names: Vec<String> =
-                planted.subjects.iter().map(|&s| kb.subjects[s as usize].clone()).collect();
+            let names: Vec<String> = planted
+                .subjects
+                .iter()
+                .map(|&s| kb.subjects[s as usize].clone())
+                .collect();
             best = best.max(recovery_precision(&c.subjects, &names));
         }
     }
@@ -39,7 +55,12 @@ fn all_variants_agree_on_full_parafac_decomposition() {
     let x = random_tensor(&RandomTensorConfig::cubic(12, 120, 3));
     let mut fits: Vec<(Variant, Vec<f64>)> = Vec::new();
     for variant in Variant::ALL {
-        let opts = AlsOptions { max_iters: 3, tol: 0.0, seed: 5, ..AlsOptions::with_variant(variant) };
+        let opts = AlsOptions {
+            max_iters: 3,
+            tol: 0.0,
+            seed: 5,
+            ..AlsOptions::with_variant(variant)
+        };
         let res = parafac_als(&cluster(4), &x, 3, &opts).unwrap();
         fits.push((variant, res.fits));
     }
@@ -54,7 +75,12 @@ fn all_variants_agree_on_full_parafac_decomposition() {
 #[test]
 fn distributed_tucker_matches_baseline_bit_for_bit() {
     let x = random_tensor(&RandomTensorConfig::cubic(10, 80, 4));
-    let opts = AlsOptions { max_iters: 3, tol: 0.0, seed: 11, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 3,
+        tol: 0.0,
+        seed: 11,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let dist = tucker_als(&cluster(4), &x, [3, 3, 3], &opts).unwrap();
     let base = haten2::baseline::tucker_als_baseline(&x, [3, 3, 3], 3, 0.0, 11, None).unwrap();
     for (a, b) in dist.core_norms.iter().zip(&base.core_norms) {
@@ -75,7 +101,12 @@ fn tensor_io_roundtrip_through_decomposition() {
 
     // Dims may shrink on load (inferred); decompose the loaded tensor and
     // the original restricted to the same dims.
-    let opts = AlsOptions { max_iters: 2, tol: 0.0, seed: 8, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 2,
+        tol: 0.0,
+        seed: 8,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let rx = parafac_als(&cluster(2), &x, 2, &opts).unwrap();
     // Values and support survive the roundtrip exactly.
     assert_eq!(x.nnz(), y.nnz());
@@ -96,12 +127,19 @@ fn oom_failures_are_clean_and_reported() {
             ..ClusterConfig::with_machines(4)
         })
     };
-    let naive_opts =
-        AlsOptions { max_iters: 1, tol: 0.0, ..AlsOptions::with_variant(Variant::Naive) };
+    let naive_opts = AlsOptions {
+        max_iters: 1,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Naive)
+    };
     let err = parafac_als(&tiny(), &x, 3, &naive_opts).unwrap_err();
     assert!(err.is_oom(), "naive should o.o.m.: {err}");
 
-    let dri_opts = AlsOptions { max_iters: 1, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let dri_opts = AlsOptions {
+        max_iters: 1,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     parafac_als(&tiny(), &x, 3, &dri_opts).unwrap();
 }
 
@@ -134,7 +172,11 @@ fn dri_reads_input_fewer_times_than_drn() {
     // (one fused job), DRN reads it per Hadamard job. Proxy: total map
     // input bytes across the decomposition.
     let x = random_tensor(&RandomTensorConfig::cubic(15, 150, 13));
-    let opts = |v| AlsOptions { max_iters: 2, tol: 0.0, ..AlsOptions::with_variant(v) };
+    let opts = |v| AlsOptions {
+        max_iters: 2,
+        tol: 0.0,
+        ..AlsOptions::with_variant(v)
+    };
     let c_drn = cluster(4);
     parafac_als(&c_drn, &x, 4, &opts(Variant::Drn)).unwrap();
     let c_dri = cluster(4);
@@ -152,7 +194,11 @@ fn metrics_expose_paper_cost_structure() {
     // Sanity on the public metrics API used by all experiments.
     let x = random_tensor(&RandomTensorConfig::cubic(10, 100, 14));
     let c = cluster(4);
-    let opts = AlsOptions { max_iters: 1, tol: 0.0, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 1,
+        tol: 0.0,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let res = parafac_als(&c, &x, 3, &opts).unwrap();
     let m = &res.metrics;
     assert_eq!(m.total_jobs(), 6); // 2 jobs x 3 modes x 1 sweep

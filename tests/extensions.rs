@@ -36,7 +36,11 @@ fn all_three_parafac_flavors_agree_on_clean_data() {
     // On a fully observed nonnegative low-rank tensor, plain ALS, nonneg
     // multiplicative updates, and compression must all reach high fit.
     let (_, _, _, x) = ground_truth([7, 6, 5], 2, 301);
-    let opts = AlsOptions { max_iters: 60, tol: 1e-10, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 60,
+        tol: 1e-10,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
 
     let plain = parafac_als(&cluster(), &x, 2, &opts).unwrap();
     assert!(plain.fit() > 0.999, "plain fit {}", plain.fit());
@@ -70,7 +74,11 @@ fn completion_pipeline_through_cli_formats() {
         .collect();
     let x = CooTensor3::from_entries(full.dims(), observed).unwrap();
 
-    let opts = AlsOptions { max_iters: 80, tol: 1e-12, ..AlsOptions::with_variant(Variant::Dri) };
+    let opts = AlsOptions {
+        max_iters: 80,
+        tol: 1e-12,
+        ..AlsOptions::with_variant(Variant::Dri)
+    };
     let em = parafac_missing(&cluster(), &x, 2, &opts).unwrap();
     // EM-ALS on 40%-missing data: high observed fit (exact recovery needs
     // more sweeps than worth spending in a test).
