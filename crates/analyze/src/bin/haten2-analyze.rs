@@ -1,0 +1,85 @@
+//! CLI for the static plan analyzer.
+//!
+//! * `--verify-paper-table` — check all eight registered pipelines against
+//!   the paper's Tables III/IV and print the markdown report (this is what
+//!   `scripts/check.sh` commits to `ANALYSIS.md`). Exits non-zero on any
+//!   violation.
+//! * `--reject-demo` — run deliberately mis-wired plans through the
+//!   analyzer and print the diagnostics, proving that malformed plans are
+//!   rejected naming the offending job. Exits non-zero if any demo plan
+//!   slips through.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: haten2-analyze [--verify-paper-table] [--reject-demo]\n\
+         \n\
+         --verify-paper-table  verify all 8 pipelines against the paper's cost\n\
+         \x20                     tables and print the markdown report\n\
+         --reject-demo         show that mis-wired plans are rejected with\n\
+         \x20                     diagnostics naming the offending job"
+    );
+    ExitCode::from(2)
+}
+
+fn verify_paper_table() -> bool {
+    let report = haten2_analyze::verify_paper_table();
+    print!("{}", report.to_markdown());
+    if report.ok() {
+        true
+    } else {
+        eprintln!(
+            "\npaper-table verification FAILED: {} violation(s)",
+            report.violations().len()
+        );
+        false
+    }
+}
+
+fn reject_demo() -> bool {
+    let mut all_rejected = true;
+    println!("# Analyzer rejection demo\n");
+    for (r, violations, ok) in haten2_analyze::demo::run_rejections() {
+        println!("## {} — {}", r.graph.name, r.defect);
+        if violations.is_empty() {
+            println!("NOT REJECTED (analyzer found nothing)\n");
+        } else {
+            for v in &violations {
+                println!("- {v}");
+            }
+            println!();
+        }
+        if !ok {
+            all_rejected = false;
+            eprintln!(
+                "demo plan '{}' was not rejected with the expected diagnostic",
+                r.graph.name
+            );
+        }
+    }
+    if all_rejected {
+        println!("all demo plans rejected, each diagnostic names the offending job");
+    }
+    all_rejected
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut ok = true;
+    for arg in &args {
+        ok &= match arg.as_str() {
+            "--verify-paper-table" => verify_paper_table(),
+            "--reject-demo" => reject_demo(),
+            _ => return usage(),
+        };
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

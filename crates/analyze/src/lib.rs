@@ -1,0 +1,202 @@
+//! Static plan analyzer: verify the paper's cost table before a job runs.
+//!
+//! HaTen2's contribution is largely *static*: Tables III/IV bound, per
+//! variant, the maximum intermediate data of any MapReduce job, the total
+//! number of jobs per iteration, and how often the (billion-scale) input
+//! tensor is re-read. This crate checks those claims against the
+//! declarative [`JobGraph`]s the pipelines register in
+//! `haten2_core::plan`, without executing anything:
+//!
+//! * **Dataflow pass** ([`dataflow::check_dataflow`]) — every dataset is
+//!   produced before it is consumed, never overwritten while live, and
+//!   never written without a reader; big-tensor reads are counted from the
+//!   graph, so a variant cannot silently take an extra pass over the
+//!   input.
+//! * **Cost pass** ([`cost::check_cost`]) — the graph-derived max
+//!   intermediate records, job count, and tensor-read count are held to
+//!   the paper's claimed expressions by extensional equivalence over the
+//!   operating-regime grid ([`cost::regime_envs`]).
+//! * **Lint pass** — source-level rules (forbidden APIs, undocumented
+//!   `unsafe`, `unwrap` in library code) live in the `xtask` binary
+//!   (`cargo xtask lint`), not here: they scan text, not plans.
+//!
+//! Every violation is a [`Violation`] whose `Display` names the offending
+//! job. `cargo run -p haten2-analyze -- --verify-paper-table` renders the
+//! full verification report (committed as `ANALYSIS.md`);
+//! `--reject-demo` proves the analyzer rejects deliberately mis-wired
+//! plans ([`demo`]).
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod cost;
+pub mod dataflow;
+pub mod demo;
+pub mod report;
+
+pub use cost::{paper_claim, regime_envs, PaperClaim};
+pub use dataflow::check_dataflow;
+pub use report::{verify_paper_table, Report, RowVerdict};
+
+use haten2_mapreduce::{Env, JobGraph};
+
+/// One defect found by the analyzer. `Display` always names the offending
+/// job (or graph) so a rejection is actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A job reads a dataset that no earlier job writes and the driver
+    /// does not provide.
+    DanglingRead {
+        /// Offending job template.
+        job: String,
+        /// The dataset it reads.
+        dataset: String,
+    },
+    /// A job overwrites a dataset whose previous contents were never read
+    /// — a lost update.
+    LostWrite {
+        /// Offending job template.
+        job: String,
+        /// The clobbered dataset.
+        dataset: String,
+        /// The writer whose output is lost.
+        prior_job: String,
+    },
+    /// A dataset is written but neither read by a later job nor declared a
+    /// pipeline output.
+    UnusedDataset {
+        /// The job left holding the unread write.
+        job: String,
+        /// The unused dataset.
+        dataset: String,
+    },
+    /// The graph-derived max intermediate data disagrees with the paper's
+    /// claim on some regime environment.
+    CostMismatch {
+        /// Graph whose bound failed.
+        graph: String,
+        /// Derived expression.
+        derived: String,
+        /// Claimed expression.
+        claimed: String,
+        /// Counterexample environment.
+        env: Env,
+        /// Derived value on `env`.
+        derived_val: u128,
+        /// Claimed value on `env`.
+        claimed_val: u128,
+    },
+    /// The graph's total job count disagrees with the paper's claim.
+    JobCountMismatch {
+        /// Graph whose count failed.
+        graph: String,
+        /// Derived expression.
+        derived: String,
+        /// Claimed expression.
+        claimed: String,
+        /// Counterexample environment.
+        env: Env,
+        /// Derived value on `env`.
+        derived_val: u128,
+        /// Claimed value on `env`.
+        claimed_val: u128,
+    },
+    /// The number of passes over the big input tensor disagrees with the
+    /// variant's claim.
+    TensorReadMismatch {
+        /// Graph whose read count failed.
+        graph: String,
+        /// Derived expression.
+        derived: String,
+        /// Claimed expression.
+        claimed: String,
+        /// Counterexample environment.
+        env: Env,
+        /// Derived value on `env`.
+        derived_val: u128,
+        /// Claimed value on `env`.
+        claimed_val: u128,
+    },
+}
+
+fn fmt_env(env: &Env) -> String {
+    format!(
+        "nnz={}, I={}, J={}, K={}, Q={}, R={}",
+        env.nnz, env.dim_i, env.dim_j, env.dim_k, env.rank_q, env.rank_r
+    )
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DanglingRead { job, dataset } => write!(
+                f,
+                "dangling read: job '{job}' reads dataset '{dataset}', which no \
+                 preceding job writes and the driver does not provide"
+            ),
+            Violation::LostWrite {
+                job,
+                dataset,
+                prior_job,
+            } => write!(
+                f,
+                "lost write: job '{job}' overwrites dataset '{dataset}' while the \
+                 output of job '{prior_job}' is still unread"
+            ),
+            Violation::UnusedDataset { job, dataset } => write!(
+                f,
+                "unused dataset: job '{job}' writes '{dataset}', which no later job \
+                 reads and the pipeline does not output"
+            ),
+            Violation::CostMismatch {
+                graph,
+                derived,
+                claimed,
+                env,
+                derived_val,
+                claimed_val,
+            } => write!(
+                f,
+                "cost mismatch in graph '{graph}': derived max intermediate data \
+                 {derived} ≠ claimed {claimed}; at {} the jobs produce {derived_val} \
+                 records but the table claims {claimed_val}",
+                fmt_env(env)
+            ),
+            Violation::JobCountMismatch {
+                graph,
+                derived,
+                claimed,
+                env,
+                derived_val,
+                claimed_val,
+            } => write!(
+                f,
+                "job-count mismatch in graph '{graph}': derived {derived} ≠ claimed \
+                 {claimed}; at {} the graph runs {derived_val} jobs but the table \
+                 claims {claimed_val}",
+                fmt_env(env)
+            ),
+            Violation::TensorReadMismatch {
+                graph,
+                derived,
+                claimed,
+                env,
+                derived_val,
+                claimed_val,
+            } => write!(
+                f,
+                "tensor-read mismatch in graph '{graph}': derived {derived} ≠ claimed \
+                 {claimed}; at {} the jobs read the big input {derived_val} times but \
+                 the variant claims {claimed_val}",
+                fmt_env(env)
+            ),
+        }
+    }
+}
+
+/// Run both static passes (dataflow, then cost) on one graph.
+pub fn analyze_graph(graph: &JobGraph, claim: &PaperClaim, envs: &[Env]) -> Vec<Violation> {
+    let mut v = dataflow::check_dataflow(graph);
+    v.extend(cost::check_cost(graph, claim, envs));
+    v
+}

@@ -22,6 +22,9 @@
 //!   (`nnz · min(Q, R)` fibers of length `Q·R` in the worst case; we charge
 //!   the Lemma 3 estimate `nnz · Q` entries after the first product).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod memory;
 pub mod parafac;
 pub mod tucker;

@@ -5,6 +5,9 @@
 //! * DRN vs DRI with identical math (isolates the job-integration effect),
 //! * subspace iteration vs Gram-eigen SVD for the Tucker factor update.
 
+// Benchmark harness code: `unwrap` on setup is acceptable (workspace
+// clippy policy allows it outside library code only via this opt-out).
+#![allow(clippy::unwrap_used)]
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -2,6 +2,9 @@
 //! EM-ALS, nonnegative multiplicative updates, compression-accelerated
 //! PARAFAC, and the N-way kernels.
 
+// Benchmark harness code: `unwrap` on setup is acceptable (workspace
+// clippy policy allows it outside library code only via this opt-out).
+#![allow(clippy::unwrap_used)]
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -2,6 +2,9 @@
 //! `Y ← X ×₂ Bᵀ ×₃ Cᵀ` per HaTen2 variant, across the three sweep axes
 //! (dimensionality, density, core size).
 
+// Benchmark harness code: `unwrap` on setup is acceptable (workspace
+// clippy policy allows it outside library code only via this opt-out).
+#![allow(clippy::unwrap_used)]
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

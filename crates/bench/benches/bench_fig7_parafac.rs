@@ -1,6 +1,9 @@
 //! Criterion bench for Figure 7: the PARAFAC MTTKRP kernel
 //! `Y ← X₍₁₎ (C ⊙ B)` per HaTen2 variant, across the three sweep axes.
 
+// Benchmark harness code: `unwrap` on setup is acceptable (workspace
+// clippy policy allows it outside library code only via this opt-out).
+#![allow(clippy::unwrap_used)]
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

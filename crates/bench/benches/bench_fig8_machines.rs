@@ -3,6 +3,9 @@
 //! measures the engine's real wall time; the simulated scale-up series is
 //! printed once at the end for the figure itself.
 
+// Benchmark harness code: `unwrap` on setup is acceptable (workspace
+// clippy policy allows it outside library code only via this opt-out).
+#![allow(clippy::unwrap_used)]
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

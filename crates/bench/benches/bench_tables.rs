@@ -1,6 +1,9 @@
 //! Criterion benches for the cost tables (III, IV), the dataset pipeline
 //! (Table V), the discovery pipeline (Tables VI–VIII), and Lemma 3.
 
+// Benchmark harness code: `unwrap` on setup is acceptable (workspace
+// clippy policy allows it outside library code only via this opt-out).
+#![allow(clippy::unwrap_used)]
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -25,6 +25,9 @@
 //! | Table VIII | [`experiments::table8_tucker_concepts`] |
 //! | Lemma 3    | [`experiments::lemma3_nnz_estimate`] |
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod seed_engine;
 pub mod table;

@@ -35,6 +35,9 @@ struct MapTaskResult<KM, VM> {
 }
 
 fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    // Frozen seed engine, kept verbatim as the ablation baseline; its
+    // partition placement is not asserted on.
+    // lint:allow(no-default-hasher)
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() as usize) % partitions
@@ -118,6 +121,9 @@ where
         }
     };
 
+    // Frozen seed engine: per-job scoped threads are the very overhead
+    // the WorkerPool ablation measures.
+    // lint:allow(no-raw-threads)
     std::thread::scope(|s| {
         for _ in 0..threads.min(actual_tasks) {
             s.spawn(|| loop {
@@ -194,6 +200,9 @@ where
     let failure: Mutex<Option<MrError>> = Mutex::new(None);
     let failed = AtomicBool::new(false);
 
+    // Frozen seed engine: per-job scoped threads are the very overhead
+    // the WorkerPool ablation measures.
+    // lint:allow(no-raw-threads)
     std::thread::scope(|s| {
         for _ in 0..threads.min(num_reducers) {
             s.spawn(|| loop {

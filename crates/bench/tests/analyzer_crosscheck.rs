@@ -1,0 +1,215 @@
+//! Analyzer ↔ runtime cross-check: the static plan predictions of
+//! `haten2_core::plan` must match what the metered engine actually does.
+//!
+//! For random `(dims, rank, nnz)` in generic position (strictly positive
+//! tensor values and factors, so no product cancels), every job the
+//! runtime pipelines submit is compared against the expanded `JobGraph`:
+//! same job names, and per job either *exactly* the predicted map-output
+//! records and shuffle bytes (jobs marked `exact` — all of DRI) or at
+//! most the predicted upper bound. This pins the paper-table verification
+//! of `haten2-analyze` to the real engine: if a pipeline or a record
+//! type drifts, the static table silently verifying the wrong thing is
+//! impossible — this test fails instead.
+
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
+use haten2_core::parafac::mttkrp;
+use haten2_core::tucker::{project, ProjectOptions};
+use haten2_core::{env_for, plan_for, Decomp, Variant};
+use haten2_linalg::Mat;
+use haten2_mapreduce::{Cluster, ClusterConfig, JobInstance};
+use haten2_tensor::{CooTensor3, Entry3};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random tensor in generic position: indices anywhere in `dims`,
+/// values strictly positive (duplicates sum, so nothing cancels to zero).
+fn generic_tensor(dims: [u64; 3], n: usize, rng: &mut StdRng) -> CooTensor3 {
+    let entries = (0..n)
+        .map(|_| {
+            Entry3::new(
+                rng.gen_range(0..dims[0]),
+                rng.gen_range(0..dims[1]),
+                rng.gen_range(0..dims[2]),
+                rng.gen_range(0.5..2.0),
+            )
+        })
+        .collect();
+    CooTensor3::from_entries(dims, entries).unwrap()
+}
+
+/// A strictly positive `rows × cols` matrix.
+fn generic_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(0.5..2.0)).collect())
+        .collect();
+    Mat::from_rows(&data).unwrap()
+}
+
+/// Compare predicted instances against metered jobs: equal name multisets;
+/// exact jobs match records and shuffle bytes exactly, bounded jobs never
+/// exceed the prediction. (Sorted by name because the PARAFAC Naive/DNN
+/// drivers interleave their per-column jobs.)
+fn crosscheck(
+    label: &str,
+    mut predicted: Vec<JobInstance>,
+    metered: &haten2_mapreduce::RunMetrics,
+) -> Result<(), TestCaseError> {
+    let mut actual: Vec<&haten2_mapreduce::JobMetrics> = metered.jobs.iter().collect();
+    predicted.sort_by(|a, b| a.name.cmp(&b.name));
+    actual.sort_by(|a, b| a.name.cmp(&b.name));
+    prop_assert_eq!(
+        predicted.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+        actual.iter().map(|j| j.name.clone()).collect::<Vec<_>>(),
+        "{}: job names",
+        label
+    );
+    for (p, j) in predicted.iter().zip(&actual) {
+        if p.exact {
+            prop_assert_eq!(
+                p.records,
+                j.map_output_records as u128,
+                "{} / {}: records",
+                label,
+                &p.name
+            );
+            prop_assert_eq!(
+                p.bytes,
+                j.shuffle_bytes as u128,
+                "{} / {}: shuffle bytes",
+                label,
+                &p.name
+            );
+        } else {
+            prop_assert!(
+                j.map_output_records as u128 <= p.records,
+                "{} / {}: {} records exceed bound {}",
+                label,
+                &p.name,
+                j.map_output_records,
+                p.records
+            );
+            prop_assert!(
+                j.shuffle_bytes as u128 <= p.bytes,
+                "{} / {}: {} shuffle bytes exceed bound {}",
+                label,
+                &p.name,
+                j.shuffle_bytes,
+                p.bytes
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tucker_predictions_match_metered_runs(
+        di in 4u64..12, dj in 4u64..12, dk in 4u64..12,
+        q in 1usize..5, r in 1usize..5,
+        n in 10usize..60,
+        machines in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [di, dj, dk];
+        let x = generic_tensor(dims, n, &mut rng);
+        let bt = generic_mat(q, dj as usize, &mut rng);
+        let ct = generic_mat(r, dk as usize, &mut rng);
+        // Mode 0: canonicalization is the identity, so `dims` are already
+        // the canonical (I, J, K) the plan's env expects.
+        let env = env_for(dims, x.nnz(), q, r, machines);
+        for variant in Variant::ALL {
+            let cluster = Cluster::new(ClusterConfig::with_machines(machines));
+            project(&cluster, variant, &x, 0, &bt, &ct, &ProjectOptions::default()).unwrap();
+            let predicted = plan_for(Decomp::Tucker, variant).expand(&env);
+            crosscheck(&format!("tucker {variant}"), predicted, &cluster.metrics())?;
+        }
+    }
+
+    #[test]
+    fn parafac_predictions_match_metered_runs(
+        di in 4u64..12, dj in 4u64..12, dk in 4u64..12,
+        rank in 1usize..5,
+        n in 10usize..60,
+        machines in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [di, dj, dk];
+        let x = generic_tensor(dims, n, &mut rng);
+        let f1 = generic_mat(dj as usize, rank, &mut rng);
+        let f2 = generic_mat(dk as usize, rank, &mut rng);
+        let env = env_for(dims, x.nnz(), rank, rank, machines);
+        for variant in Variant::ALL {
+            let cluster = Cluster::new(ClusterConfig::with_machines(machines));
+            mttkrp(&cluster, variant, &x, 0, &f1, &f2).unwrap();
+            let predicted = plan_for(Decomp::Parafac, variant).expand(&env);
+            crosscheck(&format!("parafac {variant}"), predicted, &cluster.metrics())?;
+        }
+    }
+
+    #[test]
+    fn metered_runs_respect_the_paper_claims(
+        di in 4u64..12, dj in 4u64..12, dk in 4u64..12,
+        q in 2usize..5, r in 2usize..5,
+        n in 10usize..60,
+        seed in any::<u64>(),
+    ) {
+        // End to end: the *claimed* table rows (not just the graphs) bound
+        // the metered runs, closing the loop analyzer → plan → engine.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [di, dj, dk];
+        let x = generic_tensor(dims, n, &mut rng);
+        let bt = generic_mat(q, dj as usize, &mut rng);
+        let ct = generic_mat(r, dk as usize, &mut rng);
+        let env = env_for(dims, x.nnz(), q, r, 4);
+        for variant in Variant::ALL {
+            let claim = haten2_analyze::paper_claim(Decomp::Tucker, variant);
+            let graph = plan_for(Decomp::Tucker, variant);
+            let cluster = Cluster::new(ClusterConfig::with_machines(4));
+            project(&cluster, variant, &x, 0, &bt, &ct, &ProjectOptions::default()).unwrap();
+            let m = cluster.metrics();
+            prop_assert_eq!(
+                m.total_jobs() as u128,
+                claim.total_jobs.eval(&env),
+                "tucker {}: job count vs table",
+                variant
+            );
+            // The table's closed-form max-intermediate expression only
+            // dominates outside the paper regime via the graph's `max`
+            // over jobs (e.g. Naive's tv-c term can exceed nnz + I·J·K
+            // when Q ≈ J); the metered run must respect the graph bound,
+            // and claim ≡ graph bound on the regime grid is verified by
+            // `haten2-analyze`.
+            prop_assert!(
+                (m.max_intermediate_records() as u128)
+                    <= graph.max_intermediate_records().eval(&env),
+                "tucker {}: max intermediate {} exceeds derived bound {}",
+                variant,
+                m.max_intermediate_records(),
+                graph.max_intermediate_records().eval(&env)
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_table_verifies_statically() {
+    // The bench harness depends on the verified table; fail fast here if
+    // the static verification ever regresses.
+    let report = haten2_analyze::verify_paper_table();
+    assert!(
+        report.ok(),
+        "paper-table verification failed: {:?}",
+        report
+            .violations()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+    );
+}

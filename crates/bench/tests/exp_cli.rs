@@ -1,5 +1,9 @@
 //! Smoke tests for the `haten2-exp` experiment binary.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use std::process::Command;
 
 fn exp() -> Command {

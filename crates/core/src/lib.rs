@@ -22,6 +22,9 @@
 //! Every distributed operation is tested for exact agreement with the
 //! single-machine reference implementations in `haten2_tensor::ops`.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod als;
 pub mod canon;
 pub mod checkpoint;
@@ -31,6 +34,7 @@ pub mod nonneg;
 pub mod nway;
 pub mod ops;
 pub mod parafac;
+pub mod plan;
 pub mod records;
 pub mod tucker;
 
@@ -44,6 +48,7 @@ pub use checkpoint::{
 pub use compress::parafac_via_compression;
 pub use missing::{parafac_missing, MissingParafacResult};
 pub use nonneg::{nonneg_parafac, NonnegParafacResult};
+pub use plan::{env_for, plan_for, Decomp};
 pub use records::Ix4;
 
 /// Which HaTen2 variant executes an operation (paper Table II).

@@ -1,0 +1,477 @@
+//! Declarative plans for the eight HaTen2 pipelines.
+//!
+//! Each (decomposition × variant) pipeline registers a
+//! [`JobGraph`] describing exactly what its driver in [`crate::tucker`] /
+//! [`crate::parafac`] submits at runtime: the job templates in execution
+//! order (with the same names the metered [`haten2_mapreduce::Cluster`]
+//! records), the datasets flowing between them, and symbolic per-job
+//! intermediate-data expressions over `(nnz, I, J, K, Q, R)`.
+//!
+//! The `haten2-analyze` crate consumes these graphs to verify the paper's
+//! Tables III/IV statically; `haten2-bench` cross-checks the expanded
+//! predictions against metered runs (exactly, for the DRI pipelines).
+//!
+//! **Conventions.** Dimensions are the *canonical* orientation of
+//! [`crate::canon::canonicalize`]: `I` is the target-mode dimension, `J`
+//! and `K` the remaining modes in ascending original order. For PARAFAC,
+//! `Q = R =` the CP rank. Byte expressions reconstruct the engine's exact
+//! accounting — per-record key/value sizes come from the very
+//! [`EstimateSize`] impls in [`crate::records`] plus the engine's framing
+//! constant, so a change to the wire format breaks the cross-check tests
+//! rather than silently invalidating the analyzer.
+//!
+//! **Exactness.** A job's `records`/`bytes` are *exact in generic
+//! position* (no zero factor entries, no cancellation — [`PlanJob::exact`]
+//! = `true`) or a worst-case upper bound (`false`). All DRI jobs are
+//! exact; bounds appear only downstream of a `Collapse`, whose output
+//! support (`distinct (i,k) pairs`) is data-dependent.
+
+use crate::records::{HadVal, ImhpVal, MergeVal, NaiveVal};
+use crate::Variant;
+use haten2_mapreduce::{Env, EstimateSize, JobGraph, PlanJob, SymExpr, RECORD_FRAMING_BYTES};
+
+/// Which decomposition a plan describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decomp {
+    /// Tucker projection `Y ← X ×₂ Bᵀ ×₃ Cᵀ` ([`crate::tucker::project`]).
+    Tucker,
+    /// PARAFAC MTTKRP `M ← X₍ₙ₎ (C ⊙ B)` ([`crate::parafac::mttkrp`]).
+    Parafac,
+}
+
+impl Decomp {
+    /// Both decompositions, Tucker first (paper order).
+    pub const ALL: [Decomp; 2] = [Decomp::Tucker, Decomp::Parafac];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Decomp::Tucker => "Tucker",
+            Decomp::Parafac => "PARAFAC",
+        }
+    }
+}
+
+impl std::fmt::Display for Decomp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The [`Env`] for one concrete pipeline invocation on a tensor with
+/// canonical `dims`, `nnz` nonzeros, core sizes / ranks `q`, `r`, and
+/// `machines` machines.
+pub fn env_for(dims: [u64; 3], nnz: usize, q: usize, r: usize, machines: usize) -> Env {
+    Env {
+        nnz: nnz as u64,
+        dim_i: dims[0],
+        dim_j: dims[1],
+        dim_k: dims[2],
+        rank_q: q as u64,
+        rank_r: r as u64,
+        machines: machines as u64,
+    }
+}
+
+// ---- Per-record byte constants, reconstructed from the real wire sizes ----
+
+fn frame() -> u64 {
+    RECORD_FRAMING_BYTES as u64
+}
+
+fn ix4_key_bytes() -> u64 {
+    (0u64, 0u64, 0u64, 0u64).est_bytes() as u64
+}
+
+/// Hadamard job, tensor-entry emission: `u64` key + `HadVal::Ent`.
+fn had_ent_bytes() -> u64 {
+    8 + HadVal::Ent((0, 0, 0, 0), 0.0).est_bytes() as u64 + frame()
+}
+
+/// Hadamard job, coefficient emission: `u64` key + `HadVal::Coef`.
+fn had_coef_bytes() -> u64 {
+    8 + HadVal::Coef(0.0).est_bytes() as u64 + frame()
+}
+
+/// Collapse job emission: `Ix4` key + `f64` value.
+fn collapse_bytes() -> u64 {
+    ix4_key_bytes() + 0.0f64.est_bytes() as u64 + frame()
+}
+
+/// Naive broadcast job emission (entry and coefficient emissions size
+/// identically): `Ix4` key + `NaiveVal`.
+fn naive_bytes() -> u64 {
+    ix4_key_bytes() + NaiveVal::Ent(0, 0.0).est_bytes() as u64 + frame()
+}
+
+/// IMHP tensor-entry emission: `(u8, u64)` key + `ImhpVal::Ent`.
+fn imhp_ent_bytes() -> u64 {
+    (0u8, 0u64).est_bytes() as u64 + ImhpVal::Ent((0, 0, 0, 0), 0.0).est_bytes() as u64 + frame()
+}
+
+/// IMHP factor-row emission, excluding the per-element payload: `(u8,
+/// u64)` key + empty `ImhpVal::Row`.
+fn imhp_row_base_bytes() -> u64 {
+    (0u8, 0u64).est_bytes() as u64 + ImhpVal::Row(Vec::new()).est_bytes() as u64 + frame()
+}
+
+/// Per-element payload of an IMHP factor row.
+fn imhp_row_elem_bytes() -> u64 {
+    0.0f64.est_bytes() as u64
+}
+
+/// CrossMerge / PairwiseMerge emission: `u64` key + `MergeVal`.
+fn merge_bytes() -> u64 {
+    8 + MergeVal {
+        side: 0,
+        i: 0,
+        j: 0,
+        k: 0,
+        d: 0,
+        v: 0.0,
+    }
+    .est_bytes() as u64
+        + frame()
+}
+
+// ---- Expression shorthands -------------------------------------------------
+
+fn n() -> SymExpr {
+    SymExpr::nnz()
+}
+fn di() -> SymExpr {
+    SymExpr::dim_i()
+}
+fn dj() -> SymExpr {
+    SymExpr::dim_j()
+}
+fn dk() -> SymExpr {
+    SymExpr::dim_k()
+}
+fn q() -> SymExpr {
+    SymExpr::rank_q()
+}
+fn r() -> SymExpr {
+    SymExpr::rank_r()
+}
+fn c(v: u64) -> SymExpr {
+    SymExpr::c(v)
+}
+
+/// IMHP job template shared by both DRI pipelines: reads the tensor once,
+/// writes both expanded sides. Emits 2 records per nonzero plus one row
+/// record per column of each factor; `q_len`/`r_len` are the row lengths
+/// (Q and R for Tucker, R and R for PARAFAC).
+fn imhp_job(name: &str, q_len: SymExpr, r_len: SymExpr) -> PlanJob {
+    let records = c(2) * n() + dj() + dk();
+    let bytes = c(2 * imhp_ent_bytes()) * n()
+        + (c(imhp_row_base_bytes()) + c(imhp_row_elem_bytes()) * q_len) * dj()
+        + (c(imhp_row_base_bytes()) + c(imhp_row_elem_bytes()) * r_len) * dk();
+    PlanJob::new(name)
+        .reads(["x"])
+        .writes(["t_prime", "t_dprime"])
+        .emits(records, bytes)
+}
+
+/// The registered plan for one (decomposition × variant) pipeline.
+///
+/// Job names, order, counts, and dataset wiring mirror the runtime
+/// drivers exactly; the cross-check tests in `haten2-bench` fail if they
+/// drift.
+pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
+    match (decomp, variant) {
+        // -- Tucker (Algorithms 3, 5, 7, 9; Table III) ---------------------
+        (Decomp::Tucker, Variant::Naive) => JobGraph::new("tucker-naive", [])
+            .big_input("x")
+            .output("y")
+            .job(
+                // Broadcast n-mode vector product per column of B: every
+                // coefficient of the length-J vector is shuffled to all
+                // I·K fibers — the paper's nnz + I·J·K blowup.
+                PlanJob::new("tucker-naive-xv-b{}")
+                    .repeat(q())
+                    .reads(["x"])
+                    .writes(["t"])
+                    .emits(
+                        n() + di() * dj() * dk(),
+                        c(naive_bytes()) * (n() + di() * dj() * dk()),
+                    ),
+            )
+            .job(
+                PlanJob::new("tucker-naive-tv-c{}")
+                    .repeat(r())
+                    .reads(["t"])
+                    .writes(["y"])
+                    .emits(
+                        n() * q() + di() * q() * dk(),
+                        c(naive_bytes()) * (n() * q() + di() * q() * dk()),
+                    )
+                    // |T| = Q · (distinct (i,k) pairs) ≤ Q·nnz.
+                    .upper_bound(),
+            ),
+        (Decomp::Tucker, Variant::Dnn) => JobGraph::new("tucker-dnn", [])
+            .big_input("x")
+            .output("y")
+            .job(
+                PlanJob::new("tucker-dnn-had-b{}")
+                    .repeat(q())
+                    .reads(["x"])
+                    .writes(["t_prime"])
+                    .emits(
+                        n() + dj(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
+                    ),
+            )
+            .job(
+                PlanJob::new("tucker-dnn-collapse-j")
+                    .reads(["t_prime"])
+                    .writes(["t"])
+                    .emits(n() * q(), c(collapse_bytes()) * n() * q()),
+            )
+            .job(
+                PlanJob::new("tucker-dnn-had-c{}")
+                    .repeat(r())
+                    .reads(["t"])
+                    .writes(["y_prime"])
+                    .emits(
+                        n() * q() + dk(),
+                        c(had_ent_bytes()) * n() * q() + c(had_coef_bytes()) * dk(),
+                    )
+                    .upper_bound(),
+            )
+            .job(
+                // The nnz·Q·R blowup that makes DNN the intermediate-data
+                // worst case of the decoupled variants (Table III row 2).
+                PlanJob::new("tucker-dnn-collapse-k")
+                    .reads(["y_prime"])
+                    .writes(["y"])
+                    .emits(n() * q() * r(), c(collapse_bytes()) * n() * q() * r())
+                    .upper_bound(),
+            ),
+        (Decomp::Tucker, Variant::Drn) => JobGraph::new("tucker-drn", [])
+            .big_input("x")
+            .big_input("x_bin")
+            .output("y")
+            .job(
+                PlanJob::new("tucker-drn-had-b{}")
+                    .repeat(q())
+                    .reads(["x"])
+                    .writes(["t_prime"])
+                    .emits(
+                        n() + dj(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
+                    ),
+            )
+            .job(
+                PlanJob::new("tucker-drn-had-c{}")
+                    .repeat(r())
+                    .reads(["x_bin"])
+                    .writes(["t_dprime"])
+                    .emits(
+                        n() + dk(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dk(),
+                    ),
+            )
+            .job(
+                PlanJob::new("tucker-drn-crossmerge")
+                    .reads(["t_prime", "t_dprime"])
+                    .writes(["y"])
+                    .emits(n() * (q() + r()), c(merge_bytes()) * n() * (q() + r())),
+            ),
+        (Decomp::Tucker, Variant::Dri) => JobGraph::new("tucker-dri", [])
+            .big_input("x")
+            .output("y")
+            .job(imhp_job("tucker-dri-imhp", q(), r()))
+            .job(
+                PlanJob::new("tucker-dri-crossmerge")
+                    .reads(["t_prime", "t_dprime"])
+                    .writes(["y"])
+                    .emits(n() * (q() + r()), c(merge_bytes()) * n() * (q() + r())),
+            ),
+
+        // -- PARAFAC (Algorithms 4, 6, 8, 10; Table IV) --------------------
+        (Decomp::Parafac, Variant::Naive) => JobGraph::new("parafac-naive", [])
+            .big_input("x")
+            .output("y")
+            .job(
+                PlanJob::new("parafac-naive-xb{}")
+                    .repeat(r())
+                    .reads(["x"])
+                    .writes(["t"])
+                    .emits(
+                        n() + di() * dj() * dk(),
+                        c(naive_bytes()) * (n() + di() * dj() * dk()),
+                    ),
+            )
+            .job(
+                PlanJob::new("parafac-naive-tc{}")
+                    .repeat(r())
+                    .reads(["t"])
+                    .writes(["y"])
+                    .emits(n() + di() * dk(), c(naive_bytes()) * (n() + di() * dk()))
+                    // |T_r| = distinct (i,k) pairs ≤ nnz.
+                    .upper_bound(),
+            ),
+        (Decomp::Parafac, Variant::Dnn) => JobGraph::new("parafac-dnn", [])
+            .big_input("x")
+            .output("y")
+            .job(
+                PlanJob::new("parafac-dnn-had-b{}")
+                    .repeat(r())
+                    .reads(["x"])
+                    .writes(["h_b"])
+                    .emits(
+                        n() + dj(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
+                    ),
+            )
+            .job(
+                PlanJob::new("parafac-dnn-col-j{}")
+                    .repeat(r())
+                    .reads(["h_b"])
+                    .writes(["t"])
+                    .emits(n(), c(collapse_bytes()) * n()),
+            )
+            .job(
+                PlanJob::new("parafac-dnn-had-c{}")
+                    .repeat(r())
+                    .reads(["t"])
+                    .writes(["h_c"])
+                    .emits(
+                        n() + dk(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dk(),
+                    )
+                    .upper_bound(),
+            )
+            .job(
+                PlanJob::new("parafac-dnn-col-k{}")
+                    .repeat(r())
+                    .reads(["h_c"])
+                    .writes(["y"])
+                    .emits(n(), c(collapse_bytes()) * n())
+                    .upper_bound(),
+            ),
+        (Decomp::Parafac, Variant::Drn) => JobGraph::new("parafac-drn", [])
+            .big_input("x")
+            .big_input("x_bin")
+            .output("y")
+            .job(
+                PlanJob::new("parafac-drn-had-b{}")
+                    .repeat(r())
+                    .reads(["x"])
+                    .writes(["t_prime"])
+                    .emits(
+                        n() + dj(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
+                    ),
+            )
+            .job(
+                PlanJob::new("parafac-drn-had-c{}")
+                    .repeat(r())
+                    .reads(["x_bin"])
+                    .writes(["t_dprime"])
+                    .emits(
+                        n() + dk(),
+                        c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dk(),
+                    ),
+            )
+            .job(
+                PlanJob::new("parafac-drn-pairwisemerge")
+                    .reads(["t_prime", "t_dprime"])
+                    .writes(["y"])
+                    .emits(c(2) * n() * r(), c(2 * merge_bytes()) * n() * r()),
+            ),
+        (Decomp::Parafac, Variant::Dri) => JobGraph::new("parafac-dri", [])
+            .big_input("x")
+            .output("y")
+            .job(imhp_job("parafac-dri-imhp", r(), r()))
+            .job(
+                PlanJob::new("parafac-dri-pairwisemerge")
+                    .reads(["t_prime", "t_dprime"])
+                    .writes(["y"])
+                    .emits(c(2) * n() * r(), c(2 * merge_bytes()) * n() * r()),
+            ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parafac, tucker};
+
+    fn sample_envs() -> Vec<Env> {
+        let mut envs = Vec::new();
+        for s in 1..6u64 {
+            envs.push(Env {
+                nnz: 1000 * s,
+                dim_i: 10 + s,
+                dim_j: 20 + s,
+                dim_k: 30 + s,
+                rank_q: 1 + s,
+                rank_r: 2 + s,
+                machines: 4 * s,
+            });
+        }
+        envs
+    }
+
+    #[test]
+    fn job_counts_agree_with_driver_formulas() {
+        for env in sample_envs() {
+            let (qv, rv) = (env.rank_q as usize, env.rank_r as usize);
+            for variant in Variant::ALL {
+                let g = plan_for(Decomp::Tucker, variant);
+                assert_eq!(
+                    g.total_jobs().eval(&env),
+                    tucker::expected_jobs(variant, qv, rv) as u128,
+                    "tucker {variant}"
+                );
+                let g = plan_for(Decomp::Parafac, variant);
+                // PARAFAC plans use R for the rank.
+                assert_eq!(
+                    g.total_jobs().eval(&env),
+                    parafac::expected_jobs(variant, rv) as u128,
+                    "parafac {variant}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_matches_runtime_job_names() {
+        let env = env_for([4, 5, 6], 20, 2, 3, 4);
+        let g = plan_for(Decomp::Tucker, Variant::Naive);
+        let names: Vec<String> = g.expand(&env).into_iter().map(|j| j.name).collect();
+        assert_eq!(names[0], "tucker-naive-xv-b0");
+        assert_eq!(names[1], "tucker-naive-xv-b1");
+        assert_eq!(names[2], "tucker-naive-tv-c0");
+        assert_eq!(names.len(), 5);
+        let g = plan_for(Decomp::Parafac, Variant::Dri);
+        let names: Vec<String> = g.expand(&env).into_iter().map(|j| j.name).collect();
+        assert_eq!(names, ["parafac-dri-imhp", "parafac-dri-pairwisemerge"]);
+    }
+
+    #[test]
+    fn dri_jobs_are_all_exact() {
+        let env = env_for([4, 5, 6], 20, 2, 3, 4);
+        for decomp in Decomp::ALL {
+            for inst in plan_for(decomp, Variant::Dri).expand(&env) {
+                assert!(inst.exact, "{decomp} DRI job {} must be exact", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_constants_match_wire_format() {
+        // Pin the reconstructed constants to the EstimateSize impls; if a
+        // record type changes shape, this localizes the breakage.
+        assert_eq!(super::had_ent_bytes(), 57);
+        assert_eq!(super::had_coef_bytes(), 25);
+        assert_eq!(super::collapse_bytes(), 48);
+        assert_eq!(super::naive_bytes(), 57);
+        assert_eq!(super::imhp_ent_bytes(), 58);
+        assert_eq!(super::imhp_row_base_bytes(), 22);
+        assert_eq!(super::imhp_row_elem_bytes(), 8);
+        assert_eq!(super::merge_bytes(), 49);
+    }
+}

@@ -1,6 +1,10 @@
 //! Edge-case tests for the HaTen2 kernels and drivers: degenerate tensors,
 //! extreme shapes, boundary ranks, and minimal cluster geometries.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_core::parafac::mttkrp;
 use haten2_core::tucker::{project, ProjectOptions};
 use haten2_core::{parafac_als, tucker_als, AlsOptions, Variant};

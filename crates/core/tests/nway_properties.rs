@@ -1,6 +1,10 @@
 //! Property-based tests: the N-way kernels specialize exactly to the 3-way
 //! kernels and to the dense references on arbitrary sparse tensors.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_core::nway::{nway_mttkrp, nway_tucker_project};
 use haten2_core::tucker::{project, ProjectOptions};
 use haten2_core::Variant;

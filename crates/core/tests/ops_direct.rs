@@ -1,6 +1,10 @@
 //! Direct tests of each distributed operation in `haten2_core::ops`
 //! against the single-machine references in `haten2_tensor::ops`.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_core::ops::{
     collapse_job, cross_merge_job, hadamard_vec_job, imhp_job, model_inner_product_job,
     naive_ttv_job, pairwise_merge_job,

@@ -2,6 +2,10 @@
 //! reference implementations on arbitrary sparse tensors, for every
 //! variant, every mode, and any cluster geometry.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_core::parafac::mttkrp;
 use haten2_core::tucker::{project, ProjectOptions};
 use haten2_core::Variant;

@@ -24,6 +24,9 @@
 //! * [`datasets`] — the Table V registry mapping each paper dataset to its
 //!   scaled stand-in.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod datasets;
 pub mod discovery;
 pub mod kb;

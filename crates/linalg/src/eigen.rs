@@ -113,7 +113,7 @@ pub fn sym_eigen(a: &Mat) -> Result<SymEigen> {
 fn sorted(m: Mat, v: Mat, n: usize) -> SymEigen {
     let mut idx: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    idx.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).unwrap());
+    idx.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
     let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
     let mut vectors = Mat::zeros(n, n);
     for (newcol, &oldcol) in idx.iter().enumerate() {

@@ -21,6 +21,9 @@
 //! Dimensions follow the paper's notation where practical (`I×R` factors,
 //! `R×R` Gram matrices).
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod eigen;
 pub mod mat;
 pub mod matio;

@@ -1,6 +1,10 @@
 //! Edge-case tests for the linear-algebra kernels: degenerate shapes,
 //! repeated eigenvalues, near-singularity, and boundary subspace sizes.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_linalg::{
     householder_qr, leading_left_singular_vectors, pinv, solve_spd, svd_small, sym_eigen, thin_qr,
     Mat, SubspaceOptions,

@@ -1,5 +1,9 @@
 //! Property-based tests for the linear-algebra kernels.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_linalg::{householder_qr, pinv, svd_small, sym_eigen, Mat};
 use proptest::prelude::*;
 

@@ -28,7 +28,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Per-record framing overhead (key length + value length prefixes), bytes.
-const FRAMING_BYTES: usize = 8;
+/// Public because the static plan analyzer reconstructs the engine's byte
+/// accounting symbolically and must charge the same framing per record.
+pub const RECORD_FRAMING_BYTES: usize = 8;
+use RECORD_FRAMING_BYTES as FRAMING_BYTES;
 
 /// A map-side combiner: receives one key's values from a single map task
 /// and returns the (smaller) combined value list.

@@ -31,21 +31,34 @@
 //! * **A sequential oracle** — [`reference::run_job_reference`] is a
 //!   straight-line, single-threaded executor with the same observable
 //!   semantics; property tests hold the pooled engine to it bit-for-bit.
+//! * **A declarative plan IR** — [`plan::JobGraph`] lets pipelines publish
+//!   their dataset wiring and symbolic cost expressions up front, so the
+//!   `haten2-analyze` crate can verify the paper's static cost table
+//!   *before* a job runs.
+
+// The one unsafe block in this workspace lives in `pool.rs` behind a
+// narrowly scoped `#[allow]` with a SAFETY argument and a dedicated stress
+// test; everything else in this crate is forbidden from adding more.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cluster;
 pub mod dfs;
 pub mod job;
 pub mod metrics;
 pub mod pipeline;
+pub mod plan;
 pub mod pool;
 pub mod reference;
 pub mod size;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use dfs::Dfs;
-pub use job::{run_job, Combiner, JobSpec};
+pub use job::{run_job, Combiner, JobSpec, RECORD_FRAMING_BYTES};
 pub use metrics::{JobMetrics, RunMetrics};
 pub use pipeline::run_job_dfs;
+pub use plan::{Env, JobGraph, JobInstance, PlanJob, SymExpr, Var};
 pub use pool::WorkerPool;
 pub use reference::run_job_reference;
 pub use size::EstimateSize;

@@ -1,0 +1,535 @@
+//! Declarative job-plan IR: pipelines as data, costs as symbolic expressions.
+//!
+//! The paper's contribution is a table of *static* guarantees — per-variant
+//! bounds on intermediate data and MapReduce job counts (Tables III/IV) —
+//! but an executed pipeline only reveals those quantities after the fact,
+//! through [`crate::metrics::JobMetrics`]. This module lets a pipeline
+//! describe itself *before* running:
+//!
+//! * [`SymExpr`] — integer expressions over the problem-size variables
+//!   `(nnz, I, J, K, Q, R, M)` ([`Var`]), closed under `+`, `·` and `max`.
+//! * [`PlanJob`] — one job template: the DFS datasets it reads and writes,
+//!   how many instances run per pipeline invocation, and symbolic
+//!   per-instance map-output records/bytes (exact in generic position, or
+//!   an upper bound — see [`PlanJob::exact`]).
+//! * [`JobGraph`] — an ordered list of templates plus the datasets that
+//!   exist before the first job runs. `haten2-analyze` checks dataflow
+//!   well-formedness and derives the graph's cost bounds; [`
+//!   JobGraph::expand`] instantiates the templates for a concrete
+//!   [`Env`] so predictions can be compared against metered runs.
+//!
+//! The IR deliberately knows nothing about mappers or reducers: it is the
+//! *contract* a pipeline publishes, not an executable form. The real
+//! pipelines in `haten2-core` register one graph per (decomposition ×
+//! variant) and the analyzer holds them to the paper's table.
+
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A problem-size variable of the paper's cost analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// Number of nonzeros of the input tensor.
+    Nnz,
+    /// Dimension of the (canonical) target mode.
+    DimI,
+    /// Dimension of canonical mode 1.
+    DimJ,
+    /// Dimension of canonical mode 2.
+    DimK,
+    /// Core size / rank along mode 1 (`Q` in Table III).
+    RankQ,
+    /// Core size / rank along mode 2 (`R` in Tables III/IV).
+    RankR,
+    /// Number of cluster machines.
+    Machines,
+}
+
+impl Var {
+    /// The symbol used by the paper (and by [`SymExpr`]'s `Display`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Var::Nnz => "nnz",
+            Var::DimI => "I",
+            Var::DimJ => "J",
+            Var::DimK => "K",
+            Var::RankQ => "Q",
+            Var::RankR => "R",
+            Var::Machines => "M",
+        }
+    }
+}
+
+/// A concrete assignment of every [`Var`], used to evaluate expressions and
+/// expand graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Env {
+    /// Nonzeros of the input tensor.
+    pub nnz: u64,
+    /// Canonical target-mode dimension.
+    pub dim_i: u64,
+    /// Canonical mode-1 dimension.
+    pub dim_j: u64,
+    /// Canonical mode-2 dimension.
+    pub dim_k: u64,
+    /// Rank / core size `Q`.
+    pub rank_q: u64,
+    /// Rank / core size `R`.
+    pub rank_r: u64,
+    /// Cluster machines.
+    pub machines: u64,
+}
+
+impl Env {
+    /// Value of one variable.
+    pub fn get(&self, v: Var) -> u128 {
+        (match v {
+            Var::Nnz => self.nnz,
+            Var::DimI => self.dim_i,
+            Var::DimJ => self.dim_j,
+            Var::DimK => self.dim_k,
+            Var::RankQ => self.rank_q,
+            Var::RankR => self.rank_r,
+            Var::Machines => self.machines,
+        }) as u128
+    }
+}
+
+/// A symbolic integer expression over [`Var`]s: constants, variables, `+`,
+/// `·`, and binary `max`.
+///
+/// Expressions evaluate in `u128` so that paper-scale sizes (billions of
+/// nonzeros times ranks times record widths) cannot overflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymExpr {
+    /// Integer constant.
+    Const(u64),
+    /// Problem-size variable.
+    Var(Var),
+    /// Sum.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Product.
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Binary maximum.
+    Max(Box<SymExpr>, Box<SymExpr>),
+}
+
+impl SymExpr {
+    /// Constant expression.
+    pub fn c(n: u64) -> SymExpr {
+        SymExpr::Const(n)
+    }
+
+    /// `nnz`.
+    pub fn nnz() -> SymExpr {
+        SymExpr::Var(Var::Nnz)
+    }
+
+    /// `I` (canonical target-mode dimension).
+    pub fn dim_i() -> SymExpr {
+        SymExpr::Var(Var::DimI)
+    }
+
+    /// `J` (canonical mode-1 dimension).
+    pub fn dim_j() -> SymExpr {
+        SymExpr::Var(Var::DimJ)
+    }
+
+    /// `K` (canonical mode-2 dimension).
+    pub fn dim_k() -> SymExpr {
+        SymExpr::Var(Var::DimK)
+    }
+
+    /// `Q`.
+    pub fn rank_q() -> SymExpr {
+        SymExpr::Var(Var::RankQ)
+    }
+
+    /// `R`.
+    pub fn rank_r() -> SymExpr {
+        SymExpr::Var(Var::RankR)
+    }
+
+    /// `max(a, b)`.
+    pub fn max(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluate under `env`.
+    pub fn eval(&self, env: &Env) -> u128 {
+        match self {
+            SymExpr::Const(n) => *n as u128,
+            SymExpr::Var(v) => env.get(*v),
+            SymExpr::Add(a, b) => a.eval(env) + b.eval(env),
+            SymExpr::Mul(a, b) => a.eval(env) * b.eval(env),
+            SymExpr::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+
+    /// Extensional equivalence over a sample of environments: `true` when
+    /// both expressions evaluate identically on every `env`. This is how
+    /// the analyzer compares a *derived* bound against a *claimed* one
+    /// without needing a canonical form for expressions.
+    pub fn equiv_on(&self, other: &SymExpr, envs: &[Env]) -> bool {
+        envs.iter().all(|e| self.eval(e) == other.eval(e))
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            SymExpr::Add(..) => 0,
+            SymExpr::Mul(..) => 1,
+            SymExpr::Const(_) | SymExpr::Var(_) | SymExpr::Max(..) => 2,
+        }
+    }
+
+    fn fmt_child(&self, child: &SymExpr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if child.precedence() < self.precedence() {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Const(n) => write!(f, "{n}"),
+            SymExpr::Var(v) => f.write_str(v.symbol()),
+            SymExpr::Add(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str(" + ")?;
+                self.fmt_child(b, f)
+            }
+            SymExpr::Mul(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str("·")?;
+                self.fmt_child(b, f)
+            }
+            SymExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+impl Add for SymExpr {
+    type Output = SymExpr;
+    fn add(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Mul for SymExpr {
+    type Output = SymExpr;
+    fn mul(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// One job template of a pipeline: dataset wiring plus symbolic costs.
+///
+/// `name` may contain a single `{}` placeholder; [`JobGraph::expand`]
+/// replaces it with the instance index (matching how the runtime pipelines
+/// name their per-column jobs, e.g. `tucker-naive-xv-b{q}`).
+#[derive(Debug, Clone)]
+pub struct PlanJob {
+    /// Job name template (`{}` = instance index when `count > 1`).
+    pub name: String,
+    /// Instances run per pipeline invocation.
+    pub count: SymExpr,
+    /// Datasets read by each instance.
+    pub reads: Vec<String>,
+    /// Datasets written (appended to) by each instance.
+    pub writes: Vec<String>,
+    /// Per-instance map-output records (the paper's "intermediate data").
+    pub records: SymExpr,
+    /// Per-instance map-output bytes (equals shuffle bytes: the registered
+    /// pipelines run without combiners, matching the paper's accounting).
+    pub bytes: SymExpr,
+    /// `true` when `records`/`bytes` are exact in generic position (no
+    /// zero factor entries, no cancellation); `false` for upper bounds.
+    pub exact: bool,
+}
+
+impl PlanJob {
+    /// New single-instance template with zero cost; chain the builder
+    /// methods to fill it in.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlanJob {
+            name: name.into(),
+            count: SymExpr::c(1),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            records: SymExpr::c(0),
+            bytes: SymExpr::c(0),
+            exact: true,
+        }
+    }
+
+    /// Datasets each instance reads.
+    pub fn reads<const N: usize>(mut self, ds: [&str; N]) -> Self {
+        self.reads = ds.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Datasets each instance writes.
+    pub fn writes<const N: usize>(mut self, ds: [&str; N]) -> Self {
+        self.writes = ds.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Number of instances per invocation.
+    pub fn repeat(mut self, count: SymExpr) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Per-instance intermediate records and bytes.
+    pub fn emits(mut self, records: SymExpr, bytes: SymExpr) -> Self {
+        self.records = records;
+        self.bytes = bytes;
+        self
+    }
+
+    /// Mark the cost expressions as upper bounds rather than generic-position
+    /// exact values.
+    pub fn upper_bound(mut self) -> Self {
+        self.exact = false;
+        self
+    }
+}
+
+/// One expanded job instance for a concrete [`Env`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInstance {
+    /// Concrete job name (placeholder substituted).
+    pub name: String,
+    /// Predicted map-output records.
+    pub records: u128,
+    /// Predicted map-output (= shuffle) bytes.
+    pub bytes: u128,
+    /// Whether the prediction is exact in generic position.
+    pub exact: bool,
+}
+
+/// A pipeline's declarative description: ordered job templates plus the
+/// datasets that exist before the first job runs.
+#[derive(Debug, Clone)]
+pub struct JobGraph {
+    /// Pipeline name (e.g. `tucker-dri`).
+    pub name: String,
+    /// Datasets present before the first job (driver-provided).
+    pub inputs: Vec<String>,
+    /// The subset of `inputs` that are (views of) the big input tensor;
+    /// reads of these are the paper's disk-access cost.
+    pub big_inputs: Vec<String>,
+    /// Datasets the driver consumes after the last job.
+    pub outputs: Vec<String>,
+    /// Job templates in execution order.
+    pub jobs: Vec<PlanJob>,
+}
+
+impl JobGraph {
+    /// New graph with the given driver-provided input datasets.
+    pub fn new<const N: usize>(name: impl Into<String>, inputs: [&str; N]) -> Self {
+        JobGraph {
+            name: name.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            big_inputs: Vec::new(),
+            outputs: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Declare `ds` (already in `inputs`, or added here) as a view of the
+    /// big input tensor.
+    pub fn big_input(mut self, ds: &str) -> Self {
+        if !self.inputs.iter().any(|d| d == ds) {
+            self.inputs.push(ds.to_string());
+        }
+        self.big_inputs.push(ds.to_string());
+        self
+    }
+
+    /// Declare a dataset the driver consumes after the pipeline.
+    pub fn output(mut self, ds: &str) -> Self {
+        self.outputs.push(ds.to_string());
+        self
+    }
+
+    /// Append a job template.
+    pub fn job(mut self, j: PlanJob) -> Self {
+        self.jobs.push(j);
+        self
+    }
+
+    /// Derived bound: the maximum per-job intermediate records over the
+    /// whole pipeline — the "Max intermediate data" column of Tables
+    /// III/IV.
+    pub fn max_intermediate_records(&self) -> SymExpr {
+        self.jobs
+            .iter()
+            .map(|j| j.records.clone())
+            .reduce(SymExpr::max)
+            .unwrap_or(SymExpr::Const(0))
+    }
+
+    /// Derived bound: maximum per-job intermediate bytes.
+    pub fn max_intermediate_bytes(&self) -> SymExpr {
+        self.jobs
+            .iter()
+            .map(|j| j.bytes.clone())
+            .reduce(SymExpr::max)
+            .unwrap_or(SymExpr::Const(0))
+    }
+
+    /// Derived count: total job instances per invocation — the "Total
+    /// jobs" column of Tables III/IV.
+    pub fn total_jobs(&self) -> SymExpr {
+        self.jobs
+            .iter()
+            .map(|j| j.count.clone())
+            .reduce(|a, b| a + b)
+            .unwrap_or(SymExpr::Const(0))
+    }
+
+    /// Derived count: job instances that read a big-input dataset, summed
+    /// per dataset read — the number of passes over the input tensor
+    /// (HaTen2-DRI's §III-B4 saving is making this 1).
+    pub fn big_input_reads(&self) -> SymExpr {
+        self.jobs
+            .iter()
+            .filter_map(|j| {
+                let touches = j
+                    .reads
+                    .iter()
+                    .filter(|d| self.big_inputs.contains(d))
+                    .count() as u64;
+                if touches == 0 {
+                    None
+                } else {
+                    Some(j.count.clone() * SymExpr::c(touches))
+                }
+            })
+            .reduce(|a, b| a + b)
+            .unwrap_or(SymExpr::Const(0))
+    }
+
+    /// Instantiate every template under `env`, in template order. A
+    /// template whose `count` evaluates to more than 1 must carry a `{}`
+    /// placeholder in its name.
+    pub fn expand(&self, env: &Env) -> Vec<JobInstance> {
+        let mut out = Vec::new();
+        for j in &self.jobs {
+            let n = j.count.eval(env);
+            let records = j.records.eval(env);
+            let bytes = j.bytes.eval(env);
+            for i in 0..n {
+                let name = if j.name.contains("{}") {
+                    j.name.replacen("{}", &i.to_string(), 1)
+                } else {
+                    debug_assert!(n == 1, "multi-instance template '{}' needs {{}}", j.name);
+                    j.name.clone()
+                };
+                out.push(JobInstance {
+                    name,
+                    records,
+                    bytes,
+                    exact: j.exact,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Env {
+        Env {
+            nnz: 100,
+            dim_i: 4,
+            dim_j: 5,
+            dim_k: 6,
+            rank_q: 2,
+            rank_r: 3,
+            machines: 8,
+        }
+    }
+
+    #[test]
+    fn eval_and_display() {
+        let e = SymExpr::nnz() * (SymExpr::rank_q() + SymExpr::rank_r());
+        assert_eq!(e.eval(&env()), 500);
+        assert_eq!(e.to_string(), "nnz·(Q + R)");
+        let m = SymExpr::max(SymExpr::nnz(), SymExpr::dim_i() * SymExpr::dim_j());
+        assert_eq!(m.eval(&env()), 100);
+        assert_eq!(m.to_string(), "max(nnz, I·J)");
+        let s = SymExpr::c(2) * SymExpr::nnz() + SymExpr::dim_k();
+        assert_eq!(s.eval(&env()), 206);
+        assert_eq!(s.to_string(), "2·nnz + K");
+    }
+
+    #[test]
+    fn equivalence_is_extensional() {
+        let a = SymExpr::nnz() * (SymExpr::rank_q() + SymExpr::rank_r());
+        let b = SymExpr::nnz() * SymExpr::rank_q() + SymExpr::nnz() * SymExpr::rank_r();
+        let envs: Vec<Env> = (1..10)
+            .map(|s| Env {
+                nnz: 17 * s,
+                dim_i: 3 * s,
+                dim_j: 5 * s,
+                dim_k: 7 * s,
+                rank_q: s,
+                rank_r: 2 * s,
+                machines: 4,
+            })
+            .collect();
+        assert!(a.equiv_on(&b, &envs));
+        let c = SymExpr::nnz() * SymExpr::rank_q();
+        assert!(!a.equiv_on(&c, &envs));
+    }
+
+    #[test]
+    fn graph_derivations() {
+        let g = JobGraph::new("demo", ["x"])
+            .big_input("x")
+            .output("y")
+            .job(
+                PlanJob::new("stage-a{}")
+                    .repeat(SymExpr::rank_q())
+                    .reads(["x"])
+                    .writes(["t"])
+                    .emits(SymExpr::nnz(), SymExpr::c(57) * SymExpr::nnz()),
+            )
+            .job(PlanJob::new("stage-b").reads(["t"]).writes(["y"]).emits(
+                SymExpr::nnz() * SymExpr::rank_q(),
+                SymExpr::c(49) * SymExpr::nnz() * SymExpr::rank_q(),
+            ));
+        let e = env();
+        assert_eq!(g.total_jobs().eval(&e), 3);
+        assert_eq!(g.max_intermediate_records().eval(&e), 200);
+        assert_eq!(g.big_input_reads().eval(&e), 2);
+        let inst = g.expand(&e);
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst[0].name, "stage-a0");
+        assert_eq!(inst[1].name, "stage-a1");
+        assert_eq!(inst[2].name, "stage-b");
+        assert_eq!(inst[2].records, 200);
+    }
+
+    #[test]
+    fn expand_substitutes_once_per_instance() {
+        let g = JobGraph::new("one", ["x"]).job(
+            PlanJob::new("solo")
+                .reads(["x"])
+                .writes(["y"])
+                .emits(SymExpr::c(7), SymExpr::c(70)),
+        );
+        let inst = g.expand(&env());
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].name, "solo");
+        assert_eq!(inst[0].records, 7);
+    }
+}

@@ -122,6 +122,13 @@ impl WorkerPool {
     ///
     /// `f` may borrow caller-local state: no invocation of `f` outlives
     /// this call.
+    // This function contains the workspace's only unsafe block (the
+    // lifetime transmute below); the crate root otherwise denies
+    // `unsafe_code`. Its invariant is exercised by
+    // `tests/pool_stress.rs`, which hammers pool reuse, nesting,
+    // borrowed state, and panics at maximum thread counts under this
+    // exact entry point.
+    #[allow(unsafe_code)]
     pub fn broadcast(&self, executors: usize, f: &(dyn Fn(usize) + Sync)) {
         let n = executors.max(1);
         let dispatched = (n - 1).min(self.workers);
@@ -135,11 +142,31 @@ impl WorkerPool {
             return;
         }
 
-        // SAFETY: `f` only needs to outlive the dispatched jobs. Every job
-        // counts down `latch` after its invocation of `f` returns (or
-        // panics — the catch_unwind below), and this function does not
-        // return before `latch` reaches zero, so no use of `f` can escape
-        // the borrow this reference was created from.
+        // SAFETY: the transmute only erases the lifetime of `f`'s borrow
+        // (`&'a dyn Fn(usize) + Sync` → `&'static`); pointee type, layout
+        // and the `Sync` bound are unchanged. The erased reference is
+        // sound because every dispatched use of `f_static` is over before
+        // this function returns, which the following invariants guarantee:
+        //
+        // 1. Exactly `dispatched` closures capturing `f_static` are ever
+        //    created, each counting `latch` (initialized to `dispatched`)
+        //    down exactly once — *after* its call into `f_static` returns
+        //    or panics (the `catch_unwind` cannot be skipped).
+        // 2. This function does not return, and the caller's own panic is
+        //    not resumed, before `latch.is_done()`: the help-first loop
+        //    below runs to completion even when the caller's executor
+        //    panicked (its payload is stashed and re-raised only after
+        //    the latch drains).
+        // 3. The queued closures are owned by this pool's queue and only
+        //    ever executed, never leaked to another thread's storage: a
+        //    worker (or the helping caller) pops a job and runs it to
+        //    completion on its own stack, so no copy of `f_static`
+        //    survives a job's `latch.count_down()`.
+        //
+        // Hence the apparent `'static` never outlives the real borrow of
+        // `f`. `tests/pool_stress.rs` exercises this invariant under pool
+        // reuse, nesting, borrowed stack state, panics, and maximum
+        // thread counts.
         let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
         let latch = Arc::new(Latch::new(dispatched));
         let first_panic: Arc<Mutex<Option<PanicPayload>>> = Arc::new(Mutex::new(None));

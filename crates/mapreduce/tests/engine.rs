@@ -1,5 +1,9 @@
 //! Integration tests for the MapReduce engine.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec, MrError};
 
 /// Classic word count over (doc_id, text) records.

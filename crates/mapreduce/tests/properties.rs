@@ -2,6 +2,10 @@
 //! must be invariant to cluster geometry, and the counters must obey
 //! conservation laws.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec};
 use proptest::prelude::*;
 

@@ -21,6 +21,9 @@
 //! * text I/O in the `i j k value` format HaTen2's Hadoop implementation
 //!   consumed.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod coo3;
 pub mod dense3;
 pub mod dyntensor;

@@ -1,5 +1,9 @@
 //! Property-based tests for tensor invariants.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2_linalg::Mat;
 use haten2_tensor::ops::{
     collapse, cross_merge, mode_hadamard_mat, mode_hadamard_vec, mttkrp_dense, pairwise_merge, ttm,

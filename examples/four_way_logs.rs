@@ -31,12 +31,14 @@ fn main() {
             },
             rng.gen_range(8..18),
         ];
-        logs.push(&idx, rng.gen_range(1.0..3.0)).unwrap();
+        logs.push(&idx, rng.gen_range(1.0..3.0))
+            .expect("index within dims");
     }
     // Nightly backup job: one source, one target, one port, hours 1..4.
     for _ in 0..600 {
         let idx = [7, 13, 22 % N_PORT, rng.gen_range(1..4)];
-        logs.push(&idx, rng.gen_range(4.0..6.0)).unwrap();
+        logs.push(&idx, rng.gen_range(4.0..6.0))
+            .expect("index within dims");
     }
     let logs = logs.coalesce();
     println!(
@@ -52,7 +54,7 @@ fn main() {
     let cp = nway_parafac_als(&cluster, &logs, rank, 15, 1e-6, 11).expect("nway parafac");
     println!(
         "N-way PARAFAC rank {rank}: fit = {:.3}",
-        cp.fits.last().unwrap()
+        cp.fits.last().expect("ALS records at least one fit")
     );
     println!(
         "  {} MapReduce jobs (2 per mode per sweep — the DRI framework generalizes)",

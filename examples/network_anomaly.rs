@@ -68,7 +68,7 @@ fn main() {
 
     // Rank concepts by λ and show the top source ips of each.
     let mut order: Vec<usize> = (0..rank).collect();
-    order.sort_by(|&a, &b| res.lambda[b].partial_cmp(&res.lambda[a]).unwrap());
+    order.sort_by(|&a, &b| res.lambda[b].total_cmp(&res.lambda[a]));
 
     let mut scanner_flagged = false;
     for (c, &r) in order.iter().enumerate() {
@@ -76,7 +76,7 @@ fn main() {
         let mut scores: Vec<(u64, f64)> = (0..N_SRC)
             .map(|i| (i, a.get(i as usize, r).abs()))
             .collect();
-        scores.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+        scores.sort_by(|x, y| y.1.total_cmp(&x.1));
         let top: Vec<String> = scores
             .iter()
             .take(3)

@@ -42,7 +42,8 @@ fn main() {
             }
         }
     }
-    let x = CooTensor3::from_entries([users, items, weeks], observed).unwrap();
+    let x = CooTensor3::from_entries([users, items, weeks], observed)
+        .expect("generated entries are in-bounds");
     println!(
         "ratings tensor {:?}: {} observed cells ({:.0}%), {} held out for evaluation\n",
         x.dims(),

@@ -16,4 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> haten2-analyze --verify-paper-table (regenerates ANALYSIS.md)"
+cargo run -p haten2-analyze --release -- --verify-paper-table | tee ANALYSIS.md
+
+echo "==> haten2-analyze --reject-demo"
+cargo run -p haten2-analyze --release -- --reject-demo > /dev/null
+
 echo "All checks passed."

@@ -8,6 +8,8 @@
 //! rejection, plotting, or baseline comparison. Use the repo's own
 //! `BENCH_*.json` harnesses for tracked numbers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

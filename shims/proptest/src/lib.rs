@@ -15,6 +15,8 @@
 //!   reproduce across runs — there is no `PROPTEST_CASES` environment
 //!   handling or persistence file.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -13,6 +13,8 @@
 //! for float ranges). Seeded tests written against the real crate keep
 //! their exact random instances.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 32/64-bit words.
 pub trait RngCore {
     /// The next 32 random bits.

@@ -46,6 +46,9 @@
 //! | [`haten2_baseline`]  | single-machine MET-style comparator with memory budgets |
 //! | [`haten2_data`]      | workload generators, KB synthesis, preprocessing, concept discovery |
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub use haten2_baseline as baseline;
 pub use haten2_core as core;
 pub use haten2_data as data;

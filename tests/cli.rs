@@ -1,6 +1,10 @@
 //! End-to-end tests of the `haten2-cli` binary: generate → stats →
 //! decompose → verify the written artifacts.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use std::path::PathBuf;
 use std::process::Command;
 

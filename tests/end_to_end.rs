@@ -2,6 +2,10 @@
 //! → decompose (distributed) → validate against the baseline and the dense
 //! reference.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2::data::discovery::{parafac_concepts, recovery_precision};
 use haten2::prelude::*;
 

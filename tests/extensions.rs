@@ -1,6 +1,10 @@
 //! Integration tests for the beyond-the-paper extensions, exercised
 //! through the facade exactly as a downstream user would.
 
+// Test code: `unwrap` is the assertion (allowed by the workspace clippy
+// policy only here).
+#![allow(clippy::unwrap_used)]
+
 use haten2::core::{nonneg_parafac, parafac_missing, parafac_via_compression};
 use haten2::data::temporal::TemporalKb;
 use haten2::prelude::*;
