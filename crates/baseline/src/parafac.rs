@@ -181,6 +181,7 @@ mod tests {
             seed: 99,
             use_combiner: false,
             distributed_fit: false,
+            ..haten2_core::AlsOptions::default()
         };
         let dist = haten2_core::parafac_als(&cluster, &x, 2, &opts).unwrap();
         for (a, b) in base.fits.iter().zip(&dist.fits) {

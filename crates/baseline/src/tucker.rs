@@ -252,6 +252,7 @@ mod tests {
             seed: 5,
             use_combiner: false,
             distributed_fit: false,
+            ..haten2_core::AlsOptions::default()
         };
         let dist = haten2_core::tucker_als(&cluster, &x, [2, 2, 2], &opts).unwrap();
         for (a, b) in base.core_norms.iter().zip(&dist.core_norms) {

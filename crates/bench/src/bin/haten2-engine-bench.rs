@@ -20,7 +20,7 @@
 //! measured repetitions after one warm-up, minimizing scheduler noise.
 
 use haten2_bench::seed_engine::run_job_seed;
-use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobMetrics, JobSpec};
+use haten2_mapreduce::{run_job, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -78,6 +78,9 @@ struct MixResult {
     projection_s: f64,
     small_jobs_s: f64,
     metrics_fingerprint: (usize, usize, usize, usize),
+    /// (task retries, speculative launches, recovery sim-seconds) — all
+    /// zero unless the config carries an injecting fault plan.
+    recovery: (usize, usize, f64),
 }
 
 fn fingerprint(acc: &mut (usize, usize, usize, usize), m: &JobMetrics) {
@@ -115,6 +118,7 @@ fn run_seed_mix(cfg: &ClusterConfig) -> MixResult {
         projection_s,
         small_jobs_s,
         metrics_fingerprint: fp,
+        recovery: (0, 0, 0.0),
     }
 }
 
@@ -153,10 +157,16 @@ fn run_pooled_mix(cfg: &ClusterConfig) -> MixResult {
     for m in &cluster.metrics_since(mark).jobs {
         fingerprint(&mut fp, m);
     }
+    let all = cluster.metrics();
     MixResult {
         projection_s,
         small_jobs_s,
         metrics_fingerprint: fp,
+        recovery: (
+            all.total_task_retries(),
+            all.total_speculative_launched(),
+            all.total_recovery_sim_time_s(),
+        ),
     }
 }
 
@@ -201,12 +211,33 @@ fn main() {
         "engines disagree on aggregate metrics — do not trust this benchmark"
     );
 
+    // Fault-free overhead of the recovery machinery: the same mix with a
+    // no-op FaultPlan installed. Schedule expansion and fault accounting
+    // run on every job but inject nothing, so any wall-clock delta is the
+    // price of *having* the subsystem.
+    let noop_cfg = ClusterConfig {
+        fault_plan: Some(FaultPlan::noop()),
+        ..cfg.clone()
+    };
+    let noop = best_of(|| run_pooled_mix(&noop_cfg));
+    assert_eq!(
+        noop.metrics_fingerprint, pooled.metrics_fingerprint,
+        "a no-op fault plan changed the metrics"
+    );
+    assert_eq!(
+        noop.recovery,
+        (0, 0, 0.0),
+        "a no-op fault plan injected recovery work"
+    );
+
     let seed_total = seed.projection_s + seed.small_jobs_s;
     let pooled_total = pooled.projection_s + pooled.small_jobs_s;
+    let noop_total = noop.projection_s + noop.small_jobs_s;
     let speedup = seed_total / pooled_total;
+    let fault_free_overhead_pct = (noop_total / pooled_total - 1.0) * 100.0;
 
     let json = format!(
-        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up\"\n}}\n",
+        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up\"\n}}\n",
         cfg.machines,
         cfg.num_reducers(),
         cfg.threads,
@@ -216,9 +247,18 @@ fn main() {
         pooled.projection_s,
         pooled.small_jobs_s,
         pooled_total,
+        noop.projection_s,
+        noop.small_jobs_s,
+        noop_total,
+        noop.recovery.0,
+        noop.recovery.1,
+        noop.recovery.2,
         speedup,
+        fault_free_overhead_pct,
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     print!("{json}");
-    eprintln!("wrote {out_path}; speedup {speedup:.2}x");
+    eprintln!(
+        "wrote {out_path}; speedup {speedup:.2}x; fault-free recovery overhead {fault_free_overhead_pct:.2}%"
+    );
 }

@@ -55,6 +55,7 @@ pub fn fig8_machine_scalability(kb_scale: usize, machines: &[usize]) -> ExpTable
             seed: 7,
             use_combiner: false,
             distributed_fit: false,
+            ..AlsOptions::default()
         };
         let cluster = fig8_cluster(m);
         tucker_als(&cluster, &x, [core, core, core], &opts).expect("tucker run");

@@ -132,7 +132,7 @@ where
                     break;
                 }
                 let mut retried = false;
-                if let Some(n) = cfg.fail_every_nth_task {
+                if let Some(n) = cfg.fault_plan.as_ref().and_then(|p| p.fail_every_nth) {
                     if n > 0 && (t + 1).is_multiple_of(n) {
                         let wasted = run_map_task(t);
                         drop(wasted);

@@ -35,6 +35,19 @@ pub struct AlsOptions {
     /// job (as the Hadoop implementation does) instead of on the driver.
     /// Adds one job per sweep; results are identical.
     pub distributed_fit: bool,
+    /// When set, save a checkpoint (factors + sweep marker) under this
+    /// path prefix after every [`AlsOptions::checkpoint_every`]-th
+    /// completed sweep, so a mid-run crash can resume via
+    /// [`crate::checkpoint::parafac_als_checkpointed`] /
+    /// [`crate::checkpoint::tucker_als_checkpointed`].
+    pub checkpoint_prefix: Option<String>,
+    /// Checkpoint cadence in sweeps (values below 1 behave as 1).
+    pub checkpoint_every: usize,
+    /// Absolute index of the first sweep this call runs (non-zero when
+    /// resuming from a checkpoint). Keeps sweep-seeded randomness — the
+    /// Tucker subspace-iteration seeds — aligned with the uninterrupted
+    /// run, which is what makes resumed results bit-identical.
+    pub first_sweep: usize,
 }
 
 impl Default for AlsOptions {
@@ -46,6 +59,9 @@ impl Default for AlsOptions {
             seed: 0x5eed,
             use_combiner: false,
             distributed_fit: false,
+            checkpoint_prefix: None,
+            checkpoint_every: 1,
+            first_sweep: 0,
         }
     }
 }
@@ -173,7 +189,7 @@ pub fn parafac_als_with_init(
 
     let mut fits: Vec<f64> = Vec::new();
     let mut iterations = 0;
-    for _sweep in 0..opts.max_iters {
+    for sweep in 0..opts.max_iters {
         iterations += 1;
         let mut last_mttkrp: Option<Mat> = None;
         for mode in 0..3 {
@@ -241,6 +257,7 @@ pub fn parafac_als_with_init(
         };
         let prev = fits.last().copied();
         fits.push(fit);
+        crate::checkpoint::maybe_save_parafac(opts, sweep, &lambda, &factors)?;
         if let Some(p) = prev {
             if (fit - p).abs() < opts.tol {
                 break;
@@ -367,8 +384,11 @@ pub fn tucker_als_with_init(
             let y = tucker::project(cluster, opts.variant, x, mode, &u1, &u2, &project_opts)?;
             // Leading left singular vectors of Y₍₁₎ (canonical mode 0).
             let y_mat = y.matricize(0)?;
+            // Seed by the *absolute* sweep index so a checkpoint-resumed
+            // run (first_sweep > 0) replays the identical seed sequence.
+            let abs_sweep = (opts.first_sweep + sweep) as u64;
             let sub_opts = SubspaceOptions {
-                seed: opts.seed ^ ((sweep as u64) << 8 | mode as u64),
+                seed: opts.seed ^ (abs_sweep << 8 | mode as u64),
                 ..Default::default()
             };
             factors[mode] = leading_left_singular_vectors(&y_mat, core_dims[mode], &sub_opts)?;
@@ -392,6 +412,7 @@ pub fn tucker_als_with_init(
         let norm_g = core.fro_norm();
         let prev = core_norms.last().copied();
         core_norms.push(norm_g);
+        crate::checkpoint::maybe_save_tucker(opts, sweep, &core, &factors)?;
         if let Some(p) = prev {
             if (norm_g - p).abs() < opts.tol * norm_x.max(1.0) {
                 break;

@@ -33,19 +33,92 @@ fn ensure_parent(prefix: &str) -> Result<()> {
 
 /// Write a PARAFAC result: `<prefix>.{A,B,C}.mat` + `<prefix>.lambda.txt`.
 pub fn save_parafac(res: &ParafacResult, prefix: &str) -> Result<()> {
+    save_parafac_state(&res.lambda, &res.factors, prefix)
+}
+
+/// Write mid-run PARAFAC state (`λ` + factors) under `prefix`. All text
+/// formats use shortest-roundtrip `f64` display, so a load reproduces the
+/// exact bits — the property the crash-resume tests rely on.
+pub fn save_parafac_state(lambda: &[f64], factors: &[Mat; 3], prefix: &str) -> Result<()> {
     ensure_parent(prefix)?;
-    for (f, name) in res.factors.iter().zip(FACTOR_NAMES) {
+    for (f, name) in factors.iter().zip(FACTOR_NAMES) {
         save_mat(f, format!("{prefix}.{name}.mat")).map_err(io_err)?;
     }
-    let lambda = res
-        .lambda
+    let lambda_text = lambda
         .iter()
         .map(f64::to_string)
         .collect::<Vec<_>>()
         .join("\n")
         + "\n";
-    std::fs::write(format!("{prefix}.lambda.txt"), lambda).map_err(io_err)?;
+    std::fs::write(format!("{prefix}.lambda.txt"), lambda_text).map_err(io_err)?;
     Ok(())
+}
+
+/// Record that `sweeps_done` sweeps (absolute count) are reflected in the
+/// checkpoint at `prefix`. Written *after* the factor files, so a crash
+/// between the two leaves the previous consistent marker in place.
+fn save_sweep_marker(prefix: &str, sweeps_done: usize) -> Result<()> {
+    std::fs::write(format!("{prefix}.sweep.txt"), format!("{sweeps_done}\n")).map_err(io_err)
+}
+
+/// Completed-sweep count recorded at `prefix`, or `None` when no
+/// checkpoint marker exists.
+pub fn load_sweep_marker(prefix: &str) -> Result<Option<usize>> {
+    let path = format!("{prefix}.sweep.txt");
+    if !Path::new(&path).exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path).map_err(io_err)?;
+    Ok(Some(text.trim().parse().map_err(io_err)?))
+}
+
+/// Checkpoint hook called by the PARAFAC sweep loop: saves state + sweep
+/// marker when `opts` enables checkpointing and the cadence hits.
+pub(crate) fn maybe_save_parafac(
+    opts: &AlsOptions,
+    sweep: usize,
+    lambda: &[f64],
+    factors: &[Mat; 3],
+) -> Result<()> {
+    let Some(prefix) = &opts.checkpoint_prefix else {
+        return Ok(());
+    };
+    if !(sweep + 1).is_multiple_of(opts.checkpoint_every.max(1)) {
+        return Ok(());
+    }
+    save_parafac_state(lambda, factors, prefix)?;
+    save_sweep_marker(prefix, opts.first_sweep + sweep + 1)
+}
+
+/// Checkpoint hook called by the Tucker sweep loop.
+pub(crate) fn maybe_save_tucker(
+    opts: &AlsOptions,
+    sweep: usize,
+    core: &DenseTensor3,
+    factors: &[Mat; 3],
+) -> Result<()> {
+    let Some(prefix) = &opts.checkpoint_prefix else {
+        return Ok(());
+    };
+    if !(sweep + 1).is_multiple_of(opts.checkpoint_every.max(1)) {
+        return Ok(());
+    }
+    save_tucker_state(core, factors, prefix)?;
+    save_sweep_marker(prefix, opts.first_sweep + sweep + 1)
+}
+
+/// Fold `λ` into the first factor so `[A·diag(λ), B, C]` represents the
+/// same model with implicit unit weights. Exact for resuming PARAFAC-ALS:
+/// the first resumed update (mode 0) reads only `B` and `C` and overwrites
+/// `A`, so the folded values never enter the arithmetic.
+fn fold_lambda(lambda: &[f64], factors: &mut [Mat; 3]) {
+    let a = &mut factors[0];
+    for (r, &l) in lambda.iter().enumerate() {
+        for i in 0..a.rows() {
+            let v = a.get(i, r) * l;
+            a.set(i, r, v);
+        }
+    }
 }
 
 /// Read a PARAFAC checkpoint back: `(λ, [A, B, C])`.
@@ -82,15 +155,100 @@ pub fn resume_parafac(
 ) -> Result<ParafacResult> {
     let (lambda, mut factors) = load_parafac(prefix)?;
     // Fold λ into the first factor so the model is unchanged.
-    let a = &mut factors[0];
-    for (r, &l) in lambda.iter().enumerate() {
-        for i in 0..a.rows() {
-            let v = a.get(i, r) * l;
-            a.set(i, r, v);
-        }
-    }
+    fold_lambda(&lambda, &mut factors);
     let rank = factors[0].cols();
     parafac_als_with_init(cluster, x, rank, opts, Some(factors))
+}
+
+/// Crash-resumable PARAFAC-ALS.
+///
+/// `opts.checkpoint_prefix` must be set. When a sweep marker already
+/// exists there, the run resumes from the checkpoint: the remaining
+/// `max_iters − done` sweeps run with `first_sweep = done`, which makes
+/// the final factors **bit-identical** to an uninterrupted run (assuming
+/// the same tensor, options, and a tolerance that would not have stopped
+/// earlier). With no checkpoint present it is a plain [`parafac_als`]
+/// that saves checkpoints as it goes.
+pub fn parafac_als_checkpointed(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    rank: usize,
+    opts: &AlsOptions,
+) -> Result<ParafacResult> {
+    let prefix = opts.checkpoint_prefix.as_deref().ok_or_else(|| {
+        CoreError::InvalidArgument("parafac_als_checkpointed needs checkpoint_prefix".into())
+    })?;
+    match load_sweep_marker(prefix)? {
+        None => crate::als::parafac_als(cluster, x, rank, opts),
+        Some(done) => {
+            let (lambda, mut factors) = load_parafac(prefix)?;
+            if done >= opts.max_iters {
+                // Nothing left to sweep: report the checkpointed model.
+                return Ok(ParafacResult {
+                    lambda,
+                    factors,
+                    fits: Vec::new(),
+                    iterations: 0,
+                    metrics: Default::default(),
+                });
+            }
+            fold_lambda(&lambda, &mut factors);
+            let resumed = AlsOptions {
+                max_iters: opts.max_iters - done,
+                first_sweep: opts.first_sweep + done,
+                ..opts.clone()
+            };
+            parafac_als_with_init(cluster, x, rank, &resumed, Some(factors))
+        }
+    }
+}
+
+/// Crash-resumable Tucker-ALS; the Tucker counterpart of
+/// [`parafac_als_checkpointed`]. Resume seeds the mode-1/mode-2 factors
+/// from the checkpoint and offsets `first_sweep` so the sweep-seeded
+/// subspace iterations replay identically — the resumed decomposition is
+/// bit-identical to the uninterrupted one.
+pub fn tucker_als_checkpointed(
+    cluster: &Cluster,
+    x: &CooTensor3,
+    core_dims: [usize; 3],
+    opts: &AlsOptions,
+) -> Result<TuckerResult> {
+    let prefix = opts.checkpoint_prefix.as_deref().ok_or_else(|| {
+        CoreError::InvalidArgument("tucker_als_checkpointed needs checkpoint_prefix".into())
+    })?;
+    match load_sweep_marker(prefix)? {
+        None => crate::als::tucker_als(cluster, x, core_dims, opts),
+        Some(done) => {
+            let (core, [a, b, c]) = load_tucker(prefix)?;
+            if done >= opts.max_iters {
+                let fit = {
+                    let norm_x_sq = x.fro_norm_sq();
+                    let norm_g = core.fro_norm();
+                    let err_sq = (norm_x_sq - norm_g * norm_g).max(0.0);
+                    if norm_x_sq > 0.0 {
+                        1.0 - err_sq.sqrt() / norm_x_sq.sqrt()
+                    } else {
+                        1.0
+                    }
+                };
+                return Ok(TuckerResult {
+                    core,
+                    factors: [a, b, c],
+                    core_norms: Vec::new(),
+                    iterations: 0,
+                    fit,
+                    metrics: Default::default(),
+                });
+            }
+            let resumed = AlsOptions {
+                max_iters: opts.max_iters - done,
+                first_sweep: opts.first_sweep + done,
+                ..opts.clone()
+            };
+            tucker_als_with_init(cluster, x, core_dims, &resumed, Some([b, c]))
+        }
+    }
 }
 
 /// Resume Tucker-ALS from a checkpoint: seeds the mode-1/mode-2 factors
@@ -110,12 +268,16 @@ pub fn resume_tucker(
 
 /// Write a Tucker result: `<prefix>.{A,B,C}.mat` + `<prefix>.core.tns`.
 pub fn save_tucker(res: &TuckerResult, prefix: &str) -> Result<()> {
+    save_tucker_state(&res.core, &res.factors, prefix)
+}
+
+/// Write mid-run Tucker state (core + factors) under `prefix`.
+pub fn save_tucker_state(core: &DenseTensor3, factors: &[Mat; 3], prefix: &str) -> Result<()> {
     ensure_parent(prefix)?;
-    for (f, name) in res.factors.iter().zip(FACTOR_NAMES) {
+    for (f, name) in factors.iter().zip(FACTOR_NAMES) {
         save_mat(f, format!("{prefix}.{name}.mat")).map_err(io_err)?;
     }
-    haten2_tensor::io::save_coo3(&res.core.to_coo(), format!("{prefix}.core.tns"))
-        .map_err(io_err)?;
+    haten2_tensor::io::save_coo3(&core.to_coo(), format!("{prefix}.core.tns")).map_err(io_err)?;
     Ok(())
 }
 
@@ -266,6 +428,143 @@ mod tests {
             resumed.core_norms[0],
             first.core_norms.last().unwrap()
         );
+    }
+
+    /// Remove every checkpoint file a previous test run may have left.
+    fn clear_checkpoint(prefix: &str) {
+        for suffix in [
+            "A.mat",
+            "B.mat",
+            "C.mat",
+            "lambda.txt",
+            "core.tns",
+            "sweep.txt",
+        ] {
+            let _ = std::fs::remove_file(format!("{prefix}.{suffix}"));
+        }
+    }
+
+    fn crashing_cluster(kill_at_job: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            fault_plan: Some(haten2_mapreduce::FaultPlan::kill_at_job(kill_at_job)),
+            ..ClusterConfig::with_machines(3)
+        })
+    }
+
+    #[test]
+    fn parafac_crash_resume_is_bit_identical() {
+        let x = sparse_random([7, 6, 5], 40, 301);
+        let base = AlsOptions {
+            max_iters: 4,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
+        let clean =
+            parafac_als(&Cluster::new(ClusterConfig::with_machines(3)), &x, 2, &base).unwrap();
+
+        // Jobs per sweep, to aim the crash inside sweep 2.
+        let probe = Cluster::new(ClusterConfig::with_machines(3));
+        parafac_als(
+            &probe,
+            &x,
+            2,
+            &AlsOptions {
+                max_iters: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let per_sweep = probe.metrics().total_jobs();
+
+        let prefix = tmp_prefix("crash_resume_pf");
+        clear_checkpoint(&prefix);
+        let opts = AlsOptions {
+            checkpoint_prefix: Some(prefix.clone()),
+            ..base
+        };
+
+        // Crash during sweep 2: sweep 1 is checkpointed, the run dies.
+        let err =
+            parafac_als_checkpointed(&crashing_cluster(per_sweep + 1), &x, 2, &opts).unwrap_err();
+        assert!(err.to_string().contains("retry budget"), "got: {err}");
+        assert_eq!(load_sweep_marker(&prefix).unwrap(), Some(1));
+
+        // Resume on a healthy cluster: remaining sweeps replay exactly.
+        let resumed =
+            parafac_als_checkpointed(&Cluster::new(ClusterConfig::with_machines(3)), &x, 2, &opts)
+                .unwrap();
+        assert_eq!(resumed.iterations, 3, "3 of 4 sweeps remained");
+        assert_eq!(resumed.lambda, clean.lambda, "lambda must be bit-identical");
+        assert_eq!(
+            resumed.factors, clean.factors,
+            "factors must be bit-identical"
+        );
+        clear_checkpoint(&prefix);
+    }
+
+    #[test]
+    fn tucker_crash_resume_is_bit_identical() {
+        let x = sparse_random([8, 7, 6], 50, 302);
+        let base = AlsOptions {
+            max_iters: 3,
+            tol: 0.0,
+            ..AlsOptions::with_variant(Variant::Dri)
+        };
+        let clean = tucker_als(
+            &Cluster::new(ClusterConfig::with_machines(3)),
+            &x,
+            [2, 2, 2],
+            &base,
+        )
+        .unwrap();
+
+        let probe = Cluster::new(ClusterConfig::with_machines(3));
+        tucker_als(
+            &probe,
+            &x,
+            [2, 2, 2],
+            &AlsOptions {
+                max_iters: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let per_sweep = probe.metrics().total_jobs();
+
+        let prefix = tmp_prefix("crash_resume_tk");
+        clear_checkpoint(&prefix);
+        let opts = AlsOptions {
+            checkpoint_prefix: Some(prefix.clone()),
+            ..base
+        };
+
+        let err = tucker_als_checkpointed(&crashing_cluster(per_sweep + 1), &x, [2, 2, 2], &opts)
+            .unwrap_err();
+        assert!(err.to_string().contains("retry budget"), "got: {err}");
+        assert_eq!(load_sweep_marker(&prefix).unwrap(), Some(1));
+
+        let resumed = tucker_als_checkpointed(
+            &Cluster::new(ClusterConfig::with_machines(3)),
+            &x,
+            [2, 2, 2],
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(resumed.iterations, 2, "2 of 3 sweeps remained");
+        assert_eq!(
+            resumed.factors, clean.factors,
+            "factors must be bit-identical"
+        );
+        assert_eq!(resumed.core, clean.core, "core must be bit-identical");
+        clear_checkpoint(&prefix);
+    }
+
+    #[test]
+    fn checkpointed_driver_requires_prefix() {
+        let x = sparse_random([5, 5, 5], 10, 303);
+        let cluster = Cluster::with_defaults();
+        let err = parafac_als_checkpointed(&cluster, &x, 2, &AlsOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)));
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use als::{
     ParafacResult, TuckerResult,
 };
 pub use checkpoint::{
-    load_parafac, load_tucker, resume_parafac, resume_tucker, save_parafac, save_tucker,
+    load_parafac, load_sweep_marker, load_tucker, parafac_als_checkpointed, resume_parafac,
+    resume_tucker, save_parafac, save_parafac_state, save_tucker, save_tucker_state,
+    tucker_als_checkpointed,
 };
 pub use compress::parafac_via_compression;
 pub use missing::{parafac_missing, MissingParafacResult};

@@ -1,5 +1,6 @@
 //! Cluster configuration, cost model, and the [`Cluster`] handle.
 
+use crate::fault::FaultPlan;
 use crate::metrics::{JobMetrics, RunMetrics};
 use crate::pool::WorkerPool;
 use std::sync::{Mutex, OnceLock};
@@ -35,9 +36,10 @@ pub struct ClusterConfig {
     pub cluster_capacity_bytes: Option<usize>,
     /// Real worker threads used to execute tasks (not a semantic knob).
     pub threads: usize,
-    /// Deterministic failure injection: every `n`-th map task fails once and
-    /// is retried. `None` disables injection.
-    pub fail_every_nth_task: Option<usize>,
+    /// Deterministic fault injection and recovery schedule; `None` disables
+    /// injection entirely. The legacy every-`n`-th-map-task knob lives on
+    /// as [`FaultPlan::fail_every_nth`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
@@ -55,7 +57,7 @@ impl Default for ClusterConfig {
             reducer_memory_bytes: None,
             cluster_capacity_bytes: None,
             threads,
-            fail_every_nth_task: None,
+            fault_plan: None,
         }
     }
 }
@@ -100,7 +102,9 @@ impl CostModel {
             (m.shuffle_bytes + m.reduce_output_bytes) as f64 / (machines * cfg.reduce_bytes_per_s);
         // Mild skew term: the largest reduce group serializes on one machine.
         let skew_t = m.max_group_bytes as f64 / cfg.reduce_bytes_per_s;
-        cfg.per_job_overhead_s + map_t + shuffle_t + reduce_t + skew_t
+        // Recovery time (retry backoff, straggler delay) is serial with the
+        // job: a task's retries delay its completion, not overlap it.
+        cfg.per_job_overhead_s + map_t + shuffle_t + reduce_t + skew_t + m.recovery_sim_time_s
     }
 }
 
@@ -148,6 +152,16 @@ impl Cluster {
             .lock()
             .expect("metrics lock poisoned")
             .push(job);
+    }
+
+    /// Amend the most recently recorded job's metrics (the pipeline layer
+    /// attributes DFS retries and lineage recoveries to the job they
+    /// delayed). No-op when no job has run.
+    pub(crate) fn annotate_last(&self, f: impl FnOnce(&mut JobMetrics)) {
+        let mut guard = self.metrics.lock().expect("metrics lock poisoned");
+        if let Some(last) = guard.jobs.last_mut() {
+            f(last);
+        }
     }
 
     /// Snapshot of all metrics so far.

@@ -79,6 +79,21 @@ impl Dfs {
         Some(typed)
     }
 
+    /// Fetch a dataset that must exist, with the typed error instead of
+    /// `None`: [`crate::MrError::DatasetMissing`] names the reading job and
+    /// the dataset, so recovery layers (retry, lineage) can react instead
+    /// of panicking on an `unwrap`.
+    pub fn get_required<T>(&self, job: &str, name: &str) -> crate::Result<Arc<Vec<T>>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.get(name)
+            .ok_or_else(|| crate::MrError::DatasetMissing {
+                job: job.to_string(),
+                dataset: name.to_string(),
+            })
+    }
+
     /// Remove a dataset; returns true when it existed.
     pub fn delete(&self, name: &str) -> bool {
         self.datasets

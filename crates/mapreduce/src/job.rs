@@ -19,6 +19,7 @@
 //! counts.
 
 use crate::cluster::{Cluster, CostModel};
+use crate::fault::JobFaultSchedule;
 use crate::metrics::JobMetrics;
 use crate::size::{slice_est_bytes, EstimateSize};
 use crate::MrError;
@@ -88,7 +89,6 @@ struct MapTaskResult<KM, VM> {
     input_bytes: usize,
     output_records: usize,
     output_bytes: usize,
-    retried: bool,
 }
 
 /// FNV-1a. The partitioner only needs a stable, well-mixed hash, not a
@@ -206,6 +206,29 @@ where
     let splits: Vec<&[(KI, VI)]> = input.chunks(split_len).collect();
     let actual_tasks = splits.len();
 
+    // Expand the fault schedule up front: a pure function of the plan and
+    // the job's geometry, so recovery decisions (and their metrics) are
+    // independent of which worker thread runs which task.
+    let sched: Option<JobFaultSchedule> = cfg.fault_plan.as_ref().map(|plan| {
+        plan.schedule(
+            &spec.name,
+            cluster.jobs_run(),
+            actual_tasks,
+            num_reducers,
+            cfg.machines.max(1),
+        )
+    });
+    if let Some(s) = &sched {
+        if let Some(t) = s.first_exhausted_map() {
+            return Err(MrError::TaskFailed {
+                job: spec.name,
+                phase: "map",
+                task: t,
+                attempts: s.map[t].failed_attempts,
+            });
+        }
+    }
+
     let run_map_task = |task_id: usize| -> MapTaskResult<KM, VM> {
         let split = splits[task_id];
         let bucket_capacity = spec.map_emit_hint.map_or(0, |per_record| {
@@ -262,7 +285,6 @@ where
             input_bytes,
             output_records,
             output_bytes,
-            retried: false,
         }
     };
 
@@ -280,18 +302,14 @@ where
             if t >= actual_tasks {
                 break;
             }
-            // Deterministic failure injection: the chosen tasks "fail" on their
-            // first attempt (output discarded) and are retried.
-            let mut retried = false;
-            if let Some(n) = cfg.fail_every_nth_task {
-                if n > 0 && (t + 1).is_multiple_of(n) {
-                    let wasted = run_map_task(t);
-                    drop(wasted);
-                    retried = true;
+            // Scheduled task failures: each failed attempt runs the mapper
+            // and discards its output (wasted work), then the task retries.
+            if let Some(s) = &sched {
+                for _ in 0..s.map[t].failed_attempts {
+                    drop(run_map_task(t));
                 }
             }
-            let mut result = run_map_task(t);
-            result.retried = retried;
+            let result = run_map_task(t);
             *map_slots[t].lock().expect("map slot poisoned") = Some(result);
         });
 
@@ -305,7 +323,7 @@ where
     let mut partition_runs: Vec<Vec<SortedRun<KM, VM>>> = (0..num_reducers)
         .map(|_| Vec::with_capacity(actual_tasks))
         .collect();
-    for slot in map_slots {
+    for (t, slot) in map_slots.into_iter().enumerate() {
         let r = slot
             .into_inner()
             .expect("map slot poisoned")
@@ -314,7 +332,13 @@ where
         metrics.map_input_bytes += r.input_bytes;
         metrics.map_output_records += r.output_records;
         metrics.map_output_bytes += r.output_bytes;
-        metrics.task_retries += r.retried as usize;
+        if let (Some(s), Some(plan)) = (&sched, &cfg.fault_plan) {
+            s.map[t].account_map(
+                plan,
+                r.input_bytes as f64 / cfg.map_bytes_per_s,
+                &mut metrics,
+            );
+        }
         for (p, run) in r.runs.into_iter().enumerate() {
             metrics.shuffle_records += run.records.len();
             metrics.shuffle_bytes += run.bytes;
@@ -453,6 +477,26 @@ where
             if p >= num_reducers {
                 break;
             }
+            // Scheduled reduce-task budget exhaustion surfaces exactly like
+            // any other per-partition failure: smallest partition wins.
+            if let Some(f) = sched.as_ref().map(|s| &s.reduce[p]) {
+                if f.exhausted {
+                    let mut slot = failure.lock().expect("failure slot poisoned");
+                    if slot.as_ref().is_none_or(|(fp, _)| p < *fp) {
+                        *slot = Some((
+                            p,
+                            MrError::TaskFailed {
+                                job: spec.name.clone(),
+                                phase: "reduce",
+                                task: p,
+                                attempts: f.failed_attempts,
+                            },
+                        ));
+                    }
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
             let runs = partition_cells[p]
                 .lock()
                 .expect("partition cell poisoned")
@@ -490,6 +534,13 @@ where
         metrics.reduce_output_bytes += r.output_bytes;
         metrics.max_group_bytes = metrics.max_group_bytes.max(r.max_group_bytes);
         output.extend(r.output);
+    }
+
+    if let (Some(s), Some(plan)) = (&sched, &cfg.fault_plan) {
+        for f in &s.reduce {
+            f.account_reduce(plan, &mut metrics);
+        }
+        metrics.workers_blacklisted = s.workers_blacklisted;
     }
 
     metrics.wall_time_s = started.elapsed().as_secs_f64();

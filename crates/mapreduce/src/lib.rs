@@ -26,8 +26,12 @@
 //! * **An in-memory DFS** ([`dfs::Dfs`]) with read/write metering, so the
 //!   disk-access saving of HaTen2-DRI (the input tensor is read once, not
 //!   twice) is observable.
-//! * **Failure injection** — deterministic task failures with retry, to test
-//!   that job results are failure-transparent.
+//! * **Fault injection and recovery** — a seeded [`fault::FaultPlan`]
+//!   schedules task failures, worker crashes, stragglers, and DFS faults;
+//!   the engine recovers with bounded retries + simulated-time backoff,
+//!   speculative re-execution, worker blacklisting, and lineage
+//!   re-derivation of lost datasets ([`lineage::Lineage`]) — all expanded
+//!   deterministically so results stay bit-identical to fault-free runs.
 //! * **A sequential oracle** — [`reference::run_job_reference`] is a
 //!   straight-line, single-threaded executor with the same observable
 //!   semantics; property tests hold the pooled engine to it bit-for-bit.
@@ -45,7 +49,9 @@
 
 pub mod cluster;
 pub mod dfs;
+pub mod fault;
 pub mod job;
+pub mod lineage;
 pub mod metrics;
 pub mod pipeline;
 pub mod plan;
@@ -55,9 +61,11 @@ pub mod size;
 
 pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use dfs::Dfs;
+pub use fault::{FaultPlan, JobFaultSchedule, RetryPolicy, TaskFaults};
 pub use job::{run_job, Combiner, JobSpec, RECORD_FRAMING_BYTES};
+pub use lineage::Lineage;
 pub use metrics::{JobMetrics, RunMetrics};
-pub use pipeline::run_job_dfs;
+pub use pipeline::{run_job_dfs, run_job_dfs_recovering};
 pub use plan::{Env, JobGraph, JobInstance, PlanJob, SymExpr, Var};
 pub use pool::WorkerPool;
 pub use reference::run_job_reference;
@@ -90,8 +98,12 @@ pub enum MrError {
     TaskFailed {
         /// Job that failed.
         job: String,
-        /// Task index within the job.
+        /// Phase of the failing task (`"map"` or `"reduce"`).
+        phase: &'static str,
+        /// Task index within the job (map task or reduce partition).
         task: usize,
+        /// Failed attempts when the budget ran out.
+        attempts: usize,
     },
     /// A pipeline stage referenced a DFS dataset that does not exist (or
     /// holds records of a different type).
@@ -100,6 +112,30 @@ pub enum MrError {
         job: String,
         /// The dataset name.
         dataset: String,
+    },
+    /// Transient DFS read errors persisted past the retry budget.
+    DfsReadFailed {
+        /// Job whose input read kept failing.
+        job: String,
+        /// The dataset being read.
+        dataset: String,
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+    /// A lost dataset has no registered lineage recipe to re-derive it.
+    LineageMissing {
+        /// The unrecoverable dataset.
+        dataset: String,
+    },
+    /// A lineage recipe was registered under a different producing job
+    /// than the pipeline's [`plan::JobGraph`] declares.
+    LineageMismatch {
+        /// The dataset in question.
+        dataset: String,
+        /// Producer named at registration.
+        registered: String,
+        /// Producer the plan declares.
+        planned: String,
     },
 }
 
@@ -114,11 +150,29 @@ impl std::fmt::Display for MrError {
                 f,
                 "job '{job}': intermediate data {intermediate_bytes} B exceeds cluster capacity {capacity_bytes} B"
             ),
-            MrError::TaskFailed { job, task } => {
-                write!(f, "job '{job}': task {task} exhausted retries")
+            MrError::TaskFailed { job, phase, task, attempts } => {
+                write!(
+                    f,
+                    "job '{job}': {phase} task {task} exhausted its retry budget after {attempts} failed attempts"
+                )
             }
             MrError::DatasetMissing { job, dataset } => {
                 write!(f, "job '{job}': DFS dataset '{dataset}' missing or wrong type")
+            }
+            MrError::DfsReadFailed { job, dataset, attempts } => {
+                write!(
+                    f,
+                    "job '{job}': reading DFS dataset '{dataset}' failed transiently {attempts} times, budget exhausted"
+                )
+            }
+            MrError::LineageMissing { dataset } => {
+                write!(f, "dataset '{dataset}' lost and no lineage recipe can re-derive it")
+            }
+            MrError::LineageMismatch { dataset, registered, planned } => {
+                write!(
+                    f,
+                    "dataset '{dataset}' registered with producer '{registered}' but the plan declares '{planned}'"
+                )
             }
         }
     }

@@ -31,8 +31,25 @@ pub struct JobMetrics {
     /// Largest single reduce-side key group in bytes (memory-pressure proxy;
     /// compared against the per-reducer budget).
     pub max_group_bytes: usize,
-    /// Map tasks that were retried due to injected failures.
+    /// Map task attempts that failed (injected faults or crashed workers)
+    /// and were retried.
     pub task_retries: usize,
+    /// Reduce task attempts that failed and were retried.
+    pub reduce_task_retries: usize,
+    /// Simulated workers blacklisted during this job.
+    pub workers_blacklisted: usize,
+    /// Speculative backup attempts launched for straggling map tasks.
+    pub speculative_launched: usize,
+    /// Speculative attempts that finished before the straggler they
+    /// shadowed.
+    pub speculative_wins: usize,
+    /// Transient DFS read failures retried by the pipeline layer.
+    pub dfs_read_retries: usize,
+    /// Lost DFS datasets re-derived through lineage before this job ran.
+    pub lineage_recoveries: usize,
+    /// Simulated seconds spent on recovery: retry backoff plus straggler
+    /// delay (net of speculative wins). Included in `sim_time_s`.
+    pub recovery_sim_time_s: f64,
     /// Simulated wall-clock for the configured cluster (seconds).
     pub sim_time_s: f64,
     /// Actual wall-clock spent executing the job in this process (seconds).
@@ -92,6 +109,44 @@ impl RunMetrics {
         self.jobs.iter().map(|j| j.map_input_bytes).sum()
     }
 
+    /// Total failed-and-retried task attempts (map + reduce) across the run.
+    pub fn total_task_retries(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|j| j.task_retries + j.reduce_task_retries)
+            .sum()
+    }
+
+    /// Total speculative attempts launched across the run.
+    pub fn total_speculative_launched(&self) -> usize {
+        self.jobs.iter().map(|j| j.speculative_launched).sum()
+    }
+
+    /// Total speculative wins across the run.
+    pub fn total_speculative_wins(&self) -> usize {
+        self.jobs.iter().map(|j| j.speculative_wins).sum()
+    }
+
+    /// Total workers blacklisted across the run (per-job counts summed).
+    pub fn total_workers_blacklisted(&self) -> usize {
+        self.jobs.iter().map(|j| j.workers_blacklisted).sum()
+    }
+
+    /// Total transient DFS read retries across the run.
+    pub fn total_dfs_read_retries(&self) -> usize {
+        self.jobs.iter().map(|j| j.dfs_read_retries).sum()
+    }
+
+    /// Total lineage re-derivations across the run.
+    pub fn total_lineage_recoveries(&self) -> usize {
+        self.jobs.iter().map(|j| j.lineage_recoveries).sum()
+    }
+
+    /// Total simulated time spent on recovery (backoff + straggler delay).
+    pub fn total_recovery_sim_time_s(&self) -> f64 {
+        self.jobs.iter().map(|j| j.recovery_sim_time_s).sum()
+    }
+
     /// Append another run's jobs.
     pub fn extend(&mut self, other: RunMetrics) {
         self.jobs.extend(other.jobs);
@@ -136,6 +191,36 @@ mod tests {
         assert_eq!(run.total_jobs(), 0);
         assert_eq!(run.max_intermediate_records(), 0);
         assert_eq!(run.total_sim_time_s(), 0.0);
+    }
+
+    #[test]
+    fn recovery_aggregates() {
+        let mut run = RunMetrics::default();
+        run.push(JobMetrics {
+            name: "a".into(),
+            task_retries: 2,
+            reduce_task_retries: 1,
+            speculative_launched: 2,
+            speculative_wins: 1,
+            workers_blacklisted: 1,
+            dfs_read_retries: 3,
+            lineage_recoveries: 1,
+            recovery_sim_time_s: 5.0,
+            ..Default::default()
+        });
+        run.push(JobMetrics {
+            name: "b".into(),
+            task_retries: 1,
+            recovery_sim_time_s: 1.5,
+            ..Default::default()
+        });
+        assert_eq!(run.total_task_retries(), 4);
+        assert_eq!(run.total_speculative_launched(), 2);
+        assert_eq!(run.total_speculative_wins(), 1);
+        assert_eq!(run.total_workers_blacklisted(), 1);
+        assert_eq!(run.total_dfs_read_retries(), 3);
+        assert_eq!(run.total_lineage_recoveries(), 1);
+        assert!((run.total_recovery_sim_time_s() - 6.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,23 +1,158 @@
-//! DFS-chained job pipelines.
+//! DFS-chained job pipelines, with fault-tolerant input reads.
 //!
 //! Hadoop jobs communicate through HDFS: each job reads named datasets and
 //! writes named datasets, and the number of times the big input is re-read
 //! is a first-order cost (HaTen2-DRI's point in §III-B4). [`run_job_dfs`]
 //! runs one job against the metered [`Dfs`], so multi-job algorithms
 //! expressed as pipelines get their disk traffic accounted automatically.
+//!
+//! Two layers of input-read fault tolerance mirror Hadoop's:
+//!
+//! * **Transient read errors** — when the cluster carries a
+//!   [`crate::FaultPlan`], each DFS read may fail transiently per the
+//!   plan's `dfs_transient_p`; the runner retries with the shared
+//!   [`crate::RetryPolicy`] backoff (simulated time), surfacing
+//!   [`MrError::DfsReadFailed`] only when the budget is exhausted.
+//! * **Dataset loss** — [`run_job_dfs_recovering`] additionally consults a
+//!   [`Lineage`] registry when the input dataset is *gone* (or scheduled
+//!   lost by the plan's `dataset_loss_p`): the producing job is re-run and
+//!   the read retried, counting the recovery in
+//!   [`crate::JobMetrics::lineage_recoveries`].
 
 use crate::dfs::Dfs;
+use crate::fault::FaultPlan;
 use crate::job::{run_job, JobSpec};
+use crate::lineage::Lineage;
 use crate::size::EstimateSize;
 use crate::{Cluster, MrError};
 use std::hash::Hash;
+use std::sync::Arc;
+
+/// Outcome of fetching a job's input dataset through the fault layer.
+struct FetchOutcome<T> {
+    records: Arc<Vec<T>>,
+    /// Transient read failures endured (each cost one backoff interval).
+    transient_retries: usize,
+    /// Simulated seconds spent backing off between read attempts.
+    backoff_s: f64,
+    /// Lineage re-derivations performed because the dataset was missing.
+    recoveries: usize,
+}
+
+/// Read `input` for `job_name`, riding out transient faults and — when a
+/// lineage registry is supplied — re-deriving the dataset if it is missing.
+fn fetch_input<T: Send + Sync + 'static>(
+    dfs: &Dfs,
+    plan: Option<&FaultPlan>,
+    lineage: Option<&Lineage>,
+    job_name: &str,
+    input: &str,
+) -> crate::Result<FetchOutcome<T>> {
+    let mut transient_retries = 0usize;
+    let mut backoff_s = 0.0f64;
+    let mut recoveries = 0usize;
+    // One lineage recovery per missing observation; a second consecutive
+    // miss means the recipe did not restore the dataset — give up.
+    let mut recovered_already = false;
+    let mut attempt = 0usize;
+    loop {
+        // Scheduled transient read error for this attempt?
+        if let Some(p) = plan {
+            if p.dfs_read_fails(job_name, input, attempt) {
+                transient_retries += 1;
+                backoff_s += p.retry.backoff_s(attempt);
+                attempt += 1;
+                if attempt >= p.retry.max_attempts {
+                    return Err(MrError::DfsReadFailed {
+                        job: job_name.to_string(),
+                        dataset: input.to_string(),
+                        attempts: attempt,
+                    });
+                }
+                continue;
+            }
+        }
+        match dfs.get_required::<T>(job_name, input) {
+            Ok(records) => {
+                return Ok(FetchOutcome {
+                    records,
+                    transient_retries,
+                    backoff_s,
+                    recoveries,
+                })
+            }
+            Err(err) => {
+                let Some(lineage) = lineage else {
+                    return Err(err);
+                };
+                if recovered_already {
+                    return Err(err);
+                }
+                lineage.recover(input)?;
+                recovered_already = true;
+                recoveries += 1;
+            }
+        }
+    }
+}
+
+/// Shared stage runner behind [`run_job_dfs`] and
+/// [`run_job_dfs_recovering`].
+#[allow(clippy::too_many_arguments)]
+fn run_stage<KI, VI, KM, VM, KO, VO, M, R>(
+    cluster: &Cluster,
+    dfs: &Dfs,
+    lineage: Option<&Lineage>,
+    spec: JobSpec<'_, KM, VM>,
+    input: &str,
+    output: &str,
+    mapper: M,
+    reducer: R,
+) -> crate::Result<usize>
+where
+    KI: Clone + Send + Sync + EstimateSize + 'static,
+    VI: Clone + Send + Sync + EstimateSize + 'static,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Clone + Send + Sync + EstimateSize + 'static,
+    VO: Clone + Send + Sync + EstimateSize + 'static,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    let job_name = spec.name.clone();
+    let plan = cluster.config().fault_plan.as_ref();
+
+    // Scheduled dataset loss: the DFS "loses" the input before this job
+    // reads it, forcing the lineage path to re-derive it.
+    if let Some(p) = plan {
+        if lineage.is_some() && p.dataset_lost(&job_name, input) && dfs.contains(input) {
+            dfs.delete(input);
+        }
+    }
+
+    let fetched = fetch_input::<(KI, VI)>(dfs, plan, lineage, &job_name, input)?;
+    let out = run_job(cluster, spec, &fetched.records, mapper, reducer)?;
+    let n = out.len();
+    dfs.put(output, out);
+
+    if fetched.transient_retries > 0 || fetched.recoveries > 0 {
+        cluster.annotate_last(|m| {
+            m.dfs_read_retries += fetched.transient_retries;
+            m.lineage_recoveries += fetched.recoveries;
+            m.recovery_sim_time_s += fetched.backoff_s;
+            m.sim_time_s += fetched.backoff_s;
+        });
+    }
+    Ok(n)
+}
 
 /// Run one job whose input is the DFS dataset `input` and whose output is
 /// written to the DFS dataset `output`. Returns the number of output
 /// records.
 ///
 /// Fails with [`MrError::DatasetMissing`] when `input` does not exist or
-/// holds records of a different type.
+/// holds records of a different type, and with [`MrError::DfsReadFailed`]
+/// when a fault plan's transient read errors outlast the retry budget.
 pub fn run_job_dfs<KI, VI, KM, VM, KO, VO, M, R>(
     cluster: &Cluster,
     dfs: &Dfs,
@@ -37,23 +172,50 @@ where
     M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
-    let job_name = spec.name.clone();
-    let records = dfs
-        .get::<(KI, VI)>(input)
-        .ok_or_else(|| MrError::DatasetMissing {
-            job: job_name,
-            dataset: input.to_string(),
-        })?;
-    let out = run_job(cluster, spec, &records, mapper, reducer)?;
-    let n = out.len();
-    dfs.put(output, out);
-    Ok(n)
+    run_stage(cluster, dfs, None, spec, input, output, mapper, reducer)
+}
+
+/// Like [`run_job_dfs`], but a missing input dataset is re-derived through
+/// the `lineage` registry (one recovery per read) instead of failing, and
+/// the fault plan's scheduled dataset losses are injected. Each recovery is
+/// recorded in the job's [`crate::JobMetrics::lineage_recoveries`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_dfs_recovering<KI, VI, KM, VM, KO, VO, M, R>(
+    cluster: &Cluster,
+    dfs: &Dfs,
+    lineage: &Lineage,
+    spec: JobSpec<'_, KM, VM>,
+    input: &str,
+    output: &str,
+    mapper: M,
+    reducer: R,
+) -> crate::Result<usize>
+where
+    KI: Clone + Send + Sync + EstimateSize + 'static,
+    VI: Clone + Send + Sync + EstimateSize + 'static,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Clone + Send + Sync + EstimateSize + 'static,
+    VO: Clone + Send + Sync + EstimateSize + 'static,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    run_stage(
+        cluster,
+        dfs,
+        Some(lineage),
+        spec,
+        input,
+        output,
+        mapper,
+        reducer,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ClusterConfig;
+    use crate::{ClusterConfig, FaultPlan};
 
     #[test]
     fn two_stage_pipeline_with_metered_reads() {
@@ -128,5 +290,125 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, MrError::DatasetMissing { .. }));
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_and_metered() {
+        // A plan with near-certain transient read errors but a big retry
+        // budget: the read eventually succeeds (decisions are deterministic
+        // for a fixed seed), and retries + backoff show up in the metrics.
+        let mut plan = FaultPlan::noop();
+        plan.dfs_transient_p = 0.9;
+        plan.retry.max_attempts = 50;
+        let cluster = Cluster::new(ClusterConfig {
+            fault_plan: Some(plan),
+            ..ClusterConfig::with_machines(2)
+        });
+        let dfs = Dfs::new();
+        dfs.put("logs", vec![(0u64, 1u64), (1, 2)]);
+        run_job_dfs(
+            &cluster,
+            &dfs,
+            JobSpec::named("count"),
+            "logs",
+            "counts",
+            |k: &u64, v: &u64, emit| emit(*k, *v),
+            |k, vals, emit| emit(*k, vals.len() as u64),
+        )
+        .unwrap();
+        let m = cluster.metrics();
+        assert!(m.total_dfs_read_retries() > 0);
+        assert!(m.total_recovery_sim_time_s() > 0.0);
+    }
+
+    #[test]
+    fn exhausted_read_budget_is_typed() {
+        let mut plan = FaultPlan::noop();
+        plan.dfs_transient_p = 1.0;
+        plan.retry.max_attempts = 2;
+        // With p = 1.0 every attempt fails, so the budget must run out.
+        let cluster = Cluster::new(ClusterConfig {
+            fault_plan: Some(plan),
+            ..ClusterConfig::with_machines(2)
+        });
+        let dfs = Dfs::new();
+        dfs.put("logs", vec![(0u64, 1u64)]);
+        let err = run_job_dfs(
+            &cluster,
+            &dfs,
+            JobSpec::named("count"),
+            "logs",
+            "counts",
+            |k: &u64, v: &u64, emit| emit(*k, *v),
+            |k, vals, emit| emit(*k, vals.len() as u64),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, MrError::DfsReadFailed { attempts, .. } if attempts == 2),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn lost_dataset_recovers_through_lineage() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::with_machines(2)));
+        let dfs = Arc::new(Dfs::new());
+        dfs.put("logs", vec![(0u64, 3u64), (1, 3), (2, 5)]);
+
+        let lineage = Lineage::new();
+        let (c2, d2) = (Arc::clone(&cluster), Arc::clone(&dfs));
+        lineage
+            .register("counts", "count", move || {
+                run_job_dfs(
+                    &c2,
+                    &d2,
+                    JobSpec::named("count"),
+                    "logs",
+                    "counts",
+                    |_: &u64, v: &u64, emit| emit(*v, 1u64),
+                    |k, vals, emit| emit(*k, vals.len() as u64),
+                )
+                .map(|_| ())
+            })
+            .unwrap();
+
+        // Stage 2's input never materialized (simulated loss before the
+        // consumer runs): the recovering runner re-derives it.
+        assert!(!dfs.contains("counts"));
+        run_job_dfs_recovering(
+            &cluster,
+            &dfs,
+            &lineage,
+            JobSpec::named("max"),
+            "counts",
+            "max",
+            |_: &u64, c: &u64, emit| emit(0u8, *c),
+            |_, vals, emit| emit(0u8, vals.into_iter().max().unwrap_or(0)),
+        )
+        .unwrap();
+
+        let result = dfs.get::<(u8, u64)>("max").unwrap();
+        assert_eq!(result[0], (0, 2));
+        assert_eq!(lineage.recoveries(), 1);
+        assert_eq!(cluster.metrics().total_lineage_recoveries(), 1);
+    }
+
+    #[test]
+    fn unrecoverable_loss_is_typed() {
+        let cluster = Cluster::with_defaults();
+        let dfs = Dfs::new();
+        let lineage = Lineage::new();
+        let err = run_job_dfs_recovering(
+            &cluster,
+            &dfs,
+            &lineage,
+            JobSpec::named("max"),
+            "counts",
+            "max",
+            |k: &u64, v: &u64, emit| emit(*k, *v),
+            |k, vals, emit| emit(*k, vals.len() as u64),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MrError::LineageMissing { .. }));
     }
 }

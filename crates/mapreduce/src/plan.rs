@@ -414,6 +414,17 @@ impl JobGraph {
             .unwrap_or(SymExpr::Const(0))
     }
 
+    /// The job template that writes `dataset` — the lineage of an
+    /// intermediate: when the dataset is lost, re-running this job (after
+    /// re-deriving *its* inputs) reconstructs it. Returns `None` for
+    /// driver-provided inputs and unknown names.
+    pub fn producer_of(&self, dataset: &str) -> Option<&str> {
+        self.jobs
+            .iter()
+            .find(|j| j.writes.iter().any(|w| w == dataset))
+            .map(|j| j.name.as_str())
+    }
+
     /// Instantiate every template under `env`, in template order. A
     /// template whose `count` evaluates to more than 1 must carry a `{}`
     /// placeholder in its name.

@@ -11,6 +11,7 @@
 //! (`wall_time_s` excepted). When the two disagree, trust this one.
 
 use crate::cluster::{Cluster, CostModel};
+use crate::fault::JobFaultSchedule;
 use crate::job::{combine_bucket, partition_of, JobSpec};
 use crate::metrics::JobMetrics;
 use crate::size::EstimateSize;
@@ -53,6 +54,30 @@ where
 
     // ---- Map phase: one task per split, in task order --------------------
     let split_len = input.len().div_ceil(num_map_tasks).max(1);
+    let actual_tasks = input.chunks(split_len).count();
+
+    // Same up-front fault-schedule expansion as the engine: identical
+    // decisions, identical accounting.
+    let sched: Option<JobFaultSchedule> = cfg.fault_plan.as_ref().map(|plan| {
+        plan.schedule(
+            &spec.name,
+            cluster.jobs_run(),
+            actual_tasks,
+            num_reducers,
+            cfg.machines.max(1),
+        )
+    });
+    if let Some(s) = &sched {
+        if let Some(t) = s.first_exhausted_map() {
+            return Err(MrError::TaskFailed {
+                job: spec.name,
+                phase: "map",
+                task: t,
+                attempts: s.map[t].failed_attempts,
+            });
+        }
+    }
+
     let mut partitions: Vec<Vec<(KM, VM)>> = (0..num_reducers).map(|_| Vec::new()).collect();
 
     let run_map_task = |split: &[(KI, VI)]| {
@@ -81,13 +106,17 @@ where
     };
 
     for (task, split) in input.chunks(split_len).enumerate() {
-        if let Some(n) = cfg.fail_every_nth_task {
-            if n > 0 && (task + 1).is_multiple_of(n) {
+        if let Some(s) = &sched {
+            // Scheduled failed attempts: run the mapper, discard the
+            // output (wasted work), retry.
+            for _ in 0..s.map[task].failed_attempts {
                 drop(run_map_task(split));
-                metrics.task_retries += 1;
             }
         }
         let (buckets, output_records, output_bytes, input_bytes) = run_map_task(split);
+        if let (Some(s), Some(plan)) = (&sched, &cfg.fault_plan) {
+            s.map[task].account_map(plan, input_bytes as f64 / cfg.map_bytes_per_s, &mut metrics);
+        }
         metrics.map_input_records += split.len();
         metrics.map_input_bytes += input_bytes;
         metrics.map_output_records += output_records;
@@ -113,7 +142,17 @@ where
 
     // ---- Reduce phase: partitions in order, full stable sort -------------
     let mut output: Vec<(KO, VO)> = Vec::new();
-    for mut records in partitions {
+    for (p, mut records) in partitions.into_iter().enumerate() {
+        if let Some(f) = sched.as_ref().map(|s| &s.reduce[p]) {
+            if f.exhausted {
+                return Err(MrError::TaskFailed {
+                    job: spec.name,
+                    phase: "reduce",
+                    task: p,
+                    attempts: f.failed_attempts,
+                });
+            }
+        }
         records.sort_by(|a, b| a.0.cmp(&b.0));
         let mut it = records.into_iter().peekable();
         while let Some((key, first)) = it.next() {
@@ -142,6 +181,13 @@ where
             };
             reducer(&key, vals, &mut emit);
         }
+    }
+
+    if let (Some(s), Some(plan)) = (&sched, &cfg.fault_plan) {
+        for f in &s.reduce {
+            f.account_reduce(plan, &mut metrics);
+        }
+        metrics.workers_blacklisted = s.workers_blacklisted;
     }
 
     metrics.wall_time_s = started.elapsed().as_secs_f64();

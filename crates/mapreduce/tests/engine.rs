@@ -4,7 +4,7 @@
 // policy only here).
 #![allow(clippy::unwrap_used)]
 
-use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec, MrError};
+use haten2_mapreduce::{run_job, Cluster, ClusterConfig, FaultPlan, JobSpec, MrError};
 
 /// Classic word count over (doc_id, text) records.
 fn word_count(cluster: &Cluster, docs: &[(u64, String)]) -> Vec<(String, u64)> {
@@ -181,7 +181,7 @@ fn cluster_capacity_exceeded_triggers() {
 #[test]
 fn failure_injection_is_transparent() {
     let cfg = ClusterConfig {
-        fail_every_nth_task: Some(2),
+        fault_plan: Some(FaultPlan::fail_every_nth(2)),
         ..ClusterConfig::with_machines(8)
     };
     let cluster = Cluster::new(cfg);

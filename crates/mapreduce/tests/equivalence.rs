@@ -12,7 +12,7 @@
 //! may abort a partition the reference would have failed first).
 
 use haten2_mapreduce::{
-    run_job, run_job_reference, Cluster, ClusterConfig, JobMetrics, JobSpec, MrError,
+    run_job, run_job_reference, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec, MrError,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -116,7 +116,7 @@ proptest! {
         every_nth in 1usize..4,
     ) {
         let mut cfg = config(machines, threads, reducers);
-        cfg.fail_every_nth_task = Some(every_nth);
+        cfg.fault_plan = Some(FaultPlan::fail_every_nth(every_nth));
         let (engine, reference, em, rm) = run_both(cfg, &input, false);
         prop_assert_eq!(engine, reference);
         prop_assert_eq!(em, rm);

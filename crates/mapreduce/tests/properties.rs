@@ -6,7 +6,7 @@
 // policy only here).
 #![allow(clippy::unwrap_used)]
 
-use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec};
+use haten2_mapreduce::{run_job, Cluster, ClusterConfig, FaultPlan, JobSpec};
 use proptest::prelude::*;
 
 fn sum_by_key(cluster: &Cluster, input: &[(u64, u64)], modulo: u64) -> Vec<(u64, u64)> {
@@ -113,7 +113,7 @@ proptest! {
         nth in 1usize..5,
     ) {
         let cfg = ClusterConfig {
-            fail_every_nth_task: Some(nth),
+            fault_plan: Some(FaultPlan::fail_every_nth(nth)),
             ..ClusterConfig::with_machines(6)
         };
         let cluster = Cluster::new(cfg);

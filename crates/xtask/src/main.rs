@@ -20,6 +20,10 @@
 //!   comment within the preceding lines.
 //! * **no-debug-macros** — `dbg!(` and `todo!(` are banned everywhere,
 //!   including tests.
+//! * **shared-backoff** — retry backoff arithmetic is banned in library
+//!   sources outside `crates/mapreduce/src/fault.rs`: every retry site
+//!   must charge delays through the one `RetryPolicy::backoff_s` helper so
+//!   the engine and the reference executor account recovery identically.
 //!
 //! Suppress a finding with `// lint:allow(<rule>) — <reason>` on the same
 //! or the preceding line. `shims/` (vendored stand-ins), `crates/xtask`
@@ -82,6 +86,20 @@ const RULES: &[Rule] = &[
         scope: Scope::Everywhere,
         message: "debugging leftovers must not land",
         exempt: &[],
+    },
+    Rule {
+        id: "shared-backoff",
+        patterns: &[
+            "backoff_base",
+            "backoff_factor",
+            "backoff_ms",
+            "retry_delay",
+        ],
+        scope: Scope::LibraryCode,
+        message: "retry sites must charge delays through RetryPolicy::backoff_s \
+                  (crates/mapreduce/src/fault.rs), not ad-hoc backoff arithmetic, so \
+                  recovery time stays identical across executors",
+        exempt: &["crates/mapreduce/src/fault.rs"],
     },
 ];
 

@@ -19,6 +19,9 @@ cargo fmt --check
 echo "==> cargo xtask lint"
 cargo xtask lint
 
+echo "==> haten2-chaos smoke (fault-transparency across all 8 pipelines)"
+cargo run -p haten2-chaos --release --bin haten2-chaos -- --seeds 2 --seed-base 7
+
 echo "==> haten2-analyze --verify-paper-table (regenerates ANALYSIS.md)"
 cargo run -p haten2-analyze --release -- --verify-paper-table | tee ANALYSIS.md
 
