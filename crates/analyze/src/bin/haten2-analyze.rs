@@ -1,31 +1,42 @@
 //! CLI for the static plan analyzer.
 //!
 //! * `--verify-paper-table` — check all eight registered pipelines against
-//!   the paper's Tables III/IV and print the markdown report (this is what
-//!   `scripts/check.sh` commits to `ANALYSIS.md`). Exits non-zero on any
-//!   violation.
-//! * `--reject-demo` — run deliberately mis-wired plans through the
+//!   the paper's Tables III/IV, certify their recoverability under the
+//!   symbolic fault budget, run the determinism scan, and print the report
+//!   (this is what `cargo xtask analyze` commits to `ANALYSIS.md`). Exits
+//!   non-zero on any violation.
+//! * `--reject-demo` — run deliberately defective plans/specs through the
 //!   analyzer and print the diagnostics, proving that malformed plans are
-//!   rejected naming the offending job. Exits non-zero if any demo plan
-//!   slips through.
+//!   rejected naming the offending job, dataset, or sweep. Exits non-zero
+//!   if any demo plan slips through.
+//! * `--determinism` — print only the UDF-purity scan verdict.
+//! * `--format md|json` — report format for `--verify-paper-table`
+//!   (default `md`). JSON output is a single stable document with one
+//!   object per violation (`haten2_analyze::json`).
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: haten2-analyze [--verify-paper-table] [--reject-demo]\n\
+        "usage: haten2-analyze [--format md|json] [--verify-paper-table] [--reject-demo] [--determinism]\n\
          \n\
          --verify-paper-table  verify all 8 pipelines against the paper's cost\n\
-         \x20                     tables and print the markdown report\n\
-         --reject-demo         show that mis-wired plans are rejected with\n\
-         \x20                     diagnostics naming the offending job"
+         \x20                     tables, certify recoverability, scan UDF purity,\n\
+         \x20                     and print the report\n\
+         --reject-demo         show that defective plans and recovery specs are\n\
+         \x20                     rejected with diagnostics naming the offender\n\
+         --determinism         print only the UDF-purity scan verdict\n\
+         --format md|json      report format for --verify-paper-table (default md)"
     );
     ExitCode::from(2)
 }
 
-fn verify_paper_table() -> bool {
+fn verify_paper_table(format: &str) -> bool {
     let report = haten2_analyze::verify_paper_table();
-    print!("{}", report.to_markdown());
+    match format {
+        "json" => println!("{}", haten2_analyze::json::full_json(&report)),
+        _ => print!("{}", report.to_markdown()),
+    }
     if report.ok() {
         true
     } else {
@@ -35,6 +46,20 @@ fn verify_paper_table() -> bool {
         );
         false
     }
+}
+
+fn determinism() -> bool {
+    let report = haten2_analyze::check_determinism();
+    println!(
+        "determinism scan: {} file(s), {} reducer site(s), {} violation(s)",
+        report.files_scanned,
+        report.reducers.len(),
+        report.violations.len()
+    );
+    for v in &report.violations {
+        println!("- {v}");
+    }
+    report.ok()
 }
 
 fn reject_demo() -> bool {
@@ -53,13 +78,17 @@ fn reject_demo() -> bool {
         if !ok {
             all_rejected = false;
             eprintln!(
-                "demo plan '{}' was not rejected with the expected diagnostic",
-                r.graph.name
+                "demo plan '{}' was not rejected with the expected diagnostic \
+                 naming '{}'",
+                r.graph.name, r.must_name
             );
         }
     }
     if all_rejected {
-        println!("all demo plans rejected, each diagnostic names the offending job");
+        println!(
+            "all demo plans rejected, each diagnostic names the offending \
+             job, dataset, or sweep"
+        );
     }
     all_rejected
 }
@@ -69,12 +98,38 @@ fn main() -> ExitCode {
     if args.is_empty() {
         return usage();
     }
-    let mut ok = true;
-    for arg in &args {
-        ok &= match arg.as_str() {
-            "--verify-paper-table" => verify_paper_table(),
-            "--reject-demo" => reject_demo(),
+    let mut format = "md".to_string();
+    let mut actions: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                let Some(f) = args.get(i + 1) else {
+                    return usage();
+                };
+                if f != "md" && f != "json" {
+                    return usage();
+                }
+                format = f.clone();
+                i += 1;
+            }
+            "--verify-paper-table" => actions.push("verify"),
+            "--reject-demo" => actions.push("reject"),
+            "--determinism" => actions.push("determinism"),
             _ => return usage(),
+        }
+        i += 1;
+    }
+    if actions.is_empty() {
+        return usage();
+    }
+    let mut ok = true;
+    for action in actions {
+        ok &= match action {
+            "verify" => verify_paper_table(&format),
+            "reject" => reject_demo(),
+            "determinism" => determinism(),
+            _ => unreachable!(),
         };
     }
     if ok {

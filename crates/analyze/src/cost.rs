@@ -132,6 +132,7 @@ pub fn regime_envs() -> Vec<Env> {
                         rank_q,
                         rank_r,
                         machines: 10,
+                        faults: 1,
                     });
                 }
             }

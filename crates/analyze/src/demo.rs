@@ -1,27 +1,30 @@
 //! Deliberately malformed plans, for demonstrating (and regression-testing)
 //! that the analyzer rejects them with diagnostics naming the offending
-//! job. The `--reject-demo` CLI flag runs these; `README.md` walks through
-//! the first one.
+//! job, dataset, or sweep. The `--reject-demo` CLI flag runs these;
+//! `README.md` walks through the first one.
 
+use crate::recovery::certify;
 use crate::{analyze_graph, cost::paper_claim, cost::regime_envs, Violation};
-use haten2_core::{plan_for, Decomp, Variant};
-use haten2_mapreduce::{JobGraph, PlanJob, SymExpr};
+use haten2_core::{plan_for, recovery_for, Decomp, Variant};
+use haten2_mapreduce::{CheckpointPolicy, JobGraph, PlanJob, RecoverySpec, SymExpr};
 
-/// One rejection scenario: a malformed plan plus the violation kind the
-/// analyzer must produce for it.
+/// One rejection scenario: a malformed plan (or sound plan with a defective
+/// recovery spec) plus the violation the analyzer must produce for it.
 pub struct Rejection {
     /// Human-readable description of the injected defect.
     pub defect: &'static str,
-    /// The malformed graph.
+    /// The (possibly corrupted) graph.
     pub graph: JobGraph,
-    /// Name of the job each diagnostic must mention.
-    pub offending_job: &'static str,
+    /// When present, the recoverability pass also runs under this spec.
+    pub spec: Option<RecoverySpec>,
+    /// The offending job / dataset / sweep some diagnostic must name.
+    pub must_name: &'static str,
     /// Predicate: does this violation list constitute a correct rejection?
     pub matches: fn(&[Violation]) -> bool,
 }
 
 /// The demo scenarios, each a one-edit corruption of a real registered
-/// pipeline.
+/// pipeline (or of its recovery spec).
 pub fn rejections() -> Vec<Rejection> {
     let mut out = Vec::new();
 
@@ -32,7 +35,8 @@ pub fn rejections() -> Vec<Rejection> {
     out.push(Rejection {
         defect: "crossmerge reads 't_typo', which no job writes",
         graph: g,
-        offending_job: "tucker-dri-crossmerge",
+        spec: None,
+        must_name: "tucker-dri-crossmerge",
         matches: |v| {
             v.iter().any(|v| {
                 matches!(v, Violation::DanglingRead { job, dataset }
@@ -54,7 +58,8 @@ pub fn rejections() -> Vec<Rejection> {
     out.push(Rejection {
         defect: "'rogue-refresh' overwrites 't_prime' while the IMHP output is still unread",
         graph: g,
-        offending_job: "rogue-refresh",
+        spec: None,
+        must_name: "rogue-refresh",
         matches: |v| {
             v.iter().any(|v| {
                 matches!(v, Violation::LostWrite { job, dataset, prior_job }
@@ -77,7 +82,8 @@ pub fn rejections() -> Vec<Rejection> {
     out.push(Rejection {
         defect: "extra job 'rogue-scan' writes unread 'scratch' and breaks the 2-job claim",
         graph: g,
-        offending_job: "rogue-scan",
+        spec: None,
+        must_name: "rogue-scan",
         matches: |v| {
             let unused = v.iter().any(|v| {
                 matches!(v, Violation::UnusedDataset { job, dataset }
@@ -90,10 +96,50 @@ pub fn rejections() -> Vec<Rejection> {
         },
     });
 
+    // 4. Lineage gap: the plan is sound, but the pipeline's recovery spec
+    //    registers no recipe for T' — losing it mid-run is unrecoverable.
+    let mut g = plan_for(Decomp::Tucker, Variant::Dri);
+    g.name = "tucker-dri(lineage-gap)".to_string();
+    let mut spec = recovery_for(Decomp::Tucker, Variant::Dri, 0);
+    spec.covered.remove("t_prime");
+    out.push(Rejection {
+        defect: "recovery spec drops the lineage recipe for intermediate 't_prime'",
+        graph: g,
+        spec: Some(spec),
+        must_name: "t_prime",
+        matches: |v| {
+            v.iter().any(|v| {
+                matches!(v, Violation::UnrecoverableDataset { dataset, .. }
+                    if dataset == "t_prime")
+            })
+        },
+    });
+
+    // 5. Checkpoint gap: the driver checkpoints only every 2nd sweep, so a
+    //    crash after sweep 1 recomputes it from scratch.
+    let mut g = plan_for(Decomp::Parafac, Variant::Dri);
+    g.name = "parafac-dri(checkpoint-gap)".to_string();
+    let mut spec = recovery_for(Decomp::Parafac, Variant::Dri, 4);
+    spec.checkpoint = Some(CheckpointPolicy {
+        every: 2,
+        sweeps: 4,
+    });
+    out.push(Rejection {
+        defect: "checkpoint policy skips odd sweeps; completed sweep 1 is uncovered",
+        graph: g,
+        spec: Some(spec),
+        must_name: "sweep 1",
+        matches: |v| {
+            v.iter()
+                .any(|v| matches!(v, Violation::CheckpointGap { sweep, .. } if *sweep == 1))
+        },
+    });
+
     out
 }
 
-/// Run every demo scenario through the full analyzer. Returns, per
+/// Run every demo scenario through the full analyzer (dataflow + cost,
+/// plus recoverability when the scenario carries a spec). Returns, per
 /// scenario, the violations produced and whether they constitute a correct
 /// rejection.
 pub fn run_rejections() -> Vec<(Rejection, Vec<Violation>, bool)> {
@@ -108,8 +154,11 @@ pub fn run_rejections() -> Vec<(Rejection, Vec<Violation>, bool)> {
                 Decomp::Parafac
             };
             let claim = paper_claim(decomp, Variant::Dri);
-            let v = analyze_graph(&r.graph, &claim, &envs);
-            let ok = (r.matches)(&v) && v.iter().all(|x| format!("{x}").contains("job"));
+            let mut v = analyze_graph(&r.graph, &claim, &envs);
+            if let Some(spec) = &r.spec {
+                v.extend(certify(&r.graph, spec).violations);
+            }
+            let ok = (r.matches)(&v) && v.iter().any(|x| format!("{x}").contains(r.must_name));
             (r, v, ok)
         })
         .collect()
@@ -121,16 +170,41 @@ mod tests {
 
     #[test]
     fn every_demo_plan_is_rejected_naming_the_offender() {
-        for (r, violations, ok) in run_rejections() {
+        let results = run_rejections();
+        assert_eq!(results.len(), 5);
+        for (r, violations, ok) in results {
             assert!(ok, "{}: got {violations:?}", r.defect);
             assert!(
                 violations
                     .iter()
-                    .any(|v| format!("{v}").contains(r.offending_job)),
+                    .any(|v| format!("{v}").contains(r.must_name)),
                 "{}: no diagnostic names '{}': {violations:?}",
                 r.defect,
-                r.offending_job
+                r.must_name
             );
+        }
+    }
+
+    #[test]
+    fn recovery_scenarios_reject_only_via_the_recovery_pass() {
+        // The lineage-gap and checkpoint-gap graphs are *sound* plans; the
+        // dataflow and cost passes must stay clean so the rejection is
+        // attributable to the recoverability certificate alone.
+        let envs = regime_envs();
+        for (r, _, _) in run_rejections() {
+            if r.spec.is_some() {
+                let decomp = if r.graph.name.starts_with("tucker") {
+                    Decomp::Tucker
+                } else {
+                    Decomp::Parafac
+                };
+                let claim = paper_claim(decomp, Variant::Dri);
+                assert!(
+                    analyze_graph(&r.graph, &claim, &envs).is_empty(),
+                    "{}: graph itself should be well-formed",
+                    r.defect
+                );
+            }
         }
     }
 }

@@ -1,0 +1,207 @@
+//! Determinism (UDF-purity) pass: certify that map/reduce closures cannot
+//! produce different output under re-execution or reordering.
+//!
+//! Hadoop's fault tolerance silently *assumes* user-defined functions are
+//! pure: a re-executed task must emit the same records, a reducer must
+//! tolerate its values arriving in any order (speculative execution races
+//! two attempts and keeps whichever finishes first). This pass makes the
+//! assumption checkable:
+//!
+//! * **Source scan** — every closure passed to the engine's job runners
+//!   (`run_job`, `run_job_dfs`, `run_job_dfs_recovering`) in
+//!   `crates/mapreduce/src/pipeline.rs` and the `crates/core` pipelines is
+//!   scanned by [`haten2_srcscan::scan_udf_purity`] for nondeterminism
+//!   sources: unordered `HashMap`/`HashSet` iteration feeding emits,
+//!   wall-clock reads, thread-id dependence, and float reductions not
+//!   declared commutative-associative in the plan metadata.
+//! * **Plan consistency** — every [`haten2_mapreduce::PlanJob`] whose `op`
+//!   appears in [`haten2_core::COMM_ASSOC_REDUCERS`] must carry the
+//!   `comm_assoc` flag and vice versa, so the annotation the scanner
+//!   trusts is exactly the one the generated property tests exercise.
+
+use crate::Violation;
+use haten2_core::{is_comm_assoc_site, plan_for, Decomp, Variant};
+use haten2_srcscan::{rs_files, scan_udf_purity, workspace_root, ReducerSite};
+use std::path::{Path, PathBuf};
+
+/// Result of the determinism pass over the workspace sources.
+#[derive(Debug)]
+pub struct DeterminismReport {
+    /// Purity violations found (empty = all scanned UDFs are pure).
+    pub violations: Vec<Violation>,
+    /// Every reducer site seen, for coverage reporting.
+    pub reducers: Vec<ReducerSite>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl DeterminismReport {
+    /// `true` when no scanned closure violates a purity rule and the plan
+    /// annotations are consistent with the registry.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The library sources whose job-runner closures the pass scans: the
+/// engine's pipeline layer plus every `haten2-core` pipeline module.
+fn scan_targets(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![root.join("crates/mapreduce/src/pipeline.rs")];
+    let mut core = Vec::new();
+    rs_files(&root.join("crates/core/src"), &mut core);
+    core.sort();
+    files.extend(core);
+    files.retain(|f| f.exists());
+    files
+}
+
+/// Run the source-scan half of the pass on the workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> DeterminismReport {
+    let mut violations = Vec::new();
+    let mut reducers = Vec::new();
+    let files = scan_targets(root);
+    let files_scanned = files.len();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let (findings, mut sites) = scan_udf_purity(&file, &text, &is_comm_assoc_site);
+        for f in findings {
+            violations.push(Violation::NondeterministicUdf {
+                file: f.file.display().to_string(),
+                line: f.line,
+                rule: f.rule.to_string(),
+                site: f.site,
+                message: f.message,
+            });
+        }
+        reducers.append(&mut sites);
+    }
+    violations.extend(check_plan_consistency());
+    DeterminismReport {
+        violations,
+        reducers,
+        files_scanned,
+    }
+}
+
+/// Run the full determinism pass from the current workspace.
+pub fn check_determinism() -> DeterminismReport {
+    scan_workspace(&workspace_root())
+}
+
+/// The plan-consistency half: `comm_assoc` flags on every registered graph
+/// must agree with the annotation registry, in both directions.
+pub fn check_plan_consistency() -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for decomp in Decomp::ALL {
+        for variant in Variant::ALL {
+            let g = plan_for(decomp, variant);
+            for job in &g.jobs {
+                let Some(op) = job.op.as_deref() else {
+                    violations.push(Violation::AnnotationMismatch {
+                        graph: g.name.clone(),
+                        job: job.name.clone(),
+                        op: "<none>".to_string(),
+                        detail: "job declares no reducer op; the determinism pass \
+                                 cannot match it against the registry"
+                            .to_string(),
+                    });
+                    continue;
+                };
+                let registered = is_comm_assoc_site(op);
+                if job.comm_assoc && !registered {
+                    violations.push(Violation::AnnotationMismatch {
+                        graph: g.name.clone(),
+                        job: job.name.clone(),
+                        op: op.to_string(),
+                        detail: "declared comm_assoc but the reducer registry has no \
+                                 entry (so no property test covers the claim)"
+                            .to_string(),
+                    });
+                }
+                if !job.comm_assoc && registered {
+                    violations.push(Violation::AnnotationMismatch {
+                        graph: g.name.clone(),
+                        job: job.name.clone(),
+                        op: op.to_string(),
+                        detail: "registry declares the reducer comm-assoc but the plan \
+                                 does not flag the job"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_pipelines_are_clean() {
+        let report = check_determinism();
+        assert!(
+            report.ok(),
+            "determinism violations on the real tree: {:#?}",
+            report.violations
+        );
+        // The scan must actually see the pipelines (engine pipeline layer
+        // + core modules), and find the annotated reducers.
+        assert!(report.files_scanned >= 5, "{} files", report.files_scanned);
+        assert!(
+            report.reducers.iter().any(|r| r.site == "collapse_job"),
+            "reducer sites seen: {:?}",
+            report
+                .reducers
+                .iter()
+                .map(|r| r.site.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_float_reducing_site_is_annotated() {
+        let report = check_determinism();
+        for r in &report.reducers {
+            if r.has_float_reduction {
+                assert!(
+                    is_comm_assoc_site(&r.site),
+                    "float-reducing site '{}' ({}:{}) lacks a comm-assoc annotation",
+                    r.site,
+                    r.file.display(),
+                    r.line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_nondeterministic_reducer_is_flagged() {
+        let src = r#"
+fn seeded() {
+    run_job(
+        c,
+        JobSpec::named("seeded-bad"),
+        &input,
+        |k, v, emit| emit(k, v),
+        |k, vals, emit| {
+            let mut acc: HashMap<u64, f64> = HashMap::new();
+            for v in vals { *acc.entry(v).or_insert(0.0) += 1.0; }
+            for (k2, v2) in acc { emit(k2, v2); }
+        },
+    );
+}
+"#;
+        let (findings, _) =
+            scan_udf_purity(std::path::Path::new("seeded.rs"), src, &is_comm_assoc_site);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "no-unordered-iteration" && f.site == "seeded-bad"));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "unannotated-float-reduction"));
+    }
+}

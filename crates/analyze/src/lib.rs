@@ -16,15 +16,32 @@
 //!   intermediate records, job count, and tensor-read count are held to
 //!   the paper's claimed expressions by extensional equivalence over the
 //!   operating-regime grid ([`cost::regime_envs`]).
+//! * **Recoverability pass** ([`recovery::certify`]) — given a pipeline's
+//!   declared [`RecoverySpec`](haten2_mapreduce::RecoverySpec) and the
+//!   symbolic fault budget `k`, proves lineage closure (every read is
+//!   durable or re-derivable), cycle-free re-derivation within the
+//!   runtime's depth guard, checkpoint coverage of every ALS sweep, and a
+//!   symbolic worst-case recovery bound `k · max(chains)` printed next to
+//!   the paper's job counts.
+//! * **Determinism pass** ([`determinism::check_determinism`]) — scans
+//!   the map/reduce closures the real pipelines submit (via
+//!   `haten2-srcscan`) for UDF impurity: unordered `HashMap`/`HashSet`
+//!   iteration feeding emits, wall-clock reads, thread-id dependence, and
+//!   float reductions not declared commutative-associative in plan
+//!   metadata (each declaration is property-checked by a generated
+//!   proptest per reducer).
 //! * **Lint pass** — source-level rules (forbidden APIs, undocumented
-//!   `unsafe`, `unwrap` in library code) live in the `xtask` binary
-//!   (`cargo xtask lint`), not here: they scan text, not plans.
+//!   `unsafe`, `unwrap` in library code) live in the `xtask` package
+//!   (`cargo xtask lint`), layered on the same `haten2-srcscan` scanner:
+//!   they scan text, not plans.
 //!
 //! Every violation is a [`Violation`] whose `Display` names the offending
-//! job. `cargo run -p haten2-analyze -- --verify-paper-table` renders the
-//! full verification report (committed as `ANALYSIS.md`);
-//! `--reject-demo` proves the analyzer rejects deliberately mis-wired
-//! plans ([`demo`]).
+//! job, dataset, sweep, or source site. `cargo run -p haten2-analyze --
+//! --verify-paper-table` renders the full verification report (committed
+//! as `ANALYSIS.md`, staleness-gated by `cargo xtask analyze`);
+//! `--reject-demo` proves the analyzer rejects deliberately mis-wired or
+//! under-covered plans ([`demo`]); `--format json` emits one stable JSON
+//! object per violation for tooling.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -32,10 +49,15 @@
 pub mod cost;
 pub mod dataflow;
 pub mod demo;
+pub mod determinism;
+pub mod json;
+pub mod recovery;
 pub mod report;
 
 pub use cost::{paper_claim, regime_envs, PaperClaim};
 pub use dataflow::check_dataflow;
+pub use determinism::{check_determinism, check_plan_consistency, DeterminismReport};
+pub use recovery::{certify, Certification, RecoveryBound};
 pub use report::{verify_paper_table, Report, RowVerdict};
 
 use haten2_mapreduce::{Env, JobGraph};
@@ -117,6 +139,70 @@ pub enum Violation {
         /// Claimed value on `env`.
         claimed_val: u128,
     },
+    /// A job reads a dataset whose loss the plan cannot recover from:
+    /// no lineage recipe covers it (or its producer chain never roots at a
+    /// durable input).
+    UnrecoverableDataset {
+        /// The dataset whose loss is fatal.
+        dataset: String,
+        /// The job whose read hits the gap.
+        reader: String,
+        /// Why the dataset is unrecoverable.
+        cause: String,
+    },
+    /// A dataset's producer chain is cyclic, so re-derivation can never
+    /// terminate.
+    LineageCycle {
+        /// Graph the cycle lives in.
+        graph: String,
+        /// A dataset on the cycle.
+        dataset: String,
+    },
+    /// A dataset's re-derivation chain is deeper than the runtime's
+    /// recursion guard, so a recovery the plan relies on would be aborted.
+    RederivationTooDeep {
+        /// The dataset at the end of the chain.
+        dataset: String,
+        /// Static chain depth.
+        depth: usize,
+        /// The runtime bound ([`haten2_mapreduce::MAX_RECOVERY_DEPTH`]).
+        bound: usize,
+    },
+    /// An iterative driver leaves a completed ALS sweep uncovered by any
+    /// checkpoint, so a crash recomputes finished work.
+    CheckpointGap {
+        /// Graph (pipeline) the policy belongs to.
+        graph: String,
+        /// First sweep no checkpoint covers.
+        sweep: usize,
+    },
+    /// A map/reduce closure contains a nondeterminism source (unordered
+    /// iteration feeding emits, wall clock, thread identity, or an
+    /// undeclared float reduction).
+    NondeterministicUdf {
+        /// Source file of the closure.
+        file: String,
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Purity rule id.
+        rule: String,
+        /// Reducer/mapper site label.
+        site: String,
+        /// Rule rationale.
+        message: String,
+    },
+    /// A plan's `comm_assoc` flag disagrees with the reducer-annotation
+    /// registry (in either direction).
+    AnnotationMismatch {
+        /// Graph the job belongs to.
+        graph: String,
+        /// Offending job template.
+        job: String,
+        /// The reducer op named by the plan.
+        op: String,
+        /// What disagrees.
+        detail: String,
+    },
 }
 
 fn fmt_env(env: &Env) -> String {
@@ -189,6 +275,55 @@ impl std::fmt::Display for Violation {
                  {claimed}; at {} the jobs read the big input {derived_val} times but \
                  the variant claims {claimed_val}",
                 fmt_env(env)
+            ),
+            Violation::UnrecoverableDataset {
+                dataset,
+                reader,
+                cause,
+            } => write!(
+                f,
+                "unrecoverable dataset: job '{reader}' reads '{dataset}', whose loss \
+                 cannot be re-derived ({cause})"
+            ),
+            Violation::LineageCycle { graph, dataset } => write!(
+                f,
+                "lineage cycle in graph '{graph}': re-deriving dataset '{dataset}' \
+                 requires itself, so recovery can never terminate"
+            ),
+            Violation::RederivationTooDeep {
+                dataset,
+                depth,
+                bound,
+            } => write!(
+                f,
+                "re-derivation too deep: recovering dataset '{dataset}' re-runs a \
+                 chain of {depth} jobs, past the runtime recursion guard of {bound}"
+            ),
+            Violation::CheckpointGap { graph, sweep } => write!(
+                f,
+                "checkpoint gap in '{graph}': completed sweep {sweep} is covered by \
+                 no checkpoint, so a crash recomputes it"
+            ),
+            Violation::NondeterministicUdf {
+                file,
+                line,
+                rule,
+                site,
+                message,
+            } => write!(
+                f,
+                "nondeterministic UDF at {file}:{line} [{rule}] in site '{site}': \
+                 {message}"
+            ),
+            Violation::AnnotationMismatch {
+                graph,
+                job,
+                op,
+                detail,
+            } => write!(
+                f,
+                "annotation mismatch in graph '{graph}', job '{job}' (op '{op}'): \
+                 {detail}"
             ),
         }
     }

@@ -49,8 +49,8 @@ fn main() {
     let report = run_chaos(&opts);
 
     println!(
-        "{:<24} {:>10} {:<10} {:>7} {:>5} {:>6} {:>7} {:>12}",
-        "pipeline", "seed", "status", "retries", "spec", "blist", "dfsrty", "recovery_s"
+        "{:<24} {:>10} {:<10} {:>6} {:>7} {:>5} {:>6} {:>7} {:>12}",
+        "pipeline", "seed", "status", "static", "retries", "spec", "blist", "dfsrty", "recovery_s"
     );
     for o in &report.outcomes {
         let status = match &o.status {
@@ -59,10 +59,11 @@ fn main() {
             Status::Diverged(_) => "DIVERGED",
         };
         println!(
-            "{:<24} {:>10} {:<10} {:>7} {:>5} {:>6} {:>7} {:>12.3}",
+            "{:<24} {:>10} {:<10} {:>6} {:>7} {:>5} {:>6} {:>7} {:>12.3}",
             o.pipeline,
             o.seed,
             status,
+            if o.static_certified { "cert" } else { "UNCERT" },
             o.retries,
             o.speculative,
             o.blacklisted,
@@ -90,7 +91,17 @@ fn main() {
     if report.total_retries() == 0 {
         println!("warning: no retries were injected — the invariant was not exercised");
     }
-    if violations > 0 {
+    let cross = report.cross_validation_failures();
+    if !cross.is_empty() {
+        for o in &cross {
+            println!(
+                "  !! static/dynamic mismatch: {} (seed {}) recovered at runtime but \
+                 was not statically certified",
+                o.pipeline, o.seed
+            );
+        }
+    }
+    if violations > 0 || !cross.is_empty() {
         std::process::exit(1);
     }
 }

@@ -24,7 +24,10 @@
 //! assert the invariant was exercised (retries actually happened) rather
 //! than vacuously true.
 
-use haten2_core::{parafac_als, tucker_als, AlsOptions, CoreError, Variant};
+use haten2_analyze::certify;
+use haten2_core::{
+    parafac_als, plan_for, recovery_for, tucker_als, AlsOptions, CoreError, Decomp, Variant,
+};
 use haten2_mapreduce::{Cluster, ClusterConfig, FaultPlan, MrError};
 use haten2_tensor::{CooTensor3, Entry3};
 
@@ -83,6 +86,9 @@ pub struct Outcome {
     pub dfs_retries: usize,
     /// Simulated seconds spent on recovery (backoff + straggler delay).
     pub recovery_sim_time_s: f64,
+    /// Did the static recoverability pass (`haten2_analyze::certify`)
+    /// certify this pipeline's plan under its declared recovery spec?
+    pub static_certified: bool,
 }
 
 /// Aggregated result of a chaos sweep.
@@ -118,6 +124,18 @@ impl ChaosReport {
     /// True when no run violated the invariant.
     pub fn ok(&self) -> bool {
         self.violations().is_empty()
+    }
+
+    /// Static ⊆ dynamic cross-validation failures: runs the *runtime*
+    /// recovered transparently (bit-identical output under faults) on a
+    /// pipeline the *static* recoverability pass refused to certify. Each
+    /// such row means the analyzer is under-approximating: a schedule the
+    /// fault subsystem provably survives was rejected on paper.
+    pub fn cross_validation_failures(&self) -> Vec<&Outcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == Status::Identical && !o.static_certified)
+            .collect()
     }
 }
 
@@ -217,6 +235,18 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
     for decomp in ["parafac", "tucker"] {
         for variant in Variant::ALL {
             let pipeline = format!("{decomp}/{}", variant.name());
+            // Static verdict for the same (pipeline, sweeps) the dynamic
+            // runs exercise, for the static ⊆ dynamic cross-validation.
+            let d = if decomp == "parafac" {
+                Decomp::Parafac
+            } else {
+                Decomp::Tucker
+            };
+            let static_certified = certify(
+                &plan_for(d, variant),
+                &recovery_for(d, variant, opts.sweeps),
+            )
+            .certified();
             let clean = run_pipeline(
                 &cluster(opts.machines, None),
                 &x,
@@ -245,6 +275,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
                     blacklisted: m.total_workers_blacklisted(),
                     dfs_retries: m.total_dfs_read_retries(),
                     recovery_sim_time_s: m.total_recovery_sim_time_s(),
+                    static_certified,
                 });
             }
         }

@@ -50,7 +50,10 @@ pub use checkpoint::{
 pub use compress::parafac_via_compression;
 pub use missing::{parafac_missing, MissingParafacResult};
 pub use nonneg::{nonneg_parafac, NonnegParafacResult};
-pub use plan::{env_for, plan_for, Decomp};
+pub use plan::{
+    comm_assoc_annotation, env_for, is_comm_assoc_site, plan_for, recovery_for, Decomp,
+    ReducerAnnotation, COMM_ASSOC_REDUCERS,
+};
 pub use records::Ix4;
 
 /// Which HaTen2 variant executes an operation (paper Table II).

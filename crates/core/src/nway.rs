@@ -16,8 +16,10 @@ use haten2_tensor::DynTensor;
 /// Expanded record from the N-way IMHP job: `((side, full index, column),
 /// value)`.
 type ExpandedRecord = ((u8, Vec<u64>, u64), f64);
-/// Per-side grouping of expanded records by full base index.
-type SideIndex<'a> = std::collections::HashMap<&'a [u64], Vec<(u64, f64)>>;
+/// Per-side grouping of expanded records by full base index. Ordered map:
+/// the crossmerge reducer iterates it into emits, so the grouping must be
+/// hasher-independent for the output order to be deterministic.
+type SideIndex<'a> = std::collections::BTreeMap<&'a [u64], Vec<(u64, f64)>>;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -185,15 +187,16 @@ pub fn nway_mttkrp(cluster: &Cluster, x: &DynTensor, mode: usize, factors: &[&Ma
         &merge_input,
         move |_, rec: &NMergeVal, emit| emit(rec.ix[mode], rec.clone()),
         move |i, vals, emit| {
-            use std::collections::HashMap;
-            // Join on (full index, r): all sides must be present.
-            let mut groups: HashMap<(&[u64], u64), (u8, f64)> = HashMap::new();
+            use std::collections::BTreeMap;
+            // Join on (full index, r): all sides must be present. Ordered
+            // maps throughout — both are iterated on the way to emits.
+            let mut groups: BTreeMap<(&[u64], u64), (u8, f64)> = BTreeMap::new();
             for v in &vals {
                 let e = groups.entry((v.ix.as_slice(), v.r)).or_insert((0, 1.0));
                 e.0 += 1;
                 e.1 *= v.v;
             }
-            let mut acc: HashMap<u64, f64> = HashMap::new();
+            let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
             for ((_, r), (count, prod)) in groups {
                 if count == sides {
                     *acc.entry(r).or_insert(0.0) += prod;
@@ -375,8 +378,9 @@ pub fn nway_tucker_project(
         &merge_input,
         move |_, rec: &NMergeVal, emit| emit(rec.ix[mode], rec.clone()),
         move |i, vals, emit| {
-            use std::collections::HashMap;
-            // Group by side, then by full base index.
+            use std::collections::BTreeMap;
+            // Group by side, then by full base index (ordered — iterated
+            // into emits below).
             let mut by_side: Vec<SideIndex> = (0..sides).map(|_| SideIndex::new()).collect();
             for v in &vals {
                 by_side[v.side as usize]
@@ -384,7 +388,7 @@ pub fn nway_tucker_project(
                     .or_default()
                     .push((v.r, v.v));
             }
-            let mut acc: HashMap<Vec<u64>, f64> = HashMap::new();
+            let mut acc: BTreeMap<Vec<u64>, f64> = BTreeMap::new();
             for (base, list0) in &by_side[0] {
                 // All sides must cover this base (they do on supp(X)).
                 let mut lists: Vec<&Vec<(u64, f64)>> = Vec::with_capacity(sides);

@@ -23,7 +23,7 @@ use crate::records::{HadVal, ImhpRec, ImhpVal, Ix4, MergeVal, NaiveVal, TvRec};
 use crate::{CoreError, Result};
 use haten2_linalg::Mat;
 use haten2_mapreduce::{run_job, Cluster, EstimateSize, JobSpec, MrError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Tensor records in the canonical `(Ix4, f64)` form.
 pub type TensorRecords = Vec<(Ix4, f64)>;
@@ -325,7 +325,10 @@ pub fn cross_merge_job(
                     by_jk.entry((v.j, v.k)).or_default().push((v.d, v.v));
                 }
             }
-            let mut acc: HashMap<(u64, u64), f64> = HashMap::new();
+            // BTreeMap, not HashMap: the accumulator is *iterated* into
+            // emits, so its order must not depend on hasher state (the
+            // determinism pass rejects unordered iteration feeding emits).
+            let mut acc: BTreeMap<(u64, u64), f64> = BTreeMap::new();
             for v in &vals {
                 if v.side == 0 {
                     if let Some(rs) = by_jk.get(&(v.j, v.k)) {
@@ -368,7 +371,8 @@ pub fn pairwise_merge_job(
                     *by_jkr.entry((v.j, v.k, v.d)).or_insert(0.0) += v.v;
                 }
             }
-            let mut acc: HashMap<u64, f64> = HashMap::new();
+            // BTreeMap: iterated into emits below (see cross_merge_job).
+            let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
             for v in &vals {
                 if v.side == 0 {
                     if let Some(&w) = by_jkr.get(&(v.j, v.k, v.d)) {

@@ -28,7 +28,9 @@
 
 use crate::records::{HadVal, ImhpVal, MergeVal, NaiveVal};
 use crate::Variant;
-use haten2_mapreduce::{Env, EstimateSize, JobGraph, PlanJob, SymExpr, RECORD_FRAMING_BYTES};
+use haten2_mapreduce::{
+    Env, EstimateSize, JobGraph, PlanJob, RecoverySpec, SymExpr, RECORD_FRAMING_BYTES,
+};
 
 /// Which decomposition a plan describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +72,9 @@ pub fn env_for(dims: [u64; 3], nnz: usize, q: usize, r: usize, machines: usize) 
         rank_q: q as u64,
         rank_r: r as u64,
         machines: machines as u64,
+        // A single-fault budget is the default contract the recoverability
+        // pass certifies (and the chaos sweeps inject).
+        faults: 1,
     }
 }
 
@@ -170,6 +175,7 @@ fn imhp_job(name: &str, q_len: SymExpr, r_len: SymExpr) -> PlanJob {
     PlanJob::new(name)
         .reads(["x"])
         .writes(["t_prime", "t_dprime"])
+        .op("imhp_job")
         .emits(records, bytes)
 }
 
@@ -192,6 +198,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(q())
                     .reads(["x"])
                     .writes(["t"])
+                    .op("naive_ttv_job")
+                    .comm_assoc()
                     .emits(
                         n() + di() * dj() * dk(),
                         c(naive_bytes()) * (n() + di() * dj() * dk()),
@@ -202,6 +210,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["t"])
                     .writes(["y"])
+                    .op("naive_ttv_job")
+                    .comm_assoc()
                     .emits(
                         n() * q() + di() * q() * dk(),
                         c(naive_bytes()) * (n() * q() + di() * q() * dk()),
@@ -217,6 +227,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(q())
                     .reads(["x"])
                     .writes(["t_prime"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dj(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
@@ -226,6 +237,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                 PlanJob::new("tucker-dnn-collapse-j")
                     .reads(["t_prime"])
                     .writes(["t"])
+                    .op("collapse_job")
+                    .comm_assoc()
                     .emits(n() * q(), c(collapse_bytes()) * n() * q()),
             )
             .job(
@@ -233,6 +246,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["t"])
                     .writes(["y_prime"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() * q() + dk(),
                         c(had_ent_bytes()) * n() * q() + c(had_coef_bytes()) * dk(),
@@ -245,6 +259,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                 PlanJob::new("tucker-dnn-collapse-k")
                     .reads(["y_prime"])
                     .writes(["y"])
+                    .op("collapse_job")
+                    .comm_assoc()
                     .emits(n() * q() * r(), c(collapse_bytes()) * n() * q() * r())
                     .upper_bound(),
             ),
@@ -257,6 +273,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(q())
                     .reads(["x"])
                     .writes(["t_prime"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dj(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
@@ -267,6 +284,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["x_bin"])
                     .writes(["t_dprime"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dk(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dk(),
@@ -276,6 +294,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                 PlanJob::new("tucker-drn-crossmerge")
                     .reads(["t_prime", "t_dprime"])
                     .writes(["y"])
+                    .op("cross_merge_job")
+                    .comm_assoc()
                     .emits(n() * (q() + r()), c(merge_bytes()) * n() * (q() + r())),
             ),
         (Decomp::Tucker, Variant::Dri) => JobGraph::new("tucker-dri", [])
@@ -286,6 +306,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                 PlanJob::new("tucker-dri-crossmerge")
                     .reads(["t_prime", "t_dprime"])
                     .writes(["y"])
+                    .op("cross_merge_job")
+                    .comm_assoc()
                     .emits(n() * (q() + r()), c(merge_bytes()) * n() * (q() + r())),
             ),
 
@@ -298,6 +320,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["x"])
                     .writes(["t"])
+                    .op("naive_ttv_job")
+                    .comm_assoc()
                     .emits(
                         n() + di() * dj() * dk(),
                         c(naive_bytes()) * (n() + di() * dj() * dk()),
@@ -308,6 +332,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["t"])
                     .writes(["y"])
+                    .op("naive_ttv_job")
+                    .comm_assoc()
                     .emits(n() + di() * dk(), c(naive_bytes()) * (n() + di() * dk()))
                     // |T_r| = distinct (i,k) pairs ≤ nnz.
                     .upper_bound(),
@@ -320,6 +346,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["x"])
                     .writes(["h_b"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dj(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
@@ -330,6 +357,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["h_b"])
                     .writes(["t"])
+                    .op("collapse_job")
+                    .comm_assoc()
                     .emits(n(), c(collapse_bytes()) * n()),
             )
             .job(
@@ -337,6 +366,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["t"])
                     .writes(["h_c"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dk(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dk(),
@@ -348,6 +378,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["h_c"])
                     .writes(["y"])
+                    .op("collapse_job")
+                    .comm_assoc()
                     .emits(n(), c(collapse_bytes()) * n())
                     .upper_bound(),
             ),
@@ -360,6 +392,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["x"])
                     .writes(["t_prime"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dj(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dj(),
@@ -370,6 +403,7 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                     .repeat(r())
                     .reads(["x_bin"])
                     .writes(["t_dprime"])
+                    .op("hadamard_vec_job")
                     .emits(
                         n() + dk(),
                         c(had_ent_bytes()) * n() + c(had_coef_bytes()) * dk(),
@@ -379,6 +413,8 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                 PlanJob::new("parafac-drn-pairwisemerge")
                     .reads(["t_prime", "t_dprime"])
                     .writes(["y"])
+                    .op("pairwise_merge_job")
+                    .comm_assoc()
                     .emits(c(2) * n() * r(), c(2 * merge_bytes()) * n() * r()),
             ),
         (Decomp::Parafac, Variant::Dri) => JobGraph::new("parafac-dri", [])
@@ -389,9 +425,109 @@ pub fn plan_for(decomp: Decomp, variant: Variant) -> JobGraph {
                 PlanJob::new("parafac-dri-pairwisemerge")
                     .reads(["t_prime", "t_dprime"])
                     .writes(["y"])
+                    .op("pairwise_merge_job")
+                    .comm_assoc()
                     .emits(c(2) * n() * r(), c(2 * merge_bytes()) * n() * r()),
             ),
     }
+}
+
+/// The static recovery contract of one pipeline: every graph-produced
+/// dataset is covered by a lineage recipe (the drivers register one per
+/// intermediate when run through [`crate::tucker`]/[`crate::parafac`] with
+/// recovery enabled), and iterative (ALS) invocations checkpoint after
+/// every sweep — [`crate::als::AlsOptions::checkpoint_every`] defaults to
+/// 1, which is exactly the policy published here. The recoverability pass
+/// in `haten2-analyze` certifies this spec against the [`plan_for`] graph.
+pub fn recovery_for(decomp: Decomp, variant: Variant, sweeps: usize) -> RecoverySpec {
+    let graph = plan_for(decomp, variant);
+    let mut spec = RecoverySpec::new();
+    for ds in graph.produced_datasets() {
+        spec = spec.cover(&ds);
+    }
+    if sweeps > 0 {
+        spec = spec.checkpoint(1, sweeps);
+    }
+    spec
+}
+
+/// One commutative-associative reducer annotation: the purity-pass site
+/// label it covers, plus a pure reference fold the generated property
+/// tests exercise (permutation and reassociation invariance, bit-exact on
+/// integer-valued inputs).
+pub struct ReducerAnnotation {
+    /// Site label the determinism pass reports for this reducer: the
+    /// enclosing function name for jobs named dynamically, or the job-name
+    /// template with `{…}` normalized to `{}`.
+    pub site: &'static str,
+    /// What the reducer folds, for the report.
+    pub summary: &'static str,
+    /// The reference fold (all registered reducers accumulate sums of
+    /// products; the products are per-record and order-free, so the fold
+    /// under test is addition).
+    pub reduce: fn(&[f64]) -> f64,
+}
+
+fn sum_fold(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Every reducer the plans declare commutative-associative
+/// ([`PlanJob::comm_assoc`]). The generated property tests in
+/// `crates/core/tests/reducer_properties.rs` derive one proptest per entry
+/// here; the determinism pass checks the set agrees with the `comm_assoc`
+/// flags on every registered graph.
+pub const COMM_ASSOC_REDUCERS: &[ReducerAnnotation] = &[
+    ReducerAnnotation {
+        site: "naive_ttv_job",
+        summary: "dot-product accumulation of entry×coefficient per fiber",
+        reduce: sum_fold,
+    },
+    ReducerAnnotation {
+        site: "collapse_job",
+        summary: "sum of coinciding entries after dropping one mode",
+        reduce: sum_fold,
+    },
+    ReducerAnnotation {
+        site: "cross_merge_job",
+        summary: "sum over (j,k) of T'·T'' products per (i,q,r)",
+        reduce: sum_fold,
+    },
+    ReducerAnnotation {
+        site: "pairwise_merge_job",
+        summary: "sum over (j,k) of matched T'·T'' products per (i,r)",
+        reduce: sum_fold,
+    },
+    ReducerAnnotation {
+        site: "model_inner_product_job",
+        summary: "partial inner products ⟨X, X̂⟩ per target-mode slice",
+        reduce: sum_fold,
+    },
+    ReducerAnnotation {
+        site: "nway-pairwisemerge-mode{}",
+        summary: "sum of complete side-products per (index, column)",
+        reduce: sum_fold,
+    },
+    ReducerAnnotation {
+        site: "nway-crossmerge-mode{}",
+        summary: "sum of cartesian side-products per (index, columns)",
+        reduce: sum_fold,
+    },
+];
+
+/// Whether the plan metadata declares the reducer at `site` (a purity-pass
+/// site label) commutative-associative.
+pub fn is_comm_assoc_site(site: &str) -> bool {
+    COMM_ASSOC_REDUCERS.iter().any(|a| a.site == site)
+}
+
+/// The annotation registered for `site`, when there is one.
+pub fn comm_assoc_annotation(site: &str) -> Option<&'static ReducerAnnotation> {
+    COMM_ASSOC_REDUCERS.iter().find(|a| a.site == site)
 }
 
 #[cfg(test)]
@@ -410,6 +546,7 @@ mod tests {
                 rank_q: 1 + s,
                 rank_r: 2 + s,
                 machines: 4 * s,
+                faults: 1,
             });
         }
         envs
@@ -457,6 +594,46 @@ mod tests {
         for decomp in Decomp::ALL {
             for inst in plan_for(decomp, Variant::Dri).expand(&env) {
                 assert!(inst.exact, "{decomp} DRI job {} must be exact", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn comm_assoc_flags_agree_with_registry() {
+        // Plan-side `comm_assoc` and the annotation registry must declare
+        // the same set: a flag without a registry entry would dodge the
+        // generated property test, a registry entry without a flag would
+        // leave the determinism pass trusting an unpublished claim.
+        for decomp in Decomp::ALL {
+            for variant in Variant::ALL {
+                for job in &plan_for(decomp, variant).jobs {
+                    let op = job.op.as_deref().expect("every planned job names its op");
+                    assert_eq!(
+                        job.comm_assoc,
+                        is_comm_assoc_site(op),
+                        "{decomp} {variant} job {} (op {op})",
+                        job.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_spec_covers_every_intermediate_read() {
+        for decomp in Decomp::ALL {
+            for variant in Variant::ALL {
+                let g = plan_for(decomp, variant);
+                let spec = recovery_for(decomp, variant, 3);
+                for ds in g.intermediate_reads() {
+                    assert!(
+                        spec.covered.contains(&ds),
+                        "{decomp} {variant}: intermediate read '{ds}' uncovered"
+                    );
+                }
+                let cp = spec.checkpoint.expect("sweeps > 0 implies a policy");
+                assert_eq!(cp.every, 1);
+                assert_eq!(cp.sweeps, 3);
             }
         }
     }

@@ -63,10 +63,10 @@ pub use cluster::{Cluster, ClusterConfig, CostModel};
 pub use dfs::Dfs;
 pub use fault::{FaultPlan, JobFaultSchedule, RetryPolicy, TaskFaults};
 pub use job::{run_job, Combiner, JobSpec, RECORD_FRAMING_BYTES};
-pub use lineage::Lineage;
+pub use lineage::{Lineage, MAX_RECOVERY_DEPTH};
 pub use metrics::{JobMetrics, RunMetrics};
 pub use pipeline::{run_job_dfs, run_job_dfs_recovering};
-pub use plan::{Env, JobGraph, JobInstance, PlanJob, SymExpr, Var};
+pub use plan::{CheckpointPolicy, Env, JobGraph, JobInstance, PlanJob, RecoverySpec, SymExpr, Var};
 pub use pool::WorkerPool;
 pub use reference::run_job_reference;
 pub use size::EstimateSize;

@@ -22,8 +22,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Re-derivation recursion bound: a recipe chain deeper than this is
-/// assumed cyclic and aborted with [`MrError::LineageMissing`].
-const MAX_RECOVERY_DEPTH: usize = 16;
+/// assumed cyclic and aborted with [`MrError::LineageMissing`]. Public so
+/// the static recoverability pass can prove every plan's re-derivation
+/// depth fits under the same bound the runtime enforces.
+pub const MAX_RECOVERY_DEPTH: usize = 16;
 
 type RecipeFn = dyn Fn() -> crate::Result<()> + Send + Sync;
 
@@ -144,6 +146,33 @@ impl Lineage {
     /// Total successful re-derivations so far.
     pub fn recoveries(&self) -> usize {
         self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Every dataset with a registered recipe, sorted — the runtime-side
+    /// coverage the static [`crate::RecoverySpec`] must agree with.
+    pub fn covered_datasets(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .recipes
+            .read()
+            .expect("lineage lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Datasets `graph` jobs read that are neither driver-provided inputs
+    /// nor covered by a registered recipe — the lineage gaps a static
+    /// certification would reject. Empty means every intermediate read is
+    /// re-derivable.
+    pub fn uncovered_reads(&self, graph: &JobGraph) -> Vec<String> {
+        let recipes = self.recipes.read().expect("lineage lock poisoned");
+        graph
+            .intermediate_reads()
+            .into_iter()
+            .filter(|d| !recipes.contains_key(d))
+            .collect()
     }
 }
 

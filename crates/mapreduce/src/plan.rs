@@ -43,6 +43,9 @@ pub enum Var {
     RankR,
     /// Number of cluster machines.
     Machines,
+    /// Symbolic fault budget `k` of the recoverability pass (how many
+    /// dataset losses / task crashes a schedule may inject).
+    Faults,
 }
 
 impl Var {
@@ -56,6 +59,7 @@ impl Var {
             Var::RankQ => "Q",
             Var::RankR => "R",
             Var::Machines => "M",
+            Var::Faults => "k",
         }
     }
 }
@@ -78,6 +82,8 @@ pub struct Env {
     pub rank_r: u64,
     /// Cluster machines.
     pub machines: u64,
+    /// Fault budget `k` (losses the recoverability pass must absorb).
+    pub faults: u64,
 }
 
 impl Env {
@@ -91,6 +97,7 @@ impl Env {
             Var::RankQ => self.rank_q,
             Var::RankR => self.rank_r,
             Var::Machines => self.machines,
+            Var::Faults => self.faults,
         }) as u128
     }
 }
@@ -150,19 +157,43 @@ impl SymExpr {
         SymExpr::Var(Var::RankR)
     }
 
+    /// `k` (fault budget).
+    pub fn faults() -> SymExpr {
+        SymExpr::Var(Var::Faults)
+    }
+
     /// `max(a, b)`.
     pub fn max(a: SymExpr, b: SymExpr) -> SymExpr {
         SymExpr::Max(Box::new(a), Box::new(b))
     }
 
-    /// Evaluate under `env`.
+    /// Evaluate under `env`, saturating at `u128::MAX`.
+    ///
+    /// Paper-scale sizes (billions of nonzeros times ranks times record
+    /// widths) fit comfortably in `u128`, but adversarial environments —
+    /// every variable at `u64::MAX` under a cubic expression — can exceed
+    /// it; evaluation saturates rather than wrapping so comparisons stay
+    /// monotone. Use [`SymExpr::eval_checked`] when overflow must be
+    /// *detected* rather than absorbed.
     pub fn eval(&self, env: &Env) -> u128 {
         match self {
             SymExpr::Const(n) => *n as u128,
             SymExpr::Var(v) => env.get(*v),
-            SymExpr::Add(a, b) => a.eval(env) + b.eval(env),
-            SymExpr::Mul(a, b) => a.eval(env) * b.eval(env),
+            SymExpr::Add(a, b) => a.eval(env).saturating_add(b.eval(env)),
+            SymExpr::Mul(a, b) => a.eval(env).saturating_mul(b.eval(env)),
             SymExpr::Max(a, b) => a.eval(env).max(b.eval(env)),
+        }
+    }
+
+    /// Evaluate under `env`, returning `None` when any intermediate value
+    /// overflows `u128`.
+    pub fn eval_checked(&self, env: &Env) -> Option<u128> {
+        match self {
+            SymExpr::Const(n) => Some(*n as u128),
+            SymExpr::Var(v) => Some(env.get(*v)),
+            SymExpr::Add(a, b) => a.eval_checked(env)?.checked_add(b.eval_checked(env)?),
+            SymExpr::Mul(a, b) => a.eval_checked(env)?.checked_mul(b.eval_checked(env)?),
+            SymExpr::Max(a, b) => Some(a.eval_checked(env)?.max(b.eval_checked(env)?)),
         }
     }
 
@@ -248,6 +279,16 @@ pub struct PlanJob {
     /// `true` when `records`/`bytes` are exact in generic position (no
     /// zero factor entries, no cancellation); `false` for upper bounds.
     pub exact: bool,
+    /// The reducer operation this template applies, when the pipeline
+    /// names one (e.g. `collapse_job`) — the determinism pass matches it
+    /// against the commutative-associative registry.
+    pub op: Option<String>,
+    /// Whether the plan declares this job's reducer commutative and
+    /// associative (so re-execution and input reordering cannot change its
+    /// output). Each `true` here must be backed by an entry in the
+    /// pipeline's reducer-annotation registry, which generates a property
+    /// test per annotated reducer.
+    pub comm_assoc: bool,
 }
 
 impl PlanJob {
@@ -262,6 +303,8 @@ impl PlanJob {
             records: SymExpr::c(0),
             bytes: SymExpr::c(0),
             exact: true,
+            op: None,
+            comm_assoc: false,
         }
     }
 
@@ -294,6 +337,63 @@ impl PlanJob {
     /// exact values.
     pub fn upper_bound(mut self) -> Self {
         self.exact = false;
+        self
+    }
+
+    /// Name the reducer operation this template applies.
+    pub fn op(mut self, op: &str) -> Self {
+        self.op = Some(op.to_string());
+        self
+    }
+
+    /// Declare the reducer commutative-associative (must be backed by a
+    /// registry annotation and its generated property test).
+    pub fn comm_assoc(mut self) -> Self {
+        self.comm_assoc = true;
+        self
+    }
+}
+
+/// Checkpoint configuration of an iterative (ALS) driver, as the plan
+/// publishes it: sweeps run, and a checkpoint written every `every`
+/// sweeps. The recoverability pass proves every completed sweep is covered
+/// (`every == 1`), so a crash never recomputes finished work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// A checkpoint is written after every `every`-th completed sweep.
+    pub every: usize,
+    /// Total ALS sweeps the driver runs.
+    pub sweeps: usize,
+}
+
+/// Static recovery contract of one pipeline: which datasets carry lineage
+/// recipes, plus the iterative driver's checkpoint policy when there is
+/// one. The recoverability pass checks this declaration against the
+/// pipeline's [`JobGraph`] — every non-input dataset any job reads must be
+/// covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverySpec {
+    /// Datasets with a registered lineage recipe (re-derivable on loss).
+    pub covered: std::collections::BTreeSet<String>,
+    /// Checkpoint policy of the enclosing iterative driver, if any.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+impl RecoverySpec {
+    /// Empty spec: nothing covered, no checkpointing.
+    pub fn new() -> Self {
+        RecoverySpec::default()
+    }
+
+    /// Declare `dataset` covered by a lineage recipe.
+    pub fn cover(mut self, dataset: &str) -> Self {
+        self.covered.insert(dataset.to_string());
+        self
+    }
+
+    /// Attach a checkpoint policy.
+    pub fn checkpoint(mut self, every: usize, sweeps: usize) -> Self {
+        self.checkpoint = Some(CheckpointPolicy { every, sweeps });
         self
     }
 }
@@ -419,10 +519,44 @@ impl JobGraph {
     /// re-deriving *its* inputs) reconstructs it. Returns `None` for
     /// driver-provided inputs and unknown names.
     pub fn producer_of(&self, dataset: &str) -> Option<&str> {
+        self.producer_job(dataset).map(|j| j.name.as_str())
+    }
+
+    /// The full job template that writes `dataset` (costs included) — what
+    /// the recoverability pass charges when the dataset must be re-derived.
+    pub fn producer_job(&self, dataset: &str) -> Option<&PlanJob> {
         self.jobs
             .iter()
             .find(|j| j.writes.iter().any(|w| w == dataset))
-            .map(|j| j.name.as_str())
+    }
+
+    /// Every dataset produced by some job of this graph, in first-writer
+    /// order (no duplicates) — the set a complete [`RecoverySpec`] covers.
+    pub fn produced_datasets(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for j in &self.jobs {
+            for w in &j.writes {
+                if !out.iter().any(|d| d == w) {
+                    out.push(w.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Every dataset some job reads that is *not* a driver-provided input,
+    /// in first-reader order — exactly the reads that depend on lineage
+    /// for recovery.
+    pub fn intermediate_reads(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for j in &self.jobs {
+            for r in &j.reads {
+                if !self.inputs.iter().any(|d| d == r) && !out.iter().any(|d| d == r) {
+                    out.push(r.clone());
+                }
+            }
+        }
+        out
     }
 
     /// Instantiate every template under `env`, in template order. A
@@ -466,6 +600,7 @@ mod tests {
             rank_q: 2,
             rank_r: 3,
             machines: 8,
+            faults: 1,
         }
     }
 
@@ -495,6 +630,7 @@ mod tests {
                 rank_q: s,
                 rank_r: 2 * s,
                 machines: 4,
+                faults: s % 3,
             })
             .collect();
         assert!(a.equiv_on(&b, &envs));

@@ -1,290 +1,25 @@
-//! Workspace automation tasks. Currently one: `cargo xtask lint`, the
-//! source-level pass of the static analysis harness (the plan-level passes
-//! live in `haten2-analyze`).
+//! `cargo xtask` — workspace automation CLI.
 //!
-//! The linter is a plain text scan — deliberately dependency-free — that
-//! enforces workspace invariants clippy cannot express:
-//!
-//! * **no-raw-threads** — thread primitives (`thread::spawn`,
-//!   `thread::scope`, `thread::Builder`) are forbidden in library sources
-//!   outside `crates/mapreduce/src/pool.rs`: all parallelism must go
-//!   through the persistent [`WorkerPool`] so the engine's cost accounting
-//!   sees it.
-//! * **no-default-hasher** — `DefaultHasher` is banned in library sources:
-//!   partitioning must use the engine's explicit, stable partitioner so
-//!   shuffle placement is reproducible across runs and toolchains.
-//! * **no-unwrap** — `.unwrap()` is banned in library (non-test) sources;
-//!   library errors must propagate (`clippy::unwrap_used` backs this rule
-//!   at the semantic level, this pass catches it even in code clippy skips).
-//! * **undocumented-unsafe** — every `unsafe` token must have a `SAFETY:`
-//!   comment within the preceding lines.
-//! * **no-debug-macros** — `dbg!(` and `todo!(` are banned everywhere,
-//!   including tests.
-//! * **shared-backoff** — retry backoff arithmetic is banned in library
-//!   sources outside `crates/mapreduce/src/fault.rs`: every retry site
-//!   must charge delays through the one `RetryPolicy::backoff_s` helper so
-//!   the engine and the reference executor account recovery identically.
-//!
-//! Suppress a finding with `// lint:allow(<rule>) — <reason>` on the same
-//! or the preceding line. `shims/` (vendored stand-ins), `crates/xtask`
-//! (this linter's own pattern strings), and `crates/bench/src/seed_engine.rs`
-//! exemptions are listed where they occur.
+//! * `cargo xtask lint` — run the source-level lint pass (see the library
+//!   docs for the rule set). Exits non-zero on any finding.
+//! * `cargo xtask lint --list-allows` — print every `lint:allow(...)`
+//!   suppression in the workspace with its justification; exits non-zero
+//!   if any suppression is reasonless.
+//! * `cargo xtask analyze [--write]` — the unified static-analysis gate:
+//!   source lint, paper-table + recoverability + determinism verification,
+//!   the `ANALYSIS.md` staleness check (`--write` refreshes the file
+//!   instead of failing), the rejection demo, and a JSON-output smoke
+//!   check.
 
 #![forbid(unsafe_code)]
 
-use std::fmt;
-use std::path::{Path, PathBuf};
-use std::process::ExitCode;
-
-/// Where a rule applies.
-#[derive(Clone, Copy, PartialEq)]
-enum Scope {
-    /// Only library sources (`src/` trees), outside `#[cfg(test)]` regions.
-    LibraryCode,
-    /// Every scanned file, tests and benches included.
-    Everywhere,
-}
-
-/// One lint rule: substring patterns plus scope and rationale.
-struct Rule {
-    id: &'static str,
-    patterns: &'static [&'static str],
-    scope: Scope,
-    message: &'static str,
-    /// Files (workspace-relative) exempt from this rule.
-    exempt: &'static [&'static str],
-}
-
-const RULES: &[Rule] = &[
-    Rule {
-        id: "no-raw-threads",
-        patterns: &["thread::spawn", "thread::scope", "thread::Builder"],
-        scope: Scope::LibraryCode,
-        message: "raw thread primitives are reserved for the WorkerPool; route parallelism \
-                  through haten2_mapreduce::WorkerPool so cost accounting sees it",
-        exempt: &["crates/mapreduce/src/pool.rs"],
-    },
-    Rule {
-        id: "no-default-hasher",
-        patterns: &["DefaultHasher"],
-        scope: Scope::LibraryCode,
-        message: "DefaultHasher is not stable across toolchains; use the engine's explicit \
-                  partitioner for reproducible shuffle placement",
-        exempt: &[],
-    },
-    Rule {
-        id: "no-unwrap",
-        patterns: &[".unwrap()"],
-        scope: Scope::LibraryCode,
-        message: "library code must propagate errors, not panic; return a Result or use \
-                  expect with an invariant message",
-        exempt: &[],
-    },
-    Rule {
-        id: "no-debug-macros",
-        patterns: &["dbg!(", "todo!("],
-        scope: Scope::Everywhere,
-        message: "debugging leftovers must not land",
-        exempt: &[],
-    },
-    Rule {
-        id: "shared-backoff",
-        patterns: &[
-            "backoff_base",
-            "backoff_factor",
-            "backoff_ms",
-            "retry_delay",
-        ],
-        scope: Scope::LibraryCode,
-        message: "retry sites must charge delays through RetryPolicy::backoff_s \
-                  (crates/mapreduce/src/fault.rs), not ad-hoc backoff arithmetic, so \
-                  recovery time stays identical across executors",
-        exempt: &["crates/mapreduce/src/fault.rs"],
-    },
-];
-
-/// One finding.
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
-    }
-}
-
-/// True when `hay[idx..]` starts a standalone `unsafe` token (not part of a
-/// longer identifier like `unsafe_code`).
-fn is_unsafe_token(hay: &str, idx: usize) -> bool {
-    let bytes = hay.as_bytes();
-    let before_ok = idx == 0 || !(bytes[idx - 1].is_ascii_alphanumeric() || bytes[idx - 1] == b'_');
-    let after = idx + "unsafe".len();
-    let after_ok =
-        after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
-    before_ok && after_ok
-}
-
-/// Strip a line down to its code part: cut at a `//` comment start (crude —
-/// ignores `//` inside string literals, which only ever produces false
-/// negatives for this linter).
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-fn is_suppressed(lines: &[&str], idx: usize, rule: &str) -> bool {
-    let marker = format!("lint:allow({rule})");
-    lines[idx].contains(&marker) || (idx > 0 && lines[idx - 1].contains(&marker))
-}
-
-fn lint_file(path: &Path, rel: &str, is_library: bool, findings: &mut Vec<Finding>) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line: 0,
-            rule: "io",
-            message: "unreadable source file".to_string(),
-        });
-        return;
-    };
-    let lines: Vec<&str> = text.lines().collect();
-
-    // Library files conventionally end with `#[cfg(test)] mod tests`; the
-    // library-scoped rules stop applying there (tests may unwrap).
-    let test_region_start = lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(lines.len());
-
-    for (i, raw) in lines.iter().enumerate() {
-        let code = code_part(raw);
-        for rule in RULES {
-            if rule.scope == Scope::LibraryCode && (!is_library || i >= test_region_start) {
-                continue;
-            }
-            if rule.exempt.contains(&rel) {
-                continue;
-            }
-            if rule.patterns.iter().any(|p| code.contains(p)) && !is_suppressed(&lines, i, rule.id)
-            {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
-                    line: i + 1,
-                    rule: rule.id,
-                    message: rule.message.to_string(),
-                });
-            }
-        }
-        // undocumented-unsafe: every real `unsafe` token needs a SAFETY:
-        // comment within the preceding lines (or on the line itself).
-        if is_library {
-            let mut search = 0;
-            while let Some(off) = code[search..].find("unsafe") {
-                let idx = search + off;
-                if is_unsafe_token(code, idx) {
-                    let lookback = 25usize;
-                    let from = i.saturating_sub(lookback);
-                    let documented = lines[from..=i].iter().any(|l| l.contains("SAFETY"))
-                        || is_suppressed(&lines, i, "undocumented-unsafe");
-                    if !documented {
-                        findings.push(Finding {
-                            file: path.to_path_buf(),
-                            line: i + 1,
-                            rule: "undocumented-unsafe",
-                            message: "unsafe without a SAFETY: comment in the preceding lines"
-                                .to_string(),
-                        });
-                    }
-                }
-                search = idx + "unsafe".len();
-            }
-        }
-    }
-}
-
-/// Recursively collect `.rs` files under `dir`.
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn workspace_root() -> PathBuf {
-    // cargo runs xtask with CWD = workspace root (the alias lives in
-    // .cargo/config.toml there); CARGO_MANIFEST_DIR is the fallback when
-    // invoked directly.
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_default();
-    let from_manifest = Path::new(&manifest).join("../..");
-    if Path::new("Cargo.toml").exists() {
-        PathBuf::from(".")
-    } else {
-        from_manifest
-    }
-}
+use std::path::Path;
+use std::process::{Command, ExitCode};
+use xtask::{collect_allows, run_lint};
 
 fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    // Library sources: crates/*/src plus the root crate's src/.
-    // Excluded from the walk entirely: shims/ (vendored API stand-ins,
-    // not this project's code) and crates/xtask (this linter's own
-    // pattern strings would self-match).
-    let mut scanned_dirs = Vec::new();
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            if entry.path().file_name().is_some_and(|n| n == "xtask") {
-                continue;
-            }
-            for sub in ["src", "tests", "benches"] {
-                scanned_dirs.push(entry.path().join(sub));
-            }
-        }
-    }
-    for sub in ["src", "tests", "examples"] {
-        scanned_dirs.push(root.join(sub));
-    }
-    for dir in &scanned_dirs {
-        rs_files(dir, &mut files);
-    }
-    files.sort();
-
-    let mut findings = Vec::new();
-    let mut count = 0usize;
-    for file in &files {
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let is_library = {
-            let components: Vec<&str> = rel.split('/').collect();
-            components.contains(&"src")
-        };
-        lint_file(file, &rel, is_library, &mut findings);
-        count += 1;
-    }
-
+    let root = haten2_srcscan::workspace_root();
+    let (findings, count) = run_lint(&root);
     if findings.is_empty() {
         println!("xtask lint: {count} files clean");
         ExitCode::SUCCESS
@@ -297,13 +32,152 @@ fn lint() -> ExitCode {
     }
 }
 
+fn list_allows() -> ExitCode {
+    let root = haten2_srcscan::workspace_root();
+    let allows = collect_allows(&root);
+    println!(
+        "xtask lint: {} suppression(s) in the workspace",
+        allows.len()
+    );
+    let mut reasonless = 0usize;
+    for a in &allows {
+        println!("  {a}");
+        if a.reason.is_empty() {
+            reasonless += 1;
+        }
+    }
+    if reasonless > 0 {
+        eprintln!("xtask lint: {reasonless} suppression(s) without a justification");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Run the analyzer binary with `args`, returning (success, stdout).
+fn run_analyzer(root: &Path, args: &[&str]) -> (bool, String) {
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["run", "-q", "-p", "haten2-analyze", "--release", "--"])
+        .args(args);
+    match cmd.output() {
+        Ok(out) => {
+            if !out.status.success() {
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+            }
+            (
+                out.status.success(),
+                String::from_utf8_lossy(&out.stdout).into_owned(),
+            )
+        }
+        Err(e) => {
+            eprintln!("failed to spawn cargo: {e}");
+            (false, String::new())
+        }
+    }
+}
+
+fn analyze(write: bool) -> ExitCode {
+    let root = haten2_srcscan::workspace_root();
+    let mut ok = true;
+
+    println!("==> xtask analyze: source lint");
+    let (findings, count) = run_lint(&root);
+    if findings.is_empty() {
+        println!("    {count} files clean");
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        ok = false;
+    }
+
+    println!("==> xtask analyze: paper table + recoverability + determinism");
+    let (verified, report) = run_analyzer(&root, &["--verify-paper-table"]);
+    ok &= verified;
+
+    // Staleness gate: the committed ANALYSIS.md must match what the
+    // analyzer derives from the current plans and sources.
+    let analysis = root.join("ANALYSIS.md");
+    if verified {
+        let committed = std::fs::read_to_string(&analysis).unwrap_or_default();
+        if committed != report {
+            if write {
+                match std::fs::write(&analysis, &report) {
+                    Ok(()) => println!("    ANALYSIS.md refreshed"),
+                    Err(e) => {
+                        eprintln!("    cannot write ANALYSIS.md: {e}");
+                        ok = false;
+                    }
+                }
+            } else {
+                eprintln!(
+                    "    ANALYSIS.md is stale: regenerate with `cargo xtask analyze --write`"
+                );
+                ok = false;
+            }
+        } else {
+            println!("    ANALYSIS.md is current");
+        }
+    }
+
+    println!("==> xtask analyze: rejection demo");
+    let (rejected, _) = run_analyzer(&root, &["--reject-demo"]);
+    ok &= rejected;
+
+    println!("==> xtask analyze: determinism scan");
+    let (det, det_out) = run_analyzer(&root, &["--determinism"]);
+    print!("{det_out}");
+    ok &= det;
+
+    println!("==> xtask analyze: JSON output smoke");
+    let (json_ok, json) = run_analyzer(&root, &["--format", "json", "--verify-paper-table"]);
+    if json_ok && json.trim_start().starts_with("{\"ok\":true") {
+        println!("    json report well-formed");
+    } else {
+        eprintln!(
+            "    unexpected json output: {}",
+            &json[..json.len().min(120)]
+        );
+        ok = false;
+    }
+
+    if ok {
+        println!("xtask analyze: all static passes green");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask <lint [--list-allows] | analyze [--write]>\n\
+         \n\
+         lint                run the source-level lint pass\n\
+         lint --list-allows  print every lint:allow suppression with its reason\n\
+         analyze             full static-analysis gate (lint, paper table,\n\
+         \x20                   recoverability, determinism, ANALYSIS.md staleness,\n\
+         \x20                   rejection demo, JSON smoke)\n\
+         analyze --write     same, but refresh ANALYSIS.md instead of failing"
+    );
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
-        _ => {
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::from(2)
-        }
+        Some("lint") => match args.get(1).map(String::as_str) {
+            None => lint(),
+            Some("--list-allows") => list_allows(),
+            Some(_) => usage(),
+        },
+        Some("analyze") => match args.get(1).map(String::as_str) {
+            None => analyze(false),
+            Some("--write") => analyze(true),
+            Some(_) => usage(),
+        },
+        _ => usage(),
     }
 }

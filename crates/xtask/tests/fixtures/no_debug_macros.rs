@@ -1,0 +1,6 @@
+//! Known-bad fixture: debugging leftover.
+//! Must trip `no-debug-macros` exactly once.
+
+pub fn bad(x: u64) -> u64 {
+    dbg!(x)
+}

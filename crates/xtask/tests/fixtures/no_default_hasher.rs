@@ -1,0 +1,9 @@
+//! Known-bad fixture: toolchain-dependent hasher in partitioning code.
+//! Must trip `no-default-hasher` exactly once.
+
+pub fn bad(key: u64, partitions: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % partitions
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture: raw thread spawn outside the WorkerPool.
+//! Must trip `no-raw-threads` exactly once.
+
+pub fn bad() {
+    let handle = std::thread::spawn(|| 42);
+    drop(handle);
+}

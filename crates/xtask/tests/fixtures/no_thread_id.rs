@@ -1,0 +1,17 @@
+//! Known-bad fixture: a reducer whose output depends on which worker
+//! thread ran it, so speculative execution races produce different bits.
+//! Must trip `no-thread-id` exactly once.
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) {
+    run_job(
+        c,
+        JobSpec::named("fixture-thread-id"),
+        input,
+        |k, v, emit| emit(k, v),
+        |k, _vals, emit| {
+            let worker = std::thread::current();
+            drop(worker);
+            emit(k, 0.0);
+        },
+    );
+}

@@ -1,0 +1,21 @@
+//! Known-bad fixture: a reducer that iterates a `HashMap` accumulator
+//! straight into its emits, so output order depends on hash-seed state.
+//! Must trip `no-unordered-iteration` exactly once.
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) {
+    run_job(
+        c,
+        JobSpec::named("fixture-unordered"),
+        input,
+        |k, v, emit| emit(k, v),
+        |_k, vals, emit| {
+            let mut acc: HashMap<u64, f64> = HashMap::new();
+            for v in vals {
+                acc.insert(v as u64, v);
+            }
+            for (k2, v2) in acc {
+                emit(k2, v2);
+            }
+        },
+    );
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: panicking shortcut in library code.
+//! Must trip `no-unwrap` exactly once.
+
+pub fn bad(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture: a reducer that reads the wall clock, so re-executed
+//! attempts emit different records. Must trip `no-wall-clock` exactly
+//! once.
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) {
+    run_job(
+        c,
+        JobSpec::named("fixture-wall-clock"),
+        input,
+        |k, v, emit| emit(k, v),
+        |k, _vals, emit| {
+            let stamp = std::time::SystemTime::now();
+            drop(stamp);
+            emit(k, 0.0);
+        },
+    );
+}

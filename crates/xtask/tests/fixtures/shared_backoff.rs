@@ -1,0 +1,6 @@
+//! Known-bad fixture: ad-hoc retry backoff arithmetic outside
+//! `RetryPolicy::backoff_s`. Must trip `shared-backoff` exactly once.
+
+pub fn bad(attempt: u32) -> u64 {
+    let backoff_ms = 100u64 << attempt; backoff_ms
+}

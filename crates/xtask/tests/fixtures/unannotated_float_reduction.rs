@@ -1,0 +1,20 @@
+//! Known-bad fixture: a reducer that folds floats with `+=` at a site the
+//! plan metadata does not declare commutative-associative, so value
+//! arrival order changes the rounding. Must trip
+//! `unannotated-float-reduction` exactly once.
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) {
+    run_job(
+        c,
+        JobSpec::named("fixture-float-fold"),
+        input,
+        |k, v, emit| emit(k, v),
+        |k, vals, emit| {
+            let mut s = 0.0f64;
+            for v in vals {
+                s += v;
+            }
+            emit(k, s);
+        },
+    );
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: an `unsafe` block with no justifying comment.
+//! Must trip `undocumented-unsafe` exactly once.
+
+pub fn bad(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -16,16 +16,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo xtask lint"
-cargo xtask lint
-
-echo "==> haten2-chaos smoke (fault-transparency across all 8 pipelines)"
+echo "==> haten2-chaos smoke (fault-transparency + static/dynamic cross-validation)"
 cargo run -p haten2-chaos --release --bin haten2-chaos -- --seeds 2 --seed-base 7
 
-echo "==> haten2-analyze --verify-paper-table (regenerates ANALYSIS.md)"
-cargo run -p haten2-analyze --release -- --verify-paper-table | tee ANALYSIS.md
+echo "==> cargo xtask analyze (lint, paper table + ANALYSIS.md staleness gate, reject demo, determinism, JSON smoke)"
+cargo xtask analyze
 
-echo "==> haten2-analyze --reject-demo"
-cargo run -p haten2-analyze --release -- --reject-demo > /dev/null
+echo "==> cargo xtask lint --list-allows (every lint:allow must carry a justification)"
+cargo xtask lint --list-allows
 
 echo "All checks passed."
