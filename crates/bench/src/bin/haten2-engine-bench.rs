@@ -10,9 +10,17 @@
 //!   class whose shuffle dominates HaTen2-DRI iterations.
 //! * **small-jobs** — 300 tiny word-count-style jobs, the per-job-overhead
 //!   regime a full decomposition spends most of its job *count* in.
+//! * **dag_speedup** — the Naive-Tucker projection sweep (`Q` independent
+//!   Bind jobs, then `R` independent Mult jobs) run once under
+//!   `SchedulerMode::Sequential` and once under `SchedulerMode::Dag` at
+//!   8 threads. Outputs and per-job metrics are asserted bit-identical;
+//!   the reported speedup is `sim_sequential_s / sim_makespan_s` from the
+//!   scheduler's [`BatchReport`] — the simulated-cluster makespan ratio,
+//!   deterministic and independent of host core count — and must be ≥ 2x.
 //!
 //! ```text
 //! haten2-engine-bench [--out PATH]   # default: BENCH_engine.json
+//! haten2-engine-bench --dag-smoke    # dag_speedup equivalence+speedup only
 //! ```
 //!
 //! Both engines run the identical inputs; aggregate metrics are asserted
@@ -20,7 +28,13 @@
 //! measured repetitions after one warm-up, minimizing scheduler noise.
 
 use haten2_bench::seed_engine::run_job_seed;
-use haten2_mapreduce::{run_job, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec};
+use haten2_core::tucker::{project, ProjectOptions};
+use haten2_core::Variant;
+use haten2_linalg::Mat;
+use haten2_mapreduce::{
+    run_job, BatchReport, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec, SchedulerMode,
+};
+use haten2_tensor::{CooTensor3, Entry3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -31,6 +45,16 @@ const RANK: usize = 10;
 const SMALL_JOBS: usize = 300;
 const SMALL_RECORDS: usize = 200;
 const REPS: usize = 3;
+
+/// dag_speedup workload: Naive-Tucker sweep shape. `Q = R = DAG_RANK`
+/// gives `2·DAG_RANK` jobs at critical-path depth 2, so the simulated
+/// 8-thread makespan ratio approaches `DAG_RANK` — far above the asserted
+/// 2x floor.
+const DAG_DIM: u64 = 24;
+const DAG_NNZ: usize = 4_000;
+const DAG_RANK: usize = 8;
+const DAG_THREADS: usize = 8;
+const DAG_MACHINES: usize = 2;
 
 type Entry = ((u64, u64, u64), f64);
 
@@ -187,8 +211,192 @@ fn best_of<F: FnMut() -> MixResult>(mut f: F) -> MixResult {
     best
 }
 
+// ---- dag_speedup: Naive-Tucker sweep, Sequential vs Dag -----------------
+
+fn dag_tensor(nnz: usize) -> CooTensor3 {
+    let mut rng = StdRng::seed_from_u64(42);
+    let entries = (0..nnz)
+        .map(|_| {
+            Entry3::new(
+                rng.gen_range(0..DAG_DIM),
+                rng.gen_range(0..DAG_DIM),
+                rng.gen_range(0..DAG_DIM),
+                rng.gen_range(0.5..2.0),
+            )
+        })
+        .collect();
+    CooTensor3::from_entries([DAG_DIM; 3], entries).expect("valid dag tensor")
+}
+
+fn dag_factor(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_range(0.5..2.0)).collect())
+        .collect();
+    Mat::from_rows(&data).expect("valid factor")
+}
+
+struct SweepRun {
+    out: CooTensor3,
+    /// Per-job metrics with the host-time fields zeroed (the only fields
+    /// allowed to differ between scheduler modes).
+    jobs: Vec<JobMetrics>,
+    report: BatchReport,
+    wall_s: f64,
+}
+
+fn run_naive_sweep(mode: SchedulerMode, x: &CooTensor3, bt: &Mat, ct: &Mat) -> SweepRun {
+    let cluster = Cluster::new(ClusterConfig {
+        scheduler: mode,
+        threads: DAG_THREADS,
+        ..ClusterConfig::with_machines(DAG_MACHINES)
+    });
+    let t = Instant::now();
+    let out = project(
+        &cluster,
+        Variant::Naive,
+        x,
+        0,
+        bt,
+        ct,
+        &ProjectOptions::default(),
+    )
+    .expect("naive sweep");
+    let wall_s = t.elapsed().as_secs_f64();
+    let jobs = cluster
+        .metrics()
+        .jobs
+        .into_iter()
+        .map(|mut m| {
+            m.wall_time_s = 0.0;
+            m.started_s = 0.0;
+            m.finished_s = 0.0;
+            m
+        })
+        .collect();
+    let reports = cluster.batch_reports();
+    assert_eq!(reports.len(), 1, "dag_speedup: one batch per sweep");
+    SweepRun {
+        out,
+        jobs,
+        report: reports[0].clone(),
+        wall_s,
+    }
+}
+
+fn assert_bit_identical(a: &CooTensor3, b: &CooTensor3) {
+    assert_eq!(a.dims(), b.dims(), "dag_speedup: output dims differ");
+    assert_eq!(a.nnz(), b.nnz(), "dag_speedup: output nnz differs");
+    for (ea, eb) in a.entries().iter().zip(b.entries()) {
+        assert_eq!(
+            (ea.i, ea.j, ea.k),
+            (eb.i, eb.j, eb.k),
+            "dag_speedup: output index differs"
+        );
+        assert_eq!(
+            ea.v.to_bits(),
+            eb.v.to_bits(),
+            "dag_speedup: output value bits differ at ({}, {}, {})",
+            ea.i,
+            ea.j,
+            ea.k
+        );
+    }
+}
+
+struct DagSpeedup {
+    sequential_wall_s: f64,
+    dag_wall_s: f64,
+    host_speedup: f64,
+    sim_sequential_s: f64,
+    sim_makespan_s: f64,
+    sim_speedup: f64,
+    jobs: usize,
+    critical_path_len: usize,
+}
+
+/// Run the Naive-Tucker sweep under both scheduler modes, assert the DAG
+/// mode changes nothing — outputs bit-identical, per-job metrics equal
+/// with host times zeroed, same batch structure and simulated schedule —
+/// and return the speedup numbers. The asserted figure is the simulated
+/// makespan ratio at [`DAG_THREADS`] threads; host wall times are
+/// reported for reference but not asserted (this may run on one core).
+fn run_dag_speedup(nnz: usize) -> DagSpeedup {
+    let x = dag_tensor(nnz);
+    let bt = dag_factor(DAG_RANK, DAG_DIM as usize, 1);
+    let ct = dag_factor(DAG_RANK, DAG_DIM as usize, 2);
+
+    let mut seq = run_naive_sweep(SchedulerMode::Sequential, &x, &bt, &ct);
+    let mut dag = run_naive_sweep(SchedulerMode::Dag, &x, &bt, &ct);
+    assert_bit_identical(&seq.out, &dag.out);
+    assert_eq!(seq.jobs, dag.jobs, "dag_speedup: per-job metrics diverged");
+    // The deterministic (non-host-time) batch fields must agree exactly;
+    // wall_s / busy_s / critical_path_s / peak_concurrency are host
+    // measurements and differ between modes by design.
+    assert_eq!(
+        (seq.report.jobs, seq.report.critical_path_len),
+        (dag.report.jobs, dag.report.critical_path_len),
+        "dag_speedup: batch structure diverged"
+    );
+    assert_eq!(
+        (
+            seq.report.sim_sequential_s.to_bits(),
+            seq.report.sim_makespan_s.to_bits()
+        ),
+        (
+            dag.report.sim_sequential_s.to_bits(),
+            dag.report.sim_makespan_s.to_bits()
+        ),
+        "dag_speedup: simulated schedule diverged across modes"
+    );
+    for _ in 1..REPS {
+        let s = run_naive_sweep(SchedulerMode::Sequential, &x, &bt, &ct);
+        let d = run_naive_sweep(SchedulerMode::Dag, &x, &bt, &ct);
+        assert_bit_identical(&seq.out, &s.out);
+        assert_bit_identical(&seq.out, &d.out);
+        assert_eq!(seq.jobs, d.jobs, "dag_speedup: nondeterministic metrics");
+        if s.wall_s < seq.wall_s {
+            seq.wall_s = s.wall_s;
+        }
+        if d.wall_s < dag.wall_s {
+            dag.wall_s = d.wall_s;
+        }
+    }
+
+    let sim_speedup = dag.report.sim_sequential_s / dag.report.sim_makespan_s;
+    assert!(
+        sim_speedup >= 2.0,
+        "dag_speedup: simulated speedup {sim_speedup:.2}x below the 2x target \
+         (sequential {:.6}s, makespan {:.6}s)",
+        dag.report.sim_sequential_s,
+        dag.report.sim_makespan_s
+    );
+    DagSpeedup {
+        sequential_wall_s: seq.wall_s,
+        dag_wall_s: dag.wall_s,
+        host_speedup: seq.wall_s / dag.wall_s,
+        sim_sequential_s: dag.report.sim_sequential_s,
+        sim_makespan_s: dag.report.sim_makespan_s,
+        sim_speedup,
+        jobs: dag.report.jobs,
+        critical_path_len: dag.report.critical_path_len,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--dag-smoke") {
+        // Small-input smoke for scripts/check.sh: the full equivalence
+        // assertions and the 2x target, without the seed-engine mix and
+        // without touching BENCH_engine.json.
+        let d = run_dag_speedup(DAG_NNZ / 5);
+        eprintln!(
+            "dag_speedup smoke: {} jobs, critical path {}, simulated speedup {:.2}x \
+             (sequential {:.4}s vs makespan {:.4}s at {DAG_THREADS} threads); outputs bit-identical",
+            d.jobs, d.critical_path_len, d.sim_speedup, d.sim_sequential_s, d.sim_makespan_s
+        );
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -236,8 +444,11 @@ fn main() {
     let speedup = seed_total / pooled_total;
     let fault_free_overhead_pct = (noop_total / pooled_total - 1.0) * 100.0;
 
+    eprintln!("dag_speedup: Naive-Tucker sweep, Q=R={DAG_RANK}, {DAG_THREADS} threads");
+    let dag = run_dag_speedup(DAG_NNZ);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up\"\n}}\n",
+        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up\"\n}}\n",
         cfg.machines,
         cfg.num_reducers(),
         cfg.threads,
@@ -255,10 +466,19 @@ fn main() {
         noop.recovery.2,
         speedup,
         fault_free_overhead_pct,
+        dag.jobs,
+        dag.critical_path_len,
+        dag.sim_sequential_s,
+        dag.sim_makespan_s,
+        dag.sim_speedup,
+        dag.sequential_wall_s,
+        dag.dag_wall_s,
+        dag.host_speedup,
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!(
-        "wrote {out_path}; speedup {speedup:.2}x; fault-free recovery overhead {fault_free_overhead_pct:.2}%"
+        "wrote {out_path}; speedup {speedup:.2}x; fault-free recovery overhead {fault_free_overhead_pct:.2}%; dag_speedup {:.2}x simulated",
+        dag.sim_speedup
     );
 }

@@ -216,6 +216,68 @@ proptest! {
     }
 }
 
+/// The scheduler's *measured* critical path — the longest dependency
+/// chain the DAG scheduler actually executed, reported per batch in
+/// [`haten2_mapreduce::BatchReport`] — equals the plan IR's *symbolic*
+/// depth (`JobGraph::critical_path_jobs`), the number printed in
+/// `ANALYSIS.md`'s "Critical path (jobs)" column. Each projection/MTTKRP
+/// call submits exactly one batch, so the report is directly comparable.
+#[test]
+fn measured_critical_paths_match_symbolic_depths() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dims = [6, 5, 4];
+    let x = generic_tensor(dims, 30, &mut rng);
+    let bt = generic_mat(2, 5, &mut rng);
+    let ct = generic_mat(2, 4, &mut rng);
+    let f1 = generic_mat(5, 2, &mut rng);
+    let f2 = generic_mat(4, 2, &mut rng);
+    let env = env_for(dims, x.nnz(), 2, 2, 4);
+    for variant in Variant::ALL {
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        project(
+            &cluster,
+            variant,
+            &x,
+            0,
+            &bt,
+            &ct,
+            &ProjectOptions::default(),
+        )
+        .unwrap();
+        let symbolic = plan_for(Decomp::Tucker, variant)
+            .critical_path_jobs()
+            .eval(&env);
+        let reports = cluster.batch_reports();
+        assert_eq!(reports.len(), 1, "tucker {variant}: one batch per call");
+        assert_eq!(
+            reports[0].critical_path_len as u128, symbolic,
+            "tucker {variant}: measured critical path vs symbolic depth"
+        );
+        assert_eq!(
+            reports[0].jobs,
+            cluster.metrics().total_jobs(),
+            "tucker {variant}: every job ran inside the batch"
+        );
+
+        let cluster = Cluster::new(ClusterConfig::with_machines(4));
+        mttkrp(&cluster, variant, &x, 0, &f1, &f2).unwrap();
+        let symbolic = plan_for(Decomp::Parafac, variant)
+            .critical_path_jobs()
+            .eval(&env);
+        let reports = cluster.batch_reports();
+        assert_eq!(reports.len(), 1, "parafac {variant}: one batch per call");
+        assert_eq!(
+            reports[0].critical_path_len as u128, symbolic,
+            "parafac {variant}: measured critical path vs symbolic depth"
+        );
+        assert_eq!(
+            reports[0].jobs,
+            cluster.metrics().total_jobs(),
+            "parafac {variant}: every job ran inside the batch"
+        );
+    }
+}
+
 #[test]
 fn recovery_bounds_dominate_static_intermediates() {
     // Static-only closure of the same loop: on every regime env, the

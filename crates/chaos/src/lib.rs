@@ -20,6 +20,12 @@
 //!   failed with a non-fault error. **This is the bug the harness
 //!   exists to catch.**
 //!
+//! Every faulty run is additionally replayed under
+//! [`SchedulerMode::Sequential`]: the DAG scheduler interleaving jobs on
+//! the shared pool must not change a single bit of output (or the typed
+//! error) relative to one-job-at-a-time execution, even mid-fault-storm.
+//! A mismatch between the two scheduler modes is reported as `Diverged`.
+//!
 //! The harness also aggregates the recovery counters, so callers can
 //! assert the invariant was exercised (retries actually happened) rather
 //! than vacuously true.
@@ -28,7 +34,7 @@ use haten2_analyze::certify;
 use haten2_core::{
     parafac_als, plan_for, recovery_for, tucker_als, AlsOptions, CoreError, Decomp, Variant,
 };
-use haten2_mapreduce::{Cluster, ClusterConfig, FaultPlan, MrError};
+use haten2_mapreduce::{Cluster, ClusterConfig, FaultPlan, MrError, SchedulerMode};
 use haten2_tensor::{CooTensor3, Entry3};
 
 /// Harness configuration.
@@ -168,9 +174,10 @@ pub fn fingerprint(values: impl IntoIterator<Item = f64>) -> u64 {
     h
 }
 
-fn cluster(machines: usize, plan: Option<FaultPlan>) -> Cluster {
+fn cluster(machines: usize, plan: Option<FaultPlan>, scheduler: SchedulerMode) -> Cluster {
     Cluster::new(ClusterConfig {
         fault_plan: plan,
+        scheduler,
         ..ClusterConfig::with_machines(machines)
     })
 }
@@ -248,7 +255,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
             )
             .certified();
             let clean = run_pipeline(
-                &cluster(opts.machines, None),
+                &cluster(opts.machines, None, SchedulerMode::Dag),
                 &x,
                 decomp,
                 variant,
@@ -258,12 +265,45 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
 
             for i in 0..opts.seeds {
                 let seed = opts.seed_base + i as u64;
-                let c = cluster(opts.machines, Some(FaultPlan::seeded(seed)));
-                let status = match run_pipeline(&c, &x, decomp, variant, opts.sweeps) {
-                    Ok(fp) if fp == clean => Status::Identical,
-                    Ok(_) => Status::Diverged("fingerprint mismatch".into()),
-                    Err(e) if is_fault_exhaustion(&e) => Status::Exhausted(e.to_string()),
-                    Err(e) => Status::Diverged(e.to_string()),
+                let c = cluster(
+                    opts.machines,
+                    Some(FaultPlan::seeded(seed)),
+                    SchedulerMode::Dag,
+                );
+                let dag = run_pipeline(&c, &x, decomp, variant, opts.sweeps);
+                // Scheduler cross-check: the same fault schedule replayed
+                // under sequential scheduling must agree bit-for-bit —
+                // same fingerprint or same typed error.
+                let seq = run_pipeline(
+                    &cluster(
+                        opts.machines,
+                        Some(FaultPlan::seeded(seed)),
+                        SchedulerMode::Sequential,
+                    ),
+                    &x,
+                    decomp,
+                    variant,
+                    opts.sweeps,
+                );
+                let status = match (&dag, &seq) {
+                    (Ok(a), Ok(b)) if a != b => Status::Diverged(format!(
+                        "scheduler divergence: dag {a:#018x} vs sequential {b:#018x}"
+                    )),
+                    (Ok(_), Err(e)) => Status::Diverged(format!(
+                        "scheduler divergence: sequential failed where dag succeeded: {e}"
+                    )),
+                    (Err(e), Ok(_)) => Status::Diverged(format!(
+                        "scheduler divergence: dag failed where sequential succeeded: {e}"
+                    )),
+                    (Err(a), Err(b)) if a.to_string() != b.to_string() => Status::Diverged(
+                        format!("scheduler divergence: dag error `{a}` vs sequential `{b}`"),
+                    ),
+                    _ => match dag {
+                        Ok(fp) if fp == clean => Status::Identical,
+                        Ok(_) => Status::Diverged("fingerprint mismatch".into()),
+                        Err(e) if is_fault_exhaustion(&e) => Status::Exhausted(e.to_string()),
+                        Err(e) => Status::Diverged(e.to_string()),
+                    },
                 };
                 let m = c.metrics();
                 report.outcomes.push(Outcome {

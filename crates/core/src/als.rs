@@ -3,11 +3,16 @@
 //!
 //! The distributed work — MTTKRP for PARAFAC, the two-sided projection for
 //! Tucker — goes through [`crate::parafac::mttkrp`] / [`crate::tucker::project`]
-//! with the configured [`Variant`]. The small dense driver-side steps
-//! (pseudoinverse of the `R×R` Hadamard Gram matrix, leading singular
-//! vectors of the `Iₙ×QR` matricized projection, column normalization) use
-//! `haten2-linalg`, mirroring how the Hadoop implementation kept these on
-//! the master.
+//! with the configured [`Variant`]. Each kernel invocation submits its jobs
+//! as one [`haten2_mapreduce::Batch`], so the per-column jobs of a sweep
+//! run concurrently on the shared worker pool when the cluster's
+//! [`haten2_mapreduce::SchedulerMode`] is `Dag` (the default) — with
+//! outputs, DFS traffic, and metrics bit-identical to sequential
+//! execution. The small dense driver-side steps (pseudoinverse of the
+//! `R×R` Hadamard Gram matrix, leading singular vectors of the `Iₙ×QR`
+//! matricized projection, column normalization) use `haten2-linalg`,
+//! mirroring how the Hadoop implementation kept these on the master; the
+//! optional distributed fit job runs cluster-direct, outside any batch.
 
 use crate::tucker::ProjectOptions;
 use crate::{parafac, tucker, CoreError, Result, Variant};

@@ -18,11 +18,23 @@
 //!
 //! Mode positions refer to slots of [`Ix4`]; 3-way tensors keep slot 3 = 0,
 //! and the Hadamard expansions write the factor-column index into slot 3.
+//!
+//! Every function takes a [`JobSite`] — either a [`Cluster`] directly (ad
+//! hoc runs, unit tests) or a [`haten2_mapreduce::JobCtx`] when the job is
+//! submitted as part of a scheduled [`haten2_mapreduce::Batch`], which is
+//! how the ALS drivers run them. Map-emit hints are no longer hard-coded
+//! here: inside a batch the scheduler derives them from the plan IR's
+//! symbolic emit expressions ([`haten2_mapreduce::JobGraph::emit_hint`]),
+//! so the sizing can never drift from the cost model. A
+//! [`JobSpec::with_map_emit_hint`] call still overrides the derivation —
+//! see [`crate::nway`] for graphless jobs that use the override.
+//!
+//! [`JobSite`]: haten2_mapreduce::JobSite
+//! [`Cluster`]: haten2_mapreduce::Cluster
 
 use crate::records::{HadVal, ImhpRec, ImhpVal, Ix4, MergeVal, NaiveVal, TvRec};
-use crate::{CoreError, Result};
 use haten2_linalg::Mat;
-use haten2_mapreduce::{run_job, Cluster, EstimateSize, JobSpec, MrError};
+use haten2_mapreduce::{run_job, EstimateSize, JobSite, JobSpec, MrError, Result};
 use std::collections::{BTreeMap, HashMap};
 
 /// Tensor records in the canonical `(Ix4, f64)` form.
@@ -58,7 +70,7 @@ fn with_slot(mut ix: Ix4, pos: usize, v: u64) -> Ix4 {
 /// entries carry that value in slot 3 — this is how the per-column jobs of
 /// DNN/DRN assemble the 4-way tensors `T'`/`T''` of Lemmas 1–2.
 pub fn hadamard_vec_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     entries: &[(Ix4, f64)],
     join_pos: usize,
@@ -67,8 +79,8 @@ pub fn hadamard_vec_job(
 ) -> Result<Vec<(Ix4, f64)>> {
     let input = crate::records::tv_input(entries, v);
     let out = run_job(
-        cluster,
-        JobSpec::named(name.to_string()).with_map_emit_hint(1),
+        site,
+        JobSpec::named(name.to_string()),
         &input,
         move |_, rec: &TvRec, emit| match rec {
             TvRec::Ent(ix, val) => emit(slot(ix, join_pos), HadVal::Ent(*ix, *val)),
@@ -103,7 +115,7 @@ pub fn hadamard_vec_job(
 /// sum coinciding entries. `use_combiner` enables map-side pre-aggregation
 /// (an ablation knob — the paper's accounting assumes no combiner).
 pub fn collapse_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     entries: &[(Ix4, f64)],
     drop_pos: usize,
@@ -114,10 +126,9 @@ pub fn collapse_job(
         JobSpec::named(name.to_string()).with_combiner(&combiner)
     } else {
         JobSpec::named(name.to_string())
-    }
-    .with_map_emit_hint(1);
+    };
     let out = run_job(
-        cluster,
+        site,
         spec,
         entries,
         move |ix: &Ix4, val: &f64, emit| emit(with_slot(*ix, drop_pos, 0), *val),
@@ -143,7 +154,7 @@ pub fn collapse_job(
 /// "o.o.m."). This pre-check is what lets the simulation *report* the
 /// failure the paper observed without materializing petabytes.
 pub fn naive_ttv_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     entries: &[(Ix4, f64)],
     dims: [u64; 4],
@@ -160,13 +171,13 @@ pub fn naive_ttv_job(
     let est_bytes = broadcast_records
         .saturating_add(entries.len() as u128)
         .saturating_mul(est_record_bytes);
-    if let Some(cap) = cluster.config().cluster_capacity_bytes {
+    if let Some(cap) = site.cluster().config().cluster_capacity_bytes {
         if est_bytes > cap as u128 {
-            return Err(CoreError::MapReduce(MrError::ClusterCapacityExceeded {
+            return Err(MrError::ClusterCapacityExceeded {
                 job: name.to_string(),
                 intermediate_bytes: est_bytes.min(usize::MAX as u128) as usize,
                 capacity_bytes: cap,
-            }));
+            });
         }
     }
 
@@ -176,10 +187,8 @@ pub fn naive_ttv_job(
     let other_dims: Vec<u64> = other_pos.iter().map(|&p| dims[p].max(1)).collect();
 
     let out = run_job(
-        cluster,
-        // Broadcast coefficients emit far more, but entries dominate the
-        // input; 1/record is the right bucket pre-size for the common case.
-        JobSpec::named(name.to_string()).with_map_emit_hint(1),
+        site,
+        JobSpec::named(name.to_string()),
         &input,
         |_, rec: &TvRec, emit| match rec {
             TvRec::Ent(ix, val) => {
@@ -232,7 +241,7 @@ pub fn naive_ttv_job(
 /// support of `X` (the `bin(X)` side of Lemmas 1–2). `bt ∈ ℝ^{Q×d₁}`,
 /// `ct ∈ ℝ^{R×d₂}` in canonical orientation.
 pub fn imhp_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     entries: &[(Ix4, f64)],
     bt: &Mat,
@@ -252,8 +261,8 @@ pub fn imhp_job(
     }
 
     let out = run_job(
-        cluster,
-        JobSpec::named(name.to_string()).with_map_emit_hint(2),
+        site,
+        JobSpec::named(name.to_string()),
         &input,
         |_, rec: &ImhpRec, emit| match rec {
             ImhpRec::Ent(ix, v) => {
@@ -306,15 +315,15 @@ pub fn imhp_job(
 /// Keys on the target-mode index `i`, so the shuffle volume is
 /// `nnz·(Q+R)` — the Table III cost of HaTen2-DRN/DRI.
 pub fn cross_merge_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     t_prime: &[(Ix4, f64)],
     t_dprime: &[(Ix4, f64)],
 ) -> Result<Vec<(Ix4, f64)>> {
     let input = merge_input(t_prime, t_dprime);
     let out = run_job(
-        cluster,
-        JobSpec::named(name.to_string()).with_map_emit_hint(1),
+        site,
+        JobSpec::named(name.to_string()),
         &input,
         |_, rec: &MergeVal, emit| emit(rec.i, rec.clone()),
         |i, vals, emit| {
@@ -353,15 +362,15 @@ pub fn cross_merge_job(
 /// `((i, r, 0, 0), y)`. Shuffle volume `2·nnz·R` — the Table IV cost of
 /// HaTen2-PARAFAC-DRN/DRI.
 pub fn pairwise_merge_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     t_prime: &[(Ix4, f64)],
     t_dprime: &[(Ix4, f64)],
 ) -> Result<Vec<(Ix4, f64)>> {
     let input = merge_input(t_prime, t_dprime);
     let out = run_job(
-        cluster,
-        JobSpec::named(name.to_string()).with_map_emit_hint(1),
+        site,
+        JobSpec::named(name.to_string()),
         &input,
         |_, rec: &MergeVal, emit| emit(rec.i, rec.clone()),
         |i, vals, emit| {
@@ -399,7 +408,7 @@ pub fn pairwise_merge_job(
 /// along as the job's broadcast small side (captured state, the map-side
 /// join idiom). Returns the scalar `Σ X(i,j,k)·X̂(i,j,k)`.
 pub fn model_inner_product_job(
-    cluster: &Cluster,
+    site: &impl JobSite,
     name: &str,
     x: &TensorRecords,
     factors: [&Mat; 3],
@@ -413,8 +422,8 @@ pub fn model_inner_product_job(
         input.push(((), ImhpRec::Row(0, i as u64, a.row(i).to_vec())));
     }
     let out = run_job(
-        cluster,
-        JobSpec::named(name.to_string()).with_map_emit_hint(1),
+        site,
+        JobSpec::named(name.to_string()),
         &input,
         |_, rec: &ImhpRec, emit| match rec {
             ImhpRec::Ent(ix, v) => emit(ix.0, ImhpVal::Ent(*ix, *v)),

@@ -2,21 +2,25 @@
 //! (Algorithms 4, 6, 8, 10 of the paper), the bottleneck of PARAFAC-ALS.
 //!
 //! For target mode 0 this is `Y = X₍₁₎ (C ⊙ B) ∈ ℝ^{I×R}` — lines 3/5/7 of
-//! PARAFAC-ALS (Algorithm 1). Costs per variant (Table IV):
+//! PARAFAC-ALS (Algorithm 1). Costs per variant (Table IV); the per-rank
+//! chains are mutually independent, so each variant is submitted as one
+//! scheduled [`Batch`] whose *critical path* bounds latency on an idle
+//! cluster ([`haten2_mapreduce::JobGraph::critical_path_jobs`]):
 //!
-//! | Variant | Max intermediate | Jobs   |
-//! |---------|------------------|--------|
-//! | Naive   | `nnz + IJK`      | `2R`   |
-//! | DNN     | `nnz + J`        | `4R`   |
-//! | DRN     | `2·nnz·R`        | `2R+1` |
-//! | DRI     | `2·nnz·R`        | `2`    |
+//! | Variant | Max intermediate | Jobs   | Critical path |
+//! |---------|------------------|--------|---------------|
+//! | Naive   | `nnz + IJK`      | `2R`   | `2`           |
+//! | DNN     | `nnz + J`        | `4R`   | `4`           |
+//! | DRN     | `2·nnz·R`        | `2R+1` | `2`           |
+//! | DRI     | `2·nnz·R`        | `2`    | `2`           |
 
 use crate::canon::canonicalize;
 use crate::ops::{collapse_job, hadamard_vec_job, imhp_job, naive_ttv_job, pairwise_merge_job};
+use crate::plan::{plan_for, Decomp};
 use crate::records::{tensor_records, Ix4};
 use crate::{CoreError, Result, Variant};
 use haten2_linalg::Mat;
-use haten2_mapreduce::Cluster;
+use haten2_mapreduce::{Batch, Cluster};
 use haten2_tensor::CooTensor3;
 
 /// Compute the MTTKRP `M ← X₍ₙ₎ (F₂ ⊙ F₁)` for target mode `n` using the
@@ -83,98 +87,175 @@ pub fn mttkrp(
     let r_dim = f1.cols();
     let x_records = tensor_records(&xc);
     let mut m = Mat::zeros(d0 as usize, r_dim);
+    let graph = plan_for(Decomp::Parafac, variant);
 
     match variant {
         Variant::Naive => {
-            // Algorithm 4: T_r = X ×̄₂ b_r, then Y_r = T_r ×̄₃ c_r.
+            // Algorithm 4: T_r = X ×̄₂ b_r, then Y_r = T_r ×̄₃ c_r. The R
+            // two-job chains are mutually independent — one batch,
+            // critical path 2. Submission stays interleaved per rank (the
+            // sequential execution order, which keys the fault schedule).
             let dims4 = [d0, d1, d2, 1];
+            let mut batch = Batch::with_graph(&graph);
+            let mut ys = Vec::with_capacity(r_dim);
             for r in 0..r_dim {
                 let b_col = f1.col(r);
                 let c_col = f2.col(r);
-                let t_r = naive_ttv_job(
-                    cluster,
-                    &format!("parafac-naive-xb{r}"),
-                    &x_records,
-                    dims4,
-                    1,
-                    &b_col,
-                )?;
-                let y_r = naive_ttv_job(
-                    cluster,
-                    &format!("parafac-naive-tc{r}"),
-                    &t_r,
-                    [d0, 1, d2, 1],
-                    2,
-                    &c_col,
-                )?;
-                accumulate_column(&mut m, &y_r, r);
+                let name_x = format!("parafac-naive-xb{r}");
+                let t_r = batch.submit(name_x.clone(), vec!["x".into()], vec![format!("t#{r}")], {
+                    let x_records = &x_records;
+                    move |ctx| naive_ttv_job(ctx, &name_x, x_records, dims4, 1, &b_col)
+                });
+                let name_t = format!("parafac-naive-tc{r}");
+                ys.push(batch.submit(
+                    name_t.clone(),
+                    vec![format!("t#{r}")],
+                    vec![format!("y#{r}")],
+                    move |ctx| {
+                        naive_ttv_job(ctx, &name_t, ctx.get(&t_r)?, [d0, 1, d2, 1], 2, &c_col)
+                    },
+                ));
+            }
+            batch.run(cluster)?;
+            for (r, h) in ys.into_iter().enumerate() {
+                accumulate_column(&mut m, &h.take()?, r);
             }
         }
         Variant::Dnn => {
-            // Algorithm 6: per rank, Hadamard + Collapse twice.
+            // Algorithm 6: per rank, Hadamard + Collapse twice — R
+            // independent four-job chains, critical path 4.
+            let mut batch = Batch::with_graph(&graph);
+            let mut ys = Vec::with_capacity(r_dim);
             for r in 0..r_dim {
                 let b_col = f1.col(r);
                 let c_col = f2.col(r);
-                let h1 = hadamard_vec_job(
-                    cluster,
-                    &format!("parafac-dnn-had-b{r}"),
-                    &x_records,
-                    1,
-                    &b_col,
-                    None,
-                )?;
-                let t_r = collapse_job(cluster, &format!("parafac-dnn-col-j{r}"), &h1, 1, false)?;
-                let h2 = hadamard_vec_job(
-                    cluster,
-                    &format!("parafac-dnn-had-c{r}"),
-                    &t_r,
-                    2,
-                    &c_col,
-                    None,
-                )?;
-                let y_r = collapse_job(cluster, &format!("parafac-dnn-col-k{r}"), &h2, 2, false)?;
-                accumulate_column(&mut m, &y_r, r);
+                let name_hb = format!("parafac-dnn-had-b{r}");
+                let h1 = batch.submit(
+                    name_hb.clone(),
+                    vec!["x".into()],
+                    vec![format!("h_b#{r}")],
+                    {
+                        let x_records = &x_records;
+                        move |ctx| hadamard_vec_job(ctx, &name_hb, x_records, 1, &b_col, None)
+                    },
+                );
+                let name_cj = format!("parafac-dnn-col-j{r}");
+                let t_r = batch.submit(
+                    name_cj.clone(),
+                    vec![format!("h_b#{r}")],
+                    vec![format!("t#{r}")],
+                    move |ctx| collapse_job(ctx, &name_cj, ctx.get(&h1)?, 1, false),
+                );
+                let name_hc = format!("parafac-dnn-had-c{r}");
+                let h2 = batch.submit(
+                    name_hc.clone(),
+                    vec![format!("t#{r}")],
+                    vec![format!("h_c#{r}")],
+                    move |ctx| hadamard_vec_job(ctx, &name_hc, ctx.get(&t_r)?, 2, &c_col, None),
+                );
+                let name_ck = format!("parafac-dnn-col-k{r}");
+                ys.push(batch.submit(
+                    name_ck.clone(),
+                    vec![format!("h_c#{r}")],
+                    vec![format!("y#{r}")],
+                    move |ctx| collapse_job(ctx, &name_ck, ctx.get(&h2)?, 2, false),
+                ));
+            }
+            batch.run(cluster)?;
+            for (r, h) in ys.into_iter().enumerate() {
+                accumulate_column(&mut m, &h.take()?, r);
             }
         }
         Variant::Drn => {
-            // Algorithm 8: R Hadamard expansions per side, one PairwiseMerge.
-            let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
-            for r in 0..r_dim {
-                t_prime.extend(hadamard_vec_job(
-                    cluster,
-                    &format!("parafac-drn-had-b{r}"),
-                    &x_records,
-                    1,
-                    &f1.col(r),
-                    Some(r as u64),
-                )?);
-            }
+            // Algorithm 8: R Hadamard expansions per side (all independent),
+            // one PairwiseMerge — critical path 2.
             let bin_records = tensor_records(&xc.bin());
-            let mut t_dprime: Vec<(Ix4, f64)> = Vec::new();
+            let mut batch = Batch::with_graph(&graph);
+            let mut tp = Vec::with_capacity(r_dim);
             for r in 0..r_dim {
-                t_dprime.extend(hadamard_vec_job(
-                    cluster,
-                    &format!("parafac-drn-had-c{r}"),
-                    &bin_records,
-                    2,
-                    &f2.col(r),
-                    Some(r as u64),
-                )?);
+                let name = format!("parafac-drn-had-b{r}");
+                let b_col = f1.col(r);
+                tp.push(batch.submit(
+                    name.clone(),
+                    vec!["x".into()],
+                    vec![format!("t_prime#{r}")],
+                    {
+                        let x_records = &x_records;
+                        move |ctx| {
+                            hadamard_vec_job(ctx, &name, x_records, 1, &b_col, Some(r as u64))
+                        }
+                    },
+                ));
             }
-            let y = pairwise_merge_job(cluster, "parafac-drn-pairwisemerge", &t_prime, &t_dprime)?;
-            accumulate_pairs(&mut m, &y);
+            let mut tdp = Vec::with_capacity(r_dim);
+            for r in 0..r_dim {
+                let name = format!("parafac-drn-had-c{r}");
+                let c_col = f2.col(r);
+                tdp.push(batch.submit(
+                    name.clone(),
+                    vec!["x_bin".into()],
+                    vec![format!("t_dprime#{r}")],
+                    {
+                        let bin_records = &bin_records;
+                        move |ctx| {
+                            hadamard_vec_job(ctx, &name, bin_records, 2, &c_col, Some(r as u64))
+                        }
+                    },
+                ));
+            }
+            let y = batch.submit(
+                "parafac-drn-pairwisemerge",
+                vec!["t_prime".into(), "t_dprime".into()],
+                vec!["y".into()],
+                {
+                    let tp = tp.clone();
+                    let tdp = tdp.clone();
+                    move |ctx| {
+                        let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
+                        for h in &tp {
+                            t_prime.extend(ctx.get(h)?.iter().copied());
+                        }
+                        let mut t_dprime: Vec<(Ix4, f64)> = Vec::new();
+                        for h in &tdp {
+                            t_dprime.extend(ctx.get(h)?.iter().copied());
+                        }
+                        pairwise_merge_job(ctx, "parafac-drn-pairwisemerge", &t_prime, &t_dprime)
+                    }
+                },
+            );
+            batch.run(cluster)?;
+            accumulate_pairs(&mut m, &y.take()?);
         }
         Variant::Dri => {
             // Algorithm 10: IMHP + PairwiseMerge (Q = R in PARAFAC).
-            let (t_prime, t_dprime) = imhp_job(
-                cluster,
+            let bt = f1.transpose();
+            let ct = f2.transpose();
+            let mut batch = Batch::with_graph(&graph);
+            let imhp = batch.submit(
                 "parafac-dri-imhp",
-                &x_records,
-                &f1.transpose(),
-                &f2.transpose(),
-            )?;
-            let y = pairwise_merge_job(cluster, "parafac-dri-pairwisemerge", &t_prime, &t_dprime)?;
-            accumulate_pairs(&mut m, &y);
+                vec!["x".into()],
+                vec!["t_prime".into(), "t_dprime".into()],
+                {
+                    let x_records = &x_records;
+                    let bt = &bt;
+                    let ct = &ct;
+                    move |ctx| imhp_job(ctx, "parafac-dri-imhp", x_records, bt, ct)
+                },
+            );
+            let y = batch.submit(
+                "parafac-dri-pairwisemerge",
+                vec!["t_prime".into(), "t_dprime".into()],
+                vec!["y".into()],
+                {
+                    let imhp = imhp.clone();
+                    move |ctx| {
+                        let (t_prime, t_dprime) = ctx.get(&imhp)?;
+                        pairwise_merge_job(ctx, "parafac-dri-pairwisemerge", t_prime, t_dprime)
+                    }
+                },
+            );
+            batch.run(cluster)?;
+            accumulate_pairs(&mut m, &y.take()?);
         }
     }
     Ok(m)

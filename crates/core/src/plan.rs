@@ -620,6 +620,54 @@ mod tests {
     }
 
     #[test]
+    fn derived_emit_hints_match_deleted_manual_hints() {
+        // The drivers used to hard-code map-emit hints (1 everywhere, 2
+        // for IMHP); the hints are now derived from the plan IR's emit
+        // expressions and must reproduce those values for every job of
+        // every registered pipeline.
+        for decomp in Decomp::ALL {
+            for variant in Variant::ALL {
+                let g = plan_for(decomp, variant);
+                for job in &g.jobs {
+                    let concrete = job.name.replace("{}", "0");
+                    let hint = g.emit_hint(&concrete).unwrap_or_else(|| {
+                        panic!("{decomp} {variant} {}: no derived hint", job.name)
+                    });
+                    let want = if job.op.as_deref() == Some("imhp_job") {
+                        2
+                    } else {
+                        1
+                    };
+                    assert_eq!(hint, want, "{decomp} {variant} {}", job.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_depths_are_constant_per_variant() {
+        // Under the DAG scheduler the Table III/IV job counts become
+        // critical-path depths: Naive/DRN/DRI collapse to 2 and DNN to 4,
+        // independent of tensor size, ranks, or machine count.
+        for env in sample_envs() {
+            for decomp in Decomp::ALL {
+                for (variant, depth) in [
+                    (Variant::Naive, 2),
+                    (Variant::Dnn, 4),
+                    (Variant::Drn, 2),
+                    (Variant::Dri, 2),
+                ] {
+                    assert_eq!(
+                        plan_for(decomp, variant).critical_path_jobs().eval(&env),
+                        depth,
+                        "{decomp} {variant}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn recovery_spec_covers_every_intermediate_read() {
         for decomp in Decomp::ALL {
             for variant in Variant::ALL {

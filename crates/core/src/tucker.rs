@@ -5,22 +5,27 @@
 //! the factor matrices of the two *other* modes: for `n = 0` this is
 //! `Y = X ×₂ Bᵀ ×₃ Cᵀ ∈ ℝ^{I×Q×R}` — exactly lines 3/5/7 of Tucker-ALS
 //! (Algorithm 2). The four variants trade intermediate data and job count as
-//! summarized in Table III:
+//! summarized in Table III; the per-column jobs within a stage are mutually
+//! independent, so each variant is submitted as one scheduled
+//! [`Batch`] whose *critical path* is what bounds latency on an idle
+//! cluster ([`haten2_mapreduce::JobGraph::critical_path_jobs`]):
 //!
-//! | Variant | Max intermediate | Jobs    |
-//! |---------|------------------|---------|
-//! | Naive   | `nnz + IJK`      | `Q+R`   |
-//! | DNN     | `nnz·Q·R`        | `Q+R+2` |
-//! | DRN     | `nnz·(Q+R)`      | `Q+R+1` |
-//! | DRI     | `nnz·(Q+R)`      | `2`     |
+//! | Variant | Max intermediate | Jobs    | Critical path |
+//! |---------|------------------|---------|---------------|
+//! | Naive   | `nnz + IJK`      | `Q+R`   | `2`           |
+//! | DNN     | `nnz·Q·R`        | `Q+R+2` | `4`           |
+//! | DRN     | `nnz·(Q+R)`      | `Q+R+1` | `2`           |
+//! | DRI     | `nnz·(Q+R)`      | `2`     | `2`           |
 
 use crate::canon::canonicalize;
 use crate::ops::{collapse_job, cross_merge_job, hadamard_vec_job, imhp_job, naive_ttv_job};
+use crate::plan::{plan_for, Decomp};
 use crate::records::{tensor_records, Ix4};
 use crate::{CoreError, Result, Variant};
 use haten2_linalg::Mat;
-use haten2_mapreduce::Cluster;
+use haten2_mapreduce::{Batch, Cluster};
 use haten2_tensor::{CooTensor3, Entry3};
+use std::sync::{Arc, OnceLock};
 
 /// Options for [`project`].
 #[derive(Debug, Clone, Default)]
@@ -92,124 +97,220 @@ pub fn project(
     let q_dim = u1.rows() as u64;
     let r_dim = u2.rows() as u64;
     let x_records = tensor_records(&xc);
+    let graph = plan_for(Decomp::Tucker, variant);
 
     let y_records: Vec<(Ix4, f64)> = match variant {
         Variant::Naive => {
-            // Algorithm 3: Q broadcast products with B's rows, then R with C's.
+            // Algorithm 3: Q broadcast products with B's rows (mutually
+            // independent per-column jobs), then R with C's, each reading
+            // the merged T — one batch, critical path 2.
             let dims4 = [d0, d1, d2, 1];
-            let mut t_records: Vec<(Ix4, f64)> = Vec::new();
-            for q in 0..u1.rows() {
-                let out = naive_ttv_job(
-                    cluster,
-                    &format!("tucker-naive-xv-b{q}"),
-                    &x_records,
-                    dims4,
-                    1,
-                    u1.row(q),
-                )?;
-                // Stack the Q results along slot 1.
-                t_records.extend(
-                    out.into_iter()
-                        .map(|(ix, v)| ((ix.0, q as u64, ix.2, 0), v)),
-                );
-            }
             let t_dims = [d0, q_dim, d2, 1];
-            let mut y = Vec::new();
+            let mut batch = Batch::with_graph(&graph);
+            let mut parts = Vec::with_capacity(u1.rows());
+            for q in 0..u1.rows() {
+                let name = format!("tucker-naive-xv-b{q}");
+                let x_records = &x_records;
+                let row = u1.row(q);
+                parts.push(batch.submit(
+                    name.clone(),
+                    vec!["x".into()],
+                    vec![format!("t#{q}")],
+                    move |ctx| naive_ttv_job(ctx, &name, x_records, dims4, 1, row),
+                ));
+            }
+            // Whichever tv job runs first stacks the Q results along slot 1;
+            // the others reuse the memoized merge.
+            let merged_t: Arc<OnceLock<Vec<(Ix4, f64)>>> = Arc::new(OnceLock::new());
+            let mut ys = Vec::with_capacity(u2.rows());
             for r in 0..u2.rows() {
-                let out = naive_ttv_job(
-                    cluster,
-                    &format!("tucker-naive-tv-c{r}"),
-                    &t_records,
-                    t_dims,
-                    2,
-                    u2.row(r),
-                )?;
+                let name = format!("tucker-naive-tv-c{r}");
+                let row = u2.row(r);
+                let parts = parts.clone();
+                let merged_t = Arc::clone(&merged_t);
+                ys.push(batch.submit(
+                    name.clone(),
+                    vec!["t".into()],
+                    vec![format!("y#{r}")],
+                    move |ctx| {
+                        let mut stacked = Vec::with_capacity(parts.len());
+                        for h in &parts {
+                            stacked.push(ctx.get(h)?);
+                        }
+                        let t = merged_t.get_or_init(|| {
+                            let mut t_records: Vec<(Ix4, f64)> = Vec::new();
+                            for (q, out) in stacked.iter().enumerate() {
+                                t_records.extend(
+                                    out.iter().map(|&(ix, v)| ((ix.0, q as u64, ix.2, 0), v)),
+                                );
+                            }
+                            t_records
+                        });
+                        naive_ttv_job(ctx, &name, t, t_dims, 2, row)
+                    },
+                ));
+            }
+            batch.run(cluster)?;
+            let mut y = Vec::new();
+            for (r, h) in ys.into_iter().enumerate() {
                 y.extend(
-                    out.into_iter()
+                    h.take()?
+                        .into_iter()
                         .map(|(ix, v)| ((ix.0, ix.1, r as u64, 0), v)),
                 );
             }
             y
         }
         Variant::Dnn => {
-            // Algorithm 5: Hadamard per column, Collapse, repeat, Collapse.
-            let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
+            // Algorithm 5: Hadamard per column, Collapse, repeat, Collapse —
+            // one batch, critical path 4.
+            let use_combiner = opts.use_combiner;
+            let mut batch = Batch::with_graph(&graph);
+            let mut hb = Vec::with_capacity(u1.rows());
             for q in 0..u1.rows() {
-                t_prime.extend(hadamard_vec_job(
-                    cluster,
-                    &format!("tucker-dnn-had-b{q}"),
-                    &x_records,
-                    1,
-                    u1.row(q),
-                    Some(q as u64),
-                )?);
+                let name = format!("tucker-dnn-had-b{q}");
+                let x_records = &x_records;
+                let row = u1.row(q);
+                hb.push(batch.submit(
+                    name.clone(),
+                    vec!["x".into()],
+                    vec![format!("t_prime#{q}")],
+                    move |ctx| hadamard_vec_job(ctx, &name, x_records, 1, row, Some(q as u64)),
+                ));
             }
-            let t = collapse_job(
-                cluster,
+            let t = batch.submit(
                 "tucker-dnn-collapse-j",
-                &t_prime,
-                1,
-                opts.use_combiner,
-            )?;
-            // T(x0, 0, k, q): move q into slot 1 so slot 3 is free for r.
-            let t_repacked: Vec<(Ix4, f64)> = t
-                .into_iter()
-                .map(|(ix, v)| ((ix.0, ix.3, ix.2, 0), v))
-                .collect();
-            let mut y_prime: Vec<(Ix4, f64)> = Vec::new();
+                vec!["t_prime".into()],
+                vec!["t".into()],
+                {
+                    let hb = hb.clone();
+                    move |ctx| {
+                        let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
+                        for h in &hb {
+                            t_prime.extend(ctx.get(h)?.iter().copied());
+                        }
+                        let t =
+                            collapse_job(ctx, "tucker-dnn-collapse-j", &t_prime, 1, use_combiner)?;
+                        // T(x0, 0, k, q): move q into slot 1 so slot 3 is
+                        // free for r.
+                        Ok(t.into_iter()
+                            .map(|(ix, v)| ((ix.0, ix.3, ix.2, 0), v))
+                            .collect::<Vec<(Ix4, f64)>>())
+                    }
+                },
+            );
+            let mut hc = Vec::with_capacity(u2.rows());
             for r in 0..u2.rows() {
-                y_prime.extend(hadamard_vec_job(
-                    cluster,
-                    &format!("tucker-dnn-had-c{r}"),
-                    &t_repacked,
-                    2,
-                    u2.row(r),
-                    Some(r as u64),
-                )?);
+                let name = format!("tucker-dnn-had-c{r}");
+                let row = u2.row(r);
+                let t = t.clone();
+                hc.push(batch.submit(
+                    name.clone(),
+                    vec!["t".into()],
+                    vec![format!("y_prime#{r}")],
+                    move |ctx| hadamard_vec_job(ctx, &name, ctx.get(&t)?, 2, row, Some(r as u64)),
+                ));
             }
-            let y = collapse_job(
-                cluster,
+            let y = batch.submit(
                 "tucker-dnn-collapse-k",
-                &y_prime,
-                2,
-                opts.use_combiner,
-            )?;
+                vec!["y_prime".into()],
+                vec!["y".into()],
+                {
+                    let hc = hc.clone();
+                    move |ctx| {
+                        let mut y_prime: Vec<(Ix4, f64)> = Vec::new();
+                        for h in &hc {
+                            y_prime.extend(ctx.get(h)?.iter().copied());
+                        }
+                        collapse_job(ctx, "tucker-dnn-collapse-k", &y_prime, 2, use_combiner)
+                    }
+                },
+            );
+            batch.run(cluster)?;
             // Y(x0, q, 0, r) -> (x0, q, r, 0)
-            y.into_iter()
+            y.take()?
+                .into_iter()
                 .map(|(ix, v)| ((ix.0, ix.1, ix.3, 0), v))
                 .collect()
         }
         Variant::Drn => {
-            // Algorithm 7: independent Hadamard expansions, then CrossMerge.
-            let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
-            for q in 0..u1.rows() {
-                t_prime.extend(hadamard_vec_job(
-                    cluster,
-                    &format!("tucker-drn-had-b{q}"),
-                    &x_records,
-                    1,
-                    u1.row(q),
-                    Some(q as u64),
-                )?);
-            }
+            // Algorithm 7: independent Hadamard expansions, then CrossMerge —
+            // one batch, critical path 2.
             let bin_records = tensor_records(&xc.bin());
-            let mut t_dprime: Vec<(Ix4, f64)> = Vec::new();
-            for r in 0..u2.rows() {
-                t_dprime.extend(hadamard_vec_job(
-                    cluster,
-                    &format!("tucker-drn-had-c{r}"),
-                    &bin_records,
-                    2,
-                    u2.row(r),
-                    Some(r as u64),
-                )?);
+            let mut batch = Batch::with_graph(&graph);
+            let mut tp = Vec::with_capacity(u1.rows());
+            for q in 0..u1.rows() {
+                let name = format!("tucker-drn-had-b{q}");
+                let x_records = &x_records;
+                let row = u1.row(q);
+                tp.push(batch.submit(
+                    name.clone(),
+                    vec!["x".into()],
+                    vec![format!("t_prime#{q}")],
+                    move |ctx| hadamard_vec_job(ctx, &name, x_records, 1, row, Some(q as u64)),
+                ));
             }
-            cross_merge_job(cluster, "tucker-drn-crossmerge", &t_prime, &t_dprime)?
+            let mut tdp = Vec::with_capacity(u2.rows());
+            for r in 0..u2.rows() {
+                let name = format!("tucker-drn-had-c{r}");
+                let bin_records = &bin_records;
+                let row = u2.row(r);
+                tdp.push(batch.submit(
+                    name.clone(),
+                    vec!["x_bin".into()],
+                    vec![format!("t_dprime#{r}")],
+                    move |ctx| hadamard_vec_job(ctx, &name, bin_records, 2, row, Some(r as u64)),
+                ));
+            }
+            let y = batch.submit(
+                "tucker-drn-crossmerge",
+                vec!["t_prime".into(), "t_dprime".into()],
+                vec!["y".into()],
+                {
+                    let tp = tp.clone();
+                    let tdp = tdp.clone();
+                    move |ctx| {
+                        let mut t_prime: Vec<(Ix4, f64)> = Vec::new();
+                        for h in &tp {
+                            t_prime.extend(ctx.get(h)?.iter().copied());
+                        }
+                        let mut t_dprime: Vec<(Ix4, f64)> = Vec::new();
+                        for h in &tdp {
+                            t_dprime.extend(ctx.get(h)?.iter().copied());
+                        }
+                        cross_merge_job(ctx, "tucker-drn-crossmerge", &t_prime, &t_dprime)
+                    }
+                },
+            );
+            batch.run(cluster)?;
+            y.take()?
         }
         Variant::Dri => {
             // Algorithm 9: one IMHP job + one CrossMerge job.
-            let (t_prime, t_dprime) = imhp_job(cluster, "tucker-dri-imhp", &x_records, u1, u2)?;
-            cross_merge_job(cluster, "tucker-dri-crossmerge", &t_prime, &t_dprime)?
+            let mut batch = Batch::with_graph(&graph);
+            let imhp = batch.submit(
+                "tucker-dri-imhp",
+                vec!["x".into()],
+                vec!["t_prime".into(), "t_dprime".into()],
+                {
+                    let x_records = &x_records;
+                    move |ctx| imhp_job(ctx, "tucker-dri-imhp", x_records, u1, u2)
+                },
+            );
+            let y = batch.submit(
+                "tucker-dri-crossmerge",
+                vec!["t_prime".into(), "t_dprime".into()],
+                vec!["y".into()],
+                {
+                    let imhp = imhp.clone();
+                    move |ctx| {
+                        let (t_prime, t_dprime) = ctx.get(&imhp)?;
+                        cross_merge_job(ctx, "tucker-dri-crossmerge", t_prime, t_dprime)
+                    }
+                },
+            );
+            batch.run(cluster)?;
+            y.take()?
         }
     };
 

@@ -1,9 +1,28 @@
 //! Cluster configuration, cost model, and the [`Cluster`] handle.
 
 use crate::fault::FaultPlan;
-use crate::metrics::{JobMetrics, RunMetrics};
+use crate::metrics::{BatchReport, JobMetrics, RunMetrics};
 use crate::pool::WorkerPool;
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How [`crate::sched::Batch::run`] executes the jobs of a batch.
+///
+/// Both modes produce bit-identical outputs, DFS contents, and
+/// [`JobMetrics`]/[`RunMetrics`] — `Sequential` is the oracle the
+/// equivalence property tests hold `Dag` to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Dependency-aware concurrent execution: any job whose inputs are
+    /// available is dispatched onto the shared worker pool, interleaving
+    /// tasks from concurrent jobs. Results still commit in submission
+    /// order.
+    #[default]
+    Dag,
+    /// Strict submission-order execution, one job at a time — exactly the
+    /// behaviour of the pre-scheduler drivers.
+    Sequential,
+}
 
 /// Static description of the simulated cluster.
 ///
@@ -40,6 +59,9 @@ pub struct ClusterConfig {
     /// injection entirely. The legacy every-`n`-th-map-task knob lives on
     /// as [`FaultPlan::fail_every_nth`].
     pub fault_plan: Option<FaultPlan>,
+    /// How scheduler batches execute (not a semantic knob: outputs and
+    /// metrics are bit-identical across modes).
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for ClusterConfig {
@@ -58,6 +80,7 @@ impl Default for ClusterConfig {
             cluster_capacity_bytes: None,
             threads,
             fault_plan: None,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -114,7 +137,9 @@ impl CostModel {
 pub struct Cluster {
     config: ClusterConfig,
     metrics: Mutex<RunMetrics>,
+    batch_reports: Mutex<Vec<BatchReport>>,
     pool: OnceLock<WorkerPool>,
+    epoch: Instant,
 }
 
 impl Cluster {
@@ -123,7 +148,9 @@ impl Cluster {
         Cluster {
             config,
             metrics: Mutex::new(RunMetrics::default()),
+            batch_reports: Mutex::new(Vec::new()),
             pool: OnceLock::new(),
+            epoch: Instant::now(),
         }
     }
 
@@ -189,6 +216,31 @@ impl Cluster {
             .lock()
             .expect("metrics lock poisoned")
             .total_jobs()
+    }
+
+    /// Seconds since this cluster was created — the timeline that
+    /// [`JobMetrics::started_s`]/[`JobMetrics::finished_s`] stamps live on.
+    pub fn since_epoch(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Record a finished scheduler batch's concurrency report.
+    pub(crate) fn record_batch(&self, report: BatchReport) {
+        self.batch_reports
+            .lock()
+            .expect("batch reports lock poisoned")
+            .push(report);
+    }
+
+    /// Concurrency reports for every completed scheduler batch, in
+    /// completion order. Kept out of [`Cluster::metrics`] because host
+    /// scheduling decides these numbers — they vary run to run while the
+    /// per-job counters stay bit-identical.
+    pub fn batch_reports(&self) -> Vec<BatchReport> {
+        self.batch_reports
+            .lock()
+            .expect("batch reports lock poisoned")
+            .clone()
     }
 }
 

@@ -47,18 +47,29 @@ impl Dfs {
 
     /// Store a dataset under `name`, replacing any previous contents.
     /// Returns the estimated size in bytes.
+    ///
+    /// Replace-while-read is well-defined: concurrent readers keep the
+    /// `Arc` snapshot they fetched (the old contents stay alive until the
+    /// last reader drops them), their bytes were metered at snapshot time
+    /// against the old size, and the dataset's cumulative read count
+    /// carries over to the replacement — a `put` can never erase §III-B4
+    /// disk-access history.
     pub fn put<T>(&self, name: &str, records: Vec<T>) -> usize
     where
         T: EstimateSize + Send + Sync + 'static,
     {
         let bytes: usize = records.iter().map(EstimateSize::est_bytes).sum();
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
-        self.datasets.write().expect("dfs lock poisoned").insert(
+        let mut guard = self.datasets.write().expect("dfs lock poisoned");
+        let prior_reads = guard
+            .get(name)
+            .map_or(0, |s| s.reads.load(Ordering::Relaxed));
+        guard.insert(
             name.to_string(),
             Stored {
                 data: Arc::new(records),
                 bytes,
-                reads: AtomicUsize::new(0),
+                reads: AtomicUsize::new(prior_reads),
             },
         );
         bytes
@@ -66,16 +77,22 @@ impl Dfs {
 
     /// Fetch a dataset by name. Returns `None` when missing or when the
     /// stored type differs from `T`. Each call counts as one full read of
-    /// the dataset.
+    /// the dataset, metered at snapshot time: the `(contents, size)` pair
+    /// is captured atomically under the store lock, so a concurrent
+    /// [`Dfs::put`] replacing the dataset can neither tear the returned
+    /// snapshot nor mis-size the byte accounting.
     pub fn get<T>(&self, name: &str) -> Option<Arc<Vec<T>>>
     where
         T: Send + Sync + 'static,
     {
-        let guard = self.datasets.read().expect("dfs lock poisoned");
-        let stored = guard.get(name)?;
-        let typed = Arc::clone(&stored.data).downcast::<Vec<T>>().ok()?;
-        stored.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(stored.bytes, Ordering::Relaxed);
+        let (typed, snapshot_bytes) = {
+            let guard = self.datasets.read().expect("dfs lock poisoned");
+            let stored = guard.get(name)?;
+            let typed = Arc::clone(&stored.data).downcast::<Vec<T>>().ok()?;
+            stored.reads.fetch_add(1, Ordering::Relaxed);
+            (typed, stored.bytes)
+        };
+        self.bytes_read.fetch_add(snapshot_bytes, Ordering::Relaxed);
         Some(typed)
     }
 
@@ -213,5 +230,70 @@ mod tests {
         dfs.put("t", vec![1u64, 2]);
         assert_eq!(dfs.get::<u64>("t").unwrap().len(), 2);
         assert_eq!(dfs.size_of("t"), Some(16));
+    }
+
+    #[test]
+    fn replace_while_read_is_well_defined() {
+        // Regression: a reader's snapshot survives replacement unchanged,
+        // its bytes are metered against the snapshot (not the
+        // replacement), and the cumulative read count carries over.
+        let dfs = Dfs::new();
+        dfs.put("t", vec![1u64, 2, 3]); // 24 bytes
+        let snapshot = dfs.get::<u64>("t").unwrap();
+        assert_eq!(dfs.total_bytes_read(), 24);
+        assert_eq!(dfs.reads_of("t"), Some(1));
+
+        // Replace mid-flight with a dataset of a different size.
+        dfs.put("t", vec![9u64]); // 8 bytes
+        assert_eq!(*snapshot, vec![1u64, 2, 3], "reader keeps its snapshot");
+        assert_eq!(
+            dfs.reads_of("t"),
+            Some(1),
+            "read history survives replacement"
+        );
+        // The pre-replacement read stays metered at the old size; a fresh
+        // read meters the new size.
+        dfs.get::<u64>("t").unwrap();
+        assert_eq!(dfs.total_bytes_read(), 24 + 8);
+        assert_eq!(dfs.reads_of("t"), Some(2));
+    }
+
+    #[test]
+    fn concurrent_replace_and_read_accounting_is_consistent() {
+        // Hammer get/put on one dataset: every metered read must account
+        // either the old or the new size exactly — never a torn value.
+        let dfs = std::sync::Arc::new(Dfs::new());
+        dfs.put("t", vec![0u64; 4]); // 32 bytes
+        let readers = 4;
+        let rounds = 200;
+        std::thread::scope(|s| {
+            for _ in 0..readers {
+                let dfs = std::sync::Arc::clone(&dfs);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        let snap = dfs.get::<u64>("t").unwrap();
+                        assert!(snap.len() == 4 || snap.len() == 1);
+                    }
+                });
+            }
+            let writer = std::sync::Arc::clone(&dfs);
+            s.spawn(move || {
+                for i in 0..rounds {
+                    if i % 2 == 0 {
+                        writer.put("t", vec![0u64; 1]); // 8 bytes
+                    } else {
+                        writer.put("t", vec![0u64; 4]); // 32 bytes
+                    }
+                }
+            });
+        });
+        // Total bytes read decomposes exactly into 8- and 32-byte reads.
+        let total = dfs.total_bytes_read();
+        let reads = dfs.reads_of("t").unwrap();
+        assert_eq!(reads, readers * rounds);
+        // total = 8a + 32b with a + b = reads  ⇒  solvable in nonneg ints.
+        let min = 8 * reads;
+        let max = 32 * reads;
+        assert!(total >= min && total <= max && (total - min).is_multiple_of(24));
     }
 }

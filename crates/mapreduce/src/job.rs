@@ -38,6 +38,64 @@ use RECORD_FRAMING_BYTES as FRAMING_BYTES;
 /// and returns the (smaller) combined value list.
 pub type Combiner<'a, KM, VM> = &'a (dyn Fn(&KM, Vec<VM>) -> Vec<VM> + Sync);
 
+/// Where a job runs: directly on a [`Cluster`] (record-immediately,
+/// strictly sequential semantics) or inside a scheduler batch through a
+/// [`crate::sched::JobCtx`] (per-submission fault keying, deferred
+/// submission-order commit).
+///
+/// Abstracting the site as a trait — rather than giving the scheduler its
+/// own entry point — keeps `run_job(site, spec, input, mapper, reducer)` a
+/// plain function call with identical argument positions at every driver
+/// site, which is the shape the UDF-purity scanner (`haten2-srcscan`)
+/// keys on when it certifies mapper/reducer closures deterministic.
+pub trait JobSite {
+    /// The cluster the job executes on.
+    fn cluster(&self) -> &Cluster;
+
+    /// Submission index keying this job's fault schedule
+    /// ([`crate::fault::FaultPlan::schedule`]). For a bare [`Cluster`]
+    /// this is the number of jobs already recorded; a scheduler batch
+    /// pre-assigns indices at submission so fault replay is independent
+    /// of completion order.
+    fn job_index(&self) -> usize;
+
+    /// The plan-derived `map_emit_hint` for the named job, when the site
+    /// knows the job's [`crate::plan::JobGraph`]. Only consulted when the
+    /// [`JobSpec`] carries no explicit override.
+    fn derived_emit_hint(&self, name: &str) -> Option<usize>;
+
+    /// Validate that this site may run a job named `name` now. Scheduler
+    /// contexts enforce that the job was declared at submission and runs
+    /// exactly once.
+    fn before_run(&self, name: &str) -> crate::Result<()>;
+
+    /// Deliver the finished job's metrics: record immediately (bare
+    /// cluster) or stash for submission-order commit (scheduler batch).
+    fn commit_metrics(&self, metrics: JobMetrics);
+}
+
+impl JobSite for Cluster {
+    fn cluster(&self) -> &Cluster {
+        self
+    }
+
+    fn job_index(&self) -> usize {
+        self.jobs_run()
+    }
+
+    fn derived_emit_hint(&self, _name: &str) -> Option<usize> {
+        None
+    }
+
+    fn before_run(&self, _name: &str) -> crate::Result<()> {
+        Ok(())
+    }
+
+    fn commit_metrics(&self, metrics: JobMetrics) {
+        self.record(metrics);
+    }
+}
+
 /// Declarative description of one job.
 pub struct JobSpec<'a, KM, VM> {
     /// Job name for metrics.
@@ -139,7 +197,9 @@ where
     }
 }
 
-/// Execute one MapReduce job on `cluster`.
+/// Execute one MapReduce job on `site` (a [`Cluster`] for sequential
+/// record-immediately execution, or a [`crate::sched::JobCtx`] inside a
+/// scheduler batch).
 ///
 /// * `input` — the input split, as `(key, value)` records.
 /// * `mapper` — called per input record with an `emit(key, value)` sink.
@@ -179,7 +239,7 @@ where
 /// assert_eq!(cluster.metrics().jobs[0].map_output_records, 5);
 /// ```
 pub fn run_job<KI, VI, KM, VM, KO, VO, M, R>(
-    cluster: &Cluster,
+    site: &impl JobSite,
     spec: JobSpec<'_, KM, VM>,
     input: &[(KI, VI)],
     mapper: M,
@@ -195,7 +255,15 @@ where
     M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
+    site.before_run(&spec.name)?;
+    let mut spec = spec;
+    if spec.map_emit_hint.is_none() {
+        spec.map_emit_hint = site.derived_emit_hint(&spec.name);
+    }
+    let cluster = site.cluster();
+    let job_index = site.job_index();
     let started = Instant::now();
+    let started_s = cluster.since_epoch();
     let cfg = cluster.config();
     let num_reducers = cfg.num_reducers();
     let num_map_tasks = cfg.machines.max(1);
@@ -212,7 +280,7 @@ where
     let sched: Option<JobFaultSchedule> = cfg.fault_plan.as_ref().map(|plan| {
         plan.schedule(
             &spec.name,
-            cluster.jobs_run(),
+            job_index,
             actual_tasks,
             num_reducers,
             cfg.machines.max(1),
@@ -544,7 +612,9 @@ where
     }
 
     metrics.wall_time_s = started.elapsed().as_secs_f64();
+    metrics.started_s = started_s;
+    metrics.finished_s = started_s + metrics.wall_time_s;
     metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
-    cluster.record(metrics);
+    site.commit_metrics(metrics);
     Ok(output)
 }

@@ -39,6 +39,14 @@
 //!   their dataset wiring and symbolic cost expressions up front, so the
 //!   `haten2-analyze` crate can verify the paper's static cost table
 //!   *before* a job runs.
+//! * **A DAG-aware job scheduler** — pipelines submit [`sched::Batch`]es
+//!   of jobs with declared dataset read/write sets (validated against the
+//!   plan IR); a ready-queue dispatches any job whose inputs are available
+//!   onto the shared worker pool, interleaving tasks from concurrent
+//!   jobs. Results still *commit* in submission order and fault schedules
+//!   are keyed by submission index, so outputs, DFS contents, and metrics
+//!   stay bit-identical to sequential execution
+//!   ([`cluster::SchedulerMode::Sequential`] is the in-tree oracle).
 
 // The one unsafe block in this workspace lives in `pool.rs` behind a
 // narrowly scoped `#[allow]` with a SAFETY argument and a dedicated stress
@@ -57,18 +65,20 @@ pub mod pipeline;
 pub mod plan;
 pub mod pool;
 pub mod reference;
+pub mod sched;
 pub mod size;
 
-pub use cluster::{Cluster, ClusterConfig, CostModel};
+pub use cluster::{Cluster, ClusterConfig, CostModel, SchedulerMode};
 pub use dfs::Dfs;
 pub use fault::{FaultPlan, JobFaultSchedule, RetryPolicy, TaskFaults};
-pub use job::{run_job, Combiner, JobSpec, RECORD_FRAMING_BYTES};
+pub use job::{run_job, Combiner, JobSite, JobSpec, RECORD_FRAMING_BYTES};
 pub use lineage::{Lineage, MAX_RECOVERY_DEPTH};
-pub use metrics::{JobMetrics, RunMetrics};
+pub use metrics::{BatchReport, JobMetrics, RunMetrics};
 pub use pipeline::{run_job_dfs, run_job_dfs_recovering};
 pub use plan::{CheckpointPolicy, Env, JobGraph, JobInstance, PlanJob, RecoverySpec, SymExpr, Var};
 pub use pool::WorkerPool;
 pub use reference::run_job_reference;
+pub use sched::{Batch, BatchResults, JobCtx, JobHandle};
 pub use size::EstimateSize;
 
 /// Errors surfaced by the MapReduce engine.
@@ -137,6 +147,16 @@ pub enum MrError {
         /// Producer the plan declares.
         planned: String,
     },
+    /// A scheduler batch disagreed with the static plan: a submitted job
+    /// does not match any [`plan::JobGraph`] template, declared reads or
+    /// writes that the plan does not, ran a job it never declared, or
+    /// touched an output it never claimed as a dependency.
+    PlanViolation {
+        /// The offending job (or batch) name.
+        job: String,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for MrError {
@@ -167,6 +187,9 @@ impl std::fmt::Display for MrError {
             }
             MrError::LineageMissing { dataset } => {
                 write!(f, "dataset '{dataset}' lost and no lineage recipe can re-derive it")
+            }
+            MrError::PlanViolation { job, detail } => {
+                write!(f, "job '{job}': plan violation: {detail}")
             }
             MrError::LineageMismatch { dataset, registered, planned } => {
                 write!(

@@ -54,6 +54,14 @@ pub struct JobMetrics {
     pub sim_time_s: f64,
     /// Actual wall-clock spent executing the job in this process (seconds).
     pub wall_time_s: f64,
+    /// Host time the job started, in seconds since the cluster's epoch.
+    /// Together with [`JobMetrics::finished_s`] this places the job on the
+    /// cluster's timeline, which is what lets [`RunMetrics::wall_s`] and
+    /// [`RunMetrics::peak_concurrency`] account for overlapping jobs
+    /// without double-counting.
+    pub started_s: f64,
+    /// Host time the job finished, in seconds since the cluster's epoch.
+    pub finished_s: f64,
 }
 
 /// Metrics for a sequence of jobs (one decomposition, one experiment, …).
@@ -98,9 +106,62 @@ impl RunMetrics {
         self.jobs.iter().map(|j| j.sim_time_s).sum()
     }
 
-    /// Total actual wall time.
+    /// Total actual wall time, summed per job. Once jobs overlap (the DAG
+    /// scheduler runs independent jobs concurrently) this *busy* time
+    /// exceeds the elapsed span — use [`RunMetrics::wall_s`] for elapsed
+    /// time. Kept as an alias of [`RunMetrics::busy_s`] for callers that
+    /// predate the split.
     pub fn total_wall_time_s(&self) -> f64 {
+        self.busy_s()
+    }
+
+    /// Aggregate host CPU-side busy time: the sum of per-job
+    /// `wall_time_s`. Under sequential execution `busy_s == wall_s`
+    /// (modulo gaps between jobs); under concurrent execution
+    /// `busy_s > wall_s` exactly when jobs overlapped.
+    pub fn busy_s(&self) -> f64 {
         self.jobs.iter().map(|j| j.wall_time_s).sum()
+    }
+
+    /// Elapsed host time spanned by the run: latest `finished_s` minus
+    /// earliest `started_s` over all jobs. This is the quantity a
+    /// stopwatch would measure and does **not** double-count overlapped
+    /// jobs. Zero when no job carries timeline stamps.
+    pub fn wall_s(&self) -> f64 {
+        let start = self
+            .jobs
+            .iter()
+            .map(|j| j.started_s)
+            .fold(f64::INFINITY, f64::min);
+        let end = self.jobs.iter().map(|j| j.finished_s).fold(0.0, f64::max);
+        if start.is_finite() && end > start {
+            end - start
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum number of jobs whose `[started_s, finished_s)` intervals
+    /// overlap at any instant — 1 for strictly sequential execution,
+    /// higher when the DAG scheduler overlapped independent jobs.
+    pub fn peak_concurrency(&self) -> usize {
+        let mut events: Vec<(f64, isize)> = Vec::with_capacity(self.jobs.len() * 2);
+        for j in &self.jobs {
+            if j.finished_s > j.started_s {
+                events.push((j.started_s, 1));
+                events.push((j.finished_s, -1));
+            }
+        }
+        // Ends sort before starts at equal times, so back-to-back jobs do
+        // not count as concurrent.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cur = 0isize;
+        let mut peak = 0isize;
+        for (_, delta) in events {
+            cur += delta;
+            peak = peak.max(cur);
+        }
+        peak.max(0) as usize
     }
 
     /// Total bytes read by map tasks (disk-access proxy: HaTen2-DRI reads
@@ -156,6 +217,42 @@ impl RunMetrics {
     pub fn push(&mut self, job: JobMetrics) {
         self.jobs.push(job);
     }
+}
+
+/// Concurrency accounting for one scheduler batch (see `crate::sched`).
+///
+/// These are *observability* numbers, deliberately kept out of
+/// [`JobMetrics`]/[`RunMetrics`] equality: host scheduling decides them,
+/// so they vary run to run while the per-job counters stay bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReport {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Length (in jobs) of the longest dependency chain actually executed
+    /// — the measured counterpart of the plan IR's symbolic
+    /// critical-path depth.
+    pub critical_path_len: usize,
+    /// Host seconds along the longest dependency chain, weighting each
+    /// job by its `wall_time_s`: the lower bound on elapsed time no
+    /// amount of parallelism can beat.
+    pub critical_path_s: f64,
+    /// Elapsed host seconds from first job start to last job finish.
+    pub wall_s: f64,
+    /// Summed per-job host seconds (`Σ wall_time_s`).
+    pub busy_s: f64,
+    /// Maximum number of the batch's jobs in flight at one instant.
+    pub peak_concurrency: usize,
+    /// Summed per-job *simulated* seconds (`Σ sim_time_s`) — the makespan
+    /// a one-job-at-a-time JobTracker would schedule for this batch.
+    pub sim_sequential_s: f64,
+    /// Simulated makespan of the batch: whole jobs list-scheduled (in
+    /// submission order, no backfilling) onto the configured number of
+    /// worker threads, honoring the dependency edges, each job costing
+    /// its `sim_time_s`. A deterministic model quantity — identical
+    /// across scheduler modes and host core counts — so
+    /// `sim_sequential_s / sim_makespan_s` is the reproducible speedup
+    /// the DAG scheduler unlocks on the simulated cluster.
+    pub sim_makespan_s: f64,
 }
 
 #[cfg(test)]
@@ -221,6 +318,49 @@ mod tests {
         assert_eq!(run.total_dfs_read_retries(), 3);
         assert_eq!(run.total_lineage_recoveries(), 1);
         assert!((run.total_recovery_sim_time_s() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_vs_wall_under_overlap() {
+        let mut run = RunMetrics::default();
+        // Two fully overlapped jobs plus one sequential tail.
+        for (s, e) in [(0.0, 2.0), (0.0, 2.0), (2.0, 3.0)] {
+            run.push(JobMetrics {
+                name: "j".into(),
+                wall_time_s: e - s,
+                started_s: s,
+                finished_s: e,
+                ..Default::default()
+            });
+        }
+        assert!((run.busy_s() - 5.0).abs() < 1e-12);
+        assert!((run.total_wall_time_s() - run.busy_s()).abs() < 1e-12);
+        assert!((run.wall_s() - 3.0).abs() < 1e-12);
+        assert_eq!(run.peak_concurrency(), 2);
+    }
+
+    #[test]
+    fn back_to_back_jobs_are_not_concurrent() {
+        let mut run = RunMetrics::default();
+        for (s, e) in [(0.0, 1.0), (1.0, 2.0)] {
+            run.push(JobMetrics {
+                name: "j".into(),
+                wall_time_s: e - s,
+                started_s: s,
+                finished_s: e,
+                ..Default::default()
+            });
+        }
+        assert_eq!(run.peak_concurrency(), 1);
+        assert!((run.wall_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstamped_jobs_have_zero_span() {
+        let mut run = RunMetrics::default();
+        run.push(job("a", 1, 0.1));
+        assert_eq!(run.wall_s(), 0.0);
+        assert_eq!(run.peak_concurrency(), 0);
     }
 
     #[test]

@@ -559,6 +559,78 @@ impl JobGraph {
         out
     }
 
+    /// The template a concrete job name instantiates: exact match for
+    /// plain names, prefix/suffix match with a non-empty digit middle for
+    /// `{}` templates (so `tucker-naive-xv-b{}` matches
+    /// `tucker-naive-xv-b3` but not `tucker-naive-xv-b` or
+    /// `tucker-naive-xv-bX`).
+    pub fn template_for(&self, name: &str) -> Option<&PlanJob> {
+        self.jobs.iter().find(|j| template_matches(&j.name, name))
+    }
+
+    /// Derived `map_emit_hint` for the named job: the template's
+    /// per-instance emitted records divided by its input records, both
+    /// evaluated at a generic-position reference environment. Replaces the
+    /// hand-maintained hints drivers used to carry (which drifted);
+    /// [`crate::job::JobSpec::with_map_emit_hint`] stays as an override.
+    ///
+    /// Input size comes from the template's `reads`: a driver-provided
+    /// dataset counts as `nnz` records (every external input in the
+    /// registered graphs is a view of the tensor), an intermediate counts
+    /// as its producer's total emitted records. Purely a performance hint
+    /// — a misprediction cannot change results or metrics.
+    pub fn emit_hint(&self, name: &str) -> Option<usize> {
+        let t = self.template_for(name)?;
+        let env = Env {
+            nnz: 1_000_000,
+            dim_i: 10,
+            dim_j: 10,
+            dim_k: 10,
+            rank_q: 2,
+            rank_r: 3,
+            machines: 4,
+            faults: 1,
+        };
+        let input_records: u128 = t
+            .reads
+            .iter()
+            .map(|r| match self.producer_job(r) {
+                Some(p) => p.count.eval(&env).saturating_mul(p.records.eval(&env)),
+                None => env.nnz as u128,
+            })
+            .sum();
+        if input_records == 0 {
+            return Some(1);
+        }
+        let ratio = t.records.eval(&env) as f64 / input_records as f64;
+        Some((ratio.round() as usize).max(1))
+    }
+
+    /// Derived depth: the longest read-after-write chain through the
+    /// template list, counting one job per link — what the paper's "number
+    /// of jobs" column becomes once independent jobs run concurrently.
+    /// Instances of a single template never feed each other (each writes
+    /// its own column/shard of the template's output datasets), so a
+    /// template contributes depth 1 regardless of its `count`; the depth
+    /// of every registered graph is therefore a constant expression.
+    pub fn critical_path_jobs(&self) -> SymExpr {
+        let mut depth = vec![0u64; self.jobs.len()];
+        for i in 0..self.jobs.len() {
+            let mut longest_pred = 0;
+            for (k, d) in depth.iter().enumerate().take(i) {
+                let feeds = self.jobs[k]
+                    .writes
+                    .iter()
+                    .any(|w| self.jobs[i].reads.contains(w));
+                if feeds {
+                    longest_pred = longest_pred.max(*d);
+                }
+            }
+            depth[i] = longest_pred + 1;
+        }
+        SymExpr::Const(depth.into_iter().max().unwrap_or(0))
+    }
+
     /// Instantiate every template under `env`, in template order. A
     /// template whose `count` evaluates to more than 1 must carry a `{}`
     /// placeholder in its name.
@@ -584,6 +656,24 @@ impl JobGraph {
             }
         }
         out
+    }
+}
+
+/// Does `template` (possibly containing one `{}` placeholder) match the
+/// concrete job name? The placeholder must stand for a non-empty run of
+/// digits, mirroring how [`JobGraph::expand`] instantiates names.
+pub fn template_matches(template: &str, name: &str) -> bool {
+    match template.split_once("{}") {
+        None => template == name,
+        Some((prefix, suffix)) => {
+            let Some(rest) = name.strip_prefix(prefix) else {
+                return false;
+            };
+            let Some(mid) = rest.strip_suffix(suffix) else {
+                return false;
+            };
+            !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit())
+        }
     }
 }
 
@@ -664,6 +754,104 @@ mod tests {
         assert_eq!(inst[1].name, "stage-a1");
         assert_eq!(inst[2].name, "stage-b");
         assert_eq!(inst[2].records, 200);
+    }
+
+    #[test]
+    fn template_matching() {
+        assert!(template_matches("stage-a{}", "stage-a0"));
+        assert!(template_matches("stage-a{}", "stage-a17"));
+        assert!(!template_matches("stage-a{}", "stage-a"));
+        assert!(!template_matches("stage-a{}", "stage-aX"));
+        assert!(!template_matches("stage-a{}", "stage-b0"));
+        assert!(template_matches("solo", "solo"));
+        assert!(!template_matches("solo", "solo1"));
+        assert!(template_matches("had-{}-b", "had-3-b"));
+        assert!(!template_matches("had-{}-b", "had--b"));
+    }
+
+    #[test]
+    fn emit_hint_derives_from_cost_expressions() {
+        let g = JobGraph::new("demo", ["x"])
+            .big_input("x")
+            .output("y")
+            .job(
+                PlanJob::new("stage-a{}")
+                    .repeat(SymExpr::rank_q())
+                    .reads(["x"])
+                    .writes(["t"])
+                    // Emits 2 records per input record.
+                    .emits(
+                        SymExpr::c(2) * SymExpr::nnz(),
+                        SymExpr::c(20) * SymExpr::nnz(),
+                    ),
+            )
+            .job(PlanJob::new("stage-b").reads(["t"]).writes(["y"]).emits(
+                // Input is Q·2·nnz records; emits nnz → ratio well below 1,
+                // clamped to the minimum useful hint.
+                SymExpr::nnz(),
+                SymExpr::c(10) * SymExpr::nnz(),
+            ));
+        assert_eq!(g.emit_hint("stage-a0"), Some(2));
+        assert_eq!(g.emit_hint("stage-a1"), Some(2));
+        assert_eq!(g.emit_hint("stage-b"), Some(1));
+        assert_eq!(g.emit_hint("unknown"), None);
+    }
+
+    #[test]
+    fn critical_path_counts_longest_chain() {
+        // a{} (x→t) and c (x→u) are independent; b reads both → depth 2.
+        let g = JobGraph::new("demo", ["x"])
+            .job(
+                PlanJob::new("a{}")
+                    .repeat(SymExpr::rank_q())
+                    .reads(["x"])
+                    .writes(["t"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("c")
+                    .reads(["x"])
+                    .writes(["u"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("b")
+                    .reads(["t", "u"])
+                    .writes(["y"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            );
+        assert_eq!(g.critical_path_jobs(), SymExpr::Const(2));
+        // A 4-deep chain.
+        let chain = JobGraph::new("chain", ["x"])
+            .job(
+                PlanJob::new("p1")
+                    .reads(["x"])
+                    .writes(["d1"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("p2")
+                    .reads(["d1"])
+                    .writes(["d2"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("p3")
+                    .reads(["d2"])
+                    .writes(["d3"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("p4")
+                    .reads(["d3"])
+                    .writes(["y"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            );
+        assert_eq!(chain.critical_path_jobs(), SymExpr::Const(4));
+        assert_eq!(
+            JobGraph::new("empty", ["x"]).critical_path_jobs(),
+            SymExpr::Const(0)
+        );
     }
 
     #[test]

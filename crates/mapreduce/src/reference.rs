@@ -43,6 +43,7 @@ where
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
     let started = Instant::now();
+    let started_s = cluster.since_epoch();
     let cfg = cluster.config();
     let num_reducers = cfg.num_reducers();
     let num_map_tasks = cfg.machines.max(1);
@@ -191,6 +192,8 @@ where
     }
 
     metrics.wall_time_s = started.elapsed().as_secs_f64();
+    metrics.started_s = started_s;
+    metrics.finished_s = started_s + metrics.wall_time_s;
     metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
     cluster.record(metrics);
     Ok(output)

@@ -1,0 +1,932 @@
+//! DAG-aware inter-job scheduler: run independent jobs of a batch
+//! concurrently on the shared worker pool.
+//!
+//! HaTen2's cost model counts *jobs* because Hadoop's JobTracker admits
+//! them one at a time — but the Naive/DNN/DRN variants issue `Q+R`
+//! (Tucker) and `2R`/`4R` (PARAFAC) per-column jobs per sweep that are
+//! mutually independent. A [`Batch`] lets a pipeline submit those jobs
+//! with declared dataset read/write sets; [`Batch::run`] builds the
+//! dependency DAG, validates it against the pipeline's static
+//! [`JobGraph`], and dispatches any job whose inputs are available onto
+//! the cluster's shared [`crate::pool::WorkerPool`], interleaving map and
+//! reduce tasks from concurrent jobs. The paper's "number of jobs" column
+//! becomes a *critical-path depth* ([`JobGraph::critical_path_jobs`]).
+//!
+//! **Determinism contract.** Outputs, DFS contents, and every
+//! [`JobMetrics`]/[`crate::metrics::RunMetrics`] counter are bit-identical
+//! to sequential execution:
+//!
+//! * jobs *commit* (record metrics, surface errors) strictly in
+//!   submission order, regardless of completion order;
+//! * each job's fault schedule is keyed by its submission index
+//!   (`jobs already recorded + position in batch`), the exact index a
+//!   sequential driver would have produced, so [`crate::fault::FaultPlan`]
+//!   replay is unaffected by concurrency;
+//! * a failed job's dependents never run; jobs *after* the first
+//!   (submission-order) failure are discarded uncommitted, so the batch
+//!   records exactly the jobs a sequential driver would have recorded
+//!   before aborting.
+//!
+//! [`crate::cluster::SchedulerMode::Sequential`] executes the same batch
+//! strictly in submission order — the oracle the equivalence property
+//! tests (`tests/equivalence.rs`, `tests/faults.rs`) hold the DAG mode
+//! to, alongside the per-job [`crate::reference::run_job_reference`].
+//!
+//! **Dataset naming.** Reads/writes are plain dataset names, optionally
+//! sharded as `base#shard` (e.g. the per-column `t#3`). Two declarations
+//! conflict when their bases match and either side is unsharded or both
+//! name the same shard — so per-column writers `t#0`, `t#1`, … are
+//! mutually independent while a reader of `t` depends on all of them.
+//!
+//! **Liveness.** Scheduler workers never block: each loops popping ready
+//! jobs and exits when the queue is momentarily empty; the worker that
+//! completes a job enqueues (and can itself execute) newly-ready
+//! dependents. Blocking here would deadlock — a pool worker waiting on a
+//! condition variable inside a help-first [`crate::pool::WorkerPool`]
+//! broadcast could be *nested inside* another job's map-phase wait. The
+//! trade-off is that a worker finding the queue empty retires early, so
+//! late-ready jobs run on however many workers are still looping — at
+//! least one per dependency chain, which is exactly the width of the
+//! registered pipelines' DAGs.
+
+use crate::cluster::{Cluster, SchedulerMode};
+use crate::job::JobSite;
+use crate::metrics::{BatchReport, JobMetrics, RunMetrics};
+use crate::plan::JobGraph;
+use crate::MrError;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A submitted job's future output. Cheap to clone; downstream jobs
+/// capture clones and read them through [`JobCtx::get`], the driver takes
+/// the final value with [`JobHandle::take`] after [`Batch::run`].
+pub struct JobHandle<T> {
+    idx: usize,
+    name: String,
+    slot: Arc<OnceLock<T>>,
+}
+
+impl<T> Clone for JobHandle<T> {
+    fn clone(&self) -> Self {
+        JobHandle {
+            idx: self.idx,
+            name: self.name.clone(),
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+impl<T> JobHandle<T> {
+    /// The job's submission-order output, once [`Batch::run`] returned
+    /// successfully. Requires this to be the last live clone of the
+    /// handle (clones captured by downstream job closures are dropped
+    /// when the batch finishes).
+    pub fn take(self) -> crate::Result<T> {
+        let name = self.name;
+        let slot = Arc::try_unwrap(self.slot).map_err(|_| MrError::PlanViolation {
+            job: name.clone(),
+            detail: "output handle still shared; take() needs the last clone".to_string(),
+        })?;
+        slot.into_inner().ok_or(MrError::PlanViolation {
+            job: name,
+            detail: "output taken before the batch ran the job".to_string(),
+        })
+    }
+}
+
+/// Execution context handed to a submitted job's closure: the
+/// [`JobSite`] its `run_job` call runs against, plus typed access to the
+/// outputs of its declared dependencies.
+pub struct JobCtx<'c> {
+    cluster: &'c Cluster,
+    graph: Option<&'c JobGraph>,
+    job_index: usize,
+    name: &'c str,
+    ran: &'c AtomicBool,
+    metrics: &'c OnceLock<JobMetrics>,
+    preds: &'c [usize],
+}
+
+impl JobCtx<'_> {
+    /// The output of a dependency, available because every declared
+    /// dependency committed before this job was dispatched. Accessing a
+    /// handle whose job is *not* a declared dependency (no read/write
+    /// overlap) is a [`MrError::PlanViolation`]: the scheduler would be
+    /// free to run that job concurrently or later.
+    pub fn get<'h, T>(&self, handle: &'h JobHandle<T>) -> crate::Result<&'h T> {
+        if !self.preds.contains(&handle.idx) {
+            return Err(MrError::PlanViolation {
+                job: self.name.to_string(),
+                detail: format!(
+                    "read output of '{}' without a declared dataset dependency",
+                    handle.name
+                ),
+            });
+        }
+        handle.slot.get().ok_or_else(|| MrError::PlanViolation {
+            job: self.name.to_string(),
+            detail: format!("dependency '{}' has no output yet", handle.name),
+        })
+    }
+}
+
+impl JobSite for JobCtx<'_> {
+    fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    fn job_index(&self) -> usize {
+        self.job_index
+    }
+
+    fn derived_emit_hint(&self, name: &str) -> Option<usize> {
+        self.graph.and_then(|g| g.emit_hint(name))
+    }
+
+    fn before_run(&self, name: &str) -> crate::Result<()> {
+        if name != self.name {
+            return Err(MrError::PlanViolation {
+                job: name.to_string(),
+                detail: format!("submitted as '{}' but ran as '{name}'", self.name),
+            });
+        }
+        if self.ran.swap(true, Ordering::SeqCst) {
+            return Err(MrError::PlanViolation {
+                job: name.to_string(),
+                detail: "submitted job ran more than one MapReduce job".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn commit_metrics(&self, metrics: JobMetrics) {
+        // Stash for submission-order commit; `before_run` guarantees at
+        // most one set per job.
+        let _ = self.metrics.set(metrics);
+    }
+}
+
+type JobFn<'a> = Box<dyn FnOnce(&JobCtx<'_>) -> crate::Result<()> + Send + 'a>;
+
+struct Submitted<'a> {
+    name: String,
+    reads: Vec<String>,
+    writes: Vec<String>,
+    run: Mutex<Option<JobFn<'a>>>,
+}
+
+/// Outcome of one submitted job, written exactly once by the worker that
+/// resolved it.
+enum Status {
+    Done,
+    Failed(MrError),
+    Skipped,
+}
+
+/// What [`Batch::run`] returns on success.
+#[derive(Debug, Clone)]
+pub struct BatchResults {
+    report: BatchReport,
+}
+
+impl BatchResults {
+    /// Concurrency accounting for the batch (also recorded on the
+    /// cluster, see [`Cluster::batch_reports`]).
+    pub fn report(&self) -> &BatchReport {
+        &self.report
+    }
+}
+
+/// A batch of jobs with declared dataset read/write sets, executed by
+/// [`Batch::run`] according to the cluster's
+/// [`SchedulerMode`](crate::cluster::SchedulerMode).
+///
+/// ```
+/// use haten2_mapreduce::{run_job, Batch, Cluster, ClusterConfig, JobSpec};
+///
+/// let cluster = Cluster::new(ClusterConfig::with_machines(2));
+/// let input = vec![(0u64, 2.0f64), (1, 3.0)];
+/// let mut batch = Batch::new();
+/// // Two independent scale jobs (they could run concurrently)…
+/// let doubled = batch.submit("double", vec!["x".into()], vec!["d".into()], {
+///     let input = &input;
+///     move |ctx| {
+///         run_job(
+///             ctx,
+///             JobSpec::named("double"),
+///             input,
+///             |k, v: &f64, emit| emit(*k, v * 2.0),
+///             |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
+///         )
+///     }
+/// });
+/// // …and a dependent sum reading the first job's output.
+/// let total = batch.submit("sum", vec!["d".into()], vec!["s".into()], {
+///     let doubled = doubled.clone();
+///     move |ctx| {
+///         let d: &Vec<(u64, f64)> = ctx.get(&doubled)?;
+///         run_job(
+///             ctx,
+///             JobSpec::named("sum"),
+///             d,
+///             |_, v: &f64, emit| emit(0u64, *v),
+///             |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
+///         )
+///     }
+/// });
+/// let results = batch.run(&cluster).unwrap();
+/// assert_eq!(results.report().jobs, 2);
+/// let total: Vec<(u64, f64)> = total.take().unwrap();
+/// assert_eq!(total, vec![(0, 10.0)]);
+/// assert_eq!(cluster.metrics().jobs[0].name, "double"); // submission order
+/// ```
+pub struct Batch<'a> {
+    graph: Option<&'a JobGraph>,
+    jobs: Vec<Submitted<'a>>,
+}
+
+impl Default for Batch<'_> {
+    fn default() -> Self {
+        Batch::new()
+    }
+}
+
+impl<'a> Batch<'a> {
+    /// An unvalidated batch (for pipelines without a registered
+    /// [`JobGraph`], e.g. the generic n-way driver).
+    pub fn new() -> Self {
+        Batch {
+            graph: None,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// A batch validated against `graph` at [`Batch::run`]: every
+    /// submitted job must instantiate one of the graph's templates, with
+    /// declared reads/writes matching the template's (shard suffixes
+    /// `#…` stripped). The graph also supplies derived
+    /// `map_emit_hint`s ([`JobGraph::emit_hint`]).
+    pub fn with_graph(graph: &'a JobGraph) -> Self {
+        Batch {
+            graph: Some(graph),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Number of submitted jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Submit one job: its concrete name (checked against the `run_job`
+    /// spec it must issue exactly once), the datasets it reads and
+    /// writes (`base` or `base#shard`), and the closure that runs it
+    /// against the provided [`JobCtx`]. Submission order is the commit
+    /// order — and must match what a sequential driver would run, since
+    /// it keys the fault schedule.
+    pub fn submit<T, F>(
+        &mut self,
+        name: impl Into<String>,
+        reads: Vec<String>,
+        writes: Vec<String>,
+        f: F,
+    ) -> JobHandle<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&JobCtx<'_>) -> crate::Result<T> + Send + 'a,
+    {
+        let name = name.into();
+        let idx = self.jobs.len();
+        let slot: Arc<OnceLock<T>> = Arc::new(OnceLock::new());
+        let out = Arc::clone(&slot);
+        self.jobs.push(Submitted {
+            name: name.clone(),
+            reads,
+            writes,
+            run: Mutex::new(Some(Box::new(move |ctx| {
+                let value = f(ctx)?;
+                let _ = out.set(value);
+                Ok(())
+            }))),
+        });
+        JobHandle { idx, name, slot }
+    }
+
+    /// Declared-dataset dependency edges: for each job, the submission
+    /// indices of the earlier jobs it must wait for (read-after-write,
+    /// write-after-write, and write-after-read overlaps).
+    fn dependencies(&self) -> Vec<Vec<usize>> {
+        let n = self.jobs.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, j_preds) in preds.iter_mut().enumerate() {
+            for i in 0..j {
+                let a = &self.jobs[i];
+                let b = &self.jobs[j];
+                let raw = a
+                    .writes
+                    .iter()
+                    .any(|w| b.reads.iter().any(|r| datasets_overlap(w, r)));
+                let waw = a
+                    .writes
+                    .iter()
+                    .any(|w| b.writes.iter().any(|w2| datasets_overlap(w, w2)));
+                let war = a
+                    .reads
+                    .iter()
+                    .any(|r| b.writes.iter().any(|w| datasets_overlap(r, w)));
+                if raw || waw || war {
+                    j_preds.push(i);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Check every submitted job against the batch's [`JobGraph`].
+    fn validate(&self) -> crate::Result<()> {
+        let Some(graph) = self.graph else {
+            return Ok(());
+        };
+        for job in &self.jobs {
+            let Some(t) = graph.template_for(&job.name) else {
+                return Err(MrError::PlanViolation {
+                    job: job.name.clone(),
+                    detail: format!("no template in plan graph '{}' matches", graph.name),
+                });
+            };
+            let declared_reads = base_set(&job.reads);
+            let declared_writes = base_set(&job.writes);
+            if declared_reads != base_set(&t.reads) {
+                return Err(MrError::PlanViolation {
+                    job: job.name.clone(),
+                    detail: format!(
+                        "declared reads {declared_reads:?} but template '{}' reads {:?}",
+                        t.name, t.reads
+                    ),
+                });
+            }
+            if declared_writes != base_set(&t.writes) {
+                return Err(MrError::PlanViolation {
+                    job: job.name.clone(),
+                    detail: format!(
+                        "declared writes {declared_writes:?} but template '{}' writes {:?}",
+                        t.name, t.writes
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the batch on `cluster` per its configured
+    /// [`SchedulerMode`](crate::cluster::SchedulerMode). On success every
+    /// job's metrics are recorded in submission order and a
+    /// [`BatchReport`] is pushed; on failure the error of the
+    /// (submission-order) first failed job is returned, with exactly the
+    /// jobs before it recorded — bit-identical to a sequential driver.
+    pub fn run(self, cluster: &Cluster) -> crate::Result<BatchResults> {
+        self.validate()?;
+        let n = self.jobs.len();
+        if n == 0 {
+            return Ok(BatchResults {
+                report: BatchReport::default(),
+            });
+        }
+        let preds = self.dependencies();
+        let base = cluster.jobs_run();
+        let ran: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let metrics: Vec<OnceLock<JobMetrics>> = (0..n).map(|_| OnceLock::new()).collect();
+        let graph = self.graph;
+        let jobs = &self.jobs;
+
+        let ctx_for = |j: usize| JobCtx {
+            cluster,
+            graph,
+            job_index: base + j,
+            name: &jobs[j].name,
+            ran: &ran[j],
+            metrics: &metrics[j],
+            preds: &preds[j],
+        };
+        // Run the job's closure and turn "returned Ok without running its
+        // declared job" into the violation it is.
+        let execute = |j: usize| -> Status {
+            let f = jobs[j]
+                .run
+                .lock()
+                .expect("job closure lock poisoned")
+                .take()
+                .expect("job dispatched once");
+            match f(&ctx_for(j)) {
+                Ok(()) if metrics[j].get().is_some() => Status::Done,
+                Ok(()) => Status::Failed(MrError::PlanViolation {
+                    job: jobs[j].name.clone(),
+                    detail: "submitted job finished without running its MapReduce job".to_string(),
+                }),
+                Err(e) => Status::Failed(e),
+            }
+        };
+
+        let statuses: Vec<OnceLock<Status>> = (0..n).map(|_| OnceLock::new()).collect();
+        match cluster.config().scheduler {
+            SchedulerMode::Sequential => {
+                // Strict submission order, abort at the first failure —
+                // exactly the pre-scheduler drivers' behaviour. Jobs after
+                // the failure never run.
+                for (j, slot) in statuses.iter().enumerate() {
+                    match execute(j) {
+                        Status::Done => {
+                            let _ = slot.set(Status::Done);
+                        }
+                        s => {
+                            let _ = slot.set(s);
+                            break;
+                        }
+                    }
+                }
+            }
+            SchedulerMode::Dag => {
+                self.run_dag(cluster, &preds, &statuses, &execute);
+            }
+        }
+
+        // ---- Commit, in submission order --------------------------------
+        // Dependency edges only point backwards, so a skipped job always
+        // follows its failed ancestor: the first non-Done status is a
+        // failure, and everything before it succeeded.
+        let mut committed = RunMetrics::default();
+        for j in 0..n {
+            match statuses[j].get() {
+                Some(Status::Done) => {
+                    let m = metrics[j].get().expect("done job stashed metrics").clone();
+                    cluster.record(m.clone());
+                    committed.push(m);
+                }
+                Some(Status::Failed(e)) => return Err(e.clone()),
+                Some(Status::Skipped) | None => unreachable!(
+                    "job {j} unresolved but no earlier job failed; dependency edges only point backwards"
+                ),
+            }
+        }
+        let report = batch_report(&committed, &preds, cluster.config().threads.max(1));
+        cluster.record_batch(report.clone());
+        Ok(BatchResults { report })
+    }
+
+    /// Ready-queue execution on the shared pool. Workers never block (see
+    /// the module docs' liveness argument): the worker completing a job
+    /// enqueues its newly-ready dependents and keeps looping, so every
+    /// chain retains an executor even after idle workers retire.
+    fn run_dag(
+        &self,
+        cluster: &Cluster,
+        preds: &[Vec<usize>],
+        statuses: &[OnceLock<Status>],
+        execute: &(dyn Fn(usize) -> Status + Sync),
+    ) {
+        let n = self.jobs.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs[p].push(j);
+            }
+        }
+        let remaining: Vec<AtomicUsize> = preds.iter().map(|p| AtomicUsize::new(p.len())).collect();
+        let poisoned: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let ready: Mutex<VecDeque<usize>> = Mutex::new(
+            (0..n)
+                .filter(|&j| preds[j].is_empty())
+                .collect::<VecDeque<_>>(),
+        );
+        let workers = cluster.config().threads.max(1).min(n);
+        cluster.pool().broadcast(workers, &|_executor| loop {
+            let next = ready.lock().expect("ready queue poisoned").pop_front();
+            let Some(j) = next else { break };
+            let status = if poisoned[j].load(Ordering::SeqCst) {
+                Status::Skipped
+            } else {
+                execute(j)
+            };
+            let ok = matches!(status, Status::Done);
+            let _ = statuses[j].set(status);
+            for &s in &succs[j] {
+                if !ok {
+                    poisoned[s].store(true, Ordering::SeqCst);
+                }
+                if remaining[s].fetch_sub(1, Ordering::SeqCst) == 1 {
+                    ready.lock().expect("ready queue poisoned").push_back(s);
+                }
+            }
+        });
+    }
+}
+
+/// Shard-aware dataset overlap: same base, and either side unsharded or
+/// the same shard.
+fn datasets_overlap(a: &str, b: &str) -> bool {
+    let (base_a, shard_a) = split_shard(a);
+    let (base_b, shard_b) = split_shard(b);
+    base_a == base_b
+        && match (shard_a, shard_b) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        }
+}
+
+fn split_shard(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('#') {
+        Some((base, shard)) => (base, Some(shard)),
+        None => (name, None),
+    }
+}
+
+/// Shard-stripped, deduplicated, sorted dataset names.
+fn base_set(names: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = names.iter().map(|n| split_shard(n).0.to_string()).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Concurrency accounting over the committed jobs of one batch.
+fn batch_report(committed: &RunMetrics, preds: &[Vec<usize>], slots: usize) -> BatchReport {
+    let n = committed.jobs.len();
+    // Longest dependency chain, in jobs and in host seconds.
+    let mut depth = vec![0usize; n];
+    let mut path_s = vec![0.0f64; n];
+    for j in 0..n {
+        let mut best_depth = 0;
+        let mut best_s = 0.0f64;
+        for &p in &preds[j] {
+            best_depth = best_depth.max(depth[p]);
+            best_s = best_s.max(path_s[p]);
+        }
+        depth[j] = best_depth + 1;
+        path_s[j] = best_s + committed.jobs[j].wall_time_s;
+    }
+    BatchReport {
+        jobs: n,
+        critical_path_len: depth.iter().copied().max().unwrap_or(0),
+        critical_path_s: path_s.iter().copied().fold(0.0, f64::max),
+        wall_s: committed.wall_s(),
+        busy_s: committed.busy_s(),
+        peak_concurrency: committed.peak_concurrency(),
+        sim_sequential_s: committed.jobs.iter().map(|j| j.sim_time_s).sum(),
+        sim_makespan_s: sim_makespan(committed, preds, slots),
+    }
+}
+
+/// Simulated makespan of the batch on `slots` job slots: jobs are
+/// list-scheduled in submission order without backfilling — each starts
+/// at the later of its dependencies' simulated finishes and the earliest
+/// slot becoming free, and occupies that slot for its `sim_time_s`.
+/// Submission order is topological (dependency edges only point
+/// backwards), so a single pass suffices. Purely a function of committed
+/// metrics and the dependency DAG: bit-identical across scheduler modes.
+fn sim_makespan(committed: &RunMetrics, preds: &[Vec<usize>], slots: usize) -> f64 {
+    let n = committed.jobs.len();
+    let mut finish = vec![0.0f64; n];
+    let mut slot_free = vec![0.0f64; slots.max(1)];
+    for j in 0..n {
+        let ready = preds[j].iter().map(|&p| finish[p]).fold(0.0, f64::max);
+        let (slot, free) = slot_free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0, 0.0));
+        let start = ready.max(free);
+        finish[j] = start + committed.jobs[j].sim_time_s;
+        slot_free[slot] = finish[j];
+    }
+    finish.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::job::{run_job, JobSpec};
+    use crate::plan::{PlanJob, SymExpr};
+
+    fn cluster(mode: SchedulerMode) -> Cluster {
+        let mut cfg = ClusterConfig::with_machines(2);
+        cfg.scheduler = mode;
+        cfg.threads = 4;
+        Cluster::new(cfg)
+    }
+
+    fn scale_job(
+        ctx: &JobCtx<'_>,
+        name: &str,
+        input: &[(u64, f64)],
+        factor: f64,
+    ) -> crate::Result<Vec<(u64, f64)>> {
+        run_job(
+            ctx,
+            JobSpec::named(name),
+            input,
+            move |k, v: &f64, emit| emit(*k, v * factor),
+            |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
+        )
+    }
+
+    fn submit_chain<'a>(
+        batch: &mut Batch<'a>,
+        input: &'a [(u64, f64)],
+        col: usize,
+    ) -> JobHandle<Vec<(u64, f64)>> {
+        let first = batch.submit(
+            format!("scale{col}"),
+            vec!["x".into()],
+            vec![format!("t#{col}")],
+            move |ctx| scale_job(ctx, &format!("scale{col}"), input, 2.0),
+        );
+        let chained = first.clone();
+        batch.submit(
+            format!("rescale{col}"),
+            vec![format!("t#{col}")],
+            vec![format!("y#{col}")],
+            move |ctx| {
+                let t = ctx.get(&chained)?;
+                scale_job(ctx, &format!("rescale{col}"), t, 10.0)
+            },
+        )
+    }
+
+    #[test]
+    fn dag_and_sequential_are_bit_identical() {
+        let input: Vec<(u64, f64)> = (0..64).map(|i| (i, i as f64)).collect();
+        type ModeOutcome = (Vec<Vec<(u64, f64)>>, RunMetrics);
+        let mut all: Vec<ModeOutcome> = Vec::new();
+        let mut sims: Vec<(f64, f64)> = Vec::new();
+        for mode in [SchedulerMode::Sequential, SchedulerMode::Dag] {
+            let c = cluster(mode);
+            let mut batch = Batch::new();
+            let handles: Vec<_> = (0..3)
+                .map(|col| submit_chain(&mut batch, &input, col))
+                .collect();
+            let results = batch.run(&c).unwrap();
+            assert_eq!(results.report().jobs, 6);
+            assert_eq!(results.report().critical_path_len, 2);
+            // The simulated schedule is a model quantity: positive, never
+            // worse than one-job-at-a-time, and identical across modes.
+            assert!(results.report().sim_makespan_s > 0.0);
+            assert!(results.report().sim_makespan_s <= results.report().sim_sequential_s + 1e-12);
+            sims.push((
+                results.report().sim_sequential_s,
+                results.report().sim_makespan_s,
+            ));
+            let outs: Vec<Vec<(u64, f64)>> =
+                handles.into_iter().map(|h| h.take().unwrap()).collect();
+            let mut m = c.metrics();
+            for j in &mut m.jobs {
+                j.wall_time_s = 0.0;
+                j.started_s = 0.0;
+                j.finished_s = 0.0;
+                j.sim_time_s = 0.0;
+            }
+            all.push((outs, m));
+        }
+        assert_eq!(all[0].0, all[1].0, "outputs differ across modes");
+        assert_eq!(all[0].1, all[1].1, "metrics differ across modes");
+        assert_eq!(sims[0], sims[1], "simulated schedule differs across modes");
+        // Commit order is submission order in both modes.
+        let names: Vec<&str> = all[1].1.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["scale0", "rescale0", "scale1", "rescale1", "scale2", "rescale2"]
+        );
+    }
+
+    #[test]
+    fn undeclared_dependency_access_is_a_plan_violation() {
+        let input = vec![(0u64, 1.0f64)];
+        let c = cluster(SchedulerMode::Sequential);
+        let mut batch = Batch::new();
+        let a = batch.submit("a", vec!["x".into()], vec!["t".into()], {
+            let input = &input;
+            move |ctx| scale_job(ctx, "a", input, 2.0)
+        });
+        // "b" reads dataset "u", not "t": accessing a's output is illegal
+        // even though sequential execution happens to have it available.
+        let stolen = a.clone();
+        let b = batch.submit("b", vec!["u".into()], vec!["v".into()], move |ctx| {
+            let t = ctx.get(&stolen)?;
+            scale_job(ctx, "b", t, 1.0)
+        });
+        let err = batch.run(&c).unwrap_err();
+        assert!(
+            matches!(&err, MrError::PlanViolation { job, .. } if job == "b"),
+            "{err}"
+        );
+        drop(b);
+        // Job "a" committed before the failure surfaced.
+        assert_eq!(c.jobs_run(), 1);
+    }
+
+    #[test]
+    fn name_mismatch_and_double_run_are_plan_violations() {
+        let input = vec![(0u64, 1.0f64)];
+        let c = cluster(SchedulerMode::Dag);
+        let mut batch = Batch::new();
+        let _ = batch.submit("declared", vec!["x".into()], vec!["t".into()], {
+            let input = &input;
+            move |ctx| scale_job(ctx, "other", input, 2.0)
+        });
+        let err = batch.run(&c).unwrap_err();
+        assert!(matches!(err, MrError::PlanViolation { .. }), "{err}");
+
+        let mut batch = Batch::new();
+        let _ = batch.submit("twice", vec!["x".into()], vec!["t".into()], {
+            let input = &input;
+            move |ctx| {
+                scale_job(ctx, "twice", input, 2.0)?;
+                scale_job(ctx, "twice", input, 2.0)
+            }
+        });
+        let err = batch.run(&c).unwrap_err();
+        assert!(matches!(err, MrError::PlanViolation { .. }), "{err}");
+
+        let mut batch = Batch::new();
+        let _: JobHandle<()> = batch.submit("lazy", vec!["x".into()], vec!["t".into()], |_| Ok(()));
+        let err = batch.run(&c).unwrap_err();
+        assert!(
+            matches!(&err, MrError::PlanViolation { detail, .. }
+                if detail.contains("without running")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn failure_skips_dependents_and_commits_prefix() {
+        let input = vec![(0u64, 1.0f64)];
+        for mode in [SchedulerMode::Sequential, SchedulerMode::Dag] {
+            let c = cluster(mode);
+            let mut batch = Batch::new();
+            let _ = batch.submit("ok0", vec!["x".into()], vec!["a".into()], {
+                let input = &input;
+                move |ctx| scale_job(ctx, "ok0", input, 2.0)
+            });
+            let _: JobHandle<Vec<(u64, f64)>> =
+                batch.submit("boom", vec!["x".into()], vec!["b".into()], move |_| {
+                    Err(MrError::DatasetMissing {
+                        job: "boom".to_string(),
+                        dataset: "x".to_string(),
+                    })
+                });
+            let _: JobHandle<()> = batch.submit("after", vec!["b".into()], vec!["c".into()], {
+                move |_| panic!("dependent of a failed job must never run")
+            });
+            let err = batch.run(&c).unwrap_err();
+            assert!(matches!(err, MrError::DatasetMissing { .. }), "{err}");
+            assert_eq!(c.jobs_run(), 1, "mode {mode:?}: prefix commit");
+            assert!(c.batch_reports().is_empty(), "no report for failed batch");
+        }
+    }
+
+    #[test]
+    fn graph_validation_rejects_wrong_wiring() {
+        let graph = JobGraph::new("demo", ["x"])
+            .job(
+                PlanJob::new("stage-a{}")
+                    .repeat(SymExpr::rank_q())
+                    .reads(["x"])
+                    .writes(["t"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("stage-b")
+                    .reads(["t"])
+                    .writes(["y"])
+                    .emits(SymExpr::nnz(), SymExpr::nnz()),
+            );
+        let input = vec![(0u64, 1.0f64)];
+        let c = cluster(SchedulerMode::Dag);
+
+        // Unknown name.
+        let mut batch = Batch::with_graph(&graph);
+        let _ = batch.submit("mystery", vec!["x".into()], vec!["t".into()], {
+            let input = &input;
+            move |ctx| scale_job(ctx, "mystery", input, 2.0)
+        });
+        let err = batch.run(&c).unwrap_err();
+        assert!(
+            matches!(&err, MrError::PlanViolation { detail, .. } if detail.contains("template")),
+            "{err}"
+        );
+
+        // Wrong reads.
+        let mut batch = Batch::with_graph(&graph);
+        let _ = batch.submit("stage-b", vec!["x".into()], vec!["y".into()], {
+            let input = &input;
+            move |ctx| scale_job(ctx, "stage-b", input, 2.0)
+        });
+        let err = batch.run(&c).unwrap_err();
+        assert!(
+            matches!(&err, MrError::PlanViolation { detail, .. } if detail.contains("reads")),
+            "{err}"
+        );
+        // Validation precedes execution: nothing ran or committed.
+        assert_eq!(c.jobs_run(), 0);
+
+        // Correct wiring passes, sharded writes included.
+        let mut batch = Batch::with_graph(&graph);
+        let handles: Vec<_> = (0..2)
+            .map(|q| {
+                batch.submit(
+                    format!("stage-a{q}"),
+                    vec!["x".into()],
+                    vec![format!("t#{q}")],
+                    {
+                        let input = &input;
+                        move |ctx| scale_job(ctx, &format!("stage-a{q}"), input, 2.0)
+                    },
+                )
+            })
+            .collect();
+        let merged = handles.clone();
+        let _ = batch.submit("stage-b", vec!["t".into()], vec!["y".into()], move |ctx| {
+            let mut t: Vec<(u64, f64)> = Vec::new();
+            for h in &merged {
+                t.extend(ctx.get(h)?.iter().copied());
+            }
+            scale_job(ctx, "stage-b", &t, 1.0)
+        });
+        let results = batch.run(&c).unwrap();
+        assert_eq!(results.report().jobs, 3);
+        assert_eq!(results.report().critical_path_len, 2);
+        assert!(results.report().peak_concurrency >= 1);
+        assert_eq!(c.batch_reports().len(), 1);
+        drop(handles);
+    }
+
+    #[test]
+    fn derived_emit_hint_fills_in_from_graph() {
+        // stage-a emits 2 records per input record; the scheduler derives
+        // the hint from the graph so the driver does not hand-maintain it.
+        let graph = JobGraph::new("demo", ["x"]).job(
+            PlanJob::new("stage-a")
+                .reads(["x"])
+                .writes(["t"])
+                .emits(SymExpr::c(2) * SymExpr::nnz(), SymExpr::nnz()),
+        );
+        assert_eq!(graph.emit_hint("stage-a"), Some(2));
+        let input = vec![(0u64, 1.0f64), (1, 2.0)];
+        let c = cluster(SchedulerMode::Dag);
+        let mut batch = Batch::with_graph(&graph);
+        let h = batch.submit("stage-a", vec!["x".into()], vec!["t".into()], {
+            let input = &input;
+            move |ctx| {
+                run_job(
+                    ctx,
+                    JobSpec::named("stage-a"),
+                    input,
+                    |k, v: &f64, emit| {
+                        emit(*k, *v);
+                        emit(*k + 100, *v);
+                    },
+                    |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
+                )
+            }
+        });
+        batch.run(&c).unwrap();
+        assert_eq!(h.take().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let c = cluster(SchedulerMode::Dag);
+        let results = Batch::new().run(&c).unwrap();
+        assert_eq!(results.report().jobs, 0);
+        assert_eq!(c.jobs_run(), 0);
+    }
+
+    #[test]
+    fn overlap_rules() {
+        assert!(datasets_overlap("t", "t"));
+        assert!(datasets_overlap("t", "t#3"));
+        assert!(datasets_overlap("t#3", "t"));
+        assert!(datasets_overlap("t#3", "t#3"));
+        assert!(!datasets_overlap("t#3", "t#4"));
+        assert!(!datasets_overlap("t", "u"));
+        assert!(!datasets_overlap("t#1", "u#1"));
+    }
+
+    #[test]
+    fn take_before_run_or_while_shared_is_an_error() {
+        let mut batch: Batch<'_> = Batch::new();
+        let h: JobHandle<Vec<(u64, f64)>> =
+            batch.submit("a", vec!["x".into()], vec!["t".into()], |_| Ok(Vec::new()));
+        let kept = h.clone();
+        assert!(matches!(h.take(), Err(MrError::PlanViolation { .. })));
+        drop(batch);
+        assert!(matches!(kept.take(), Err(MrError::PlanViolation { .. })));
+    }
+}

@@ -73,7 +73,10 @@ fn run_both(cfg: ClusterConfig, input: &[(u64, Vec<u64>)], with_combiner: bool) 
 
     let take_metrics = |c: &Cluster| {
         let mut m = c.metrics().jobs.first().cloned().unwrap_or_default();
-        m.wall_time_s = 0.0; // host time: the one field allowed to differ
+        // Host-time fields: the only ones allowed to differ.
+        m.wall_time_s = 0.0;
+        m.started_s = 0.0;
+        m.finished_s = 0.0;
         m
     };
     (

@@ -1,6 +1,6 @@
-//! Fault-injection properties.
+//! Fault-injection and scheduler-equivalence properties.
 //!
-//! Three layers of guarantees:
+//! Four layers of guarantees:
 //!
 //! 1. **Executor equivalence under faults** — for random [`FaultPlan`]s
 //!    (including exhausting ones), the pooled engine and the sequential
@@ -12,11 +12,17 @@
 //!    decompositions (PARAFAC and Tucker) produce bit-identical factors
 //!    under a seeded fault schedule, and exhausted budgets surface the
 //!    typed [`MrError::TaskFailed`] naming the failing task.
+//! 4. **Scheduler equivalence** — concurrent (DAG) execution of all eight
+//!    Tucker/PARAFAC pipelines is bit-identical to sequential scheduling:
+//!    same outputs (or same typed error), same per-job metrics with the
+//!    host-time fields zeroed, and same batch structure — including under
+//!    randomized [`FaultPlan`] schedules, because fault schedules are
+//!    keyed by submission index rather than completion order.
 
 use haten2_core::{parafac_als, tucker_als, AlsOptions, Variant};
 use haten2_mapreduce::{
     run_job, run_job_reference, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec, MrError,
-    RetryPolicy,
+    RetryPolicy, SchedulerMode,
 };
 use haten2_tensor::{CooTensor3, Entry3};
 use proptest::collection::vec;
@@ -99,6 +105,8 @@ fn word_count(
     };
     let mut m = cluster.metrics().jobs.first().cloned().unwrap_or_default();
     m.wall_time_s = 0.0;
+    m.started_s = 0.0;
+    m.finished_s = 0.0;
     (out, m)
 }
 
@@ -219,6 +227,132 @@ fn parafac_dri_is_fault_transparent() {
         injected_any,
         "no seed injected anything — the property is vacuous"
     );
+}
+
+fn sched_cluster(mode: SchedulerMode, threads: usize, plan: Option<FaultPlan>) -> Cluster {
+    Cluster::new(ClusterConfig {
+        scheduler: mode,
+        threads,
+        fault_plan: plan,
+        ..ClusterConfig::with_machines(4)
+    })
+}
+
+/// Every committed job metric with the host-time fields zeroed — the only
+/// fields allowed to differ between scheduler modes (host scheduling
+/// decides them; every simulated counter must stay bit-identical).
+fn normalized_jobs(cluster: &Cluster) -> Vec<JobMetrics> {
+    cluster
+        .metrics()
+        .jobs
+        .into_iter()
+        .map(|mut m| {
+            m.wall_time_s = 0.0;
+            m.started_s = 0.0;
+            m.finished_s = 0.0;
+            m
+        })
+        .collect()
+}
+
+/// Batch structure (job count, measured critical-path length) per batch.
+/// The timing fields of a `BatchReport` are host-derived and excluded.
+fn batch_shapes(cluster: &Cluster) -> Vec<(usize, usize)> {
+    cluster
+        .batch_reports()
+        .into_iter()
+        .map(|r| (r.jobs, r.critical_path_len))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Concurrent (DAG) execution of all eight Tucker/PARAFAC pipelines
+    /// is bit-identical to sequential scheduling — outputs, per-job
+    /// metrics, and batch structure — including under randomized fault
+    /// schedules (which may exhaust budgets; then both modes must fail
+    /// with the same typed error after committing the same job prefix).
+    #[test]
+    fn dag_scheduling_is_bit_identical_to_sequential(
+        plan in proptest::option::of(fault_plan()),
+        threads in 2usize..8,
+    ) {
+        let x = small_tensor();
+        for variant in Variant::ALL {
+            let opts = AlsOptions {
+                max_iters: 2,
+                tol: 0.0,
+                ..AlsOptions::with_variant(variant)
+            };
+
+            let seq = sched_cluster(SchedulerMode::Sequential, threads, plan.clone());
+            let dag = sched_cluster(SchedulerMode::Dag, threads, plan.clone());
+            match (
+                parafac_als(&seq, &x, 2, &opts),
+                parafac_als(&dag, &x, 2, &opts),
+            ) {
+                (Ok(s), Ok(d)) => {
+                    prop_assert_eq!(s.lambda, d.lambda, "{}: lambda", variant.name());
+                    prop_assert_eq!(s.factors, d.factors, "{}: factors", variant.name());
+                    prop_assert_eq!(s.fits, d.fits, "{}: fits", variant.name());
+                }
+                (Err(s), Err(d)) => {
+                    prop_assert_eq!(s.to_string(), d.to_string(), "{}: errors", variant.name());
+                }
+                (s, d) => prop_assert!(
+                    false,
+                    "{}: one scheduler mode failed: seq {s:?} vs dag {d:?}",
+                    variant.name()
+                ),
+            }
+            prop_assert_eq!(
+                normalized_jobs(&seq),
+                normalized_jobs(&dag),
+                "parafac {}: committed metrics diverged",
+                variant.name()
+            );
+            prop_assert_eq!(
+                batch_shapes(&seq),
+                batch_shapes(&dag),
+                "parafac {}: batch structure diverged",
+                variant.name()
+            );
+
+            let seq = sched_cluster(SchedulerMode::Sequential, threads, plan.clone());
+            let dag = sched_cluster(SchedulerMode::Dag, threads, plan.clone());
+            match (
+                tucker_als(&seq, &x, [2, 2, 2], &opts),
+                tucker_als(&dag, &x, [2, 2, 2], &opts),
+            ) {
+                (Ok(s), Ok(d)) => {
+                    prop_assert_eq!(s.factors, d.factors, "{}: factors", variant.name());
+                    prop_assert_eq!(s.core, d.core, "{}: core", variant.name());
+                    prop_assert_eq!(s.core_norms, d.core_norms, "{}: core norms", variant.name());
+                }
+                (Err(s), Err(d)) => {
+                    prop_assert_eq!(s.to_string(), d.to_string(), "{}: errors", variant.name());
+                }
+                (s, d) => prop_assert!(
+                    false,
+                    "{}: one scheduler mode failed: seq {s:?} vs dag {d:?}",
+                    variant.name()
+                ),
+            }
+            prop_assert_eq!(
+                normalized_jobs(&seq),
+                normalized_jobs(&dag),
+                "tucker {}: committed metrics diverged",
+                variant.name()
+            );
+            prop_assert_eq!(
+                batch_shapes(&seq),
+                batch_shapes(&dag),
+                "tucker {}: batch structure diverged",
+                variant.name()
+            );
+        }
+    }
 }
 
 /// Tucker-DRI under seeded fault schedules is bit-identical to the

@@ -1,0 +1,7 @@
+//! Known-bad fixture: a driver bypassing the DAG scheduler and running a
+//! DFS-backed job directly. Must trip `no-direct-run-job-dfs` exactly
+//! once.
+
+pub fn bad(cluster: &Cluster, dfs: &Dfs, input: &str) -> Result<usize> {
+    run_job_dfs(cluster, dfs, JobSpec::named("rogue"), input, "out", mapper, reducer)
+}

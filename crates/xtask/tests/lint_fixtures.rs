@@ -20,6 +20,7 @@ const LINT_FIXTURES: &[(&str, &str)] = &[
     ("no_default_hasher.rs", "no-default-hasher"),
     ("no_unwrap.rs", "no-unwrap"),
     ("no_debug_macros.rs", "no-debug-macros"),
+    ("no_direct_run_job_dfs.rs", "no-direct-run-job-dfs"),
     ("shared_backoff.rs", "shared-backoff"),
     ("undocumented_unsafe.rs", "undocumented-unsafe"),
 ];

@@ -19,6 +19,9 @@ cargo fmt --check
 echo "==> haten2-chaos smoke (fault-transparency + static/dynamic cross-validation)"
 cargo run -p haten2-chaos --release --bin haten2-chaos -- --seeds 2 --seed-base 7
 
+echo "==> dag_speedup smoke (scheduler equivalence + 2x simulated speedup on the Naive-Tucker sweep)"
+cargo run -p haten2-bench --release --bin haten2-engine-bench -- --dag-smoke
+
 echo "==> cargo xtask analyze (lint, paper table + ANALYSIS.md staleness gate, reject demo, determinism, JSON smoke)"
 cargo xtask analyze
 

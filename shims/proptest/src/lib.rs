@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub mod collection;
+pub mod option;
 pub mod strategy;
 
 pub use strategy::{any, Any, FlatMap, Just, Map, Strategy};

@@ -1,0 +1,45 @@
+//! Strategies for `Option<T>`, mirroring upstream's `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Weighted toward `Some` like upstream, while `None` still shows
+        // up often enough to exercise the degenerate case.
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Some(inner)` three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::__case_rng;
+
+    #[test]
+    fn of_generates_both_variants() {
+        let mut rng = __case_rng("option_of", 0);
+        let s = of(0u64..10);
+        let values: Vec<Option<u64>> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().flatten().all(|v| *v < 10));
+    }
+}
