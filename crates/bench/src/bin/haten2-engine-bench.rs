@@ -21,11 +21,21 @@
 //! ```text
 //! haten2-engine-bench [--out PATH]   # default: BENCH_engine.json
 //! haten2-engine-bench --dag-smoke    # dag_speedup equivalence+speedup only
+//! haten2-engine-bench --perf-smoke   # CI gate: dag host speedup + overhead
 //! ```
 //!
 //! Both engines run the identical inputs; aggregate metrics are asserted
-//! equal before timing is trusted. Wall times are the minimum of three
-//! measured repetitions after one warm-up, minimizing scheduler noise.
+//! equal before timing is trusted. Wall times are the minimum of [`REPS`]
+//! measured repetitions after one warm-up, minimizing scheduler noise;
+//! the median and standard deviation across the measured reps are also
+//! reported so noisy runs are visible in the JSON. The seed engine is
+//! measured in its own blocked pass (comparable with the baselines of
+//! earlier revisions); the pooled and no-op-fault mixes are interleaved
+//! round-robin and their overhead ratio is the median of per-round paired
+//! ratios, which cancels host load spikes. Engines that run on a
+//! [`Cluster`] additionally report `bytes_allocated` — the cluster's
+//! allocation-proxy high-water total (arena reservations plus spill
+//! copies), a scheduler-noise-free measure of shuffle allocation traffic.
 
 use haten2_bench::seed_engine::run_job_seed;
 use haten2_core::tucker::{project, ProjectOptions};
@@ -44,7 +54,7 @@ const NNZ: usize = 100_000;
 const RANK: usize = 10;
 const SMALL_JOBS: usize = 300;
 const SMALL_RECORDS: usize = 200;
-const REPS: usize = 3;
+const REPS: usize = 9;
 
 /// dag_speedup workload: Naive-Tucker sweep shape. `Q = R = DAG_RANK`
 /// gives `2·DAG_RANK` jobs at critical-path depth 2, so the simulated
@@ -105,6 +115,39 @@ struct MixResult {
     /// (task retries, speculative launches, recovery sim-seconds) — all
     /// zero unless the config carries an injecting fault plan.
     recovery: (usize, usize, f64),
+    /// Allocation-proxy bytes charged against the cluster over the mix
+    /// (`None` for the seed engine, which runs without a [`Cluster`]).
+    alloc_bytes: Option<usize>,
+}
+
+/// Spread statistics over the measured (post-warm-up) repetitions of one
+/// mix. The headline time stays the minimum; these make run-to-run noise
+/// visible without changing what is compared.
+struct Spread {
+    median_s: f64,
+    stddev_s: f64,
+}
+
+fn spread_of(totals: &[f64]) -> Spread {
+    let mut sorted = totals.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let median_s = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let mean = totals.iter().sum::<f64>() / n as f64;
+    let var = totals.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n as f64;
+    Spread {
+        median_s,
+        stddev_s: var.sqrt(),
+    }
+}
+
+/// Render `Option<usize>` as a JSON number-or-null.
+fn json_opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |b| b.to_string())
 }
 
 fn fingerprint(acc: &mut (usize, usize, usize, usize), m: &JobMetrics) {
@@ -143,6 +186,7 @@ fn run_seed_mix(cfg: &ClusterConfig) -> MixResult {
         small_jobs_s,
         metrics_fingerprint: fp,
         recovery: (0, 0, 0.0),
+        alloc_bytes: None,
     }
 }
 
@@ -191,24 +235,73 @@ fn run_pooled_mix(cfg: &ClusterConfig) -> MixResult {
             all.total_speculative_launched(),
             all.total_recovery_sim_time_s(),
         ),
+        alloc_bytes: Some(cluster.alloc_proxy_bytes()),
     }
 }
 
-fn best_of<F: FnMut() -> MixResult>(mut f: F) -> MixResult {
-    let warmup = f();
-    let mut best = f();
-    for _ in 1..REPS {
-        let r = f();
-        assert_eq!(
-            r.metrics_fingerprint, best.metrics_fingerprint,
-            "nondeterministic metrics"
-        );
-        if r.projection_s + r.small_jobs_s < best.projection_s + best.small_jobs_s {
-            best = r;
+/// Run every mix once per round, back to back, for [`REPS`] measured
+/// rounds after one warm-up round. Interleaving matters on shared hosts: a
+/// transient load spike then inflates the same round of *every* mix
+/// instead of poisoning one mix's entire sample, so ratios between mixes
+/// (speedup, overhead) stay honest. Returns `(best, spread)` per mix, in
+/// input order.
+struct MixMeasurement {
+    best: MixResult,
+    spread: Spread,
+    /// Per-round totals, index-aligned across the mixes of one
+    /// `measure_interleaved` call — the basis for paired ratios.
+    totals: Vec<f64>,
+}
+
+fn measure_interleaved(mut mixes: Vec<Box<dyn FnMut() -> MixResult + '_>>) -> Vec<MixMeasurement> {
+    for m in &mut mixes {
+        let _ = m();
+    }
+    let mut all: Vec<Vec<MixResult>> = (0..mixes.len()).map(|_| Vec::with_capacity(REPS)).collect();
+    for _ in 0..REPS {
+        for (i, m) in mixes.iter_mut().enumerate() {
+            all[i].push(m());
         }
     }
-    assert_eq!(warmup.metrics_fingerprint, best.metrics_fingerprint);
-    best
+    all.into_iter()
+        .map(|runs| {
+            for r in &runs[1..] {
+                assert_eq!(
+                    r.metrics_fingerprint, runs[0].metrics_fingerprint,
+                    "nondeterministic metrics"
+                );
+                assert_eq!(
+                    r.alloc_bytes, runs[0].alloc_bytes,
+                    "nondeterministic allocation proxy"
+                );
+            }
+            let totals: Vec<f64> = runs
+                .iter()
+                .map(|r| r.projection_s + r.small_jobs_s)
+                .collect();
+            let spread = spread_of(&totals);
+            let best = runs
+                .into_iter()
+                .min_by(|a, b| {
+                    (a.projection_s + a.small_jobs_s).total_cmp(&(b.projection_s + b.small_jobs_s))
+                })
+                .expect("at least one rep");
+            MixMeasurement {
+                best,
+                spread,
+                totals,
+            }
+        })
+        .collect()
+}
+
+/// Median of the index-paired `num[i] / den[i]` ratios. Each pair ran back
+/// to back in one interleaved round, so a host load spike inflates both
+/// sides of its round and cancels in the ratio — far more robust on a
+/// shared machine than dividing two independently-taken minima.
+fn median_paired_ratio(num: &[f64], den: &[f64]) -> f64 {
+    let ratios: Vec<f64> = num.iter().zip(den).map(|(n, d)| n / d).collect();
+    spread_of(&ratios).median_s
 }
 
 // ---- dag_speedup: Naive-Tucker sweep, Sequential vs Dag -----------------
@@ -397,6 +490,52 @@ fn main() {
         );
         return;
     }
+    if args.iter().any(|a| a == "--perf-smoke") {
+        // CI perf gate for scripts/check.sh: the DAG scheduler must not be
+        // slower than Sequential on the host (whatever the core count),
+        // and the fault-free overhead of the recovery machinery must stay
+        // under 5%. Exits nonzero on regression instead of writing JSON.
+        let cfg = ClusterConfig::default();
+        let noop_cfg = ClusterConfig {
+            fault_plan: Some(FaultPlan::noop()),
+            ..cfg.clone()
+        };
+        let mut results = measure_interleaved(vec![
+            Box::new(|| run_pooled_mix(&cfg)),
+            Box::new(|| run_pooled_mix(&noop_cfg)),
+        ]);
+        let noop = results.pop().expect("noop mix measured");
+        let pooled = results.pop().expect("pooled mix measured");
+        assert_eq!(
+            noop.best.metrics_fingerprint, pooled.best.metrics_fingerprint,
+            "perf-smoke: a no-op fault plan changed the metrics"
+        );
+        let overhead_pct = (median_paired_ratio(&noop.totals, &pooled.totals) - 1.0) * 100.0;
+        let d = run_dag_speedup(DAG_NNZ);
+        eprintln!(
+            "perf-smoke: dag host_wall_speedup {:.3}x (sequential {:.4}s vs dag {:.4}s), \
+             fault-free overhead {overhead_pct:.2}%",
+            d.host_speedup, d.sequential_wall_s, d.dag_wall_s
+        );
+        let mut failed = false;
+        if d.host_speedup < 1.0 {
+            eprintln!(
+                "perf-smoke FAIL: dag host_wall_speedup {:.3}x < 1.0 — the DAG scheduler \
+                 is slower than Sequential on this host",
+                d.host_speedup
+            );
+            failed = true;
+        }
+        if overhead_pct > 5.0 {
+            eprintln!("perf-smoke FAIL: fault-free recovery overhead {overhead_pct:.2}% > 5%");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("perf-smoke: OK");
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -412,13 +551,6 @@ fn main() {
         cfg.threads
     );
 
-    let seed = best_of(|| run_seed_mix(&cfg));
-    let pooled = best_of(|| run_pooled_mix(&cfg));
-    assert_eq!(
-        seed.metrics_fingerprint, pooled.metrics_fingerprint,
-        "engines disagree on aggregate metrics — do not trust this benchmark"
-    );
-
     // Fault-free overhead of the recovery machinery: the same mix with a
     // no-op FaultPlan installed. Schedule expansion and fault accounting
     // run on every job but inject nothing, so any wall-clock delta is the
@@ -427,7 +559,28 @@ fn main() {
         fault_plan: Some(FaultPlan::noop()),
         ..cfg.clone()
     };
-    let noop = best_of(|| run_pooled_mix(&noop_cfg));
+    // The seed engine runs blocked (alone), keeping its minimum comparable
+    // with the baselines recorded by earlier revisions of this file:
+    // interleaving foreign engines was measured to depress both minima via
+    // cache pollution. The pooled and no-op mixes are the *same* engine on
+    // the same data, so they interleave without polluting each other and
+    // their paired-per-round ratio isolates the fault-machinery overhead.
+    let seed_m = measure_interleaved(vec![Box::new(|| run_seed_mix(&cfg))])
+        .pop()
+        .expect("seed mix measured");
+    let mut results = measure_interleaved(vec![
+        Box::new(|| run_pooled_mix(&cfg)),
+        Box::new(|| run_pooled_mix(&noop_cfg)),
+    ]);
+    let noop_m = results.pop().expect("noop mix measured");
+    let pooled_m = results.pop().expect("pooled mix measured");
+    let (noop, noop_spread) = (noop_m.best, noop_m.spread);
+    let (pooled, pooled_spread) = (pooled_m.best, pooled_m.spread);
+    let (seed, seed_spread) = (seed_m.best, seed_m.spread);
+    assert_eq!(
+        seed.metrics_fingerprint, pooled.metrics_fingerprint,
+        "engines disagree on aggregate metrics — do not trust this benchmark"
+    );
     assert_eq!(
         noop.metrics_fingerprint, pooled.metrics_fingerprint,
         "a no-op fault plan changed the metrics"
@@ -441,26 +594,39 @@ fn main() {
     let seed_total = seed.projection_s + seed.small_jobs_s;
     let pooled_total = pooled.projection_s + pooled.small_jobs_s;
     let noop_total = noop.projection_s + noop.small_jobs_s;
+    // Speedup is the historical ratio of blocked minima; the overhead
+    // ratio comes from paired per-round measurements of the interleaved
+    // pooled/no-op pair (see `median_paired_ratio`).
     let speedup = seed_total / pooled_total;
-    let fault_free_overhead_pct = (noop_total / pooled_total - 1.0) * 100.0;
+    let fault_free_overhead_pct =
+        (median_paired_ratio(&noop_m.totals, &pooled_m.totals) - 1.0) * 100.0;
 
     eprintln!("dag_speedup: Naive-Tucker sweep, Q=R={DAG_RANK}, {DAG_THREADS} threads");
     let dag = run_dag_speedup(DAG_NNZ);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up\"\n}}\n",
+        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up round (seed blocked; pooled and no-op interleaved); speedup is the ratio of minima, overhead the median of per-round paired ratios; bytes_allocated is the cluster allocation-proxy high water (null where no cluster exists)\"\n}}\n",
         cfg.machines,
         cfg.num_reducers(),
         cfg.threads,
         seed.projection_s,
         seed.small_jobs_s,
         seed_total,
+        seed_spread.median_s,
+        seed_spread.stddev_s,
+        json_opt(seed.alloc_bytes),
         pooled.projection_s,
         pooled.small_jobs_s,
         pooled_total,
+        pooled_spread.median_s,
+        pooled_spread.stddev_s,
+        json_opt(pooled.alloc_bytes),
         noop.projection_s,
         noop.small_jobs_s,
         noop_total,
+        noop_spread.median_s,
+        noop_spread.stddev_s,
+        json_opt(noop.alloc_bytes),
         noop.recovery.0,
         noop.recovery.1,
         noop.recovery.2,

@@ -34,7 +34,9 @@
 
 use crate::records::{HadVal, ImhpRec, ImhpVal, Ix4, MergeVal, NaiveVal, TvRec};
 use haten2_linalg::Mat;
-use haten2_mapreduce::{run_job, EstimateSize, JobSite, JobSpec, MrError, Result};
+use haten2_mapreduce::{
+    run_job, run_job_streaming, EstimateSize, JobSite, JobSpec, MrError, Result,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// Tensor records in the canonical `(Ix4, f64)` form.
@@ -114,6 +116,11 @@ pub fn hadamard_vec_job(
 /// `Collapse(X)ₚₒₛ` (Definition 2) as one job: zero out slot `drop_pos` and
 /// sum coinciding entries. `use_combiner` enables map-side pre-aggregation
 /// (an ablation knob — the paper's accounting assumes no combiner).
+///
+/// The reducer streams: summing a key group needs one pass and no state
+/// beyond the accumulator, so the engine's merge never materializes the
+/// group's values — the collapse of a dense fiber costs O(1) reducer
+/// memory on the host regardless of fiber length.
 pub fn collapse_job(
     site: &impl JobSite,
     name: &str,
@@ -127,13 +134,13 @@ pub fn collapse_job(
     } else {
         JobSpec::named(name.to_string())
     };
-    let out = run_job(
+    let out = run_job_streaming(
         site,
         spec,
         entries,
         move |ix: &Ix4, val: &f64, emit| emit(with_slot(*ix, drop_pos, 0), *val),
         |ix, vals, emit| {
-            let s: f64 = vals.iter().sum();
+            let s: f64 = vals.sum::<f64>();
             if s != 0.0 {
                 emit(*ix, s);
             }

@@ -3,6 +3,7 @@
 use crate::fault::FaultPlan;
 use crate::metrics::{BatchReport, JobMetrics, RunMetrics};
 use crate::pool::WorkerPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -140,6 +141,7 @@ pub struct Cluster {
     batch_reports: Mutex<Vec<BatchReport>>,
     pool: OnceLock<WorkerPool>,
     epoch: Instant,
+    alloc_proxy_bytes: AtomicUsize,
 }
 
 impl Cluster {
@@ -151,6 +153,7 @@ impl Cluster {
             batch_reports: Mutex::new(Vec::new()),
             pool: OnceLock::new(),
             epoch: Instant::now(),
+            alloc_proxy_bytes: AtomicUsize::new(0),
         }
     }
 
@@ -241,6 +244,22 @@ impl Cluster {
             .lock()
             .expect("batch reports lock poisoned")
             .clone()
+    }
+
+    /// Charge arena-buffer reservations to the allocation high-water
+    /// proxy; called once per job with the task-summed total.
+    pub(crate) fn charge_alloc_proxy(&self, bytes: usize) {
+        self.alloc_proxy_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Cumulative allocation high-water proxy: bytes reserved by every
+    /// job's columnar map/reduce buffers at peak fill, summed over all
+    /// jobs run so far. Observability only — like
+    /// [`Cluster::batch_reports`], this lives outside [`Cluster::metrics`]
+    /// because it reflects host memory behaviour (capacities, growth
+    /// doubling), not the simulated cluster's bit-identical counters.
+    pub fn alloc_proxy_bytes(&self) -> usize {
+        self.alloc_proxy_bytes.load(Ordering::Relaxed)
     }
 }
 

@@ -20,6 +20,97 @@ struct Stored {
     reads: AtomicUsize,
 }
 
+/// A zero-copy view of a contiguous range of an immutable DFS dataset.
+///
+/// The underlying `Vec` is shared (`Arc`), never cloned: narrowing a
+/// block, handing it to a map task, or keeping it across a concurrent
+/// [`Dfs::put`] replacing the dataset all cost one reference count, not a
+/// copy. This is the engine-side analogue of an HDFS block handle — a
+/// reader holds (file, offset, length), not bytes.
+///
+/// ```
+/// use haten2_mapreduce::{Block, Dfs};
+///
+/// let dfs = Dfs::new();
+/// dfs.put("t", vec![10u64, 20, 30, 40]);
+/// let block: Block<u64> = dfs.get_block("t").unwrap();
+/// assert_eq!(block.slice(), &[10, 20, 30, 40]);
+/// let tail = block.narrow(2..4);
+/// assert_eq!(tail.slice(), &[30, 40]);
+/// ```
+pub struct Block<T> {
+    data: Arc<Vec<T>>,
+    range: std::ops::Range<usize>,
+}
+
+// Manual impl: cloning a block must not require `T: Clone` — it only
+// bumps the `Arc`.
+impl<T> Clone for Block<T> {
+    fn clone(&self) -> Self {
+        Block {
+            data: Arc::clone(&self.data),
+            range: self.range.clone(),
+        }
+    }
+}
+
+impl<T> Block<T> {
+    /// A block covering all of `data`.
+    pub fn whole(data: Arc<Vec<T>>) -> Self {
+        let range = 0..data.len();
+        Block { data, range }
+    }
+
+    /// The records this block covers.
+    pub fn slice(&self) -> &[T] {
+        &self.data[self.range.clone()]
+    }
+
+    /// Number of records in the block.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// A sub-block, `range` relative to this block's start. Shares the
+    /// same underlying storage; panics if `range` exceeds this block.
+    pub fn narrow(&self, range: std::ops::Range<usize>) -> Block<T> {
+        assert!(
+            range.end <= self.len(),
+            "narrow {range:?} exceeds block of {} records",
+            self.len()
+        );
+        Block {
+            data: Arc::clone(&self.data),
+            range: self.range.start + range.start..self.range.start + range.end,
+        }
+    }
+
+    /// The shared storage, if this block covers it fully and is its last
+    /// handle — the move-out path for a caller that wants the `Vec` back
+    /// without a copy.
+    pub fn try_unwrap(self) -> Result<Vec<T>, Block<T>> {
+        if self.range != (0..self.data.len()) {
+            return Err(self);
+        }
+        let range = self.range;
+        Arc::try_unwrap(self.data).map_err(|data| Block { data, range })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Block<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("range", &self.range)
+            .field("of", &self.data.len())
+            .finish()
+    }
+}
+
 /// A named, metered, in-memory dataset store.
 ///
 /// ```
@@ -75,13 +166,41 @@ impl Dfs {
         bytes
     }
 
-    /// Fetch a dataset by name. Returns `None` when missing or when the
-    /// stored type differs from `T`. Each call counts as one full read of
-    /// the dataset, metered at snapshot time: the `(contents, size)` pair
-    /// is captured atomically under the store lock, so a concurrent
+    /// Store a dataset that is already shared, without copying it: the
+    /// `Arc` itself becomes the stored contents. Metered exactly like
+    /// [`Dfs::put`] (the write is charged at full estimated size — the
+    /// simulated DFS still "writes" the data even though the host
+    /// doesn't move a byte).
+    pub fn put_shared<T>(&self, name: &str, records: Arc<Vec<T>>) -> usize
+    where
+        T: EstimateSize + Send + Sync + 'static,
+    {
+        let bytes: usize = records.iter().map(EstimateSize::est_bytes).sum();
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let mut guard = self.datasets.write().expect("dfs lock poisoned");
+        let prior_reads = guard
+            .get(name)
+            .map_or(0, |s| s.reads.load(Ordering::Relaxed));
+        guard.insert(
+            name.to_string(),
+            Stored {
+                data: records,
+                bytes,
+                reads: AtomicUsize::new(prior_reads),
+            },
+        );
+        bytes
+    }
+
+    /// One metered snapshot of a dataset, taken in a single map lookup
+    /// under the store lock. The read is counted and its bytes metered
+    /// only if the stored type matches `T` — a wrong-type probe is not a
+    /// disk access. All read paths ([`Dfs::get`], [`Dfs::get_block`],
+    /// [`Dfs::get_required`]) funnel through here so a concurrent
     /// [`Dfs::put`] replacing the dataset can neither tear the returned
-    /// snapshot nor mis-size the byte accounting.
-    pub fn get<T>(&self, name: &str) -> Option<Arc<Vec<T>>>
+    /// snapshot nor mis-size the byte accounting, no matter the entry
+    /// point.
+    fn snapshot<T>(&self, name: &str) -> Option<Arc<Vec<T>>>
     where
         T: Send + Sync + 'static,
     {
@@ -96,15 +215,37 @@ impl Dfs {
         Some(typed)
     }
 
+    /// Fetch a dataset by name. Returns `None` when missing or when the
+    /// stored type differs from `T`. Each call counts as one full read of
+    /// the dataset, metered at snapshot time (see [`Dfs::snapshot`]).
+    pub fn get<T>(&self, name: &str) -> Option<Arc<Vec<T>>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.snapshot(name)
+    }
+
+    /// Fetch a dataset as a zero-copy [`Block`] covering all of it.
+    /// Metering is identical to [`Dfs::get`]: one full read of the
+    /// dataset, regardless of how the caller later narrows the block.
+    pub fn get_block<T>(&self, name: &str) -> Option<Block<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.snapshot(name).map(Block::whole)
+    }
+
     /// Fetch a dataset that must exist, with the typed error instead of
     /// `None`: [`crate::MrError::DatasetMissing`] names the reading job and
     /// the dataset, so recovery layers (retry, lineage) can react instead
-    /// of panicking on an `unwrap`.
+    /// of panicking on an `unwrap`. A single metered lookup — there is no
+    /// separate existence probe whose answer could go stale before the
+    /// fetch.
     pub fn get_required<T>(&self, job: &str, name: &str) -> crate::Result<Arc<Vec<T>>>
     where
         T: Send + Sync + 'static,
     {
-        self.get(name)
+        self.snapshot(name)
             .ok_or_else(|| crate::MrError::DatasetMissing {
                 job: job.to_string(),
                 dataset: name.to_string(),
@@ -295,5 +436,105 @@ mod tests {
         let min = 8 * reads;
         let max = 32 * reads;
         assert!(total >= min && total <= max && (total - min).is_multiple_of(24));
+    }
+
+    #[test]
+    fn get_required_put_race_window_is_closed() {
+        // Regression: `get_required` once risked a contains-then-fetch
+        // shape, where a concurrent delete/put between the two lookups
+        // could surface a stale answer (exists-but-missing, or a metered
+        // read of the wrong generation). It now snapshots in a single
+        // lookup, so under a put/delete storm every call either returns a
+        // coherent generation or the typed DatasetMissing error — never a
+        // panic or torn accounting.
+        let dfs = std::sync::Arc::new(Dfs::new());
+        let rounds = 400;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let dfs = std::sync::Arc::clone(&dfs);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        match dfs.get_required::<u64>("job", "t") {
+                            Ok(snap) => assert!(snap.len() == 2 || snap.len() == 5),
+                            Err(crate::MrError::DatasetMissing { job, dataset }) => {
+                                assert_eq!(job, "job");
+                                assert_eq!(dataset, "t");
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+            let writer = std::sync::Arc::clone(&dfs);
+            s.spawn(move || {
+                for i in 0..rounds {
+                    match i % 3 {
+                        0 => {
+                            writer.put("t", vec![0u64; 2]);
+                        }
+                        1 => {
+                            writer.delete("t");
+                        }
+                        _ => {
+                            writer.put("t", vec![0u64; 5]);
+                        }
+                    }
+                }
+            });
+        });
+        // Every successful read metered either the 16- or the 40-byte
+        // generation: total decomposes as 16a + 40b.
+        let total = dfs.total_bytes_read();
+        assert!(total.is_multiple_of(8), "torn byte accounting: {total}");
+    }
+
+    #[test]
+    fn block_views_share_storage() {
+        let dfs = Dfs::new();
+        dfs.put("t", vec![10u64, 20, 30, 40]);
+        let block = dfs.get_block::<u64>("t").unwrap();
+        assert_eq!(block.len(), 4);
+        assert!(!block.is_empty());
+        assert_eq!(block.slice(), &[10, 20, 30, 40]);
+        // One metered read regardless of later narrowing.
+        assert_eq!(dfs.reads_of("t"), Some(1));
+        assert_eq!(dfs.total_bytes_read(), 32);
+
+        let mid = block.narrow(1..3);
+        assert_eq!(mid.slice(), &[20, 30]);
+        let tail = mid.narrow(1..2);
+        assert_eq!(tail.slice(), &[30]);
+        // Clones and narrows are refcount bumps on the same storage.
+        let again = block.clone();
+        assert_eq!(again.slice().as_ptr(), block.slice().as_ptr());
+        assert_eq!(dfs.reads_of("t"), Some(1));
+
+        // A narrowed block can't be unwrapped; the last whole one can.
+        assert!(tail.try_unwrap().is_err());
+        dfs.delete("t");
+        drop((mid, again));
+        assert_eq!(block.try_unwrap().unwrap(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "narrow")]
+    fn block_narrow_out_of_range_panics() {
+        let block = Block::whole(Arc::new(vec![1u64, 2]));
+        let _ = block.narrow(1..3);
+    }
+
+    #[test]
+    fn put_shared_stores_without_copying() {
+        let dfs = Dfs::new();
+        let records = Arc::new(vec![1u64, 2, 3]);
+        let ptr = records.as_ptr();
+        let bytes = dfs.put_shared("t", Arc::clone(&records));
+        assert_eq!(bytes, 24);
+        assert_eq!(dfs.total_bytes_written(), 24);
+        let back = dfs.get::<u64>("t").unwrap();
+        assert_eq!(back.as_ptr(), ptr, "stored Arc is the caller's, not a copy");
+        // Read history carries across a shared replacement, like put.
+        dfs.put_shared("t", Arc::new(vec![9u64]));
+        assert_eq!(dfs.reads_of("t"), Some(1));
     }
 }

@@ -355,6 +355,16 @@ impl FaultPlan {
         machines: usize,
     ) -> JobFaultSchedule {
         let machines = machines.max(1);
+        // A no-op plan schedules nothing for every job; skip the worker
+        // walk and per-task draws so "having the subsystem" costs two
+        // zeroed `Vec`s per job, keeping fault-free overhead negligible.
+        if self.is_noop() {
+            return JobFaultSchedule {
+                map: vec![TaskFaults::default(); map_tasks],
+                reduce: vec![TaskFaults::default(); reduce_tasks],
+                workers_blacklisted: 0,
+            };
+        }
         let job_key = fnv1a(job.as_bytes()) ^ mix(job_index as u64);
         let max_attempts = self.retry.max_attempts.max(1);
 

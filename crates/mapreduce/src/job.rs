@@ -9,15 +9,26 @@
 //!
 //! Execution layout: tasks run on the [`crate::pool::WorkerPool`] owned by
 //! the [`Cluster`] (spawned once, reused by every job). Each map task
-//! writes its output straight into per-partition buckets, sorts each
-//! bucket by key, and hands the buckets to the shuffle as whole
-//! [`SortedRun`]s — the shuffle moves `Vec`s, never records, and its byte
-//! accounting is aggregated per bucket rather than per record. Reducers
-//! merge their partition's sorted runs instead of re-sorting from scratch.
-//! Output is returned in partition order with ties resolved by map-task
-//! index, so results and metrics are bit-identical across runs and thread
-//! counts.
+//! writes its output straight into per-partition columnar buffers
+//! ([`crate::arena::ColumnBuffer`] — separate key and value arenas, no
+//! per-record tuple allocation), sorts each bucket through a `u32` index
+//! permutation, and hands the buckets to the shuffle as whole sealed
+//! [`crate::arena::ColumnRun`]s — the shuffle moves column `Vec`s, never
+//! records, and its byte accounting is aggregated per bucket rather than
+//! per record. Reducers merge their partition's sorted runs instead of
+//! re-sorting, streaming each key group through
+//! [`GroupValues`] so a group is never materialized unless the reducer's
+//! API shape requires it ([`run_job`]'s classic `Vec<VM>` signature
+//! collects at the boundary; [`run_job_streaming`] never does). Output is
+//! returned in partition order with ties resolved by map-task index, so
+//! results and metrics are bit-identical across runs and thread counts.
+//!
+//! Metric accounting is batched and thread-local throughout: map and
+//! reduce tasks accumulate their counters in task-owned results that are
+//! folded into [`JobMetrics`] in task order after each phase — no shared
+//! counter is touched per record.
 
+use crate::arena::{ColumnBuffer, ColumnRun, RunCursor};
 use crate::cluster::{Cluster, CostModel};
 use crate::fault::JobFaultSchedule;
 use crate::metrics::JobMetrics;
@@ -27,6 +38,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+pub use crate::arena::GroupValues;
 
 /// Per-record framing overhead (key length + value length prefixes), bytes.
 /// Public because the static plan analyzer reconstructs the engine's byte
@@ -72,6 +85,19 @@ pub trait JobSite {
     /// Deliver the finished job's metrics: record immediately (bare
     /// cluster) or stash for submission-order commit (scheduler batch).
     fn commit_metrics(&self, metrics: JobMetrics);
+
+    /// How many pool executors this job's internal task broadcasts may
+    /// use, given the cluster's configured `threads`. A bare [`Cluster`]
+    /// grants all of them; a scheduler batch running several jobs
+    /// concurrently divides the pool between in-flight jobs, so nested
+    /// broadcasts stop contending for the same workers — and on hosts
+    /// with fewer cores than concurrent jobs each job's tasks collapse to
+    /// inline execution with zero queue traffic. Purely a performance
+    /// knob: task results are independent of executor count by
+    /// construction.
+    fn task_parallelism(&self, threads: usize) -> usize {
+        threads
+    }
 }
 
 impl JobSite for Cluster {
@@ -134,19 +160,19 @@ impl<'a, KM, VM> JobSpec<'a, KM, VM> {
     }
 }
 
-/// One map task's output for one partition: records sorted by key, plus
-/// their aggregate wire size. The shuffle moves these wholesale.
-struct SortedRun<KM, VM> {
-    records: Vec<(KM, VM)>,
-    bytes: usize,
-}
-
 struct MapTaskResult<KM, VM> {
-    runs: Vec<SortedRun<KM, VM>>,
+    /// Sealed `(partition, run)` pairs in partition order, **non-empty
+    /// cells only**: a tiny job on a wide cluster touches a handful of
+    /// its `tasks × reducers` cells, and shuffling the empty ones was a
+    /// measurable per-job constant.
+    runs: Vec<(u32, ColumnRun<KM, VM>)>,
     input_records: usize,
     input_bytes: usize,
     output_records: usize,
     output_bytes: usize,
+    /// Arena high-water proxy: bytes reserved by this task's column
+    /// buffers at peak fill. Observability only (never in [`JobMetrics`]).
+    alloc_bytes: usize,
 }
 
 /// FNV-1a. The partitioner only needs a stable, well-mixed hash, not a
@@ -171,29 +197,97 @@ impl Hasher for Fnv1a {
     }
 }
 
-pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
-    key.hash(&mut h);
-    (h.finish() as usize) % partitions
+/// Hash-partitioner for one job, with the reduction `hash % partitions`
+/// strength-reduced to multiplications (Lemire's fastmod, widened to
+/// 64-bit operands over a 128-bit intermediate). The divisor is fixed for
+/// a whole job while the reduction runs once per emitted record, where
+/// the 64-bit division was a measurable per-record cost. The result is
+/// *exactly* `hash % partitions` for every input — partition placement,
+/// output order, and metrics are unchanged (asserted over edge cases and
+/// random draws in `fastmod_matches_division`).
+pub(crate) struct Partitioner {
+    partitions: u64,
+    /// `floor(2^128 / partitions) + 1`; zero when `partitions == 1`
+    /// (everything lands in partition 0).
+    magic: u128,
 }
 
-/// Sort a map task's bucket by key and apply the combiner to each key
-/// group. Input order within equal keys is preserved into the combiner
-/// (stable sort); output stays key-sorted.
-pub(crate) fn combine_bucket<KM, VM>(bucket: &mut Vec<(KM, VM)>, combiner: Combiner<'_, KM, VM>)
+impl Partitioner {
+    pub(crate) fn new(partitions: usize) -> Self {
+        let d = partitions.max(1) as u64;
+        Partitioner {
+            partitions: d,
+            magic: (u128::MAX / u128::from(d)).wrapping_add(1),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn partition_of<K: Hash>(&self, key: &K) -> usize {
+        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        key.hash(&mut h);
+        self.rem(h.finish()) as usize
+    }
+
+    /// `x % self.partitions` via two widening multiplications.
+    #[inline]
+    fn rem(&self, x: u64) -> u64 {
+        let lowbits = self.magic.wrapping_mul(u128::from(x));
+        // mulhi(lowbits, d) = (lowbits * d) >> 128, in 128-bit pieces:
+        // lowbits = hi·2^64 + lo, so the product >> 128 is
+        // (hi·d + (lo·d >> 64)) >> 64. Both terms fit u128.
+        let lo = lowbits & u128::from(u64::MAX);
+        let hi = lowbits >> 64;
+        let d = u128::from(self.partitions);
+        ((hi * d + ((lo * d) >> 64)) >> 64) as u64
+    }
+}
+
+pub(crate) fn partition_of<K: Hash>(key: &K, partitions: usize) -> usize {
+    Partitioner::new(partitions).partition_of(key)
+}
+
+/// How reduce-side key groups are delivered to the user's reducer: either
+/// collected into an owned `Vec` at the engine boundary ([`run_job`]'s
+/// classic signature) or streamed ([`run_job_streaming`]). The merge loop
+/// itself is shared and never materializes a group.
+pub(crate) trait Reduce<KM: Ord, VM, KO, VO>: Sync {
+    /// Whether each group is collected into one owned `Vec` (charged to
+    /// the allocation high-water proxy).
+    const MATERIALIZES: bool;
+
+    /// Consume one key group. `values` streams the group in run (= map
+    /// task) order; any values left unconsumed are drained by the caller.
+    fn reduce(&self, key: &KM, values: &mut GroupValues<'_, KM, VM>, emit: &mut dyn FnMut(KO, VO));
+}
+
+/// Adapter giving classic reducers (`Fn(&K, Vec<V>, emit)`) the streamed
+/// group as an owned `Vec`, sized exactly once.
+struct VecReduce<F>(F);
+
+impl<KM: Ord, VM, KO, VO, F> Reduce<KM, VM, KO, VO> for VecReduce<F>
 where
-    KM: Clone + Ord,
+    F: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
-    let drained = std::mem::take(bucket);
-    let mut it = drained.into_iter().peekable();
-    while let Some((key, first)) = it.next() {
-        let mut vals = vec![first];
-        while it.peek().is_some_and(|(k, _)| *k == key) {
-            vals.push(it.next().expect("peeked").1);
-        }
-        for v in combiner(&key, vals) {
-            bucket.push((key.clone(), v));
-        }
+    const MATERIALIZES: bool = true;
+
+    fn reduce(&self, key: &KM, values: &mut GroupValues<'_, KM, VM>, emit: &mut dyn FnMut(KO, VO)) {
+        let mut vals = Vec::with_capacity(values.len());
+        vals.extend(&mut *values);
+        (self.0)(key, vals, emit)
+    }
+}
+
+/// Pass-through for streaming reducers.
+struct StreamReduce<F>(F);
+
+impl<KM: Ord, VM, KO, VO, F> Reduce<KM, VM, KO, VO> for StreamReduce<F>
+where
+    F: Fn(&KM, &mut GroupValues<'_, KM, VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    const MATERIALIZES: bool = false;
+
+    fn reduce(&self, key: &KM, values: &mut GroupValues<'_, KM, VM>, emit: &mut dyn FnMut(KO, VO)) {
+        (self.0)(key, values, emit)
     }
 }
 
@@ -211,6 +305,10 @@ where
 /// runs and across `threads` settings. Metrics (including simulated
 /// cluster time) are recorded on the `cluster` and also derivable from the
 /// returned metrics snapshot.
+///
+/// Each key group is handed to `reducer` as one owned `Vec<VM>`; reducers
+/// that fold their group in a single forward pass should prefer
+/// [`run_job_streaming`], which skips that materialization entirely.
 ///
 /// ```
 /// use haten2_mapreduce::{run_job, Cluster, ClusterConfig, JobSpec};
@@ -255,6 +353,76 @@ where
     M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
+    run_job_inner(site, spec, input, mapper, VecReduce(reducer))
+}
+
+/// Like [`run_job`], but each key group's values are *streamed* to the
+/// reducer through a [`GroupValues`] iterator instead of being collected
+/// into an owned `Vec` first — the group is never materialized, so a
+/// skewed key whose group dwarfs the average costs its wire bytes once
+/// (in the runs) instead of twice. Semantics are otherwise identical:
+/// same output order, same metrics, same failure rules, and the
+/// per-group memory *accounting* (`max_group_bytes`, the OOM budget)
+/// still charges the full group so the paper's o.o.m. behaviour is
+/// unchanged.
+///
+/// Values arrive in run (= map task, then emission) order — exactly the
+/// order [`run_job`] presents in its `Vec`. Unconsumed values are drained
+/// automatically when the reducer returns.
+///
+/// ```
+/// use haten2_mapreduce::{run_job_streaming, Cluster, ClusterConfig, JobSpec};
+///
+/// let cluster = Cluster::new(ClusterConfig::with_machines(4));
+/// let input = vec![(0u64, 1.0f64), (0, 2.0), (1, 3.0)];
+/// let mut sums = run_job_streaming(
+///     &cluster,
+///     JobSpec::named("sum"),
+///     &input,
+///     |k, v: &f64, emit| emit(*k, *v),
+///     |k, vals, emit| emit(*k, vals.sum::<f64>()),
+/// )
+/// .unwrap();
+/// sums.sort_by(|a, b| a.0.cmp(&b.0));
+/// assert_eq!(sums, vec![(0, 3.0), (1, 3.0)]);
+/// ```
+pub fn run_job_streaming<KI, VI, KM, VM, KO, VO, M, R>(
+    site: &impl JobSite,
+    spec: JobSpec<'_, KM, VM>,
+    input: &[(KI, VI)],
+    mapper: M,
+    reducer: R,
+) -> crate::Result<Vec<(KO, VO)>>
+where
+    KI: Sync + EstimateSize,
+    VI: Sync + EstimateSize,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Send + EstimateSize,
+    VO: Send + EstimateSize,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, &mut GroupValues<'_, KM, VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    run_job_inner(site, spec, input, mapper, StreamReduce(reducer))
+}
+
+fn run_job_inner<KI, VI, KM, VM, KO, VO, M, R>(
+    site: &impl JobSite,
+    spec: JobSpec<'_, KM, VM>,
+    input: &[(KI, VI)],
+    mapper: M,
+    reducer: R,
+) -> crate::Result<Vec<(KO, VO)>>
+where
+    KI: Sync + EstimateSize,
+    VI: Sync + EstimateSize,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Send + EstimateSize,
+    VO: Send + EstimateSize,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Reduce<KM, VM, KO, VO>,
+{
     site.before_run(&spec.name)?;
     let mut spec = spec;
     if spec.map_emit_hint.is_none() {
@@ -267,7 +435,7 @@ where
     let cfg = cluster.config();
     let num_reducers = cfg.num_reducers();
     let num_map_tasks = cfg.machines.max(1);
-    let threads = cfg.threads.max(1);
+    let threads = site.task_parallelism(cfg.threads.max(1)).max(1);
 
     // ---- Map phase -------------------------------------------------------
     let split_len = input.len().div_ceil(num_map_tasks).max(1);
@@ -297,75 +465,112 @@ where
         }
     }
 
-    let run_map_task = |task_id: usize| -> MapTaskResult<KM, VM> {
-        let split = splits[task_id];
-        let bucket_capacity = spec.map_emit_hint.map_or(0, |per_record| {
-            (split.len() * per_record).div_ceil(num_reducers)
-        });
-        // Pre-sizing only pays off past Vec's first growth steps; for tiny
-        // expected buckets an eager allocation per (task × partition) costs
-        // more than the reallocations it avoids.
-        let bucket_capacity = if bucket_capacity >= 8 {
-            bucket_capacity
-        } else {
-            0
-        };
-        let mut buckets: Vec<Vec<(KM, VM)>> = (0..num_reducers)
-            .map(|_| Vec::with_capacity(bucket_capacity))
-            .collect();
-        let mut input_bytes = 0usize;
-        {
-            let mut emit = |k: KM, v: VM| {
-                buckets[partition_of(&k, num_reducers)].push((k, v));
-            };
-            for (k, v) in split {
-                input_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
-                mapper(k, v, &mut emit);
-            }
-        }
-        let mut output_records = 0usize;
-        let mut output_bytes = 0usize;
-        let mut runs = Vec::with_capacity(num_reducers);
-        for mut bucket in buckets {
-            // Pre-combine accounting: the paper's "intermediate data".
-            // Batch-sized: O(1) for fixed-size record types.
-            let pre_bytes = slice_est_bytes(&bucket) + bucket.len() * FRAMING_BYTES;
-            output_records += bucket.len();
-            output_bytes += pre_bytes;
-            // Map-side sort, so reducers merge instead of re-sorting.
-            // Stability preserves emission order within equal keys.
-            bucket.sort_by(|a, b| a.0.cmp(&b.0));
-            let bytes = match spec.combiner {
-                Some(combiner) => {
-                    combine_bucket(&mut bucket, combiner);
-                    slice_est_bytes(&bucket) + bucket.len() * FRAMING_BYTES
-                }
-                None => pre_bytes,
-            };
-            runs.push(SortedRun {
-                records: bucket,
-                bytes,
+    // A task's buckets: either a fresh hint-capacity vector (its column
+    // reservations are the point of the emit hint) or the executor's
+    // recycled scratch vector. Sealing `mem::take`s the filled cells, so
+    // after a task the scratch holds empty zero-capacity buffers again —
+    // reuse saves the per-task construction and drop of a
+    // `num_reducers`-sized vector, a measurable constant for tiny jobs on
+    // wide clusters, and nothing else: the data-carrying columns are
+    // moved into the shuffle either way.
+    let run_map_task =
+        |task_id: usize, scratch: &mut Vec<ColumnBuffer<KM, VM>>| -> MapTaskResult<KM, VM> {
+            let split = splits[task_id];
+            let bucket_capacity = spec.map_emit_hint.map_or(0, |per_record| {
+                (split.len() * per_record).div_ceil(num_reducers)
             });
-        }
-        MapTaskResult {
-            runs,
-            input_records: split.len(),
-            input_bytes,
-            output_records,
-            output_bytes,
-        }
-    };
+            // Pre-sizing only pays off past Vec's first growth steps; for tiny
+            // expected buckets an eager allocation per (task × partition) costs
+            // more than the reallocations it avoids.
+            let bucket_capacity = if bucket_capacity >= 8 {
+                bucket_capacity
+            } else {
+                0
+            };
+            let mut sized;
+            let buckets: &mut Vec<ColumnBuffer<KM, VM>> = if bucket_capacity > 0 {
+                sized = (0..num_reducers)
+                    .map(|_| ColumnBuffer::with_capacity(bucket_capacity))
+                    .collect();
+                &mut sized
+            } else {
+                scratch.resize_with(num_reducers, ColumnBuffer::new);
+                scratch
+            };
+            // Batch input accounting (O(1) for fixed-size record types) —
+            // identical sum to a per-record walk, per `slice_est_bytes`.
+            let input_bytes = slice_est_bytes(split) + split.len() * FRAMING_BYTES;
+            {
+                let partitioner = Partitioner::new(num_reducers);
+                let mut emit = |k: KM, v: VM| {
+                    let p = partitioner.partition_of(&k);
+                    buckets[p].push(k, v);
+                };
+                for (k, v) in split {
+                    mapper(k, v, &mut emit);
+                }
+            }
+            let mut output_records = 0usize;
+            let mut output_bytes = 0usize;
+            let mut alloc_bytes = 0usize;
+            let mut runs = Vec::new();
+            for (p, slot) in buckets.iter_mut().enumerate() {
+                alloc_bytes += slot.alloc_bytes();
+                // Empty cells never reach the shuffle: a tiny job on a wide
+                // cluster fills a handful of its `tasks × reducers` buckets,
+                // and sealing/moving the empty rest was a measurable per-job
+                // constant.
+                if slot.is_empty() {
+                    continue;
+                }
+                let mut bucket = std::mem::take(slot);
+                // Pre-combine accounting: the paper's "intermediate data".
+                // Batch-sized: O(1) for fixed-size record types.
+                let pre_bytes = bucket.est_bytes();
+                output_records += bucket.len();
+                output_bytes += pre_bytes;
+                // Map-side sort, so reducers merge instead of re-sorting.
+                // Stability preserves emission order within equal keys.
+                bucket.sort_stable();
+                let bytes = match spec.combiner {
+                    Some(combiner) => {
+                        bucket.combine(combiner);
+                        bucket.est_bytes()
+                    }
+                    None => pre_bytes,
+                };
+                // One push per sealed run (task × partition), not per record.
+                // lint:allow(no-per-record-alloc)
+                runs.push((p as u32, bucket.seal(bytes)));
+            }
+            MapTaskResult {
+                runs,
+                input_records: split.len(),
+                input_bytes,
+                output_records,
+                output_bytes,
+                alloc_bytes,
+            }
+        };
 
-    // Results land in per-task slots (not a shared push list), so metrics
-    // accumulate in task order and the shuffle sees runs in map-task order
-    // regardless of which worker finished first.
+    // Results land in per-task write-once slots (not a shared push list),
+    // so metrics accumulate in task order and the shuffle sees runs in
+    // map-task order regardless of which worker finished first.
+    // (`Mutex<Option<_>>` rather than `OnceLock`: the latter's `Sync`
+    // bound would leak a `Sync` requirement onto key/value types.)
     let map_slots: Vec<Mutex<Option<MapTaskResult<KM, VM>>>> =
         (0..actual_tasks).map(|_| Mutex::new(None)).collect();
     let task_counter = AtomicUsize::new(0);
 
-    cluster
-        .pool()
-        .broadcast(threads.min(actual_tasks), &|_executor| loop {
+    let map_executors = threads.min(actual_tasks).max(1);
+    // One recycled bucket vector per executor; executor indices are
+    // distinct per broadcast, so each lock is uncontended and held for
+    // the executor's whole drain of the task queue.
+    let scratches: Vec<Mutex<Vec<ColumnBuffer<KM, VM>>>> =
+        (0..map_executors).map(|_| Mutex::new(Vec::new())).collect();
+    cluster.pool().broadcast(map_executors, &|executor| {
+        let mut scratch = scratches[executor].lock().expect("scratch poisoned");
+        loop {
             let t = task_counter.fetch_add(1, Ordering::Relaxed);
             if t >= actual_tasks {
                 break;
@@ -374,12 +579,17 @@ where
             // and discards its output (wasted work), then the task retries.
             if let Some(s) = &sched {
                 for _ in 0..s.map[t].failed_attempts {
-                    drop(run_map_task(t));
+                    drop(run_map_task(t, &mut scratch));
                 }
             }
-            let result = run_map_task(t);
-            *map_slots[t].lock().expect("map slot poisoned") = Some(result);
-        });
+            let result = run_map_task(t, &mut scratch);
+            let prev = map_slots[t]
+                .lock()
+                .expect("map slot poisoned")
+                .replace(result);
+            assert!(prev.is_none(), "map task visited once");
+        }
+    });
 
     // ---- Shuffle ---------------------------------------------------------
     // Zero-copy: each map task's per-partition runs move wholesale to
@@ -388,9 +598,11 @@ where
         name: spec.name.clone(),
         ..Default::default()
     };
-    let mut partition_runs: Vec<Vec<SortedRun<KM, VM>>> = (0..num_reducers)
-        .map(|_| Vec::with_capacity(actual_tasks))
-        .collect();
+    let mut alloc_proxy_bytes = 0usize;
+    // Lazily grown: partitions a job never emits into (common for tiny
+    // jobs on wide clusters) must not pay an `actual_tasks`-sized alloc.
+    let mut partition_runs: Vec<Vec<ColumnRun<KM, VM>>> =
+        (0..num_reducers).map(|_| Vec::new()).collect();
     for (t, slot) in map_slots.into_iter().enumerate() {
         let r = slot
             .into_inner()
@@ -400,6 +612,7 @@ where
         metrics.map_input_bytes += r.input_bytes;
         metrics.map_output_records += r.output_records;
         metrics.map_output_bytes += r.output_bytes;
+        alloc_proxy_bytes += r.alloc_bytes;
         if let (Some(s), Some(plan)) = (&sched, &cfg.fault_plan) {
             s.map[t].account_map(
                 plan,
@@ -407,12 +620,10 @@ where
                 &mut metrics,
             );
         }
-        for (p, run) in r.runs.into_iter().enumerate() {
-            metrics.shuffle_records += run.records.len();
-            metrics.shuffle_bytes += run.bytes;
-            if !run.records.is_empty() {
-                partition_runs[p].push(run);
-            }
+        for (p, run) in r.runs {
+            metrics.shuffle_records += run.len();
+            metrics.shuffle_bytes += run.bytes();
+            partition_runs[p as usize].push(run);
         }
     }
 
@@ -428,39 +639,47 @@ where
 
     // ---- Reduce phase ----------------------------------------------------
     struct ReduceTaskResult<KO, VO> {
-        output: Vec<(KO, VO)>,
+        output: ColumnBuffer<KO, VO>,
         groups: usize,
         output_records: usize,
         output_bytes: usize,
         max_group_bytes: usize,
+        alloc_bytes: usize,
     }
 
     // Group one partition's sorted runs by k-way merge. Equal keys drain
     // in run (= map task) order, reproducing the record order a stable
-    // full sort of task-ordered input would give. `Err(Some(e))` is this
-    // partition's own failure; `Err(None)` means it aborted because
-    // another partition already failed.
-    let reduce_partition = |runs: Vec<SortedRun<KM, VM>>,
+    // full sort of task-ordered input would give. Groups are *streamed*:
+    // the merge sizes each group (for the OOM budget and skew accounting)
+    // from the runs' key columns, then hands the reducer a cursor-backed
+    // iterator — only `Vec`-signature reducers collect it. `Err(Some(e))`
+    // is this partition's own failure; `Err(None)` means it aborted
+    // because another partition already failed.
+    let reduce_partition = |runs: Vec<ColumnRun<KM, VM>>,
                             failed: &AtomicBool|
      -> Result<ReduceTaskResult<KO, VO>, Option<MrError>> {
-        let mut iters: Vec<std::vec::IntoIter<(KM, VM)>> =
-            runs.into_iter().map(|r| r.records.into_iter()).collect();
-        let mut out: Vec<(KO, VO)> = Vec::new();
+        let mut cursors: Vec<RunCursor<KM, VM>> =
+            runs.into_iter().map(ColumnRun::into_cursor).collect();
+        let mut out: ColumnBuffer<KO, VO> = ColumnBuffer::new();
         let mut groups = 0usize;
         let mut output_records = 0usize;
         let mut output_bytes = 0usize;
         let mut max_group_bytes = 0usize;
+        let mut alloc_bytes = 0usize;
+        // Per-run prefix counts of the current group, reused across groups;
+        // they both size the group and drive its cursor-backed iterator.
+        let mut counts: Vec<u32> = Vec::with_capacity(cursors.len());
         loop {
             if failed.load(Ordering::Relaxed) {
                 return Err(None);
             }
             // Smallest key at the head of any run starts the next group.
             let mut min_run: Option<usize> = None;
-            for (i, it) in iters.iter().enumerate() {
-                if let Some((k, _)) = it.as_slice().first() {
+            for (i, cursor) in cursors.iter().enumerate() {
+                if let Some(k) = cursor.peek_key() {
                     let smaller = match min_run {
                         None => true,
-                        Some(m) => *k < iters[m].as_slice()[0].0,
+                        Some(m) => Some(k) < cursors[m].peek_key(),
                     };
                     if smaller {
                         min_run = Some(i);
@@ -468,20 +687,32 @@ where
                 }
             }
             let Some(min_run) = min_run else { break };
-            let key = iters[min_run].as_slice()[0].0.clone();
+            let key = cursors[min_run]
+                .peek_key()
+                .expect("min run nonempty")
+                .clone();
 
-            // Size the group before materializing it: count each run's
-            // matching prefix, O(1)-summing value bytes for fixed-size
-            // value types.
+            // Size the group before streaming it: count each run's
+            // matching key prefix, O(1)-summing value bytes for
+            // fixed-size value types. This is the budget/skew accounting
+            // only — values are not touched.
             let mut n_vals = 0usize;
             let mut val_bytes = 0usize;
-            for it in &iters {
-                let head = it.as_slice();
-                let cnt = head.iter().take_while(|(k, _)| *k == key).count();
+            counts.clear();
+            for cursor in &cursors {
+                let cnt = cursor
+                    .pending_keys()
+                    .iter()
+                    .take_while(|k| **k == key)
+                    .count();
+                counts.push(u32::try_from(cnt).expect("group run prefix fits u32"));
                 n_vals += cnt;
                 val_bytes += match VM::FIXED_BYTES {
                     Some(b) => b * cnt,
-                    None => head[..cnt].iter().map(|(_, v)| v.est_bytes()).sum(),
+                    None => cursor.pending_vals()[..cnt]
+                        .iter()
+                        .map(EstimateSize::est_bytes)
+                        .sum(),
                 };
             }
             let group_bytes = key.est_bytes() + val_bytes + n_vals * FRAMING_BYTES;
@@ -494,34 +725,38 @@ where
                     }));
                 }
             }
-            let mut vals = Vec::with_capacity(n_vals);
-            for it in &mut iters {
-                while it.as_slice().first().is_some_and(|(k, _)| *k == key) {
-                    vals.push(it.next().expect("peeked").1);
-                }
-            }
             max_group_bytes = max_group_bytes.max(group_bytes);
             groups += 1;
+            if R::MATERIALIZES {
+                // The Vec-signature boundary collects the group once.
+                alloc_bytes += n_vals * std::mem::size_of::<VM>();
+            }
+            let mut group = GroupValues::new(&mut cursors, &key, &counts, n_vals);
             let mut emit = |k: KO, v: VO| {
                 output_records += 1;
                 output_bytes += k.est_bytes() + v.est_bytes() + FRAMING_BYTES;
-                out.push((k, v));
+                out.push(k, v);
             };
-            reducer(&key, vals, &mut emit);
+            reducer.reduce(&key, &mut group, &mut emit);
+            // A streaming reducer may stop early; drain the remainder so
+            // the next group starts at a clean cursor position.
+            group.for_each(drop);
         }
+        alloc_bytes += out.alloc_bytes();
         Ok(ReduceTaskResult {
             output: out,
             groups,
             output_records,
             output_bytes,
             max_group_bytes,
+            alloc_bytes,
         })
     };
 
     // Each partition is consumed by exactly one reduce task; hand ownership
     // through per-partition mutex cells so workers can take them without
-    // cloning. Results land in per-partition slots.
-    type PartitionCell<K, V> = Mutex<Option<Vec<SortedRun<K, V>>>>;
+    // cloning. Results land in per-partition write-once slots.
+    type PartitionCell<K, V> = Mutex<Option<Vec<ColumnRun<K, V>>>>;
     let partition_cells: Vec<PartitionCell<KM, VM>> = partition_runs
         .into_iter()
         .map(|p| Mutex::new(Some(p)))
@@ -572,7 +807,11 @@ where
                 .expect("partition visited once");
             match reduce_partition(runs, &failed) {
                 Ok(result) => {
-                    *reduce_slots[p].lock().expect("reduce slot poisoned") = Some(result);
+                    let prev = reduce_slots[p]
+                        .lock()
+                        .expect("reduce slot poisoned")
+                        .replace(result);
+                    assert!(prev.is_none(), "partition reduced once");
                 }
                 Err(Some(err)) => {
                     let mut slot = failure.lock().expect("failure slot poisoned");
@@ -601,7 +840,8 @@ where
         metrics.reduce_output_records += r.output_records;
         metrics.reduce_output_bytes += r.output_bytes;
         metrics.max_group_bytes = metrics.max_group_bytes.max(r.max_group_bytes);
-        output.extend(r.output);
+        alloc_proxy_bytes += r.alloc_bytes;
+        output.extend(r.output.into_pairs());
     }
 
     if let (Some(s), Some(plan)) = (&sched, &cfg.fault_plan) {
@@ -611,10 +851,67 @@ where
         metrics.workers_blacklisted = s.workers_blacklisted;
     }
 
+    cluster.charge_alloc_proxy(alloc_proxy_bytes);
     metrics.wall_time_s = started.elapsed().as_secs_f64();
     metrics.started_s = started_s;
     metrics.finished_s = started_s + metrics.wall_time_s;
     metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
     site.commit_metrics(metrics);
     Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastmod_matches_division() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut divisors: Vec<u64> = (1..=512).collect();
+        divisors.extend([
+            1_000,
+            4_096,
+            65_535,
+            65_536,
+            1 << 32,
+            u64::MAX,
+            u64::MAX - 1,
+        ]);
+        divisors.extend((0..64).map(|_| rng.gen_range(1..u64::MAX)));
+        for &d in &divisors {
+            let p = Partitioner::new(d.try_into().unwrap_or(usize::MAX));
+            let d = p.partitions; // after usize clamp on 32-bit targets
+            let mut xs = vec![
+                0u64,
+                1,
+                2,
+                d.wrapping_sub(1),
+                d,
+                d.wrapping_add(1),
+                u64::MAX,
+            ];
+            xs.extend((0..256).map(|_| rng.gen::<u64>()));
+            for x in xs {
+                assert_eq!(p.rem(x), x % d, "x={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_agrees_with_partition_of() {
+        for partitions in [1usize, 2, 3, 7, 40, 41, 1024] {
+            let p = Partitioner::new(partitions);
+            for key in 0u64..500 {
+                assert_eq!(p.partition_of(&key), partition_of(&key, partitions));
+                let tuple_key = (key as u8, key.wrapping_mul(0x9e37_79b9));
+                assert_eq!(
+                    p.partition_of(&tuple_key),
+                    partition_of(&tuple_key, partitions)
+                );
+            }
+        }
+    }
 }

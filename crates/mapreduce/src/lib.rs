@@ -55,6 +55,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod arena;
 pub mod cluster;
 pub mod dfs;
 pub mod fault;
@@ -68,16 +69,17 @@ pub mod reference;
 pub mod sched;
 pub mod size;
 
+pub use arena::GroupValues;
 pub use cluster::{Cluster, ClusterConfig, CostModel, SchedulerMode};
-pub use dfs::Dfs;
+pub use dfs::{Block, Dfs};
 pub use fault::{FaultPlan, JobFaultSchedule, RetryPolicy, TaskFaults};
-pub use job::{run_job, Combiner, JobSite, JobSpec, RECORD_FRAMING_BYTES};
+pub use job::{run_job, run_job_streaming, Combiner, JobSite, JobSpec, RECORD_FRAMING_BYTES};
 pub use lineage::{Lineage, MAX_RECOVERY_DEPTH};
 pub use metrics::{BatchReport, JobMetrics, RunMetrics};
 pub use pipeline::{run_job_dfs, run_job_dfs_recovering};
 pub use plan::{CheckpointPolicy, Env, JobGraph, JobInstance, PlanJob, RecoverySpec, SymExpr, Var};
 pub use pool::WorkerPool;
-pub use reference::run_job_reference;
+pub use reference::{run_job_reference, run_job_reference_streaming};
 pub use sched::{Batch, BatchResults, JobCtx, JobHandle};
 pub use size::EstimateSize;
 

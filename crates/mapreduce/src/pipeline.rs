@@ -19,18 +19,21 @@
 //!   the read retried, counting the recovery in
 //!   [`crate::JobMetrics::lineage_recoveries`].
 
-use crate::dfs::Dfs;
+use crate::dfs::{Block, Dfs};
 use crate::fault::FaultPlan;
 use crate::job::{run_job, JobSpec};
 use crate::lineage::Lineage;
 use crate::size::EstimateSize;
 use crate::{Cluster, MrError};
 use std::hash::Hash;
-use std::sync::Arc;
 
 /// Outcome of fetching a job's input dataset through the fault layer.
 struct FetchOutcome<T> {
-    records: Arc<Vec<T>>,
+    /// Zero-copy view of the stored dataset: the job borrows the DFS's
+    /// own storage for the duration of the run (map tasks split it by
+    /// range), so a fetch never clones records no matter how many jobs
+    /// read the same input.
+    records: Block<T>,
     /// Transient read failures endured (each cost one backoff interval).
     transient_retries: usize,
     /// Simulated seconds spent backing off between read attempts.
@@ -75,7 +78,7 @@ fn fetch_input<T: Send + Sync + 'static>(
         match dfs.get_required::<T>(job_name, input) {
             Ok(records) => {
                 return Ok(FetchOutcome {
-                    records,
+                    records: Block::whole(records),
                     transient_retries,
                     backoff_s,
                     recoveries,
@@ -131,7 +134,7 @@ where
     }
 
     let fetched = fetch_input::<(KI, VI)>(dfs, plan, lineage, &job_name, input)?;
-    let out = run_job(cluster, spec, &fetched.records, mapper, reducer)?;
+    let out = run_job(cluster, spec, fetched.records.slice(), mapper, reducer)?;
     let n = out.len();
     dfs.put(output, out);
 
@@ -216,6 +219,7 @@ where
 mod tests {
     use super::*;
     use crate::{ClusterConfig, FaultPlan};
+    use std::sync::Arc;
 
     #[test]
     fn two_stage_pipeline_with_metered_reads() {

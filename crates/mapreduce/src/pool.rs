@@ -188,7 +188,15 @@ impl WorkerPool {
                 }));
             }
         }
-        self.shared.available.notify_all();
+        // Waking every parked worker for a single queued job makes the
+        // extra workers contend on the queue lock just to find it empty —
+        // measurable on small broadcasts (a DAG scheduler dispatching one
+        // ready job at a time). One job needs one worker.
+        if dispatched == 1 {
+            self.shared.available.notify_one();
+        } else {
+            self.shared.available.notify_all();
+        }
 
         // The caller runs every executor not dispatched to the pool (all of
         // them beyond the first `dispatched` when the pool is smaller than

@@ -10,9 +10,10 @@
 //! engine to match it bit-for-bit on both output and [`JobMetrics`]
 //! (`wall_time_s` excepted). When the two disagree, trust this one.
 
+use crate::arena::{GroupValues, RunCursor};
 use crate::cluster::{Cluster, CostModel};
 use crate::fault::JobFaultSchedule;
-use crate::job::{combine_bucket, partition_of, JobSpec};
+use crate::job::{partition_of, Combiner, JobSpec};
 use crate::metrics::JobMetrics;
 use crate::size::EstimateSize;
 use crate::MrError;
@@ -21,6 +22,29 @@ use std::time::Instant;
 
 /// Per-record framing overhead, identical to the engine's.
 const FRAMING_BYTES: usize = 8;
+
+/// Sort a map task's bucket by key and apply the combiner to each key
+/// group. Input order within equal keys is preserved into the combiner
+/// (stable sort); output stays key-sorted. Row-major twin of
+/// [`crate::arena::ColumnBuffer::combine`] — this executor deliberately
+/// stays tuple-per-record so a disagreement with the engine cannot stem
+/// from shared columnar machinery.
+fn combine_bucket<KM, VM>(bucket: &mut Vec<(KM, VM)>, combiner: Combiner<'_, KM, VM>)
+where
+    KM: Clone + Ord,
+{
+    let drained = std::mem::take(bucket);
+    let mut it = drained.into_iter().peekable();
+    while let Some((key, first)) = it.next() {
+        let mut vals = vec![first];
+        while it.peek().is_some_and(|(k, _)| *k == key) {
+            vals.push(it.next().expect("peeked").1);
+        }
+        for v in combiner(&key, vals) {
+            bucket.push((key.clone(), v));
+        }
+    }
+}
 
 /// Execute one job sequentially with the same observable behavior as
 /// [`crate::job::run_job`]: identical output (contents *and* order),
@@ -197,4 +221,47 @@ where
     metrics.sim_time_s = CostModel::job_time_s(cfg, &metrics);
     cluster.record(metrics);
     Ok(output)
+}
+
+/// Sequential oracle for [`crate::job::run_job_streaming`]: identical
+/// observable semantics, with each key group presented through the same
+/// [`GroupValues`] streaming interface the engine uses. The spec stays
+/// deliberately naive — it materializes the group first (this executor
+/// optimizes for auditability, not allocation) and only *presents* it as
+/// a stream, so a disagreement with the engine can never be caused by
+/// shared merge machinery taking a different path here.
+pub fn run_job_reference_streaming<KI, VI, KM, VM, KO, VO, M, R>(
+    cluster: &Cluster,
+    spec: JobSpec<'_, KM, VM>,
+    input: &[(KI, VI)],
+    mapper: M,
+    reducer: R,
+) -> crate::Result<Vec<(KO, VO)>>
+where
+    KI: Sync + EstimateSize,
+    VI: Sync + EstimateSize,
+    KM: Clone + Ord + Hash + Send + EstimateSize,
+    VM: Send + EstimateSize,
+    KO: Send + EstimateSize,
+    VO: Send + EstimateSize,
+    M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
+    R: Fn(&KM, &mut GroupValues<'_, KM, VM>, &mut dyn FnMut(KO, VO)) + Sync,
+{
+    run_job_reference(
+        cluster,
+        spec,
+        input,
+        mapper,
+        |key: &KM, vals: Vec<VM>, emit: &mut dyn FnMut(KO, VO)| {
+            let n = vals.len();
+            let keys: Vec<KM> = std::iter::repeat_with(|| key.clone()).take(n).collect();
+            let mut cursors = [RunCursor::from_columns(keys, vals)];
+            let counts = [u32::try_from(n).expect("group size fits u32")];
+            let mut group = GroupValues::new(&mut cursors, key, &counts, n);
+            reducer(key, &mut group, emit);
+            // Match the engine: leftovers of an early-stopping reducer are
+            // drained, not leaked into the next group.
+            group.for_each(drop);
+        },
+    )
 }

@@ -17,7 +17,11 @@
 //! to sequential execution:
 //!
 //! * jobs *commit* (record metrics, surface errors) strictly in
-//!   submission order, regardless of completion order;
+//!   submission order, regardless of completion order. Commit is
+//!   *eager*: a commit cursor advances as soon as every earlier
+//!   submission has resolved, instead of waiting for the whole batch —
+//!   the order is unchanged, only the latency of reaching the cluster's
+//!   metrics log;
 //! * each job's fault schedule is keyed by its submission index
 //!   (`jobs already recorded + position in batch`), the exact index a
 //!   sequential driver would have produced, so [`crate::fault::FaultPlan`]
@@ -106,6 +110,9 @@ pub struct JobCtx<'c> {
     ran: &'c AtomicBool,
     metrics: &'c OnceLock<JobMetrics>,
     preds: &'c [usize],
+    /// Intra-job task parallelism granted to this job, fixed when the
+    /// batch starts: the pool split between the batch's scheduler workers.
+    intra_threads: usize,
 }
 
 impl JobCtx<'_> {
@@ -165,6 +172,16 @@ impl JobSite for JobCtx<'_> {
         // most one set per job.
         let _ = self.metrics.set(metrics);
     }
+
+    fn task_parallelism(&self, threads: usize) -> usize {
+        // Split the pool between the batch's scheduler workers, decided
+        // once up front: with as many DAG workers as threads, each job
+        // runs its tasks inline on its worker — zero nested-broadcast
+        // queue traffic. Purely a performance decision (results are
+        // independent of executor count); sequential batches keep full
+        // intra-job parallelism.
+        self.intra_threads.min(threads).max(1)
+    }
 }
 
 type JobFn<'a> = Box<dyn FnOnce(&JobCtx<'_>) -> crate::Result<()> + Send + 'a>;
@@ -182,6 +199,15 @@ enum Status {
     Done,
     Failed(MrError),
     Skipped,
+}
+
+/// State of the eager submission-order commit: the next submission index
+/// to commit, everything committed so far, and whether a non-Done status
+/// halted the cursor for good.
+struct CommitCursor {
+    next: usize,
+    committed: RunMetrics,
+    halted: bool,
 }
 
 /// What [`Batch::run`] returns on success.
@@ -404,6 +430,16 @@ impl<'a> Batch<'a> {
         let metrics: Vec<OnceLock<JobMetrics>> = (0..n).map(|_| OnceLock::new()).collect();
         let graph = self.graph;
         let jobs = &self.jobs;
+        // Intra-job parallelism is fixed per batch: a sequential batch
+        // gives each job the whole pool (one job in flight at a time); a
+        // DAG batch splits the pool evenly between its scheduler workers,
+        // so a full-width batch runs every job's tasks inline with no
+        // nested broadcasts at all.
+        let threads = cluster.config().threads.max(1);
+        let intra_threads = match cluster.config().scheduler {
+            SchedulerMode::Sequential => threads,
+            SchedulerMode::Dag => (threads / threads.min(n)).max(1),
+        };
 
         let ctx_for = |j: usize| JobCtx {
             cluster,
@@ -413,6 +449,7 @@ impl<'a> Batch<'a> {
             ran: &ran[j],
             metrics: &metrics[j],
             preds: &preds[j],
+            intra_threads,
         };
         // Run the job's closure and turn "returned Ok without running its
         // declared job" into the violation it is.
@@ -434,47 +471,75 @@ impl<'a> Batch<'a> {
         };
 
         let statuses: Vec<OnceLock<Status>> = (0..n).map(|_| OnceLock::new()).collect();
+
+        // ---- Eager submission-order commit -------------------------------
+        // A commit cursor advances whenever the prefix of resolved
+        // statuses grows: job j commits (metrics recorded on the cluster)
+        // as soon as submissions 0..j are all Done — not when the whole
+        // batch drains. The cursor and the cluster's metrics log are
+        // updated under one lock, so records land strictly in submission
+        // order even when workers race to advance. The first non-Done
+        // status halts the cursor permanently: nothing after a failure
+        // ever commits.
+        let commit = Mutex::new(CommitCursor {
+            next: 0,
+            committed: RunMetrics::default(),
+            halted: false,
+        });
+        let advance_commit = || {
+            let mut cur = commit.lock().expect("commit cursor poisoned");
+            while !cur.halted && cur.next < n {
+                match statuses[cur.next].get() {
+                    Some(Status::Done) => {
+                        let m = metrics[cur.next]
+                            .get()
+                            .expect("done job stashed metrics")
+                            .clone();
+                        cluster.record(m.clone());
+                        cur.committed.push(m);
+                        cur.next += 1;
+                    }
+                    Some(Status::Failed(_)) | Some(Status::Skipped) => cur.halted = true,
+                    None => break,
+                }
+            }
+        };
+
         match cluster.config().scheduler {
             SchedulerMode::Sequential => {
                 // Strict submission order, abort at the first failure —
                 // exactly the pre-scheduler drivers' behaviour. Jobs after
                 // the failure never run.
                 for (j, slot) in statuses.iter().enumerate() {
-                    match execute(j) {
-                        Status::Done => {
-                            let _ = slot.set(Status::Done);
-                        }
-                        s => {
-                            let _ = slot.set(s);
-                            break;
-                        }
+                    let status = execute(j);
+                    let stop = !matches!(status, Status::Done);
+                    let _ = slot.set(status);
+                    advance_commit();
+                    if stop {
+                        break;
                     }
                 }
             }
             SchedulerMode::Dag => {
-                self.run_dag(cluster, &preds, &statuses, &execute);
+                self.run_dag(cluster, &preds, &statuses, &execute, &advance_commit);
             }
         }
 
-        // ---- Commit, in submission order --------------------------------
+        // ---- Surface the submission-order outcome ------------------------
         // Dependency edges only point backwards, so a skipped job always
-        // follows its failed ancestor: the first non-Done status is a
-        // failure, and everything before it succeeded.
-        let mut committed = RunMetrics::default();
-        for j in 0..n {
-            match statuses[j].get() {
-                Some(Status::Done) => {
-                    let m = metrics[j].get().expect("done job stashed metrics").clone();
-                    cluster.record(m.clone());
-                    committed.push(m);
-                }
+        // follows its failed ancestor: the first uncommitted status is a
+        // failure, and everything before it committed eagerly above.
+        let cur = commit.into_inner().expect("commit cursor poisoned");
+        if cur.next < n {
+            match statuses[cur.next].get() {
                 Some(Status::Failed(e)) => return Err(e.clone()),
-                Some(Status::Skipped) | None => unreachable!(
-                    "job {j} unresolved but no earlier job failed; dependency edges only point backwards"
+                _ => unreachable!(
+                    "job {} uncommitted but not failed; dependency edges only point backwards",
+                    cur.next
                 ),
             }
         }
-        let report = batch_report(&committed, &preds, cluster.config().threads.max(1));
+        let report = batch_report(&cur.committed, &preds, cluster.config().threads.max(1));
         cluster.record_batch(report.clone());
         Ok(BatchResults { report })
     }
@@ -489,6 +554,7 @@ impl<'a> Batch<'a> {
         preds: &[Vec<usize>],
         statuses: &[OnceLock<Status>],
         execute: &(dyn Fn(usize) -> Status + Sync),
+        commit: &(dyn Fn() + Sync),
     ) {
         let n = self.jobs.len();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -504,7 +570,13 @@ impl<'a> Batch<'a> {
                 .filter(|&j| preds[j].is_empty())
                 .collect::<VecDeque<_>>(),
         );
-        let workers = cluster.config().threads.max(1).min(n);
+        // Cap scheduler workers at the host's real core count: configured
+        // `threads` beyond that only adds context switching and queue
+        // contention (a simulated 8-machine cluster is still one host).
+        // Worker count never affects results — on a single-core host the
+        // whole DAG drains inline on the caller with zero pool traffic.
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = cluster.config().threads.max(1).min(n).min(host);
         cluster.pool().broadcast(workers, &|_executor| loop {
             let next = ready.lock().expect("ready queue poisoned").pop_front();
             let Some(j) = next else { break };
@@ -515,6 +587,11 @@ impl<'a> Batch<'a> {
             };
             let ok = matches!(status, Status::Done);
             let _ = statuses[j].set(status);
+            // Advance the commit cursor before waking dependents: a
+            // dependent reading its predecessor's output through
+            // `JobCtx::get` may rely on that job's metrics already being
+            // on the cluster log (exactly as under sequential execution).
+            commit();
             for &s in &succs[j] {
                 if !ok {
                     poisoned[s].store(true, Ordering::SeqCst);

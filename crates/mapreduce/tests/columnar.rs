@@ -1,0 +1,258 @@
+//! Property tests for the columnar shuffle and streaming reduce path.
+//!
+//! The SoA arena, the counts-driven k-way merge, and the streaming
+//! [`run_job_streaming`] boundary are all invisible refactors: for random
+//! jobs — including heavily skewed key distributions and degenerate
+//! zero-record shapes — the engine must return the *same output in the
+//! same order* as the sequential reference executor, and record the same
+//! [`JobMetrics`] (every field except the host-time ones). The streaming
+//! and `Vec`-signature boundaries must also agree with each other, even
+//! when a streaming reducer stops early and leaves values undrained.
+
+use haten2_mapreduce::{
+    run_job, run_job_reference, run_job_reference_streaming, run_job_streaming, Cluster,
+    ClusterConfig, JobMetrics, JobSpec,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Uniform word-count corpus: small vocabulary so keys collide across
+/// map tasks and partitions.
+fn corpus() -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    vec((0u64..1000, vec(0u64..25, 0..10)), 0..50)
+}
+
+/// Power-law-skewed corpus: words are log2-bucketed uniform draws, so
+/// word `k` appears with probability ~2^-k — a few huge groups and a
+/// long tail of singletons, the shape that stresses group sizing and the
+/// per-run prefix counts of the merge.
+fn skewed_corpus() -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    let zipfish = (1u64..=1 << 20).prop_map(|x| u64::from(63 - x.leading_zeros()));
+    vec((0u64..1000, vec(zipfish, 0..12)), 0..50)
+}
+
+fn config(machines: usize, threads: usize, reducers: usize) -> ClusterConfig {
+    ClusterConfig {
+        machines,
+        threads,
+        reducers: Some(reducers),
+        ..ClusterConfig::default()
+    }
+}
+
+fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=16, 1usize..=16, 1usize..=8)
+}
+
+/// Non-host-time metrics of the first (only) job run on a cluster.
+fn job_metrics(c: &Cluster) -> JobMetrics {
+    let mut m = c.metrics().jobs.first().cloned().unwrap_or_default();
+    m.wall_time_s = 0.0;
+    m.started_s = 0.0;
+    m.finished_s = 0.0;
+    m
+}
+
+fn wc_mapper(_id: &u64, words: &Vec<u64>, emit: &mut dyn FnMut(u64, u64)) {
+    for &w in words {
+        emit(w, 1);
+    }
+}
+
+/// Streaming engine vs streaming reference on one input; returns outputs
+/// and scrubbed metrics from both sides.
+type StreamOutcome = (
+    haten2_mapreduce::Result<Vec<(u64, u64)>>,
+    haten2_mapreduce::Result<Vec<(u64, u64)>>,
+    JobMetrics,
+    JobMetrics,
+);
+
+fn run_streaming_both(cfg: ClusterConfig, input: &[(u64, Vec<u64>)]) -> StreamOutcome {
+    let reducer = |word: &u64,
+                   vals: &mut haten2_mapreduce::GroupValues<'_, u64, u64>,
+                   emit: &mut dyn FnMut(u64, u64)| {
+        emit(*word, vals.sum());
+    };
+    let engine_cluster = Cluster::new(cfg.clone());
+    let engine = run_job_streaming(
+        &engine_cluster,
+        JobSpec::named("wc"),
+        input,
+        wc_mapper,
+        reducer,
+    );
+    let reference_cluster = Cluster::new(cfg);
+    let reference = run_job_reference_streaming(
+        &reference_cluster,
+        JobSpec::named("wc"),
+        input,
+        wc_mapper,
+        reducer,
+    );
+    (
+        engine,
+        reference,
+        job_metrics(&engine_cluster),
+        job_metrics(&reference_cluster),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The streaming boundary is observably identical to the sequential
+    /// streaming reference: outputs bit-identical and in the same order,
+    /// metrics identical except host time.
+    #[test]
+    fn streaming_engine_matches_streaming_reference(
+        input in corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let (engine, reference, em, rm) =
+            run_streaming_both(config(machines, threads, reducers), &input);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(em, rm);
+    }
+
+    /// Same equivalence under power-law key skew: a handful of giant
+    /// groups spanning every run plus a tail of one-value groups.
+    #[test]
+    fn streaming_equivalence_under_power_law_skew(
+        input in skewed_corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let (engine, reference, em, rm) =
+            run_streaming_both(config(machines, threads, reducers), &input);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(em, rm);
+    }
+
+    /// The `Vec`-signature and streaming boundaries run the same shuffle
+    /// and merge, so their outputs must be bit-identical (metrics differ
+    /// only in the documented `bytes_allocated` materialization charge).
+    #[test]
+    fn vec_and_streaming_boundaries_agree(
+        input in skewed_corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let cfg = config(machines, threads, reducers);
+        let classic = run_job(
+            &Cluster::new(cfg.clone()),
+            JobSpec::named("wc"),
+            &input,
+            wc_mapper,
+            |word: &u64, ones: Vec<u64>, emit: &mut dyn FnMut(u64, u64)| {
+                emit(*word, ones.iter().sum());
+            },
+        );
+        let streaming = run_job_streaming(
+            &Cluster::new(cfg),
+            JobSpec::named("wc"),
+            &input,
+            wc_mapper,
+            |word: &u64,
+             vals: &mut haten2_mapreduce::GroupValues<'_, u64, u64>,
+             emit: &mut dyn FnMut(u64, u64)| {
+                emit(*word, vals.sum());
+            },
+        );
+        prop_assert_eq!(classic, streaming);
+    }
+
+    /// A streaming reducer that stops early leaves its group's remainder
+    /// to the engine's drain; the next group must start clean, exactly as
+    /// in the reference.
+    #[test]
+    fn early_stopping_streaming_reducer_drains_cleanly(
+        input in skewed_corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let reducer = |word: &u64,
+                       vals: &mut haten2_mapreduce::GroupValues<'_, u64, u64>,
+                       emit: &mut dyn FnMut(u64, u64)| {
+            // Consume at most two values, then bail mid-group.
+            emit(*word, vals.take(2).sum());
+        };
+        let cfg = config(machines, threads, reducers);
+        let engine_cluster = Cluster::new(cfg.clone());
+        let engine = run_job_streaming(
+            &engine_cluster, JobSpec::named("wc"), &input, wc_mapper, reducer,
+        );
+        let reference_cluster = Cluster::new(cfg);
+        let reference = run_job_reference_streaming(
+            &reference_cluster, JobSpec::named("wc"), &input, wc_mapper, reducer,
+        );
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(job_metrics(&engine_cluster), job_metrics(&reference_cluster));
+    }
+
+    /// Zero-record shapes: empty input, a mapper that drops everything,
+    /// and a reducer that emits nothing all round-trip identically.
+    #[test]
+    fn zero_record_cases_are_identical(
+        (machines, threads, reducers) in geometry(),
+        input in corpus(),
+    ) {
+        let cfg = config(machines, threads, reducers);
+
+        // Empty input.
+        let empty: Vec<(u64, Vec<u64>)> = Vec::new();
+        let (engine, reference, em, rm) = run_streaming_both(cfg.clone(), &empty);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(em, rm);
+
+        // Mapper emits nothing: every map task produces an empty bucket
+        // row, so the shuffle moves zero runs.
+        let silent_map = |_id: &u64, _w: &Vec<u64>, _emit: &mut dyn FnMut(u64, u64)| {};
+        let reducer = |word: &u64,
+                       vals: &mut haten2_mapreduce::GroupValues<'_, u64, u64>,
+                       emit: &mut dyn FnMut(u64, u64)| {
+            emit(*word, vals.sum());
+        };
+        let ec = Cluster::new(cfg.clone());
+        let engine = run_job_streaming(&ec, JobSpec::named("wc"), &input, silent_map, reducer);
+        let rc = Cluster::new(cfg.clone());
+        let reference =
+            run_job_reference_streaming(&rc, JobSpec::named("wc"), &input, silent_map, reducer);
+        prop_assert_eq!(engine.as_deref(), Ok(&[][..]));
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(job_metrics(&ec), job_metrics(&rc));
+
+        // Reducer emits nothing: groups are sized, streamed, and drained,
+        // but the output buffer stays empty.
+        let silent_reduce = |_w: &u64,
+                             _vals: &mut haten2_mapreduce::GroupValues<'_, u64, u64>,
+                             _emit: &mut dyn FnMut(u64, u64)| {};
+        let ec = Cluster::new(cfg.clone());
+        let engine =
+            run_job_streaming(&ec, JobSpec::named("wc"), &input, wc_mapper, silent_reduce);
+        let rc = Cluster::new(cfg);
+        let reference = run_job_reference_streaming(
+            &rc, JobSpec::named("wc"), &input, wc_mapper, silent_reduce,
+        );
+        prop_assert_eq!(engine.as_deref(), Ok(&[][..]));
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(job_metrics(&ec), job_metrics(&rc));
+    }
+
+    /// The `Vec`-signature engine still matches the `Vec`-signature
+    /// reference under skew (guards the materializing boundary the same
+    /// way `equivalence.rs` does for uniform keys).
+    #[test]
+    fn vec_engine_matches_vec_reference_under_skew(
+        input in skewed_corpus(),
+        (machines, threads, reducers) in geometry(),
+    ) {
+        let reducer = |word: &u64, ones: Vec<u64>, emit: &mut dyn FnMut(u64, u64)| {
+            emit(*word, ones.iter().sum());
+        };
+        let cfg = config(machines, threads, reducers);
+        let ec = Cluster::new(cfg.clone());
+        let engine = run_job(&ec, JobSpec::named("wc"), &input, wc_mapper, reducer);
+        let rc = Cluster::new(cfg);
+        let reference = run_job_reference(&rc, JobSpec::named("wc"), &input, wc_mapper, reducer);
+        prop_assert_eq!(engine, reference);
+        prop_assert_eq!(job_metrics(&ec), job_metrics(&rc));
+    }
+}

@@ -449,7 +449,12 @@ pub struct ReducerSite {
 }
 
 /// The job runners whose closure arguments the purity pass inspects.
-const JOB_RUNNERS: &[&str] = &["run_job", "run_job_dfs", "run_job_dfs_recovering"];
+const JOB_RUNNERS: &[&str] = &[
+    "run_job",
+    "run_job_streaming",
+    "run_job_dfs",
+    "run_job_dfs_recovering",
+];
 
 fn contains_token(hay: &str, needle: &str) -> Option<usize> {
     let b = hay.as_bytes();

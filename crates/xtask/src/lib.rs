@@ -32,6 +32,14 @@
 //!   sources outside `crates/mapreduce/src/fault.rs`: every retry site
 //!   must charge delays through the one `RetryPolicy::backoff_s` helper so
 //!   the engine and the reference executor account recovery identically.
+//! * **no-per-record-alloc** — pushing owned `(key, value)` tuples record
+//!   by record (`.push((`) is banned in the engine's hot data path
+//!   (`crates/mapreduce/src/job.rs`): map emit, shuffle, and reduce
+//!   staging must go through the columnar arena buffers of
+//!   `crates/mapreduce/src/arena.rs`, which keep keys and values in
+//!   contiguous per-column storage. This rule is scoped via `applies_to` —
+//!   tuple pushes are fine elsewhere (the sequential reference executor
+//!   deliberately stays row-major).
 //!
 //! Suppress a finding with `// lint:allow(<rule>) — <reason>` on the same
 //! or the preceding line; `cargo xtask lint --list-allows` prints every
@@ -68,6 +76,10 @@ pub struct Rule {
     pub message: &'static str,
     /// Files (workspace-relative) exempt from this rule.
     pub exempt: &'static [&'static str],
+    /// When non-empty, the rule fires *only* in these files
+    /// (workspace-relative) — the inverse of `exempt`, for rules whose
+    /// pattern is legitimate everywhere except a few guarded hot paths.
+    pub applies_to: &'static [&'static str],
 }
 
 /// The workspace lint rules (see the crate docs for rationale).
@@ -79,6 +91,7 @@ pub const RULES: &[Rule] = &[
         message: "raw thread primitives are reserved for the WorkerPool; route parallelism \
                   through haten2_mapreduce::WorkerPool so cost accounting sees it",
         exempt: &["crates/mapreduce/src/pool.rs"],
+        applies_to: &[],
     },
     Rule {
         id: "no-default-hasher",
@@ -87,6 +100,7 @@ pub const RULES: &[Rule] = &[
         message: "DefaultHasher is not stable across toolchains; use the engine's explicit \
                   partitioner for reproducible shuffle placement",
         exempt: &[],
+        applies_to: &[],
     },
     Rule {
         id: "no-unwrap",
@@ -95,6 +109,7 @@ pub const RULES: &[Rule] = &[
         message: "library code must propagate errors, not panic; return a Result or use \
                   expect with an invariant message",
         exempt: &[],
+        applies_to: &[],
     },
     Rule {
         id: "no-debug-macros",
@@ -102,6 +117,7 @@ pub const RULES: &[Rule] = &[
         scope: Scope::Everywhere,
         message: "debugging leftovers must not land",
         exempt: &[],
+        applies_to: &[],
     },
     Rule {
         id: "no-direct-run-job-dfs",
@@ -115,6 +131,7 @@ pub const RULES: &[Rule] = &[
             "crates/mapreduce/src/pipeline.rs",
             "crates/mapreduce/src/lib.rs",
         ],
+        applies_to: &[],
     },
     Rule {
         id: "shared-backoff",
@@ -129,6 +146,18 @@ pub const RULES: &[Rule] = &[
                   (crates/mapreduce/src/fault.rs), not ad-hoc backoff arithmetic, so \
                   recovery time stays identical across executors",
         exempt: &["crates/mapreduce/src/fault.rs"],
+        applies_to: &[],
+    },
+    Rule {
+        id: "no-per-record-alloc",
+        patterns: &[".push(("],
+        scope: Scope::LibraryCode,
+        message: "the engine's map-emit/shuffle/reduce hot paths must not push owned \
+                  (key, value) tuples record by record; stage records through the \
+                  columnar arena buffers (crates/mapreduce/src/arena.rs) so keys and \
+                  values stay in contiguous per-column storage",
+        exempt: &[],
+        applies_to: &["crates/mapreduce/src/job.rs", "no_per_record_alloc.rs"],
     },
 ];
 
@@ -200,6 +229,9 @@ pub fn lint_file(path: &Path, rel: &str, is_library: bool, findings: &mut Vec<Fi
                 continue;
             }
             if rule.exempt.contains(&rel) {
+                continue;
+            }
+            if !rule.applies_to.is_empty() && !rule.applies_to.contains(&rel) {
                 continue;
             }
             if rule.patterns.iter().any(|p| code.contains(p))

@@ -1,0 +1,7 @@
+//! Known-bad fixture: a hot-path emit buffer pushing owned `(key, value)`
+//! tuples record by record instead of staging them through the columnar
+//! arena buffers. Must trip `no-per-record-alloc` exactly once.
+
+pub fn bad(buckets: &mut Vec<Vec<(u64, f64)>>, p: usize, k: u64, v: f64) {
+    buckets[p].push((k, v));
+}

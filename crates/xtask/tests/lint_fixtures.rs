@@ -22,6 +22,7 @@ const LINT_FIXTURES: &[(&str, &str)] = &[
     ("no_debug_macros.rs", "no-debug-macros"),
     ("no_direct_run_job_dfs.rs", "no-direct-run-job-dfs"),
     ("shared_backoff.rs", "shared-backoff"),
+    ("no_per_record_alloc.rs", "no-per-record-alloc"),
     ("undocumented_unsafe.rs", "undocumented-unsafe"),
 ];
 

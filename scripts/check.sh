@@ -22,6 +22,9 @@ cargo run -p haten2-chaos --release --bin haten2-chaos -- --seeds 2 --seed-base 
 echo "==> dag_speedup smoke (scheduler equivalence + 2x simulated speedup on the Naive-Tucker sweep)"
 cargo run -p haten2-bench --release --bin haten2-engine-bench -- --dag-smoke
 
+echo "==> perf smoke (dag must beat sequential on this host; fault-free overhead <= 5%)"
+cargo run -p haten2-bench --release --bin haten2-engine-bench -- --perf-smoke
+
 echo "==> cargo xtask analyze (lint, paper table + ANALYSIS.md staleness gate, reject demo, determinism, JSON smoke)"
 cargo xtask analyze
 
