@@ -10,6 +10,7 @@
 //!   "envs_checked": 288,
 //!   "rows": [ {"graph": "...", "verdict": "verified", ...}, ... ],
 //!   "recovery": [ {"graph": "...", "certified": true, ...}, ... ],
+//!   "races": [ {"graph": "...", "certified": true, ...}, ... ],
 //!   "determinism": {"ok": true, "files_scanned": 13, "violations": []},
 //!   "violations": [ {"pass": "...", "kind": "...", ...}, ... ]
 //! }
@@ -67,6 +68,9 @@ fn pass_of(v: &Violation) -> &'static str {
         Violation::NondeterministicUdf { .. } | Violation::AnnotationMismatch { .. } => {
             "determinism"
         }
+        Violation::UndeclaredEffect { .. }
+        | Violation::UnorderedConflict { .. }
+        | Violation::OverDeclaredRead { .. } => "races",
     }
 }
 
@@ -176,6 +180,27 @@ pub fn violation_json(v: &Violation) -> String {
             "\"kind\":\"annotation-mismatch\",\"graph\":\"{}\",\"job\":\"{}\",\"op\":\"{}\",\"detail\":\"{}\"",
             esc(graph), esc(job), esc(op), esc(detail)
         ),
+        Violation::UndeclaredEffect { site, job, dataset } => format!(
+            "\"kind\":\"undeclared-effect\",\"site\":\"{}\",\"job\":\"{}\",\"dataset\":\"{}\"",
+            esc(site),
+            esc(job),
+            esc(dataset)
+        ),
+        Violation::UnorderedConflict {
+            scope,
+            job_a,
+            job_b,
+            dataset,
+        } => format!(
+            "\"kind\":\"unordered-conflict\",\"scope\":\"{}\",\"job_a\":\"{}\",\"job_b\":\"{}\",\"dataset\":\"{}\"",
+            esc(scope), esc(job_a), esc(job_b), esc(dataset)
+        ),
+        Violation::OverDeclaredRead { site, job, dataset } => format!(
+            "\"kind\":\"over-declared-read\",\"site\":\"{}\",\"job\":\"{}\",\"dataset\":\"{}\"",
+            esc(site),
+            esc(job),
+            esc(dataset)
+        ),
     };
     format!(
         "{{\"pass\":\"{pass}\",{body},\"display\":\"{}\"}}",
@@ -233,6 +258,24 @@ pub fn full_json(report: &Report) -> String {
     }
     out.push_str("],");
 
+    out.push_str("\"races\":[");
+    for (i, r) in report.rows.iter().enumerate() {
+        let c = &r.races;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"graph\":\"{}\",\"certified\":{},\"jobs_checked\":{},\"templates_matched\":{},\"templates_total\":{}}}",
+            esc(&c.graph),
+            c.certified(),
+            c.jobs_checked,
+            c.templates_matched,
+            c.templates_total
+        );
+    }
+    out.push_str("],");
+
     let det = &report.determinism;
     let _ = write!(
         out,
@@ -272,6 +315,43 @@ mod tests {
     }
 
     #[test]
+    fn race_violation_objects_carry_pair_and_dataset() {
+        // The races pass emits one object per finding; an unordered
+        // conflict must name both jobs of the racing pair and the
+        // dataset, mirroring the runtime's two-job PlanViolation and
+        // DuplicateWrite messages.
+        let v = Violation::UnorderedConflict {
+            scope: "parafac-naive".to_string(),
+            job_a: "parafac-naive-xb1".to_string(),
+            job_b: "parafac-naive-tc1".to_string(),
+            dataset: "t#1".to_string(),
+        };
+        let j = violation_json(&v);
+        assert!(j.starts_with("{\"pass\":\"races\""));
+        assert!(j.contains("\"kind\":\"unordered-conflict\""));
+        assert!(j.contains("\"job_a\":\"parafac-naive-xb1\""));
+        assert!(j.contains("\"job_b\":\"parafac-naive-tc1\""));
+        assert!(j.contains("\"dataset\":\"t#1\""));
+        for v in [
+            Violation::UndeclaredEffect {
+                site: "core/src/ops.rs:10".to_string(),
+                job: "a".to_string(),
+                dataset: "d#0".to_string(),
+            },
+            Violation::OverDeclaredRead {
+                site: "core/src/ops.rs:11".to_string(),
+                job: "b".to_string(),
+                dataset: "d".to_string(),
+            },
+        ] {
+            let j = violation_json(&v);
+            assert!(j.starts_with("{\"pass\":\"races\""), "{j}");
+            assert!(j.contains("\"site\":"), "{j}");
+            assert!(j.contains("\"display\":"), "{j}");
+        }
+    }
+
+    #[test]
     fn escaping_handles_control_chars() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("\u{1}"), "\\u0001");
@@ -286,6 +366,7 @@ mod tests {
             &doc[..60.min(doc.len())]
         );
         assert!(doc.contains("\"recovery\":["));
+        assert!(doc.contains("\"races\":["));
         assert!(doc.contains("\"violations\":[]"));
         // Balanced braces/brackets outside strings = structurally sound.
         let (mut depth, mut in_str, mut escp) = (0i64, false, false);

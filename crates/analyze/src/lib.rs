@@ -30,6 +30,15 @@
 //!   float reductions not declared commutative-associative in plan
 //!   metadata (each declaration is property-checked by a generated
 //!   proptest per reducer).
+//! * **Races pass** ([`races::check_races`]) — infers the dataset names
+//!   each submitted closure actually touches (via `haten2-srcscan`
+//!   effect inference, including `#shard` patterns), proves inferred ⊆
+//!   declared per batch, expands every registered graph at a witness
+//!   environment, and certifies that no two jobs unordered by declared
+//!   dependencies conflict — plus an adversarial-schedule replay showing
+//!   every topological order commutes with the submission-order oracle.
+//!   The `race-detect` feature of the engine is the dynamic counterpart;
+//!   the chaos harness cross-validates the two.
 //! * **Lint pass** — source-level rules (forbidden APIs, undocumented
 //!   `unsafe`, `unwrap` in library code) live in the `xtask` package
 //!   (`cargo xtask lint`), layered on the same `haten2-srcscan` scanner:
@@ -51,12 +60,14 @@ pub mod dataflow;
 pub mod demo;
 pub mod determinism;
 pub mod json;
+pub mod races;
 pub mod recovery;
 pub mod report;
 
 pub use cost::{paper_claim, regime_envs, PaperClaim};
 pub use dataflow::check_dataflow;
 pub use determinism::{check_determinism, check_plan_consistency, DeterminismReport};
+pub use races::{check_races, race_certified, GraphRaceCert, RaceCertReport};
 pub use recovery::{certify, Certification, RecoveryBound};
 pub use report::{verify_paper_table, Report, RowVerdict};
 
@@ -203,6 +214,40 @@ pub enum Violation {
         /// What disagrees.
         detail: String,
     },
+    /// A submitted closure touches a dataset its declaration omits, so
+    /// the DAG scheduler cannot order the access.
+    UndeclaredEffect {
+        /// Where the effect was inferred: `file:line` for a source
+        /// finding, the graph name for an instance-level one.
+        site: String,
+        /// Offending job (template or instance).
+        job: String,
+        /// The dataset the body touches without declaring.
+        dataset: String,
+    },
+    /// Two jobs with no declared-dependency path between them conflict on
+    /// a dataset (write/write or read/write) — the scheduler may run them
+    /// concurrently.
+    UnorderedConflict {
+        /// Batch or graph the racing pair lives in.
+        scope: String,
+        /// Earlier job of the racing pair.
+        job_a: String,
+        /// Later job of the racing pair.
+        job_b: String,
+        /// The dataset both touch.
+        dataset: String,
+    },
+    /// A declared read of an intermediate dataset the closure never
+    /// consumes — a stale declaration that over-serializes the schedule.
+    OverDeclaredRead {
+        /// Where the declaration lives: `file:line` or the graph name.
+        site: String,
+        /// Job carrying the stale declaration.
+        job: String,
+        /// The declared-but-unused dataset.
+        dataset: String,
+    },
 }
 
 fn fmt_env(env: &Env) -> String {
@@ -324,6 +369,29 @@ impl std::fmt::Display for Violation {
                 f,
                 "annotation mismatch in graph '{graph}', job '{job}' (op '{op}'): \
                  {detail}"
+            ),
+            Violation::UndeclaredEffect { site, job, dataset } => write!(
+                f,
+                "undeclared effect at {site}: job '{job}' touches dataset \
+                 '{dataset}' without declaring it, so the scheduler cannot \
+                 order the access"
+            ),
+            Violation::UnorderedConflict {
+                scope,
+                job_a,
+                job_b,
+                dataset,
+            } => write!(
+                f,
+                "unordered conflict in {scope}: jobs '{job_a}' and '{job_b}' \
+                 both touch dataset '{dataset}' with no declared-dependency \
+                 path between them — the DAG scheduler may race them"
+            ),
+            Violation::OverDeclaredRead { site, job, dataset } => write!(
+                f,
+                "over-declared read at {site}: job '{job}' declares a read of \
+                 '{dataset}' its body never consumes, over-serializing the \
+                 schedule"
             ),
         }
     }

@@ -477,6 +477,14 @@ fn run_dag_speedup(nnz: usize) -> DagSpeedup {
 }
 
 fn main() {
+    // Measured builds must not carry the dynamic race detector: the chaos
+    // harness turns the `race-detect` feature on for its own dependency
+    // tree, and feature unification must never leak it into this binary's.
+    assert!(
+        !haten2_mapreduce::race_detector_compiled(),
+        "engine bench built with the race-detect feature — timings would \
+         include detector bookkeeping; run via `cargo run -p haten2-bench`"
+    );
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--dag-smoke") {
         // Small-input smoke for scripts/check.sh: the full equivalence
@@ -605,7 +613,7 @@ fn main() {
     let dag = run_dag_speedup(DAG_NNZ);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up round (seed blocked; pooled and no-op interleaved); speedup is the ratio of minima, overhead the median of per-round paired ratios; bytes_allocated is the cluster allocation-proxy high water (null where no cluster exists)\"\n}}\n",
+        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"race_detector\": {{ \"compiled_in_bench\": false, \"disabled_overhead_pct\": 0.000, \"gate\": \"asserted off at startup; the race-detect feature is cfg'd out of measured builds, so the disabled detector's overhead is structurally zero (no residual hooks)\" }},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up round (seed blocked; pooled and no-op interleaved); speedup is the ratio of minima, overhead the median of per-round paired ratios; bytes_allocated is the cluster allocation-proxy high water (null where no cluster exists)\"\n}}\n",
         cfg.machines,
         cfg.num_reducers(),
         cfg.threads,

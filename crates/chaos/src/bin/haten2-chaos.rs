@@ -49,8 +49,17 @@ fn main() {
     let report = run_chaos(&opts);
 
     println!(
-        "{:<24} {:>10} {:<10} {:>6} {:>7} {:>5} {:>6} {:>7} {:>12}",
-        "pipeline", "seed", "status", "static", "retries", "spec", "blist", "dfsrty", "recovery_s"
+        "{:<24} {:>10} {:<10} {:>6} {:>6} {:>7} {:>5} {:>6} {:>7} {:>12}",
+        "pipeline",
+        "seed",
+        "status",
+        "static",
+        "races",
+        "retries",
+        "spec",
+        "blist",
+        "dfsrty",
+        "recovery_s"
     );
     for o in &report.outcomes {
         let status = match &o.status {
@@ -58,12 +67,20 @@ fn main() {
             Status::Exhausted(_) => "exhausted",
             Status::Diverged(_) => "DIVERGED",
         };
+        let races = if !o.race_certified {
+            "UNCERT".to_string()
+        } else if o.dynamic_races > 0 {
+            format!("RACE:{}", o.dynamic_races)
+        } else {
+            "0".to_string()
+        };
         println!(
-            "{:<24} {:>10} {:<10} {:>6} {:>7} {:>5} {:>6} {:>7} {:>12.3}",
+            "{:<24} {:>10} {:<10} {:>6} {:>6} {:>7} {:>5} {:>6} {:>7} {:>12.3}",
             o.pipeline,
             o.seed,
             status,
             if o.static_certified { "cert" } else { "UNCERT" },
+            races,
             o.retries,
             o.speculative,
             o.blacklisted,
@@ -101,7 +118,28 @@ fn main() {
             );
         }
     }
-    if violations > 0 || !cross.is_empty() {
+    println!(
+        "race detector: {} dynamic race(s) flagged, {} race cross-validation failure(s)",
+        report.total_dynamic_races(),
+        report.race_cross_validation_failures().len()
+    );
+    let race_cross = report.race_cross_validation_failures();
+    for o in &race_cross {
+        if o.dynamic_races > 0 {
+            println!(
+                "  !! race cross-validation: {} (seed {}) was certified race-free \
+                 statically but the dynamic detector flagged {} race(s)",
+                o.pipeline, o.seed, o.dynamic_races
+            );
+        } else {
+            println!(
+                "  !! race cross-validation: {} (seed {}) ran race-free dynamically \
+                 but the static races pass refused to certify it",
+                o.pipeline, o.seed
+            );
+        }
+    }
+    if violations > 0 || !cross.is_empty() || !race_cross.is_empty() {
         std::process::exit(1);
     }
 }

@@ -29,8 +29,15 @@
 //! The harness also aggregates the recovery counters, so callers can
 //! assert the invariant was exercised (retries actually happened) rather
 //! than vacuously true.
+//!
+//! Every cluster is built with the engine's `race-detect` feature
+//! compiled in: a per-dataset last-writer/readers detector inside the
+//! DFS flags any pair of unordered conflicting accesses during the
+//! sweep. Its verdict is cross-validated against the static races pass
+//! ([`haten2_analyze::race_certified`]) in both directions — see
+//! [`ChaosReport::race_cross_validation_failures`].
 
-use haten2_analyze::certify;
+use haten2_analyze::{certify, race_certified};
 use haten2_core::{
     parafac_als, plan_for, recovery_for, tucker_als, AlsOptions, CoreError, Decomp, Variant,
 };
@@ -95,6 +102,13 @@ pub struct Outcome {
     /// Did the static recoverability pass (`haten2_analyze::certify`)
     /// certify this pipeline's plan under its declared recovery spec?
     pub static_certified: bool,
+    /// Did the static races pass (`haten2_analyze::race_certified`)
+    /// certify this pipeline's batch program conflict-free?
+    pub race_certified: bool,
+    /// Races the dynamic detector flagged across the run's clusters
+    /// (DAG + sequential replay). The static certificate claims this is
+    /// zero; any nonzero count is a cross-validation failure.
+    pub dynamic_races: usize,
 }
 
 /// Aggregated result of a chaos sweep.
@@ -142,6 +156,27 @@ impl ChaosReport {
             .iter()
             .filter(|o| o.status == Status::Identical && !o.static_certified)
             .collect()
+    }
+
+    /// Static ⊆ dynamic cross-validation for the *race* certificates, in
+    /// both directions: a pipeline the static races pass certified must
+    /// never trip the dynamic detector (a flagged race disproves the
+    /// certificate), and a run the detector finds race-free end-to-end on
+    /// a pipeline the static pass refused to certify means the analyzer
+    /// is under-approximating.
+    pub fn race_cross_validation_failures(&self) -> Vec<&Outcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                (o.race_certified && o.dynamic_races > 0)
+                    || (!o.race_certified && o.dynamic_races == 0)
+            })
+            .collect()
+    }
+
+    /// Total dynamic races flagged across every run (must be zero).
+    pub fn total_dynamic_races(&self) -> usize {
+        self.outcomes.iter().map(|o| o.dynamic_races).sum()
     }
 }
 
@@ -254,6 +289,9 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
                 &recovery_for(d, variant, opts.sweeps),
             )
             .certified();
+            // Static race verdict for the same pipeline, for the race
+            // cross-validation against the dynamic detector.
+            let statically_race_free = race_certified(d, variant);
             let clean = run_pipeline(
                 &cluster(opts.machines, None, SchedulerMode::Dag),
                 &x,
@@ -274,17 +312,12 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
                 // Scheduler cross-check: the same fault schedule replayed
                 // under sequential scheduling must agree bit-for-bit —
                 // same fingerprint or same typed error.
-                let seq = run_pipeline(
-                    &cluster(
-                        opts.machines,
-                        Some(FaultPlan::seeded(seed)),
-                        SchedulerMode::Sequential,
-                    ),
-                    &x,
-                    decomp,
-                    variant,
-                    opts.sweeps,
+                let seq_cluster = cluster(
+                    opts.machines,
+                    Some(FaultPlan::seeded(seed)),
+                    SchedulerMode::Sequential,
                 );
+                let seq = run_pipeline(&seq_cluster, &x, decomp, variant, opts.sweeps);
                 let status = match (&dag, &seq) {
                     (Ok(a), Ok(b)) if a != b => Status::Diverged(format!(
                         "scheduler divergence: dag {a:#018x} vs sequential {b:#018x}"
@@ -316,6 +349,8 @@ pub fn run_chaos(opts: &ChaosOptions) -> ChaosReport {
                     dfs_retries: m.total_dfs_read_retries(),
                     recovery_sim_time_s: m.total_recovery_sim_time_s(),
                     static_certified,
+                    race_certified: statically_race_free,
+                    dynamic_races: c.race_reports().len() + seq_cluster.race_reports().len(),
                 });
             }
         }

@@ -191,7 +191,7 @@ pub fn nway_mttkrp(cluster: &Cluster, x: &DynTensor, mode: usize, factors: &[&Ma
             let others = &others;
             move |ctx| nway_imhp(ctx, x, others, factors, mode)
         },
-    );
+    )?;
     let merged = batch.submit(
         format!("nway-pairwisemerge-mode{mode}"),
         vec!["expanded".into()],
@@ -236,7 +236,7 @@ pub fn nway_mttkrp(cluster: &Cluster, x: &DynTensor, mode: usize, factors: &[&Ma
                 )
             }
         },
-    );
+    )?;
     batch.run(cluster)?;
 
     let mut m = Mat::zeros(x.dims()[mode] as usize, rank);
@@ -404,7 +404,7 @@ pub fn nway_tucker_project(
             let others = &others;
             move |ctx| nway_imhp(ctx, x, others, factors, mode)
         },
-    );
+    )?;
     let merged = batch.submit(
         format!("nway-crossmerge-mode{mode}"),
         vec!["expanded".into()],
@@ -479,7 +479,7 @@ pub fn nway_tucker_project(
                 )
             }
         },
-    );
+    )?;
     batch.run(cluster)?;
 
     let mut dims = vec![x.dims()[mode]];

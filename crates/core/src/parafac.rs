@@ -102,10 +102,11 @@ pub fn mttkrp(
                 let b_col = f1.col(r);
                 let c_col = f2.col(r);
                 let name_x = format!("parafac-naive-xb{r}");
-                let t_r = batch.submit(name_x.clone(), vec!["x".into()], vec![format!("t#{r}")], {
-                    let x_records = &x_records;
-                    move |ctx| naive_ttv_job(ctx, &name_x, x_records, dims4, 1, &b_col)
-                });
+                let t_r =
+                    batch.submit(name_x.clone(), vec!["x".into()], vec![format!("t#{r}")], {
+                        let x_records = &x_records;
+                        move |ctx| naive_ttv_job(ctx, &name_x, x_records, dims4, 1, &b_col)
+                    })?;
                 let name_t = format!("parafac-naive-tc{r}");
                 ys.push(batch.submit(
                     name_t.clone(),
@@ -114,7 +115,7 @@ pub fn mttkrp(
                     move |ctx| {
                         naive_ttv_job(ctx, &name_t, ctx.get(&t_r)?, [d0, 1, d2, 1], 2, &c_col)
                     },
-                ));
+                )?);
             }
             batch.run(cluster)?;
             for (r, h) in ys.into_iter().enumerate() {
@@ -138,28 +139,28 @@ pub fn mttkrp(
                         let x_records = &x_records;
                         move |ctx| hadamard_vec_job(ctx, &name_hb, x_records, 1, &b_col, None)
                     },
-                );
+                )?;
                 let name_cj = format!("parafac-dnn-col-j{r}");
                 let t_r = batch.submit(
                     name_cj.clone(),
                     vec![format!("h_b#{r}")],
                     vec![format!("t#{r}")],
                     move |ctx| collapse_job(ctx, &name_cj, ctx.get(&h1)?, 1, false),
-                );
+                )?;
                 let name_hc = format!("parafac-dnn-had-c{r}");
                 let h2 = batch.submit(
                     name_hc.clone(),
                     vec![format!("t#{r}")],
                     vec![format!("h_c#{r}")],
                     move |ctx| hadamard_vec_job(ctx, &name_hc, ctx.get(&t_r)?, 2, &c_col, None),
-                );
+                )?;
                 let name_ck = format!("parafac-dnn-col-k{r}");
                 ys.push(batch.submit(
                     name_ck.clone(),
                     vec![format!("h_c#{r}")],
                     vec![format!("y#{r}")],
                     move |ctx| collapse_job(ctx, &name_ck, ctx.get(&h2)?, 2, false),
-                ));
+                )?);
             }
             batch.run(cluster)?;
             for (r, h) in ys.into_iter().enumerate() {
@@ -185,7 +186,7 @@ pub fn mttkrp(
                             hadamard_vec_job(ctx, &name, x_records, 1, &b_col, Some(r as u64))
                         }
                     },
-                ));
+                )?);
             }
             let mut tdp = Vec::with_capacity(r_dim);
             for r in 0..r_dim {
@@ -201,7 +202,7 @@ pub fn mttkrp(
                             hadamard_vec_job(ctx, &name, bin_records, 2, &c_col, Some(r as u64))
                         }
                     },
-                ));
+                )?);
             }
             let y = batch.submit(
                 "parafac-drn-pairwisemerge",
@@ -222,7 +223,7 @@ pub fn mttkrp(
                         pairwise_merge_job(ctx, "parafac-drn-pairwisemerge", &t_prime, &t_dprime)
                     }
                 },
-            );
+            )?;
             batch.run(cluster)?;
             accumulate_pairs(&mut m, &y.take()?);
         }
@@ -241,7 +242,7 @@ pub fn mttkrp(
                     let ct = &ct;
                     move |ctx| imhp_job(ctx, "parafac-dri-imhp", x_records, bt, ct)
                 },
-            );
+            )?;
             let y = batch.submit(
                 "parafac-dri-pairwisemerge",
                 vec!["t_prime".into(), "t_dprime".into()],
@@ -253,7 +254,7 @@ pub fn mttkrp(
                         pairwise_merge_job(ctx, "parafac-dri-pairwisemerge", t_prime, t_dprime)
                     }
                 },
-            );
+            )?;
             batch.run(cluster)?;
             accumulate_pairs(&mut m, &y.take()?);
         }

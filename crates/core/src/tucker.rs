@@ -117,7 +117,7 @@ pub fn project(
                     vec!["x".into()],
                     vec![format!("t#{q}")],
                     move |ctx| naive_ttv_job(ctx, &name, x_records, dims4, 1, row),
-                ));
+                )?);
             }
             // Whichever tv job runs first stacks the Q results along slot 1;
             // the others reuse the memoized merge.
@@ -148,7 +148,7 @@ pub fn project(
                         });
                         naive_ttv_job(ctx, &name, t, t_dims, 2, row)
                     },
-                ));
+                )?);
             }
             batch.run(cluster)?;
             let mut y = Vec::new();
@@ -176,7 +176,7 @@ pub fn project(
                     vec!["x".into()],
                     vec![format!("t_prime#{q}")],
                     move |ctx| hadamard_vec_job(ctx, &name, x_records, 1, row, Some(q as u64)),
-                ));
+                )?);
             }
             let t = batch.submit(
                 "tucker-dnn-collapse-j",
@@ -198,7 +198,7 @@ pub fn project(
                             .collect::<Vec<(Ix4, f64)>>())
                     }
                 },
-            );
+            )?;
             let mut hc = Vec::with_capacity(u2.rows());
             for r in 0..u2.rows() {
                 let name = format!("tucker-dnn-had-c{r}");
@@ -209,7 +209,7 @@ pub fn project(
                     vec!["t".into()],
                     vec![format!("y_prime#{r}")],
                     move |ctx| hadamard_vec_job(ctx, &name, ctx.get(&t)?, 2, row, Some(r as u64)),
-                ));
+                )?);
             }
             let y = batch.submit(
                 "tucker-dnn-collapse-k",
@@ -225,7 +225,7 @@ pub fn project(
                         collapse_job(ctx, "tucker-dnn-collapse-k", &y_prime, 2, use_combiner)
                     }
                 },
-            );
+            )?;
             batch.run(cluster)?;
             // Y(x0, q, 0, r) -> (x0, q, r, 0)
             y.take()?
@@ -248,7 +248,7 @@ pub fn project(
                     vec!["x".into()],
                     vec![format!("t_prime#{q}")],
                     move |ctx| hadamard_vec_job(ctx, &name, x_records, 1, row, Some(q as u64)),
-                ));
+                )?);
             }
             let mut tdp = Vec::with_capacity(u2.rows());
             for r in 0..u2.rows() {
@@ -260,7 +260,7 @@ pub fn project(
                     vec!["x_bin".into()],
                     vec![format!("t_dprime#{r}")],
                     move |ctx| hadamard_vec_job(ctx, &name, bin_records, 2, row, Some(r as u64)),
-                ));
+                )?);
             }
             let y = batch.submit(
                 "tucker-drn-crossmerge",
@@ -281,7 +281,7 @@ pub fn project(
                         cross_merge_job(ctx, "tucker-drn-crossmerge", &t_prime, &t_dprime)
                     }
                 },
-            );
+            )?;
             batch.run(cluster)?;
             y.take()?
         }
@@ -296,7 +296,7 @@ pub fn project(
                     let x_records = &x_records;
                     move |ctx| imhp_job(ctx, "tucker-dri-imhp", x_records, u1, u2)
                 },
-            );
+            )?;
             let y = batch.submit(
                 "tucker-dri-crossmerge",
                 vec!["t_prime".into(), "t_dprime".into()],
@@ -308,7 +308,7 @@ pub fn project(
                         cross_merge_job(ctx, "tucker-dri-crossmerge", t_prime, t_dprime)
                     }
                 },
-            );
+            )?;
             batch.run(cluster)?;
             y.take()?
         }

@@ -142,6 +142,8 @@ pub struct Cluster {
     pool: OnceLock<WorkerPool>,
     epoch: Instant,
     alloc_proxy_bytes: AtomicUsize,
+    #[cfg(feature = "race-detect")]
+    races: Mutex<Vec<crate::race::RaceReport>>,
 }
 
 impl Cluster {
@@ -154,6 +156,8 @@ impl Cluster {
             pool: OnceLock::new(),
             epoch: Instant::now(),
             alloc_proxy_bytes: AtomicUsize::new(0),
+            #[cfg(feature = "race-detect")]
+            races: Mutex::new(Vec::new()),
         }
     }
 
@@ -243,6 +247,27 @@ impl Cluster {
         self.batch_reports
             .lock()
             .expect("batch reports lock poisoned")
+            .clone()
+    }
+
+    /// Record the dynamic race detector's findings for one completed
+    /// batch run.
+    #[cfg(feature = "race-detect")]
+    pub(crate) fn record_races(&self, reports: Vec<crate::race::RaceReport>) {
+        self.races
+            .lock()
+            .expect("race reports lock poisoned")
+            .extend(reports);
+    }
+
+    /// Every race the dynamic detector flagged on this cluster so far.
+    /// Only exists under the `race-detect` feature; the chaos harness
+    /// cross-validates this against the static certification.
+    #[cfg(feature = "race-detect")]
+    pub fn race_reports(&self) -> Vec<crate::race::RaceReport> {
+        self.races
+            .lock()
+            .expect("race reports lock poisoned")
             .clone()
     }
 

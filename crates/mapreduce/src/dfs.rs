@@ -149,6 +149,8 @@ impl Dfs {
     where
         T: EstimateSize + Send + Sync + 'static,
     {
+        #[cfg(feature = "race-detect")]
+        crate::race::ambient_write(name);
         let bytes: usize = records.iter().map(EstimateSize::est_bytes).sum();
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         let mut guard = self.datasets.write().expect("dfs lock poisoned");
@@ -175,6 +177,8 @@ impl Dfs {
     where
         T: EstimateSize + Send + Sync + 'static,
     {
+        #[cfg(feature = "race-detect")]
+        crate::race::ambient_write(name);
         let bytes: usize = records.iter().map(EstimateSize::est_bytes).sum();
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         let mut guard = self.datasets.write().expect("dfs lock poisoned");
@@ -204,6 +208,8 @@ impl Dfs {
     where
         T: Send + Sync + 'static,
     {
+        #[cfg(feature = "race-detect")]
+        crate::race::ambient_read(name);
         let (typed, snapshot_bytes) = {
             let guard = self.datasets.read().expect("dfs lock poisoned");
             let stored = guard.get(name)?;
@@ -254,6 +260,8 @@ impl Dfs {
 
     /// Remove a dataset; returns true when it existed.
     pub fn delete(&self, name: &str) -> bool {
+        #[cfg(feature = "race-detect")]
+        crate::race::ambient_write(name);
         self.datasets
             .write()
             .expect("dfs lock poisoned")

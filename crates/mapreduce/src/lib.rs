@@ -65,6 +65,8 @@ pub mod metrics;
 pub mod pipeline;
 pub mod plan;
 pub mod pool;
+#[cfg(feature = "race-detect")]
+pub mod race;
 pub mod reference;
 pub mod sched;
 pub mod size;
@@ -79,9 +81,20 @@ pub use metrics::{BatchReport, JobMetrics, RunMetrics};
 pub use pipeline::{run_job_dfs, run_job_dfs_recovering};
 pub use plan::{CheckpointPolicy, Env, JobGraph, JobInstance, PlanJob, RecoverySpec, SymExpr, Var};
 pub use pool::WorkerPool;
+#[cfg(feature = "race-detect")]
+pub use race::RaceReport;
 pub use reference::{run_job_reference, run_job_reference_streaming};
-pub use sched::{Batch, BatchResults, JobCtx, JobHandle};
+pub use sched::{datasets_overlap, Batch, BatchResults, JobCtx, JobHandle};
 pub use size::EstimateSize;
+
+/// Whether the dynamic race detector is compiled into this build of the
+/// engine. Debug tooling (the chaos sweep) turns it on; measured builds
+/// must not — the engine benchmark asserts this at startup so the
+/// detector's cost can never leak into `BENCH_engine.json`.
+#[must_use]
+pub const fn race_detector_compiled() -> bool {
+    cfg!(feature = "race-detect")
+}
 
 /// Errors surfaced by the MapReduce engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +172,19 @@ pub enum MrError {
         /// What disagreed.
         detail: String,
     },
+    /// Two jobs of the same batch declared a write to the *same exact*
+    /// dataset shard. The scheduler would silently serialize them into a
+    /// last-writer-wins WAW edge; rejecting at submission time keeps every
+    /// shard single-writer, which is what the static race certification
+    /// assumes.
+    DuplicateWrite {
+        /// Job whose submission was rejected.
+        job: String,
+        /// The earlier-submitted job already writing the shard.
+        prior_job: String,
+        /// The contested dataset shard.
+        dataset: String,
+    },
 }
 
 impl std::fmt::Display for MrError {
@@ -192,6 +218,12 @@ impl std::fmt::Display for MrError {
             }
             MrError::PlanViolation { job, detail } => {
                 write!(f, "job '{job}': plan violation: {detail}")
+            }
+            MrError::DuplicateWrite { job, prior_job, dataset } => {
+                write!(
+                    f,
+                    "job '{job}': duplicate write: dataset shard '{dataset}' is already written by job '{prior_job}'"
+                )
             }
             MrError::LineageMismatch { dataset, registered, planned } => {
                 write!(

@@ -113,6 +113,16 @@ pub struct JobCtx<'c> {
     /// Intra-job task parallelism granted to this job, fixed when the
     /// batch starts: the pool split between the batch's scheduler workers.
     intra_threads: usize,
+    /// The batch's dynamic race detector.
+    #[cfg(feature = "race-detect")]
+    detector: &'c Arc<crate::race::Detector>,
+    /// This job's submission index *within the batch* (the detector's job
+    /// numbering; `job_index` is the cluster-global one).
+    #[cfg(feature = "race-detect")]
+    batch_index: usize,
+    /// Every batch job's declared write set, for attributing handle reads.
+    #[cfg(feature = "race-detect")]
+    batch_writes: &'c [Vec<String>],
 }
 
 impl JobCtx<'_> {
@@ -126,15 +136,42 @@ impl JobCtx<'_> {
             return Err(MrError::PlanViolation {
                 job: self.name.to_string(),
                 detail: format!(
-                    "read output of '{}' without a declared dataset dependency",
-                    handle.name
+                    "reading job '{}' read the output of producing job '{}' \
+                     without a declared dataset dependency",
+                    self.name, handle.name
                 ),
             });
         }
+        #[cfg(feature = "race-detect")]
+        self.note_handle_read(handle.idx);
         handle.slot.get().ok_or_else(|| MrError::PlanViolation {
             job: self.name.to_string(),
             detail: format!("dependency '{}' has no output yet", handle.name),
         })
+    }
+
+    /// Like [`JobCtx::get`] but *without* the declared-dependency check:
+    /// a deliberate backdoor for the race-detection test harness, which
+    /// needs to drive the dynamic detector past the static gate. The read
+    /// is still reported to the detector. Debug tooling only — never call
+    /// this from a pipeline.
+    #[cfg(feature = "race-detect")]
+    #[doc(hidden)]
+    pub fn get_raced<'h, T>(&self, handle: &'h JobHandle<T>) -> crate::Result<&'h T> {
+        self.note_handle_read(handle.idx);
+        handle.slot.get().ok_or_else(|| MrError::PlanViolation {
+            job: self.name.to_string(),
+            detail: format!("dependency '{}' has no output yet", handle.name),
+        })
+    }
+
+    /// Report reading the producing job's declared outputs to the batch's
+    /// race detector.
+    #[cfg(feature = "race-detect")]
+    fn note_handle_read(&self, producer: usize) {
+        for w in &self.batch_writes[producer] {
+            self.detector.note_read(self.batch_index, w);
+        }
     }
 }
 
@@ -235,18 +272,20 @@ impl BatchResults {
 /// let input = vec![(0u64, 2.0f64), (1, 3.0)];
 /// let mut batch = Batch::new();
 /// // Two independent scale jobs (they could run concurrently)…
-/// let doubled = batch.submit("double", vec!["x".into()], vec!["d".into()], {
-///     let input = &input;
-///     move |ctx| {
-///         run_job(
-///             ctx,
-///             JobSpec::named("double"),
-///             input,
-///             |k, v: &f64, emit| emit(*k, v * 2.0),
-///             |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
-///         )
-///     }
-/// });
+/// let doubled = batch
+///     .submit("double", vec!["x".into()], vec!["d".into()], {
+///         let input = &input;
+///         move |ctx| {
+///             run_job(
+///                 ctx,
+///                 JobSpec::named("double"),
+///                 input,
+///                 |k, v: &f64, emit| emit(*k, v * 2.0),
+///                 |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
+///             )
+///         }
+///     })
+///     .unwrap();
 /// // …and a dependent sum reading the first job's output.
 /// let total = batch.submit("sum", vec!["d".into()], vec!["s".into()], {
 ///     let doubled = doubled.clone();
@@ -260,7 +299,7 @@ impl BatchResults {
 ///             |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
 ///         )
 ///     }
-/// });
+/// }).unwrap();
 /// let results = batch.run(&cluster).unwrap();
 /// assert_eq!(results.report().jobs, 2);
 /// let total: Vec<(u64, f64)> = total.take().unwrap();
@@ -316,18 +355,34 @@ impl<'a> Batch<'a> {
     /// against the provided [`JobCtx`]. Submission order is the commit
     /// order — and must match what a sequential driver would run, since
     /// it keys the fault schedule.
+    ///
+    /// Two jobs of one batch declaring a write to the *same exact* shard
+    /// are rejected here with [`MrError::DuplicateWrite`]: the scheduler
+    /// would otherwise serialize them into a silent last-writer-wins WAW
+    /// edge, and the static race certification assumes every shard has a
+    /// single writer per batch. (`t#0` vs `t#1` is fine; `t#0` vs an
+    /// unsharded `t` is an ordinary WAW dependency, not a duplicate.)
     pub fn submit<T, F>(
         &mut self,
         name: impl Into<String>,
         reads: Vec<String>,
         writes: Vec<String>,
         f: F,
-    ) -> JobHandle<T>
+    ) -> crate::Result<JobHandle<T>>
     where
         T: Send + Sync + 'static,
         F: FnOnce(&JobCtx<'_>) -> crate::Result<T> + Send + 'a,
     {
         let name = name.into();
+        for w in &writes {
+            if let Some(prior) = self.jobs.iter().find(|p| p.writes.iter().any(|pw| pw == w)) {
+                return Err(MrError::DuplicateWrite {
+                    job: name,
+                    prior_job: prior.name.clone(),
+                    dataset: w.clone(),
+                });
+            }
+        }
         let idx = self.jobs.len();
         let slot: Arc<OnceLock<T>> = Arc::new(OnceLock::new());
         let out = Arc::clone(&slot);
@@ -341,7 +396,7 @@ impl<'a> Batch<'a> {
                 Ok(())
             }))),
         });
-        JobHandle { idx, name, slot }
+        Ok(JobHandle { idx, name, slot })
     }
 
     /// Declared-dataset dependency edges: for each job, the submission
@@ -441,6 +496,20 @@ impl<'a> Batch<'a> {
             SchedulerMode::Dag => (threads / threads.min(n)).max(1),
         };
 
+        // Dynamic race detection: every job registers its transitive
+        // declared-dependency ancestors, then accesses are reported as
+        // they happen — declared reads at job start, handle reads at
+        // `JobCtx::get`, direct DFS traffic through the ambient thread
+        // scope, declared writes at (submission-order) commit.
+        #[cfg(feature = "race-detect")]
+        let detector = Arc::new(crate::race::Detector::new());
+        #[cfg(feature = "race-detect")]
+        for (j, job) in jobs.iter().enumerate() {
+            detector.register_job(j, &job.name, &preds[j]);
+        }
+        #[cfg(feature = "race-detect")]
+        let write_sets: Vec<Vec<String>> = jobs.iter().map(|j| j.writes.clone()).collect();
+
         let ctx_for = |j: usize| JobCtx {
             cluster,
             graph,
@@ -450,6 +519,12 @@ impl<'a> Batch<'a> {
             metrics: &metrics[j],
             preds: &preds[j],
             intra_threads,
+            #[cfg(feature = "race-detect")]
+            detector: &detector,
+            #[cfg(feature = "race-detect")]
+            batch_index: j,
+            #[cfg(feature = "race-detect")]
+            batch_writes: &write_sets,
         };
         // Run the job's closure and turn "returned Ok without running its
         // declared job" into the violation it is.
@@ -460,6 +535,12 @@ impl<'a> Batch<'a> {
                 .expect("job closure lock poisoned")
                 .take()
                 .expect("job dispatched once");
+            #[cfg(feature = "race-detect")]
+            let _race_scope = crate::race::JobScope::enter(Arc::clone(&detector), j);
+            #[cfg(feature = "race-detect")]
+            for r in &jobs[j].reads {
+                detector.note_read(j, r);
+            }
             match f(&ctx_for(j)) {
                 Ok(()) if metrics[j].get().is_some() => Status::Done,
                 Ok(()) => Status::Failed(MrError::PlanViolation {
@@ -496,6 +577,13 @@ impl<'a> Batch<'a> {
                             .expect("done job stashed metrics")
                             .clone();
                         cluster.record(m.clone());
+                        #[cfg(feature = "race-detect")]
+                        {
+                            for w in &jobs[cur.next].writes {
+                                detector.note_write(cur.next, w);
+                            }
+                            detector.commit(cur.next);
+                        }
                         cur.committed.push(m);
                         cur.next += 1;
                     }
@@ -524,6 +612,12 @@ impl<'a> Batch<'a> {
                 self.run_dag(cluster, &preds, &statuses, &execute, &advance_commit);
             }
         }
+
+        // Surface flagged races on the cluster regardless of batch outcome
+        // — a failing batch can still race, and the chaos harness wants
+        // both signals.
+        #[cfg(feature = "race-detect")]
+        cluster.record_races(detector.reports());
 
         // ---- Surface the submission-order outcome ------------------------
         // Dependency edges only point backwards, so a skipped job always
@@ -605,8 +699,10 @@ impl<'a> Batch<'a> {
 }
 
 /// Shard-aware dataset overlap: same base, and either side unsharded or
-/// the same shard.
-fn datasets_overlap(a: &str, b: &str) -> bool {
+/// the same shard. Public because the static race-certification pass in
+/// `haten2-analyze` (and the dynamic detector's conflict test) must agree
+/// with the scheduler's dependency inference on what conflicts.
+pub fn datasets_overlap(a: &str, b: &str) -> bool {
     let (base_a, shard_a) = split_shard(a);
     let (base_b, shard_b) = split_shard(b);
     base_a == base_b
@@ -719,22 +815,26 @@ mod tests {
         input: &'a [(u64, f64)],
         col: usize,
     ) -> JobHandle<Vec<(u64, f64)>> {
-        let first = batch.submit(
-            format!("scale{col}"),
-            vec!["x".into()],
-            vec![format!("t#{col}")],
-            move |ctx| scale_job(ctx, &format!("scale{col}"), input, 2.0),
-        );
+        let first = batch
+            .submit(
+                format!("scale{col}"),
+                vec!["x".into()],
+                vec![format!("t#{col}")],
+                move |ctx| scale_job(ctx, &format!("scale{col}"), input, 2.0),
+            )
+            .unwrap();
         let chained = first.clone();
-        batch.submit(
-            format!("rescale{col}"),
-            vec![format!("t#{col}")],
-            vec![format!("y#{col}")],
-            move |ctx| {
-                let t = ctx.get(&chained)?;
-                scale_job(ctx, &format!("rescale{col}"), t, 10.0)
-            },
-        )
+        batch
+            .submit(
+                format!("rescale{col}"),
+                vec![format!("t#{col}")],
+                vec![format!("y#{col}")],
+                move |ctx| {
+                    let t = ctx.get(&chained)?;
+                    scale_job(ctx, &format!("rescale{col}"), t, 10.0)
+                },
+            )
+            .unwrap()
     }
 
     #[test]
@@ -787,20 +887,25 @@ mod tests {
         let input = vec![(0u64, 1.0f64)];
         let c = cluster(SchedulerMode::Sequential);
         let mut batch = Batch::new();
-        let a = batch.submit("a", vec!["x".into()], vec!["t".into()], {
-            let input = &input;
-            move |ctx| scale_job(ctx, "a", input, 2.0)
-        });
+        let a = batch
+            .submit("a", vec!["x".into()], vec!["t".into()], {
+                let input = &input;
+                move |ctx| scale_job(ctx, "a", input, 2.0)
+            })
+            .unwrap();
         // "b" reads dataset "u", not "t": accessing a's output is illegal
         // even though sequential execution happens to have it available.
         let stolen = a.clone();
-        let b = batch.submit("b", vec!["u".into()], vec!["v".into()], move |ctx| {
-            let t = ctx.get(&stolen)?;
-            scale_job(ctx, "b", t, 1.0)
-        });
+        let b = batch
+            .submit("b", vec!["u".into()], vec!["v".into()], move |ctx| {
+                let t = ctx.get(&stolen)?;
+                scale_job(ctx, "b", t, 1.0)
+            })
+            .unwrap();
         let err = batch.run(&c).unwrap_err();
         assert!(
-            matches!(&err, MrError::PlanViolation { job, .. } if job == "b"),
+            matches!(&err, MrError::PlanViolation { job, detail }
+                if job == "b" && detail.contains("'b'") && detail.contains("'a'")),
             "{err}"
         );
         drop(b);
@@ -813,26 +918,32 @@ mod tests {
         let input = vec![(0u64, 1.0f64)];
         let c = cluster(SchedulerMode::Dag);
         let mut batch = Batch::new();
-        let _ = batch.submit("declared", vec!["x".into()], vec!["t".into()], {
-            let input = &input;
-            move |ctx| scale_job(ctx, "other", input, 2.0)
-        });
+        let _ = batch
+            .submit("declared", vec!["x".into()], vec!["t".into()], {
+                let input = &input;
+                move |ctx| scale_job(ctx, "other", input, 2.0)
+            })
+            .unwrap();
         let err = batch.run(&c).unwrap_err();
         assert!(matches!(err, MrError::PlanViolation { .. }), "{err}");
 
         let mut batch = Batch::new();
-        let _ = batch.submit("twice", vec!["x".into()], vec!["t".into()], {
-            let input = &input;
-            move |ctx| {
-                scale_job(ctx, "twice", input, 2.0)?;
-                scale_job(ctx, "twice", input, 2.0)
-            }
-        });
+        let _ = batch
+            .submit("twice", vec!["x".into()], vec!["t".into()], {
+                let input = &input;
+                move |ctx| {
+                    scale_job(ctx, "twice", input, 2.0)?;
+                    scale_job(ctx, "twice", input, 2.0)
+                }
+            })
+            .unwrap();
         let err = batch.run(&c).unwrap_err();
         assert!(matches!(err, MrError::PlanViolation { .. }), "{err}");
 
         let mut batch = Batch::new();
-        let _: JobHandle<()> = batch.submit("lazy", vec!["x".into()], vec!["t".into()], |_| Ok(()));
+        let _: JobHandle<()> = batch
+            .submit("lazy", vec!["x".into()], vec!["t".into()], |_| Ok(()))
+            .unwrap();
         let err = batch.run(&c).unwrap_err();
         assert!(
             matches!(&err, MrError::PlanViolation { detail, .. }
@@ -847,20 +958,25 @@ mod tests {
         for mode in [SchedulerMode::Sequential, SchedulerMode::Dag] {
             let c = cluster(mode);
             let mut batch = Batch::new();
-            let _ = batch.submit("ok0", vec!["x".into()], vec!["a".into()], {
-                let input = &input;
-                move |ctx| scale_job(ctx, "ok0", input, 2.0)
-            });
-            let _: JobHandle<Vec<(u64, f64)>> =
-                batch.submit("boom", vec!["x".into()], vec!["b".into()], move |_| {
+            let _ = batch
+                .submit("ok0", vec!["x".into()], vec!["a".into()], {
+                    let input = &input;
+                    move |ctx| scale_job(ctx, "ok0", input, 2.0)
+                })
+                .unwrap();
+            let _: JobHandle<Vec<(u64, f64)>> = batch
+                .submit("boom", vec!["x".into()], vec!["b".into()], move |_| {
                     Err(MrError::DatasetMissing {
                         job: "boom".to_string(),
                         dataset: "x".to_string(),
                     })
-                });
-            let _: JobHandle<()> = batch.submit("after", vec!["b".into()], vec!["c".into()], {
-                move |_| panic!("dependent of a failed job must never run")
-            });
+                })
+                .unwrap();
+            let _: JobHandle<()> = batch
+                .submit("after", vec!["b".into()], vec!["c".into()], {
+                    move |_| panic!("dependent of a failed job must never run")
+                })
+                .unwrap();
             let err = batch.run(&c).unwrap_err();
             assert!(matches!(err, MrError::DatasetMissing { .. }), "{err}");
             assert_eq!(c.jobs_run(), 1, "mode {mode:?}: prefix commit");
@@ -889,10 +1005,12 @@ mod tests {
 
         // Unknown name.
         let mut batch = Batch::with_graph(&graph);
-        let _ = batch.submit("mystery", vec!["x".into()], vec!["t".into()], {
-            let input = &input;
-            move |ctx| scale_job(ctx, "mystery", input, 2.0)
-        });
+        let _ = batch
+            .submit("mystery", vec!["x".into()], vec!["t".into()], {
+                let input = &input;
+                move |ctx| scale_job(ctx, "mystery", input, 2.0)
+            })
+            .unwrap();
         let err = batch.run(&c).unwrap_err();
         assert!(
             matches!(&err, MrError::PlanViolation { detail, .. } if detail.contains("template")),
@@ -901,10 +1019,12 @@ mod tests {
 
         // Wrong reads.
         let mut batch = Batch::with_graph(&graph);
-        let _ = batch.submit("stage-b", vec!["x".into()], vec!["y".into()], {
-            let input = &input;
-            move |ctx| scale_job(ctx, "stage-b", input, 2.0)
-        });
+        let _ = batch
+            .submit("stage-b", vec!["x".into()], vec!["y".into()], {
+                let input = &input;
+                move |ctx| scale_job(ctx, "stage-b", input, 2.0)
+            })
+            .unwrap();
         let err = batch.run(&c).unwrap_err();
         assert!(
             matches!(&err, MrError::PlanViolation { detail, .. } if detail.contains("reads")),
@@ -917,25 +1037,29 @@ mod tests {
         let mut batch = Batch::with_graph(&graph);
         let handles: Vec<_> = (0..2)
             .map(|q| {
-                batch.submit(
-                    format!("stage-a{q}"),
-                    vec!["x".into()],
-                    vec![format!("t#{q}")],
-                    {
-                        let input = &input;
-                        move |ctx| scale_job(ctx, &format!("stage-a{q}"), input, 2.0)
-                    },
-                )
+                batch
+                    .submit(
+                        format!("stage-a{q}"),
+                        vec!["x".into()],
+                        vec![format!("t#{q}")],
+                        {
+                            let input = &input;
+                            move |ctx| scale_job(ctx, &format!("stage-a{q}"), input, 2.0)
+                        },
+                    )
+                    .unwrap()
             })
             .collect();
         let merged = handles.clone();
-        let _ = batch.submit("stage-b", vec!["t".into()], vec!["y".into()], move |ctx| {
-            let mut t: Vec<(u64, f64)> = Vec::new();
-            for h in &merged {
-                t.extend(ctx.get(h)?.iter().copied());
-            }
-            scale_job(ctx, "stage-b", &t, 1.0)
-        });
+        let _ = batch
+            .submit("stage-b", vec!["t".into()], vec!["y".into()], move |ctx| {
+                let mut t: Vec<(u64, f64)> = Vec::new();
+                for h in &merged {
+                    t.extend(ctx.get(h)?.iter().copied());
+                }
+                scale_job(ctx, "stage-b", &t, 1.0)
+            })
+            .unwrap();
         let results = batch.run(&c).unwrap();
         assert_eq!(results.report().jobs, 3);
         assert_eq!(results.report().critical_path_len, 2);
@@ -958,21 +1082,23 @@ mod tests {
         let input = vec![(0u64, 1.0f64), (1, 2.0)];
         let c = cluster(SchedulerMode::Dag);
         let mut batch = Batch::with_graph(&graph);
-        let h = batch.submit("stage-a", vec!["x".into()], vec!["t".into()], {
-            let input = &input;
-            move |ctx| {
-                run_job(
-                    ctx,
-                    JobSpec::named("stage-a"),
-                    input,
-                    |k, v: &f64, emit| {
-                        emit(*k, *v);
-                        emit(*k + 100, *v);
-                    },
-                    |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
-                )
-            }
-        });
+        let h = batch
+            .submit("stage-a", vec!["x".into()], vec!["t".into()], {
+                let input = &input;
+                move |ctx| {
+                    run_job(
+                        ctx,
+                        JobSpec::named("stage-a"),
+                        input,
+                        |k, v: &f64, emit| {
+                            emit(*k, *v);
+                            emit(*k + 100, *v);
+                        },
+                        |k, vs, emit| emit(*k, vs.iter().sum::<f64>()),
+                    )
+                }
+            })
+            .unwrap();
         batch.run(&c).unwrap();
         assert_eq!(h.take().unwrap().len(), 4);
     }
@@ -999,11 +1125,39 @@ mod tests {
     #[test]
     fn take_before_run_or_while_shared_is_an_error() {
         let mut batch: Batch<'_> = Batch::new();
-        let h: JobHandle<Vec<(u64, f64)>> =
-            batch.submit("a", vec!["x".into()], vec!["t".into()], |_| Ok(Vec::new()));
+        let h: JobHandle<Vec<(u64, f64)>> = batch
+            .submit("a", vec!["x".into()], vec!["t".into()], |_| Ok(Vec::new()))
+            .unwrap();
         let kept = h.clone();
         assert!(matches!(h.take(), Err(MrError::PlanViolation { .. })));
         drop(batch);
         assert!(matches!(kept.take(), Err(MrError::PlanViolation { .. })));
+    }
+
+    #[test]
+    fn duplicate_exact_shard_write_is_rejected_at_submission() {
+        let mut batch: Batch<'_> = Batch::new();
+        let _w0: JobHandle<()> = batch
+            .submit("w0", vec!["x".into()], vec!["t#0".into()], |_| Ok(()))
+            .unwrap();
+        let err =
+            match batch.submit::<(), _>("w1", vec!["x".into()], vec!["t#0".into()], |_| Ok(())) {
+                Err(e) => e,
+                Ok(_) => panic!("duplicate exact-shard write must be rejected"),
+            };
+        assert!(
+            matches!(&err, MrError::DuplicateWrite { job, prior_job, dataset }
+                if job == "w1" && prior_job == "w0" && dataset == "t#0"),
+            "{err}"
+        );
+        // A different shard of the same base is a legitimate sibling…
+        let _w2: JobHandle<()> = batch
+            .submit("w2", vec!["x".into()], vec!["t#1".into()], |_| Ok(()))
+            .unwrap();
+        // …and an unsharded write of the base is an ordinary WAW
+        // dependency, serialized by `dependencies()`, not a duplicate.
+        let _w3: JobHandle<()> = batch
+            .submit("w3", vec!["t".into()], vec!["t".into()], |_| Ok(()))
+            .unwrap();
     }
 }

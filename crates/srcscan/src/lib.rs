@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod effects;
+
 use std::path::{Path, PathBuf};
 
 /// One parsed source file: the raw text plus its code view.

@@ -1,0 +1,31 @@
+//! Known-bad fixture: a job declares a read of an intermediate dataset
+//! another batch job produces, but its body never consumes it — a
+//! phantom dependency that serializes the schedule for nothing. Must
+//! trip `over-declared-read` exactly once (the body's real reads resolve,
+//! so the rule is judged).
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) -> Result<()> {
+    let mut batch = Batch::new();
+    batch.submit(
+        "producer",
+        vec!["x".into()],
+        vec!["t".into()],
+        move |ctx| scale(ctx, "producer", input, 2.0),
+    )?;
+    let u = batch.submit(
+        "aux",
+        vec!["x".into()],
+        vec!["u".into()],
+        move |ctx| scale(ctx, "aux", input, 3.0),
+    )?;
+    batch.submit(
+        "consumer",
+        vec!["t".into(), "u".into()],
+        vec!["y".into()],
+        move |ctx| {
+            let aux = ctx.get(&u)?;
+            scale(ctx, "consumer", aux, 0.5)
+        },
+    )?;
+    batch.run(c)
+}

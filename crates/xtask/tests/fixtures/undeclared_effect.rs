@@ -1,0 +1,25 @@
+//! Known-bad fixture: a submit closure consumes a handle whose dataset
+//! the job never declares as a read. Must trip `undeclared-effect`
+//! exactly once (the secondary unordered-conflict is suppressed — this
+//! fixture pins the declaration/body divergence rule specifically).
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) -> Result<()> {
+    let mut batch = Batch::new();
+    let t = batch.submit(
+        "producer",
+        vec!["x".into()],
+        vec!["t".into()],
+        move |ctx| scale(ctx, "producer", input, 2.0),
+    )?;
+    // lint:allow(unordered-conflict)
+    batch.submit(
+        "consumer",
+        vec!["x".into()],
+        vec!["y".into()],
+        move |ctx| {
+            let upstream = ctx.get(&t)?;
+            scale(ctx, "consumer", upstream, 0.5)
+        },
+    )?;
+    batch.run(c)
+}

@@ -1,0 +1,27 @@
+//! Known-bad fixture: one job declares a write to `t` while a sibling's
+//! body reads `t` straight off the DFS without declaring it — so no
+//! declared edge orders the pair and the DAG scheduler may race them.
+//! Must trip `unordered-conflict` exactly once (the undeclared-effect
+//! side of the same divergence is suppressed — this fixture pins the
+//! pairwise ordering rule specifically).
+
+pub fn bad(c: &Cluster, input: &[(u64, f64)]) -> Result<()> {
+    let mut batch = Batch::new();
+    batch.submit(
+        "left",
+        vec!["x".into()],
+        vec!["t".into()],
+        move |ctx| scale(ctx, "left", input, 2.0),
+    )?;
+    // lint:allow(undeclared-effect)
+    batch.submit(
+        "right",
+        vec!["x".into()],
+        vec!["y".into()],
+        move |ctx| {
+            let stale = ctx.dfs.get("t")?;
+            scale(ctx, "right", &stale, 3.0)
+        },
+    )?;
+    batch.run(c)
+}
