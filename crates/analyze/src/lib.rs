@@ -16,6 +16,13 @@
 //!   intermediate records, job count, and tensor-read count are held to
 //!   the paper's claimed expressions by extensional equivalence over the
 //!   operating-regime grid ([`cost::regime_envs`]).
+//! * **Durable I/O pass** ([`io::durable_io_table`]) — when the tensor
+//!   lives in the durable block store and the memory budget is smaller
+//!   than it, each pass over the big input is a compulsory segment read;
+//!   the pass derives the symbolic bytes-per-sweep floor
+//!   `passes · nnz · record_bytes` (record width measured from the real
+//!   `Persist` wire format) and the read amplification over the
+//!   single-pass optimum that HaTen2-DRI attains.
 //! * **Recoverability pass** ([`recovery::certify`]) — given a pipeline's
 //!   declared [`RecoverySpec`](haten2_mapreduce::RecoverySpec) and the
 //!   symbolic fault budget `k`, proves lineage closure (every read is
@@ -59,6 +66,7 @@ pub mod cost;
 pub mod dataflow;
 pub mod demo;
 pub mod determinism;
+pub mod io;
 pub mod json;
 pub mod races;
 pub mod recovery;
@@ -67,6 +75,7 @@ pub mod report;
 pub use cost::{paper_claim, regime_envs, PaperClaim};
 pub use dataflow::check_dataflow;
 pub use determinism::{check_determinism, check_plan_consistency, DeterminismReport};
+pub use io::{durable_io_table, tensor_record_bytes, DurableIoRow};
 pub use races::{check_races, race_certified, GraphRaceCert, RaceCertReport};
 pub use recovery::{certify, Certification, RecoveryBound};
 pub use report::{verify_paper_table, Report, RowVerdict};

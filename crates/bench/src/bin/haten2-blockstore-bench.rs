@@ -1,0 +1,325 @@
+//! `haten2-blockstore-bench` — out-of-core sweep over the durable block
+//! store at the 10⁷-nnz scale.
+//!
+//! HaTen2 keeps the tensor on HDFS and every mode-update job re-reads it
+//! from disk; memory only has to hold a job's working slice. This bench
+//! reproduces that regime on the durable DFS backend: a 10⁷-nnz NELL
+//! stand-in (power-law index popularity, KB-shaped dims) is persisted
+//! into the block store under a memory budget far below the working set,
+//! then a DNN-style sweep (one full-tensor scan per mode update, three
+//! modes) runs with every scan fetched through [`haten2_mapreduce::Dfs`]
+//! — so each job pays the reload-decode-spill cycle a real Hadoop job
+//! pays for its HDFS input split.
+//!
+//! The same job sequence then runs on the in-memory backend and the two
+//! output streams are asserted bit-identical, making the reported
+//! slowdown a pure storage-stack price. Reported and cross-checked:
+//!
+//! * **spill volume** — [`haten2_mapreduce::SpillStats`]: resident drops
+//!   and reload traffic forced by the budget;
+//! * **read amplification** — durable raw bytes read for the tensor
+//!   dataset over its unique raw size, cross-checked against the
+//!   analyzer's symbolic floor (`passes · nnz ·`
+//!   [`haten2_analyze::tensor_record_bytes`] — the `ANALYSIS.md`
+//!   "Durable I/O floor" table);
+//! * **wall-clock vs in-memory** — the out-of-core slowdown.
+//!
+//! ```text
+//! haten2-blockstore-bench [--out PATH]   # default: BENCH_blockstore.json
+//! haten2-blockstore-bench --smoke        # small gate run, no JSON
+//! ```
+
+use haten2_analyze::tensor_record_bytes;
+use haten2_core::{persist_tensor, Ix4};
+use haten2_data::random::{powerlaw_tensor, RandomTensorConfig};
+use haten2_mapreduce::{
+    run_job, Cluster, ClusterConfig, DfsBackend, DurableConfig, JobSpec, SpillStats,
+};
+use haten2_tensor::CooTensor3;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Full-scale workload: 10⁷ nonzeros, KB-shaped (two big entity modes, a
+/// small predicate mode — the NELL profile scaled to one host).
+const NNZ_FULL: usize = 10_000_000;
+const DIMS_FULL: [u64; 3] = [2_000_000, 2_000_000, 400];
+/// Power-law skew of the index popularity (1 ≈ Zipf, NELL-like).
+const ALPHA: f64 = 1.0;
+/// Memory budget for the durable backend: 64 MiB, ~6× below the ~400 MB
+/// durable working set, so the tensor can never stay resident.
+const BUDGET_FULL: usize = 64 << 20;
+const SWEEPS_FULL: usize = 2;
+
+/// Smoke-scale workload for the `scripts/check.sh --durability-smoke`
+/// lane: same code path, seconds not minutes.
+const NNZ_SMOKE: usize = 200_000;
+const DIMS_SMOKE: [u64; 3] = [50_000, 50_000, 64];
+const BUDGET_SMOKE: usize = 1 << 20;
+const SWEEPS_SMOKE: usize = 1;
+
+const MACHINES: usize = 4;
+/// One scan of X per mode update, three modes — the HaTen2-DNN shape
+/// (read amplification 3 per sweep; DRI's integrated job would be 1).
+const MODES: usize = 3;
+/// Reducer key space per mode job: factor rows hashed to partial-sum
+/// groups, keeping reduce-group count bounded at any nnz.
+const KEY_SPACE: u64 = 4_096;
+
+const TENSOR_KEY: &str = "bench/x";
+
+struct Workload {
+    nnz: usize,
+    dims: [u64; 3],
+    budget: usize,
+    sweeps: usize,
+}
+
+/// One mode-update job: scan the tensor dataset fetched from `dfs`, key
+/// each entry by its mode-`m` index (hashed into [`KEY_SPACE`] groups),
+/// sum per group — the shuffle profile of a factor-row partial-sum job.
+/// Returns the reduced `(group, sum)` stream, deterministic and
+/// bit-comparable across backends.
+fn mode_update_job(
+    cluster: &Cluster,
+    sweep: usize,
+    mode: usize,
+) -> haten2_mapreduce::Result<Vec<(u64, f64)>> {
+    let records = cluster
+        .dfs()
+        .get_required::<(Ix4, f64)>(&format!("mode-update-s{sweep}-m{mode}"), TENSOR_KEY)?;
+    let out = run_job(
+        cluster,
+        JobSpec::named(format!("mode-update-s{sweep}-m{mode}")).with_map_emit_hint(1),
+        &records,
+        move |ix: &Ix4, v: &f64, emit| {
+            let coord = match mode {
+                0 => ix.0,
+                1 => ix.1,
+                _ => ix.2,
+            };
+            emit(coord % KEY_SPACE, *v);
+        },
+        |group, vals, emit| emit(*group, vals.iter().sum::<f64>()),
+    )?;
+    Ok(out)
+}
+
+/// Run `sweeps` DNN-style sweeps; returns the concatenated output stream
+/// and the wall-clock of the sweep section (scans + jobs, persist
+/// excluded).
+fn run_sweeps(
+    cluster: &Cluster,
+    sweeps: usize,
+) -> haten2_mapreduce::Result<(Vec<(u64, f64)>, f64)> {
+    let t = Instant::now();
+    let mut outputs = Vec::new();
+    for sweep in 0..sweeps {
+        for mode in 0..MODES {
+            outputs.extend(mode_update_job(cluster, sweep, mode)?);
+        }
+    }
+    Ok((outputs, t.elapsed().as_secs_f64()))
+}
+
+fn assert_bit_identical(durable: &[(u64, f64)], memory: &[(u64, f64)]) {
+    assert_eq!(
+        durable.len(),
+        memory.len(),
+        "output stream lengths diverged across backends"
+    );
+    for (d, m) in durable.iter().zip(memory) {
+        assert_eq!(d.0, m.0, "output group diverged across backends");
+        assert_eq!(
+            d.1.to_bits(),
+            m.1.to_bits(),
+            "output value bits diverged across backends at group {}",
+            d.0
+        );
+    }
+}
+
+fn generate(w: &Workload) -> CooTensor3 {
+    let cfg = RandomTensorConfig {
+        dims: w.dims,
+        nnz: w.nnz,
+        value_range: (0.5, 2.0),
+        seed: 0x9e11,
+    };
+    powerlaw_tensor(&cfg, ALPHA)
+}
+
+fn store_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("haten2-blockstore-bench-{}", std::process::id()))
+}
+
+struct DurableRun {
+    outputs: Vec<(u64, f64)>,
+    persist_s: f64,
+    sweep_s: f64,
+    spill: SpillStats,
+    tensor_bytes_written: u64,
+    tensor_bytes_read: u64,
+    stored_bytes_written: u64,
+    stored_bytes_read: u64,
+    live_bytes: usize,
+    resident_bytes: usize,
+}
+
+fn run_durable(w: &Workload, x: &CooTensor3, dir: &Path) -> DurableRun {
+    let cluster = Cluster::new(ClusterConfig {
+        dfs: DfsBackend::Durable(DurableConfig::new(dir).memory_budget(w.budget)),
+        ..ClusterConfig::with_machines(MACHINES)
+    });
+    let t = Instant::now();
+    persist_tensor(&cluster, TENSOR_KEY, x).expect("persist tensor into the block store");
+    let persist_s = t.elapsed().as_secs_f64();
+    let (outputs, sweep_s) = run_sweeps(&cluster, w.sweeps).expect("durable sweep");
+    let dfs = cluster.dfs();
+    let spill = dfs.spill_stats();
+    let io = dfs
+        .durable_dataset_io()
+        .expect("durable backend meters per-dataset I/O");
+    let tensor_io = io
+        .get(TENSOR_KEY)
+        .copied()
+        .expect("tensor dataset is metered");
+    let stats = dfs.store_stats().expect("durable backend has store stats");
+    DurableRun {
+        outputs,
+        persist_s,
+        sweep_s,
+        spill,
+        tensor_bytes_written: tensor_io.bytes_written,
+        tensor_bytes_read: tensor_io.bytes_read,
+        stored_bytes_written: stats.stored_bytes_written,
+        stored_bytes_read: stats.stored_bytes_read,
+        live_bytes: dfs.live_bytes(),
+        resident_bytes: dfs.resident_bytes(),
+    }
+}
+
+fn run_memory(w: &Workload, x: &CooTensor3) -> (Vec<(u64, f64)>, f64) {
+    let cluster = Cluster::new(ClusterConfig::with_machines(MACHINES));
+    persist_tensor(&cluster, TENSOR_KEY, x).expect("persist tensor into the memory DFS");
+    let (outputs, sweep_s) = run_sweeps(&cluster, w.sweeps).expect("in-memory sweep");
+    (outputs, sweep_s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload {
+            nnz: NNZ_SMOKE,
+            dims: DIMS_SMOKE,
+            budget: BUDGET_SMOKE,
+            sweeps: SWEEPS_SMOKE,
+        }
+    } else {
+        Workload {
+            nnz: NNZ_FULL,
+            dims: DIMS_FULL,
+            budget: BUDGET_FULL,
+            sweeps: SWEEPS_FULL,
+        }
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_blockstore.json".to_string());
+
+    let record_bytes = tensor_record_bytes();
+    let tensor_raw_bytes = w.nnz as u64 * record_bytes;
+    let passes = (w.sweeps * MODES) as u64;
+    eprintln!(
+        "blockstore bench: NELL stand-in {}x{}x{}, nnz {} (~{} MB durable), budget {} MiB, \
+         {} sweeps x {MODES} scans",
+        w.dims[0],
+        w.dims[1],
+        w.dims[2],
+        w.nnz,
+        tensor_raw_bytes >> 20,
+        w.budget >> 20,
+        w.sweeps
+    );
+
+    let t = Instant::now();
+    let x = generate(&w);
+    let gen_s = t.elapsed().as_secs_f64();
+    assert_eq!(x.nnz(), w.nnz, "generator fell short of the target nnz");
+
+    let dir = store_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = run_durable(&w, &x, &dir);
+    let (mem_outputs, mem_sweep_s) = run_memory(&w, &x);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_bit_identical(&durable.outputs, &mem_outputs);
+
+    // The budget is below the working set, so the tensor can never be
+    // served resident: every scan must reload from segments, and the
+    // dataset's metered reads must sit exactly on the analyzer's
+    // passes × nnz × record_bytes floor.
+    assert!(
+        (w.budget as u64) < tensor_raw_bytes,
+        "budget does not force spilling — not an out-of-core run"
+    );
+    assert!(
+        durable.spill.spill_events > 0 && durable.spill.reload_events >= w.sweeps * MODES,
+        "spill path not exercised: {:?}",
+        durable.spill
+    );
+    assert!(
+        durable.tensor_bytes_read >= passes * tensor_raw_bytes,
+        "durable reads {} below the {passes}-pass floor {}",
+        durable.tensor_bytes_read,
+        passes * tensor_raw_bytes
+    );
+    let amplification = durable.tensor_bytes_read as f64 / tensor_raw_bytes as f64;
+    let slowdown = durable.sweep_s / mem_sweep_s;
+
+    eprintln!(
+        "durable sweep {:.2}s vs in-memory {:.2}s ({slowdown:.2}x); \
+         spill {} events / {} MB, reload {} events / {} MB; \
+         read amplification {amplification:.2} (floor {passes})",
+        durable.sweep_s,
+        mem_sweep_s,
+        durable.spill.spill_events,
+        durable.spill.spilled_bytes >> 20,
+        durable.spill.reload_events,
+        durable.spill.reloaded_bytes >> 20,
+    );
+
+    if smoke {
+        eprintln!("blockstore smoke: OK (outputs bit-identical across backends)");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"blockstore-out-of-core\",\n  \"workload\": {{\n    \"dataset\": \"nell-standin-powerlaw\",\n    \"dims\": [{}, {}, {}],\n    \"nnz\": {},\n    \"alpha\": {ALPHA:.1},\n    \"record_bytes\": {record_bytes},\n    \"tensor_raw_bytes\": {tensor_raw_bytes},\n    \"generate_s\": {gen_s:.3}\n  }},\n  \"config\": {{\n    \"machines\": {MACHINES},\n    \"memory_budget_bytes\": {},\n    \"sweeps\": {},\n    \"scans_per_sweep\": {MODES},\n    \"modeled_pipeline\": \"dnn-style: one full-tensor scan per mode update (dri would be 1 per sweep)\"\n  }},\n  \"durable\": {{\n    \"persist_s\": {:.3},\n    \"sweep_wall_s\": {:.3},\n    \"spill_events\": {},\n    \"spilled_bytes\": {},\n    \"reload_events\": {},\n    \"reloaded_bytes\": {},\n    \"tensor_bytes_written\": {},\n    \"tensor_bytes_read\": {},\n    \"stored_bytes_written\": {},\n    \"stored_bytes_read\": {},\n    \"codec\": \"zero-rle\",\n    \"live_bytes\": {},\n    \"resident_bytes_after\": {}\n  }},\n  \"in_memory\": {{ \"sweep_wall_s\": {:.3} }},\n  \"read_amplification\": {{\n    \"measured\": {amplification:.3},\n    \"passes\": {passes},\n    \"floor_bytes_per_pass\": {tensor_raw_bytes},\n    \"cross_check\": \"tensor_bytes_read >= passes x nnz x record_bytes, the ANALYSIS.md durable I/O floor (asserted)\"\n  }},\n  \"slowdown_vs_in_memory\": {slowdown:.3},\n  \"outputs\": \"bit-identical across backends (asserted)\",\n  \"timing\": \"single rep; sweep wall-clock excludes generation and the initial persist\"\n}}\n",
+        w.dims[0],
+        w.dims[1],
+        w.dims[2],
+        w.nnz,
+        w.budget,
+        w.sweeps,
+        durable.persist_s,
+        durable.sweep_s,
+        durable.spill.spill_events,
+        durable.spill.spilled_bytes,
+        durable.spill.reload_events,
+        durable.spill.reloaded_bytes,
+        durable.tensor_bytes_written,
+        durable.tensor_bytes_read,
+        durable.stored_bytes_written,
+        durable.stored_bytes_read,
+        durable.live_bytes,
+        durable.resident_bytes,
+        mem_sweep_s,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

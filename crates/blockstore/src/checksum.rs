@@ -1,0 +1,42 @@
+//! FNV-1a 64-bit checksums.
+//!
+//! Every manifest entry and every stored payload carries an FNV-1a digest.
+//! FNV is not cryptographic — the threat model is torn writes and bit rot,
+//! not an adversary — and it is the same hash family the engine's shuffle
+//! partitioner already standardizes on, so the workspace has exactly one
+//! hash story.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit digest of `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = fnv1a64(&[0u8; 64]);
+        let mut flipped = [0u8; 64];
+        flipped[63] = 1;
+        assert_ne!(a, fnv1a64(&flipped));
+    }
+}

@@ -1,0 +1,497 @@
+//! The block store façade: named byte blobs over segments + manifest.
+//!
+//! `put` encodes the payload, appends it to the current segment, fsyncs
+//! the segment, and only then commits a manifest entry referencing the
+//! extent — so a crash at any point leaves either a fully readable blob
+//! or no blob, never a manifest entry pointing at unsynced bytes. `get`
+//! is a positional read of the extent followed by checksum verification
+//! and decode. The store speaks bytes only; record typing and the spill
+//! policy live in the engine's `Dfs` layer.
+//!
+//! Space is append-only: overwriting or deleting a dataset shadows the
+//! old extent in the manifest but does not reclaim segment bytes. The
+//! stats report the resulting dead volume so callers (and the bench
+//! harness) can see write amplification; compaction is future work and
+//! mirrors HDFS, where blocks are immutable and reclamation is a
+//! namespace-level concern.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::checksum::fnv1a64;
+use crate::codec::{self, Codec};
+use crate::manifest::{BlobMeta, Manifest};
+use crate::segment::{SegmentReader, SegmentWriter};
+
+/// Default segment rotation threshold (64 MiB).
+pub const DEFAULT_SEGMENT_ROTATE_BYTES: u64 = 64 << 20;
+
+/// Configuration for opening a [`BlockStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Directory holding segments and the manifest (created if absent).
+    pub dir: PathBuf,
+    /// Preferred codec for new blobs (per-blob fallback to `Raw` when the
+    /// encoding does not shrink; reads always honor the recorded codec).
+    pub codec: Codec,
+    /// Rotate to a fresh segment file once the current one crosses this.
+    pub segment_rotate_bytes: u64,
+}
+
+impl StoreOptions {
+    /// Options rooted at `dir` with the default codec and rotation size.
+    pub fn new(dir: impl Into<PathBuf>) -> StoreOptions {
+        StoreOptions {
+            dir: dir.into(),
+            codec: Codec::ZeroRle,
+            segment_rotate_bytes: DEFAULT_SEGMENT_ROTATE_BYTES,
+        }
+    }
+
+    /// Set the preferred codec.
+    #[must_use]
+    pub fn codec(mut self, codec: Codec) -> StoreOptions {
+        self.codec = codec;
+        self
+    }
+
+    /// Set the segment rotation threshold.
+    #[must_use]
+    pub fn segment_rotate_bytes(mut self, bytes: u64) -> StoreOptions {
+        self.segment_rotate_bytes = bytes;
+        self
+    }
+}
+
+/// A blob read back from the store: decoded bytes plus its manifest meta.
+#[derive(Debug, Clone)]
+pub struct StoredBlob {
+    /// Manifest metadata the blob was served under.
+    pub meta: BlobMeta,
+    /// Decoded (raw) payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Per-dataset durable I/O counters (raw, pre-codec byte volumes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatasetIo {
+    /// Raw bytes written for this dataset (sum over all puts).
+    pub bytes_written: u64,
+    /// Raw bytes read back for this dataset (sum over all gets).
+    pub bytes_read: u64,
+    /// Number of puts.
+    pub writes: u64,
+    /// Number of gets.
+    pub reads: u64,
+}
+
+/// Snapshot of store-wide counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Completed puts.
+    pub puts: u64,
+    /// Completed gets (hits only).
+    pub gets: u64,
+    /// Completed deletes.
+    pub deletes: u64,
+    /// Raw (pre-codec) bytes accepted by puts.
+    pub raw_bytes_written: u64,
+    /// On-disk (post-codec) bytes appended to segments.
+    pub stored_bytes_written: u64,
+    /// Raw bytes served by gets.
+    pub raw_bytes_read: u64,
+    /// On-disk bytes fetched from segments by gets.
+    pub stored_bytes_read: u64,
+    /// Live datasets in the namespace.
+    pub live_datasets: u64,
+    /// On-disk bytes referenced by live datasets.
+    pub live_stored_bytes: u64,
+    /// Raw bytes represented by live datasets.
+    pub live_raw_bytes: u64,
+    /// On-disk bytes shadowed by overwrites/deletes (not reclaimed).
+    pub dead_stored_bytes: u64,
+    /// Torn-tail bytes truncated from the manifest when the store opened.
+    pub truncated_bytes_on_open: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    deletes: AtomicU64,
+    raw_bytes_written: AtomicU64,
+    stored_bytes_written: AtomicU64,
+    raw_bytes_read: AtomicU64,
+    stored_bytes_read: AtomicU64,
+    dead_stored_bytes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    segments: SegmentWriter,
+    manifest: Manifest,
+}
+
+/// Durable block store: crash-consistent named blobs on local disk.
+#[derive(Debug)]
+pub struct BlockStore {
+    dir: PathBuf,
+    codec: Codec,
+    index: RwLock<BTreeMap<String, BlobMeta>>,
+    writer: Mutex<WriterState>,
+    reader: SegmentReader,
+    counters: Counters,
+    io: Mutex<BTreeMap<String, DatasetIo>>,
+    truncated_on_open: u64,
+}
+
+impl BlockStore {
+    /// Open (creating if needed) the store at `options.dir`, replaying the
+    /// manifest to rebuild the namespace.
+    pub fn open(options: StoreOptions) -> io::Result<BlockStore> {
+        std::fs::create_dir_all(&options.dir)?;
+        let (manifest, replay) = Manifest::open(&options.dir)?;
+        let segments = SegmentWriter::open(&options.dir, options.segment_rotate_bytes)?;
+        Ok(BlockStore {
+            dir: options.dir.clone(),
+            codec: options.codec,
+            index: RwLock::new(replay.index),
+            writer: Mutex::new(WriterState { segments, manifest }),
+            reader: SegmentReader::new(&options.dir),
+            counters: Counters::default(),
+            io: Mutex::new(BTreeMap::new()),
+            truncated_on_open: replay.truncated_bytes,
+        })
+    }
+
+    /// Directory the store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably store `raw` under `name`, replacing any previous blob.
+    ///
+    /// `type_tag` names the record type serialized into the bytes;
+    /// `records` and `est_bytes` are engine-level bookkeeping persisted
+    /// alongside the extent because they cannot be recovered from the
+    /// encoded payload after a restart.
+    pub fn put(
+        &self,
+        name: &str,
+        type_tag: &str,
+        raw: &[u8],
+        records: u64,
+        est_bytes: u64,
+    ) -> io::Result<BlobMeta> {
+        let (codec_used, stored) = codec::encode_auto(self.codec, raw);
+        let payload_checksum = fnv1a64(&stored);
+        let meta = {
+            let mut w = self.writer.lock().expect("block store writer poisoned");
+            let (segment, offset) = w.segments.append(&stored)?;
+            // Crash-consistency: the extent must be durable before the
+            // manifest entry referencing it commits.
+            w.segments.sync()?;
+            let meta = BlobMeta {
+                type_tag: type_tag.to_string(),
+                codec: codec_used,
+                segment,
+                offset,
+                stored_len: stored.len() as u64,
+                raw_len: raw.len() as u64,
+                est_bytes,
+                records,
+                payload_checksum,
+            };
+            w.manifest.append_put(name, meta.clone())?;
+            meta
+        };
+        let prior = {
+            let mut index = self.index.write().expect("block store index poisoned");
+            index.insert(name.to_string(), meta.clone())
+        };
+        if let Some(old) = prior {
+            self.counters
+                .dead_stored_bytes
+                .fetch_add(old.stored_len, Ordering::Relaxed);
+        }
+        self.counters.puts.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .raw_bytes_written
+            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+        self.counters
+            .stored_bytes_written
+            .fetch_add(stored.len() as u64, Ordering::Relaxed);
+        {
+            let mut io = self.io.lock().expect("block store io map poisoned");
+            let entry = io.entry(name.to_string()).or_default();
+            entry.bytes_written += raw.len() as u64;
+            entry.writes += 1;
+        }
+        Ok(meta)
+    }
+
+    /// Read the blob stored under `name`, verifying its checksum and
+    /// decoding it. Returns `Ok(None)` when the name is not live.
+    pub fn get(&self, name: &str) -> io::Result<Option<StoredBlob>> {
+        let meta = {
+            let index = self.index.read().expect("block store index poisoned");
+            match index.get(name) {
+                Some(m) => m.clone(),
+                None => return Ok(None),
+            }
+        };
+        let stored = self
+            .reader
+            .read(meta.segment, meta.offset, meta.stored_len)?;
+        if fnv1a64(&stored) != meta.payload_checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checksum mismatch reading dataset '{name}'"),
+            ));
+        }
+        let raw_len = usize::try_from(meta.raw_len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "raw length overflow"))?;
+        let bytes = codec::decode(meta.codec, &stored, raw_len)?;
+        self.counters.gets.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .stored_bytes_read
+            .fetch_add(stored.len() as u64, Ordering::Relaxed);
+        self.counters
+            .raw_bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        {
+            let mut io = self.io.lock().expect("block store io map poisoned");
+            let entry = io.entry(name.to_string()).or_default();
+            entry.bytes_read += bytes.len() as u64;
+            entry.reads += 1;
+        }
+        Ok(Some(StoredBlob { meta, bytes }))
+    }
+
+    /// Manifest metadata for `name`, if live (no payload read).
+    #[must_use]
+    pub fn meta(&self, name: &str) -> Option<BlobMeta> {
+        self.index
+            .read()
+            .expect("block store index poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Whether `name` is live in the namespace.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.index
+            .read()
+            .expect("block store index poisoned")
+            .contains_key(name)
+    }
+
+    /// Remove `name` from the namespace (extent bytes are not reclaimed).
+    /// Returns whether the name was live.
+    pub fn delete(&self, name: &str) -> io::Result<bool> {
+        let was_live = {
+            let index = self.index.read().expect("block store index poisoned");
+            index.contains_key(name)
+        };
+        if !was_live {
+            return Ok(false);
+        }
+        {
+            let mut w = self.writer.lock().expect("block store writer poisoned");
+            w.manifest.append_delete(name)?;
+        }
+        let removed = {
+            let mut index = self.index.write().expect("block store index poisoned");
+            index.remove(name)
+        };
+        if let Some(old) = removed {
+            self.counters
+                .dead_stored_bytes
+                .fetch_add(old.stored_len, Ordering::Relaxed);
+            self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(true)
+    }
+
+    /// Names of all live datasets, sorted.
+    #[must_use]
+    pub fn datasets(&self) -> Vec<String> {
+        self.index
+            .read()
+            .expect("block store index poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Per-dataset durable I/O counters accumulated since open.
+    #[must_use]
+    pub fn dataset_io(&self) -> BTreeMap<String, DatasetIo> {
+        self.io.lock().expect("block store io map poisoned").clone()
+    }
+
+    /// Snapshot of store-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let (live_datasets, live_stored_bytes, live_raw_bytes) = {
+            let index = self.index.read().expect("block store index poisoned");
+            (
+                index.len() as u64,
+                index.values().map(|m| m.stored_len).sum(),
+                index.values().map(|m| m.raw_len).sum(),
+            )
+        };
+        StoreStats {
+            puts: self.counters.puts.load(Ordering::Relaxed),
+            gets: self.counters.gets.load(Ordering::Relaxed),
+            deletes: self.counters.deletes.load(Ordering::Relaxed),
+            raw_bytes_written: self.counters.raw_bytes_written.load(Ordering::Relaxed),
+            stored_bytes_written: self.counters.stored_bytes_written.load(Ordering::Relaxed),
+            raw_bytes_read: self.counters.raw_bytes_read.load(Ordering::Relaxed),
+            stored_bytes_read: self.counters.stored_bytes_read.load(Ordering::Relaxed),
+            live_datasets,
+            live_stored_bytes,
+            live_raw_bytes,
+            dead_stored_bytes: self.counters.dead_stored_bytes.load(Ordering::Relaxed),
+            truncated_bytes_on_open: self.truncated_on_open,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("haten2-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> BlockStore {
+        BlockStore::open(StoreOptions::new(dir)).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let store = open(&dir);
+        let payload: Vec<u8> = (0..500u32).flat_map(|i| i.to_le_bytes()).collect();
+        let meta = store.put("ds/x", "u32", &payload, 500, 2000).unwrap();
+        assert_eq!(meta.raw_len, payload.len() as u64);
+        assert_eq!(meta.records, 500);
+        assert_eq!(meta.est_bytes, 2000);
+
+        let blob = store.get("ds/x").unwrap().unwrap();
+        assert_eq!(blob.bytes, payload);
+        assert_eq!(blob.meta.type_tag, "u32");
+
+        assert!(store.delete("ds/x").unwrap());
+        assert!(!store.delete("ds/x").unwrap());
+        assert!(store.get("ds/x").unwrap().is_none());
+        assert!(!store.contains("ds/x"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let dir = tmpdir("reopen");
+        let payload = vec![7u8; 1000];
+        {
+            let store = open(&dir);
+            store.put("keep", "u8", &payload, 1000, 1000).unwrap();
+            store.put("drop", "u8", &[1, 2, 3], 3, 3).unwrap();
+            store.delete("drop").unwrap();
+            store.put("keep2", "u8", &[9; 10], 10, 10).unwrap();
+        }
+        let store = open(&dir);
+        assert_eq!(store.datasets(), vec!["keep".to_string(), "keep2".into()]);
+        assert_eq!(store.get("keep").unwrap().unwrap().bytes, payload);
+        assert_eq!(store.get("keep2").unwrap().unwrap().bytes, vec![9u8; 10]);
+        assert!(store.get("drop").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_shadows_and_counts_dead_bytes() {
+        let dir = tmpdir("shadow");
+        let store = open(&dir);
+        store.put("a", "u8", &[1u8; 100], 100, 100).unwrap();
+        let first_stored = store.stats().stored_bytes_written;
+        store.put("a", "u8", &[2u8; 100], 100, 100).unwrap();
+        assert_eq!(store.get("a").unwrap().unwrap().bytes, vec![2u8; 100]);
+        let stats = store.stats();
+        assert_eq!(stats.live_datasets, 1);
+        assert_eq!(stats.dead_stored_bytes, first_stored);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn per_dataset_io_is_metered() {
+        let dir = tmpdir("meter");
+        let store = open(&dir);
+        store.put("a", "u8", &[0u8; 64], 64, 64).unwrap();
+        store.get("a").unwrap().unwrap();
+        store.get("a").unwrap().unwrap();
+        let io = store.dataset_io();
+        assert_eq!(io["a"].writes, 1);
+        assert_eq!(io["a"].reads, 2);
+        assert_eq!(io["a"].bytes_written, 64);
+        assert_eq!(io["a"].bytes_read, 128);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_extent_is_detected_on_read() {
+        let dir = tmpdir("bitrot");
+        let store = open(&dir);
+        // Incompressible payload so it is stored raw and byte 0 of the
+        // extent is payload (not codec framing).
+        let payload: Vec<u8> = (1..=255u8).cycle().take(300).collect();
+        let meta = store.put("a", "u8", &payload, 300, 300).unwrap();
+        drop(store);
+        // Flip one byte of the extent on disk.
+        let seg = dir.join(crate::segment::segment_file_name(meta.segment));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let at = usize::try_from(meta.offset).unwrap();
+        bytes[at] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+        let store = open(&dir);
+        let err = store.get("a").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressible_payloads_store_smaller() {
+        let dir = tmpdir("codec");
+        let store = open(&dir);
+        let mut payload = Vec::new();
+        for i in 0..2000u64 {
+            payload.extend_from_slice(&(i % 50).to_le_bytes());
+        }
+        let meta = store.put("ix", "u64", &payload, 2000, 16000).unwrap();
+        assert_eq!(meta.codec, Codec::ZeroRle);
+        assert!(meta.stored_len * 2 < meta.raw_len);
+        assert_eq!(store.get("ix").unwrap().unwrap().bytes, payload);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let dir = tmpdir("emptyblob");
+        let store = open(&dir);
+        store.put("nil", "unit", &[], 0, 0).unwrap();
+        let blob = store.get("nil").unwrap().unwrap();
+        assert!(blob.bytes.is_empty());
+        drop(store);
+        let store = open(&dir);
+        assert!(store.get("nil").unwrap().unwrap().bytes.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

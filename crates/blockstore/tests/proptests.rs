@@ -1,0 +1,67 @@
+//! Property tests: codec round-trips and store recovery over random data.
+
+#![allow(clippy::unwrap_used)]
+
+use haten2_blockstore::codec::{decode, encode_auto, zero_rle_decode, zero_rle_encode};
+use haten2_blockstore::{BlockStore, Codec, StoreOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn zero_rle_roundtrips(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = zero_rle_encode(&raw);
+        prop_assert_eq!(zero_rle_decode(&enc, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn sparse_bytes_roundtrip_and_shrink(
+        runs in proptest::collection::vec((0u8..=255, 1usize..40), 1..40)
+    ) {
+        // Alternate literal bytes with zero padding, like index-heavy records.
+        let mut raw = Vec::new();
+        for (byte, pad) in runs {
+            raw.push(byte);
+            raw.extend(std::iter::repeat_n(0u8, pad));
+        }
+        let (codec, stored) = encode_auto(Codec::ZeroRle, &raw);
+        prop_assert_eq!(decode(codec, &stored, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn store_roundtrips_random_blobs(
+        raw_blobs in proptest::collection::vec(
+            (0u8..6, proptest::collection::vec(any::<u8>(), 0..256)),
+            1..8,
+        ),
+        seed in any::<u32>(),
+    ) {
+        let blobs: Vec<(String, Vec<u8>)> = raw_blobs
+            .into_iter()
+            .map(|(id, bytes)| (format!("ds-{id}"), bytes))
+            .collect();
+        let dir = std::env::temp_dir().join(format!(
+            "haten2-store-prop-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = BlockStore::open(StoreOptions::new(&dir)).unwrap();
+            for (name, bytes) in &blobs {
+                store
+                    .put(name, "u8", bytes, bytes.len() as u64, bytes.len() as u64)
+                    .unwrap();
+            }
+        }
+        // Reopen: last write per name wins, byte-identical.
+        let store = BlockStore::open(StoreOptions::new(&dir)).unwrap();
+        let mut expected = std::collections::BTreeMap::new();
+        for (name, bytes) in &blobs {
+            expected.insert(name.clone(), bytes.clone());
+        }
+        for (name, bytes) in &expected {
+            prop_assert_eq!(&store.get(name).unwrap().unwrap().bytes, bytes);
+        }
+        prop_assert_eq!(store.datasets().len(), expected.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

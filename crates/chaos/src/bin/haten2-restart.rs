@@ -1,0 +1,107 @@
+//! `haten2-restart` — kill-and-reexec durability scenario.
+//!
+//! ```text
+//! haten2-restart [--dir DIR] [--decomp parafac|tucker|both]
+//! ```
+//!
+//! For each selected decomposition the orchestrator runs the clean
+//! reference in-process, then re-execs itself twice: a **victim** child
+//! that persists the tensor to a durable block store, checkpoints, and
+//! aborts mid-sweep; and a **resume** child that reopens the store in a
+//! fresh process and finishes the run. Exits non-zero unless every
+//! resumed model is bit-identical to its uninterrupted reference.
+//!
+//! The `--role` flag is the internal re-exec protocol; the harness sets
+//! it when spawning children.
+
+use haten2_chaos::restart;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: haten2-restart [--dir DIR] [--decomp parafac|tucker|both]");
+    std::process::exit(2);
+}
+
+struct Args {
+    role: Option<String>,
+    dir: Option<PathBuf>,
+    decomp: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        role: None,
+        dir: None,
+        decomp: "both".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs an argument");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--role" => parsed.role = Some(take("--role")),
+            "--dir" => parsed.dir = Some(PathBuf::from(take("--dir"))),
+            "--decomp" => parsed.decomp = take("--decomp"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let dir = args.dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("haten2-restart-{}", std::process::id()))
+    });
+
+    match args.role.as_deref() {
+        Some("victim") => restart::run_victim(&dir, &args.decomp),
+        Some("resume") => {
+            let (fp, reloads) = restart::run_resume(&dir, &args.decomp);
+            println!("{}", restart::format_resume_report(fp, reloads));
+        }
+        Some(other) => {
+            eprintln!("unknown role: {other}");
+            usage();
+        }
+        None => {
+            let decomps: Vec<&str> = match args.decomp.as_str() {
+                "both" => restart::DECOMPS.to_vec(),
+                d @ ("parafac" | "tucker") => vec![d],
+                other => {
+                    eprintln!("unknown decomposition: {other}");
+                    usage();
+                }
+            };
+            let mut failed = false;
+            for decomp in decomps {
+                let scenario_dir = dir.join(decomp);
+                let outcome = restart::drive_one(&scenario_dir, decomp);
+                let verdict = if outcome.identical() {
+                    "identical"
+                } else {
+                    failed = true;
+                    "DIVERGED"
+                };
+                println!(
+                    "{:<8} clean {:#018x} resumed {:#018x} reloads {:>3}  {}",
+                    outcome.decomp, outcome.clean, outcome.resumed, outcome.reloads, verdict
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            if failed {
+                eprintln!("kill-and-reexec scenario FAILED: resumed bits diverged");
+                std::process::exit(1);
+            }
+            println!("kill-and-reexec: all resumed runs bit-identical across process restart");
+        }
+    }
+}

@@ -37,6 +37,8 @@
 //! ([`haten2_analyze::race_certified`]) in both directions — see
 //! [`ChaosReport::race_cross_validation_failures`].
 
+pub mod restart;
+
 use haten2_analyze::{certify, race_certified};
 use haten2_core::{
     parafac_als, plan_for, recovery_for, tucker_als, AlsOptions, CoreError, Decomp, Variant,

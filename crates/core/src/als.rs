@@ -262,7 +262,7 @@ pub fn parafac_als_with_init(
         };
         let prev = fits.last().copied();
         fits.push(fit);
-        crate::checkpoint::maybe_save_parafac(opts, sweep, &lambda, &factors)?;
+        crate::checkpoint::maybe_save_parafac(cluster, opts, sweep, &lambda, &factors)?;
         if let Some(p) = prev {
             if (fit - p).abs() < opts.tol {
                 break;
@@ -417,7 +417,7 @@ pub fn tucker_als_with_init(
         let norm_g = core.fro_norm();
         let prev = core_norms.last().copied();
         core_norms.push(norm_g);
-        crate::checkpoint::maybe_save_tucker(opts, sweep, &core, &factors)?;
+        crate::checkpoint::maybe_save_tucker(cluster, opts, sweep, &core, &factors)?;
         if let Some(p) = prev {
             if (norm_g - p).abs() < opts.tol * norm_x.max(1.0) {
                 break;

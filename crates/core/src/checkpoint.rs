@@ -6,11 +6,21 @@
 //! provides the same workflow against the local filesystem, in the text
 //! formats the CLI uses (`<prefix>.A.mat`, …, `<prefix>.lambda.txt`,
 //! `<prefix>.core.tns`).
+//!
+//! Small checkpoint files (`λ`, sweep markers) are written through
+//! [`haten2_blockstore::localfs::write_atomic`] — staged, fsynced, and
+//! renamed into place — so a crash mid-checkpoint can never leave a
+//! half-written marker: a restarted driver sees either the previous
+//! consistent checkpoint or the new one, nothing in between. On clusters
+//! with a durable DFS backend the sweep loop *also* snapshots the factor
+//! state into [`haten2_mapreduce::Cluster::dfs`] (see [`crate::store`]),
+//! and the checkpointed drivers resume from that store copy first.
 
 use crate::als::{
     parafac_als_with_init, tucker_als_with_init, AlsOptions, ParafacResult, TuckerResult,
 };
 use crate::{CoreError, Result};
+use haten2_blockstore::localfs;
 use haten2_linalg::{load_mat, save_mat, Mat};
 use haten2_mapreduce::Cluster;
 use haten2_tensor::{CooTensor3, DenseTensor3};
@@ -25,7 +35,7 @@ fn io_err(e: impl std::fmt::Display) -> CoreError {
 fn ensure_parent(prefix: &str) -> Result<()> {
     if let Some(parent) = Path::new(prefix).parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(io_err)?;
+            localfs::create_dir_all(parent).map_err(io_err)?;
         }
     }
     Ok(())
@@ -50,7 +60,11 @@ pub fn save_parafac_state(lambda: &[f64], factors: &[Mat; 3], prefix: &str) -> R
         .collect::<Vec<_>>()
         .join("\n")
         + "\n";
-    std::fs::write(format!("{prefix}.lambda.txt"), lambda_text).map_err(io_err)?;
+    localfs::write_atomic(
+        Path::new(&format!("{prefix}.lambda.txt")),
+        lambda_text.as_bytes(),
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 
@@ -58,23 +72,31 @@ pub fn save_parafac_state(lambda: &[f64], factors: &[Mat; 3], prefix: &str) -> R
 /// checkpoint at `prefix`. Written *after* the factor files, so a crash
 /// between the two leaves the previous consistent marker in place.
 fn save_sweep_marker(prefix: &str, sweeps_done: usize) -> Result<()> {
-    std::fs::write(format!("{prefix}.sweep.txt"), format!("{sweeps_done}\n")).map_err(io_err)
+    localfs::write_atomic(
+        Path::new(&format!("{prefix}.sweep.txt")),
+        format!("{sweeps_done}\n").as_bytes(),
+    )
+    .map_err(io_err)
 }
 
 /// Completed-sweep count recorded at `prefix`, or `None` when no
 /// checkpoint marker exists.
 pub fn load_sweep_marker(prefix: &str) -> Result<Option<usize>> {
     let path = format!("{prefix}.sweep.txt");
-    if !Path::new(&path).exists() {
+    if !localfs::exists(Path::new(&path)) {
         return Ok(None);
     }
-    let text = std::fs::read_to_string(&path).map_err(io_err)?;
+    let text = localfs::read_to_string(Path::new(&path)).map_err(io_err)?;
     Ok(Some(text.trim().parse().map_err(io_err)?))
 }
 
 /// Checkpoint hook called by the PARAFAC sweep loop: saves state + sweep
-/// marker when `opts` enables checkpointing and the cadence hits.
+/// marker when `opts` enables checkpointing and the cadence hits. On a
+/// durable cluster the factor state is also snapshotted into the DFS
+/// block store *before* the marker commits, so a restarted driver that
+/// sees the marker is guaranteed to find the matching durable state.
 pub(crate) fn maybe_save_parafac(
+    cluster: &Cluster,
     opts: &AlsOptions,
     sweep: usize,
     lambda: &[f64],
@@ -87,11 +109,15 @@ pub(crate) fn maybe_save_parafac(
         return Ok(());
     }
     save_parafac_state(lambda, factors, prefix)?;
+    if cluster.dfs().is_durable() {
+        crate::store::persist_parafac_state(cluster, prefix, lambda, factors)?;
+    }
     save_sweep_marker(prefix, opts.first_sweep + sweep + 1)
 }
 
 /// Checkpoint hook called by the Tucker sweep loop.
 pub(crate) fn maybe_save_tucker(
+    cluster: &Cluster,
     opts: &AlsOptions,
     sweep: usize,
     core: &DenseTensor3,
@@ -104,6 +130,9 @@ pub(crate) fn maybe_save_tucker(
         return Ok(());
     }
     save_tucker_state(core, factors, prefix)?;
+    if cluster.dfs().is_durable() {
+        crate::store::persist_tucker_state(cluster, prefix, core, factors)?;
+    }
     save_sweep_marker(prefix, opts.first_sweep + sweep + 1)
 }
 
@@ -127,7 +156,8 @@ pub fn load_parafac(prefix: &str) -> Result<(Vec<f64>, [Mat; 3])> {
     for name in FACTOR_NAMES {
         factors.push(load_mat(format!("{prefix}.{name}.mat")).map_err(io_err)?);
     }
-    let lambda_text = std::fs::read_to_string(format!("{prefix}.lambda.txt")).map_err(io_err)?;
+    let lambda_text =
+        localfs::read_to_string(Path::new(&format!("{prefix}.lambda.txt"))).map_err(io_err)?;
     let lambda: Vec<f64> = lambda_text
         .lines()
         .filter(|l| !l.trim().is_empty())
@@ -181,7 +211,19 @@ pub fn parafac_als_checkpointed(
     match load_sweep_marker(prefix)? {
         None => crate::als::parafac_als(cluster, x, rank, opts),
         Some(done) => {
-            let (lambda, mut factors) = load_parafac(prefix)?;
+            // Durable clusters resume from the block-store snapshot (raw
+            // f64 bits); the text files are the fallback. Both encodings
+            // are bit-exact, so the resumed factors are identical either
+            // way.
+            let state = if cluster.dfs().is_durable() {
+                crate::store::load_parafac_state(cluster, prefix)?
+            } else {
+                None
+            };
+            let (lambda, mut factors) = match state {
+                Some(state) => state,
+                None => load_parafac(prefix)?,
+            };
             if done >= opts.max_iters {
                 // Nothing left to sweep: report the checkpointed model.
                 return Ok(ParafacResult {
@@ -220,7 +262,15 @@ pub fn tucker_als_checkpointed(
     match load_sweep_marker(prefix)? {
         None => crate::als::tucker_als(cluster, x, core_dims, opts),
         Some(done) => {
-            let (core, [a, b, c]) = load_tucker(prefix)?;
+            let state = if cluster.dfs().is_durable() {
+                crate::store::load_tucker_state(cluster, prefix)?
+            } else {
+                None
+            };
+            let (core, [a, b, c]) = match state {
+                Some(state) => state,
+                None => load_tucker(prefix)?,
+            };
             if done >= opts.max_iters {
                 let fit = {
                     let norm_x_sq = x.fro_norm_sq();

@@ -36,6 +36,7 @@ pub mod ops;
 pub mod parafac;
 pub mod plan;
 pub mod records;
+pub mod store;
 pub mod tucker;
 
 pub use als::{
@@ -55,6 +56,10 @@ pub use plan::{
     ReducerAnnotation, COMM_ASSOC_REDUCERS,
 };
 pub use records::Ix4;
+pub use store::{
+    load_factor, load_parafac_state, load_tensor, load_tucker_state, persist_factor,
+    persist_parafac_state, persist_tensor, persist_tucker_state,
+};
 
 /// Which HaTen2 variant executes an operation (paper Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,5 +1,6 @@
 //! Cluster configuration, cost model, and the [`Cluster`] handle.
 
+use crate::dfs::{Dfs, DfsBackend};
 use crate::fault::FaultPlan;
 use crate::metrics::{BatchReport, JobMetrics, RunMetrics};
 use crate::pool::WorkerPool;
@@ -63,6 +64,19 @@ pub struct ClusterConfig {
     /// How scheduler batches execute (not a semantic knob: outputs and
     /// metrics are bit-identical across modes).
     pub scheduler: SchedulerMode,
+    /// Storage backend for the cluster-owned [`Dfs`]
+    /// ([`Cluster::dfs`]). `Memory` is the historical in-memory map;
+    /// `Durable` writes every dataset through a block store and spills
+    /// resident copies under a memory budget. When a durable backend
+    /// declares no budget of its own, the cluster derives one from the
+    /// per-machine budgets already configured here:
+    /// `reducer_memory_bytes × machines`.
+    pub dfs: DfsBackend,
+    /// Aggregate DFS storage capacity in bytes across live datasets; a
+    /// `put` that would exceed it fails with
+    /// [`crate::MrError::SpillCapacityExceeded`] on either backend.
+    /// `None` is unlimited.
+    pub dfs_capacity_bytes: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +96,8 @@ impl Default for ClusterConfig {
             threads,
             fault_plan: None,
             scheduler: SchedulerMode::default(),
+            dfs: DfsBackend::Memory,
+            dfs_capacity_bytes: None,
         }
     }
 }
@@ -137,6 +153,7 @@ impl CostModel {
 #[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
+    dfs: Dfs,
     metrics: Mutex<RunMetrics>,
     batch_reports: Mutex<Vec<BatchReport>>,
     pool: OnceLock<WorkerPool>,
@@ -148,9 +165,34 @@ pub struct Cluster {
 
 impl Cluster {
     /// Create a cluster with the given configuration.
+    ///
+    /// Panics if a durable DFS backend fails to open its store directory
+    /// — the fallible form is [`Cluster::try_new`]. Memory-backed
+    /// configurations (the default) cannot fail.
     pub fn new(config: ClusterConfig) -> Self {
-        Cluster {
+        Cluster::try_new(config).expect("failed to open the cluster's DFS backend")
+    }
+
+    /// Create a cluster, surfacing durable-backend open failures as
+    /// [`crate::MrError::StorageFailed`] instead of panicking.
+    pub fn try_new(config: ClusterConfig) -> crate::Result<Self> {
+        // A durable backend without its own memory budget inherits the
+        // cluster's per-machine budgets: spilling starts where the
+        // simulated cluster's aggregate reducer memory ends.
+        let backend = match &config.dfs {
+            DfsBackend::Durable(cfg) if cfg.memory_budget_bytes.is_none() => {
+                let mut cfg = cfg.clone();
+                cfg.memory_budget_bytes = config
+                    .reducer_memory_bytes
+                    .map(|per_machine| per_machine.saturating_mul(config.machines.max(1)));
+                DfsBackend::Durable(cfg)
+            }
+            other => other.clone(),
+        };
+        let dfs = Dfs::from_backend(&backend, config.dfs_capacity_bytes)?;
+        Ok(Cluster {
             config,
+            dfs,
             metrics: Mutex::new(RunMetrics::default()),
             batch_reports: Mutex::new(Vec::new()),
             pool: OnceLock::new(),
@@ -158,7 +200,7 @@ impl Cluster {
             alloc_proxy_bytes: AtomicUsize::new(0),
             #[cfg(feature = "race-detect")]
             races: Mutex::new(Vec::new()),
-        }
+        })
     }
 
     /// Cluster with default (paper-testbed-like) configuration.
@@ -169,6 +211,15 @@ impl Cluster {
     /// The configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// The cluster-owned DFS, built from [`ClusterConfig::dfs`]. Drivers
+    /// that persist datasets across jobs (tensors, per-sweep factors)
+    /// should store them here so a durable backend can make them survive
+    /// a process restart. Standalone `Dfs::new()` instances remain valid
+    /// for callers that want private storage.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
     }
 
     /// The persistent worker pool backing this cluster's jobs, created on

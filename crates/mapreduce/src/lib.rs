@@ -62,6 +62,7 @@ pub mod fault;
 pub mod job;
 pub mod lineage;
 pub mod metrics;
+pub mod persist;
 pub mod pipeline;
 pub mod plan;
 pub mod pool;
@@ -73,11 +74,13 @@ pub mod size;
 
 pub use arena::GroupValues;
 pub use cluster::{Cluster, ClusterConfig, CostModel, SchedulerMode};
-pub use dfs::{Block, Dfs};
+pub use dfs::{Block, Dfs, DfsBackend, DurableConfig, SpillStats};
 pub use fault::{FaultPlan, JobFaultSchedule, RetryPolicy, TaskFaults};
+pub use haten2_blockstore::Codec;
 pub use job::{run_job, run_job_streaming, Combiner, JobSite, JobSpec, RECORD_FRAMING_BYTES};
 pub use lineage::{Lineage, MAX_RECOVERY_DEPTH};
 pub use metrics::{BatchReport, JobMetrics, RunMetrics};
+pub use persist::{decode_records, encode_records, Persist};
 pub use pipeline::{run_job_dfs, run_job_dfs_recovering};
 pub use plan::{CheckpointPolicy, Env, JobGraph, JobInstance, PlanJob, RecoverySpec, SymExpr, Var};
 pub use pool::WorkerPool;
@@ -172,6 +175,33 @@ pub enum MrError {
         /// What disagreed.
         detail: String,
     },
+    /// A DFS `put` would push aggregate live dataset bytes past the
+    /// configured storage capacity — the spill space (durable backend) or
+    /// simulated DFS capacity (memory backend) is exhausted. Fired
+    /// identically by both backends so capacity behaviour is
+    /// backend-independent.
+    SpillCapacityExceeded {
+        /// Dataset whose put was rejected.
+        dataset: String,
+        /// Estimated bytes the put requested.
+        requested_bytes: usize,
+        /// Live bytes already stored (after accounting for the
+        /// generation this put would have replaced).
+        live_bytes: usize,
+        /// Configured aggregate capacity.
+        capacity_bytes: usize,
+    },
+    /// The durable storage backend failed an I/O operation (open, put,
+    /// get, delete, or decode). Carries the formatted OS error, since
+    /// `io::Error` itself is neither `Clone` nor `PartialEq`.
+    StorageFailed {
+        /// Dataset involved (or `"(store)"` for store-wide operations).
+        dataset: String,
+        /// The failing operation.
+        op: &'static str,
+        /// Human-readable failure detail.
+        detail: String,
+    },
     /// Two jobs of the same batch declared a write to the *same exact*
     /// dataset shard. The scheduler would silently serialize them into a
     /// last-writer-wins WAW edge; rejecting at submission time keeps every
@@ -212,6 +242,13 @@ impl std::fmt::Display for MrError {
                     f,
                     "job '{job}': reading DFS dataset '{dataset}' failed transiently {attempts} times, budget exhausted"
                 )
+            }
+            MrError::SpillCapacityExceeded { dataset, requested_bytes, live_bytes, capacity_bytes } => write!(
+                f,
+                "dataset '{dataset}': put of {requested_bytes} B would push live DFS bytes ({live_bytes} B) past capacity {capacity_bytes} B"
+            ),
+            MrError::StorageFailed { dataset, op, detail } => {
+                write!(f, "dataset '{dataset}': durable storage {op} failed: {detail}")
             }
             MrError::LineageMissing { dataset } => {
                 write!(f, "dataset '{dataset}' lost and no lineage recipe can re-derive it")

@@ -23,6 +23,7 @@ use crate::dfs::{Block, Dfs};
 use crate::fault::FaultPlan;
 use crate::job::{run_job, JobSpec};
 use crate::lineage::Lineage;
+use crate::persist::Persist;
 use crate::size::EstimateSize;
 use crate::{Cluster, MrError};
 use std::hash::Hash;
@@ -44,7 +45,7 @@ struct FetchOutcome<T> {
 
 /// Read `input` for `job_name`, riding out transient faults and — when a
 /// lineage registry is supplied — re-deriving the dataset if it is missing.
-fn fetch_input<T: Send + Sync + 'static>(
+fn fetch_input<T: Persist + Send + Sync + 'static>(
     dfs: &Dfs,
     plan: Option<&FaultPlan>,
     lineage: Option<&Lineage>,
@@ -113,12 +114,12 @@ fn run_stage<KI, VI, KM, VM, KO, VO, M, R>(
     reducer: R,
 ) -> crate::Result<usize>
 where
-    KI: Clone + Send + Sync + EstimateSize + 'static,
-    VI: Clone + Send + Sync + EstimateSize + 'static,
+    KI: Clone + Send + Sync + EstimateSize + Persist + 'static,
+    VI: Clone + Send + Sync + EstimateSize + Persist + 'static,
     KM: Clone + Ord + Hash + Send + EstimateSize,
     VM: Send + EstimateSize,
-    KO: Clone + Send + Sync + EstimateSize + 'static,
-    VO: Clone + Send + Sync + EstimateSize + 'static,
+    KO: Clone + Send + Sync + EstimateSize + Persist + 'static,
+    VO: Clone + Send + Sync + EstimateSize + Persist + 'static,
     M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
@@ -129,14 +130,14 @@ where
     // reads it, forcing the lineage path to re-derive it.
     if let Some(p) = plan {
         if lineage.is_some() && p.dataset_lost(&job_name, input) && dfs.contains(input) {
-            dfs.delete(input);
+            dfs.delete(input)?;
         }
     }
 
     let fetched = fetch_input::<(KI, VI)>(dfs, plan, lineage, &job_name, input)?;
     let out = run_job(cluster, spec, fetched.records.slice(), mapper, reducer)?;
     let n = out.len();
-    dfs.put(output, out);
+    dfs.put(output, out)?;
 
     if fetched.transient_retries > 0 || fetched.recoveries > 0 {
         cluster.annotate_last(|m| {
@@ -166,12 +167,12 @@ pub fn run_job_dfs<KI, VI, KM, VM, KO, VO, M, R>(
     reducer: R,
 ) -> crate::Result<usize>
 where
-    KI: Clone + Send + Sync + EstimateSize + 'static,
-    VI: Clone + Send + Sync + EstimateSize + 'static,
+    KI: Clone + Send + Sync + EstimateSize + Persist + 'static,
+    VI: Clone + Send + Sync + EstimateSize + Persist + 'static,
     KM: Clone + Ord + Hash + Send + EstimateSize,
     VM: Send + EstimateSize,
-    KO: Clone + Send + Sync + EstimateSize + 'static,
-    VO: Clone + Send + Sync + EstimateSize + 'static,
+    KO: Clone + Send + Sync + EstimateSize + Persist + 'static,
+    VO: Clone + Send + Sync + EstimateSize + Persist + 'static,
     M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
@@ -194,12 +195,12 @@ pub fn run_job_dfs_recovering<KI, VI, KM, VM, KO, VO, M, R>(
     reducer: R,
 ) -> crate::Result<usize>
 where
-    KI: Clone + Send + Sync + EstimateSize + 'static,
-    VI: Clone + Send + Sync + EstimateSize + 'static,
+    KI: Clone + Send + Sync + EstimateSize + Persist + 'static,
+    VI: Clone + Send + Sync + EstimateSize + Persist + 'static,
     KM: Clone + Ord + Hash + Send + EstimateSize,
     VM: Send + EstimateSize,
-    KO: Clone + Send + Sync + EstimateSize + 'static,
-    VO: Clone + Send + Sync + EstimateSize + 'static,
+    KO: Clone + Send + Sync + EstimateSize + Persist + 'static,
+    VO: Clone + Send + Sync + EstimateSize + Persist + 'static,
     M: Fn(&KI, &VI, &mut dyn FnMut(KM, VM)) + Sync,
     R: Fn(&KM, Vec<VM>, &mut dyn FnMut(KO, VO)) + Sync,
 {
@@ -225,7 +226,8 @@ mod tests {
     fn two_stage_pipeline_with_metered_reads() {
         let cluster = Cluster::new(ClusterConfig::with_machines(4));
         let dfs = Dfs::new();
-        dfs.put("logs", vec![(0u64, 3u64), (1, 3), (2, 5), (3, 5), (4, 5)]);
+        dfs.put("logs", vec![(0u64, 3u64), (1, 3), (2, 5), (3, 5), (4, 5)])
+            .unwrap();
 
         // Stage 1: count values.
         let n = run_job_dfs(
@@ -282,7 +284,7 @@ mod tests {
     fn type_mismatch_is_missing() {
         let cluster = Cluster::with_defaults();
         let dfs = Dfs::new();
-        dfs.put("x", vec![1u64, 2, 3]); // not (K, V) pairs
+        dfs.put("x", vec![1u64, 2, 3]).unwrap(); // not (K, V) pairs
         let err = run_job_dfs(
             &cluster,
             &dfs,
@@ -309,7 +311,7 @@ mod tests {
             ..ClusterConfig::with_machines(2)
         });
         let dfs = Dfs::new();
-        dfs.put("logs", vec![(0u64, 1u64), (1, 2)]);
+        dfs.put("logs", vec![(0u64, 1u64), (1, 2)]).unwrap();
         run_job_dfs(
             &cluster,
             &dfs,
@@ -336,7 +338,7 @@ mod tests {
             ..ClusterConfig::with_machines(2)
         });
         let dfs = Dfs::new();
-        dfs.put("logs", vec![(0u64, 1u64)]);
+        dfs.put("logs", vec![(0u64, 1u64)]).unwrap();
         let err = run_job_dfs(
             &cluster,
             &dfs,
@@ -357,7 +359,7 @@ mod tests {
     fn lost_dataset_recovers_through_lineage() {
         let cluster = Arc::new(Cluster::new(ClusterConfig::with_machines(2)));
         let dfs = Arc::new(Dfs::new());
-        dfs.put("logs", vec![(0u64, 3u64), (1, 3), (2, 5)]);
+        dfs.put("logs", vec![(0u64, 3u64), (1, 3), (2, 5)]).unwrap();
 
         let lineage = Lineage::new();
         let (c2, d2) = (Arc::clone(&cluster), Arc::clone(&dfs));

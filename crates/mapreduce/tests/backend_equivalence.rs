@@ -1,0 +1,132 @@
+//! Property tests: the durable block-store backend must be
+//! observationally equivalent to the in-memory backend — same data, same
+//! typed errors, same capacity arithmetic — for every input we can throw
+//! at it. Durability may change *where* bytes live, never behaviour.
+
+#![allow(clippy::unwrap_used)]
+
+use haten2_mapreduce::{
+    run_job_dfs, Cluster, ClusterConfig, Dfs, DfsBackend, DurableConfig, JobSpec, MrError,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("haten2-backend-eq-{tag}-{}", std::process::id()))
+}
+
+/// A fresh durable Dfs under `dir`; caller removes the dir.
+fn durable_dfs(dir: &PathBuf, capacity: Option<usize>, budget: Option<usize>) -> Dfs {
+    let mut cfg = DurableConfig::new(dir);
+    if let Some(b) = budget {
+        cfg = cfg.memory_budget(b);
+    }
+    Dfs::durable(&cfg, capacity).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `SpillCapacityExceeded` fires on the same puts with the same
+    /// fields on both backends, and accepted puts leave identical
+    /// `live_bytes` — capacity accounting is backend-independent.
+    #[test]
+    fn spill_capacity_error_is_backend_independent(
+        sizes in proptest::collection::vec(0usize..200, 1..8),
+        capacity in 1usize..4000,
+        tag in 0u64..1_000_000,
+    ) {
+        let dir = tmp_dir(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mem = Dfs::with_capacity(Some(capacity));
+        let dur = durable_dfs(&dir, Some(capacity), None);
+        for (id, n) in sizes.iter().enumerate() {
+            let name = format!("ds-{id}");
+            let records: Vec<u64> = (0..*n as u64).collect();
+            let a = mem.put(&name, records.clone());
+            let b = dur.put(&name, records);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (a, b) => prop_assert!(false, "backends disagree: {:?} vs {:?}", a, b),
+            }
+            prop_assert_eq!(mem.live_bytes(), dur.live_bytes());
+            prop_assert_eq!(mem.contains(&name), dur.contains(&name));
+        }
+        drop(dur);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `ReducerOom` fires identically on clusters over either backend:
+    /// same typed error, or same output bits.
+    #[test]
+    fn reducer_oom_is_backend_independent(
+        input in proptest::collection::vec((0u64..6, 0u64..100), 1..60),
+        budget in 1usize..2000,
+        tag in 0u64..1_000_000,
+    ) {
+        let dir = tmp_dir(tag.wrapping_add(7_000_000));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |cluster: &Cluster| -> Result<Vec<(u64, u64)>, MrError> {
+            cluster.dfs().put("in", input.clone())?;
+            run_job_dfs(
+                cluster,
+                cluster.dfs(),
+                JobSpec::named("sum"),
+                "in",
+                "out",
+                |k: &u64, v: &u64, emit| emit(*k, *v),
+                |k, vals, emit| emit(*k, vals.iter().sum::<u64>()),
+            )?;
+            let mut out = cluster.dfs().get::<(u64, u64)>("out").unwrap().to_vec();
+            out.sort();
+            Ok(out)
+        };
+        let mem_cluster = Cluster::new(ClusterConfig {
+            reducer_memory_bytes: Some(budget),
+            ..ClusterConfig::with_machines(3)
+        });
+        let dur_cluster = Cluster::new(ClusterConfig {
+            reducer_memory_bytes: Some(budget),
+            dfs: DfsBackend::Durable(DurableConfig::new(&dir)),
+            ..ClusterConfig::with_machines(3)
+        });
+        match (run(&mem_cluster), run(&dur_cluster)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(ea), Err(eb)) => {
+                prop_assert!(matches!(ea, MrError::ReducerOom { .. }), "unexpected: {ea:?}");
+                prop_assert_eq!(ea, eb);
+            }
+            (a, b) => prop_assert!(false, "backends disagree: {:?} vs {:?}", a, b),
+        }
+        drop(dur_cluster);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Forced spilling (zero memory budget) never changes a single bit:
+    /// every get decodes from segment files yet equals the memory copy.
+    #[test]
+    fn forced_spill_roundtrip_is_bit_exact(
+        records in proptest::collection::vec((0u64..1000, -1.0e9f64..1.0e9), 0..120),
+        tag in 0u64..1_000_000,
+    ) {
+        let dir = tmp_dir(tag.wrapping_add(14_000_000));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mem = Dfs::new();
+        let dur = durable_dfs(&dir, None, Some(0));
+        mem.put("r", records.clone()).unwrap();
+        dur.put("r", records).unwrap();
+        let a = mem.get::<(u64, f64)>("r").unwrap();
+        let b = dur.get::<(u64, f64)>("r").unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.0, y.0);
+            prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        if !a.is_empty() {
+            prop_assert!(dur.spill_stats().reload_events >= 1);
+        }
+        drop(dur);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

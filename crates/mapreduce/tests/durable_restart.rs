@@ -1,0 +1,131 @@
+//! Durable-backend restart semantics at the engine level: datasets written
+//! through a [`DfsBackend::Durable`] cluster reopen from disk in a fresh
+//! cluster over the same directory, and lineage re-derivation works
+//! against the *reloaded* inputs — losing an intermediate after a restart
+//! re-runs its producer from the segment files, bit-identically.
+
+#![allow(clippy::unwrap_used)]
+
+use haten2_mapreduce::{
+    run_job_dfs, run_job_dfs_recovering, Cluster, ClusterConfig, DfsBackend, DurableConfig,
+    JobSpec, Lineage,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "haten2-durable-restart-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_cluster(dir: &PathBuf) -> Cluster {
+    Cluster::new(ClusterConfig {
+        dfs: DfsBackend::Durable(DurableConfig::new(dir)),
+        ..ClusterConfig::with_machines(3)
+    })
+}
+
+fn count_job(cluster: &Cluster) -> haten2_mapreduce::Result<usize> {
+    run_job_dfs(
+        cluster,
+        cluster.dfs(),
+        JobSpec::named("count"),
+        "logs",
+        "counts",
+        |_: &u64, v: &u64, emit| emit(*v, 1u64),
+        |k, vals, emit| emit(*k, vals.len() as u64),
+    )
+}
+
+#[test]
+fn lineage_rederives_from_durably_reloaded_source_after_restart() {
+    let dir = tmp_dir("lineage");
+
+    // Phase 1: a durable cluster ingests the source and derives the
+    // intermediate, then the "process" dies (cluster dropped).
+    let phase1_counts;
+    {
+        let cluster = durable_cluster(&dir);
+        cluster
+            .dfs()
+            .put("logs", vec![(0u64, 3u64), (1, 3), (2, 5), (3, 5), (4, 5)])
+            .unwrap();
+        count_job(&cluster).unwrap();
+        phase1_counts = cluster.dfs().get::<(u64, u64)>("counts").unwrap();
+    }
+
+    // Phase 2: a fresh cluster over the same directory sees both datasets
+    // without any puts — the manifest replay recovered them.
+    let cluster = Arc::new(durable_cluster(&dir));
+    assert!(
+        cluster.dfs().contains("logs"),
+        "source must survive restart"
+    );
+    assert!(
+        cluster.dfs().contains("counts"),
+        "intermediate must survive restart"
+    );
+
+    // Lose the intermediate *after* the restart. The recipe must re-run
+    // the producer against the source reloaded from segment files.
+    assert!(cluster.dfs().delete("counts").unwrap());
+    let lineage = Lineage::new();
+    let recipe_cluster = Arc::clone(&cluster);
+    lineage
+        .register("counts", "count", move || {
+            count_job(&recipe_cluster).map(|_| ())
+        })
+        .unwrap();
+
+    run_job_dfs_recovering(
+        &cluster,
+        cluster.dfs(),
+        &lineage,
+        JobSpec::named("max"),
+        "counts",
+        "max",
+        |_: &u64, c: &u64, emit| emit(0u8, *c),
+        |_, vals, emit| emit(0u8, vals.into_iter().max().unwrap_or(0)),
+    )
+    .unwrap();
+
+    assert_eq!(lineage.recoveries(), 1, "the lost input must be re-derived");
+    // The re-derived intermediate matches the pre-restart bits exactly,
+    // because the source round-tripped through the block store losslessly.
+    let rederived = cluster.dfs().get::<(u64, u64)>("counts").unwrap();
+    assert_eq!(*rederived, *phase1_counts);
+    let max = cluster.dfs().get::<(u8, u64)>("max").unwrap();
+    assert_eq!(max[0], (0, 3));
+    // The reload path (not a warm cache) actually served the source.
+    assert!(
+        cluster.dfs().spill_stats().reload_events >= 1,
+        "source should have been reloaded from segments"
+    );
+
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleted_datasets_stay_deleted_across_restart() {
+    let dir = tmp_dir("delete");
+    {
+        let cluster = durable_cluster(&dir);
+        cluster.dfs().put("keep", vec![1u64, 2, 3]).unwrap();
+        cluster.dfs().put("drop", vec![9u64]).unwrap();
+        assert!(cluster.dfs().delete("drop").unwrap());
+    }
+    let cluster = durable_cluster(&dir);
+    assert!(cluster.dfs().contains("keep"));
+    assert!(
+        !cluster.dfs().contains("drop"),
+        "a durable delete must survive restart (manifest tombstone)"
+    );
+    assert_eq!(*cluster.dfs().get::<u64>("keep").unwrap(), vec![1, 2, 3]);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,6 +40,13 @@
 //!   contiguous per-column storage. This rule is scoped via `applies_to` —
 //!   tuple pushes are fine elsewhere (the sequential reference executor
 //!   deliberately stays row-major).
+//! * **no-direct-fs** — direct filesystem calls (`std::fs`, `File::open`,
+//!   `File::create`, `OpenOptions`) are banned in the engine and driver
+//!   library sources (`crates/mapreduce/src`, `crates/core/src`, scoped via
+//!   `applies_under`): durable state must go through `haten2-blockstore`
+//!   (`localfs` for atomic small files, `BlockStore` for segment data) so
+//!   fsync discipline and crash atomicity stay uniform. Only
+//!   `crates/blockstore` may touch the filesystem directly.
 //!
 //! Suppress a finding with `// lint:allow(<rule>) — <reason>` on the same
 //! or the preceding line; `cargo xtask lint --list-allows` prints every
@@ -80,6 +87,11 @@ pub struct Rule {
     /// (workspace-relative) — the inverse of `exempt`, for rules whose
     /// pattern is legitimate everywhere except a few guarded hot paths.
     pub applies_to: &'static [&'static str],
+    /// When non-empty, the rule fires only in files whose
+    /// workspace-relative path starts with one of these prefixes —
+    /// directory-level scoping for rules that guard a subsystem boundary
+    /// rather than a single file.
+    pub applies_under: &'static [&'static str],
 }
 
 /// The workspace lint rules (see the crate docs for rationale).
@@ -92,6 +104,7 @@ pub const RULES: &[Rule] = &[
                   through haten2_mapreduce::WorkerPool so cost accounting sees it",
         exempt: &["crates/mapreduce/src/pool.rs"],
         applies_to: &[],
+        applies_under: &[],
     },
     Rule {
         id: "no-default-hasher",
@@ -101,6 +114,7 @@ pub const RULES: &[Rule] = &[
                   partitioner for reproducible shuffle placement",
         exempt: &[],
         applies_to: &[],
+        applies_under: &[],
     },
     Rule {
         id: "no-unwrap",
@@ -110,6 +124,7 @@ pub const RULES: &[Rule] = &[
                   expect with an invariant message",
         exempt: &[],
         applies_to: &[],
+        applies_under: &[],
     },
     Rule {
         id: "no-debug-macros",
@@ -118,6 +133,7 @@ pub const RULES: &[Rule] = &[
         message: "debugging leftovers must not land",
         exempt: &[],
         applies_to: &[],
+        applies_under: &[],
     },
     Rule {
         id: "no-direct-run-job-dfs",
@@ -132,6 +148,7 @@ pub const RULES: &[Rule] = &[
             "crates/mapreduce/src/lib.rs",
         ],
         applies_to: &[],
+        applies_under: &[],
     },
     Rule {
         id: "shared-backoff",
@@ -147,6 +164,7 @@ pub const RULES: &[Rule] = &[
                   recovery time stays identical across executors",
         exempt: &["crates/mapreduce/src/fault.rs"],
         applies_to: &[],
+        applies_under: &[],
     },
     Rule {
         id: "no-per-record-alloc",
@@ -158,6 +176,18 @@ pub const RULES: &[Rule] = &[
                   values stay in contiguous per-column storage",
         exempt: &[],
         applies_to: &["crates/mapreduce/src/job.rs", "no_per_record_alloc.rs"],
+        applies_under: &[],
+    },
+    Rule {
+        id: "no-direct-fs",
+        patterns: &["std::fs", "File::open", "File::create", "OpenOptions"],
+        scope: Scope::LibraryCode,
+        message: "durable state must go through haten2-blockstore (localfs::write_atomic \
+                  / BlockStore) so fsync discipline and crash atomicity stay uniform; \
+                  direct filesystem calls are reserved for crates/blockstore",
+        exempt: &[],
+        applies_to: &[],
+        applies_under: &["crates/mapreduce/src", "crates/core/src", "no_direct_fs.rs"],
     },
 ];
 
@@ -232,6 +262,11 @@ pub fn lint_file(path: &Path, rel: &str, is_library: bool, findings: &mut Vec<Fi
                 continue;
             }
             if !rule.applies_to.is_empty() && !rule.applies_to.contains(&rel) {
+                continue;
+            }
+            if !rule.applies_under.is_empty()
+                && !rule.applies_under.iter().any(|p| rel.starts_with(p))
+            {
                 continue;
             }
             if rule.patterns.iter().any(|p| code.contains(p))

@@ -1,0 +1,6 @@
+//! Fixture: direct filesystem access in engine library code must trip
+//! `no-direct-fs` — durable state belongs behind `haten2-blockstore`.
+
+pub fn leak_state_past_the_blockstore(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, b"not crash-atomic, never fsynced")
+}

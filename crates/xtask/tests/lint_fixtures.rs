@@ -24,6 +24,7 @@ const LINT_FIXTURES: &[(&str, &str)] = &[
     ("no_direct_run_job_dfs.rs", "no-direct-run-job-dfs"),
     ("shared_backoff.rs", "shared-backoff"),
     ("no_per_record_alloc.rs", "no-per-record-alloc"),
+    ("no_direct_fs.rs", "no-direct-fs"),
     ("undocumented_unsafe.rs", "undocumented-unsafe"),
 ];
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build, tests, lints, formatting.
-# Usage: scripts/check.sh [--sanitize]
+# Usage: scripts/check.sh [--sanitize | --durability-smoke]
 #
 # The default lane is stable-only and hermetic. `--sanitize` runs the
 # dynamic-analysis lane instead: ThreadSanitizer over the concurrency
@@ -8,8 +8,31 @@
 # unsafe core. Both need nightly tooling; each step is skipped with a
 # notice when its toolchain component is absent, so the lane degrades
 # gracefully on stable-only hosts.
+#
+# `--durability-smoke` runs the block-store durability lane: the
+# backend-equivalence and restart suites (spill/OOM errors identical on
+# both backends, durable runs bit-identical to memory), then the real
+# kill-and-reexec drill — a victim process is aborted mid-sweep and a
+# fresh process must resume from segments + manifest to a bit-identical
+# model for one PARAFAC and one Tucker pipeline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--durability-smoke" ]]; then
+    echo "==> backend equivalence (spill/OOM parity + bit-exact durable roundtrips)"
+    cargo test --release -p haten2-mapreduce --test backend_equivalence -q
+    cargo test --release -p haten2-mapreduce --test durable_restart -q
+    echo "==> durable pipeline equivalence (8 pipelines, unlimited + zero-budget)"
+    cargo test --release -p haten2-chaos --test durable_equivalence -q
+    echo "==> kill-and-reexec drill (crash mid-sweep, resume in a fresh process)"
+    tmpdir="$(mktemp -d)"
+    trap 'rm -rf "$tmpdir"' EXIT
+    cargo run -p haten2-chaos --release --bin haten2-restart -- --dir "$tmpdir"
+    echo "==> out-of-core smoke (spill-forced sweep, bit-identical to in-memory)"
+    cargo run -p haten2-bench --release --bin haten2-blockstore-bench -- --smoke
+    echo "Durability smoke passed."
+    exit 0
+fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then
     if ! command -v rustup >/dev/null 2>&1 || ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
