@@ -7,8 +7,11 @@
 //!   non-zero on any violation.
 //! * `--reject-demo` — run deliberately defective plans/specs through the
 //!   analyzer and print the diagnostics, proving that malformed plans are
-//!   rejected naming the offending job, dataset, or sweep. Exits non-zero
-//!   if any demo plan slips through.
+//!   rejected naming the offending job, dataset, or sweep — including
+//!   seeded racy batches, communication lies (wrong closed form,
+//!   under-declared shuffle volume), and broken plan rewrites
+//!   (volume-inflating, dataflow-breaking). Exits non-zero if any demo
+//!   plan slips through.
 //! * `--determinism` — print only the UDF-purity scan verdict.
 //! * `--format md|json` — report format for `--verify-paper-table`
 //!   (default `md`). JSON output is a single stable document with one
@@ -103,10 +106,58 @@ fn reject_demo() -> bool {
             );
         }
     }
+    let envs = haten2_analyze::cost::regime_envs();
+    for r in haten2_analyze::comm::run_comm_rejections(&envs) {
+        println!("## {} — {}", r.graph, r.defect);
+        if r.violations.is_empty() {
+            println!("NOT REJECTED (comm pass found nothing)\n");
+        } else {
+            for v in &r.violations {
+                println!("- {v}");
+            }
+            println!();
+        }
+        if !r.rejected {
+            all_rejected = false;
+            eprintln!(
+                "seeded communication lie '{}' ({}) was not rejected via rule '{}'",
+                r.graph, r.defect, r.rule
+            );
+        }
+    }
+    let merge_graph = haten2_core::plan_for(haten2_core::Decomp::Tucker, haten2_core::Variant::Dri);
+    for r in haten2_analyze::rewrite::run_rewrite_rejections(&merge_graph, &envs) {
+        println!("## {} on {} — {}", r.rewrite, r.graph, r.defect);
+        if r.rule == "none" {
+            println!(
+                "{}\n",
+                if r.rejected {
+                    "certified (baseline rewrite must pass)"
+                } else {
+                    "BASELINE REWRITE REJECTED"
+                }
+            );
+        } else if r.violations.is_empty() {
+            println!("NOT REJECTED (rewrite certifier found nothing)\n");
+        } else {
+            for v in &r.violations {
+                println!("- {v}");
+            }
+            println!();
+        }
+        if !r.rejected {
+            all_rejected = false;
+            eprintln!(
+                "seeded rewrite mutant '{}' ({}) was not handled as expected \
+                 (rule '{}')",
+                r.rewrite, r.defect, r.rule
+            );
+        }
+    }
     if all_rejected {
         println!(
             "all demo plans rejected, each diagnostic names the offending \
-             job, dataset, sweep, or racing pair"
+             job, dataset, sweep, racing pair, or rewrite"
         );
     }
     all_rejected

@@ -1,0 +1,538 @@
+//! Communication certification: symbolic shuffle volume vs. MTTKRP lower
+//! bounds.
+//!
+//! HaTen2's whole contribution (§III, Tables III/IV) is shrinking
+//! intermediate-data *communication*, and the analyzer so far certified
+//! job counts, max-intermediate sizes, and durable-I/O floors — never the
+//! total shuffle volume against a principled yardstick. Ballard & Rouse's
+//! communication lower bounds for MTTKRP (arXiv:1708.07401) give exactly
+//! that yardstick. This pass:
+//!
+//! 1. derives each pipeline's **total shuffle volume**
+//!    [`haten2_mapreduce::JobGraph::shuffle_bytes`] (`Σ count · bytes`
+//!    over job templates) and holds it to a hand-reconstructed closed
+//!    form by extensional equivalence over the regime grid, exactly as
+//!    [`crate::cost`] does for Tables III/IV;
+//! 2. instantiates two lower bounds from the pipeline's registered
+//!    [`CommSpec`] and certifies `bound ≤ declared shuffle` everywhere on
+//!    the grid ([`Violation::CommBoundExceeded`] otherwise — a plan that
+//!    declares less communication than any execution must pay is lying);
+//! 3. computes the symbolic **gap ratio** `shuffle / bound` per pipeline,
+//!    flags any gap that grows unboundedly in `nnz`, and certifies which
+//!    variant attains the minimum gap (expected, and proven in tests:
+//!    DRI, the paper's headline variant).
+//!
+//! # Adapting Ballard–Rouse to the engine's integer semiring
+//!
+//! The paper's bounds for `Y = X₍₁₎(C ⊙ B)` on a machine with fast
+//! memory `M̂` are `Ω(nnz·R / (M̂^{1/2}·…))`-shaped (memory-dependent,
+//! from pebbling the contraction) and `Ω(nnz)`-shaped
+//! (memory-independent, from the atom argument: every nonzero must be
+//! touched). [`SymExpr`] is an integer `(+, ·, max, /)` semiring — no
+//! radicals — so we encode the two families in the forms that are exact
+//! for *this* engine's execution model and stay valid lower bounds:
+//!
+//! * **memory-independent floor** `W_indep = nnz · w_min` bytes: the
+//!   engine's mappers are stateless and the registered pipelines run
+//!   without combiners, so every contributing nonzero crosses the
+//!   shuffle at least once, as at least one wire record of the minimum
+//!   width `w_min` ([`CommSpec::min_record_bytes`] — key + value +
+//!   framing of the smallest emission);
+//! * **memory-dependent bound** `W_dep = nnz · rank_eff · 8 / Mr`: one
+//!   sweep combines `nnz · rank_eff` factor words (8 bytes each) with
+//!   tensor entries ([`CommSpec::rank_eff`] = `Q + R` for Tucker, `2·R`
+//!   for PARAFAC), and a reducer holding at most `Mr` bytes can combine
+//!   each resident byte with at most one shuffled byte per residency —
+//!   the streaming-pebbling form of the paper's argument.
+//!
+//! In the operating regime (`Mr ≥ 8·max(Q, R)`: a reducer holds at least
+//! one factor row) the memory-dependent term never exceeds the
+//! memory-independent floor, so `max(W_indep, W_dep)` — the **applicable
+//! bound** printed in `ANALYSIS.md` — is dominated by `W_indep` there,
+//! while both families remain visible in the table. The bench crosscheck
+//! (`crates/bench/tests/analyzer_crosscheck.rs`) closes the loop
+//! dynamically: metered shuffle bytes equal the symbolic prediction for
+//! exact-marked pipelines and never fall below the instantiated bound.
+
+use crate::Violation;
+use haten2_core::plan::{
+    collapse_bytes, had_coef_bytes, had_ent_bytes, imhp_ent_bytes, imhp_row_base_bytes,
+    imhp_row_elem_bytes, merge_bytes, naive_bytes,
+};
+use haten2_core::{comm_for, env_for, plan_for, CommSpec, Decomp, Variant};
+use haten2_mapreduce::{Env, JobGraph, SymExpr};
+
+/// The communication rules this pass can fire, with rationale — the
+/// fixture corpus in `crates/xtask/tests/fixtures/` carries one
+/// known-bad plan per rule.
+pub const COMM_RULES: &[(&str, &str)] = &[
+    (
+        "shuffle-mismatch",
+        "the graph-derived total shuffle volume must match the hand-reconstructed closed form \
+         on every regime environment",
+    ),
+    (
+        "comm-bound-exceeded",
+        "the instantiated MTTKRP communication lower bound must never exceed the plan's \
+         declared shuffle volume — a plan declaring less communication than any execution \
+         must pay is under-declaring",
+    ),
+];
+
+fn n() -> SymExpr {
+    SymExpr::nnz()
+}
+fn di() -> SymExpr {
+    SymExpr::dim_i()
+}
+fn dj() -> SymExpr {
+    SymExpr::dim_j()
+}
+fn dk() -> SymExpr {
+    SymExpr::dim_k()
+}
+fn q() -> SymExpr {
+    SymExpr::rank_q()
+}
+fn r() -> SymExpr {
+    SymExpr::rank_r()
+}
+fn c(v: u64) -> SymExpr {
+    SymExpr::c(v)
+}
+
+/// Hand-reconstructed closed form of one pipeline's total shuffle volume
+/// (bytes per invocation), written against the paper's job structure and
+/// the measured wire widths — *not* derived from the graph, so drift
+/// between the two is caught by [`check_comm`]'s extensional comparison.
+pub fn shuffle_claim(decomp: Decomp, variant: Variant) -> SymExpr {
+    let nb = c(naive_bytes());
+    let he = c(had_ent_bytes());
+    let hc = c(had_coef_bytes());
+    let cb = c(collapse_bytes());
+    let mb = c(merge_bytes());
+    let ie = c(imhp_ent_bytes());
+    let rb = c(imhp_row_base_bytes());
+    let re = c(imhp_row_elem_bytes());
+    match (decomp, variant) {
+        // Q broadcast TTV passes (nnz + I·J·K blowup each), then R passes
+        // over |T| ≤ Q·nnz.
+        (Decomp::Tucker, Variant::Naive) => {
+            q() * nb.clone() * (n() + di() * dj() * dk())
+                + r() * nb * (n() * q() + di() * q() * dk())
+        }
+        // Q Hadamard passes + collapse(J), then R Hadamard passes over
+        // T (Q·nnz entries) + the nnz·Q·R collapse(K) blowup.
+        (Decomp::Tucker, Variant::Dnn) => {
+            q() * (he.clone() * n() + hc.clone() * dj())
+                + cb.clone() * n() * q()
+                + r() * (he * n() * q() + hc * dk())
+                + cb * n() * q() * r()
+        }
+        // Q passes over X, R passes over bin(X), one CrossMerge.
+        (Decomp::Tucker, Variant::Drn) => {
+            q() * (he.clone() * n() + hc.clone() * dj())
+                + r() * (he * n() + hc * dk())
+                + mb * n() * (q() + r())
+        }
+        // One integrated IMHP pass (2 entry emissions per nonzero + one
+        // row record per factor column), one CrossMerge.
+        (Decomp::Tucker, Variant::Dri) => {
+            c(2) * ie * n()
+                + (rb.clone() + re.clone() * q()) * dj()
+                + (rb + re * r()) * dk()
+                + mb * n() * (q() + r())
+        }
+        // R broadcast TTV passes, then R passes over |T_r| ≤ nnz.
+        (Decomp::Parafac, Variant::Naive) => {
+            r() * nb.clone() * (n() + di() * dj() * dk()) + r() * nb * (n() + di() * dk())
+        }
+        // Four R-instance stages: Hadamard(B) + collapse(J) + Hadamard(C)
+        // + collapse(K), each over nnz entries.
+        (Decomp::Parafac, Variant::Dnn) => {
+            r() * (he.clone() * n() + hc.clone() * dj())
+                + r() * cb.clone() * n()
+                + r() * (he * n() + hc * dk())
+                + r() * cb * n()
+        }
+        // R passes over X, R passes over bin(X), one PairwiseMerge.
+        (Decomp::Parafac, Variant::Drn) => {
+            r() * (he.clone() * n() + hc.clone() * dj())
+                + r() * (he * n() + hc * dk())
+                + c(2) * mb * n() * r()
+        }
+        // One integrated IMHP pass, one PairwiseMerge.
+        (Decomp::Parafac, Variant::Dri) => {
+            c(2) * ie * n()
+                + (rb.clone() + re.clone() * r()) * dj()
+                + (rb + re * r()) * dk()
+                + c(2) * mb * n() * r()
+        }
+    }
+}
+
+/// The two Ballard–Rouse-style lower bounds instantiated from a
+/// pipeline's [`CommSpec`]: `(memory-independent, memory-dependent)`,
+/// both in bytes per invocation (see the module docs for the integer
+/// adaptation).
+pub fn lower_bounds(spec: &CommSpec) -> (SymExpr, SymExpr) {
+    let indep = n() * c(spec.min_record_bytes);
+    let dep = n() * spec.rank_eff.clone() * c(8) / SymExpr::reducer_memory();
+    (indep, dep)
+}
+
+/// The applicable lower bound: `max(W_indep, W_dep)` — valid because each
+/// family is a lower bound on its own.
+pub fn applicable_bound(spec: &CommSpec) -> SymExpr {
+    let (indep, dep) = lower_bounds(spec);
+    SymExpr::max(indep, dep)
+}
+
+/// The witness environment at which `ANALYSIS.md` prints concrete gap
+/// values: a regime-scale tensor (10⁵ nonzeros, KB-shaped dims, paper
+/// ranks) with the default 1 MiB reducer budget.
+pub fn witness_env() -> Env {
+    env_for([1_000, 800, 600], 100_000, 2, 3, 10)
+}
+
+/// One row of the communication-certification table.
+#[derive(Debug, Clone)]
+pub struct CommRow {
+    /// Decomposition.
+    pub decomp: Decomp,
+    /// Variant.
+    pub variant: Variant,
+    /// Registered graph name.
+    pub graph: String,
+    /// Derived total shuffle volume ([`JobGraph::shuffle_bytes`]).
+    pub shuffle: SymExpr,
+    /// Whether every template's cost is exact in generic position (the
+    /// bench crosscheck requires metered equality for these pipelines).
+    pub exact: bool,
+    /// Memory-independent floor `nnz · w_min`.
+    pub bound_indep: SymExpr,
+    /// Memory-dependent bound `nnz · rank_eff · 8 / Mr`.
+    pub bound_dep: SymExpr,
+    /// The applicable bound `max(indep, dep)`.
+    pub bound: SymExpr,
+    /// Symbolic gap ratio `shuffle / bound`.
+    pub gap: SymExpr,
+    /// Gap ratio evaluated at [`witness_env`].
+    pub gap_at_witness: u128,
+    /// `true` when the gap keeps growing without bound as `nnz` does —
+    /// the flag for a pipeline whose communication is asymptotically
+    /// *worse* than the lower bound by a growing factor.
+    pub gap_unbounded_in_nnz: bool,
+}
+
+/// Does `gap` grow without bound in `nnz`? Decided on an `nnz`-doubling
+/// ladder anchored at `base`: a gap that keeps at least doubling across
+/// the top of a 2²⁰-fold ladder is growing in `nnz` (any `nnz`-free
+/// ratio, or one converging to a constant, flattens long before that).
+pub fn gap_unbounded_in_nnz(gap: &SymExpr, base: &Env) -> bool {
+    let at = |nnz: u64| gap.eval(&Env { nnz, ..*base });
+    let lo = at(base.nnz.max(1));
+    let mid = at(base.nnz.max(1).saturating_mul(1 << 10));
+    let hi = at(base.nnz.max(1).saturating_mul(1 << 20));
+    hi >= mid.saturating_mul(2) && mid >= lo.saturating_mul(2)
+}
+
+/// The communication-certification table: one row per registered
+/// pipeline.
+pub fn comm_table() -> Vec<CommRow> {
+    let witness = witness_env();
+    let mut rows = Vec::new();
+    for decomp in Decomp::ALL {
+        for variant in Variant::ALL {
+            let graph = plan_for(decomp, variant);
+            let spec = comm_for(decomp, variant);
+            let shuffle = graph.shuffle_bytes();
+            let (bound_indep, bound_dep) = lower_bounds(&spec);
+            let bound = applicable_bound(&spec);
+            let gap = shuffle.clone() / bound.clone();
+            rows.push(CommRow {
+                decomp,
+                variant,
+                graph: graph.name.clone(),
+                exact: graph.shuffle_exact(),
+                gap_at_witness: gap.eval(&witness),
+                gap_unbounded_in_nnz: gap_unbounded_in_nnz(&gap, &witness),
+                shuffle,
+                bound_indep,
+                bound_dep,
+                bound,
+                gap,
+            });
+        }
+    }
+    rows
+}
+
+/// Check one graph's communication declaration: the derived shuffle
+/// volume must match `claim` extensionally, and the instantiated lower
+/// bound must never exceed the declared volume, both over `envs`.
+pub fn check_comm(
+    graph: &JobGraph,
+    claim: &SymExpr,
+    spec: &CommSpec,
+    envs: &[Env],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let derived = graph.shuffle_bytes();
+    if let Some(env) = envs.iter().find(|e| derived.eval(e) != claim.eval(e)) {
+        violations.push(Violation::ShuffleMismatch {
+            graph: graph.name.clone(),
+            derived: derived.to_string(),
+            claimed: claim.to_string(),
+            derived_val: derived.eval(env),
+            claimed_val: claim.eval(env),
+            env: *env,
+        });
+    }
+    let bound = applicable_bound(spec);
+    if let Some(env) = envs.iter().find(|e| bound.eval(e) > derived.eval(e)) {
+        violations.push(Violation::CommBoundExceeded {
+            graph: graph.name.clone(),
+            shuffle: derived.to_string(),
+            bound: bound.to_string(),
+            shuffle_val: derived.eval(env),
+            bound_val: bound.eval(env),
+            env: *env,
+        });
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Rejection demo: seeded communication lies
+// ---------------------------------------------------------------------------
+
+/// One deliberately wrong communication declaration and what its
+/// rejection must name.
+pub struct CommRejection {
+    /// What was broken.
+    pub defect: &'static str,
+    /// Graph the rejection must name.
+    pub graph: String,
+    /// Rule the rejection must fire.
+    pub rule: &'static str,
+    /// What the pass reported.
+    pub violations: Vec<Violation>,
+    /// Did the pass reject the lie naming graph and rule?
+    pub rejected: bool,
+}
+
+/// Seed two communication lies and run each through [`check_comm`]: the
+/// DRI pipeline claimed with the DRN closed form (the shuffle volumes
+/// differ — job integration is exactly what separates them), and a plan
+/// declaring 1 byte of shuffle per nonzero (below the `nnz · w_min`
+/// floor any execution must pay). Each must be rejected naming the graph
+/// and firing its rule.
+pub fn run_comm_rejections(envs: &[Env]) -> Vec<CommRejection> {
+    let mut out = Vec::new();
+    let dri = plan_for(Decomp::Tucker, Variant::Dri);
+    let spec = comm_for(Decomp::Tucker, Variant::Dri);
+    let v = check_comm(
+        &dri,
+        &shuffle_claim(Decomp::Tucker, Variant::Drn),
+        &spec,
+        envs,
+    );
+    out.push(CommRejection {
+        defect: "DRI pipeline claimed with the DRN closed form (pre-integration volume)",
+        graph: dri.name.clone(),
+        rule: "shuffle-mismatch",
+        rejected: v.iter().any(|x| {
+            x.kind() == "shuffle-mismatch"
+                && matches!(x, Violation::ShuffleMismatch { graph, .. } if *graph == dri.name)
+        }),
+        violations: v,
+    });
+    let lying = JobGraph::new("under-declared-shuffle", [])
+        .big_input("x")
+        .output("y")
+        .job(
+            haten2_mapreduce::PlanJob::new("too-cheap")
+                .reads(["x"])
+                .writes(["y"])
+                .emits(n(), n()),
+        );
+    let claim = lying.shuffle_bytes();
+    let v = check_comm(&lying, &claim, &spec, envs);
+    out.push(CommRejection {
+        defect: "plan declares 1 shuffle byte per nonzero, below the nnz·w_min floor",
+        graph: lying.name.clone(),
+        rule: "comm-bound-exceeded",
+        rejected: v.iter().any(|x| {
+            x.kind() == "comm-bound-exceeded"
+                && matches!(x, Violation::CommBoundExceeded { graph, .. } if *graph == lying.name)
+        }),
+        violations: v,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::regime_envs;
+
+    #[test]
+    fn every_registered_pipeline_passes_the_comm_check() {
+        let envs = regime_envs();
+        for decomp in Decomp::ALL {
+            for variant in Variant::ALL {
+                let g = plan_for(decomp, variant);
+                let v = check_comm(
+                    &g,
+                    &shuffle_claim(decomp, variant),
+                    &comm_for(decomp, variant),
+                    &envs,
+                );
+                assert!(v.is_empty(), "{decomp} {variant}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_shuffle_claim_is_caught_with_counterexample() {
+        let envs = regime_envs();
+        let g = plan_for(Decomp::Tucker, Variant::Dri);
+        // Claim the DRN closed form for the DRI pipeline: DRN pays Q+R
+        // Hadamard passes where DRI pays one integrated pass.
+        let bogus = shuffle_claim(Decomp::Tucker, Variant::Drn);
+        let v = check_comm(&g, &bogus, &comm_for(Decomp::Tucker, Variant::Dri), &envs);
+        assert!(v.iter().any(|v| matches!(
+            v,
+            Violation::ShuffleMismatch { graph, derived_val, claimed_val, .. }
+                if graph == "tucker-dri" && derived_val != claimed_val
+        )));
+    }
+
+    #[test]
+    fn under_declared_shuffle_volume_trips_the_bound() {
+        let envs = regime_envs();
+        // A graph claiming to shuffle 1 byte per nonzero: below the
+        // nnz·w_min floor everywhere.
+        let g = JobGraph::new("under-declared", [])
+            .big_input("x")
+            .output("y")
+            .job(
+                haten2_mapreduce::PlanJob::new("tiny")
+                    .reads(["x"])
+                    .writes(["y"])
+                    .emits(n(), n()),
+            );
+        let claim = g.shuffle_bytes();
+        let v = check_comm(&g, &claim, &comm_for(Decomp::Tucker, Variant::Dri), &envs);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0],
+            Violation::CommBoundExceeded { graph, .. } if graph == "under-declared"
+        ));
+        assert_eq!(v[0].kind(), "comm-bound-exceeded");
+    }
+
+    #[test]
+    fn bounds_are_positive_and_dep_stays_below_indep_in_regime() {
+        let envs = regime_envs();
+        for decomp in Decomp::ALL {
+            for variant in Variant::ALL {
+                let spec = comm_for(decomp, variant);
+                let (indep, dep) = lower_bounds(&spec);
+                for env in &envs {
+                    assert!(indep.eval(env) > 0);
+                    // Regime envs keep Mr ≥ 8·max(Q, R), where the
+                    // streaming-pebbling term is dominated by the floor.
+                    assert!(
+                        dep.eval(env) <= indep.eval(env),
+                        "{decomp} {variant}: memory-dependent bound above the floor at \
+                         Mr={}",
+                        env.reducer_memory
+                    );
+                    assert_eq!(
+                        applicable_bound(&spec).eval(env),
+                        indep.eval(env).max(dep.eval(env))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_covers_all_eight_pipelines_with_bounded_gaps() {
+        let rows = comm_table();
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(
+                row.gap_at_witness >= 1,
+                "{}: shuffle volume below its own lower bound",
+                row.graph
+            );
+            assert!(
+                !row.gap_unbounded_in_nnz,
+                "{}: gap ratio grows unboundedly in nnz",
+                row.graph
+            );
+        }
+        // The DRI rows are the exact-marked ones alongside DRN.
+        for row in rows.iter().filter(|r| r.variant == Variant::Dri) {
+            assert!(row.exact, "{}: DRI must be exact-marked", row.graph);
+        }
+    }
+
+    /// DRI attains the minimum gap ratio of its decomposition on every
+    /// regime environment — the statically-certified form of "closest to
+    /// communication-optimal", mirroring the durable-I/O DRI-minimality
+    /// proof.
+    #[test]
+    fn dri_attains_the_minimum_gap_ratio() {
+        let envs = regime_envs();
+        let rows = comm_table();
+        for decomp in Decomp::ALL {
+            let dri = rows
+                .iter()
+                .find(|r| r.decomp == decomp && r.variant == Variant::Dri)
+                .unwrap();
+            for other in rows.iter().filter(|r| r.decomp == decomp) {
+                for env in &envs {
+                    assert!(
+                        dri.gap.eval(env) <= other.gap.eval(env),
+                        "{}: DRI gap above {} at nnz={}",
+                        dri.graph,
+                        other.graph,
+                        env.nnz
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comm_rejections_fire_their_rules_by_name() {
+        let rejections = run_comm_rejections(&regime_envs());
+        assert_eq!(rejections.len(), 2);
+        for r in &rejections {
+            assert!(
+                r.rejected,
+                "'{}' not rejected naming '{}' via {}: {:?}",
+                r.defect, r.graph, r.rule, r.violations
+            );
+        }
+    }
+
+    /// A deliberately quadratic-shuffle graph is flagged as unbounded in
+    /// `nnz` — the detector is not a rubber stamp.
+    #[test]
+    fn quadratic_shuffle_gap_is_flagged_unbounded() {
+        let spec = comm_for(Decomp::Tucker, Variant::Dri);
+        let quadratic = n() * n(); // nnz² bytes
+        let gap = quadratic / applicable_bound(&spec);
+        assert!(gap_unbounded_in_nnz(&gap, &witness_env()));
+        // …while every real pipeline's gap converges (checked above) and
+        // even a bare linear shuffle is bounded.
+        let linear = n() * c(1_000);
+        let gap = linear / applicable_bound(&spec);
+        assert!(!gap_unbounded_in_nnz(&gap, &witness_env()));
+    }
+}

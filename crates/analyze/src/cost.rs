@@ -107,7 +107,11 @@ pub fn paper_claim(decomp: Decomp, variant: Variant) -> PaperClaim {
 /// its nonzero count dominates its dimensions (`nnz ≥ 5·max(I,J,K)`) and
 /// ranks are small (`2 ≤ Q, R ≤ 10`). Dimension triples are deliberately
 /// taken in *both* orientations (J < K and J > K) so orientation-dependent
-/// claims cannot pass by accident.
+/// claims cannot pass by accident. The per-reducer memory budget `Mr`
+/// spans a small and a large setting (both ≥ the `8·max(Q, R)` floor the
+/// communication bounds assume — a reducer must at least hold one factor
+/// row), so memory-dependent bounds are exercised at both ends without
+/// leaving the bounds' validity regime.
 pub fn regime_envs() -> Vec<Env> {
     let dims: [[u64; 3]; 6] = [
         [300, 400, 500],
@@ -119,21 +123,25 @@ pub fn regime_envs() -> Vec<Env> {
     ];
     let ranks: [u64; 4] = [2, 3, 5, 10];
     let nnzs: [u64; 3] = [5_000, 20_000, 100_000];
+    let reducer_memories: [u64; 2] = [4 << 10, 1 << 20];
     let mut envs = Vec::new();
     for d in dims {
         for &rank_q in &ranks {
             for &rank_r in &ranks {
                 for &nnz in &nnzs {
-                    envs.push(Env {
-                        nnz,
-                        dim_i: d[0],
-                        dim_j: d[1],
-                        dim_k: d[2],
-                        rank_q,
-                        rank_r,
-                        machines: 10,
-                        faults: 1,
-                    });
+                    for &reducer_memory in &reducer_memories {
+                        envs.push(Env {
+                            nnz,
+                            dim_i: d[0],
+                            dim_j: d[1],
+                            dim_k: d[2],
+                            rank_q,
+                            rank_r,
+                            machines: 10,
+                            faults: 1,
+                            reducer_memory,
+                        });
+                    }
                 }
             }
         }

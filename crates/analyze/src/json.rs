@@ -11,6 +11,8 @@
 //!   "rows": [ {"graph": "...", "verdict": "verified", ...}, ... ],
 //!   "recovery": [ {"graph": "...", "certified": true, ...}, ... ],
 //!   "races": [ {"graph": "...", "certified": true, ...}, ... ],
+//!   "comm": [ {"graph": "...", "shuffle": "...", "bound": "...", ...}, ... ],
+//!   "rewrites": [ {"rewrite": "...", "graph": "...", "certified": true, ...}, ... ],
 //!   "determinism": {"ok": true, "files_scanned": 13, "violations": []},
 //!   "violations": [ {"pass": "...", "kind": "...", ...}, ... ]
 //! }
@@ -47,8 +49,8 @@ fn esc(s: &str) -> String {
 
 fn env_json(e: &Env) -> String {
     format!(
-        "{{\"nnz\":{},\"dim_i\":{},\"dim_j\":{},\"dim_k\":{},\"rank_q\":{},\"rank_r\":{},\"machines\":{},\"faults\":{}}}",
-        e.nnz, e.dim_i, e.dim_j, e.dim_k, e.rank_q, e.rank_r, e.machines, e.faults
+        "{{\"nnz\":{},\"dim_i\":{},\"dim_j\":{},\"dim_k\":{},\"rank_q\":{},\"rank_r\":{},\"machines\":{},\"faults\":{},\"reducer_memory\":{}}}",
+        e.nnz, e.dim_i, e.dim_j, e.dim_k, e.rank_q, e.rank_r, e.machines, e.faults, e.reducer_memory
     )
 }
 
@@ -71,6 +73,10 @@ fn pass_of(v: &Violation) -> &'static str {
         Violation::UndeclaredEffect { .. }
         | Violation::UnorderedConflict { .. }
         | Violation::OverDeclaredRead { .. } => "races",
+        Violation::ShuffleMismatch { .. } | Violation::CommBoundExceeded { .. } => "comm",
+        Violation::RewriteVolumeInflation { .. } | Violation::RewriteDataflowBroken { .. } => {
+            "rewrite"
+        }
     }
 }
 
@@ -201,6 +207,49 @@ pub fn violation_json(v: &Violation) -> String {
             esc(job),
             esc(dataset)
         ),
+        Violation::ShuffleMismatch {
+            graph,
+            derived,
+            claimed,
+            env,
+            derived_val,
+            claimed_val,
+        } => format!(
+            "\"kind\":\"shuffle-mismatch\",\"graph\":\"{}\",\"derived\":\"{}\",\"claimed\":\"{}\",\"env\":{},\"derived_val\":{},\"claimed_val\":{}",
+            esc(graph), esc(derived), esc(claimed), env_json(env), derived_val, claimed_val
+        ),
+        Violation::CommBoundExceeded {
+            graph,
+            shuffle,
+            bound,
+            env,
+            shuffle_val,
+            bound_val,
+        } => format!(
+            "\"kind\":\"comm-bound-exceeded\",\"graph\":\"{}\",\"shuffle\":\"{}\",\"bound\":\"{}\",\"env\":{},\"shuffle_val\":{},\"bound_val\":{}",
+            esc(graph), esc(shuffle), esc(bound), env_json(env), shuffle_val, bound_val
+        ),
+        Violation::RewriteVolumeInflation {
+            rewrite,
+            graph,
+            declared,
+            env,
+            original_val,
+            rewritten_val,
+        } => format!(
+            "\"kind\":\"rewrite-volume-inflation\",\"rewrite\":\"{}\",\"graph\":\"{}\",\"declared\":\"{}\",\"env\":{},\"original_val\":{},\"rewritten_val\":{}",
+            esc(rewrite), esc(graph), esc(declared), env_json(env), original_val, rewritten_val
+        ),
+        Violation::RewriteDataflowBroken {
+            rewrite,
+            graph,
+            cause,
+        } => format!(
+            "\"kind\":\"rewrite-dataflow-broken\",\"rewrite\":\"{}\",\"graph\":\"{}\",\"cause\":\"{}\"",
+            esc(rewrite),
+            esc(graph),
+            esc(cause)
+        ),
     };
     format!(
         "{{\"pass\":\"{pass}\",{body},\"display\":\"{}\"}}",
@@ -272,6 +321,42 @@ pub fn full_json(report: &Report) -> String {
             c.jobs_checked,
             c.templates_matched,
             c.templates_total
+        );
+    }
+    out.push_str("],");
+
+    out.push_str("\"comm\":[");
+    for (i, c) in report.comm.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"graph\":\"{}\",\"shuffle\":\"{}\",\"bound_indep\":\"{}\",\"bound_dep\":\"{}\",\"bound\":\"{}\",\"gap_at_witness\":{},\"gap_bounded_in_nnz\":{},\"exact\":{}}}",
+            esc(&c.graph),
+            esc(&c.shuffle.to_string()),
+            esc(&c.bound_indep.to_string()),
+            esc(&c.bound_dep.to_string()),
+            esc(&c.bound.to_string()),
+            c.gap_at_witness,
+            !c.gap_unbounded_in_nnz,
+            c.exact
+        );
+    }
+    out.push_str("],");
+
+    out.push_str("\"rewrites\":[");
+    for (i, c) in report.rewrites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rewrite\":\"{}\",\"graph\":\"{}\",\"declared_inflation\":\"{}\",\"certified\":{}}}",
+            esc(&c.rewrite),
+            esc(&c.graph),
+            esc(&c.declared),
+            c.certified()
         );
     }
     out.push_str("],");
@@ -349,6 +434,104 @@ mod tests {
             assert!(j.contains("\"site\":"), "{j}");
             assert!(j.contains("\"display\":"), "{j}");
         }
+    }
+
+    #[test]
+    fn comm_violation_objects_carry_expressions_and_envs() {
+        // The comm/rewrite passes' objects follow the same shape as the
+        // cost pass: symbolic expressions as strings, the counterexample
+        // env inline, concrete values as numbers — and the `kind` field
+        // always equals `Violation::kind()`.
+        let env = crate::comm::witness_env();
+        let vs = [
+            Violation::ShuffleMismatch {
+                graph: "g".to_string(),
+                derived: "57·nnz".to_string(),
+                claimed: "56·nnz".to_string(),
+                env,
+                derived_val: 57,
+                claimed_val: 56,
+            },
+            Violation::CommBoundExceeded {
+                graph: "g".to_string(),
+                shuffle: "nnz".to_string(),
+                bound: "max(25·nnz, nnz·(Q + R)·8 / Mr)".to_string(),
+                env,
+                shuffle_val: 1,
+                bound_val: 25,
+            },
+            Violation::RewriteVolumeInflation {
+                rewrite: "heavy-key-split-no-combine".to_string(),
+                graph: "g".to_string(),
+                declared: "2/1".to_string(),
+                env,
+                original_val: 10,
+                rewritten_val: 40,
+            },
+            Violation::RewriteDataflowBroken {
+                rewrite: "heavy-key-split-typo-merge".to_string(),
+                graph: "g".to_string(),
+                cause: "dangling read".to_string(),
+            },
+        ];
+        for v in &vs {
+            let j = violation_json(v);
+            assert!(
+                j.contains(&format!("\"kind\":\"{}\"", v.kind())),
+                "kind mismatch: {j}"
+            );
+            assert!(j.contains("\"display\":"), "{j}");
+        }
+        assert!(violation_json(&vs[0]).starts_with("{\"pass\":\"comm\""));
+        assert!(violation_json(&vs[1]).contains("\"reducer_memory\":"));
+        assert!(violation_json(&vs[2]).starts_with("{\"pass\":\"rewrite\""));
+        assert!(violation_json(&vs[3]).contains("\"cause\":\"dangling read\""));
+    }
+
+    #[test]
+    fn comm_section_covers_every_pipeline_with_full_schema() {
+        // Mirrors the races-section coverage test: one object per
+        // pipeline, every schema key present.
+        let report = crate::verify_paper_table();
+        let doc = full_json(&report);
+        assert!(doc.contains("\"comm\":["));
+        assert!(doc.contains("\"rewrites\":["));
+        assert_eq!(doc.matches("\"bound_indep\":").count(), report.comm.len());
+        assert_eq!(report.comm.len(), 8);
+        for c in &report.comm {
+            for key in [
+                "graph",
+                "shuffle",
+                "bound_indep",
+                "bound_dep",
+                "bound",
+                "gap_at_witness",
+                "gap_bounded_in_nnz",
+                "exact",
+            ] {
+                assert!(
+                    doc.contains(&format!("\"{key}\":")),
+                    "comm schema key {key} missing"
+                );
+            }
+            assert!(
+                doc.contains(&format!("{{\"graph\":\"{}\",\"shuffle\":", c.graph)),
+                "no comm object for {}",
+                c.graph
+            );
+        }
+        for c in &report.rewrites {
+            assert!(
+                doc.contains(&format!(
+                    "{{\"rewrite\":\"{}\",\"graph\":\"{}\"",
+                    c.rewrite, c.graph
+                )),
+                "no rewrite object for {} on {}",
+                c.rewrite,
+                c.graph
+            );
+        }
+        assert!(doc.contains("\"certified\":true"));
     }
 
     #[test]

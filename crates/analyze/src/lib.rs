@@ -23,6 +23,16 @@
 //!   `passes · nnz · record_bytes` (record width measured from the real
 //!   `Persist` wire format) and the read amplification over the
 //!   single-pass optimum that HaTen2-DRI attains.
+//! * **Communication pass** ([`comm::comm_table`]) — derives each
+//!   pipeline's total shuffle volume ([`haten2_mapreduce::JobGraph::
+//!   shuffle_bytes`]), holds it to a hand-reconstructed closed form over
+//!   the regime grid, instantiates the Ballard–Rouse MTTKRP communication
+//!   lower bounds (memory-independent and memory-dependent) from the
+//!   pipeline's registered [`haten2_core::CommSpec`], and certifies the
+//!   symbolic gap ratio — plus a rewrite-certification API
+//!   ([`rewrite::certify_rewrite`]) that re-checks any [`rewrite::
+//!   PlanRewrite`]'s output graph for dataflow sanity, race-freedom, and
+//!   shuffle-volume non-inflation beyond its declared factor.
 //! * **Recoverability pass** ([`recovery::certify`]) — given a pipeline's
 //!   declared [`RecoverySpec`](haten2_mapreduce::RecoverySpec) and the
 //!   symbolic fault budget `k`, proves lineage closure (every read is
@@ -62,23 +72,29 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod comm;
 pub mod cost;
 pub mod dataflow;
 pub mod demo;
 pub mod determinism;
+pub mod fixture;
 pub mod io;
 pub mod json;
 pub mod races;
 pub mod recovery;
 pub mod report;
+pub mod rewrite;
 
+pub use comm::{check_comm, comm_table, shuffle_claim, CommRow, COMM_RULES};
 pub use cost::{paper_claim, regime_envs, PaperClaim};
 pub use dataflow::check_dataflow;
 pub use determinism::{check_determinism, check_plan_consistency, DeterminismReport};
+pub use fixture::{load_plan_fixture, run_plan_fixture, PlanFixture};
 pub use io::{durable_io_table, tensor_record_bytes, DurableIoRow};
 pub use races::{check_races, race_certified, GraphRaceCert, RaceCertReport};
 pub use recovery::{certify, Certification, RecoveryBound};
 pub use report::{verify_paper_table, Report, RowVerdict};
+pub use rewrite::{certify_rewrite, HeavyKeySplit, PlanRewrite, RewriteCert, REWRITE_RULES};
 
 use haten2_mapreduce::{Env, JobGraph};
 
@@ -257,12 +273,99 @@ pub enum Violation {
         /// The declared-but-unused dataset.
         dataset: String,
     },
+    /// The graph-derived total shuffle volume disagrees with the
+    /// hand-reconstructed closed form on some regime environment.
+    ShuffleMismatch {
+        /// Graph whose shuffle volume failed.
+        graph: String,
+        /// Derived expression (`JobGraph::shuffle_bytes`).
+        derived: String,
+        /// Claimed closed-form expression.
+        claimed: String,
+        /// Counterexample environment.
+        env: Env,
+        /// Derived value on `env`.
+        derived_val: u128,
+        /// Claimed value on `env`.
+        claimed_val: u128,
+    },
+    /// The instantiated MTTKRP communication lower bound exceeds the
+    /// plan's declared shuffle volume on some regime environment — the
+    /// plan under-declares communication that any execution must pay.
+    CommBoundExceeded {
+        /// Graph whose declaration is impossible.
+        graph: String,
+        /// Declared shuffle-volume expression.
+        shuffle: String,
+        /// The lower-bound expression that exceeds it.
+        bound: String,
+        /// Counterexample environment.
+        env: Env,
+        /// Declared shuffle bytes on `env`.
+        shuffle_val: u128,
+        /// Lower-bound bytes on `env`.
+        bound_val: u128,
+    },
+    /// A plan rewrite inflates total shuffle volume beyond the factor it
+    /// declares, on some regime environment.
+    RewriteVolumeInflation {
+        /// The offending rewrite, by name.
+        rewrite: String,
+        /// Graph the rewrite was applied to.
+        graph: String,
+        /// Declared inflation factor, as `num/den`.
+        declared: String,
+        /// Counterexample environment.
+        env: Env,
+        /// Original shuffle bytes on `env`.
+        original_val: u128,
+        /// Rewritten shuffle bytes on `env`.
+        rewritten_val: u128,
+    },
+    /// A plan rewrite's output graph fails re-checking: broken dataflow
+    /// or a race the original graph did not have.
+    RewriteDataflowBroken {
+        /// The offending rewrite, by name.
+        rewrite: String,
+        /// Graph the rewrite was applied to.
+        graph: String,
+        /// The underlying defect, rendered.
+        cause: String,
+    },
+}
+
+impl Violation {
+    /// Stable kebab-case rule id of this violation — the name the fixture
+    /// corpus and the JSON output key on.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::DanglingRead { .. } => "dangling-read",
+            Violation::LostWrite { .. } => "lost-write",
+            Violation::UnusedDataset { .. } => "unused-dataset",
+            Violation::CostMismatch { .. } => "cost-mismatch",
+            Violation::JobCountMismatch { .. } => "job-count-mismatch",
+            Violation::TensorReadMismatch { .. } => "tensor-read-mismatch",
+            Violation::UnrecoverableDataset { .. } => "unrecoverable-dataset",
+            Violation::LineageCycle { .. } => "lineage-cycle",
+            Violation::RederivationTooDeep { .. } => "rederivation-too-deep",
+            Violation::CheckpointGap { .. } => "checkpoint-gap",
+            Violation::NondeterministicUdf { .. } => "nondeterministic-udf",
+            Violation::AnnotationMismatch { .. } => "annotation-mismatch",
+            Violation::UndeclaredEffect { .. } => "undeclared-effect",
+            Violation::UnorderedConflict { .. } => "unordered-conflict",
+            Violation::OverDeclaredRead { .. } => "over-declared-read",
+            Violation::ShuffleMismatch { .. } => "shuffle-mismatch",
+            Violation::CommBoundExceeded { .. } => "comm-bound-exceeded",
+            Violation::RewriteVolumeInflation { .. } => "rewrite-volume-inflation",
+            Violation::RewriteDataflowBroken { .. } => "rewrite-dataflow-broken",
+        }
+    }
 }
 
 fn fmt_env(env: &Env) -> String {
     format!(
-        "nnz={}, I={}, J={}, K={}, Q={}, R={}",
-        env.nnz, env.dim_i, env.dim_j, env.dim_k, env.rank_q, env.rank_r
+        "nnz={}, I={}, J={}, K={}, Q={}, R={}, Mr={}",
+        env.nnz, env.dim_i, env.dim_j, env.dim_k, env.rank_q, env.rank_r, env.reducer_memory
     )
 }
 
@@ -401,6 +504,59 @@ impl std::fmt::Display for Violation {
                 "over-declared read at {site}: job '{job}' declares a read of \
                  '{dataset}' its body never consumes, over-serializing the \
                  schedule"
+            ),
+            Violation::ShuffleMismatch {
+                graph,
+                derived,
+                claimed,
+                env,
+                derived_val,
+                claimed_val,
+            } => write!(
+                f,
+                "shuffle mismatch in graph '{graph}': derived total shuffle volume \
+                 {derived} ≠ claimed {claimed}; at {} the jobs shuffle {derived_val} \
+                 bytes but the closed form claims {claimed_val}",
+                fmt_env(env)
+            ),
+            Violation::CommBoundExceeded {
+                graph,
+                shuffle,
+                bound,
+                env,
+                shuffle_val,
+                bound_val,
+            } => write!(
+                f,
+                "communication bound exceeded in graph '{graph}': declared shuffle \
+                 volume {shuffle} falls below the MTTKRP lower bound {bound}; at {} \
+                 the plan declares {shuffle_val} bytes but any execution must \
+                 shuffle at least {bound_val}",
+                fmt_env(env)
+            ),
+            Violation::RewriteVolumeInflation {
+                rewrite,
+                graph,
+                declared,
+                env,
+                original_val,
+                rewritten_val,
+            } => write!(
+                f,
+                "rewrite volume inflation: rewrite '{rewrite}' on graph '{graph}' \
+                 inflates shuffle volume beyond its declared {declared} factor; at \
+                 {} the original shuffles {original_val} bytes but the rewritten \
+                 graph shuffles {rewritten_val}",
+                fmt_env(env)
+            ),
+            Violation::RewriteDataflowBroken {
+                rewrite,
+                graph,
+                cause,
+            } => write!(
+                f,
+                "rewrite dataflow broken: rewrite '{rewrite}' on graph '{graph}' \
+                 produces an ill-formed plan — {cause}"
             ),
         }
     }

@@ -301,6 +301,13 @@ fn serializability_witness(scope: &str, models: &[EffectModel]) -> Option<Violat
     None
 }
 
+/// Public entry to the serializability oracle for other passes: the
+/// rewrite certifier ([`crate::rewrite::certify_rewrite`]) re-checks
+/// transformed plans with the same adversarial replay used here.
+pub fn serializability_check(scope: &str, models: &[EffectModel]) -> Option<Violation> {
+    serializability_witness(scope, models)
+}
+
 /// Certify one registered pipeline race-free against the scanned submit
 /// sites.
 pub fn certify_graph(decomp: Decomp, variant: Variant, sites: &[SubmitSite]) -> GraphRaceCert {

@@ -280,6 +280,7 @@ mod tests {
             rank_r: 3,
             machines: 4,
             faults: 1,
+            reducer_memory: 1 << 20,
         }
     }
 

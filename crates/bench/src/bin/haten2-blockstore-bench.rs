@@ -279,6 +279,11 @@ fn main() {
     );
     let amplification = durable.tensor_bytes_read as f64 / tensor_raw_bytes as f64;
     let slowdown = durable.sweep_s / mem_sweep_s;
+    // Fraction of all on-disk bytes shadowed by overwrites/deletes and
+    // never reclaimed (the store appends, nothing garbage-collects):
+    // observability for a future compaction pass, not a gate.
+    let dead_bytes_ratio =
+        durable.spill.dead_stored_bytes as f64 / (durable.stored_bytes_written.max(1)) as f64;
 
     eprintln!(
         "durable sweep {:.2}s vs in-memory {:.2}s ({slowdown:.2}x); \
@@ -298,7 +303,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"blockstore-out-of-core\",\n  \"workload\": {{\n    \"dataset\": \"nell-standin-powerlaw\",\n    \"dims\": [{}, {}, {}],\n    \"nnz\": {},\n    \"alpha\": {ALPHA:.1},\n    \"record_bytes\": {record_bytes},\n    \"tensor_raw_bytes\": {tensor_raw_bytes},\n    \"generate_s\": {gen_s:.3}\n  }},\n  \"config\": {{\n    \"machines\": {MACHINES},\n    \"memory_budget_bytes\": {},\n    \"sweeps\": {},\n    \"scans_per_sweep\": {MODES},\n    \"modeled_pipeline\": \"dnn-style: one full-tensor scan per mode update (dri would be 1 per sweep)\"\n  }},\n  \"durable\": {{\n    \"persist_s\": {:.3},\n    \"sweep_wall_s\": {:.3},\n    \"spill_events\": {},\n    \"spilled_bytes\": {},\n    \"reload_events\": {},\n    \"reloaded_bytes\": {},\n    \"tensor_bytes_written\": {},\n    \"tensor_bytes_read\": {},\n    \"stored_bytes_written\": {},\n    \"stored_bytes_read\": {},\n    \"codec\": \"zero-rle\",\n    \"live_bytes\": {},\n    \"resident_bytes_after\": {}\n  }},\n  \"in_memory\": {{ \"sweep_wall_s\": {:.3} }},\n  \"read_amplification\": {{\n    \"measured\": {amplification:.3},\n    \"passes\": {passes},\n    \"floor_bytes_per_pass\": {tensor_raw_bytes},\n    \"cross_check\": \"tensor_bytes_read >= passes x nnz x record_bytes, the ANALYSIS.md durable I/O floor (asserted)\"\n  }},\n  \"slowdown_vs_in_memory\": {slowdown:.3},\n  \"outputs\": \"bit-identical across backends (asserted)\",\n  \"timing\": \"single rep; sweep wall-clock excludes generation and the initial persist\"\n}}\n",
+        "{{\n  \"benchmark\": \"blockstore-out-of-core\",\n  \"workload\": {{\n    \"dataset\": \"nell-standin-powerlaw\",\n    \"dims\": [{}, {}, {}],\n    \"nnz\": {},\n    \"alpha\": {ALPHA:.1},\n    \"record_bytes\": {record_bytes},\n    \"tensor_raw_bytes\": {tensor_raw_bytes},\n    \"generate_s\": {gen_s:.3}\n  }},\n  \"config\": {{\n    \"machines\": {MACHINES},\n    \"memory_budget_bytes\": {},\n    \"sweeps\": {},\n    \"scans_per_sweep\": {MODES},\n    \"modeled_pipeline\": \"dnn-style: one full-tensor scan per mode update (dri would be 1 per sweep)\"\n  }},\n  \"durable\": {{\n    \"persist_s\": {:.3},\n    \"sweep_wall_s\": {:.3},\n    \"spill_events\": {},\n    \"spilled_bytes\": {},\n    \"reload_events\": {},\n    \"reloaded_bytes\": {},\n    \"tensor_bytes_written\": {},\n    \"tensor_bytes_read\": {},\n    \"stored_bytes_written\": {},\n    \"stored_bytes_read\": {},\n    \"dead_stored_bytes\": {},\n    \"dead_bytes_ratio\": {dead_bytes_ratio:.4},\n    \"codec\": \"zero-rle\",\n    \"live_bytes\": {},\n    \"resident_bytes_after\": {}\n  }},\n  \"in_memory\": {{ \"sweep_wall_s\": {:.3} }},\n  \"read_amplification\": {{\n    \"measured\": {amplification:.3},\n    \"passes\": {passes},\n    \"floor_bytes_per_pass\": {tensor_raw_bytes},\n    \"cross_check\": \"tensor_bytes_read >= passes x nnz x record_bytes, the ANALYSIS.md durable I/O floor (asserted)\"\n  }},\n  \"slowdown_vs_in_memory\": {slowdown:.3},\n  \"outputs\": \"bit-identical across backends (asserted)\",\n  \"timing\": \"single rep; sweep wall-clock excludes generation and the initial persist\"\n}}\n",
         w.dims[0],
         w.dims[1],
         w.dims[2],
@@ -315,6 +320,7 @@ fn main() {
         durable.tensor_bytes_read,
         durable.stored_bytes_written,
         durable.stored_bytes_read,
+        durable.spill.dead_stored_bytes,
         durable.live_bytes,
         durable.resident_bytes,
         mem_sweep_s,

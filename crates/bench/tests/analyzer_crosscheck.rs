@@ -216,6 +216,113 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Communication leg of the cross-check: the metered cluster's total
+    /// shuffle bytes equal the symbolic `JobGraph::shuffle_bytes`
+    /// prediction exactly for pipelines whose templates are all
+    /// exact-marked (both DRN and DRI variants), never exceed it for the
+    /// others, and **never fall below the instantiated MTTKRP lower
+    /// bound** — the dynamic counterpart of the `## Communication
+    /// certification` table in `ANALYSIS.md`.
+    #[test]
+    fn metered_shuffle_matches_symbolic_and_respects_lower_bound(
+        di in 4u64..12, dj in 4u64..12, dk in 4u64..12,
+        q in 1usize..5, r in 1usize..5,
+        n in 10usize..60,
+        machines in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = [di, dj, dk];
+        let x = generic_tensor(dims, n, &mut rng);
+        let bt = generic_mat(q, dj as usize, &mut rng);
+        let ct = generic_mat(r, dk as usize, &mut rng);
+        let f1 = generic_mat(dj as usize, r, &mut rng);
+        let f2 = generic_mat(dk as usize, r, &mut rng);
+        for decomp in Decomp::ALL {
+            let env = match decomp {
+                Decomp::Tucker => env_for(dims, x.nnz(), q, r, machines),
+                Decomp::Parafac => env_for(dims, x.nnz(), r, r, machines),
+            };
+            for variant in Variant::ALL {
+                let cluster = Cluster::new(ClusterConfig::with_machines(machines));
+                match decomp {
+                    Decomp::Tucker => {
+                        project(&cluster, variant, &x, 0, &bt, &ct, &ProjectOptions::default())
+                            .unwrap();
+                    }
+                    Decomp::Parafac => {
+                        mttkrp(&cluster, variant, &x, 0, &f1, &f2).unwrap();
+                    }
+                }
+                let graph = plan_for(decomp, variant);
+                let metered: u128 = cluster
+                    .metrics()
+                    .jobs
+                    .iter()
+                    .map(|j| j.shuffle_bytes as u128)
+                    .sum();
+                let symbolic = graph.shuffle_bytes().eval(&env);
+                if graph.shuffle_exact() {
+                    prop_assert_eq!(
+                        metered, symbolic,
+                        "{}: metered total shuffle vs symbolic prediction",
+                        &graph.name
+                    );
+                } else {
+                    prop_assert!(
+                        metered <= symbolic,
+                        "{}: metered shuffle {} exceeds symbolic bound {}",
+                        &graph.name, metered, symbolic
+                    );
+                }
+                let bound = haten2_analyze::comm::applicable_bound(
+                    &haten2_core::comm_for(decomp, variant),
+                )
+                .eval(&env);
+                prop_assert!(
+                    metered >= bound,
+                    "{}: metered shuffle {} below the instantiated MTTKRP lower bound {}",
+                    &graph.name, metered, bound
+                );
+            }
+        }
+    }
+}
+
+/// The DRN and DRI pipelines — the ones the communication table marks
+/// *exact* and holds to metered equality above — are exactly the graphs
+/// whose every template is exact-marked; the claimed closed forms agree
+/// with the graphs everywhere on the regime grid (the static half the
+/// proptest closes dynamically).
+#[test]
+fn exact_marked_pipelines_are_the_merge_variants() {
+    for decomp in Decomp::ALL {
+        for variant in Variant::ALL {
+            let graph = plan_for(decomp, variant);
+            let expect_exact = matches!(variant, Variant::Drn | Variant::Dri);
+            assert_eq!(
+                graph.shuffle_exact(),
+                expect_exact,
+                "{}: unexpected exactness",
+                graph.name
+            );
+            let claim = haten2_analyze::comm::shuffle_claim(decomp, variant);
+            let derived = graph.shuffle_bytes();
+            for env in haten2_analyze::regime_envs() {
+                assert_eq!(
+                    derived.eval(&env),
+                    claim.eval(&env),
+                    "{}: derived shuffle diverges from the closed form",
+                    graph.name
+                );
+            }
+        }
+    }
+}
+
 /// The scheduler's *measured* critical path — the longest dependency
 /// chain the DAG scheduler actually executed, reported per batch in
 /// [`haten2_mapreduce::BatchReport`] — equals the plan IR's *symbolic*

@@ -75,6 +75,11 @@ pub fn env_for(dims: [u64; 3], nnz: usize, q: usize, r: usize, machines: usize) 
         // A single-fault budget is the default contract the recoverability
         // pass certifies (and the chaos sweeps inject).
         faults: 1,
+        // Default per-reducer memory budget: 1 MiB, matching the order of
+        // the spill benchmark's per-machine budgets. Comfortably above the
+        // `Mr ≥ 8·max(Q, R)` regime floor the communication bounds assume;
+        // callers needing a specific budget override the field directly.
+        reducer_memory: 1 << 20,
     }
 }
 
@@ -89,44 +94,44 @@ fn ix4_key_bytes() -> u64 {
 }
 
 /// Hadamard job, tensor-entry emission: `u64` key + `HadVal::Ent`.
-fn had_ent_bytes() -> u64 {
+pub fn had_ent_bytes() -> u64 {
     8 + HadVal::Ent((0, 0, 0, 0), 0.0).est_bytes() as u64 + frame()
 }
 
 /// Hadamard job, coefficient emission: `u64` key + `HadVal::Coef`.
-fn had_coef_bytes() -> u64 {
+pub fn had_coef_bytes() -> u64 {
     8 + HadVal::Coef(0.0).est_bytes() as u64 + frame()
 }
 
 /// Collapse job emission: `Ix4` key + `f64` value.
-fn collapse_bytes() -> u64 {
+pub fn collapse_bytes() -> u64 {
     ix4_key_bytes() + 0.0f64.est_bytes() as u64 + frame()
 }
 
 /// Naive broadcast job emission (entry and coefficient emissions size
 /// identically): `Ix4` key + `NaiveVal`.
-fn naive_bytes() -> u64 {
+pub fn naive_bytes() -> u64 {
     ix4_key_bytes() + NaiveVal::Ent(0, 0.0).est_bytes() as u64 + frame()
 }
 
 /// IMHP tensor-entry emission: `(u8, u64)` key + `ImhpVal::Ent`.
-fn imhp_ent_bytes() -> u64 {
+pub fn imhp_ent_bytes() -> u64 {
     (0u8, 0u64).est_bytes() as u64 + ImhpVal::Ent((0, 0, 0, 0), 0.0).est_bytes() as u64 + frame()
 }
 
 /// IMHP factor-row emission, excluding the per-element payload: `(u8,
 /// u64)` key + empty `ImhpVal::Row`.
-fn imhp_row_base_bytes() -> u64 {
+pub fn imhp_row_base_bytes() -> u64 {
     (0u8, 0u64).est_bytes() as u64 + ImhpVal::Row(Vec::new()).est_bytes() as u64 + frame()
 }
 
 /// Per-element payload of an IMHP factor row.
-fn imhp_row_elem_bytes() -> u64 {
+pub fn imhp_row_elem_bytes() -> u64 {
     0.0f64.est_bytes() as u64
 }
 
 /// CrossMerge / PairwiseMerge emission: `u64` key + `MergeVal`.
-fn merge_bytes() -> u64 {
+pub fn merge_bytes() -> u64 {
     8 + MergeVal {
         side: 0,
         i: 0,
@@ -451,6 +456,44 @@ pub fn recovery_for(decomp: Decomp, variant: Variant, sweeps: usize) -> Recovery
     spec
 }
 
+/// Communication-bound metadata one pipeline registers: the parameters
+/// that instantiate the Ballard–Rouse MTTKRP communication lower bounds
+/// (arXiv:1708.07401) for it. The analyzer's `comm` pass combines these
+/// with the graph-derived [`JobGraph::shuffle_bytes`] to certify each
+/// pipeline's shuffle volume against a principled yardstick.
+#[derive(Debug, Clone)]
+pub struct CommSpec {
+    /// Effective rank: how many factor words combine with each tensor
+    /// nonzero per sweep — `Q + R` for the Tucker pipelines (both factor
+    /// sides), `2·R` for PARAFAC (the B and C sides of the Khatri–Rao
+    /// product). Drives the memory-dependent bound
+    /// `nnz · rank_eff · 8 / Mr`.
+    pub rank_eff: SymExpr,
+    /// Width of the smallest wire record the engine ever shuffles (a
+    /// Hadamard coefficient emission: 8-byte key + 8-byte value + record
+    /// framing). Drives the memory-independent floor `nnz · w_min`: in
+    /// the engine's stateless-mapper, combiner-free model every
+    /// contributing nonzero crosses the shuffle at least once, as at
+    /// least one record.
+    pub min_record_bytes: u64,
+}
+
+/// The communication-bound registration for one pipeline. Every variant
+/// of a decomposition shares the decomposition's effective rank: the
+/// bound is a property of the MTTKRP computation, not of the job layout
+/// a variant chooses — that is what makes it a fair yardstick across
+/// variants.
+pub fn comm_for(decomp: Decomp, _variant: Variant) -> CommSpec {
+    let rank_eff = match decomp {
+        Decomp::Tucker => q() + r(),
+        Decomp::Parafac => c(2) * r(),
+    };
+    CommSpec {
+        rank_eff,
+        min_record_bytes: had_coef_bytes(),
+    }
+}
+
 /// One commutative-associative reducer annotation: the purity-pass site
 /// label it covers, plus a pure reference fold the generated property
 /// tests exercise (permutation and reassociation invariance, bit-exact on
@@ -547,6 +590,7 @@ mod tests {
                 rank_r: 2 + s,
                 machines: 4 * s,
                 faults: 1,
+                reducer_memory: 1 << 20,
             });
         }
         envs

@@ -104,6 +104,11 @@ pub struct SpillStats {
     pub reload_events: usize,
     /// Estimated bytes reloaded from the store.
     pub reloaded_bytes: usize,
+    /// On-disk bytes shadowed by overwrites/deletes and not reclaimed
+    /// (the store appends; nothing garbage-collects). Surfaced from
+    /// [`haten2_blockstore::StoreStats::dead_stored_bytes`] so the spill
+    /// benchmark can report a dead-byte ratio — observability only.
+    pub dead_stored_bytes: u64,
 }
 
 /// Where a dataset's records currently live.
@@ -707,6 +712,7 @@ impl Dfs {
                 spilled_bytes: d.spilled_bytes.load(Ordering::Relaxed),
                 reload_events: d.reload_events.load(Ordering::Relaxed),
                 reloaded_bytes: d.reloaded_bytes.load(Ordering::Relaxed),
+                dead_stored_bytes: d.store.stats().dead_stored_bytes,
             },
         }
     }

@@ -7,7 +7,9 @@
 //! describe itself *before* running:
 //!
 //! * [`SymExpr`] — integer expressions over the problem-size variables
-//!   `(nnz, I, J, K, Q, R, M)` ([`Var`]), closed under `+`, `·` and `max`.
+//!   `(nnz, I, J, K, Q, R, M, Mr)` ([`Var`]), closed under `+`, `·`,
+//!   `max`, and floor division `/` (used by the communication pass for
+//!   gap ratios and memory-dependent lower bounds).
 //! * [`PlanJob`] — one job template: the DFS datasets it reads and writes,
 //!   how many instances run per pipeline invocation, and symbolic
 //!   per-instance map-output records/bytes (exact in generic position, or
@@ -24,7 +26,7 @@
 //! variant) and the analyzer holds them to the paper's table.
 
 use std::fmt;
-use std::ops::{Add, Mul};
+use std::ops::{Add, Div, Mul};
 
 /// A problem-size variable of the paper's cost analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +48,9 @@ pub enum Var {
     /// Symbolic fault budget `k` of the recoverability pass (how many
     /// dataset losses / task crashes a schedule may inject).
     Faults,
+    /// Per-reducer memory budget in bytes (`Mr`) — the fast-memory size
+    /// of the Ballard–Rouse communication lower bounds.
+    ReducerMemory,
 }
 
 impl Var {
@@ -60,6 +65,7 @@ impl Var {
             Var::RankR => "R",
             Var::Machines => "M",
             Var::Faults => "k",
+            Var::ReducerMemory => "Mr",
         }
     }
 }
@@ -84,6 +90,8 @@ pub struct Env {
     pub machines: u64,
     /// Fault budget `k` (losses the recoverability pass must absorb).
     pub faults: u64,
+    /// Per-reducer memory budget `Mr` in bytes.
+    pub reducer_memory: u64,
 }
 
 impl Env {
@@ -98,15 +106,20 @@ impl Env {
             Var::RankR => self.rank_r,
             Var::Machines => self.machines,
             Var::Faults => self.faults,
+            Var::ReducerMemory => self.reducer_memory,
         }) as u128
     }
 }
 
 /// A symbolic integer expression over [`Var`]s: constants, variables, `+`,
-/// `·`, and binary `max`.
+/// `·`, binary `max`, and floor division `/`.
 ///
 /// Expressions evaluate in `u128` so that paper-scale sizes (billions of
-/// nonzeros times ranks times record widths) cannot overflow.
+/// nonzeros times ranks times record widths) cannot overflow. Division is
+/// *floor* division; a zero denominator saturates to `u128::MAX` under
+/// [`SymExpr::eval`] (a vanishing memory budget makes a communication
+/// bound unbounded, and saturation keeps comparisons monotone) and is
+/// reported as `None` by [`SymExpr::eval_checked`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SymExpr {
     /// Integer constant.
@@ -119,6 +132,8 @@ pub enum SymExpr {
     Mul(Box<SymExpr>, Box<SymExpr>),
     /// Binary maximum.
     Max(Box<SymExpr>, Box<SymExpr>),
+    /// Floor quotient (`a / b`; `b = 0` saturates — see [`SymExpr::eval`]).
+    Div(Box<SymExpr>, Box<SymExpr>),
 }
 
 impl SymExpr {
@@ -162,6 +177,16 @@ impl SymExpr {
         SymExpr::Var(Var::Faults)
     }
 
+    /// `M` (cluster machines).
+    pub fn machines() -> SymExpr {
+        SymExpr::Var(Var::Machines)
+    }
+
+    /// `Mr` (per-reducer memory budget, bytes).
+    pub fn reducer_memory() -> SymExpr {
+        SymExpr::Var(Var::ReducerMemory)
+    }
+
     /// `max(a, b)`.
     pub fn max(a: SymExpr, b: SymExpr) -> SymExpr {
         SymExpr::Max(Box::new(a), Box::new(b))
@@ -182,6 +207,10 @@ impl SymExpr {
             SymExpr::Add(a, b) => a.eval(env).saturating_add(b.eval(env)),
             SymExpr::Mul(a, b) => a.eval(env).saturating_mul(b.eval(env)),
             SymExpr::Max(a, b) => a.eval(env).max(b.eval(env)),
+            SymExpr::Div(a, b) => match b.eval(env) {
+                0 => u128::MAX,
+                d => a.eval(env) / d,
+            },
         }
     }
 
@@ -194,6 +223,7 @@ impl SymExpr {
             SymExpr::Add(a, b) => a.eval_checked(env)?.checked_add(b.eval_checked(env)?),
             SymExpr::Mul(a, b) => a.eval_checked(env)?.checked_mul(b.eval_checked(env)?),
             SymExpr::Max(a, b) => Some(a.eval_checked(env)?.max(b.eval_checked(env)?)),
+            SymExpr::Div(a, b) => a.eval_checked(env)?.checked_div(b.eval_checked(env)?),
         }
     }
 
@@ -208,7 +238,7 @@ impl SymExpr {
     fn precedence(&self) -> u8 {
         match self {
             SymExpr::Add(..) => 0,
-            SymExpr::Mul(..) => 1,
+            SymExpr::Mul(..) | SymExpr::Div(..) => 1,
             SymExpr::Const(_) | SymExpr::Var(_) | SymExpr::Max(..) => 2,
         }
     }
@@ -235,9 +265,27 @@ impl fmt::Display for SymExpr {
             SymExpr::Mul(a, b) => {
                 self.fmt_child(a, f)?;
                 f.write_str("·")?;
-                self.fmt_child(b, f)
+                // `·` and `/` share a precedence level but only `·` is
+                // associative: a divisor on the right must keep its parens
+                // so `x·(a / b)` does not re-read as `(x·a) / b`.
+                if matches!(**b, SymExpr::Div(..)) {
+                    write!(f, "({b})")
+                } else {
+                    self.fmt_child(b, f)
+                }
             }
             SymExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            SymExpr::Div(a, b) => {
+                self.fmt_child(a, f)?;
+                f.write_str(" / ")?;
+                // Floor division is left-associative and non-associative:
+                // any compound divisor needs parens.
+                if b.precedence() < 2 {
+                    write!(f, "({b})")
+                } else {
+                    write!(f, "{b}")
+                }
+            }
         }
     }
 }
@@ -253,6 +301,195 @@ impl Mul for SymExpr {
     type Output = SymExpr;
     fn mul(self, rhs: SymExpr) -> SymExpr {
         SymExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Div for SymExpr {
+    type Output = SymExpr;
+    fn div(self, rhs: SymExpr) -> SymExpr {
+        SymExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// Token of the [`SymExpr::parse`] grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Num(u64),
+    Ident(String),
+    Plus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(s: &str) -> Option<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut it = s.chars().peekable();
+    while let Some(&c) = it.peek() {
+        match c {
+            ' ' | '\t' => {
+                it.next();
+            }
+            '+' => {
+                it.next();
+                toks.push(Tok::Plus);
+            }
+            '·' | '*' => {
+                it.next();
+                toks.push(Tok::Star);
+            }
+            '/' => {
+                it.next();
+                toks.push(Tok::Slash);
+            }
+            '(' => {
+                it.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                it.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                it.next();
+                toks.push(Tok::Comma);
+            }
+            '0'..='9' => {
+                let mut n: u64 = 0;
+                while let Some(d) = it.peek().and_then(|c| c.to_digit(10)) {
+                    n = n.checked_mul(10)?.checked_add(d as u64)?;
+                    it.next();
+                }
+                toks.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut id = String::new();
+                while let Some(&c) = it.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        id.push(c);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(id));
+            }
+            _ => return None,
+        }
+    }
+    Some(toks)
+}
+
+/// Recursive-descent parser state over the token stream.
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn expect(&mut self, t: &Tok) -> Option<()> {
+        if self.bump()? == t {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn expr(&mut self) -> Option<SymExpr> {
+        let mut acc = self.term()?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.pos += 1;
+            acc = acc + self.term()?;
+        }
+        Some(acc)
+    }
+
+    fn term(&mut self) -> Option<SymExpr> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    acc = acc * self.factor()?;
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    acc = acc / self.factor()?;
+                }
+                _ => return Some(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Option<SymExpr> {
+        match self.bump()?.clone() {
+            Tok::Num(n) => Some(SymExpr::Const(n)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Some(e)
+            }
+            Tok::Ident(id) if id == "max" => {
+                self.expect(&Tok::LParen)?;
+                let a = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Some(SymExpr::max(a, b))
+            }
+            Tok::Ident(id) => {
+                let v = [
+                    Var::Nnz,
+                    Var::DimI,
+                    Var::DimJ,
+                    Var::DimK,
+                    Var::RankQ,
+                    Var::RankR,
+                    Var::Machines,
+                    Var::Faults,
+                    Var::ReducerMemory,
+                ]
+                .into_iter()
+                .find(|v| v.symbol() == id)?;
+                Some(SymExpr::Var(v))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SymExpr {
+    /// Parse the textual form produced by `Display` (plus ASCII `*` as an
+    /// alternative product sign): integers, variable symbols, `+`, `·`/`*`,
+    /// `/`, `max(a, b)` and parentheses. `·` and `/` share a precedence
+    /// level above `+` and associate left, matching `Display`'s
+    /// parenthesization, so `parse(e.to_string())` evaluates identically to
+    /// `e` on every environment. Returns `None` on any malformed input —
+    /// used by the analyzer's plan-fixture loader, never by pipelines.
+    pub fn parse(s: &str) -> Option<SymExpr> {
+        let toks = lex(s)?;
+        let mut p = Parser {
+            toks: &toks,
+            pos: 0,
+        };
+        let e = p.expr()?;
+        if p.pos == toks.len() {
+            Some(e)
+        } else {
+            None
+        }
     }
 }
 
@@ -492,6 +729,26 @@ impl JobGraph {
             .unwrap_or(SymExpr::Const(0))
     }
 
+    /// Derived bound: total map-output (= shuffle) bytes per pipeline
+    /// invocation, `Σ_templates count · bytes` — the communication volume
+    /// the analyzer's `comm` pass holds against the MTTKRP lower bounds.
+    /// Exact when every template is exact ([`JobGraph::shuffle_exact`]);
+    /// an upper bound otherwise.
+    pub fn shuffle_bytes(&self) -> SymExpr {
+        self.jobs
+            .iter()
+            .map(|j| j.count.clone() * j.bytes.clone())
+            .reduce(|a, b| a + b)
+            .unwrap_or(SymExpr::Const(0))
+    }
+
+    /// `true` when every template's cost expressions are exact in generic
+    /// position, making [`JobGraph::shuffle_bytes`] an exact prediction of
+    /// metered shuffle traffic rather than an upper bound.
+    pub fn shuffle_exact(&self) -> bool {
+        self.jobs.iter().all(|j| j.exact)
+    }
+
     /// Derived count: job instances that read a big-input dataset, summed
     /// per dataset read — the number of passes over the input tensor
     /// (HaTen2-DRI's §III-B4 saving is making this 1).
@@ -590,6 +847,7 @@ impl JobGraph {
             rank_r: 3,
             machines: 4,
             faults: 1,
+            reducer_memory: 1 << 20,
         };
         let input_records: u128 = t
             .reads
@@ -691,6 +949,7 @@ mod tests {
             rank_r: 3,
             machines: 8,
             faults: 1,
+            reducer_memory: 1 << 20,
         }
     }
 
@@ -721,6 +980,7 @@ mod tests {
                 rank_r: 2 * s,
                 machines: 4,
                 faults: s % 3,
+                reducer_memory: 100 * s,
             })
             .collect();
         assert!(a.equiv_on(&b, &envs));
@@ -754,6 +1014,107 @@ mod tests {
         assert_eq!(inst[1].name, "stage-a1");
         assert_eq!(inst[2].name, "stage-b");
         assert_eq!(inst[2].records, 200);
+    }
+
+    #[test]
+    fn division_evaluates_floor_and_saturates_on_zero() {
+        let e = env();
+        let ratio = SymExpr::nnz() / SymExpr::dim_k();
+        assert_eq!(ratio.eval(&e), 16); // floor(100 / 6)
+        assert_eq!(ratio.eval_checked(&e), Some(16));
+        let by_zero = SymExpr::nnz() / SymExpr::c(0);
+        assert_eq!(by_zero.eval(&e), u128::MAX);
+        assert_eq!(by_zero.eval_checked(&e), None);
+        // Mr participates like any other variable.
+        let bound = SymExpr::nnz() * SymExpr::rank_r() * SymExpr::c(8) / SymExpr::reducer_memory();
+        assert_eq!(bound.eval(&e), (100 * 3 * 8) / (1 << 20));
+    }
+
+    #[test]
+    fn division_display_keeps_precedence() {
+        let d = SymExpr::nnz() * SymExpr::rank_r() / SymExpr::reducer_memory();
+        assert_eq!(d.to_string(), "nnz·R / Mr");
+        let nested = SymExpr::nnz() / (SymExpr::rank_q() + SymExpr::rank_r());
+        assert_eq!(nested.to_string(), "nnz / (Q + R)");
+        let rhs_mul = SymExpr::nnz() / (SymExpr::rank_q() * SymExpr::rank_r());
+        assert_eq!(rhs_mul.to_string(), "nnz / (Q·R)");
+        let mul_of_div = SymExpr::dim_i() * (SymExpr::nnz() / SymExpr::machines());
+        assert_eq!(mul_of_div.to_string(), "I·(nnz / M)");
+        let sum = SymExpr::nnz() / SymExpr::machines() + SymExpr::dim_j();
+        assert_eq!(sum.to_string(), "nnz / M + J");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let exprs = [
+            SymExpr::nnz() * (SymExpr::rank_q() + SymExpr::rank_r()),
+            SymExpr::max(SymExpr::nnz(), SymExpr::dim_i() * SymExpr::dim_j()),
+            SymExpr::c(2) * SymExpr::nnz() + SymExpr::dim_k(),
+            SymExpr::nnz() * SymExpr::rank_r() * SymExpr::c(8) / SymExpr::reducer_memory(),
+            SymExpr::max(
+                SymExpr::nnz() * SymExpr::c(25),
+                SymExpr::nnz() * SymExpr::rank_r() * SymExpr::c(8) / SymExpr::reducer_memory(),
+            ),
+            SymExpr::dim_i() * (SymExpr::nnz() / SymExpr::machines()),
+            SymExpr::nnz() / SymExpr::machines() / SymExpr::rank_q(),
+        ];
+        let e = env();
+        for x in exprs {
+            let text = x.to_string();
+            let parsed = SymExpr::parse(&text).unwrap_or_else(|| panic!("parse '{text}'"));
+            assert_eq!(parsed.eval(&e), x.eval(&e), "round trip of '{text}'");
+            assert_eq!(parsed.to_string(), text, "re-display of '{text}'");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "nnz +",
+            "(nnz",
+            "max(nnz)",
+            "nnz · · R",
+            "2x",
+            "W",
+            "nnz)",
+            "max(,)",
+        ] {
+            assert!(SymExpr::parse(bad).is_none(), "accepted '{bad}'");
+        }
+        // ASCII `*` is accepted as a product sign.
+        let star = SymExpr::parse("2*nnz + K").expect("parse star form");
+        assert_eq!(star.eval(&env()), 206);
+    }
+
+    #[test]
+    fn shuffle_bytes_sums_count_times_bytes() {
+        let g = JobGraph::new("demo", ["x"])
+            .job(
+                PlanJob::new("stage-a{}")
+                    .repeat(SymExpr::rank_q())
+                    .reads(["x"])
+                    .writes(["t"])
+                    .emits(SymExpr::nnz(), SymExpr::c(57) * SymExpr::nnz()),
+            )
+            .job(
+                PlanJob::new("stage-b")
+                    .reads(["t"])
+                    .writes(["y"])
+                    .emits(SymExpr::nnz(), SymExpr::c(49) * SymExpr::nnz()),
+            );
+        let e = env();
+        // Q·57·nnz + 49·nnz = 2·5700 + 4900.
+        assert_eq!(g.shuffle_bytes().eval(&e), 16_300);
+        assert!(g.shuffle_exact());
+        let bounded = JobGraph::new("ub", ["x"]).job(
+            PlanJob::new("s")
+                .reads(["x"])
+                .writes(["y"])
+                .emits(SymExpr::nnz(), SymExpr::nnz())
+                .upper_bound(),
+        );
+        assert!(!bounded.shuffle_exact());
     }
 
     #[test]

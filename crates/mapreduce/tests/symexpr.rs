@@ -19,6 +19,9 @@ fn env(nnz: u64, dims: [u64; 3], q: u64, r: u64, faults: u64) -> Env {
         rank_r: r,
         machines: 10,
         faults,
+        // Varies with the other knobs so `Mr`-dependent expressions are
+        // distinguishable on the probe grid (coprime-ish, never zero).
+        reducer_memory: 8 * (q + r) + nnz % 97,
     }
 }
 
@@ -46,7 +49,10 @@ fn splitmix(s: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A random expression of bounded depth over all seven variables.
+/// A random expression of bounded depth over all seven classic variables.
+/// Division-free: the grid-equivalence net below is calibrated for the
+/// `(+, ·, max)` fragment the cost pass uses; [`gen_expr_div`] adds `/`
+/// and the `M`/`Mr` atoms for the communication-pass fragment.
 fn gen_expr(s: &mut u64, depth: usize) -> SymExpr {
     let roll = splitmix(s);
     if depth == 0 || roll.is_multiple_of(4) {
@@ -71,16 +77,48 @@ fn gen_expr(s: &mut u64, depth: usize) -> SymExpr {
     }
 }
 
+/// A random expression over all variables and all four operators,
+/// division included — the fragment the communication pass's gap ratios
+/// live in.
+fn gen_expr_div(s: &mut u64, depth: usize) -> SymExpr {
+    let roll = splitmix(s);
+    if depth == 0 || roll.is_multiple_of(4) {
+        match splitmix(s) % 10 {
+            0 => SymExpr::c(splitmix(s) % 60),
+            1 => SymExpr::nnz(),
+            2 => SymExpr::dim_i(),
+            3 => SymExpr::dim_j(),
+            4 => SymExpr::dim_k(),
+            5 => SymExpr::rank_q(),
+            6 => SymExpr::rank_r(),
+            7 => SymExpr::machines(),
+            8 => SymExpr::reducer_memory(),
+            _ => SymExpr::faults(),
+        }
+    } else {
+        let a = gen_expr_div(s, depth - 1);
+        let b = gen_expr_div(s, depth - 1);
+        match roll % 4 {
+            0 => a + b,
+            1 => a * b,
+            2 => a / b,
+            _ => SymExpr::max(a, b),
+        }
+    }
+}
+
 /// A random environment with values across several orders of magnitude.
 fn gen_env(s: &mut u64) -> Env {
     let mut pick = |max: u64| 1 + splitmix(s) % max;
-    env(
+    let mut e = env(
         pick(1 << 34),
         [pick(4096), pick(4096), pick(4096)],
         pick(64),
         pick(64),
         pick(8),
-    )
+    );
+    e.reducer_memory = pick(1 << 24);
+    e
 }
 
 #[test]
@@ -132,6 +170,56 @@ fn overflow_detection_near_u64_max() {
 }
 
 #[test]
+fn zero_denominator_saturates_and_checked_eval_refuses() {
+    // faults = 0 in this env, so any ratio over `k` divides by zero: the
+    // saturating eval pins to the ceiling (an unbounded gap compares above
+    // everything), the checked eval refuses.
+    let degenerate = env(1_000, [10, 10, 10], 2, 3, 0);
+    let ratio = SymExpr::nnz() / SymExpr::faults();
+    assert_eq!(ratio.eval(&degenerate), u128::MAX);
+    assert_eq!(ratio.eval_checked(&degenerate), None);
+    // Saturation keeps max() monotone: the unbounded ratio dominates.
+    let m = SymExpr::max(ratio, SymExpr::nnz());
+    assert_eq!(m.eval(&degenerate), u128::MAX);
+    // A zero *numerator* is fine: 0 / x = 0.
+    let zero_num = SymExpr::c(0) / SymExpr::nnz();
+    assert_eq!(zero_num.eval(&degenerate), 0);
+    assert_eq!(zero_num.eval_checked(&degenerate), Some(0));
+}
+
+#[test]
+fn equiv_on_distinguishes_reducer_memory_ratios_on_the_grid() {
+    let grid = probe_grid();
+    // The memory-dependent bound shape of the communication pass.
+    let bound = SymExpr::nnz() * SymExpr::rank_r() * SymExpr::c(8) / SymExpr::reducer_memory();
+    // Halving the memory budget is NOT extensionally equal…
+    let halved = SymExpr::nnz() * SymExpr::rank_r() * SymExpr::c(8)
+        / (SymExpr::reducer_memory() * SymExpr::c(2));
+    assert!(!bound.equiv_on(&halved, &grid));
+    // …and dropping `Mr` entirely is caught too (the grid varies it).
+    let constant_mem = SymExpr::nnz() * SymExpr::rank_r() * SymExpr::c(8) / SymExpr::c(1 << 20);
+    assert!(!bound.equiv_on(&constant_mem, &grid));
+    // Whereas a commuted but equal numerator passes.
+    let commuted = SymExpr::rank_r() * SymExpr::nnz() * SymExpr::c(8) / SymExpr::reducer_memory();
+    assert!(bound.equiv_on(&commuted, &grid));
+}
+
+#[test]
+fn floor_division_is_left_associative_not_regroupable() {
+    // (a / b) / c == a / (b·c) for positive integers, but a / (b / c)
+    // differs — the probe grid must not call them equivalent.
+    let a = SymExpr::nnz();
+    let b = SymExpr::rank_q();
+    let c = SymExpr::rank_r();
+    let grid = probe_grid();
+    let left = a.clone() / b.clone() / c.clone();
+    let grouped = a.clone() / (b.clone() * c.clone());
+    assert!(left.equiv_on(&grouped, &grid));
+    let right = a / (b / c);
+    assert!(!left.equiv_on(&right, &grid));
+}
+
+#[test]
 fn saturated_comparisons_stay_monotone() {
     // Saturation maps "too big" to the top instead of wrapping past a
     // smaller value — the property the recovery pass's argmax relies on.
@@ -179,6 +267,68 @@ proptest! {
         prop_assert!(
             SymExpr::max(a.clone(), b.clone()).equiv_on(&SymExpr::max(b, a), &grid)
         );
+    }
+
+    /// Whenever the checked evaluator accepts an expression (no overflow,
+    /// no zero denominator anywhere), the saturating evaluator must agree
+    /// exactly — saturation only ever changes *rejected* evaluations.
+    /// Exercised over the division-inclusive fragment.
+    #[test]
+    fn checked_eval_agrees_with_saturating_eval(seed in any::<u64>()) {
+        let mut s = seed;
+        let x = gen_expr_div(&mut s, 4);
+        for _ in 0..32 {
+            let e = gen_env(&mut s);
+            if let Some(v) = x.eval_checked(&e) {
+                prop_assert_eq!(v, x.eval(&e), "checked/saturating divergence on {}", x);
+            }
+        }
+    }
+
+    /// Division identities: `(a·b) / b = a` exactly (integers), and a
+    /// quotient never exceeds its dividend for divisors ≥ 1 — the
+    /// monotonicity gap ratios rely on. Guarded by the checked evaluator
+    /// so saturation can't mask a wrap.
+    #[test]
+    fn quotient_identities_hold_without_saturation(seed in any::<u64>()) {
+        let mut s = seed;
+        let a = gen_expr(&mut s, 2);
+        let b = gen_expr(&mut s, 2);
+        let recover = (a.clone() * b.clone()) / b.clone();
+        let quotient = a.clone() / b.clone();
+        for _ in 0..16 {
+            let e = gen_env(&mut s);
+            let bv = b.eval_checked(&e);
+            if bv.is_some_and(|v| v > 0) {
+                if let (Some(rec), Some(av)) = (recover.eval_checked(&e), a.eval_checked(&e)) {
+                    prop_assert_eq!(rec, av, "(a·b)/b ≠ a for a = {}, b = {}", a, b);
+                    if let Some(qv) = quotient.eval_checked(&e) {
+                        prop_assert!(qv <= av, "a/b > a for a = {}, b = {}", a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Display` → `parse` round trip over the full fragment: the parsed
+    /// expression evaluates identically everywhere probed (the property
+    /// the analyzer's plan-fixture loader depends on).
+    #[test]
+    fn parse_round_trips_eval_on_random_expressions(seed in any::<u64>()) {
+        let mut s = seed;
+        let x = gen_expr_div(&mut s, 3);
+        let text = x.to_string();
+        let parsed = SymExpr::parse(&text);
+        prop_assert!(parsed.is_some(), "Display output failed to parse: {}", text);
+        if let Some(p) = parsed {
+            for e in probe_grid() {
+                prop_assert_eq!(p.eval(&e), x.eval(&e), "round trip diverges on {}", text);
+            }
+            for _ in 0..8 {
+                let e = gen_env(&mut s);
+                prop_assert_eq!(p.eval(&e), x.eval(&e), "round trip diverges on {}", text);
+            }
+        }
     }
 
     /// Distributivity holds exactly wherever nothing saturates.

@@ -46,6 +46,15 @@ const EFFECT_FIXTURES: &[(&str, &str)] = &[
     ("over_declared_read.rs", "over-declared-read"),
 ];
 
+/// `.plan` fixtures exercised through the communication/rewrite passes
+/// (`haten2_analyze::fixture`).
+const PLAN_FIXTURES: &[(&str, &str)] = &[
+    ("shuffle_mismatch.plan", "shuffle-mismatch"),
+    ("comm_bound_exceeded.plan", "comm-bound-exceeded"),
+    ("rewrite_volume_inflation.plan", "rewrite-volume-inflation"),
+    ("rewrite_dataflow_broken.plan", "rewrite-dataflow-broken"),
+];
+
 #[test]
 fn each_lint_fixture_fires_its_rule_exactly_once() {
     for (file, rule) in LINT_FIXTURES {
@@ -93,6 +102,27 @@ fn each_effect_fixture_fires_its_rule_exactly_once() {
             "{file}: expected 1 finding, got {fired:?}"
         );
         assert_eq!(findings[0].rule, *rule, "{file}: fired {fired:?}");
+    }
+}
+
+#[test]
+fn each_plan_fixture_fires_its_rule_exactly_once() {
+    for (file, rule) in PLAN_FIXTURES {
+        let path = fixture(file);
+        let fx = haten2_analyze::load_plan_fixture(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(
+            fx.expects,
+            vec![rule.to_string()],
+            "{file}: fixture's own 'expect' disagrees with the corpus table"
+        );
+        let violations = haten2_analyze::run_plan_fixture(&fx);
+        let fired: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        assert_eq!(
+            violations.len(),
+            1,
+            "{file}: expected 1 violation, got {fired:?}"
+        );
+        assert_eq!(violations[0].kind(), *rule, "{file}: fired {fired:?}");
     }
 }
 
@@ -146,10 +176,21 @@ fn every_rule_has_a_fixture() {
             "effect rule '{id}' has no known-bad fixture"
         );
     }
+    let plan_covered: Vec<&str> = PLAN_FIXTURES.iter().map(|(_, r)| *r).collect();
+    for (id, _) in haten2_analyze::COMM_RULES
+        .iter()
+        .chain(haten2_analyze::REWRITE_RULES)
+    {
+        assert!(
+            plan_covered.contains(id),
+            "communication/rewrite rule '{id}' has no known-bad fixture"
+        );
+    }
     for (file, _) in LINT_FIXTURES
         .iter()
         .chain(PURITY_FIXTURES)
         .chain(EFFECT_FIXTURES)
+        .chain(PLAN_FIXTURES)
     {
         assert!(fixture(file).exists(), "missing fixture {file}");
     }
