@@ -36,7 +36,7 @@
 
 use crate::races::serializability_check;
 use crate::{dataflow, Violation};
-use haten2_mapreduce::{Env, JobGraph, PlanJob, SymExpr};
+use haten2_mapreduce::{Env, JobGraph};
 use haten2_srcscan::effects::{check_model, EffectModel};
 
 /// The rewrite rules this pass can fire, with rationale — the fixture
@@ -222,60 +222,22 @@ pub fn certify_rewrite(rewrite: &dyn PlanRewrite, graph: &JobGraph, envs: &[Env]
 /// partials cross the shuffle a second time, nothing worse.
 ///
 /// The rewrite is legal for exactly the merge jobs the plan marks
-/// commutative-associative ([`PlanJob::comm_assoc`]): pre-combining slices
+/// commutative-associative (`PlanJob::comm_assoc`): pre-combining slices
 /// in any grouping must not change the reduced output.
+///
+/// The transform itself lives in
+/// [`haten2_mapreduce::rewrite::heavy_key_split`] and is shared with the
+/// runtime: the pipelines submit the *same* rewritten graph this certifier
+/// checks (gated through `haten2_core::certified_rewrite_for`), so the
+/// executed graph cannot drift from the certified one.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HeavyKeySplit;
 
 /// Index of the job [`HeavyKeySplit`] targets: the last single-instance
-/// comm-assoc job that writes a graph output.
+/// comm-assoc job that writes a graph output. Delegates to the shared
+/// runtime transform's target selection.
 fn split_target(graph: &JobGraph) -> Option<usize> {
-    graph.jobs.iter().rposition(|j| {
-        j.comm_assoc
-            && j.writes.iter().any(|w| graph.outputs.contains(w))
-            && j.count == SymExpr::c(1)
-    })
-}
-
-fn split_jobs(target: &PlanJob) -> (PlanJob, PlanJob) {
-    let m = SymExpr::machines();
-    let part = format!("{}__part", target.writes[0]);
-    let part_shard = format!("{part}#{{}}");
-    // Each split instance pre-combines its hash slice map-side and
-    // shuffles records/M of them; floor division makes the cost an upper
-    // bound, not generic-position exact.
-    let split = PlanJob::new(format!("{}-split{{}}", target.name))
-        .repeat(m.clone())
-        .emits(
-            target.records.clone() / m.clone(),
-            target.bytes.clone() / m.clone(),
-        )
-        .upper_bound();
-    let mut split = if let Some(op) = &target.op {
-        split.op(op)
-    } else {
-        split
-    };
-    split.reads = target.reads.clone();
-    split.writes = vec![part_shard.clone()];
-    split.comm_assoc = target.comm_assoc;
-    // The merge re-shuffles the M pre-combined partials — the second
-    // phase of the aggregation, and the entire declared inflation.
-    let merge = PlanJob::new(format!("{}-mergeparts", target.name))
-        .emits(
-            m.clone() * (target.records.clone() / m.clone()),
-            m.clone() * (target.bytes.clone() / m),
-        )
-        .upper_bound();
-    let mut merge = if let Some(op) = &target.op {
-        merge.op(op)
-    } else {
-        merge
-    };
-    merge.reads = vec![part_shard];
-    merge.writes = target.writes.clone();
-    merge.comm_assoc = target.comm_assoc;
-    (split, merge)
+    haten2_mapreduce::rewrite::heavy_key_split_target(graph)
 }
 
 impl PlanRewrite for HeavyKeySplit {
@@ -288,13 +250,7 @@ impl PlanRewrite for HeavyKeySplit {
     }
 
     fn apply(&self, graph: &JobGraph) -> JobGraph {
-        let Some(at) = split_target(graph) else {
-            return graph.clone();
-        };
-        let mut out = graph.clone();
-        let (split, merge) = split_jobs(&graph.jobs[at]);
-        out.jobs.splice(at..=at, [split, merge]);
-        out
+        haten2_mapreduce::rewrite::heavy_key_split(graph)
     }
 }
 
@@ -447,6 +403,33 @@ mod tests {
                 // The rewrite actually did something: one job became two.
                 assert_eq!(cert.rewritten.jobs.len(), g.jobs.len() + 1);
             }
+        }
+    }
+
+    #[test]
+    fn every_runtime_certification_record_is_certified_here() {
+        // The runtime's rewrite gate (haten2_core::CERTIFIED_REWRITES /
+        // certified_rewrite_for) admits exactly the (graph, rewrite) pairs
+        // in that table. Each such pair must actually certify under this
+        // pass on every regime environment — otherwise the runtime could
+        // submit a "certified" graph the analyzer would reject.
+        let envs = regime_envs();
+        for &(graph_name, rewrite_name) in haten2_core::CERTIFIED_REWRITES {
+            let plan = Decomp::ALL
+                .iter()
+                .flat_map(|&d| Variant::ALL.iter().map(move |&v| plan_for(d, v)))
+                .find(|g| g.name == graph_name)
+                .unwrap_or_else(|| panic!("no pipeline plan named '{graph_name}'"));
+            let rw = rewrite_by_name(rewrite_name)
+                .unwrap_or_else(|| panic!("no rewrite named '{rewrite_name}'"));
+            let cert = certify_rewrite(rw.as_ref(), &plan, &envs);
+            assert!(
+                cert.certified(),
+                "{rewrite_name} on {graph_name}: {:?}",
+                cert.violations
+            );
+            // The record is not vacuous: the rewrite transforms the graph.
+            assert_eq!(cert.rewritten.jobs.len(), plan.jobs.len() + 1);
         }
     }
 

@@ -18,10 +18,21 @@
 //!   scheduler's [`BatchReport`] — the simulated-cluster makespan ratio,
 //!   deterministic and independent of host core count — and must be ≥ 2x.
 //!
+//! * **skew** — the same DRI MTTKRP on a uniform and on a power-law
+//!   tensor of identical nnz, run with the runtime `heavy-key-split`
+//!   rewrite forced on (`RewritePolicy::Always`) under the DAG scheduler's
+//!   LPT dispatch. The power-law tensor inflates the heaviest reduce group
+//!   ~18x (the straggler the rewrite targets); the gate is the *host
+//!   wall-clock* makespan ratio skewed/uniform ≤ 1.2x, with the rewritten
+//!   plan's output asserted bit-identical to the unrewritten Sequential
+//!   oracle. (The simulated cost model charges the whole heavy group to
+//!   one split job by design, so the win is only visible in host time.)
+//!
 //! ```text
 //! haten2-engine-bench [--out PATH]   # default: BENCH_engine.json
 //! haten2-engine-bench --dag-smoke    # dag_speedup equivalence+speedup only
 //! haten2-engine-bench --perf-smoke   # CI gate: dag host speedup + overhead
+//! haten2-engine-bench --skew-smoke   # CI gate: skew ratio + bit-identity
 //! ```
 //!
 //! Both engines run the identical inputs; aggregate metrics are asserted
@@ -39,10 +50,12 @@
 
 use haten2_bench::seed_engine::run_job_seed;
 use haten2_core::tucker::{project, ProjectOptions};
-use haten2_core::Variant;
+use haten2_core::{parafac, Variant};
+use haten2_data::random::{powerlaw_tensor, random_tensor, RandomTensorConfig};
 use haten2_linalg::Mat;
 use haten2_mapreduce::{
-    run_job, BatchReport, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec, SchedulerMode,
+    run_job, BatchReport, Cluster, ClusterConfig, FaultPlan, JobMetrics, JobSpec, RewritePolicy,
+    SchedulerMode,
 };
 use haten2_tensor::{CooTensor3, Entry3};
 use rand::rngs::StdRng;
@@ -406,6 +419,11 @@ struct DagSpeedup {
     sim_speedup: f64,
     jobs: usize,
     critical_path_len: usize,
+    /// Host concurrency/load observability from the DAG-mode run: peak
+    /// in-flight jobs, per-worker busy seconds, heaviest reduce group.
+    peak_concurrency: usize,
+    worker_busy_s: Vec<f64>,
+    heaviest_group_bytes: usize,
 }
 
 /// Run the Naive-Tucker sweep under both scheduler modes, assert the DAG
@@ -473,7 +491,123 @@ fn run_dag_speedup(nnz: usize) -> DagSpeedup {
         sim_speedup,
         jobs: dag.report.jobs,
         critical_path_len: dag.report.critical_path_len,
+        peak_concurrency: dag.report.peak_concurrency,
+        worker_busy_s: dag.report.worker_busy_s.clone(),
+        heaviest_group_bytes: dag.report.heaviest_group_bytes,
     }
+}
+
+// ---- skew: uniform vs power-law DRI MTTKRP under the runtime rewrite ----
+
+/// skew workload shape: cubic I=200 tensors at equal nnz, DRI MTTKRP at
+/// rank 8 on an 8-machine cluster — the regime where the power-law
+/// tensor's heaviest reduce group inflates ~18x over uniform.
+const SKEW_DIM: u64 = 200;
+const SKEW_NNZ: usize = 50_000;
+const SKEW_RANK: usize = 8;
+const SKEW_MACHINES: usize = 8;
+
+fn skew_cluster(rewrite: RewritePolicy, scheduler: SchedulerMode) -> Cluster {
+    Cluster::new(ClusterConfig {
+        scheduler,
+        threads: DAG_THREADS,
+        rewrite,
+        ..ClusterConfig::with_machines(SKEW_MACHINES)
+    })
+}
+
+fn mttkrp_bits(cluster: &Cluster, x: &CooTensor3, f1: &Mat, f2: &Mat) -> Vec<u64> {
+    let m = parafac::mttkrp(cluster, Variant::Dri, x, 0, f1, f2).expect("skew: mttkrp");
+    m.data().iter().map(|v| v.to_bits()).collect()
+}
+
+struct SkewBench {
+    jobs: usize,
+    uniform_wall_s: f64,
+    skewed_wall_s: f64,
+    /// Median of per-round paired skewed/uniform host makespan ratios.
+    makespan_ratio: f64,
+    uniform_heaviest_group_bytes: usize,
+    skewed_heaviest_group_bytes: usize,
+    peak_concurrency: usize,
+    worker_busy_s: Vec<f64>,
+}
+
+/// Run the skew pair: assert the rewritten plan's bits against the
+/// unrewritten Sequential oracle, then measure host wall-clock makespans
+/// of the rewritten DRI MTTKRP on uniform vs power-law tensors of equal
+/// nnz, interleaved round-robin so the paired ratio cancels host noise.
+fn run_skew(nnz: usize) -> SkewBench {
+    let cfg = RandomTensorConfig::cubic(SKEW_DIM, nnz, 0xab2);
+    let uniform = random_tensor(&cfg);
+    let skewed = powerlaw_tensor(&cfg, 1.0);
+    let f1 = dag_factor(SKEW_DIM as usize, SKEW_RANK, 11);
+    let f2 = dag_factor(SKEW_DIM as usize, SKEW_RANK, 12);
+
+    // Bit-identity on the skewed tensor — the case the rewrite exists for:
+    // rewritten plan on the DAG scheduler vs the unrewritten Sequential
+    // oracle, compared as raw bits.
+    let oracle = mttkrp_bits(
+        &skew_cluster(RewritePolicy::Off, SchedulerMode::Sequential),
+        &skewed,
+        &f1,
+        &f2,
+    );
+    let rewritten = skew_cluster(RewritePolicy::Always, SchedulerMode::Dag);
+    let bits = mttkrp_bits(&rewritten, &skewed, &f1, &f2);
+    assert_eq!(
+        bits, oracle,
+        "skew: heavy-key-split changed the MTTKRP bits"
+    );
+    let reports = rewritten.batch_reports();
+    let report = reports.last().expect("skew: batch report");
+    assert!(
+        report.jobs > 2,
+        "skew: the heavy-key-split rewrite did not fire ({} jobs)",
+        report.jobs
+    );
+
+    // Host makespans, interleaved: one warm-up round, then REPS measured
+    // rounds of (uniform, skewed) back to back on fresh clusters.
+    let mut uni_totals = Vec::with_capacity(REPS);
+    let mut skw_totals = Vec::with_capacity(REPS);
+    let mut last_reports: Option<(BatchReport, BatchReport)> = None;
+    for rep in 0..=REPS {
+        let cu = skew_cluster(RewritePolicy::Always, SchedulerMode::Dag);
+        let t = Instant::now();
+        parafac::mttkrp(&cu, Variant::Dri, &uniform, 0, &f1, &f2).expect("skew: uniform mttkrp");
+        let u = t.elapsed().as_secs_f64();
+        let cs = skew_cluster(RewritePolicy::Always, SchedulerMode::Dag);
+        let t = Instant::now();
+        parafac::mttkrp(&cs, Variant::Dri, &skewed, 0, &f1, &f2).expect("skew: skewed mttkrp");
+        let s = t.elapsed().as_secs_f64();
+        if rep == 0 {
+            continue;
+        }
+        uni_totals.push(u);
+        skw_totals.push(s);
+        last_reports = Some((
+            cu.batch_reports().last().expect("uniform report").clone(),
+            cs.batch_reports().last().expect("skewed report").clone(),
+        ));
+    }
+    let (uni_report, skw_report) = last_reports.expect("at least one measured rep");
+    SkewBench {
+        jobs: skw_report.jobs,
+        uniform_wall_s: spread_of(&uni_totals).median_s,
+        skewed_wall_s: spread_of(&skw_totals).median_s,
+        makespan_ratio: median_paired_ratio(&skw_totals, &uni_totals),
+        uniform_heaviest_group_bytes: uni_report.heaviest_group_bytes,
+        skewed_heaviest_group_bytes: skw_report.heaviest_group_bytes,
+        peak_concurrency: skw_report.peak_concurrency,
+        worker_busy_s: skw_report.worker_busy_s,
+    }
+}
+
+/// Render a `&[f64]` as a JSON array with fixed precision.
+fn json_f64_array(xs: &[f64]) -> String {
+    let cells: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 fn main() {
@@ -544,6 +678,35 @@ fn main() {
         eprintln!("perf-smoke: OK");
         return;
     }
+    if args.iter().any(|a| a == "--skew-smoke") {
+        // CI skew gate for scripts/check.sh: the rewritten DRI MTTKRP's
+        // host makespan on a power-law tensor must stay within 1.2x of the
+        // uniform tensor at equal nnz, and the rewritten plan's output
+        // must be bit-identical to the unrewritten Sequential oracle
+        // (asserted inside run_skew). Smaller input than the JSON run;
+        // exits nonzero on regression.
+        let s = run_skew(SKEW_NNZ / 5);
+        eprintln!(
+            "skew smoke: makespan ratio {:.3}x (uniform {:.4}s vs power-law {:.4}s, medians of \
+             {REPS} paired rounds); heaviest group {} vs {} bytes; {} jobs; outputs bit-identical",
+            s.makespan_ratio,
+            s.uniform_wall_s,
+            s.skewed_wall_s,
+            s.uniform_heaviest_group_bytes,
+            s.skewed_heaviest_group_bytes,
+            s.jobs
+        );
+        if s.makespan_ratio > 1.2 {
+            eprintln!(
+                "skew smoke FAIL: skewed/uniform makespan ratio {:.3}x > 1.2x — the \
+                 heavy-key-split rewrite is not containing the straggler",
+                s.makespan_ratio
+            );
+            std::process::exit(1);
+        }
+        eprintln!("skew-smoke: OK");
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -611,9 +774,14 @@ fn main() {
 
     eprintln!("dag_speedup: Naive-Tucker sweep, Q=R={DAG_RANK}, {DAG_THREADS} threads");
     let dag = run_dag_speedup(DAG_NNZ);
+    eprintln!(
+        "skew: DRI MTTKRP uniform vs power-law, I={SKEW_DIM}, nnz={SKEW_NNZ}, \
+         R={SKEW_RANK}, {SKEW_MACHINES} machines, rewrite forced on"
+    );
+    let skew = run_skew(SKEW_NNZ);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"race_detector\": {{ \"compiled_in_bench\": false, \"disabled_overhead_pct\": 0.000, \"gate\": \"asserted off at startup; the race-detect feature is cfg'd out of measured builds, so the disabled detector's overhead is structurally zero (no residual hooks)\" }},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up round (seed blocked; pooled and no-op interleaved); speedup is the ratio of minima, overhead the median of per-round paired ratios; bytes_allocated is the cluster allocation-proxy high water (null where no cluster exists)\"\n}}\n",
+        "{{\n  \"benchmark\": \"mapreduce-engine\",\n  \"workload\": {{\n    \"dri_projection\": {{ \"dim_i\": {DIM_I}, \"nnz\": {NNZ}, \"emits_per_entry\": 2 }},\n    \"small_jobs\": {{ \"jobs\": {SMALL_JOBS}, \"records_per_job\": {SMALL_RECORDS} }}\n  }},\n  \"config\": {{ \"machines\": {}, \"reducers\": {}, \"threads\": {} }},\n  \"seed_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"pooled_engine\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {} }},\n  \"noop_fault_plan\": {{ \"projection_s\": {:.6}, \"small_jobs_s\": {:.6}, \"total_s\": {:.6}, \"median_s\": {:.6}, \"stddev_s\": {:.6}, \"bytes_allocated\": {}, \"task_retries\": {}, \"speculative_launched\": {}, \"recovery_sim_time_s\": {:.6} }},\n  \"speedup\": {:.3},\n  \"fault_free_overhead_pct\": {:.3},\n  \"race_detector\": {{ \"compiled_in_bench\": false, \"disabled_overhead_pct\": 0.000, \"gate\": \"asserted off at startup; the race-detect feature is cfg'd out of measured builds, so the disabled detector's overhead is structurally zero (no residual hooks)\" }},\n  \"dag_speedup\": {{\n    \"workload\": \"naive-tucker-sweep\",\n    \"dims\": [{DAG_DIM}, {DAG_DIM}, {DAG_DIM}],\n    \"nnz\": {DAG_NNZ},\n    \"rank_q\": {DAG_RANK},\n    \"rank_r\": {DAG_RANK},\n    \"machines\": {DAG_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"jobs\": {},\n    \"critical_path_len\": {},\n    \"sim_sequential_s\": {:.6},\n    \"sim_makespan_s\": {:.6},\n    \"sim_speedup\": {:.3},\n    \"sequential_wall_s\": {:.6},\n    \"dag_wall_s\": {:.6},\n    \"host_wall_speedup\": {:.3},\n    \"peak_concurrency\": {},\n    \"worker_busy_s\": {},\n    \"heaviest_group_bytes\": {},\n    \"outputs\": \"bit-identical across scheduler modes (asserted)\"\n  }},\n  \"skew\": {{\n    \"workload\": \"parafac-dri-mttkrp\",\n    \"dims\": [{SKEW_DIM}, {SKEW_DIM}, {SKEW_DIM}],\n    \"nnz\": {SKEW_NNZ},\n    \"rank\": {SKEW_RANK},\n    \"machines\": {SKEW_MACHINES},\n    \"threads\": {DAG_THREADS},\n    \"rewrite\": \"heavy-key-split (RewritePolicy::Always), LPT dispatch\",\n    \"jobs\": {},\n    \"uniform_wall_s\": {:.6},\n    \"skewed_wall_s\": {:.6},\n    \"makespan_ratio\": {:.3},\n    \"uniform_heaviest_group_bytes\": {},\n    \"skewed_heaviest_group_bytes\": {},\n    \"group_inflation\": {:.1},\n    \"peak_concurrency\": {},\n    \"worker_busy_s\": {},\n    \"outputs\": \"bit-identical to the unrewritten Sequential oracle (asserted)\",\n    \"timing\": \"medians of {REPS} interleaved paired rounds; ratio is the median of per-round skewed/uniform pairs\"\n  }},\n  \"reps\": {REPS},\n  \"timing\": \"min of {REPS} reps after 1 warm-up round (seed blocked; pooled and no-op interleaved); speedup is the ratio of minima, overhead the median of per-round paired ratios; bytes_allocated is the cluster allocation-proxy high water (null where no cluster exists)\"\n}}\n",
         cfg.machines,
         cfg.num_reducers(),
         cfg.threads,
@@ -648,11 +816,23 @@ fn main() {
         dag.sequential_wall_s,
         dag.dag_wall_s,
         dag.host_speedup,
+        dag.peak_concurrency,
+        json_f64_array(&dag.worker_busy_s),
+        dag.heaviest_group_bytes,
+        skew.jobs,
+        skew.uniform_wall_s,
+        skew.skewed_wall_s,
+        skew.makespan_ratio,
+        skew.uniform_heaviest_group_bytes,
+        skew.skewed_heaviest_group_bytes,
+        skew.skewed_heaviest_group_bytes as f64 / skew.uniform_heaviest_group_bytes.max(1) as f64,
+        skew.peak_concurrency,
+        json_f64_array(&skew.worker_busy_s),
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     print!("{json}");
     eprintln!(
-        "wrote {out_path}; speedup {speedup:.2}x; fault-free recovery overhead {fault_free_overhead_pct:.2}%; dag_speedup {:.2}x simulated",
-        dag.sim_speedup
+        "wrote {out_path}; speedup {speedup:.2}x; fault-free recovery overhead {fault_free_overhead_pct:.2}%; dag_speedup {:.2}x simulated; skew ratio {:.3}x",
+        dag.sim_speedup, skew.makespan_ratio
     );
 }

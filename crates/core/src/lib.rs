@@ -52,8 +52,8 @@ pub use compress::parafac_via_compression;
 pub use missing::{parafac_missing, MissingParafacResult};
 pub use nonneg::{nonneg_parafac, NonnegParafacResult};
 pub use plan::{
-    comm_assoc_annotation, comm_for, env_for, is_comm_assoc_site, plan_for, recovery_for, CommSpec,
-    Decomp, ReducerAnnotation, COMM_ASSOC_REDUCERS,
+    certified_rewrite_for, comm_assoc_annotation, comm_for, env_for, is_comm_assoc_site, plan_for,
+    recovery_for, CommSpec, Decomp, ReducerAnnotation, CERTIFIED_REWRITES, COMM_ASSOC_REDUCERS,
 };
 pub use records::Ix4;
 pub use store::{

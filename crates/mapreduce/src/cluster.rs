@@ -4,6 +4,7 @@ use crate::dfs::{Dfs, DfsBackend};
 use crate::fault::FaultPlan;
 use crate::metrics::{BatchReport, JobMetrics, RunMetrics};
 use crate::pool::WorkerPool;
+use crate::rewrite::RewritePolicy;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -77,6 +78,12 @@ pub struct ClusterConfig {
     /// [`crate::MrError::SpillCapacityExceeded`] on either backend.
     /// `None` is unlimited.
     pub dfs_capacity_bytes: Option<usize>,
+    /// Whether pipelines apply the analyzer-certified `heavy-key-split`
+    /// rewrite at submission time (not a semantic knob: rewritten outputs
+    /// are bit-identical to the unrewritten plan's — see
+    /// [`crate::rewrite`]). `Off` by default so job counts keep matching
+    /// Tables III/IV.
+    pub rewrite: RewritePolicy,
 }
 
 impl Default for ClusterConfig {
@@ -98,6 +105,7 @@ impl Default for ClusterConfig {
             scheduler: SchedulerMode::default(),
             dfs: DfsBackend::Memory,
             dfs_capacity_bytes: None,
+            rewrite: RewritePolicy::default(),
         }
     }
 }

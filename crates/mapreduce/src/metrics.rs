@@ -253,6 +253,16 @@ pub struct BatchReport {
     /// `sim_sequential_s / sim_makespan_s` is the reproducible speedup
     /// the DAG scheduler unlocks on the simulated cluster.
     pub sim_makespan_s: f64,
+    /// Host seconds each pool worker spent executing this batch's jobs
+    /// (index = worker slot; one entry for Sequential mode). The
+    /// histogram makes dispatch imbalance visible: under LPT ordering a
+    /// skewed batch should still fill every slot, while FIFO ordering
+    /// leaves the tail worker idle behind the straggler.
+    pub worker_busy_s: Vec<f64>,
+    /// Largest single reduce-side key group (bytes) over the batch's jobs
+    /// — the straggler proxy the `heavy-key-split` rewrite targets,
+    /// surfaced here so skew benches can report it next to makespan.
+    pub heaviest_group_bytes: usize,
 }
 
 #[cfg(test)]

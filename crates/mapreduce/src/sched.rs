@@ -52,13 +52,23 @@
 //! late-ready jobs run on however many workers are still looping — at
 //! least one per dependency chain, which is exactly the width of the
 //! registered pipelines' DAGs.
+//!
+//! **Dispatch order.** Ready jobs are popped
+//! longest-processing-time-first by estimated cost
+//! ([`Batch::set_cost_hint`], with a bytes-fed-in fallback from finished
+//! predecessors), so a known-heavy job — e.g. the hash slice owning a
+//! skewed reduce key under the `heavy-key-split` rewrite — starts first
+//! instead of straggling behind its lighter siblings. When LPT's estimate
+//! is wrong anyway, the per-task speculative re-execution inside
+//! [`crate::job::run_job`] remains the straggler fallback. Estimates only
+//! reorder execution; the commit order (and with it every output and
+//! metric) is untouched.
 
 use crate::cluster::{Cluster, SchedulerMode};
 use crate::job::JobSite;
 use crate::metrics::{BatchReport, JobMetrics, RunMetrics};
 use crate::plan::JobGraph;
 use crate::MrError;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -227,6 +237,9 @@ struct Submitted<'a> {
     name: String,
     reads: Vec<String>,
     writes: Vec<String>,
+    /// Relative execution-cost estimate for LPT dispatch
+    /// ([`Batch::set_cost_hint`]); `0.0` means unhinted.
+    cost_hint: f64,
     run: Mutex<Option<JobFn<'a>>>,
 }
 
@@ -390,6 +403,7 @@ impl<'a> Batch<'a> {
             name: name.clone(),
             reads,
             writes,
+            cost_hint: 0.0,
             run: Mutex::new(Some(Box::new(move |ctx| {
                 let value = f(ctx)?;
                 let _ = out.set(value);
@@ -397,6 +411,20 @@ impl<'a> Batch<'a> {
             }))),
         });
         Ok(JobHandle { idx, name, slot })
+    }
+
+    /// Attach a dispatch cost hint to a submitted job: an estimate of its
+    /// relative execution cost, in any unit consistent within the batch
+    /// (the skew-aware pipelines use the [`crate::rewrite::KeyFreqSketch`]
+    /// per-slice record counts). The DAG scheduler pops ready jobs
+    /// largest-estimate-first — longest-processing-time-first list
+    /// scheduling — so a heavy hash slice starts before its lighter
+    /// siblings instead of straggling at the tail. Unhinted jobs fall back
+    /// to a bytes-fed-in proxy from already-finished predecessors. Hints
+    /// reorder *execution* only; commit order stays submission order, so
+    /// outputs and metrics remain bit-identical to Sequential mode.
+    pub fn set_cost_hint<T>(&mut self, handle: &JobHandle<T>, cost: f64) {
+        self.jobs[handle.idx].cost_hint = cost;
     }
 
     /// Declared-dataset dependency edges: for each job, the submission
@@ -593,13 +621,16 @@ impl<'a> Batch<'a> {
             }
         };
 
-        match cluster.config().scheduler {
+        let worker_busy_s = match cluster.config().scheduler {
             SchedulerMode::Sequential => {
                 // Strict submission order, abort at the first failure —
                 // exactly the pre-scheduler drivers' behaviour. Jobs after
-                // the failure never run.
+                // the failure never run. One logical worker: the caller.
+                let mut busy = 0.0f64;
                 for (j, slot) in statuses.iter().enumerate() {
+                    let started = std::time::Instant::now();
                     let status = execute(j);
+                    busy += started.elapsed().as_secs_f64();
                     let stop = !matches!(status, Status::Done);
                     let _ = slot.set(status);
                     advance_commit();
@@ -607,11 +638,17 @@ impl<'a> Batch<'a> {
                         break;
                     }
                 }
+                vec![busy]
             }
-            SchedulerMode::Dag => {
-                self.run_dag(cluster, &preds, &statuses, &execute, &advance_commit);
-            }
-        }
+            SchedulerMode::Dag => self.run_dag(
+                cluster,
+                &preds,
+                &metrics,
+                &statuses,
+                &execute,
+                &advance_commit,
+            ),
+        };
 
         // Surface flagged races on the cluster regardless of batch outcome
         // — a failing batch can still race, and the chaos harness wants
@@ -633,7 +670,12 @@ impl<'a> Batch<'a> {
                 ),
             }
         }
-        let report = batch_report(&cur.committed, &preds, cluster.config().threads.max(1));
+        let report = batch_report(
+            &cur.committed,
+            &preds,
+            cluster.config().threads.max(1),
+            worker_busy_s,
+        );
         cluster.record_batch(report.clone());
         Ok(BatchResults { report })
     }
@@ -642,14 +684,28 @@ impl<'a> Batch<'a> {
     /// the module docs' liveness argument): the worker completing a job
     /// enqueues its newly-ready dependents and keeps looping, so every
     /// chain retains an executor even after idle workers retire.
+    ///
+    /// **Dispatch order** is longest-processing-time-first: among ready
+    /// jobs, the one with the highest estimated cost runs next — the
+    /// caller's [`Batch::set_cost_hint`] if set, else a proxy summing the
+    /// bytes its already-finished predecessors fed it (their stashed
+    /// [`JobMetrics`] are written before dependents wake, so the proxy is
+    /// always available for dependency-released jobs). Ties fall back to
+    /// smallest submission index, so an unhinted single-wave batch keeps
+    /// plain FIFO order. LPT only reorders *execution*; commit order (and
+    /// therefore every output and metric) is unchanged.
+    ///
+    /// Returns per-worker busy seconds (time spent inside `execute`),
+    /// indexed by pool broadcast slot.
     fn run_dag(
         &self,
         cluster: &Cluster,
         preds: &[Vec<usize>],
+        metrics: &[OnceLock<JobMetrics>],
         statuses: &[OnceLock<Status>],
         execute: &(dyn Fn(usize) -> Status + Sync),
         commit: &(dyn Fn() + Sync),
-    ) {
+    ) -> Vec<f64> {
         let n = self.jobs.len();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (j, ps) in preds.iter().enumerate() {
@@ -659,11 +715,16 @@ impl<'a> Batch<'a> {
         }
         let remaining: Vec<AtomicUsize> = preds.iter().map(|p| AtomicUsize::new(p.len())).collect();
         let poisoned: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let ready: Mutex<VecDeque<usize>> = Mutex::new(
-            (0..n)
-                .filter(|&j| preds[j].is_empty())
-                .collect::<VecDeque<_>>(),
-        );
+        let ready: Mutex<Vec<usize>> =
+            Mutex::new((0..n).filter(|&j| preds[j].is_empty()).collect::<Vec<_>>());
+        let est_cost = |j: usize| -> f64 {
+            let fed: f64 = preds[j]
+                .iter()
+                .filter_map(|&p| metrics[p].get())
+                .map(|m| (m.shuffle_bytes + m.reduce_output_bytes) as f64)
+                .sum();
+            self.jobs[j].cost_hint.max(fed)
+        };
         // Cap scheduler workers at the host's real core count: configured
         // `threads` beyond that only adds context switching and queue
         // contention (a simulated 8-machine cluster is still one host).
@@ -671,13 +732,18 @@ impl<'a> Batch<'a> {
         // whole DAG drains inline on the caller with zero pool traffic.
         let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let workers = cluster.config().threads.max(1).min(n).min(host);
-        cluster.pool().broadcast(workers, &|_executor| loop {
-            let next = ready.lock().expect("ready queue poisoned").pop_front();
+        let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0f64)).collect();
+        cluster.pool().broadcast(workers, &|executor| loop {
+            let next = lpt_pick(&mut ready.lock().expect("ready queue poisoned"), &est_cost);
             let Some(j) = next else { break };
             let status = if poisoned[j].load(Ordering::SeqCst) {
                 Status::Skipped
             } else {
-                execute(j)
+                let started = std::time::Instant::now();
+                let status = execute(j);
+                *busy[executor].lock().expect("busy counter poisoned") +=
+                    started.elapsed().as_secs_f64();
+                status
             };
             let ok = matches!(status, Status::Done);
             let _ = statuses[j].set(status);
@@ -691,11 +757,26 @@ impl<'a> Batch<'a> {
                     poisoned[s].store(true, Ordering::SeqCst);
                 }
                 if remaining[s].fetch_sub(1, Ordering::SeqCst) == 1 {
-                    ready.lock().expect("ready queue poisoned").push_back(s);
+                    ready.lock().expect("ready queue poisoned").push(s);
                 }
             }
         });
+        busy.into_iter()
+            .map(|b| b.into_inner().expect("busy counter poisoned"))
+            .collect()
     }
+}
+
+/// Remove and return the ready job with the highest estimated cost
+/// (longest-processing-time-first); ties break toward the smallest
+/// submission index, so an unhinted batch degrades to FIFO.
+fn lpt_pick(queue: &mut Vec<usize>, est: &dyn Fn(usize) -> f64) -> Option<usize> {
+    let best = queue
+        .iter()
+        .enumerate()
+        .map(|(pos, &j)| (pos, j, est(j)))
+        .max_by(|a, b| a.2.total_cmp(&b.2).then_with(|| b.1.cmp(&a.1)))?;
+    Some(queue.remove(best.0))
 }
 
 /// Shard-aware dataset overlap: same base, and either side unsharded or
@@ -728,7 +809,12 @@ fn base_set(names: &[String]) -> Vec<String> {
 }
 
 /// Concurrency accounting over the committed jobs of one batch.
-fn batch_report(committed: &RunMetrics, preds: &[Vec<usize>], slots: usize) -> BatchReport {
+fn batch_report(
+    committed: &RunMetrics,
+    preds: &[Vec<usize>],
+    slots: usize,
+    worker_busy_s: Vec<f64>,
+) -> BatchReport {
     let n = committed.jobs.len();
     // Longest dependency chain, in jobs and in host seconds.
     let mut depth = vec![0usize; n];
@@ -752,6 +838,13 @@ fn batch_report(committed: &RunMetrics, preds: &[Vec<usize>], slots: usize) -> B
         peak_concurrency: committed.peak_concurrency(),
         sim_sequential_s: committed.jobs.iter().map(|j| j.sim_time_s).sum(),
         sim_makespan_s: sim_makespan(committed, preds, slots),
+        worker_busy_s,
+        heaviest_group_bytes: committed
+            .jobs
+            .iter()
+            .map(|j| j.max_group_bytes)
+            .max()
+            .unwrap_or(0),
     }
 }
 
@@ -1101,6 +1194,100 @@ mod tests {
             .unwrap();
         batch.run(&c).unwrap();
         assert_eq!(h.take().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn lpt_runs_costliest_ready_job_first_but_commits_in_submission_order() {
+        // One DAG worker makes the dispatch order observable; three
+        // independent jobs with hints 1 < 5 < 3 must execute 5, 3, 1.
+        let input = vec![(0u64, 1.0f64)];
+        let mut cfg = ClusterConfig::with_machines(2);
+        cfg.scheduler = SchedulerMode::Dag;
+        cfg.threads = 1;
+        let c = Cluster::new(cfg);
+        let order: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let mut batch = Batch::new();
+        let hints = [("light", 1.0), ("heavy", 5.0), ("middle", 3.0)];
+        for (name, hint) in hints {
+            let h = batch
+                .submit(name, vec!["x".into()], vec![format!("t-{name}")], {
+                    let input = &input;
+                    let order = &order;
+                    move |ctx| {
+                        order.lock().unwrap().push(name);
+                        scale_job(ctx, name, input, 2.0)
+                    }
+                })
+                .unwrap();
+            batch.set_cost_hint(&h, hint);
+        }
+        let results = batch.run(&c).unwrap();
+        assert_eq!(*order.lock().unwrap(), ["heavy", "middle", "light"]);
+        // Commit order is still submission order: LPT is invisible in the
+        // metrics log.
+        let names: Vec<String> = c.metrics().jobs.iter().map(|j| j.name.clone()).collect();
+        assert_eq!(names, ["light", "heavy", "middle"]);
+        assert_eq!(results.report().worker_busy_s.len(), 1);
+        assert!(results.report().worker_busy_s[0] > 0.0);
+    }
+
+    #[test]
+    fn unhinted_dag_falls_back_to_fifo_on_one_worker() {
+        let input = vec![(0u64, 1.0f64)];
+        let mut cfg = ClusterConfig::with_machines(2);
+        cfg.scheduler = SchedulerMode::Dag;
+        cfg.threads = 1;
+        let c = Cluster::new(cfg);
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let mut batch = Batch::new();
+        for j in 0..4usize {
+            let _ = batch
+                .submit(
+                    format!("job{j}"),
+                    vec!["x".into()],
+                    vec![format!("t#{j}")],
+                    {
+                        let input = &input;
+                        let order = &order;
+                        move |ctx| {
+                            order.lock().unwrap().push(j);
+                            scale_job(ctx, &format!("job{j}"), input, 2.0)
+                        }
+                    },
+                )
+                .unwrap();
+        }
+        batch.run(&c).unwrap();
+        assert_eq!(*order.lock().unwrap(), [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn report_carries_worker_busy_and_heaviest_group() {
+        let input: Vec<(u64, f64)> = (0..32).map(|i| (i % 4, i as f64)).collect();
+        for mode in [SchedulerMode::Sequential, SchedulerMode::Dag] {
+            let c = cluster(mode);
+            let mut batch = Batch::new();
+            let _ = batch
+                .submit("grp", vec!["x".into()], vec!["t".into()], {
+                    let input = &input;
+                    move |ctx| scale_job(ctx, "grp", input, 2.0)
+                })
+                .unwrap();
+            let results = batch.run(&c).unwrap();
+            let report = results.report();
+            assert!(!report.worker_busy_s.is_empty(), "mode {mode:?}");
+            assert!(
+                report.worker_busy_s.iter().sum::<f64>() > 0.0,
+                "mode {mode:?}"
+            );
+            let max_group = c.metrics().jobs.iter().map(|j| j.max_group_bytes).max();
+            assert_eq!(
+                report.heaviest_group_bytes,
+                max_group.unwrap(),
+                "mode {mode:?}"
+            );
+            assert!(report.heaviest_group_bytes > 0, "mode {mode:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Property tests: the `heavy-key-split` rewrite is bit-identical at the
+//! engine level.
+//!
+//! The runtime pipelines replace a single comm-assoc merge job with `M`
+//! per-hash-slice split jobs plus a `mergeparts` reassembly pass
+//! (`haten2_mapreduce::rewrite::heavy_key_split`). Splitting is by *whole
+//! key group* — each split filters on [`key_slice`], the same FNV-1a
+//! assignment the shuffle partitioner uses — so every reduce group is
+//! still folded in one piece, in the same value order the unrewritten job
+//! would see. These tests pin the resulting guarantee where it actually
+//! matters: for random inputs, cluster geometries, scheduler modes, and
+//! fault plans, the rewritten pipeline's output must equal the unrewritten
+//! pipeline's **bit for bit** (`f64::to_bits`), with the Sequential
+//! unrewritten run as the cross-mode oracle.
+
+#![allow(clippy::unwrap_used)]
+
+use haten2_mapreduce::{
+    key_slice, run_job, Batch, Cluster, ClusterConfig, FaultPlan, JobSpec, SchedulerMode,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Skewed-ish corpus: a small key space (collisions guaranteed) with
+/// values whose running sum is order-sensitive in the last bits (scaled by
+/// 0.1, not exactly representable), so any reordering of a reduce group's
+/// value stream shows up in `to_bits`.
+fn corpus() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    vec((0u64..40, -1000i32..1000), 1..120).prop_map(|xs| {
+        xs.into_iter()
+            .map(|(k, v)| (k, f64::from(v) * 0.1))
+            .collect()
+    })
+}
+
+fn config(machines: usize, threads: usize, scheduler: SchedulerMode) -> ClusterConfig {
+    ClusterConfig {
+        machines,
+        threads,
+        scheduler,
+        ..ClusterConfig::default()
+    }
+}
+
+/// The shared merge fold: a running sum plus a count per key, emitted in
+/// that order. Order-sensitive in the sum's low bits by construction.
+fn merge_reduce(k: &u64, vals: Vec<f64>, emit: &mut dyn FnMut(u64, f64)) {
+    let mut acc = 0.0f64;
+    let mut n = 0u64;
+    for v in vals {
+        acc += v;
+        n += 1;
+    }
+    emit(*k, acc);
+    emit(*k, n as f64);
+}
+
+/// Run the merge pipeline — unrewritten (one comm-assoc merge job) or
+/// rewritten (`slices` split jobs + mergeparts) — and return the final
+/// output with values as raw bits.
+fn run_pipeline(
+    cfg: ClusterConfig,
+    input: &[(u64, f64)],
+    rewritten: bool,
+    slices: usize,
+) -> haten2_mapreduce::Result<Vec<(u64, u64)>> {
+    let cluster = Cluster::new(cfg);
+    let mut batch = Batch::new();
+    let y = if rewritten {
+        let mut split_parts = Vec::with_capacity(slices);
+        for s in 0..slices {
+            let name = format!("ri-merge-split{s}");
+            let split_h = batch.submit(
+                name.clone(),
+                vec!["t".into()],
+                vec![format!("y__part#{s}")],
+                move |ctx| {
+                    run_job(
+                        ctx,
+                        JobSpec::named(&name),
+                        input,
+                        |k: &u64, v: &f64, emit| {
+                            if key_slice(k, slices) == s {
+                                emit(*k, *v);
+                            }
+                        },
+                        merge_reduce,
+                    )
+                },
+            )?;
+            batch.set_cost_hint(&split_h, (s + 1) as f64);
+            split_parts.push(split_h);
+        }
+        batch.submit(
+            "ri-merge-mergeparts",
+            vec!["y__part".into()],
+            vec!["y".into()],
+            {
+                let split_parts = split_parts.clone();
+                move |ctx| {
+                    let mut all: Vec<(u64, f64)> = Vec::new();
+                    for ph in &split_parts {
+                        all.extend(ctx.get(ph)?.iter().copied());
+                    }
+                    run_job(
+                        ctx,
+                        JobSpec::named("ri-merge-mergeparts"),
+                        &all,
+                        |k: &u64, v: &f64, emit| emit(*k, (*k, *v)),
+                        |_k, vals: Vec<(u64, f64)>, emit| {
+                            for (k, v) in vals {
+                                emit(k, v);
+                            }
+                        },
+                    )
+                }
+            },
+        )?
+    } else {
+        batch.submit("ri-merge", vec!["t".into()], vec!["y".into()], move |ctx| {
+            run_job(
+                ctx,
+                JobSpec::named("ri-merge"),
+                input,
+                |k: &u64, v: &f64, emit| emit(*k, *v),
+                merge_reduce,
+            )
+        })?
+    };
+    batch.run(&cluster)?;
+    Ok(y.take()?
+        .into_iter()
+        .map(|(k, v)| (k, v.to_bits()))
+        .collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rewritten_is_bit_identical_in_both_scheduler_modes(
+        input in corpus(),
+        machines in 1usize..=8,
+        threads in 1usize..=8,
+        slices in 1usize..=6,
+    ) {
+        for scheduler in [SchedulerMode::Sequential, SchedulerMode::Dag] {
+            let base = run_pipeline(config(machines, threads, scheduler), &input, false, slices)
+                .unwrap();
+            let split = run_pipeline(config(machines, threads, scheduler), &input, true, slices)
+                .unwrap();
+            prop_assert_eq!(&split, &base, "{scheduler:?}");
+        }
+    }
+
+    #[test]
+    fn rewritten_dag_matches_the_sequential_oracle(
+        input in corpus(),
+        machines in 1usize..=8,
+        threads in 2usize..=8,
+        slices in 2usize..=6,
+    ) {
+        // Sequential + unrewritten is the bit-identity oracle the engine
+        // documents; the rewritten plan on the DAG scheduler (the actual
+        // production combination) must reproduce it exactly.
+        let oracle =
+            run_pipeline(config(machines, 1, SchedulerMode::Sequential), &input, false, slices)
+                .unwrap();
+        let dag = run_pipeline(config(machines, threads, SchedulerMode::Dag), &input, true, slices)
+            .unwrap();
+        prop_assert_eq!(&dag, &oracle);
+    }
+
+    #[test]
+    fn rewritten_is_bit_identical_under_fault_injection(
+        input in corpus(),
+        machines in 1usize..=8,
+        threads in 1usize..=8,
+        slices in 1usize..=6,
+        every_nth in 1usize..4,
+    ) {
+        for scheduler in [SchedulerMode::Sequential, SchedulerMode::Dag] {
+            let mut cfg = config(machines, threads, scheduler);
+            cfg.fault_plan = Some(FaultPlan::fail_every_nth(every_nth));
+            let base = run_pipeline(cfg.clone(), &input, false, slices).unwrap();
+            let split = run_pipeline(cfg, &input, true, slices).unwrap();
+            prop_assert_eq!(&split, &base, "{scheduler:?} fail_every_nth({every_nth})");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: a pipeline applying the heavy-key-split plan
+//! transform directly instead of going through the runtime certification
+//! gate (haten2_core::certified_rewrite_for). Must trip
+//! `no-uncertified-rewrite` exactly once.
+
+pub fn bad(cluster: &Cluster, graph: &JobGraph) -> Result<JobGraph> {
+    // Submits a rewritten graph the analyzer never certified.
+    let rewritten = haten2_mapreduce::rewrite::heavy_key_split(graph);
+    cluster.validate(&rewritten)?;
+    Ok(rewritten)
+}
